@@ -1,0 +1,60 @@
+// §V goal 2d reproduction: change the bit-flip position to find which
+// bits produce output failures.
+//
+// Expected shape (paper §I: "the most significant bits, e.g. exponent
+// bits in floating point numbers, have the highest impact"): mantissa
+// flips are almost always masked, exponent flips become increasingly
+// destructive toward bit 30, the sign bit sits in between.
+#include "bench_common.h"
+
+#include "tensor/bits.h"
+
+using namespace alfi;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== §V.2d: SDE/DUE by flipped bit position (MiniAlexNet) ====\n");
+
+  const data::SyntheticShapesClassification dataset(bench::classification_config());
+  auto model = bench::trained_classifier("alexnet", dataset);
+
+  std::vector<std::string> header{"bit", "field", "sde", "due", "sde+due"};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::pair<std::string, double>> bars;
+
+  // Sweep a representative subset of bit positions (every mantissa bit
+  // would add little: they behave alike).
+  const std::vector<int> bit_positions{0, 8, 16, 20, 22, 23, 24, 25, 26,
+                                       27, 28, 29, 30, 31};
+  for (const core::FaultTarget target :
+       {core::FaultTarget::kWeights, core::FaultTarget::kNeurons}) {
+    rows.clear();
+    bars.clear();
+    for (const int bit : bit_positions) {
+      core::Scenario scenario = bench::exponent_weight_scenario(dataset.size(), 1,
+                                                                5000 + bit);
+      scenario.target = target;
+      scenario.rnd_bit_range_lo = bit;
+      scenario.rnd_bit_range_hi = bit;
+      core::ImgClassCampaignConfig config;
+      core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
+      const auto result = harness.run();
+
+      const char* field = bits::is_sign_bit(bit)       ? "sign"
+                          : bits::is_exponent_bit(bit) ? "exponent"
+                                                       : "mantissa";
+      rows.push_back({std::to_string(bit), field,
+                      strformat("%.3f", result.kpis.sde_rate()),
+                      strformat("%.3f", result.kpis.due_rate()),
+                      strformat("%.3f",
+                                result.kpis.sde_rate() + result.kpis.due_rate())});
+      bars.emplace_back("bit " + std::to_string(bit) + " (" + field + ")",
+                        result.kpis.sde_rate() + result.kpis.due_rate());
+    }
+    std::printf("\n%s bit-flip sensitivity (1 fault/image):\n%s\n",
+                core::to_string(target), vis::table(header, rows).c_str());
+    std::printf("SDE+DUE by bit position (%s):\n%s\n", core::to_string(target),
+                vis::bar_chart(bars, 40).c_str());
+  }
+  return 0;
+}

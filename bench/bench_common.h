@@ -1,0 +1,118 @@
+// Shared infrastructure for the benchmark / reproduction binaries.
+//
+// Every bench binary regenerates one table or figure of the paper
+// (see DESIGN.md §4).  Trained model weights are cached under
+// ./alfi_cache so only the first run pays the training cost; delete the
+// directory to retrain from scratch.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/alficore.h"
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "models/train.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "vis/ascii_plot.h"
+
+namespace alfi::bench {
+
+inline const char* kCacheDir = "alfi_cache";
+
+inline std::string cache_path(const std::string& file) {
+  std::filesystem::create_directories(kCacheDir);
+  return std::string(kCacheDir) + "/" + file;
+}
+
+/// The shared 10-class classification dataset all classification
+/// benches use (a stand-in for the paper's ImageNet validation subset).
+inline data::ClassificationConfig classification_config() {
+  data::ClassificationConfig config;
+  config.size = 192;
+  config.num_classes = 10;
+  config.seed = 99;
+  config.dataset_name = "synth-imagenet";
+  return config;
+}
+
+/// Trains (or loads) one of the miniaturized classifiers on the shared
+/// dataset; prints the fault-free accuracy.
+inline std::shared_ptr<nn::Sequential> trained_classifier(
+    const std::string& arch, const data::ClassificationDataset& dataset) {
+  auto model = models::make_classifier(arch, {});
+  models::TrainConfig config;
+  config.epochs = 30;
+  config.batch_size = 32;
+  config.learning_rate = 0.02f;
+  models::train_classifier_cached(*model, dataset,
+                                  config, cache_path(arch + ".params"));
+  const float accuracy = models::evaluate_classifier(*model, dataset);
+  std::printf("# %-8s params=%zu fault-free top-1 accuracy=%.3f\n", arch.c_str(),
+              model->parameter_count(), static_cast<double>(accuracy));
+  return model;
+}
+
+/// Detection dataset variants — the stand-ins for the paper's CoCo /
+/// Kitti detection sets in Fig. 2b.
+inline data::DetectionConfig detection_config(const std::string& variant) {
+  data::DetectionConfig config;
+  config.size = 64;
+  if (variant == "shapes-sparse") {  // few large objects (CoCo-like role)
+    config.min_objects = 1;
+    config.max_objects = 2;
+    config.seed = 41;
+  } else if (variant == "shapes-dense") {  // more, smaller objects (Kitti-like)
+    config.min_objects = 2;
+    config.max_objects = 3;
+    config.min_object_size = 9.0f;
+    config.max_object_size = 15.0f;
+    config.seed = 43;
+  } else {
+    throw ConfigError("unknown detection dataset variant: " + variant);
+  }
+  config.dataset_name = variant;
+  return config;
+}
+
+/// Trains (or loads) one detector family on one dataset variant.
+inline std::unique_ptr<models::Detector> trained_detector(
+    const std::string& family, const data::DetectionDataset& dataset,
+    const std::string& tag) {
+  auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
+  models::TrainConfig config;
+  config.epochs = 50;
+  config.batch_size = 16;
+  config.learning_rate = 0.01f;
+  models::train_detector_cached(*detector, dataset, config,
+                                cache_path(family + "_" + tag + ".params"));
+  const float recall =
+      models::evaluate_detector_recall(*detector, dataset, 0.4f);
+  std::printf("# %-12s on %-13s fault-free recall@0.5IoU=%.3f\n", family.c_str(),
+              tag.c_str(), static_cast<double>(recall));
+  return detector;
+}
+
+/// Scenario preset: single weight fault per image on exponent bits —
+/// the fault model of Fig. 2 ("faults were injected at weight level
+/// only on exponential bits").
+inline core::Scenario exponent_weight_scenario(std::size_t dataset_size,
+                                               std::size_t faults_per_image,
+                                               std::uint64_t seed) {
+  core::Scenario s;
+  s.target = core::FaultTarget::kWeights;
+  s.value_type = core::ValueType::kBitFlip;
+  s.rnd_bit_range_lo = 23;
+  s.rnd_bit_range_hi = 30;
+  s.dataset_size = dataset_size;
+  s.batch_size = 8;
+  s.max_faults_per_image = faults_per_image;
+  s.rnd_seed = seed;
+  return s;
+}
+
+}  // namespace alfi::bench

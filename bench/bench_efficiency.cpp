@@ -1,0 +1,159 @@
+// Validation-efficiency benchmarks — the claim in the paper's title.
+//
+// PyTorchALFI's efficiency design points, measured here:
+//   * faults are pre-generated once per campaign instead of drawn per
+//     inference (BM_ArmPreGenerated vs BM_GeneratePerInference),
+//   * hook-based injection adds negligible cost to a forward pass
+//     (BM_Forward* family),
+//   * weight faults are applied by mutate/restore, not model rebuild
+//     (BM_WeightArmDisarm vs BM_ModelRebuild),
+//   * the injection policy controls how often fault groups are armed
+//     (BM_CampaignPolicy).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace alfi;
+
+namespace {
+
+struct Env {
+  Env()
+      : dataset({.size = 32, .num_classes = 10, .seed = 99}),
+        model(models::make_mini_alexnet({})),
+        probe(Tensor(Shape{1, 3, 32, 32})),
+        profile(*model, probe),
+        batch(data::ClassificationLoader(dataset, 8).batch(0)) {
+    Rng rng(1);
+    nn::kaiming_init(*model, rng);
+  }
+  data::SyntheticShapesClassification dataset;
+  std::shared_ptr<nn::Sequential> model;
+  Tensor probe;
+  core::ModelProfile profile;
+  data::ClassificationBatch batch;
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+core::Scenario scenario_for(std::size_t dataset_size) {
+  core::Scenario s;
+  s.target = core::FaultTarget::kNeurons;
+  s.dataset_size = dataset_size;
+  s.batch_size = 8;
+  s.rnd_seed = 9;
+  return s;
+}
+
+// ---- fault provisioning: pre-generated vs per-inference --------------------
+
+void BM_GenerateWholeCampaignUpfront(benchmark::State& state) {
+  const core::Scenario s = scenario_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_fault_matrix(s, env().profile, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateWholeCampaignUpfront)->Arg(1000)->Arg(10000)->ArgName("faults");
+
+void BM_GeneratePerInference(benchmark::State& state) {
+  // The naive alternative: re-derive eligibility, weights and one fault
+  // for every single inference.
+  const core::Scenario s = scenario_for(1);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto eligible = core::eligible_layers(s, env().profile);
+    const auto weights = env().profile.size_weights(eligible, false);
+    benchmark::DoNotOptimize(
+        core::generate_fault(s, env().profile, eligible, weights, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeneratePerInference);
+
+// ---- forward-pass overhead ---------------------------------------------------
+
+void BM_ForwardClean(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env().model->forward(env().batch.images));
+  }
+}
+BENCHMARK(BM_ForwardClean);
+
+void BM_ForwardHooksAttachedDisarmed(benchmark::State& state) {
+  core::Injector injector(*env().model, env().profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env().model->forward(env().batch.images));
+  }
+}
+BENCHMARK(BM_ForwardHooksAttachedDisarmed);
+
+void BM_ForwardWithArmedNeuronFaults(benchmark::State& state) {
+  core::Injector injector(*env().model, env().profile);
+  core::Scenario s = scenario_for(1);
+  s.max_faults_per_image = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto matrix = core::generate_fault_matrix(s, env().profile, rng);
+  injector.arm(matrix.faults());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env().model->forward(env().batch.images));
+    injector.clear_records();
+  }
+}
+BENCHMARK(BM_ForwardWithArmedNeuronFaults)->Arg(1)->Arg(16)->ArgName("faults");
+
+// ---- weight-fault application ------------------------------------------------
+
+void BM_WeightArmDisarm(benchmark::State& state) {
+  core::Injector injector(*env().model, env().profile);
+  core::Scenario s = scenario_for(1);
+  s.target = core::FaultTarget::kWeights;
+  s.max_faults_per_image = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto matrix = core::generate_fault_matrix(s, env().profile, rng);
+  for (auto _ : state) {
+    injector.arm(matrix.faults());
+    injector.disarm();
+    injector.clear_records();
+  }
+}
+BENCHMARK(BM_WeightArmDisarm)->Arg(1)->Arg(64)->ArgName("faults");
+
+void BM_ModelRebuild(benchmark::State& state) {
+  // The cost mutate/restore avoids: building a fresh corrupted model copy.
+  for (auto _ : state) {
+    auto copy = models::make_mini_alexnet({});
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ModelRebuild);
+
+// ---- whole-campaign cost by injection policy -------------------------------
+
+void BM_CampaignPolicy(benchmark::State& state) {
+  const auto policy = static_cast<core::InjectionPolicy>(state.range(0));
+  for (auto _ : state) {
+    core::Scenario s = scenario_for(32);
+    s.inj_policy = policy;
+    core::ImgClassCampaignConfig config;  // KPI-only, no file output
+    core::TestErrorModelsImgClass harness(*env().model, env().dataset, s, config);
+    benchmark::DoNotOptimize(harness.run());
+  }
+  state.SetLabel(core::to_string(policy));
+}
+BENCHMARK(BM_CampaignPolicy)->Arg(0)->Arg(1)->Arg(2)->ArgName("policy");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== validation-efficiency microbenchmarks ====\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Eq. (1) reproduction: size-weighted layer selection.
+//
+// F_i = prod_j d_ij / sum_i prod_j d_ij — each layer's draw probability
+// equals its share of the model's weights (or neurons).  This bench
+// prints the analytic F_i next to the empirical draw frequency over a
+// large generated fault set, for weighted and uniform selection.
+#include "bench_common.h"
+
+using namespace alfi;
+
+namespace {
+
+void run_mode(const core::ModelProfile& profile, core::FaultTarget target,
+              bool weighted, std::size_t draws) {
+  core::Scenario scenario;
+  scenario.target = target;
+  scenario.weighted_layer_selection = weighted;
+  scenario.dataset_size = draws;
+  scenario.rnd_seed = 1234;
+  Rng rng(scenario.rnd_seed);
+  const auto matrix = core::generate_fault_matrix(scenario, profile, rng);
+
+  std::vector<std::size_t> counts(profile.layer_count(), 0);
+  for (const core::Fault& fault : matrix.faults()) {
+    ++counts[static_cast<std::size_t>(fault.layer)];
+  }
+
+  const bool use_weights = target == core::FaultTarget::kWeights;
+  const double total = static_cast<double>(
+      use_weights ? profile.total_weight_count() : profile.total_neuron_count());
+
+  std::vector<std::string> header{"layer", "path", "kind", "size", "F_i",
+                                  "empirical"};
+  std::vector<std::vector<std::string>> rows;
+  for (const core::LayerInfo& layer : profile.layers()) {
+    const std::size_t size =
+        use_weights ? layer.weight_count : layer.neuron_count;
+    const double analytic = weighted
+                                ? static_cast<double>(size) / total
+                                : 1.0 / static_cast<double>(profile.layer_count());
+    const double empirical =
+        static_cast<double>(counts[layer.index]) / static_cast<double>(draws);
+    rows.push_back({std::to_string(layer.index), layer.path,
+                    nn::layer_kind_name(layer.kind), std::to_string(size),
+                    strformat("%.4f", analytic), strformat("%.4f", empirical)});
+  }
+  std::printf("%s selection, %s faults (%zu draws):\n%s\n",
+              weighted ? "Eq.(1) weighted" : "uniform",
+              core::to_string(target), draws, vis::table(header, rows).c_str());
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== Eq. (1): relative layer-size weighting ====\n\n");
+  auto net = models::make_mini_vgg({});
+  const core::ModelProfile profile(*net, Tensor(Shape{1, 3, 32, 32}));
+
+  constexpr std::size_t kDraws = 200000;
+  run_mode(profile, core::FaultTarget::kWeights, /*weighted=*/true, kDraws);
+  run_mode(profile, core::FaultTarget::kNeurons, /*weighted=*/true, kDraws);
+  run_mode(profile, core::FaultTarget::kWeights, /*weighted=*/false, kDraws);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: injection policy as the persistence model (transient vs.
+// epoch-persistent faults).
+//
+// The paper requires "the fault model should support both transient and
+// permanent faults" (§IV.A).  In the coupled campaign harness a
+// transient fault lives for one image (per_image policy); a persistent
+// fault lives for a whole epoch (per_epoch policy — the same weight
+// corruption applied to every image).  This bench compares the two at
+// the same total fault budget: persistent faults produce highly
+// correlated verdicts (either the epoch's fault matters for many images
+// or for none), visible as a bimodal per-epoch corruption rate.
+#include "bench_common.h"
+
+using namespace alfi;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== ablation: transient vs. epoch-persistent faults ====\n");
+
+  const data::SyntheticShapesClassification dataset(bench::classification_config());
+  auto model = bench::trained_classifier("alexnet", dataset);
+
+  // Pin the top exponent bit so every fault is potent: the contrast
+  // between fresh and persistent faults is then purely about correlation.
+  // ---- transient: a fresh fault per image (one epoch) ----------------------
+  {
+    core::Scenario scenario = bench::exponent_weight_scenario(dataset.size(), 1, 31);
+    scenario.rnd_bit_range_lo = 30;
+    scenario.rnd_bit_range_hi = 30;
+    scenario.inj_policy = core::InjectionPolicy::kPerImage;
+    core::ImgClassCampaignConfig config;
+    core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
+    const auto result = harness.run();
+    std::printf("\ntransient (per_image): %zu distinct faults over %zu images: "
+                "SDE %.3f, DUE %.3f\n",
+                scenario.total_faults(), result.kpis.total,
+                result.kpis.sde_rate(), result.kpis.due_rate());
+  }
+
+  // ---- persistent: one fault per epoch, many epochs -------------------------
+  {
+    core::Scenario scenario = bench::exponent_weight_scenario(16, 1, 31);
+    scenario.rnd_bit_range_lo = 30;
+    scenario.rnd_bit_range_hi = 30;
+    scenario.inj_policy = core::InjectionPolicy::kPerEpoch;
+    scenario.num_runs = 12;  // 12 epochs x 16 images = 192 verdicts
+    core::ImgClassCampaignConfig config;
+    core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
+    const auto result = harness.run();
+    std::printf("persistent (per_epoch): %zu epoch faults x %zu images: "
+                "SDE %.3f, DUE %.3f\n",
+                scenario.num_runs, scenario.dataset_size,
+                result.kpis.sde_rate(), result.kpis.due_rate());
+    std::printf(
+        "  (each epoch fault decides the fate of all %zu images of its epoch\n"
+        "   — persistent faults correlate verdicts across a whole epoch)\n",
+        scenario.dataset_size);
+  }
+
+  // ---- raw injector-level permanent faults ----------------------------------
+  {
+    const Tensor probe = dataset.get(0).image.reshaped(Shape{1, 3, 32, 32});
+    const core::ModelProfile profile(*model, probe);
+    core::Injector injector(*model, profile, core::FaultDuration::kPermanent);
+
+    core::Scenario scenario = bench::exponent_weight_scenario(1, 1, 31);
+    Rng rng(31);
+    const core::FaultMatrix one = core::generate_fault_matrix(scenario, profile, rng);
+    injector.arm(one.faults());
+    injector.disarm();  // permanent faults survive disarm
+    std::size_t still_corrupted = injector.pending_weight_restores();
+    injector.restore_all_weights();
+    std::printf(
+        "\ninjector duration check: permanent fault survived disarm (%zu pending "
+        "restore), explicit restore_all_weights() cleared it\n",
+        still_corrupted);
+  }
+  return 0;
+}

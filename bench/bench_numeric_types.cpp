@@ -1,0 +1,70 @@
+// §V use case: "Evaluating the vulnerability of different numeric types".
+//
+// The same trained MiniAlexNet is evaluated natively (fp32) and with
+// its weights quantized to emulated bf16 / fp16.  Faults are drawn
+// uniformly over each type's live bit positions.  Expected shape: the
+// fewer mantissa bits a type has, the larger the fraction of its bits
+// that sit in the high-impact exponent field, so the per-bit-flip SDE
+// probability *rises* as precision shrinks (bf16: 8 of 16 live bits are
+// exponent; fp32: 8 of 32).
+#include "bench_common.h"
+
+#include "nn/quantize.h"
+#include "nn/serialize.h"
+
+using namespace alfi;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== §V use case: numeric-type vulnerability (MiniAlexNet) ====\n");
+
+  const data::SyntheticShapesClassification dataset(bench::classification_config());
+  auto reference = bench::trained_classifier("alexnet", dataset);
+  const std::string snapshot = bench::cache_path("alexnet_numeric_ref.params");
+  nn::save_parameters(*reference, snapshot);
+
+  std::vector<std::string> header{"type", "live_bits", "exp_share",
+                                  "clean_top1", "sde", "due", "sde+due"};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::pair<std::string, double>> bars;
+
+  for (const nn::NumericType type :
+       {nn::NumericType::kFloat32, nn::NumericType::kBfloat16,
+        nn::NumericType::kFloat16}) {
+    // fresh copy of the reference weights, then quantize
+    nn::load_parameters(*reference, snapshot);
+    nn::quantize_parameters(*reference, type);
+    const float clean = models::evaluate_classifier(*reference, dataset);
+
+    const int low_bit = nn::lowest_live_bit(type);
+    core::Scenario scenario =
+        bench::exponent_weight_scenario(dataset.size(), 1, 6000 + low_bit);
+    scenario.rnd_bit_range_lo = low_bit;  // uniform over the type's live bits
+    scenario.rnd_bit_range_hi = 31;
+
+    core::ImgClassCampaignConfig config;
+    core::TestErrorModelsImgClass harness(*reference, dataset, scenario, config);
+    const auto result = harness.run();
+
+    const int live_bits = 32 - low_bit;
+    const double exp_share = 8.0 / live_bits;  // 8 exponent bits for fp32/bf16
+    const double combined = result.kpis.sde_rate() + result.kpis.due_rate();
+    rows.push_back({nn::to_string(type), std::to_string(live_bits),
+                    strformat("%.2f", exp_share), strformat("%.3f", clean),
+                    strformat("%.3f", result.kpis.sde_rate()),
+                    strformat("%.3f", result.kpis.due_rate()),
+                    strformat("%.3f", combined)});
+    bars.emplace_back(nn::to_string(type), combined);
+  }
+
+  std::printf(
+      "\nPer-bit-flip vulnerability by numeric type (1 fault/image, uniform over "
+      "live bits):\n%s\n",
+      vis::table(header, rows).c_str());
+  std::printf("SDE+DUE by type (reduced precision => more exponent exposure):\n%s\n",
+              vis::bar_chart(bars, 40).c_str());
+
+  // restore the cached fp32 weights for other benches
+  nn::load_parameters(*reference, snapshot);
+  return 0;
+}

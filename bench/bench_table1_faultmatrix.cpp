@@ -1,0 +1,146 @@
+// Table I reproduction + fault-matrix microbenchmarks.
+//
+// Prints the Table I fault-definition matrix (rows: Batch, Layer,
+// Channel, Depth, Height, Width, Value) for generated neuron and weight
+// fault sets — including a conv3d model so the Depth row is exercised —
+// then measures generation and persistence throughput with
+// google-benchmark (the paper's "large-scale" requirement: fault
+// pre-generation must not be the bottleneck of a campaign).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace alfi;
+
+namespace {
+
+const char* kNeuronRowNames[7] = {"Batch",  "Layer", "Channel", "Depth",
+                                  "Height", "Width", "Value"};
+const char* kWeightRowNames[7] = {"Layer",  "OutCh", "InCh",  "Depth",
+                                  "Height", "Width", "Value"};
+
+void print_matrix(const core::FaultMatrix& matrix, const char* row_names[7],
+                  std::size_t columns) {
+  const auto rows = matrix.table_rows();
+  std::vector<std::string> header{"row"};
+  for (std::size_t c = 0; c < columns; ++c) header.push_back("f" + std::to_string(c));
+  std::vector<std::vector<std::string>> table_rows;
+  for (std::size_t r = 0; r < 7; ++r) {
+    std::vector<std::string> row{row_names[r]};
+    for (std::size_t c = 0; c < columns && c < matrix.size(); ++c) {
+      row.push_back(std::to_string(rows[r][c]));
+    }
+    table_rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", vis::table(header, table_rows).c_str());
+}
+
+struct Fixture {
+  Fixture()
+      : net(models::make_mini_vgg({})),
+        profile(*net, Tensor(Shape{1, 3, 32, 32})) {}
+  std::shared_ptr<nn::Sequential> net;
+  core::ModelProfile profile;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_GenerateFaultMatrix(benchmark::State& state) {
+  core::Scenario scenario;
+  scenario.dataset_size = static_cast<std::size_t>(state.range(0));
+  scenario.target = state.range(1) == 0 ? core::FaultTarget::kNeurons
+                                        : core::FaultTarget::kWeights;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::generate_fault_matrix(scenario, fixture().profile, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateFaultMatrix)
+    ->ArgsProduct({{100, 1000, 10000}, {0, 1}})
+    ->ArgNames({"faults", "weights"});
+
+void BM_FaultMatrixSaveLoad(benchmark::State& state) {
+  core::Scenario scenario;
+  scenario.dataset_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const core::FaultMatrix matrix =
+      core::generate_fault_matrix(scenario, fixture().profile, rng);
+  const std::string path = bench::cache_path("bench_faults.bin");
+  for (auto _ : state) {
+    matrix.save(path);
+    benchmark::DoNotOptimize(core::FaultMatrix::load(path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FaultMatrixSaveLoad)->Arg(1000)->Arg(10000)->ArgName("faults");
+
+void BM_ModelProfileProbe(benchmark::State& state) {
+  auto net = models::make_mini_vgg({});
+  const Tensor probe(Shape{1, 3, 32, 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ModelProfile(*net, probe));
+  }
+}
+BENCHMARK(BM_ModelProfileProbe);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::printf("==== Table I: fault definition matrices ====\n\n");
+
+  // Neuron faults on the conv2d/linear classifier.
+  {
+    core::Scenario scenario;
+    scenario.target = core::FaultTarget::kNeurons;
+    scenario.dataset_size = 8;
+    scenario.rnd_seed = 7;
+    Rng rng(scenario.rnd_seed);
+    const auto matrix =
+        core::generate_fault_matrix(scenario, fixture().profile, rng);
+    std::printf("Neuron faults, MiniVGG (conv2d + linear); Depth = -1 (no conv3d):\n");
+    print_matrix(matrix, kNeuronRowNames, 8);
+  }
+
+  // Neuron faults on a conv3d model: the Depth row becomes meaningful.
+  {
+    auto net3d = models::make_conv3d_classifier({});
+    const core::ModelProfile profile3d(*net3d, Tensor(Shape{1, 1, 8, 16, 16}));
+    core::Scenario scenario;
+    scenario.target = core::FaultTarget::kNeurons;
+    scenario.layer_types = {nn::LayerKind::kConv3d};
+    scenario.dataset_size = 8;
+    scenario.rnd_seed = 11;
+    Rng rng(scenario.rnd_seed);
+    const auto matrix = core::generate_fault_matrix(scenario, profile3d, rng);
+    std::printf("Neuron faults, Conv3d classifier (Depth row active):\n");
+    print_matrix(matrix, kNeuronRowNames, 8);
+  }
+
+  // Weight faults (Table I variant: "first row denotes the layer index,
+  // the second and third rows specify the weight's output and input
+  // channel").
+  {
+    core::Scenario scenario;
+    scenario.target = core::FaultTarget::kWeights;
+    scenario.dataset_size = 8;
+    scenario.rnd_seed = 13;
+    Rng rng(scenario.rnd_seed);
+    const auto matrix =
+        core::generate_fault_matrix(scenario, fixture().profile, rng);
+    std::printf("Weight faults, MiniVGG:\n");
+    print_matrix(matrix, kWeightRowNames, 8);
+  }
+
+  std::printf("==== fault-matrix microbenchmarks ====\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Verifying the efficiency of mitigation strategies (§V use case
+// "Verifying the efficiency of mitigation strategies against faults").
+//
+// Runs the same persisted fault set against the unprotected model, a
+// Ranger-hardened copy of the inference path, and a Clipper-hardened
+// one — the tightly-coupled triple the paper's architecture is built
+// around — and reports SDE before/after hardening.
+#include <cstdio>
+
+#include "core/alficore.h"
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "models/train.h"
+#include "util/logging.h"
+
+using namespace alfi;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  const data::SyntheticShapesClassification dataset(
+      {.size = 96, .num_classes = 10, .seed = 13});
+  auto model = models::make_mini_vgg({});
+  models::TrainConfig train_config;
+  train_config.epochs = 45;
+  train_config.batch_size = 16;
+  train_config.learning_rate = 0.02f;
+  std::printf("training MiniVGG... accuracy %.2f\n",
+              static_cast<double>(
+                  models::train_classifier(*model, dataset, train_config)));
+
+  // One scenario, one fault file, three protection settings.
+  core::Scenario scenario;
+  scenario.target = core::FaultTarget::kWeights;
+  scenario.rnd_bit_range_lo = 26;
+  scenario.rnd_bit_range_hi = 30;
+  scenario.dataset_size = dataset.size();
+  scenario.max_faults_per_image = 2;
+  scenario.rnd_seed = 97;
+
+  std::string fault_file;  // filled by the first campaign, reused after
+  for (const auto& [label, mitigation] :
+       std::vector<std::pair<std::string, std::optional<core::MitigationKind>>>{
+           {"unprotected", std::nullopt},
+           {"ranger", core::MitigationKind::kRanger},
+           {"clipper", core::MitigationKind::kClipper}}) {
+    core::ImgClassCampaignConfig config;
+    config.model_name = "vgg_" + label;
+    config.output_dir = "mitigation_compare_out";
+    config.mitigation = mitigation;
+    config.fault_file = fault_file;  // empty on the first pass
+    core::TestErrorModelsImgClass campaign(*model, dataset, scenario, config);
+    const auto result = campaign.run();
+    if (fault_file.empty()) fault_file = result.fault_bin;
+
+    const double sde = mitigation ? result.kpis.resil_sde_rate()
+                                  : result.kpis.sde_rate();
+    const double accuracy = mitigation ? result.kpis.resil_accuracy()
+                                       : result.kpis.faulty_accuracy();
+    std::printf("%-12s SDE %.3f | DUE %.3f | top-1 under fault %.3f\n",
+                label.c_str(), sde, result.kpis.due_rate(), accuracy);
+  }
+
+  std::printf("\nall three runs replayed the identical fault set from\n  %s\n",
+              fault_file.c_str());
+  std::printf("per-image results CSVs are under mitigation_compare_out/\n");
+  return 0;
+}

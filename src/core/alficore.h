@@ -1,0 +1,18 @@
+// Umbrella header: the complete public fault-injection API (the paper's
+// "alficore" component, Fig. 1).
+#pragma once
+
+#include "core/analysis.h"
+#include "core/fault.h"
+#include "core/fault_generator.h"
+#include "core/fault_matrix.h"
+#include "core/hw_injector.h"
+#include "core/injector.h"
+#include "core/kpi.h"
+#include "core/mitigation.h"
+#include "core/model_profile.h"
+#include "core/monitor.h"
+#include "core/scenario.h"
+#include "core/test_img_class.h"
+#include "core/test_obj_det.h"
+#include "core/wrapper.h"

@@ -1,0 +1,165 @@
+#include "core/analysis.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "vis/ascii_plot.h"
+
+namespace alfi::core {
+
+std::vector<CsvFaultRef> parse_fault_field(const std::string& field) {
+  std::vector<CsvFaultRef> refs;
+  if (trim(field).empty()) return refs;
+  for (const std::string& entry : split(field, ';')) {
+    const std::vector<std::string> parts = split(entry, ':');
+    if (parts.size() != 7) {
+      throw ParseError("malformed fault field entry: " + entry);
+    }
+    CsvFaultRef ref;
+    const auto layer = parse_int(parts[0]);
+    const auto bit = parse_int(parts[6]);
+    if (!layer || !bit) throw ParseError("malformed fault field entry: " + entry);
+    ref.layer = *layer;
+    ref.bit_pos = static_cast<int>(*bit);
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+CampaignAnalysis analyze_results_table(const io::CsvTable& table) {
+  CampaignAnalysis analysis;
+  const std::size_t col_due = table.column("due");
+  const std::size_t col_sde = table.column("sde");
+  const std::size_t col_faults = table.column("faults");
+  const std::size_t col_orig_top1 = table.column("orig_top1_class");
+  const std::size_t col_corr_top1 = table.column("corr_top1_class");
+
+  for (const auto& row : table.rows) {
+    const bool due = row[col_due] == "1";
+    const bool sde = row[col_sde] == "1";
+    ++analysis.total_images;
+    analysis.due_images += due ? 1 : 0;
+    analysis.sde_images += sde ? 1 : 0;
+
+    for (const CsvFaultRef& ref : parse_fault_field(row[col_faults])) {
+      GroupStats& layer_stats = analysis.by_layer[ref.layer];
+      ++layer_stats.total;
+      layer_stats.sde += sde ? 1 : 0;
+      layer_stats.due += due ? 1 : 0;
+      if (ref.bit_pos >= 0) {
+        GroupStats& bit_stats = analysis.by_bit[ref.bit_pos];
+        ++bit_stats.total;
+        bit_stats.sde += sde ? 1 : 0;
+        bit_stats.due += due ? 1 : 0;
+      }
+    }
+
+    if (sde) {
+      const auto from = parse_int(row[col_orig_top1]);
+      const auto to = parse_int(row[col_corr_top1]);
+      if (from && to) {
+        ++analysis.misclassification[{static_cast<std::size_t>(*from),
+                                      static_cast<std::size_t>(*to)}];
+      }
+    }
+  }
+  return analysis;
+}
+
+CampaignAnalysis analyze_results_csv(const std::string& path) {
+  return analyze_results_table(io::read_csv_file(path));
+}
+
+TraceStats analyze_trace(const std::vector<InjectionRecord>& records) {
+  TraceStats stats;
+  stats.records = records.size();
+  double abs_orig = 0.0, abs_corr = 0.0;
+  double log_mag = 0.0;
+  std::size_t finite_corr = 0, mag_terms = 0;
+  for (const InjectionRecord& record : records) {
+    if (record.flip_direction == "0->1") ++stats.flips_zero_to_one;
+    else if (record.flip_direction == "1->0") ++stats.flips_one_to_zero;
+
+    abs_orig += std::fabs(record.original_value);
+    if (std::isfinite(record.corrupted_value)) {
+      abs_corr += std::fabs(record.corrupted_value);
+      ++finite_corr;
+    } else {
+      ++stats.produced_nonfinite;
+    }
+    if (std::isfinite(record.original_value) &&
+        std::isfinite(record.corrupted_value) && record.original_value != 0.0f &&
+        record.corrupted_value != 0.0f) {
+      log_mag += std::log10(std::fabs(record.corrupted_value)) -
+                 std::log10(std::fabs(record.original_value));
+      ++mag_terms;
+    }
+  }
+  if (stats.records > 0) {
+    stats.mean_abs_original = abs_orig / static_cast<double>(stats.records);
+  }
+  if (finite_corr > 0) {
+    stats.mean_abs_corrupted = abs_corr / static_cast<double>(finite_corr);
+  }
+  if (mag_terms > 0) {
+    stats.mean_log10_magnification = log_mag / static_cast<double>(mag_terms);
+  }
+  return stats;
+}
+
+TraceStats analyze_trace_file(const std::string& path) {
+  return analyze_trace(load_injection_records(path));
+}
+
+std::string format_analysis(const CampaignAnalysis& analysis) {
+  std::ostringstream os;
+  os << "campaign: " << analysis.total_images << " images, " << analysis.sde_images
+     << " SDE, " << analysis.due_images << " DUE\n\n";
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [layer, stats] : analysis.by_layer) {
+      rows.push_back({std::to_string(layer), std::to_string(stats.total),
+                      strformat("%.3f", stats.sde_rate()),
+                      strformat("%.3f", stats.due_rate())});
+    }
+    os << "layer-wise vulnerability:\n"
+       << vis::table({"layer", "faults", "sde_rate", "due_rate"}, rows) << '\n';
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [bit, stats] : analysis.by_bit) {
+      rows.push_back({std::to_string(bit), std::to_string(stats.total),
+                      strformat("%.3f", stats.sde_rate()),
+                      strformat("%.3f", stats.due_rate())});
+    }
+    os << "bit-wise vulnerability:\n"
+       << vis::table({"bit", "faults", "sde_rate", "due_rate"}, rows) << '\n';
+  }
+  if (!analysis.misclassification.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [pair, count] : analysis.misclassification) {
+      rows.push_back({std::to_string(pair.first), std::to_string(pair.second),
+                      std::to_string(count)});
+    }
+    os << "SDE misclassifications (fault-free top-1 -> corrupted top-1):\n"
+       << vis::table({"from", "to", "count"}, rows);
+  }
+  return os.str();
+}
+
+std::string format_trace_stats(const TraceStats& stats) {
+  std::ostringstream os;
+  os << "injection trace: " << stats.records << " applications\n"
+     << "  flip direction 0->1: " << stats.flips_zero_to_one << ", 1->0: "
+     << stats.flips_one_to_zero << '\n'
+     << "  corrupted to NaN/Inf: " << stats.produced_nonfinite << '\n'
+     << strformat("  mean |original| %.4g, mean |corrupted| %.4g\n",
+                  stats.mean_abs_original, stats.mean_abs_corrupted)
+     << strformat("  mean log10 |corr/orig| magnification: %.2f decades\n",
+                  stats.mean_log10_magnification);
+  return os.str();
+}
+
+}  // namespace alfi::core

@@ -1,0 +1,84 @@
+// Post-campaign result analysis (paper §V.F.1).
+//
+// "This raw basic information is further processed to quantify the
+// vulnerability. ... Using the first set of outputs binary files,
+// bit-wise and layer-wise SDE information was easily extracted."
+//
+// These helpers consume the artifacts a campaign writes — the per-image
+// results CSV and the binary injection trace — and aggregate them into
+// layer-wise / bit-wise vulnerability tables, flip-direction statistics
+// and misclassification matrices, without re-running any inference.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fault_matrix.h"
+#include "io/csv.h"
+
+namespace alfi::core {
+
+/// Aggregated verdicts for one grouping key (a layer or a bit position).
+struct GroupStats {
+  std::size_t total = 0;
+  std::size_t sde = 0;
+  std::size_t due = 0;
+
+  double sde_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(sde) / static_cast<double>(total);
+  }
+  double due_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(due) / static_cast<double>(total);
+  }
+};
+
+/// Everything extractable from one classification results CSV.
+struct CampaignAnalysis {
+  std::size_t total_images = 0;
+  std::size_t sde_images = 0;
+  std::size_t due_images = 0;
+
+  /// Keyed by injectable-layer index ("layer-wise SDE information").
+  std::map<std::int64_t, GroupStats> by_layer;
+  /// Keyed by flipped bit position ("bit-wise SDE information").
+  std::map<int, GroupStats> by_bit;
+  /// (fault-free top-1 -> corrupted top-1) counts over SDE images.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> misclassification;
+};
+
+/// Parses the compact fault field of one CSV row
+/// ("layer:c_out:c_in:d:h:w:bit" entries joined by ';').
+struct CsvFaultRef {
+  std::int64_t layer = -1;
+  int bit_pos = -1;
+};
+std::vector<CsvFaultRef> parse_fault_field(const std::string& field);
+
+/// Analyzes a results CSV produced by TestErrorModelsImgClass.
+CampaignAnalysis analyze_results_csv(const std::string& path);
+CampaignAnalysis analyze_results_table(const io::CsvTable& table);
+
+/// Statistics over a binary injection trace (the "second binary file"
+/// of §IV.B: before/after values and flip directions).
+struct TraceStats {
+  std::size_t records = 0;
+  std::size_t flips_zero_to_one = 0;
+  std::size_t flips_one_to_zero = 0;
+  std::size_t produced_nonfinite = 0;  // corrupted value is NaN/Inf
+  double mean_abs_original = 0.0;
+  double mean_abs_corrupted = 0.0;     // over finite corrupted values
+  /// Corruption magnification: mean log10(|corrupted/original|) over
+  /// records where both values are finite and non-zero (0 = unchanged
+  /// magnitude; exponent-bit flips push this to tens of decades).
+  double mean_log10_magnification = 0.0;
+};
+TraceStats analyze_trace(const std::vector<InjectionRecord>& records);
+TraceStats analyze_trace_file(const std::string& path);
+
+/// Renders an analysis as a human-readable report (used by the CLI and
+/// the analysis example).
+std::string format_analysis(const CampaignAnalysis& analysis);
+std::string format_trace_stats(const TraceStats& stats);
+
+}  // namespace alfi::core

@@ -1,0 +1,112 @@
+#include "core/fault.h"
+
+#include <sstream>
+
+#include "tensor/bits.h"
+
+namespace alfi::core {
+
+namespace {
+
+std::size_t checked(std::int64_t value, std::size_t bound, const char* what) {
+  ALFI_CHECK(value >= 0 && static_cast<std::size_t>(value) < bound,
+             std::string("fault coordinate out of range: ") + what + "=" +
+                 std::to_string(value) + " bound=" + std::to_string(bound));
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::size_t Fault::neuron_offset(const Shape& output_shape) const {
+  switch (output_shape.rank()) {
+    case 1:  // linear output [F]
+      return checked(width, output_shape[0], "width/feature");
+    case 2: {  // e.g. GlobalAvgPool output [C] is rank1; [C,F] unusual but allowed
+      const std::size_t c = checked(channel_out, output_shape[0], "channel");
+      const std::size_t x = checked(width, output_shape[1], "width");
+      return c * output_shape[1] + x;
+    }
+    case 3: {  // conv2d output [C,H,W]
+      const std::size_t c = checked(channel_out, output_shape[0], "channel");
+      const std::size_t y = checked(height, output_shape[1], "height");
+      const std::size_t x = checked(width, output_shape[2], "width");
+      return (c * output_shape[1] + y) * output_shape[2] + x;
+    }
+    case 4: {  // conv3d output [C,D,H,W]
+      const std::size_t c = checked(channel_out, output_shape[0], "channel");
+      const std::size_t d = checked(depth, output_shape[1], "depth");
+      const std::size_t y = checked(height, output_shape[2], "height");
+      const std::size_t x = checked(width, output_shape[3], "width");
+      return ((c * output_shape[1] + d) * output_shape[2] + y) * output_shape[3] + x;
+    }
+    default:
+      throw Error("unsupported neuron tensor rank: " +
+                  std::to_string(output_shape.rank()));
+  }
+}
+
+std::size_t Fault::weight_offset(const Shape& weight_shape) const {
+  switch (weight_shape.rank()) {
+    case 2: {  // linear [OUT, IN]
+      const std::size_t o = checked(channel_out, weight_shape[0], "out_channel");
+      const std::size_t i = checked(channel_in, weight_shape[1], "in_channel");
+      return o * weight_shape[1] + i;
+    }
+    case 4: {  // conv2d [OC, IC, KH, KW]
+      const std::size_t o = checked(channel_out, weight_shape[0], "out_channel");
+      const std::size_t i = checked(channel_in, weight_shape[1], "in_channel");
+      const std::size_t y = checked(height, weight_shape[2], "kernel_y");
+      const std::size_t x = checked(width, weight_shape[3], "kernel_x");
+      return ((o * weight_shape[1] + i) * weight_shape[2] + y) * weight_shape[3] + x;
+    }
+    case 5: {  // conv3d [OC, IC, KD, KH, KW]
+      const std::size_t o = checked(channel_out, weight_shape[0], "out_channel");
+      const std::size_t i = checked(channel_in, weight_shape[1], "in_channel");
+      const std::size_t d = checked(depth, weight_shape[2], "kernel_d");
+      const std::size_t y = checked(height, weight_shape[3], "kernel_y");
+      const std::size_t x = checked(width, weight_shape[4], "kernel_x");
+      return (((o * weight_shape[1] + i) * weight_shape[2] + d) * weight_shape[3] +
+              y) *
+                 weight_shape[4] +
+             x;
+    }
+    default:
+      throw Error("unsupported weight tensor rank: " +
+                  std::to_string(weight_shape.rank()));
+  }
+}
+
+float Fault::corrupt(float original) const {
+  switch (value_type) {
+    case ValueType::kBitFlip:
+      return bits::flip_bit(original, bit_pos);
+    case ValueType::kStuckAt0:
+      return bits::set_bit(original, bit_pos, false);
+    case ValueType::kStuckAt1:
+      return bits::set_bit(original, bit_pos, true);
+    case ValueType::kRandomValue:
+      return number_value;
+  }
+  return original;
+}
+
+std::string Fault::to_string() const {
+  std::ostringstream os;
+  os << core::to_string(target) << "[layer=" << layer;
+  if (target == FaultTarget::kNeurons) {
+    os << " batch=" << batch << " c=" << channel_out;
+  } else {
+    os << " oc=" << channel_out << " ic=" << channel_in;
+  }
+  if (depth >= 0) os << " d=" << depth;
+  os << " y=" << height << " x=" << width;
+  if (value_type == ValueType::kRandomValue) {
+    os << " value=" << number_value;
+  } else {
+    os << " bit=" << bit_pos;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace alfi::core

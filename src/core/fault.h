@@ -1,0 +1,64 @@
+// Fault definition — one column of the Table I fault matrix.
+//
+// Paper §IV.B: "All faults are generated as a matrix before the
+// inference run ... Each column in the matrix contains a single fault.
+// Fault definitions comprise the fault location and value."  Neuron
+// faults use rows (Batch, Layer, Channel, Depth, Height, Width, Value);
+// weight faults replace Batch with nothing and use (Layer, OutChannel,
+// InChannel, [Depth,] Height, Width, Value).  -1 marks a coordinate a
+// given layer geometry does not use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/scenario.h"
+#include "tensor/shape.h"
+
+namespace alfi::core {
+
+struct Fault {
+  FaultTarget target = FaultTarget::kNeurons;
+  ValueType value_type = ValueType::kBitFlip;
+
+  // ---- location (Table I rows) -------------------------------------------
+  std::int64_t batch = -1;        // image slot within a batch (neuron faults)
+  std::int64_t layer = -1;        // index among injectable layers
+  std::int64_t channel_out = -1;  // neuron: channel; weight: output channel
+  std::int64_t channel_in = -1;   // weight faults: input channel
+  std::int64_t depth = -1;        // conv3d only
+  std::int64_t height = -1;       // y (conv kernels / activations)
+  std::int64_t width = -1;        // x; linear activations use width as index
+
+  // ---- value (Table I "Value" row) -----------------------------------------
+  int bit_pos = -1;           // bit flip / stuck-at position
+  float number_value = 0.0f;  // random-value faults
+
+  /// Flat offset into a per-sample neuron tensor of the given shape
+  /// (rank 1 = linear [F], rank 3 = conv2d [C,H,W], rank 4 = conv3d
+  /// [C,D,H,W]).
+  std::size_t neuron_offset(const Shape& output_shape) const;
+
+  /// Flat offset into a weight tensor of the given shape (rank 2 =
+  /// linear [OUT,IN], rank 4 = conv2d [OC,IC,KH,KW], rank 5 = conv3d).
+  std::size_t weight_offset(const Shape& weight_shape) const;
+
+  /// Applies this fault's value transformation to `original`.
+  float corrupt(float original) const;
+
+  std::string to_string() const;
+};
+
+/// One applied fault with before/after values, recorded during the run
+/// (paper §IV.B: the second binary file holds "the original and altered
+/// values of the neuron/weight before and after the fault injection
+/// run", plus the flip direction).
+struct InjectionRecord {
+  Fault fault;
+  std::size_t inference_index = 0;  // which iterator step applied it
+  float original_value = 0.0f;
+  float corrupted_value = 0.0f;
+  std::string flip_direction;  // "0->1" / "1->0" for bit flips, else ""
+};
+
+}  // namespace alfi::core

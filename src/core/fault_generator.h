@@ -1,0 +1,36 @@
+// Fault generation: Scenario + ModelProfile -> FaultMatrix.
+//
+// Implements the paper's pre-generation step (§V.C): n = dataset_size *
+// num_runs * max_faults_per_image faults are drawn before the inference
+// run.  Layer choice is either uniform over the eligible layers or
+// weighted by relative layer size (Eq. (1)); the location within the
+// layer is uniform over the weight / output tensor; the value is a bit
+// position from rnd_bit_range or a number from rnd_value_range.
+#pragma once
+
+#include "core/fault_matrix.h"
+#include "core/model_profile.h"
+#include "core/scenario.h"
+#include "util/rng.h"
+
+namespace alfi::core {
+
+/// Indices (into profile.layers()) of the layers the scenario allows.
+/// Throws ConfigError if the restrictions exclude every layer.
+std::vector<std::size_t> eligible_layers(const Scenario& scenario,
+                                         const ModelProfile& profile);
+
+/// Draws one fault into the given layer of the profile.
+Fault generate_fault_in_layer(const Scenario& scenario, const LayerInfo& layer,
+                              Rng& rng);
+
+/// Draws one fault with scenario-driven layer selection.
+Fault generate_fault(const Scenario& scenario, const ModelProfile& profile,
+                     const std::vector<std::size_t>& eligible,
+                     const std::vector<double>& layer_weights, Rng& rng);
+
+/// Pre-generates the whole campaign's fault matrix (n columns).
+FaultMatrix generate_fault_matrix(const Scenario& scenario,
+                                  const ModelProfile& profile, Rng& rng);
+
+}  // namespace alfi::core

@@ -1,0 +1,58 @@
+// FaultMatrix: the pre-generated set of faults for a whole campaign,
+// plus its binary persistence format.
+//
+// Pre-generating *all* faults before the inference run (and persisting
+// them) is the paper's central validation-efficiency mechanism: "the
+// identical set of faults can be utilized across various experiments to
+// evaluate the impact of model modifications on fault mitigation"
+// (§IV.B).  A second file of InjectionRecords is written after the run.
+#pragma once
+
+#include <vector>
+
+#include "core/fault.h"
+#include "io/json.h"
+
+namespace alfi::core {
+
+class FaultMatrix {
+ public:
+  FaultMatrix() = default;
+  explicit FaultMatrix(std::vector<Fault> faults) : faults_(std::move(faults)) {}
+
+  std::size_t size() const { return faults_.size(); }
+  bool empty() const { return faults_.empty(); }
+  const Fault& at(std::size_t column) const;
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  void push_back(Fault fault) { faults_.push_back(fault); }
+
+  /// Columns [begin, begin+count) as a sub-matrix (used by the iterator
+  /// to hand out max_faults_per_image faults per step).
+  std::vector<Fault> slice(std::size_t begin, std::size_t count) const;
+
+  /// Table I view: row-major 7xN matrix (Batch, Layer, Channel, Depth,
+  /// Height, Width, Value) for neuron faults; weight faults map
+  /// (Layer, OutCh, InCh, Depth, Height, Width, Value).
+  std::vector<std::vector<std::int64_t>> table_rows() const;
+
+  // ---- persistence -----------------------------------------------------------
+  void save(const std::string& path) const;
+  static FaultMatrix load(const std::string& path);
+
+  io::Json to_json() const;
+
+  bool operator==(const FaultMatrix& other) const { return faults_ == other.faults_; }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+bool operator==(const Fault& a, const Fault& b);
+
+/// Persistence of the post-run corruption trace.
+void save_injection_records(const std::vector<InjectionRecord>& records,
+                            const std::string& path);
+std::vector<InjectionRecord> load_injection_records(const std::string& path);
+
+}  // namespace alfi::core

@@ -1,0 +1,147 @@
+#include "core/hw_injector.h"
+
+#include "nn/layers.h"
+#include "tensor/bits.h"
+
+namespace alfi::core {
+
+const char* to_string(MacFaultKind kind) {
+  switch (kind) {
+    case MacFaultKind::kStuckAt1: return "stuck_at_1";
+    case MacFaultKind::kStuckAt0: return "stuck_at_0";
+    case MacFaultKind::kFlipFinal: return "flip_final";
+  }
+  return "?";
+}
+
+float faulty_accumulate(const std::vector<float>& products, float bias, int bit_pos,
+                        MacFaultKind kind) {
+  float acc = bias;
+  for (const float p : products) {
+    acc += p;
+    switch (kind) {
+      case MacFaultKind::kStuckAt1:
+        acc = bits::set_bit(acc, bit_pos, true);
+        break;
+      case MacFaultKind::kStuckAt0:
+        acc = bits::set_bit(acc, bit_pos, false);
+        break;
+      case MacFaultKind::kFlipFinal:
+        break;  // applied after the loop
+    }
+  }
+  if (kind == MacFaultKind::kFlipFinal) acc = bits::flip_bit(acc, bit_pos);
+  return acc;
+}
+
+HwMacInjector::HwMacInjector(nn::Module& model, const ModelProfile& profile)
+    : model_(model),
+      profile_(profile),
+      faults_by_layer_(profile.layer_count()) {
+  hook_handles_.reserve(profile.layer_count());
+  for (std::size_t i = 0; i < profile.layer_count(); ++i) {
+    hook_handles_.push_back(profile.layer(i).module->register_forward_hook(
+        [this, i](nn::Module&, const Tensor& input, Tensor& output) {
+          if (!faults_by_layer_[i].empty()) apply(i, input, output);
+        }));
+  }
+}
+
+HwMacInjector::~HwMacInjector() {
+  for (std::size_t i = 0; i < hook_handles_.size(); ++i) {
+    profile_.layer(i).module->remove_forward_hook(hook_handles_[i]);
+  }
+}
+
+void HwMacInjector::arm(const MacFault& fault) {
+  ALFI_CHECK(fault.layer < profile_.layer_count(), "MAC fault layer out of range");
+  const LayerInfo& layer = profile_.layer(fault.layer);
+  ALFI_CHECK(layer.kind == nn::LayerKind::kConv2d,
+             "MAC-lane faults model conv2d accelerator lanes; layer " +
+                 layer.path + " is " + nn::layer_kind_name(layer.kind));
+  ALFI_CHECK(fault.output_channel < layer.weight_shape[0],
+             "MAC fault output channel out of range");
+  bits::check_bit(fault.bit_pos);
+  faults_by_layer_[fault.layer].push_back(fault);
+}
+
+void HwMacInjector::disarm() {
+  for (auto& faults : faults_by_layer_) faults.clear();
+}
+
+std::size_t HwMacInjector::armed_count() const {
+  std::size_t count = 0;
+  for (const auto& faults : faults_by_layer_) count += faults.size();
+  return count;
+}
+
+void HwMacInjector::apply(std::size_t layer_index, const Tensor& input,
+                          Tensor& output) {
+  const LayerInfo& info = profile_.layer(layer_index);
+  auto* conv = dynamic_cast<nn::Conv2d*>(info.module);
+  ALFI_CHECK(conv != nullptr, "MAC fault armed on non-Conv2d layer");
+  const nn::Parameter* weight = conv->weight_param();
+  const nn::Parameter* bias = conv->bias_param();
+
+  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t kh = weight->value.dim(2), kw = weight->value.dim(3);
+  const std::size_t oh = output.dim(2), ow = output.dim(3);
+  const std::size_t oc = output.dim(1);
+  const std::size_t stride = conv->stride();
+  const std::size_t padding = conv->padding();
+
+  for (const MacFault& fault : faults_by_layer_[layer_index]) {
+    const std::size_t c = fault.output_channel;
+    ALFI_CHECK(c < oc, "MAC fault channel out of range for output");
+    ++applications_;
+    for (std::size_t sample = 0; sample < n; ++sample) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          // faulty accumulation chain over the receptive field
+          float acc = bias->value.flat(c);
+          for (std::size_t ci = 0; ci < ic; ++ci) {
+            for (std::size_t ky = 0; ky < kh; ++ky) {
+              for (std::size_t kx = 0; kx < kw; ++kx) {
+                const std::ptrdiff_t y =
+                    static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                    static_cast<std::ptrdiff_t>(padding);
+                const std::ptrdiff_t x =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(padding);
+                if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(h) ||
+                    x >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                const float iv =
+                    input.raw()[((sample * ic + ci) * h +
+                                 static_cast<std::size_t>(y)) *
+                                    w +
+                                static_cast<std::size_t>(x)];
+                const float wv =
+                    weight->value.raw()[((c * ic + ci) * kh + ky) * kw + kx];
+                acc += iv * wv;
+                switch (fault.kind) {
+                  case MacFaultKind::kStuckAt1:
+                    acc = bits::set_bit(acc, fault.bit_pos, true);
+                    break;
+                  case MacFaultKind::kStuckAt0:
+                    acc = bits::set_bit(acc, fault.bit_pos, false);
+                    break;
+                  case MacFaultKind::kFlipFinal:
+                    break;
+                }
+              }
+            }
+          }
+          if (fault.kind == MacFaultKind::kFlipFinal) {
+            acc = bits::flip_bit(acc, fault.bit_pos);
+          }
+          output.raw()[((sample * oc + c) * oh + oy) * ow + ox] = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace alfi::core

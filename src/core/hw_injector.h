@@ -1,0 +1,89 @@
+// Hardware-level (MAC-unit) fault injection — the replaceable injector
+// of paper §V.G.
+//
+// "First tests have been performed to integrate a fault injection
+//  method that relies on low-level ML library primitives to provide a
+//  more realistic fault behaviour based on faults in specific HW units
+//  that perform the MAC operations in Convolutional Neural Networks"
+//  (citing Omland et al., "API-based Hardware Fault Simulation for DNN
+//  Accelerators").
+//
+// This injector models a faulty multiply-accumulate unit in a weight-
+// stationary accelerator lane: one output channel of one conv2d layer
+// is computed by one MAC lane, and that lane's accumulator register has
+// a defective bit.  Unlike the application-level Injector (one corrupted
+// value), a faulty MAC corrupts *every* partial sum that flows through
+// the lane — the whole output channel, every spatial position, every
+// image.
+//
+// Implementation: a forward hook recomputes the affected channel from
+// the layer's (hook-provided) input with a bit-faulty accumulation loop
+// and overwrites it in the output tensor, so the mechanism composes with
+// everything else built on hooks (monitors, mitigations, the campaign
+// harnesses).
+#pragma once
+
+#include <vector>
+
+#include "core/model_profile.h"
+#include "core/scenario.h"
+
+namespace alfi::core {
+
+enum class MacFaultKind {
+  /// The accumulator bit is stuck at 1: forced after every accumulation.
+  kStuckAt1,
+  /// The accumulator bit is stuck at 0.
+  kStuckAt0,
+  /// The bit flips once, after the final accumulation (mildest model —
+  /// equivalent to a neuron fault applied to the whole channel).
+  kFlipFinal,
+};
+
+const char* to_string(MacFaultKind kind);
+
+/// One faulty MAC lane.
+struct MacFault {
+  std::size_t layer = 0;           // injectable-layer index (must be conv2d)
+  std::size_t output_channel = 0;  // the lane's channel
+  int bit_pos = 30;                // defective accumulator bit
+  MacFaultKind kind = MacFaultKind::kStuckAt1;
+};
+
+class HwMacInjector {
+ public:
+  /// `profile` must describe `model`; only conv2d layers can host MAC
+  /// faults (the accelerator-lane model is convolution-specific).
+  HwMacInjector(nn::Module& model, const ModelProfile& profile);
+  ~HwMacInjector();
+  HwMacInjector(const HwMacInjector&) = delete;
+  HwMacInjector& operator=(const HwMacInjector&) = delete;
+
+  /// Arms a faulty lane; throws if the layer is not conv2d or the
+  /// channel is out of range.  Multiple lanes may be armed at once.
+  void arm(const MacFault& fault);
+
+  void disarm();
+
+  std::size_t armed_count() const;
+
+  /// Total channel recomputations performed (for tests/benches).
+  std::size_t applications() const { return applications_; }
+
+ private:
+  void apply(std::size_t layer_index, const Tensor& input, Tensor& output);
+
+  nn::Module& model_;
+  const ModelProfile& profile_;
+  std::vector<nn::HookHandle> hook_handles_;
+  std::vector<std::vector<MacFault>> faults_by_layer_;
+  std::size_t applications_ = 0;
+};
+
+/// Reference semantics of one faulty accumulation chain: accumulates
+/// `products` with the defective bit applied per `kind`; exposed for
+/// tests.
+float faulty_accumulate(const std::vector<float>& products, float bias, int bit_pos,
+                        MacFaultKind kind);
+
+}  // namespace alfi::core

@@ -1,0 +1,124 @@
+#include "core/injector.h"
+
+#include "tensor/bits.h"
+
+namespace alfi::core {
+
+Injector::Injector(nn::Module& model, const ModelProfile& profile,
+                   FaultDuration duration)
+    : model_(model),
+      profile_(profile),
+      duration_(duration),
+      neuron_faults_by_layer_(profile.layer_count()) {
+  hook_handles_.reserve(profile.layer_count());
+  for (std::size_t i = 0; i < profile.layer_count(); ++i) {
+    hook_handles_.push_back(profile.layer(i).module->register_forward_hook(
+        [this, i](nn::Module&, const Tensor&, Tensor& output) {
+          apply_neuron_faults(i, output);
+        }));
+  }
+}
+
+Injector::~Injector() {
+  restore_all_weights();
+  for (std::size_t i = 0; i < hook_handles_.size(); ++i) {
+    profile_.layer(i).module->remove_forward_hook(hook_handles_[i]);
+  }
+}
+
+void Injector::arm(std::vector<Fault> faults) {
+  for (Fault& fault : faults) {
+    ALFI_CHECK(fault.layer >= 0 &&
+                   static_cast<std::size_t>(fault.layer) < profile_.layer_count(),
+               "fault layer index out of range");
+    if (fault.target == FaultTarget::kWeights) {
+      apply_weight_fault(fault);
+    } else {
+      neuron_faults_by_layer_[static_cast<std::size_t>(fault.layer)].push_back(fault);
+    }
+  }
+}
+
+void Injector::disarm() {
+  for (auto& layer_faults : neuron_faults_by_layer_) layer_faults.clear();
+  if (duration_ == FaultDuration::kTransient) restore_all_weights();
+}
+
+void Injector::restore_all_weights() {
+  // Restore in reverse order so overlapping corruptions of one weight
+  // unwind to the true original value.
+  for (auto it = weight_restores_.rbegin(); it != weight_restores_.rend(); ++it) {
+    it->param->value.flat(it->offset) = it->original;
+  }
+  weight_restores_.clear();
+}
+
+std::size_t Injector::armed_neuron_fault_count() const {
+  std::size_t count = 0;
+  for (const auto& layer_faults : neuron_faults_by_layer_) count += layer_faults.size();
+  return count;
+}
+
+void Injector::apply_weight_fault(const Fault& fault) {
+  const LayerInfo& layer = profile_.layer(static_cast<std::size_t>(fault.layer));
+  nn::Parameter* weight = layer.module->weight_param();
+  ALFI_CHECK(weight != nullptr, "weight fault on weight-less layer");
+  const std::size_t offset = fault.weight_offset(weight->value.shape());
+
+  const float original = weight->value.flat(offset);
+  const float corrupted = fault.corrupt(original);
+  weight->value.flat(offset) = corrupted;
+  weight_restores_.push_back({weight, offset, original});
+
+  InjectionRecord record;
+  record.fault = fault;
+  record.inference_index = inference_index_;
+  record.original_value = original;
+  record.corrupted_value = corrupted;
+  if (fault.value_type != ValueType::kRandomValue && fault.bit_pos >= 0 &&
+      original != corrupted) {
+    record.flip_direction = bits::flip_direction(original, fault.bit_pos);
+  }
+  records_.push_back(std::move(record));
+}
+
+void Injector::apply_neuron_faults(std::size_t layer_index, Tensor& output) {
+  const std::vector<Fault>& faults = neuron_faults_by_layer_[layer_index];
+  if (faults.empty()) return;
+
+  ALFI_CHECK(output.rank() >= 2, "hooked layer output must be batched");
+  const std::size_t batch = output.dim(0);
+  const std::size_t per_sample = output.numel() / batch;
+  const std::vector<std::size_t> sample_dims(output.shape().dims().begin() + 1,
+                                             output.shape().dims().end());
+  const Shape sample_shape{sample_dims};
+
+  for (const Fault& fault : faults) {
+    const std::size_t offset = fault.neuron_offset(sample_shape);
+    const std::size_t first_slot =
+        fault.batch < 0 ? 0 : static_cast<std::size_t>(fault.batch);
+    if (fault.batch >= 0 && first_slot >= batch) continue;
+    const std::size_t last_slot = fault.batch < 0 ? batch - 1 : first_slot;
+
+    for (std::size_t slot = first_slot; slot <= last_slot; ++slot) {
+      float& cell = output.flat(slot * per_sample + offset);
+      const float original = cell;
+      const float corrupted = fault.corrupt(original);
+      cell = corrupted;
+
+      InjectionRecord record;
+      record.fault = fault;
+      record.fault.batch = static_cast<std::int64_t>(slot);
+      record.inference_index = inference_index_;
+      record.original_value = original;
+      record.corrupted_value = corrupted;
+      if (fault.value_type != ValueType::kRandomValue && fault.bit_pos >= 0 &&
+          original != corrupted) {
+        record.flip_direction = bits::flip_direction(original, fault.bit_pos);
+      }
+      records_.push_back(std::move(record));
+    }
+  }
+}
+
+}  // namespace alfi::core

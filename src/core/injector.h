@@ -1,0 +1,82 @@
+// Injector: applies armed faults to one model instance.
+//
+// Two mechanisms, exactly as in PyTorchFI (paper §II):
+//   * Neuron faults — forward hooks registered on every injectable
+//     layer corrupt the layer's output tensor in place while faults are
+//     armed.  "Hooks are used for fault injection in neurons, since the
+//     values of the tensor position that are to be corrupted are only
+//     determined during run time."
+//   * Weight faults — the parameter tensor is mutated directly when the
+//     fault is armed and restored when disarmed (transient) or kept
+//     across arm/disarm cycles (permanent), since "weights are defined
+//     before the inference run".
+//
+// Every application is logged as an InjectionRecord (original value,
+// corrupted value, flip direction) for the post-run binary trace file.
+#pragma once
+
+#include <vector>
+
+#include "core/fault_matrix.h"
+#include "core/model_profile.h"
+
+namespace alfi::core {
+
+class Injector {
+ public:
+  /// `profile` must have been built from this same `model`.
+  Injector(nn::Module& model, const ModelProfile& profile,
+           FaultDuration duration = FaultDuration::kTransient);
+
+  /// Removes all hooks and restores every corrupted weight.
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Arms a set of faults: weight faults are applied immediately,
+  /// neuron faults fire on every subsequent forward until disarmed.
+  /// A fault's `batch` field selects the sample slot (-1 = all slots;
+  /// slots beyond the actual batch are ignored).
+  void arm(std::vector<Fault> faults);
+
+  /// Disarms neuron faults and (for transient duration) restores weights.
+  void disarm();
+
+  /// Restores every weight corruption, including permanent ones.
+  void restore_all_weights();
+
+  /// Labels subsequent records with the current iterator step.
+  void set_inference_index(std::size_t index) { inference_index_ = index; }
+
+  const std::vector<InjectionRecord>& records() const { return records_; }
+  void clear_records() { records_.clear(); }
+
+  std::size_t armed_neuron_fault_count() const;
+  std::size_t pending_weight_restores() const { return weight_restores_.size(); }
+
+  FaultDuration duration() const { return duration_; }
+  void set_duration(FaultDuration duration) { duration_ = duration; }
+
+ private:
+  void apply_neuron_faults(std::size_t layer_index, Tensor& output);
+  void apply_weight_fault(const Fault& fault);
+
+  struct WeightRestore {
+    nn::Parameter* param;
+    std::size_t offset;
+    float original;
+  };
+
+  nn::Module& model_;
+  const ModelProfile& profile_;
+  FaultDuration duration_;
+  std::vector<nn::HookHandle> hook_handles_;
+  /// Armed neuron faults grouped by injectable-layer index.
+  std::vector<std::vector<Fault>> neuron_faults_by_layer_;
+  std::vector<WeightRestore> weight_restores_;
+  std::vector<InjectionRecord> records_;
+  std::size_t inference_index_ = 0;
+};
+
+}  // namespace alfi::core

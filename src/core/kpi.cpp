@@ -1,0 +1,219 @@
+#include "core/kpi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace alfi::core {
+
+TopK topk_of_logits(std::span<const float> logits, std::size_t k) {
+  // softmax over the row (numerically stable)
+  float maxv = -std::numeric_limits<float>::infinity();
+  for (const float v : logits) {
+    if (!std::isnan(v)) maxv = std::max(maxv, v);
+  }
+  std::vector<float> probs(logits.size(), 0.0f);
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float v = logits[i];
+    probs[i] = std::isnan(v) ? 0.0f : static_cast<float>(std::exp(v - maxv));
+    total += probs[i];
+  }
+  if (total > 0.0) {
+    for (float& p : probs) p = static_cast<float>(p / total);
+  }
+
+  TopK out;
+  out.classes = ops::topk_indices(logits, k);
+  out.probs.reserve(out.classes.size());
+  for (const std::size_t c : out.classes) out.probs.push_back(probs[c]);
+  return out;
+}
+
+namespace {
+
+/// Matches of one class in one image at one IoU threshold: marks each
+/// detection TP/FP greedily by descending score.
+struct ClassDetections {
+  std::vector<float> scores;
+  std::vector<bool> true_positive;
+};
+
+ClassDetections match_class(
+    const std::vector<data::Annotation>& ground_truth,
+    const std::vector<models::Detection>& detections, std::size_t category,
+    float iou_threshold) {
+  std::vector<const data::Annotation*> gts;
+  for (const data::Annotation& gt : ground_truth) {
+    if (gt.category_id == category) gts.push_back(&gt);
+  }
+  std::vector<const models::Detection*> dets;
+  for (const models::Detection& det : detections) {
+    if (det.category == category) dets.push_back(&det);
+  }
+  std::stable_sort(dets.begin(), dets.end(),
+                   [](const models::Detection* a, const models::Detection* b) {
+                     return a->score > b->score;
+                   });
+
+  ClassDetections out;
+  std::vector<bool> gt_used(gts.size(), false);
+  for (const models::Detection* det : dets) {
+    float best_iou = 0.0f;
+    std::size_t best_gt = gts.size();
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      if (gt_used[g]) continue;
+      const float overlap = data::iou(det->box, gts[g]->bbox);
+      if (overlap >= iou_threshold && overlap > best_iou) {
+        best_iou = overlap;
+        best_gt = g;
+      }
+    }
+    out.scores.push_back(det->score);
+    if (best_gt < gts.size()) {
+      gt_used[best_gt] = true;
+      out.true_positive.push_back(true);
+    } else {
+      out.true_positive.push_back(false);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double average_precision(
+    const std::vector<std::vector<data::Annotation>>& ground_truth,
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t category, float iou_threshold) {
+  ALFI_CHECK(ground_truth.size() == detections.size(),
+             "ground truth / detection image counts differ");
+
+  // Pool detections across all images, keeping per-image matching.
+  struct Scored {
+    float score;
+    bool tp;
+  };
+  std::vector<Scored> pooled;
+  std::size_t gt_total = 0;
+  for (std::size_t img = 0; img < ground_truth.size(); ++img) {
+    for (const data::Annotation& gt : ground_truth[img]) {
+      if (gt.category_id == category) ++gt_total;
+    }
+    const ClassDetections matched =
+        match_class(ground_truth[img], detections[img], category, iou_threshold);
+    for (std::size_t i = 0; i < matched.scores.size(); ++i) {
+      pooled.push_back({matched.scores[i], matched.true_positive[i]});
+    }
+  }
+  if (gt_total == 0) return -1.0;  // class absent: COCO skips it
+
+  std::stable_sort(pooled.begin(), pooled.end(),
+                   [](const Scored& a, const Scored& b) { return a.score > b.score; });
+
+  // precision/recall curve
+  std::vector<double> precision, recall;
+  std::size_t tp = 0, fp = 0;
+  for (const Scored& s : pooled) {
+    if (s.tp) ++tp;
+    else ++fp;
+    precision.push_back(static_cast<double>(tp) / static_cast<double>(tp + fp));
+    recall.push_back(static_cast<double>(tp) / static_cast<double>(gt_total));
+  }
+
+  // monotone non-increasing precision envelope
+  for (std::size_t i = precision.size(); i-- > 1;) {
+    precision[i - 1] = std::max(precision[i - 1], precision[i]);
+  }
+
+  // 101-point interpolation (COCO)
+  double ap = 0.0;
+  std::size_t cursor = 0;
+  for (int r = 0; r <= 100; ++r) {
+    const double target = r / 100.0;
+    while (cursor < recall.size() && recall[cursor] < target) ++cursor;
+    ap += (cursor < precision.size()) ? precision[cursor] : 0.0;
+  }
+  return ap / 101.0;
+}
+
+CocoSummary evaluate_coco(
+    const std::vector<std::vector<data::Annotation>>& ground_truth,
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t num_classes) {
+  CocoSummary summary;
+  std::vector<float> thresholds;
+  for (float t = 0.50f; t < 0.96f; t += 0.05f) thresholds.push_back(t);
+
+  double ap_sum_5095 = 0.0;
+  std::size_t ap_terms = 0;
+  for (const float threshold : thresholds) {
+    double class_sum = 0.0;
+    std::size_t class_count = 0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const double ap = average_precision(ground_truth, detections, c, threshold);
+      if (ap < 0.0) continue;
+      class_sum += ap;
+      ++class_count;
+    }
+    if (class_count == 0) continue;
+    const double map_at_t = class_sum / static_cast<double>(class_count);
+    ap_sum_5095 += map_at_t;
+    ++ap_terms;
+    if (std::fabs(threshold - 0.50f) < 1e-4f) summary.ap_50 = map_at_t;
+    if (std::fabs(threshold - 0.75f) < 1e-4f) summary.ap_75 = map_at_t;
+  }
+  summary.ap_5095 = ap_terms == 0 ? 0.0 : ap_sum_5095 / static_cast<double>(ap_terms);
+
+  // AR: mean over classes and IoU thresholds of achieved recall.
+  double ar_sum = 0.0;
+  std::size_t ar_terms = 0;
+  for (const float threshold : thresholds) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      std::size_t gt_total = 0, tp = 0;
+      for (std::size_t img = 0; img < ground_truth.size(); ++img) {
+        for (const data::Annotation& gt : ground_truth[img]) {
+          if (gt.category_id == c) ++gt_total;
+        }
+        const ClassDetections matched =
+            match_class(ground_truth[img], detections[img], c, threshold);
+        for (const bool is_tp : matched.true_positive) {
+          if (is_tp) ++tp;
+        }
+      }
+      if (gt_total == 0) continue;
+      ar_sum += static_cast<double>(tp) / static_cast<double>(gt_total);
+      ++ar_terms;
+    }
+  }
+  summary.ar_100 = ar_terms == 0 ? 0.0 : ar_sum / static_cast<double>(ar_terms);
+  return summary;
+}
+
+bool detections_differ(const std::vector<models::Detection>& original,
+                       const std::vector<models::Detection>& faulty,
+                       float iou_threshold) {
+  // Greedy bidirectional matching: every original detection must have a
+  // same-class faulty counterpart and vice versa.
+  std::vector<bool> faulty_used(faulty.size(), false);
+  for (const models::Detection& orig : original) {
+    bool matched = false;
+    for (std::size_t i = 0; i < faulty.size(); ++i) {
+      if (faulty_used[i]) continue;
+      if (faulty[i].category == orig.category &&
+          data::iou(faulty[i].box, orig.box) >= iou_threshold) {
+        faulty_used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return true;  // FN introduced by the fault
+  }
+  for (const bool used : faulty_used) {
+    if (!used) return true;  // FP introduced by the fault
+  }
+  return false;
+}
+
+}  // namespace alfi::core

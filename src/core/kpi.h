@@ -1,0 +1,109 @@
+// KPI generation (paper §V.F).
+//
+// Classification: top-K records, SDE (silent data error: the fault
+// changed the top-1 class without announcing itself) and DUE (the
+// corruption surfaced as NaN/Inf) rates.
+//
+// Object detection: COCO-style AP/AR and the image-wise IVMOD metrics
+// of Qutub et al. [5] — IVMOD_SDE counts images whose *detections*
+// changed versus the fault-free run of the same model (new/missing/
+// re-classified objects), IVMOD_DUE counts images whose inference
+// produced NaN/Inf.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/detection.h"
+
+namespace alfi::core {
+
+// ---- classification ----------------------------------------------------------
+
+struct TopK {
+  std::vector<std::size_t> classes;  // descending by probability
+  std::vector<float> probs;
+};
+
+/// Top-k classes + softmax probabilities of one logits row.
+TopK topk_of_logits(std::span<const float> logits, std::size_t k);
+
+/// Aggregated classification campaign counters.
+struct ClassificationKpis {
+  std::size_t total = 0;
+  std::size_t orig_correct = 0;
+  std::size_t faulty_correct = 0;
+  std::size_t resil_correct = 0;
+  std::size_t sde = 0;         // top-1 changed, no DUE signal
+  std::size_t due = 0;         // NaN/Inf observed during faulty inference
+  std::size_t resil_sde = 0;   // SDE surviving the mitigation
+  bool has_resil = false;
+
+  double orig_accuracy() const { return ratio(orig_correct); }
+  double faulty_accuracy() const { return ratio(faulty_correct); }
+  double resil_accuracy() const { return ratio(resil_correct); }
+  double sde_rate() const { return ratio(sde); }
+  double due_rate() const { return ratio(due); }
+  double resil_sde_rate() const { return ratio(resil_sde); }
+
+ private:
+  double ratio(std::size_t count) const {
+    return total == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(total);
+  }
+};
+
+// ---- object detection ----------------------------------------------------------
+
+/// COCO-style evaluation summary.
+struct CocoSummary {
+  double ap_50 = 0.0;        // AP @ IoU 0.50
+  double ap_75 = 0.0;        // AP @ IoU 0.75
+  double ap_5095 = 0.0;      // AP @ IoU .50:.05:.95 (the COCO "AP")
+  double ar_100 = 0.0;       // AR @ IoU .50:.05:.95, up to 100 dets
+};
+
+/// Per-image inputs: ground truth and predictions aligned by index.
+CocoSummary evaluate_coco(
+    const std::vector<std::vector<data::Annotation>>& ground_truth,
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t num_classes);
+
+/// Average precision for one class at one IoU threshold (101-point
+/// COCO interpolation); exposed for tests.
+double average_precision(
+    const std::vector<std::vector<data::Annotation>>& ground_truth,
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t category, float iou_threshold);
+
+/// True if the faulty detection set differs from the fault-free one:
+/// any original detection without an IoU>=threshold same-class faulty
+/// counterpart (FN), or any faulty detection without an original
+/// counterpart (FP).
+bool detections_differ(const std::vector<models::Detection>& original,
+                       const std::vector<models::Detection>& faulty,
+                       float iou_threshold = 0.5f);
+
+struct IvmodKpis {
+  std::size_t total = 0;
+  std::size_t sde_images = 0;
+  std::size_t due_images = 0;
+  std::size_t resil_sde_images = 0;
+  bool has_resil = false;
+
+  double sde_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(sde_images) / static_cast<double>(total);
+  }
+  double due_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(due_images) / static_cast<double>(total);
+  }
+  double resil_sde_rate() const {
+    return total == 0
+               ? 0.0
+               : static_cast<double>(resil_sde_images) / static_cast<double>(total);
+  }
+};
+
+}  // namespace alfi::core

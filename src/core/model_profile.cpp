@@ -1,0 +1,67 @@
+#include "core/model_profile.h"
+
+namespace alfi::core {
+
+ModelProfile::ModelProfile(nn::Module& model, const Tensor& sample_input) {
+  // Pass 1: collect injectable layers in traversal order.
+  model.for_each_module([this](const std::string& path, nn::Module& m) {
+    if (m.kind() == nn::LayerKind::kOther) return;
+    nn::Parameter* weight = m.weight_param();
+    ALFI_CHECK(weight != nullptr, "injectable layer without weight: " + path);
+    LayerInfo info;
+    info.index = layers_.size();
+    info.path = path;
+    info.module = &m;
+    info.kind = m.kind();
+    info.weight_shape = weight->value.shape();
+    info.weight_count = weight->value.numel();
+    layers_.push_back(std::move(info));
+  });
+  ALFI_CHECK(!layers_.empty(), "model has no injectable layers");
+
+  // Pass 2: probe forward with shape-recording hooks.
+  std::vector<nn::HookHandle> handles(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    LayerInfo* info = &layers_[i];
+    handles[i] = info->module->register_forward_hook(
+        [info](nn::Module&, const Tensor&, Tensor& output) {
+          ALFI_CHECK(output.rank() >= 2, "layer output must be batched");
+          std::vector<std::size_t> dims(output.shape().dims().begin() + 1,
+                                        output.shape().dims().end());
+          info->output_shape = Shape(dims);
+          info->neuron_count = info->output_shape.numel();
+        });
+  }
+  model.probe_forward(sample_input);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].module->remove_forward_hook(handles[i]);
+  }
+
+  for (const LayerInfo& info : layers_) {
+    ALFI_CHECK(info.neuron_count > 0,
+               "probe forward did not reach layer " + info.path);
+    total_weights_ += info.weight_count;
+    total_neurons_ += info.neuron_count;
+  }
+}
+
+const LayerInfo& ModelProfile::layer(std::size_t index) const {
+  ALFI_CHECK(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+std::vector<double> ModelProfile::size_weights(
+    const std::vector<std::size_t>& layer_indices, bool use_weights) const {
+  // Eq.(1): F_i = size_i / sum(size) — the denominator cancels in the
+  // weighted draw, so raw sizes are returned (weighted_index normalizes).
+  std::vector<double> weights;
+  weights.reserve(layer_indices.size());
+  for (const std::size_t index : layer_indices) {
+    const LayerInfo& info = layer(index);
+    weights.push_back(static_cast<double>(use_weights ? info.weight_count
+                                                      : info.neuron_count));
+  }
+  return weights;
+}
+
+}  // namespace alfi::core

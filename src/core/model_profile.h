@@ -1,0 +1,53 @@
+// Model profiling: enumerate injectable layers and their geometries.
+//
+// Fault generation needs, per injectable layer (conv2d / conv3d /
+// linear): its index among injectable layers (the "Layer" row of
+// Table I), its weight tensor shape, and its *output* tensor shape —
+// the latter is only known at run time, so the profiler performs one
+// probe inference with shape-recording hooks attached (the same
+// mechanism PyTorchFI uses to discover neuron geometries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace alfi::core {
+
+struct LayerInfo {
+  std::size_t index = 0;        // position among injectable layers, 0-based
+  std::string path;             // module path, e.g. "features.3"
+  nn::Module* module = nullptr;
+  nn::LayerKind kind = nn::LayerKind::kOther;
+  Shape weight_shape;           // conv2d [OC,IC,KH,KW]; conv3d +KD; linear [OUT,IN]
+  Shape output_shape;           // per-sample shape (batch axis stripped)
+  std::size_t weight_count = 0;
+  std::size_t neuron_count = 0; // elements of output_shape
+};
+
+class ModelProfile {
+ public:
+  /// Profiles `model` by walking its module tree and running one probe
+  /// forward with `sample_input` (a batch; batch size 1 is enough).
+  ModelProfile(nn::Module& model, const Tensor& sample_input);
+
+  const std::vector<LayerInfo>& layers() const { return layers_; }
+  std::size_t layer_count() const { return layers_.size(); }
+  const LayerInfo& layer(std::size_t index) const;
+
+  std::size_t total_weight_count() const { return total_weights_; }
+  std::size_t total_neuron_count() const { return total_neurons_; }
+
+  /// Eq.(1) weight factors F_i over the given layer subset, computed
+  /// from weight counts (weight faults) or neuron counts (neuron faults).
+  std::vector<double> size_weights(const std::vector<std::size_t>& layer_indices,
+                                   bool use_weights) const;
+
+ private:
+  std::vector<LayerInfo> layers_;
+  std::size_t total_weights_ = 0;
+  std::size_t total_neurons_ = 0;
+};
+
+}  // namespace alfi::core

@@ -1,0 +1,38 @@
+#include "core/monitor.h"
+
+namespace alfi::core {
+
+ModelMonitor::ModelMonitor(nn::Module& model) {
+  model.for_each_module([this](const std::string& path, nn::Module& m) {
+    if (!m.children().empty()) return;  // attach to leaf layers only
+    const nn::HookHandle handle = m.register_forward_hook(
+        [this, path](nn::Module&, const Tensor&, Tensor& output) {
+          observe(path, output);
+        });
+    attachments_.push_back({&m, handle});
+  });
+}
+
+ModelMonitor::~ModelMonitor() {
+  for (const Attachment& a : attachments_) {
+    a.module->remove_forward_hook(a.handle);
+  }
+}
+
+void ModelMonitor::reset() {
+  nan_layers_.clear();
+  inf_layers_.clear();
+}
+
+void ModelMonitor::add_custom(CustomMonitor monitor) {
+  ALFI_CHECK(static_cast<bool>(monitor), "custom monitor must not be empty");
+  custom_.push_back(std::move(monitor));
+}
+
+void ModelMonitor::observe(const std::string& path, const Tensor& output) {
+  if (output.has_nan()) nan_layers_.push_back(path);
+  if (output.has_inf()) inf_layers_.push_back(path);
+  for (const CustomMonitor& monitor : custom_) monitor(path, output);
+}
+
+}  // namespace alfi::core

@@ -1,0 +1,59 @@
+// Runtime monitors (paper §IV.B: "monitoring capabilities (enabling the
+// detection of NaN or Inf values and facilitating the integration of
+// custom monitoring)").
+//
+// A ModelMonitor attaches observation hooks to every leaf layer of a
+// model.  NaN / Inf detection feeds the DUE (Detected and Uncorrectable
+// Error) KPI; custom monitors receive every layer output and can record
+// arbitrary signals.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace alfi::core {
+
+class ModelMonitor {
+ public:
+  /// Observes a layer output: (module path, output tensor).
+  using CustomMonitor = std::function<void(const std::string& path, const Tensor& output)>;
+
+  explicit ModelMonitor(nn::Module& model);
+  ~ModelMonitor();
+  ModelMonitor(const ModelMonitor&) = delete;
+  ModelMonitor& operator=(const ModelMonitor&) = delete;
+
+  /// Clears detection state between inferences.
+  void reset();
+
+  bool nan_detected() const { return !nan_layers_.empty(); }
+  bool inf_detected() const { return !inf_layers_.empty(); }
+  /// DUE in the paper's sense: the corruption announced itself via
+  /// NaN/Inf instead of silently altering the output.
+  bool due_detected() const { return nan_detected() || inf_detected(); }
+
+  /// Paths of layers whose output contained NaN (first offender first).
+  const std::vector<std::string>& nan_layers() const { return nan_layers_; }
+  const std::vector<std::string>& inf_layers() const { return inf_layers_; }
+
+  /// Registers an additional custom monitor (runs on every leaf layer
+  /// output after the NaN/Inf scan).
+  void add_custom(CustomMonitor monitor);
+
+ private:
+  void observe(const std::string& path, const Tensor& output);
+
+  struct Attachment {
+    nn::Module* module;
+    nn::HookHandle handle;
+  };
+  std::vector<Attachment> attachments_;
+  std::vector<std::string> nan_layers_;
+  std::vector<std::string> inf_layers_;
+  std::vector<CustomMonitor> custom_;
+};
+
+}  // namespace alfi::core

@@ -1,0 +1,236 @@
+#include "core/scenario.h"
+
+#include "util/string_util.h"
+
+namespace alfi::core {
+
+const char* to_string(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::kNeurons: return "neurons";
+    case FaultTarget::kWeights: return "weights";
+  }
+  return "?";
+}
+
+const char* to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kBitFlip: return "bitflip";
+    case ValueType::kStuckAt0: return "stuck_at_0";
+    case ValueType::kStuckAt1: return "stuck_at_1";
+    case ValueType::kRandomValue: return "random_value";
+  }
+  return "?";
+}
+
+const char* to_string(InjectionPolicy policy) {
+  switch (policy) {
+    case InjectionPolicy::kPerImage: return "per_image";
+    case InjectionPolicy::kPerBatch: return "per_batch";
+    case InjectionPolicy::kPerEpoch: return "per_epoch";
+  }
+  return "?";
+}
+
+const char* to_string(FaultDuration duration) {
+  switch (duration) {
+    case FaultDuration::kTransient: return "transient";
+    case FaultDuration::kPermanent: return "permanent";
+  }
+  return "?";
+}
+
+FaultTarget fault_target_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "neurons" || t == "neuron") return FaultTarget::kNeurons;
+  if (t == "weights" || t == "weight") return FaultTarget::kWeights;
+  throw ConfigError("unknown fault target: " + text);
+}
+
+ValueType value_type_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "bitflip" || t == "bit_flip") return ValueType::kBitFlip;
+  if (t == "stuck_at_0" || t == "stuckat0") return ValueType::kStuckAt0;
+  if (t == "stuck_at_1" || t == "stuckat1") return ValueType::kStuckAt1;
+  if (t == "random_value" || t == "number") return ValueType::kRandomValue;
+  throw ConfigError("unknown value type: " + text);
+}
+
+InjectionPolicy injection_policy_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "per_image") return InjectionPolicy::kPerImage;
+  if (t == "per_batch") return InjectionPolicy::kPerBatch;
+  if (t == "per_epoch") return InjectionPolicy::kPerEpoch;
+  throw ConfigError("unknown injection policy: " + text);
+}
+
+FaultDuration fault_duration_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "transient") return FaultDuration::kTransient;
+  if (t == "permanent") return FaultDuration::kPermanent;
+  throw ConfigError("unknown fault duration: " + text);
+}
+
+namespace {
+
+nn::LayerKind layer_kind_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "conv2d") return nn::LayerKind::kConv2d;
+  if (t == "conv3d") return nn::LayerKind::kConv3d;
+  if (t == "linear" || t == "fcc" || t == "fully_connected") {
+    return nn::LayerKind::kLinear;
+  }
+  throw ConfigError("unknown layer type: " + text);
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  if (rnd_bit_range_lo < 0 || rnd_bit_range_hi > 31 ||
+      rnd_bit_range_lo > rnd_bit_range_hi) {
+    throw ConfigError("rnd_bit_range must satisfy 0 <= lo <= hi <= 31");
+  }
+  if (rnd_value_min > rnd_value_max) {
+    throw ConfigError("rnd_value_range must satisfy min <= max");
+  }
+  if (max_faults_per_image == 0) {
+    throw ConfigError("max_faults_per_image must be at least 1");
+  }
+  if (dataset_size == 0) throw ConfigError("dataset_size must be positive");
+  if (num_runs == 0) throw ConfigError("num_runs must be positive");
+  if (batch_size == 0) throw ConfigError("batch_size must be positive");
+  if (layer_range && layer_range->first > layer_range->second) {
+    throw ConfigError("layer_range must satisfy first <= last");
+  }
+  for (const nn::LayerKind kind : layer_types) {
+    if (kind == nn::LayerKind::kOther) {
+      throw ConfigError("layer_types may only list conv2d, conv3d, linear");
+    }
+  }
+}
+
+bool Scenario::allows_layer_kind(nn::LayerKind kind) const {
+  if (kind == nn::LayerKind::kOther) return false;
+  if (layer_types.empty()) return true;
+  for (const nn::LayerKind allowed : layer_types) {
+    if (allowed == kind) return true;
+  }
+  return false;
+}
+
+Scenario Scenario::from_yaml(const io::Json& tree) {
+  Scenario s;
+  if (tree.contains("fault_injection")) {
+    const io::Json& fi = tree.at("fault_injection");
+    if (fi.contains("target")) s.target = fault_target_from_string(fi.at("target").as_string());
+    if (fi.contains("value_type")) {
+      s.value_type = value_type_from_string(fi.at("value_type").as_string());
+    }
+    if (fi.contains("rnd_bit_range")) {
+      const auto& range = fi.at("rnd_bit_range").as_array();
+      if (range.size() != 2) throw ConfigError("rnd_bit_range needs two entries");
+      s.rnd_bit_range_lo = static_cast<int>(range[0].as_int());
+      s.rnd_bit_range_hi = static_cast<int>(range[1].as_int());
+    }
+    if (fi.contains("rnd_value_range")) {
+      const auto& range = fi.at("rnd_value_range").as_array();
+      if (range.size() != 2) throw ConfigError("rnd_value_range needs two entries");
+      s.rnd_value_min = static_cast<float>(range[0].as_number());
+      s.rnd_value_max = static_cast<float>(range[1].as_number());
+    }
+    if (fi.contains("duration")) {
+      s.duration = fault_duration_from_string(fi.at("duration").as_string());
+    }
+    if (fi.contains("inj_policy")) {
+      s.inj_policy = injection_policy_from_string(fi.at("inj_policy").as_string());
+    }
+    if (fi.contains("max_faults_per_image")) {
+      s.max_faults_per_image =
+          static_cast<std::size_t>(fi.at("max_faults_per_image").as_int());
+    }
+    if (fi.contains("layer_types")) {
+      s.layer_types.clear();
+      for (const io::Json& entry : fi.at("layer_types").as_array()) {
+        s.layer_types.push_back(layer_kind_from_string(entry.as_string()));
+      }
+    }
+    if (fi.contains("layer_range")) {
+      const auto& range = fi.at("layer_range").as_array();
+      if (range.empty()) {
+        s.layer_range.reset();
+      } else {
+        if (range.size() != 2) throw ConfigError("layer_range needs 0 or 2 entries");
+        s.layer_range = {static_cast<std::size_t>(range[0].as_int()),
+                         static_cast<std::size_t>(range[1].as_int())};
+      }
+    }
+    if (fi.contains("weighted_layer_selection")) {
+      s.weighted_layer_selection = fi.at("weighted_layer_selection").as_bool();
+    }
+  }
+  if (tree.contains("run")) {
+    const io::Json& run = tree.at("run");
+    if (run.contains("dataset_size")) {
+      s.dataset_size = static_cast<std::size_t>(run.at("dataset_size").as_int());
+    }
+    if (run.contains("num_runs")) {
+      s.num_runs = static_cast<std::size_t>(run.at("num_runs").as_int());
+    }
+    if (run.contains("batch_size")) {
+      s.batch_size = static_cast<std::size_t>(run.at("batch_size").as_int());
+    }
+    if (run.contains("rnd_seed")) {
+      s.rnd_seed = static_cast<std::uint64_t>(run.at("rnd_seed").as_int());
+    }
+  }
+  s.validate();
+  return s;
+}
+
+Scenario Scenario::from_yaml_file(const std::string& path) {
+  return from_yaml(io::read_yaml_file(path));
+}
+
+io::Json Scenario::to_yaml() const {
+  io::Json tree = io::Json::object();
+  io::Json fi = io::Json::object();
+  fi["target"] = io::Json(to_string(target));
+  fi["value_type"] = io::Json(to_string(value_type));
+  io::Json bit_range = io::Json::array();
+  bit_range.push_back(io::Json(rnd_bit_range_lo));
+  bit_range.push_back(io::Json(rnd_bit_range_hi));
+  fi["rnd_bit_range"] = bit_range;
+  io::Json value_range = io::Json::array();
+  value_range.push_back(io::Json(static_cast<double>(rnd_value_min)));
+  value_range.push_back(io::Json(static_cast<double>(rnd_value_max)));
+  fi["rnd_value_range"] = value_range;
+  fi["duration"] = io::Json(to_string(duration));
+  fi["inj_policy"] = io::Json(to_string(inj_policy));
+  fi["max_faults_per_image"] = io::Json(max_faults_per_image);
+  io::Json types = io::Json::array();
+  for (const nn::LayerKind kind : layer_types) {
+    types.push_back(io::Json(nn::layer_kind_name(kind)));
+  }
+  fi["layer_types"] = types;
+  io::Json range = io::Json::array();
+  if (layer_range) {
+    range.push_back(io::Json(layer_range->first));
+    range.push_back(io::Json(layer_range->second));
+  }
+  fi["layer_range"] = range;
+  fi["weighted_layer_selection"] = io::Json(weighted_layer_selection);
+  tree["fault_injection"] = fi;
+
+  io::Json run = io::Json::object();
+  run["dataset_size"] = io::Json(dataset_size);
+  run["num_runs"] = io::Json(num_runs);
+  run["batch_size"] = io::Json(batch_size);
+  run["rnd_seed"] = io::Json(rnd_seed);
+  tree["run"] = run;
+  return tree;
+}
+
+void Scenario::save_yaml_file(const std::string& path) const {
+  io::write_yaml_file(path, to_yaml());
+}
+
+}  // namespace alfi::core

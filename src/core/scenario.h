@@ -1,0 +1,88 @@
+// Scenario: the campaign configuration read from scenarios/default.yml.
+//
+// Mirrors PyTorchALFI's scenario file (paper §IV.B, §V.C): the fault
+// model (bit flips in a bit range, stuck-at, or random values), the
+// injection target (neurons vs. weights), the injection policy
+// (per_image / per_batch / per_epoch), transient vs. permanent faults,
+// layer-type and layer-range restrictions, Eq.(1) size-weighted layer
+// selection, and the run geometry (dataset_size a, num_runs b,
+// max_faults_per_image c) from which the pre-generated fault count
+// n = a*b*c follows.
+//
+// Scenarios are value types: campaigns may copy, mutate and re-apply
+// them at run time (wrapper.get_scenario() / set_scenario(), §V.D).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/yaml.h"
+#include "nn/module.h"
+
+namespace alfi::core {
+
+enum class FaultTarget { kNeurons, kWeights };
+enum class ValueType { kBitFlip, kStuckAt0, kStuckAt1, kRandomValue };
+enum class InjectionPolicy { kPerImage, kPerBatch, kPerEpoch };
+enum class FaultDuration { kTransient, kPermanent };
+
+const char* to_string(FaultTarget target);
+const char* to_string(ValueType type);
+const char* to_string(InjectionPolicy policy);
+const char* to_string(FaultDuration duration);
+
+FaultTarget fault_target_from_string(const std::string& text);
+ValueType value_type_from_string(const std::string& text);
+InjectionPolicy injection_policy_from_string(const std::string& text);
+FaultDuration fault_duration_from_string(const std::string& text);
+
+struct Scenario {
+  // -- fault model ---------------------------------------------------------
+  FaultTarget target = FaultTarget::kNeurons;
+  ValueType value_type = ValueType::kBitFlip;
+  /// Inclusive fp32 bit range faults are drawn from (31 = sign,
+  /// 30..23 = exponent, 22..0 = mantissa).
+  int rnd_bit_range_lo = 0;
+  int rnd_bit_range_hi = 31;
+  /// Range for ValueType::kRandomValue.
+  float rnd_value_min = -1.0f;
+  float rnd_value_max = 1.0f;
+  FaultDuration duration = FaultDuration::kTransient;
+  InjectionPolicy inj_policy = InjectionPolicy::kPerImage;
+  std::size_t max_faults_per_image = 1;
+
+  // -- fault location restrictions ------------------------------------------
+  /// Injectable layer kinds; empty = all of conv2d/conv3d/linear.
+  std::vector<nn::LayerKind> layer_types;
+  /// Inclusive [first, last] injectable-layer index range; nullopt = all.
+  std::optional<std::pair<std::size_t, std::size_t>> layer_range;
+  /// Eq.(1): weight layer choice by relative layer size.
+  bool weighted_layer_selection = true;
+
+  // -- run geometry -----------------------------------------------------------
+  std::size_t dataset_size = 100;  // a
+  std::size_t num_runs = 1;        // b (epochs over the dataset)
+  std::size_t batch_size = 8;
+  std::uint64_t rnd_seed = 12345;
+
+  /// n = dataset_size * num_runs * max_faults_per_image (paper §V.C).
+  std::size_t total_faults() const {
+    return dataset_size * num_runs * max_faults_per_image;
+  }
+
+  /// Throws ConfigError when any field combination is invalid.
+  void validate() const;
+
+  /// True if `kind` may receive faults under this scenario.
+  bool allows_layer_kind(nn::LayerKind kind) const;
+
+  // -- (de)serialization --------------------------------------------------------
+  static Scenario from_yaml(const io::Json& tree);
+  static Scenario from_yaml_file(const std::string& path);
+  io::Json to_yaml() const;
+  void save_yaml_file(const std::string& path) const;
+};
+
+}  // namespace alfi::core

@@ -1,0 +1,308 @@
+#include "core/test_img_class.h"
+
+#include <cmath>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <tuple>
+
+#include "io/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace alfi::core {
+
+namespace {
+
+/// One sample of probe input so the wrapper can profile layer geometry.
+Tensor probe_input(const data::ClassificationDataset& dataset) {
+  const data::ClassificationSample sample = dataset.get(0);
+  const Shape& s = sample.image.shape();
+  return sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+}
+
+std::string fmt_float(float v) { return strformat("%.6g", v); }
+
+/// Serializes the fault group applied to one image as a compact string:
+/// "layer:c_out:c_in:d:h:w:bit" entries joined by ';'.
+std::string faults_to_field(const std::vector<Fault>& faults) {
+  std::vector<std::string> parts;
+  parts.reserve(faults.size());
+  for (const Fault& f : faults) {
+    parts.push_back(strformat("%lld:%lld:%lld:%lld:%lld:%lld:%d",
+                              static_cast<long long>(f.layer),
+                              static_cast<long long>(f.channel_out),
+                              static_cast<long long>(f.channel_in),
+                              static_cast<long long>(f.depth),
+                              static_cast<long long>(f.height),
+                              static_cast<long long>(f.width), f.bit_pos));
+  }
+  return join(parts, ";");
+}
+
+bool row_has_nonfinite(std::span<const float> row) {
+  for (const float v : row) {
+    if (std::isnan(v) || std::isinf(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TestErrorModelsImgClass::TestErrorModelsImgClass(
+    nn::Module& model, const data::ClassificationDataset& dataset, Scenario scenario,
+    ImgClassCampaignConfig config)
+    : model_(model),
+      dataset_(dataset),
+      config_(std::move(config)),
+      wrapper_(model, std::move(scenario), probe_input(dataset)) {
+  ALFI_CHECK(wrapper_.get_scenario().dataset_size <= dataset.size(),
+             "scenario dataset_size exceeds the dataset");
+  // The tightly-coupled triple shares one model instance, so weight
+  // corruption must be restorable between the three passes; persistence
+  // across inferences is modeled by the injection policy instead.
+  if (wrapper_.get_scenario().duration != FaultDuration::kTransient) {
+    throw ConfigError(
+        "the coupled campaign harness requires transient duration; "
+        "use inj_policy per_epoch to model persistent faults");
+  }
+  if (!config_.fault_file.empty()) wrapper_.load_fault_matrix(config_.fault_file);
+}
+
+ImgClassCampaignResult TestErrorModelsImgClass::run() {
+  const Scenario& scenario = wrapper_.get_scenario();
+  ImgClassCampaignResult result;
+  const bool write_outputs = !config_.output_dir.empty();
+
+  std::unique_ptr<io::CsvWriter> results_csv;
+  std::unique_ptr<io::CsvWriter> fault_free_csv;
+  if (write_outputs) {
+    std::filesystem::create_directories(config_.output_dir);
+    const std::string base = config_.output_dir + "/" + config_.model_name;
+
+    result.scenario_yml = base + "_scenario.yml";
+    io::Json meta = scenario.to_yaml();
+    meta["meta"]["model"] = io::Json(config_.model_name);
+    meta["meta"]["dataset"] = io::Json(dataset_.name());
+    meta["meta"]["mitigation"] =
+        io::Json(config_.mitigation ? to_string(*config_.mitigation) : "none");
+    io::write_yaml_file(result.scenario_yml, meta);
+
+    result.fault_bin = base + "_faults.bin";
+    wrapper_.save_fault_matrix(result.fault_bin);
+
+    std::vector<std::string> header{"image_id", "file_name", "gt_label",
+                                    "due",      "sde",       "faults"};
+    for (const char* which : {"orig", "corr", "resil"}) {
+      for (std::size_t k = 1; k <= config_.top_k; ++k) {
+        header.push_back(strformat("%s_top%zu_class", which, k));
+        header.push_back(strformat("%s_top%zu_prob", which, k));
+      }
+    }
+    result.results_csv = base + "_results.csv";
+    results_csv = std::make_unique<io::CsvWriter>(result.results_csv, header);
+
+    std::vector<std::string> ff_header{"image_id", "file_name", "gt_label"};
+    for (std::size_t k = 1; k <= config_.top_k; ++k) {
+      ff_header.push_back(strformat("top%zu_class", k));
+      ff_header.push_back(strformat("top%zu_prob", k));
+    }
+    result.fault_free_csv = base + "_fault_free.csv";
+    fault_free_csv = std::make_unique<io::CsvWriter>(result.fault_free_csv, ff_header);
+  }
+
+  // Hardened path: profile activation bounds on fault-free calibration
+  // batches, install the (toggleable) protection.
+  data::ClassificationLoader loader(dataset_, scenario.batch_size);
+  std::unique_ptr<Protection> protection;
+  if (config_.mitigation) {
+    std::vector<Tensor> calibration;
+    const std::size_t count =
+        std::min(config_.calibration_batches, loader.num_batches());
+    ALFI_CHECK(count > 0, "no calibration batches available");
+    for (std::size_t b = 0; b < count; ++b) {
+      calibration.push_back(loader.batch(b).images);
+    }
+    const RangeMap bounds = profile_activation_ranges(model_, calibration);
+    protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
+    protection->set_enabled(false);
+  }
+
+  ModelMonitor monitor(model_);
+  FaultModelIterator iterator = wrapper_.get_fimodel_iter();
+  ClassificationKpis kpis;
+  kpis.has_resil = config_.mitigation.has_value();
+
+  // Records the verdicts and CSV rows of one window of images evaluated
+  // under one armed fault group.  `images` holds `count` samples;
+  // `fault_group_for(i)` names the fault columns reported for image i.
+  const auto evaluate_window =
+      [&](const Tensor& orig_logits, const Tensor& corr_logits,
+          const Tensor* resil_logits, std::span<const std::size_t> labels,
+          std::span<const data::ImageMeta> metas, bool window_monitor_due,
+          std::size_t epoch,
+          const std::function<std::vector<Fault>(std::size_t)>& fault_group_for) {
+        const std::size_t k = orig_logits.dim(1);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          const std::span<const float> orig_row{orig_logits.raw() + i * k, k};
+          const std::span<const float> corr_row{corr_logits.raw() + i * k, k};
+
+          const TopK orig_top = topk_of_logits(orig_row, config_.top_k);
+          const TopK corr_top = topk_of_logits(corr_row, config_.top_k);
+          TopK resil_top;
+          if (resil_logits != nullptr) {
+            const std::span<const float> resil_row{resil_logits->raw() + i * k, k};
+            resil_top = topk_of_logits(resil_row, config_.top_k);
+          }
+
+          const bool due = row_has_nonfinite(corr_row) || window_monitor_due;
+          const bool sde = !due && corr_top.classes[0] != orig_top.classes[0];
+
+          ++kpis.total;
+          kpis.orig_correct += orig_top.classes[0] == labels[i] ? 1 : 0;
+          kpis.faulty_correct += corr_top.classes[0] == labels[i] ? 1 : 0;
+          kpis.due += due ? 1 : 0;
+          kpis.sde += sde ? 1 : 0;
+          if (resil_logits != nullptr) {
+            kpis.resil_correct += resil_top.classes[0] == labels[i] ? 1 : 0;
+            kpis.resil_sde +=
+                (!due && resil_top.classes[0] != orig_top.classes[0]) ? 1 : 0;
+          }
+
+          if (write_outputs) {
+            std::vector<std::string> row{
+                std::to_string(metas[i].image_id), metas[i].file_name,
+                std::to_string(labels[i]), due ? "1" : "0", sde ? "1" : "0",
+                faults_to_field(fault_group_for(i))};
+            const auto push_topk = [&row, this](const TopK& top) {
+              for (std::size_t j = 0; j < config_.top_k; ++j) {
+                if (j < top.classes.size()) {
+                  row.push_back(std::to_string(top.classes[j]));
+                  row.push_back(fmt_float(top.probs[j]));
+                } else {
+                  row.push_back("");
+                  row.push_back("");
+                }
+              }
+            };
+            push_topk(orig_top);
+            push_topk(corr_top);
+            push_topk(resil_logits != nullptr ? resil_top : TopK{});
+            results_csv->write_row(row);
+
+            if (epoch == 0) {
+              std::vector<std::string> ff_row{std::to_string(metas[i].image_id),
+                                              metas[i].file_name,
+                                              std::to_string(labels[i])};
+              for (std::size_t j = 0; j < config_.top_k; ++j) {
+                if (j < orig_top.classes.size()) {
+                  ff_row.push_back(std::to_string(orig_top.classes[j]));
+                  ff_row.push_back(fmt_float(orig_top.probs[j]));
+                } else {
+                  ff_row.push_back("");
+                  ff_row.push_back("");
+                }
+              }
+              fault_free_csv->write_row(ff_row);
+            }
+          }
+        }
+      };
+
+  // Runs the coupled triple on one input window with the currently armed
+  // fault group; returns via evaluate_window.
+  const auto run_triple = [&](const Tensor& images,
+                              const std::function<void()>& arm) {
+    wrapper_.injector().disarm();
+    if (protection) protection->set_enabled(false);
+    const Tensor orig = model_.forward(images);
+
+    arm();
+    monitor.reset();
+    const Tensor corr = model_.forward(images);
+    const bool window_due = monitor.due_detected();
+
+    std::optional<Tensor> resil;
+    if (protection) {
+      protection->set_enabled(true);
+      resil = model_.forward(images);
+      protection->set_enabled(false);
+    }
+    wrapper_.injector().disarm();
+    return std::tuple<Tensor, Tensor, std::optional<Tensor>, bool>(
+        std::move(orig), std::move(corr), std::move(resil), window_due);
+  };
+
+  const std::size_t group = scenario.max_faults_per_image;
+
+  for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
+    if (scenario.inj_policy == InjectionPolicy::kPerImage) {
+      // One image per window: each image sees exactly its own fault
+      // group (required for per-image weight faults) and DUE verdicts
+      // attribute precisely.
+      for (std::size_t img = 0; img < scenario.dataset_size; ++img) {
+        const data::ClassificationSample sample = dataset_.get(img);
+        const Shape& s = sample.image.shape();
+        const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+        std::size_t group_start = 0;
+        const auto [orig, corr, resil, window_due] = run_triple(input, [&] {
+          iterator.next();
+          group_start = iterator.position() - group;
+        });
+        const std::size_t labels[1] = {sample.label};
+        const data::ImageMeta metas[1] = {sample.meta};
+        evaluate_window(orig, corr, resil ? &*resil : nullptr, labels, metas,
+                        window_due, epoch, [&](std::size_t) {
+                          return wrapper_.fault_matrix().slice(group_start, group);
+                        });
+      }
+    } else {
+      // Batched windows: one fault group per batch (per_batch) or per
+      // epoch (per_epoch).  DUE from the monitor is window-scoped, which
+      // matches the window-scoped fault group.
+      std::size_t epoch_group_start = 0;
+      if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
+        iterator.next();  // consume the epoch's group
+        epoch_group_start = iterator.position() - group;
+        wrapper_.injector().disarm();
+      }
+
+      std::size_t images_done = 0;
+      for (std::size_t b = 0; images_done < scenario.dataset_size; ++b) {
+        const data::ClassificationBatch batch = loader.batch(b);
+        const std::size_t use =
+            std::min(batch.size(), scenario.dataset_size - images_done);
+
+        std::size_t group_start = epoch_group_start;
+        const auto [orig, corr, resil, window_due] =
+            run_triple(batch.images, [&] {
+              if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
+                iterator.next();
+                group_start = iterator.position() - group;
+              } else {
+                wrapper_.injector().arm(
+                    wrapper_.fault_matrix().slice(epoch_group_start, group));
+              }
+            });
+        evaluate_window(orig, corr, resil ? &*resil : nullptr,
+                        std::span<const std::size_t>(batch.labels.data(), use),
+                        std::span<const data::ImageMeta>(batch.metas.data(), use),
+                        window_due, epoch, [&](std::size_t) {
+                          return wrapper_.fault_matrix().slice(group_start, group);
+                        });
+        images_done += use;
+      }
+    }
+    wrapper_.injector().disarm();
+  }
+
+  if (write_outputs) {
+    result.trace_bin = config_.output_dir + "/" + config_.model_name + "_trace.bin";
+    save_injection_records(wrapper_.injector().records(), result.trace_bin);
+  }
+
+  result.kpis = kpis;
+  return result;
+}
+
+}  // namespace alfi::core

@@ -1,0 +1,75 @@
+// TestErrorModelsImgClass — the high-level classification campaign
+// harness (paper §V.B, test_error_models_imgclass.py).
+//
+// Runs the tightly-coupled triple (original / fault-injected / hardened
+// "resil" model) over a metadata-enriched dataset and produces the three
+// output sets of §V.F.1:
+//   a) meta-files: the effective scenario as YAML plus run metadata,
+//   b) binary fault files: the pre-generated fault matrix and the
+//      post-run corruption trace (original/corrupted values, flip
+//      directions),
+//   c) model outputs: per-image CSV with ground truth, top-K classes
+//      and probabilities for all three models, fault locations, and
+//      SDE/DUE verdicts; plus a separate fault-free CSV.
+//
+// "Tight coupling" means all three verdicts for one image come from the
+// same input tensor and the same armed fault set, so effects can be
+// analyzed "at a granular level of a single fault location and input
+// data point" (paper §I).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/kpi.h"
+#include "core/mitigation.h"
+#include "core/monitor.h"
+#include "core/wrapper.h"
+#include "data/dataloader.h"
+
+namespace alfi::core {
+
+struct ImgClassCampaignConfig {
+  std::string model_name = "model";
+  /// Directory for the output sets; empty = write nothing (KPIs only).
+  std::string output_dir;
+  /// Reuse a persisted fault matrix instead of generating one.
+  std::string fault_file;
+  /// Harden a copy of the inference path with Ranger or Clipper and
+  /// report the hardened verdicts alongside.
+  std::optional<MitigationKind> mitigation;
+  /// Batches of calibration data for range profiling (defaults to the
+  /// first few dataset batches when empty).
+  std::size_t calibration_batches = 4;
+  std::size_t top_k = 5;
+};
+
+struct ImgClassCampaignResult {
+  ClassificationKpis kpis;
+  std::string results_csv;     // per-image faulty-run results ("" if not written)
+  std::string fault_free_csv;  // fault-free outputs
+  std::string scenario_yml;    // effective scenario meta-file
+  std::string fault_bin;       // pre-generated fault matrix
+  std::string trace_bin;       // post-run injection records
+};
+
+class TestErrorModelsImgClass {
+ public:
+  TestErrorModelsImgClass(nn::Module& model,
+                          const data::ClassificationDataset& dataset,
+                          Scenario scenario, ImgClassCampaignConfig config);
+
+  /// Runs the complete campaign (num_runs epochs over dataset_size
+  /// images) and writes all output sets.
+  ImgClassCampaignResult run();
+
+  PtfiWrap& wrapper() { return wrapper_; }
+
+ private:
+  nn::Module& model_;
+  const data::ClassificationDataset& dataset_;
+  ImgClassCampaignConfig config_;
+  PtfiWrap wrapper_;
+};
+
+}  // namespace alfi::core

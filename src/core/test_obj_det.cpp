@@ -1,0 +1,230 @@
+#include "core/test_obj_det.h"
+
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace alfi::core {
+
+namespace {
+
+Tensor probe_input(const data::DetectionDataset& dataset) {
+  const data::DetectionSample sample = dataset.get(0);
+  const Shape& s = sample.image.shape();
+  return sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+}
+
+/// COCO results format: flat list of {image_id, category_id, bbox, score}.
+io::Json detections_to_coco(const std::vector<std::int64_t>& image_ids,
+                            const std::vector<std::vector<models::Detection>>& dets) {
+  io::Json arr = io::Json::array();
+  for (std::size_t img = 0; img < dets.size(); ++img) {
+    for (const models::Detection& det : dets[img]) {
+      io::Json entry = io::Json::object();
+      entry["image_id"] = io::Json(image_ids[img]);
+      entry["category_id"] = io::Json(det.category);
+      io::Json bbox = io::Json::array();
+      bbox.push_back(io::Json(static_cast<double>(det.box.x)));
+      bbox.push_back(io::Json(static_cast<double>(det.box.y)));
+      bbox.push_back(io::Json(static_cast<double>(det.box.w)));
+      bbox.push_back(io::Json(static_cast<double>(det.box.h)));
+      entry["bbox"] = bbox;
+      entry["score"] = io::Json(static_cast<double>(det.score));
+      arr.push_back(entry);
+    }
+  }
+  return arr;
+}
+
+}  // namespace
+
+TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,
+                                             const data::DetectionDataset& dataset,
+                                             Scenario scenario,
+                                             ObjDetCampaignConfig config)
+    : detector_(detector),
+      dataset_(dataset),
+      config_(std::move(config)),
+      wrapper_(detector.network(), std::move(scenario), probe_input(dataset)) {
+  ALFI_CHECK(wrapper_.get_scenario().dataset_size <= dataset.size(),
+             "scenario dataset_size exceeds the dataset");
+  if (wrapper_.get_scenario().duration != FaultDuration::kTransient) {
+    throw ConfigError(
+        "the coupled campaign harness requires transient duration; "
+        "use inj_policy per_epoch to model persistent faults");
+  }
+  if (!config_.fault_file.empty()) wrapper_.load_fault_matrix(config_.fault_file);
+}
+
+ObjDetCampaignResult TestErrorModelsObjDet::run() {
+  const Scenario& scenario = wrapper_.get_scenario();
+  ObjDetCampaignResult result;
+  const bool write_outputs = !config_.output_dir.empty();
+  nn::Module& network = detector_.network();
+
+  if (write_outputs) {
+    std::filesystem::create_directories(config_.output_dir);
+    const std::string base = config_.output_dir + "/" + config_.model_name;
+
+    result.ground_truth_json = base + "_ground_truth.json";
+    io::write_json_file(result.ground_truth_json, data::coco_ground_truth(dataset_));
+
+    result.scenario_yml = base + "_scenario.yml";
+    io::Json meta = scenario.to_yaml();
+    meta["meta"]["model"] = io::Json(config_.model_name);
+    meta["meta"]["dataset"] = io::Json(dataset_.name());
+    meta["meta"]["mitigation"] =
+        io::Json(config_.mitigation ? to_string(*config_.mitigation) : "none");
+    io::write_yaml_file(result.scenario_yml, meta);
+
+    result.fault_bin = base + "_faults.bin";
+    wrapper_.save_fault_matrix(result.fault_bin);
+  }
+
+  // Mitigation: profile bounds on fault-free calibration images.
+  std::unique_ptr<Protection> protection;
+  if (config_.mitigation) {
+    std::vector<Tensor> calibration;
+    const std::size_t count = std::min(config_.calibration_images, dataset_.size());
+    ALFI_CHECK(count > 0, "no calibration images available");
+    for (std::size_t i = 0; i < count; ++i) {
+      const data::DetectionSample sample = dataset_.get(i);
+      const Shape& s = sample.image.shape();
+      calibration.push_back(sample.image.reshaped(Shape{1, s[0], s[1], s[2]}));
+    }
+    const RangeMap bounds = profile_activation_ranges(network, calibration);
+    protection = std::make_unique<Protection>(network, bounds, *config_.mitigation);
+    protection->set_enabled(false);
+  }
+
+  ModelMonitor monitor(network);
+  FaultModelIterator iterator = wrapper_.get_fimodel_iter();
+  IvmodKpis ivmod;
+  ivmod.has_resil = config_.mitigation.has_value();
+
+  std::vector<std::int64_t> image_ids;
+  std::vector<std::vector<data::Annotation>> ground_truth;
+  std::vector<std::vector<models::Detection>> orig_all, corr_all, resil_all;
+
+  // Current fault group, re-armed per image with batch-slot remapping.
+  std::size_t group_start = 0, group_size = 0;
+  auto arm_for_image = [&](std::size_t slot_in_group) {
+    std::vector<Fault> armed;
+    for (const Fault& f : wrapper_.fault_matrix().slice(group_start, group_size)) {
+      if (f.target == FaultTarget::kWeights) {
+        armed.push_back(f);
+      } else if (f.batch < 0 ||
+                 f.batch == static_cast<std::int64_t>(slot_in_group)) {
+        Fault remapped = f;
+        remapped.batch = 0;
+        armed.push_back(remapped);
+      }
+    }
+    wrapper_.injector().arm(std::move(armed));
+  };
+
+  for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
+    if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
+      iterator.next();
+      group_size = scenario.max_faults_per_image;
+      group_start = iterator.position() - group_size;
+    }
+
+    for (std::size_t img = 0; img < scenario.dataset_size; ++img) {
+      const std::size_t slot_in_batch = img % scenario.batch_size;
+      switch (scenario.inj_policy) {
+        case InjectionPolicy::kPerImage:
+          iterator.next();
+          group_size = scenario.max_faults_per_image;
+          group_start = iterator.position() - group_size;
+          break;
+        case InjectionPolicy::kPerBatch:
+          if (slot_in_batch == 0) {
+            iterator.next();
+            group_size = scenario.max_faults_per_image;
+            group_start = iterator.position() - group_size;
+          }
+          break;
+        case InjectionPolicy::kPerEpoch:
+          break;
+      }
+
+      const data::DetectionSample sample = dataset_.get(img);
+      const Shape& s = sample.image.shape();
+      const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+
+      // ---- pass 1: fault-free ---------------------------------------------
+      wrapper_.injector().disarm();
+      if (protection) protection->set_enabled(false);
+      auto orig = detector_.detect(input, config_.conf_threshold);
+
+      // ---- pass 2: faulty ----------------------------------------------------
+      const std::size_t slot = scenario.inj_policy == InjectionPolicy::kPerBatch
+                                   ? slot_in_batch
+                                   : 0;
+      arm_for_image(slot);
+      monitor.reset();
+      auto corr = detector_.detect(input, config_.conf_threshold);
+      const bool due = monitor.due_detected();
+
+      // ---- pass 3: hardened ---------------------------------------------------
+      std::vector<models::Detection> resil;
+      if (protection) {
+        wrapper_.injector().disarm();
+        arm_for_image(slot);
+        protection->set_enabled(true);
+        auto resil_batched = detector_.detect(input, config_.conf_threshold);
+        protection->set_enabled(false);
+        resil = std::move(resil_batched[0]);
+      }
+      wrapper_.injector().disarm();
+
+      // ---- verdicts --------------------------------------------------------------
+      ++ivmod.total;
+      const bool sde = !due && detections_differ(orig[0], corr[0]);
+      ivmod.due_images += due ? 1 : 0;
+      ivmod.sde_images += sde ? 1 : 0;
+      if (protection) {
+        ivmod.resil_sde_images +=
+            (!due && detections_differ(orig[0], resil)) ? 1 : 0;
+      }
+
+      if (epoch == 0) {
+        // mAP is evaluated over one pass of the dataset.
+        image_ids.push_back(sample.meta.image_id);
+        ground_truth.push_back(sample.annotations);
+        orig_all.push_back(std::move(orig[0]));
+        corr_all.push_back(std::move(corr[0]));
+        if (protection) resil_all.push_back(std::move(resil));
+      }
+    }
+    wrapper_.injector().disarm();
+  }
+
+  const std::size_t num_classes = detector_.num_classes();
+  result.orig_map = evaluate_coco(ground_truth, orig_all, num_classes);
+  result.faulty_map = evaluate_coco(ground_truth, corr_all, num_classes);
+  if (config_.mitigation) {
+    result.resil_map = evaluate_coco(ground_truth, resil_all, num_classes);
+  }
+  result.ivmod = ivmod;
+
+  if (write_outputs) {
+    const std::string base = config_.output_dir + "/" + config_.model_name;
+    result.orig_json = base + "_orig_detections.json";
+    io::write_json_file(result.orig_json, detections_to_coco(image_ids, orig_all));
+    result.corr_json = base + "_corr_detections.json";
+    io::write_json_file(result.corr_json, detections_to_coco(image_ids, corr_all));
+    if (config_.mitigation) {
+      result.resil_json = base + "_resil_detections.json";
+      io::write_json_file(result.resil_json,
+                          detections_to_coco(image_ids, resil_all));
+    }
+    result.trace_bin = base + "_trace.bin";
+    save_injection_records(wrapper_.injector().records(), result.trace_bin);
+  }
+
+  return result;
+}
+
+}  // namespace alfi::core

@@ -1,0 +1,70 @@
+// TestErrorModelsObjDet — the high-level object-detection campaign
+// harness (paper §V.B / §V.F.2, test_error_models_objdet.py and the
+// Fig. 3 submodule).
+//
+// Produces the three output sets of §V.F.2:
+//   a) ground truth + meta-files: COCO-format ground-truth JSON and the
+//      effective scenario YAML,
+//   b) binary fault files (matrix + post-run trace),
+//   c) intermediate result JSONs (COCO results format) for the original,
+//      corrupted and hardened model, plus mAP / IVMOD summaries.
+//
+// Images are evaluated one at a time so DUE (NaN/Inf) and IVMOD_SDE
+// (changed detections) verdicts attribute exactly to one image and one
+// fault group; per_batch fault groups are replayed by remapping each
+// fault's batch slot onto the matching sequential image.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/kpi.h"
+#include "core/mitigation.h"
+#include "core/monitor.h"
+#include "core/wrapper.h"
+#include "data/dataloader.h"
+
+namespace alfi::core {
+
+struct ObjDetCampaignConfig {
+  std::string model_name = "detector";
+  std::string output_dir;
+  std::string fault_file;
+  std::optional<MitigationKind> mitigation;
+  std::size_t calibration_images = 16;
+  float conf_threshold = 0.4f;
+};
+
+struct ObjDetCampaignResult {
+  IvmodKpis ivmod;
+  CocoSummary orig_map;
+  CocoSummary faulty_map;
+  CocoSummary resil_map;  // valid only when mitigation was configured
+  std::string ground_truth_json;
+  std::string scenario_yml;
+  std::string fault_bin;
+  std::string trace_bin;
+  std::string orig_json;
+  std::string corr_json;
+  std::string resil_json;
+};
+
+class TestErrorModelsObjDet {
+ public:
+  TestErrorModelsObjDet(models::Detector& detector,
+                        const data::DetectionDataset& dataset, Scenario scenario,
+                        ObjDetCampaignConfig config);
+
+  /// Runs the campaign — the paper's test_rand_ObjDet_SBFs_inj.
+  ObjDetCampaignResult run();
+
+  PtfiWrap& wrapper() { return wrapper_; }
+
+ private:
+  models::Detector& detector_;
+  const data::DetectionDataset& dataset_;
+  ObjDetCampaignConfig config_;
+  PtfiWrap wrapper_;
+};
+
+}  // namespace alfi::core

@@ -1,0 +1,112 @@
+#include "data/dataloader.h"
+
+#include <cstring>
+
+namespace alfi::data {
+
+namespace {
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+}  // namespace
+
+ClassificationLoader::ClassificationLoader(const ClassificationDataset& dataset,
+                                           std::size_t batch_size, bool shuffle,
+                                           std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      order_(identity_order(dataset.size())) {
+  ALFI_CHECK(batch_size_ > 0, "batch size must be positive");
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+std::size_t ClassificationLoader::num_batches() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+ClassificationBatch ClassificationLoader::batch(std::size_t index) const {
+  ALFI_CHECK(index < num_batches(), "batch index out of range");
+  const std::size_t begin = index * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, order_.size());
+  const std::size_t count = end - begin;
+
+  const ClassificationSample first = dataset_.get(order_[begin]);
+  const std::size_t c = first.image.dim(0), h = first.image.dim(1),
+                    w = first.image.dim(2);
+
+  ClassificationBatch out;
+  out.images = Tensor(Shape{count, c, h, w});
+  out.labels.reserve(count);
+  out.metas.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const ClassificationSample sample =
+        (i == 0) ? first : dataset_.get(order_[begin + i]);
+    ALFI_CHECK(sample.image.shape() == first.image.shape(),
+               "all images in a batch must share one shape");
+    std::memcpy(out.images.raw() + i * c * h * w, sample.image.raw(),
+                c * h * w * sizeof(float));
+    out.labels.push_back(sample.label);
+    out.metas.push_back(sample.meta);
+  }
+  return out;
+}
+
+void ClassificationLoader::next_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+DetectionLoader::DetectionLoader(const DetectionDataset& dataset,
+                                 std::size_t batch_size, bool shuffle,
+                                 std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      order_(identity_order(dataset.size())) {
+  ALFI_CHECK(batch_size_ > 0, "batch size must be positive");
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+std::size_t DetectionLoader::num_batches() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+DetectionBatch DetectionLoader::batch(std::size_t index) const {
+  ALFI_CHECK(index < num_batches(), "batch index out of range");
+  const std::size_t begin = index * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, order_.size());
+  const std::size_t count = end - begin;
+
+  const DetectionSample first = dataset_.get(order_[begin]);
+  const std::size_t c = first.image.dim(0), h = first.image.dim(1),
+                    w = first.image.dim(2);
+
+  DetectionBatch out;
+  out.images = Tensor(Shape{count, c, h, w});
+  out.annotations.reserve(count);
+  out.metas.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const DetectionSample sample = (i == 0) ? first : dataset_.get(order_[begin + i]);
+    ALFI_CHECK(sample.image.shape() == first.image.shape(),
+               "all images in a batch must share one shape");
+    std::memcpy(out.images.raw() + i * c * h * w, sample.image.raw(),
+                c * h * w * sizeof(float));
+    out.annotations.push_back(sample.annotations);
+    out.metas.push_back(sample.meta);
+  }
+  return out;
+}
+
+void DetectionLoader::next_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+}  // namespace alfi::data

@@ -1,0 +1,76 @@
+// Batching data loaders that carry per-image metadata through to the
+// result writers — the paper's "data loader wrapper" (§V.E).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace alfi::data {
+
+struct ClassificationBatch {
+  Tensor images;  // [N, C, H, W]
+  std::vector<std::size_t> labels;
+  std::vector<ImageMeta> metas;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Assembles fixed-size batches over a ClassificationDataset.  Optional
+/// shuffling is deterministic from the seed; the mapping from batch
+/// position back to dataset index is preserved in the metadata so fault
+/// conditions can be reproduced "down to a single data item".
+class ClassificationLoader {
+ public:
+  ClassificationLoader(const ClassificationDataset& dataset, std::size_t batch_size,
+                       bool shuffle = false, std::uint64_t seed = 0);
+
+  std::size_t num_batches() const;
+  std::size_t batch_size() const { return batch_size_; }
+  std::size_t dataset_size() const { return order_.size(); }
+
+  /// The batch at `index`; the final batch may be smaller.
+  ClassificationBatch batch(std::size_t index) const;
+
+  /// Re-shuffles for a new epoch (no-op when shuffling is disabled).
+  void next_epoch();
+
+ private:
+  const ClassificationDataset& dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+};
+
+struct DetectionBatch {
+  Tensor images;  // [N, C, H, W]
+  std::vector<std::vector<Annotation>> annotations;
+  std::vector<ImageMeta> metas;
+
+  std::size_t size() const { return metas.size(); }
+};
+
+class DetectionLoader {
+ public:
+  DetectionLoader(const DetectionDataset& dataset, std::size_t batch_size,
+                  bool shuffle = false, std::uint64_t seed = 0);
+
+  std::size_t num_batches() const;
+  std::size_t batch_size() const { return batch_size_; }
+  std::size_t dataset_size() const { return order_.size(); }
+
+  DetectionBatch batch(std::size_t index) const;
+
+  void next_epoch();
+
+ private:
+  const DetectionDataset& dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace alfi::data

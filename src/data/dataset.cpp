@@ -1,0 +1,65 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace alfi::data {
+
+float iou(const BoundingBox& a, const BoundingBox& b) {
+  const float ix1 = std::max(a.x, b.x);
+  const float iy1 = std::max(a.y, b.y);
+  const float ix2 = std::min(a.x2(), b.x2());
+  const float iy2 = std::min(a.y2(), b.y2());
+  const float iw = std::max(0.0f, ix2 - ix1);
+  const float ih = std::max(0.0f, iy2 - iy1);
+  const float inter = iw * ih;
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+io::Json coco_ground_truth(const DetectionDataset& dataset) {
+  io::Json root = io::Json::object();
+  io::Json images = io::Json::array();
+  io::Json annotations = io::Json::array();
+  io::Json categories = io::Json::array();
+
+  const auto& names = dataset.category_names();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    io::Json cat = io::Json::object();
+    cat["id"] = io::Json(c);
+    cat["name"] = io::Json(names[c]);
+    categories.push_back(cat);
+  }
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const DetectionSample sample = dataset.get(i);
+    io::Json img = io::Json::object();
+    img["id"] = io::Json(sample.meta.image_id);
+    img["file_name"] = io::Json(sample.meta.file_name);
+    img["height"] = io::Json(sample.meta.height);
+    img["width"] = io::Json(sample.meta.width);
+    images.push_back(img);
+
+    for (const Annotation& ann : sample.annotations) {
+      io::Json a = io::Json::object();
+      a["id"] = io::Json(ann.annotation_id);
+      a["image_id"] = io::Json(ann.image_id);
+      a["category_id"] = io::Json(ann.category_id);
+      io::Json bbox = io::Json::array();
+      bbox.push_back(io::Json(static_cast<double>(ann.bbox.x)));
+      bbox.push_back(io::Json(static_cast<double>(ann.bbox.y)));
+      bbox.push_back(io::Json(static_cast<double>(ann.bbox.w)));
+      bbox.push_back(io::Json(static_cast<double>(ann.bbox.h)));
+      a["bbox"] = bbox;
+      a["area"] = io::Json(static_cast<double>(ann.bbox.area()));
+      a["iscrowd"] = io::Json(0);
+      annotations.push_back(a);
+    }
+  }
+
+  root["images"] = images;
+  root["annotations"] = annotations;
+  root["categories"] = categories;
+  return root;
+}
+
+}  // namespace alfi::data

@@ -1,0 +1,84 @@
+// Dataset interfaces with per-sample metadata.
+//
+// PyTorchALFI wraps the user's data loader so that every image carries
+// "directory+filename, height, width, and image id" (paper §V.E) —
+// that metadata is what lets a corrupted output be traced back to one
+// specific image and one specific fault.  All datasets here expose a
+// COCO-style record and can be exported as COCO-format JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "tensor/tensor.h"
+
+namespace alfi::data {
+
+/// Metadata stored per image by the loader wrapper.
+struct ImageMeta {
+  std::int64_t image_id = 0;
+  std::string file_name;  // synthetic sets use "synthetic/<set>/<id>.png"
+  std::size_t height = 0;
+  std::size_t width = 0;
+};
+
+struct ClassificationSample {
+  Tensor image;  // [C, H, W]
+  std::size_t label = 0;
+  ImageMeta meta;
+};
+
+/// Axis-aligned box in COCO convention: top-left x/y plus width/height,
+/// in pixel units.
+struct BoundingBox {
+  float x = 0, y = 0, w = 0, h = 0;
+
+  float x2() const { return x + w; }
+  float y2() const { return y + h; }
+  float area() const { return w * h; }
+};
+
+/// Intersection-over-union of two boxes.
+float iou(const BoundingBox& a, const BoundingBox& b);
+
+struct Annotation {
+  std::int64_t annotation_id = 0;
+  std::int64_t image_id = 0;
+  std::size_t category_id = 0;
+  BoundingBox bbox;
+};
+
+struct DetectionSample {
+  Tensor image;  // [C, H, W]
+  std::vector<Annotation> annotations;
+  ImageMeta meta;
+};
+
+/// Read-only random-access classification dataset.
+class ClassificationDataset {
+ public:
+  virtual ~ClassificationDataset() = default;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual ClassificationSample get(std::size_t index) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Read-only random-access object detection dataset.
+class DetectionDataset {
+ public:
+  virtual ~DetectionDataset() = default;
+  virtual std::size_t size() const = 0;
+  virtual const std::vector<std::string>& category_names() const = 0;
+  virtual DetectionSample get(std::size_t index) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Exports a detection dataset's ground truth as COCO-format JSON
+/// (images / annotations / categories), the paper's canonical dataset
+/// representation (§V.E).
+io::Json coco_ground_truth(const DetectionDataset& dataset);
+
+}  // namespace alfi::data

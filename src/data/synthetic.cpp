@@ -1,0 +1,183 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace alfi::data {
+
+namespace {
+
+/// Mixes the dataset seed with the sample index into a fresh stream so
+/// sample i is identical no matter in which order samples are fetched.
+Rng sample_rng(std::uint64_t seed, std::uint64_t index, std::uint64_t salt) {
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)) ^ salt;
+  return Rng(splitmix64_next(sm));
+}
+
+}  // namespace
+
+// ---- classification ---------------------------------------------------------
+
+SyntheticShapesClassification::SyntheticShapesClassification(
+    ClassificationConfig config)
+    : config_(std::move(config)) {
+  ALFI_CHECK(config_.num_classes >= 2, "need at least two classes");
+  ALFI_CHECK(config_.size > 0, "dataset must not be empty");
+}
+
+ClassificationSample SyntheticShapesClassification::get(std::size_t index) const {
+  ALFI_CHECK(index < config_.size, "classification sample index out of range");
+  Rng rng = sample_rng(config_.seed, index, /*salt=*/0xC1A55ULL);
+
+  const std::size_t label = index % config_.num_classes;
+  const std::size_t c = config_.channels, h = config_.height, w = config_.width;
+  Tensor image(Shape{c, h, w});
+
+  // Class-deterministic texture parameters: orientation, frequency and a
+  // blob position unique to the class; per-sample phase jitter keeps the
+  // task non-trivial.
+  const double angle =
+      std::numbers::pi * static_cast<double>(label) / config_.num_classes;
+  const double freq = 2.0 + 0.7 * static_cast<double>(label % 5);
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double blob_cx =
+      (0.2 + 0.6 * ((label * 7) % config_.num_classes) / (config_.num_classes - 1.0)) * w;
+  const double blob_cy =
+      (0.2 + 0.6 * ((label * 3) % config_.num_classes) / (config_.num_classes - 1.0)) * h;
+  const double blob_r = 0.18 * std::min(h, w);
+  const double cos_a = std::cos(angle), sin_a = std::sin(angle);
+  const float brightness = static_cast<float>(rng.uniform(-0.1, 0.1));
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const double channel_shift = 0.5 * static_cast<double>(ch);
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double u = (cos_a * x + sin_a * y) / w;
+        double value = 0.5 + 0.35 * std::sin(2.0 * std::numbers::pi * freq * u +
+                                             phase + channel_shift);
+        const double dx = x - blob_cx, dy = y - blob_cy;
+        const double dist2 = dx * dx + dy * dy;
+        if (dist2 < blob_r * blob_r) {
+          // Blob intensity is also class-coded (alternating sign).
+          value += (label % 2 == 0 ? 0.4 : -0.4) * (1.0 - dist2 / (blob_r * blob_r));
+        }
+        value += brightness + rng.normal(0.0, config_.noise_stddev);
+        image.raw()[(ch * h + y) * w + x] =
+            static_cast<float>(std::min(1.5, std::max(-0.5, value)));
+      }
+    }
+  }
+
+  ClassificationSample sample;
+  sample.image = std::move(image);
+  sample.label = label;
+  sample.meta.image_id = static_cast<std::int64_t>(index);
+  sample.meta.file_name =
+      "synthetic/" + config_.dataset_name + "/" + std::to_string(index) + ".png";
+  sample.meta.height = h;
+  sample.meta.width = w;
+  return sample;
+}
+
+// ---- detection --------------------------------------------------------------
+
+SyntheticShapesDetection::SyntheticShapesDetection(DetectionConfig config)
+    : config_(std::move(config)), categories_{"square", "disc", "cross"} {
+  ALFI_CHECK(config_.size > 0, "dataset must not be empty");
+  ALFI_CHECK(config_.min_objects >= 1 && config_.min_objects <= config_.max_objects,
+             "object count range invalid");
+  ALFI_CHECK(config_.max_object_size <= static_cast<float>(config_.height) &&
+                 config_.max_object_size <= static_cast<float>(config_.width),
+             "objects larger than the image");
+}
+
+DetectionSample SyntheticShapesDetection::get(std::size_t index) const {
+  ALFI_CHECK(index < config_.size, "detection sample index out of range");
+  Rng rng = sample_rng(config_.seed, index, /*salt=*/0xDE7EC7ULL);
+
+  const std::size_t c = config_.channels, h = config_.height, w = config_.width;
+  Tensor image(Shape{c, h, w});
+
+  // Smooth low-contrast background.
+  const double bg_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double value =
+            0.35 + 0.1 * std::sin(2.0 * std::numbers::pi * (x + 2.0 * y) / w + bg_phase +
+                                  0.8 * ch) +
+            rng.normal(0.0, config_.noise_stddev);
+        image.raw()[(ch * h + y) * w + x] = static_cast<float>(value);
+      }
+    }
+  }
+
+  DetectionSample sample;
+  const std::size_t object_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(config_.min_objects),
+                      static_cast<std::int64_t>(config_.max_objects)));
+
+  for (std::size_t obj = 0; obj < object_count; ++obj) {
+    const std::size_t category =
+        static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const float size = static_cast<float>(
+        rng.uniform(config_.min_object_size, config_.max_object_size));
+    const float x0 = static_cast<float>(rng.uniform(0.0, w - size));
+    const float y0 = static_cast<float>(rng.uniform(0.0, h - size));
+    // Per-channel intensity pattern identifies the category as well.
+    const float base = 0.85f + static_cast<float>(rng.uniform(-0.05, 0.05));
+
+    const std::size_t ix0 = static_cast<std::size_t>(x0);
+    const std::size_t iy0 = static_cast<std::size_t>(y0);
+    const std::size_t ix1 = std::min(w, static_cast<std::size_t>(x0 + size));
+    const std::size_t iy1 = std::min(h, static_cast<std::size_t>(y0 + size));
+    const float cx = x0 + size / 2, cy = y0 + size / 2, r = size / 2;
+
+    for (std::size_t y = iy0; y < iy1; ++y) {
+      for (std::size_t x = ix0; x < ix1; ++x) {
+        bool inside = false;
+        switch (category) {
+          case 0:  // square
+            inside = true;
+            break;
+          case 1: {  // disc
+            const float dx = x + 0.5f - cx, dy = y + 0.5f - cy;
+            inside = dx * dx + dy * dy <= r * r;
+            break;
+          }
+          case 2: {  // cross: two orthogonal bars
+            const float bar = size / 3;
+            const bool in_v = std::fabs(x + 0.5f - cx) <= bar / 2;
+            const bool in_h = std::fabs(y + 0.5f - cy) <= bar / 2;
+            inside = in_v || in_h;
+            break;
+          }
+        }
+        if (!inside) continue;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          // Category-coded channel mix: square bright in ch0, disc in
+          // ch1, cross in ch2 (when channels exist).
+          const float gain = (ch % 3 == category) ? 1.0f : 0.45f;
+          image.raw()[(ch * h + y) * w + x] = base * gain;
+        }
+      }
+    }
+
+    Annotation ann;
+    ann.annotation_id = static_cast<std::int64_t>(index * 16 + obj);
+    ann.image_id = static_cast<std::int64_t>(index);
+    ann.category_id = category;
+    ann.bbox = BoundingBox{x0, y0, size, size};
+    sample.annotations.push_back(ann);
+  }
+
+  sample.image = std::move(image);
+  sample.meta.image_id = static_cast<std::int64_t>(index);
+  sample.meta.file_name =
+      "synthetic/" + config_.dataset_name + "/" + std::to_string(index) + ".png";
+  sample.meta.height = h;
+  sample.meta.width = w;
+  return sample;
+}
+
+}  // namespace alfi::data

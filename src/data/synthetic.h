@@ -1,0 +1,84 @@
+// Synthetic datasets standing in for ImageNet / COCO / KITTI.
+//
+// The paper's campaigns run pretrained models on public datasets we do
+// not have here.  The substitution (DESIGN.md §2) only needs datasets
+// that (a) carry full per-image metadata, (b) are learnable by the
+// miniaturized models to high fault-free accuracy, and (c) are
+// deterministic from a seed so campaigns are reproducible.
+//
+// * SyntheticShapesClassification: 10 classes; each class k renders a
+//   distinct parametric texture (oriented sinusoidal gratings + a
+//   class-positioned blob) plus per-sample noise and jitter.
+// * SyntheticShapesDetection: 1-3 solid shapes (square / disc / cross)
+//   per image on a textured background, with exact bounding boxes.
+//
+// Samples are generated lazily from (seed, index) so two iterations of
+// the same dataset see bit-identical pixels.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace alfi::data {
+
+struct ClassificationConfig {
+  std::size_t size = 256;         // number of images
+  std::size_t channels = 3;
+  std::size_t height = 32;
+  std::size_t width = 32;
+  std::size_t num_classes = 10;
+  float noise_stddev = 0.08f;
+  std::uint64_t seed = 42;
+  std::string dataset_name = "synth-class";
+};
+
+class SyntheticShapesClassification final : public ClassificationDataset {
+ public:
+  explicit SyntheticShapesClassification(ClassificationConfig config);
+
+  std::size_t size() const override { return config_.size; }
+  std::size_t num_classes() const override { return config_.num_classes; }
+  ClassificationSample get(std::size_t index) const override;
+  std::string name() const override { return config_.dataset_name; }
+
+  const ClassificationConfig& config() const { return config_; }
+
+ private:
+  ClassificationConfig config_;
+};
+
+struct DetectionConfig {
+  std::size_t size = 128;
+  std::size_t channels = 3;
+  std::size_t height = 48;
+  std::size_t width = 48;
+  std::size_t min_objects = 1;
+  std::size_t max_objects = 3;
+  float min_object_size = 10.0f;
+  float max_object_size = 20.0f;
+  float noise_stddev = 0.05f;
+  std::uint64_t seed = 7;
+  std::string dataset_name = "synth-det";
+};
+
+class SyntheticShapesDetection final : public DetectionDataset {
+ public:
+  explicit SyntheticShapesDetection(DetectionConfig config);
+
+  std::size_t size() const override { return config_.size; }
+  const std::vector<std::string>& category_names() const override {
+    return categories_;
+  }
+  DetectionSample get(std::size_t index) const override;
+  std::string name() const override { return config_.dataset_name; }
+
+  const DetectionConfig& config() const { return config_; }
+
+ private:
+  DetectionConfig config_;
+  std::vector<std::string> categories_;
+};
+
+}  // namespace alfi::data

@@ -1,0 +1,139 @@
+#include "io/binary.h"
+
+#include <bit>
+#include <cstring>
+
+namespace alfi::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "binary fault-file format assumes a little-endian host");
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw IoError("cannot write binary file: " + path);
+}
+
+void BinaryWriter::put(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out_) throw IoError("failed while writing binary file: " + path_);
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) { put(&v, sizeof v); }
+void BinaryWriter::write_u32(std::uint32_t v) { put(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { put(&v, sizeof v); }
+void BinaryWriter::write_i64(std::int64_t v) { put(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { put(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { put(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) put(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_array(const std::vector<float>& values) {
+  write_u64(values.size());
+  if (!values.empty()) put(values.data(), values.size() * sizeof(float));
+}
+
+void BinaryWriter::write_i64_array(const std::vector<std::int64_t>& values) {
+  write_u64(values.size());
+  if (!values.empty()) put(values.data(), values.size() * sizeof(std::int64_t));
+}
+
+void BinaryWriter::write_header(const char magic[4], std::uint32_t version) {
+  put(magic, 4);
+  write_u32(version);
+}
+
+void BinaryWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+BinaryWriter::~BinaryWriter() { close(); }
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw IoError("cannot open binary file: " + path);
+}
+
+void BinaryReader::get(void* data, std::size_t size) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in_.gcount()) != size) {
+    throw ParseError("unexpected end of binary file: " + path_);
+  }
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v;
+  get(&v, sizeof v);
+  return v;
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  get(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  get(&v, sizeof v);
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  get(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v;
+  get(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v;
+  get(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 32)) throw ParseError("unreasonable string size in " + path_);
+  std::string s(static_cast<std::size_t>(size), '\0');
+  if (size > 0) get(s.data(), s.size());
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_array() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 34)) throw ParseError("unreasonable array size in " + path_);
+  std::vector<float> values(static_cast<std::size_t>(size));
+  if (size > 0) get(values.data(), values.size() * sizeof(float));
+  return values;
+}
+
+std::vector<std::int64_t> BinaryReader::read_i64_array() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 34)) throw ParseError("unreasonable array size in " + path_);
+  std::vector<std::int64_t> values(static_cast<std::size_t>(size));
+  if (size > 0) get(values.data(), values.size() * sizeof(std::int64_t));
+  return values;
+}
+
+std::uint32_t BinaryReader::read_header(const char magic[4]) {
+  char buf[4];
+  get(buf, 4);
+  if (std::memcmp(buf, magic, 4) != 0) {
+    throw ParseError("bad magic in binary file: " + path_);
+  }
+  return read_u32();
+}
+
+bool BinaryReader::at_eof() {
+  return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+}  // namespace alfi::io

@@ -1,0 +1,74 @@
+// Little-endian binary record streams.
+//
+// PyTorchALFI persists the pre-generated fault matrix and the post-run
+// corruption trace as binary files (paper §IV.B: "After generating the
+// faults, the fault matrix is stored as a binary file").  These helpers
+// give the fault-file formats a portable fixed-width little-endian
+// encoding with magic/version headers checked on load.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace alfi::io {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+
+  void write_f32_array(const std::vector<float>& values);
+  void write_i64_array(const std::vector<std::int64_t>& values);
+
+  /// Writes a 4-byte magic tag plus a u32 version.
+  void write_header(const char magic[4], std::uint32_t version);
+
+  void close();
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+ private:
+  void put(const void* data, std::size_t size);
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+
+  std::vector<float> read_f32_array();
+  std::vector<std::int64_t> read_i64_array();
+
+  /// Checks magic and returns the version; throws ParseError on mismatch.
+  std::uint32_t read_header(const char magic[4]);
+
+  bool at_eof();
+
+ private:
+  void get(void* data, std::size_t size);
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace alfi::io

@@ -1,0 +1,127 @@
+#include "io/csv.h"
+
+#include <sstream>
+
+namespace alfi::io {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::binary | std::ios::trunc), header_(header) {
+  if (!out_) throw IoError("cannot write CSV file: " + path);
+  ALFI_CHECK(!header.empty(), "CSV header must not be empty");
+  emit(header_);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  ALFI_CHECK(fields.size() == header_.size(),
+             "CSV row arity does not match header");
+  emit(fields);
+  ++rows_;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw IoError("failed while writing CSV row");
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("CSV column not found: " + name);
+}
+
+CsvTable parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    current.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(current);
+    current.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // swallow; \r\n handled at \n
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw ParseError("CSV ends inside a quoted field");
+  if (field_started || !current.empty()) end_record();
+
+  CsvTable table;
+  if (records.empty()) return table;
+  table.header = records.front();
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.header.size()) {
+      throw ParseError("CSV row " + std::to_string(r) + " has " +
+                       std::to_string(records[r].size()) + " fields, header has " +
+                       std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace alfi::io

@@ -1,0 +1,65 @@
+// CSV writer / reader for classification campaign results.
+//
+// The paper stores classification results "in convenient CSV" (§V.F.1):
+// top-5 classes and probabilities, ground truth, and the fault positions
+// (layer, channel, height, width, bit) per image.  Fields containing
+// separators or quotes are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace alfi::io {
+
+/// Streaming CSV writer bound to one output file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates) and emits `header` as first row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must have the same arity as the header.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Number of data rows written so far (header excluded).
+  std::size_t rows_written() const { return rows_; }
+
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Flushes and closes; called by the destructor too.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::vector<std::string> header_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully parsed CSV table.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for `name`; throws if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text with a header row; handles quoted fields and embedded
+/// separators / newlines.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file.
+CsvTable read_csv_file(const std::string& path);
+
+/// Quotes one field per RFC 4180 when needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace alfi::io

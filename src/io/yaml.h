@@ -1,0 +1,36 @@
+// YAML-subset parser for scenario configuration files.
+//
+// PyTorchALFI reads its campaign configuration from `scenarios/default.yml`
+// (paper §IV.B / §V.C).  This parser supports the subset those files use:
+//   * nested mappings by 2+-space indentation
+//   * block sequences ("- item") of scalars and of mappings
+//   * inline flow sequences ("[0, 31]")
+//   * scalars: int, float, bool, null (~ / null), quoted & bare strings
+//   * '#' comments and blank lines
+// Documents parse into the io::Json value model so scenario handling and
+// result handling share one tree type.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/json.h"
+
+namespace alfi::io {
+
+/// Parses a YAML-subset document into a Json tree; throws ParseError
+/// with a line number on malformed input.
+Json parse_yaml(std::string_view text);
+
+/// Reads and parses a YAML file; throws IoError / ParseError.
+Json read_yaml_file(const std::string& path);
+
+/// Emits a Json tree in the same YAML subset (round-trips parse_yaml).
+/// Used to persist the effective scenario of a run (paper: "PyTorchALFI
+/// saves all experiment parameters in a yml file format").
+std::string dump_yaml(const Json& value);
+
+/// Writes `value` as YAML to `path`.
+void write_yaml_file(const std::string& path, const Json& value);
+
+}  // namespace alfi::io

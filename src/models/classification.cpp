@@ -1,0 +1,138 @@
+#include "models/classification.h"
+
+#include "util/string_util.h"
+
+namespace alfi::models {
+
+using nn::AvgPool2d;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Conv3d;
+using nn::Flatten;
+using nn::GlobalAvgPool2d;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Residual;
+using nn::Sequential;
+
+std::shared_ptr<Sequential> make_mini_alexnet(const ClassifierConfig& config) {
+  ALFI_CHECK(config.image_size % 8 == 0, "MiniAlexNet needs image size % 8 == 0");
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(config.in_channels, 16, 5, 1, 2));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<MaxPool2d>(2));
+  net->append(std::make_shared<Conv2d>(16, 32, 5, 1, 2));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<MaxPool2d>(2));
+  net->append(std::make_shared<Conv2d>(32, 48, 3, 1, 1));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<MaxPool2d>(2));
+  net->append(std::make_shared<Flatten>());
+  const std::size_t spatial = config.image_size / 8;
+  net->append(std::make_shared<Linear>(48 * spatial * spatial, 128));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Linear>(128, config.num_classes));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_mini_vgg(const ClassifierConfig& config) {
+  ALFI_CHECK(config.image_size % 8 == 0, "MiniVGG needs image size % 8 == 0");
+  auto net = std::make_shared<Sequential>();
+  auto block = [&net](std::size_t in, std::size_t out) {
+    net->append(std::make_shared<Conv2d>(in, out, 3, 1, 1));
+    net->append(std::make_shared<ReLU>());
+    net->append(std::make_shared<Conv2d>(out, out, 3, 1, 1));
+    net->append(std::make_shared<ReLU>());
+    net->append(std::make_shared<MaxPool2d>(2));
+  };
+  block(config.in_channels, 16);
+  block(16, 32);
+  block(32, 48);
+  net->append(std::make_shared<Flatten>());
+  const std::size_t spatial = config.image_size / 8;
+  net->append(std::make_shared<Linear>(48 * spatial * spatial, 128));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Linear>(128, config.num_classes));
+  return net;
+}
+
+namespace {
+
+/// conv-bn-relu-conv-bn with optional strided 1x1 shortcut.
+std::shared_ptr<Residual> resnet_block(std::size_t in, std::size_t out,
+                                       std::size_t stride) {
+  auto main = std::make_shared<Sequential>();
+  main->append(std::make_shared<Conv2d>(in, out, 3, stride, 1));
+  main->append(std::make_shared<BatchNorm2d>(out));
+  main->append(std::make_shared<ReLU>());
+  main->append(std::make_shared<Conv2d>(out, out, 3, 1, 1));
+  main->append(std::make_shared<BatchNorm2d>(out));
+
+  std::shared_ptr<Sequential> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut = std::make_shared<Sequential>();
+    shortcut->append(std::make_shared<Conv2d>(in, out, 1, stride, 0));
+    shortcut->append(std::make_shared<BatchNorm2d>(out));
+  }
+  return std::make_shared<Residual>(main, shortcut);
+}
+
+}  // namespace
+
+std::shared_ptr<Sequential> make_mini_resnet(const ClassifierConfig& config) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(config.in_channels, 16, 3, 1, 1));
+  net->append(std::make_shared<BatchNorm2d>(16));
+  net->append(std::make_shared<ReLU>());
+  net->append(resnet_block(16, 16, 1));
+  net->append(resnet_block(16, 32, 2));
+  net->append(resnet_block(32, 48, 2));
+  net->append(std::make_shared<GlobalAvgPool2d>());
+  net->append(std::make_shared<Linear>(48, config.num_classes));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_lenet(const ClassifierConfig& config) {
+  ALFI_CHECK(config.image_size % 4 == 0, "LeNet needs image size % 4 == 0");
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(config.in_channels, 6, 5, 1, 2));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<MaxPool2d>(2));
+  net->append(std::make_shared<Conv2d>(6, 16, 5, 1, 2));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<MaxPool2d>(2));
+  net->append(std::make_shared<Flatten>());
+  const std::size_t spatial = config.image_size / 4;
+  net->append(std::make_shared<Linear>(16 * spatial * spatial, 64));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Linear>(64, config.num_classes));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_classifier(const std::string& name,
+                                            const ClassifierConfig& config) {
+  const std::string lowered = to_lower(name);
+  if (lowered == "alexnet" || lowered == "mini-alexnet") return make_mini_alexnet(config);
+  if (lowered == "vgg" || lowered == "vgg16" || lowered == "mini-vgg") return make_mini_vgg(config);
+  if (lowered == "resnet" || lowered == "resnet50" || lowered == "mini-resnet") return make_mini_resnet(config);
+  if (lowered == "lenet") return make_lenet(config);
+  throw ConfigError("unknown classifier architecture: " + name);
+}
+
+std::shared_ptr<Sequential> make_conv3d_classifier(
+    const VolumeClassifierConfig& config) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv3d>(config.in_channels, 4, 3, 1, 1));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Conv3d>(4, 8, 3, 2, 1));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Flatten>());
+  const std::size_t d = (config.depth + 1) / 2;
+  const std::size_t h = (config.height + 1) / 2;
+  const std::size_t w = (config.width + 1) / 2;
+  net->append(std::make_shared<Linear>(8 * d * h * w, config.num_classes));
+  return net;
+}
+
+}  // namespace alfi::models

@@ -1,0 +1,51 @@
+// Miniaturized classification architectures.
+//
+// These stand in for the paper's pretrained AlexNet / VGG-16 / ResNet-50
+// (Fig. 2a).  Each keeps the architectural property that drives its
+// fault-propagation behaviour:
+//   * MiniAlexNet — shallow, large early kernels, no normalization.
+//   * MiniVGG     — deepest plain 3x3 stack, large FC head, no
+//                   normalization (historically the most SDE-prone of
+//                   the three under exponent-bit weight flips).
+//   * MiniResNet  — residual blocks with BatchNorm (value ranges are
+//                   re-normalized after every block, which bounds the
+//                   blast radius of a corrupted value).
+//   * LeNet       — tiny net used by the unit tests.
+// All expect [N, 3, 32, 32] input and emit [N, num_classes] logits.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace alfi::models {
+
+struct ClassifierConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;
+  std::size_t num_classes = 10;
+};
+
+/// Builds the requested architecture (uninitialized weights).
+std::shared_ptr<nn::Sequential> make_mini_alexnet(const ClassifierConfig& config = {});
+std::shared_ptr<nn::Sequential> make_mini_vgg(const ClassifierConfig& config = {});
+std::shared_ptr<nn::Sequential> make_mini_resnet(const ClassifierConfig& config = {});
+std::shared_ptr<nn::Sequential> make_lenet(const ClassifierConfig& config = {});
+
+/// Builds by name: "alexnet", "vgg", "resnet", "lenet".
+std::shared_ptr<nn::Sequential> make_classifier(const std::string& name,
+                                                const ClassifierConfig& config = {});
+
+/// A tiny conv3d video/volume classifier (exercises the Conv3d fault
+/// path; input [N, C, D, H, W]).
+struct VolumeClassifierConfig {
+  std::size_t in_channels = 1;
+  std::size_t depth = 8;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t num_classes = 4;
+};
+std::shared_ptr<nn::Sequential> make_conv3d_classifier(
+    const VolumeClassifierConfig& config = {});
+
+}  // namespace alfi::models

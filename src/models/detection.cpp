@@ -1,0 +1,83 @@
+#include "models/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/frcnn_lite.h"
+#include "models/retina_lite.h"
+#include "models/yolo_lite.h"
+
+namespace alfi::models {
+
+std::vector<Detection> nms(std::vector<Detection> detections, float iou_threshold) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection& a, const Detection& b) {
+                     if (std::isnan(a.score)) return false;
+                     if (std::isnan(b.score)) return true;
+                     return a.score > b.score;
+                   });
+  std::vector<Detection> kept;
+  for (const Detection& candidate : detections) {
+    bool suppressed = false;
+    for (const Detection& winner : kept) {
+      if (winner.category == candidate.category &&
+          data::iou(winner.box, candidate.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+std::pair<std::size_t, std::size_t> GridSpec::cell_of(
+    const data::BoundingBox& box) const {
+  const float cx = box.x + box.w / 2;
+  const float cy = box.y + box.h / 2;
+  const std::size_t col = std::min(
+      grid - 1, static_cast<std::size_t>(std::max(0.0f, cx / cell_w())));
+  const std::size_t row = std::min(
+      grid - 1, static_cast<std::size_t>(std::max(0.0f, cy / cell_h())));
+  return {row, col};
+}
+
+data::BoundingBox decode_box(const GridSpec& grid, std::size_t row, std::size_t col,
+                             float tx, float ty, float tw, float th) {
+  const auto sigm = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  const float cx = (static_cast<float>(col) + sigm(tx)) * grid.cell_w();
+  const float cy = (static_cast<float>(row) + sigm(ty)) * grid.cell_h();
+  const float w = sigm(tw) * static_cast<float>(grid.image_w);
+  const float h = sigm(th) * static_cast<float>(grid.image_h);
+  return data::BoundingBox{cx - w / 2, cy - h / 2, w, h};
+}
+
+BoxTarget encode_box(const GridSpec& grid, std::size_t row, std::size_t col,
+                     const data::BoundingBox& box) {
+  const float cx = box.x + box.w / 2;
+  const float cy = box.y + box.h / 2;
+  const auto clamp01 = [](float v) { return std::min(0.999f, std::max(0.001f, v)); };
+  BoxTarget target;
+  target.sx = clamp01(cx / grid.cell_w() - static_cast<float>(col));
+  target.sy = clamp01(cy / grid.cell_h() - static_cast<float>(row));
+  target.sw = clamp01(box.w / static_cast<float>(grid.image_w));
+  target.sh = clamp01(box.h / static_cast<float>(grid.image_h));
+  return target;
+}
+
+std::unique_ptr<Detector> make_detector(const std::string& family, const GridSpec& grid,
+                                        std::size_t num_classes,
+                                        std::size_t in_channels) {
+  if (family == "yolo" || family == "yolov3") {
+    return std::make_unique<YoloLite>(grid, num_classes, in_channels);
+  }
+  if (family == "retina" || family == "retinanet") {
+    return std::make_unique<RetinaLite>(grid, num_classes, in_channels);
+  }
+  if (family == "frcnn" || family == "faster-rcnn") {
+    return std::make_unique<FrcnnLite>(grid, num_classes, in_channels);
+  }
+  throw ConfigError("unknown detector family: " + family);
+}
+
+}  // namespace alfi::models

@@ -1,0 +1,295 @@
+#include "models/frcnn_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace alfi::models {
+
+namespace {
+constexpr std::size_t kFeatureChannels = 64;
+constexpr float kLambdaBox = 5.0f;
+constexpr float kLambdaNoObj = 0.5f;
+constexpr float kNmsIou = 0.45f;
+
+float sigm(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+}  // namespace
+
+FrcnnModule::FrcnnModule(std::size_t in_channels, std::size_t num_classes)
+    : num_classes_(num_classes) {
+  auto backbone = std::make_shared<nn::Sequential>();
+  backbone->append(std::make_shared<nn::Conv2d>(in_channels, 16, 3, 1, 1));
+  backbone->append(std::make_shared<nn::ReLU>());
+  backbone->append(std::make_shared<nn::MaxPool2d>(2));
+  backbone->append(std::make_shared<nn::Conv2d>(16, 32, 3, 1, 1));
+  backbone->append(std::make_shared<nn::ReLU>());
+  backbone->append(std::make_shared<nn::MaxPool2d>(2));
+  backbone->append(std::make_shared<nn::Conv2d>(32, kFeatureChannels, 3, 1, 1));
+  backbone->append(std::make_shared<nn::ReLU>());
+  backbone->append(std::make_shared<nn::MaxPool2d>(2));
+
+  auto rpn = std::make_shared<nn::Sequential>();
+  rpn->append(std::make_shared<nn::Conv2d>(kFeatureChannels, 5, 1, 1, 0));
+
+  auto head = std::make_shared<nn::Sequential>();
+  head->append(std::make_shared<nn::Linear>(kFeatureChannels, 64));
+  head->append(std::make_shared<nn::ReLU>());
+  head->append(std::make_shared<nn::Linear>(64, (num_classes + 1) + 4));
+
+  backbone_ = register_child("backbone", std::move(backbone));
+  rpn_ = register_child("rpn", std::move(rpn));
+  head_ = register_child("head", std::move(head));
+}
+
+Tensor FrcnnModule::compute(const Tensor& input) {
+  last_features_ = backbone_->forward(input);
+  return rpn_->forward(*last_features_);
+}
+
+void FrcnnModule::probe_forward(const Tensor& input) {
+  forward(input);
+  head_->forward(Tensor(Shape{1, kFeatureChannels}));
+}
+
+Tensor FrcnnModule::backward(const Tensor& grad_output) {
+  return backbone_->backward(rpn_->backward(grad_output));
+}
+
+const Tensor& FrcnnModule::last_features() const {
+  ALFI_CHECK(last_features_.has_value(), "FrcnnModule: forward has not run yet");
+  return *last_features_;
+}
+
+Tensor FrcnnModule::head_forward(const Tensor& proposal_features) {
+  return head_->forward(proposal_features);
+}
+
+Tensor FrcnnModule::head_backward(const Tensor& grad_output) {
+  return head_->backward(grad_output);
+}
+
+FrcnnLite::FrcnnLite(const GridSpec& grid, std::size_t num_classes,
+                     std::size_t in_channels)
+    : grid_(grid), num_classes_(num_classes) {
+  ALFI_CHECK(grid.image_h == grid.grid * 8 && grid.image_w == grid.grid * 8,
+             "FrcnnLite expects an 8x spatial reduction (image = 8 * grid)");
+  net_ = std::make_shared<FrcnnModule>(in_channels, num_classes);
+}
+
+std::vector<std::vector<Detection>> FrcnnLite::detect(const Tensor& images,
+                                                      float conf_threshold) {
+  const Tensor rpn_out = net_->forward(images);
+  const Tensor& features = net_->last_features();
+  const std::size_t n = rpn_out.dim(0);
+  const std::size_t s = grid_.grid;
+  const std::size_t plane = s * s;
+
+  std::vector<std::vector<Detection>> results(n);
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    const float* base = rpn_out.raw() + sample * 5 * plane;
+
+    // Select top proposals by objectness.
+    std::vector<std::pair<float, std::size_t>> scored;
+    scored.reserve(plane);
+    for (std::size_t cell = 0; cell < plane; ++cell) {
+      const float obj = sigm(base[0 * plane + cell]);
+      if (std::isnan(obj)) continue;
+      scored.emplace_back(obj, cell);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    const std::size_t proposal_count = std::min(kProposalsPerImage, scored.size());
+    if (proposal_count == 0) continue;
+
+    // Pool the proposal cells' feature vectors.
+    Tensor pooled(Shape{proposal_count, kFeatureChannels});
+    for (std::size_t p = 0; p < proposal_count; ++p) {
+      const std::size_t cell = scored[p].second;
+      for (std::size_t c = 0; c < kFeatureChannels; ++c) {
+        pooled.raw()[p * kFeatureChannels + c] =
+            features.raw()[(sample * kFeatureChannels + c) * plane + cell];
+      }
+    }
+
+    const Tensor head_out = net_->head_forward(pooled);
+    const std::size_t head_channels = (num_classes_ + 1) + 4;
+
+    std::vector<Detection> dets;
+    for (std::size_t p = 0; p < proposal_count; ++p) {
+      const float* h = head_out.raw() + p * head_channels;
+      // softmax over K+1 (background is class index num_classes_)
+      float max_logit = -std::numeric_limits<float>::infinity();
+      for (std::size_t k = 0; k <= num_classes_; ++k) max_logit = std::max(max_logit, h[k]);
+      double total = 0.0;
+      for (std::size_t k = 0; k <= num_classes_; ++k) total += std::exp(h[k] - max_logit);
+      std::size_t best = num_classes_;
+      float best_prob = 0.0f;
+      for (std::size_t k = 0; k <= num_classes_; ++k) {
+        const float prob = static_cast<float>(std::exp(h[k] - max_logit) / total);
+        if (prob > best_prob) {
+          best_prob = prob;
+          best = k;
+        }
+      }
+      if (best == num_classes_) continue;  // background wins
+      const float score = scored[p].first * best_prob;
+      if (!(score > conf_threshold)) continue;
+
+      const std::size_t cell = scored[p].second;
+      Detection det;
+      det.box = decode_box(grid_, cell / s, cell % s, h[num_classes_ + 1 + 0],
+                           h[num_classes_ + 1 + 1], h[num_classes_ + 1 + 2],
+                           h[num_classes_ + 1 + 3]);
+      det.category = best;
+      det.score = score;
+      dets.push_back(det);
+    }
+    results[sample] = nms(std::move(dets), kNmsIou);
+  }
+  return results;
+}
+
+float FrcnnLite::train_step(const data::DetectionBatch& batch) {
+  net_->set_training(true);
+  const Tensor rpn_out = net_->forward(batch.images);
+  const Tensor& features = net_->last_features();
+  const std::size_t n = rpn_out.dim(0);
+  const std::size_t s = grid_.grid;
+  const std::size_t plane = s * s;
+
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  Tensor grad_rpn(rpn_out.shape());
+
+  // ---- stage 1: RPN objectness + box ------------------------------------
+  std::vector<std::vector<int>> assigned_all(n, std::vector<int>(plane, -1));
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    const float* base = rpn_out.raw() + sample * 5 * plane;
+    float* gbase = grad_rpn.raw() + sample * 5 * plane;
+    auto& assigned = assigned_all[sample];
+    for (std::size_t a = 0; a < batch.annotations[sample].size(); ++a) {
+      const auto [row, col] = grid_.cell_of(batch.annotations[sample][a].bbox);
+      assigned[row * s + col] = static_cast<int>(a);
+    }
+
+    for (std::size_t cell = 0; cell < plane; ++cell) {
+      const float p = sigm(base[0 * plane + cell]);
+      if (assigned[cell] < 0) {
+        loss += -kLambdaNoObj * std::log(std::max(1e-7f, 1.0f - p)) * inv_n;
+        gbase[0 * plane + cell] = kLambdaNoObj * p * inv_n;
+        continue;
+      }
+      const data::Annotation& ann =
+          batch.annotations[sample][static_cast<std::size_t>(assigned[cell])];
+      loss += -std::log(std::max(1e-7f, p)) * inv_n;
+      gbase[0 * plane + cell] = (p - 1.0f) * inv_n;
+
+      const BoxTarget target = encode_box(grid_, cell / s, cell % s, ann.bbox);
+      const float targets[4] = {target.sx, target.sy, target.sw, target.sh};
+      for (std::size_t b = 0; b < 4; ++b) {
+        const float t = base[(1 + b) * plane + cell];
+        const float sp = sigm(t);
+        const float diff = sp - targets[b];
+        loss += kLambdaBox * diff * diff * inv_n;
+        gbase[(1 + b) * plane + cell] =
+            kLambdaBox * 2.0f * diff * sp * (1.0f - sp) * inv_n;
+      }
+    }
+  }
+
+  // ---- stage 2: head on GT cells (positives) + one negative per image ----
+  struct ProposalRef {
+    std::size_t sample;
+    std::size_t cell;
+    int annotation;  // -1 => background
+  };
+  std::vector<ProposalRef> proposals;
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    for (std::size_t cell = 0; cell < plane; ++cell) {
+      if (assigned_all[sample][cell] >= 0) {
+        proposals.push_back({sample, cell, assigned_all[sample][cell]});
+      }
+    }
+    // one deterministic background proposal per image
+    for (std::size_t cell = 0; cell < plane; ++cell) {
+      if (assigned_all[sample][cell] < 0) {
+        proposals.push_back({sample, cell, -1});
+        break;
+      }
+    }
+  }
+
+  if (!proposals.empty()) {
+    Tensor pooled(Shape{proposals.size(), kFeatureChannels});
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      for (std::size_t c = 0; c < kFeatureChannels; ++c) {
+        pooled.raw()[p * kFeatureChannels + c] =
+            features.raw()[(proposals[p].sample * kFeatureChannels + c) * plane +
+                           proposals[p].cell];
+      }
+    }
+    const Tensor head_out = net_->head_forward(pooled);
+    const std::size_t head_channels = (num_classes_ + 1) + 4;
+    Tensor grad_head(head_out.shape());
+    const float inv_p = 1.0f / static_cast<float>(proposals.size());
+
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      const float* h = head_out.raw() + p * head_channels;
+      float* g = grad_head.raw() + p * head_channels;
+      const std::size_t target_class =
+          proposals[p].annotation < 0
+              ? num_classes_
+              : batch.annotations[proposals[p].sample]
+                    [static_cast<std::size_t>(proposals[p].annotation)]
+                        .category_id;
+
+      float max_logit = -std::numeric_limits<float>::infinity();
+      for (std::size_t k = 0; k <= num_classes_; ++k) max_logit = std::max(max_logit, h[k]);
+      double total = 0.0;
+      for (std::size_t k = 0; k <= num_classes_; ++k) total += std::exp(h[k] - max_logit);
+      for (std::size_t k = 0; k <= num_classes_; ++k) {
+        const float prob = static_cast<float>(std::exp(h[k] - max_logit) / total);
+        const float t = (k == target_class) ? 1.0f : 0.0f;
+        if (k == target_class) loss += -std::log(std::max(1e-7f, prob)) * inv_p;
+        g[k] = (prob - t) * inv_p;
+      }
+
+      if (proposals[p].annotation >= 0) {
+        const data::Annotation& ann =
+            batch.annotations[proposals[p].sample]
+                [static_cast<std::size_t>(proposals[p].annotation)];
+        const BoxTarget target =
+            encode_box(grid_, proposals[p].cell / s, proposals[p].cell % s, ann.bbox);
+        const float targets[4] = {target.sx, target.sy, target.sw, target.sh};
+        for (std::size_t b = 0; b < 4; ++b) {
+          const float t = h[num_classes_ + 1 + b];
+          const float sp = sigm(t);
+          const float diff = sp - targets[b];
+          loss += kLambdaBox * diff * diff * inv_p;
+          g[num_classes_ + 1 + b] =
+              kLambdaBox * 2.0f * diff * sp * (1.0f - sp) * inv_p;
+        }
+      }
+    }
+
+    // Backward through the head, scatter the pooled gradient into the
+    // feature-map gradient, add the RPN contribution, then the backbone.
+    const Tensor grad_pooled = net_->head_backward(grad_head);
+    Tensor grad_features = net_->rpn().backward(grad_rpn);
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      for (std::size_t c = 0; c < kFeatureChannels; ++c) {
+        grad_features.raw()[(proposals[p].sample * kFeatureChannels + c) * plane +
+                            proposals[p].cell] +=
+            grad_pooled.raw()[p * kFeatureChannels + c];
+      }
+    }
+    net_->backbone().backward(grad_features);
+  } else {
+    net_->backward(grad_rpn);
+  }
+
+  net_->set_training(false);
+  return static_cast<float>(loss);
+}
+
+}  // namespace alfi::models

@@ -1,0 +1,58 @@
+// RetinaLite: single-stage detector with separate classification and box
+// subnets and a focal-style loss (RetinaNet-family analogue).
+//
+// Network output: [N, K+4, S, S] with channels
+//   0..K-1   independent per-class logits (sigmoid activation, no
+//            objectness channel — like RetinaNet's class subnet)
+//   K..K+3   tx, ty, tw, th
+#pragma once
+
+#include "models/detection.h"
+
+namespace alfi::models {
+
+/// Composite module: backbone + class subnet + box subnet, concatenated
+/// along the channel axis so the whole network remains one Module tree
+/// for the fault injector.
+class RetinaNetModule final : public nn::Module {
+ public:
+  RetinaNetModule(std::size_t in_channels, std::size_t num_classes, std::size_t grid);
+
+  std::string type() const override { return "RetinaNetModule"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::size_t num_classes_;
+  Module* backbone_;
+  Module* cls_head_;
+  Module* box_head_;
+};
+
+class RetinaLite final : public Detector {
+ public:
+  RetinaLite(const GridSpec& grid, std::size_t num_classes, std::size_t in_channels);
+
+  nn::Module& network() override { return *net_; }
+  std::string name() const override { return "retina-lite"; }
+  const GridSpec& grid() const override { return grid_; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  std::vector<std::vector<Detection>> detect(const Tensor& images,
+                                             float conf_threshold) override;
+  float train_step(const data::DetectionBatch& batch) override;
+
+  std::vector<std::vector<Detection>> decode(const Tensor& output,
+                                             float conf_threshold) const;
+
+ private:
+  GridSpec grid_;
+  std::size_t num_classes_;
+  std::shared_ptr<RetinaNetModule> net_;
+};
+
+}  // namespace alfi::models

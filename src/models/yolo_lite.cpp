@@ -1,0 +1,164 @@
+#include "models/yolo_lite.h"
+
+#include <cmath>
+
+namespace alfi::models {
+
+namespace {
+constexpr float kLambdaBox = 5.0f;
+constexpr float kLambdaNoObj = 0.5f;
+constexpr float kNmsIou = 0.45f;
+
+float sigm(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+}  // namespace
+
+YoloLite::YoloLite(const GridSpec& grid, std::size_t num_classes,
+                   std::size_t in_channels)
+    : grid_(grid), num_classes_(num_classes) {
+  ALFI_CHECK(grid.image_h == grid.grid * 8 && grid.image_w == grid.grid * 8,
+             "YoloLite expects an 8x spatial reduction (image = 8 * grid)");
+  net_ = std::make_shared<nn::Sequential>();
+  net_->append(std::make_shared<nn::Conv2d>(in_channels, 16, 3, 1, 1));
+  net_->append(std::make_shared<nn::LeakyReLU>(0.1f));
+  net_->append(std::make_shared<nn::MaxPool2d>(2));
+  net_->append(std::make_shared<nn::Conv2d>(16, 32, 3, 1, 1));
+  net_->append(std::make_shared<nn::LeakyReLU>(0.1f));
+  net_->append(std::make_shared<nn::MaxPool2d>(2));
+  net_->append(std::make_shared<nn::Conv2d>(32, 64, 3, 1, 1));
+  net_->append(std::make_shared<nn::LeakyReLU>(0.1f));
+  net_->append(std::make_shared<nn::MaxPool2d>(2));
+  net_->append(std::make_shared<nn::Conv2d>(64, 5 + num_classes, 1, 1, 0));
+}
+
+std::vector<std::vector<Detection>> YoloLite::decode(const Tensor& output,
+                                                     float conf_threshold) const {
+  const std::size_t n = output.dim(0);
+  const std::size_t channels = 5 + num_classes_;
+  ALFI_CHECK(output.dim(1) == channels && output.dim(2) == grid_.grid &&
+                 output.dim(3) == grid_.grid,
+             "YoloLite decode: unexpected output shape " + output.shape().to_string());
+  const std::size_t s = grid_.grid;
+  const std::size_t plane = s * s;
+
+  std::vector<std::vector<Detection>> results(n);
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    const float* base = output.raw() + sample * channels * plane;
+    std::vector<Detection> dets;
+    for (std::size_t row = 0; row < s; ++row) {
+      for (std::size_t col = 0; col < s; ++col) {
+        const std::size_t cell = row * s + col;
+        const float obj = sigm(base[0 * plane + cell]);
+        if (!(obj > conf_threshold)) continue;  // NaN fails -> skipped
+        // class scores via softmax over class logits
+        float max_logit = -std::numeric_limits<float>::infinity();
+        for (std::size_t k = 0; k < num_classes_; ++k) {
+          max_logit = std::max(max_logit, base[(5 + k) * plane + cell]);
+        }
+        double total = 0.0;
+        for (std::size_t k = 0; k < num_classes_; ++k) {
+          total += std::exp(base[(5 + k) * plane + cell] - max_logit);
+        }
+        std::size_t best_class = 0;
+        float best_prob = 0.0f;
+        for (std::size_t k = 0; k < num_classes_; ++k) {
+          const float prob = static_cast<float>(
+              std::exp(base[(5 + k) * plane + cell] - max_logit) / total);
+          if (prob > best_prob) {
+            best_prob = prob;
+            best_class = k;
+          }
+        }
+        Detection det;
+        det.box = decode_box(grid_, row, col, base[1 * plane + cell],
+                             base[2 * plane + cell], base[3 * plane + cell],
+                             base[4 * plane + cell]);
+        det.category = best_class;
+        det.score = obj * best_prob;
+        if (det.score > conf_threshold) dets.push_back(det);
+      }
+    }
+    results[sample] = nms(std::move(dets), kNmsIou);
+  }
+  return results;
+}
+
+std::vector<std::vector<Detection>> YoloLite::detect(const Tensor& images,
+                                                     float conf_threshold) {
+  return decode(net_->forward(images), conf_threshold);
+}
+
+float YoloLite::train_step(const data::DetectionBatch& batch) {
+  net_->set_training(true);
+  const Tensor output = net_->forward(batch.images);
+  const std::size_t n = output.dim(0);
+  const std::size_t channels = 5 + num_classes_;
+  const std::size_t s = grid_.grid;
+  const std::size_t plane = s * s;
+
+  Tensor grad(output.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    const float* base = output.raw() + sample * channels * plane;
+    float* gbase = grad.raw() + sample * channels * plane;
+
+    // Cell assignment: last annotation wins on collisions (rare).
+    std::vector<int> assigned(plane, -1);
+    for (std::size_t a = 0; a < batch.annotations[sample].size(); ++a) {
+      const auto [row, col] = grid_.cell_of(batch.annotations[sample][a].bbox);
+      assigned[row * s + col] = static_cast<int>(a);
+    }
+
+    for (std::size_t cell = 0; cell < plane; ++cell) {
+      const float obj_logit = base[0 * plane + cell];
+      const float p = sigm(obj_logit);
+      if (assigned[cell] < 0) {
+        // no-object BCE
+        loss += -kLambdaNoObj * std::log(std::max(1e-7f, 1.0f - p)) * inv_n;
+        gbase[0 * plane + cell] = kLambdaNoObj * p * inv_n;
+        continue;
+      }
+      const data::Annotation& ann =
+          batch.annotations[sample][static_cast<std::size_t>(assigned[cell])];
+      // objectness BCE, target 1
+      loss += -std::log(std::max(1e-7f, p)) * inv_n;
+      gbase[0 * plane + cell] = (p - 1.0f) * inv_n;
+
+      // box regression on sigmoid outputs
+      const BoxTarget target = encode_box(grid_, cell / s, cell % s, ann.bbox);
+      const float targets[4] = {target.sx, target.sy, target.sw, target.sh};
+      for (std::size_t b = 0; b < 4; ++b) {
+        const float t = base[(1 + b) * plane + cell];
+        const float sp = sigm(t);
+        const float diff = sp - targets[b];
+        loss += kLambdaBox * diff * diff * inv_n;
+        gbase[(1 + b) * plane + cell] =
+            kLambdaBox * 2.0f * diff * sp * (1.0f - sp) * inv_n;
+      }
+
+      // class cross-entropy
+      float max_logit = -std::numeric_limits<float>::infinity();
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        max_logit = std::max(max_logit, base[(5 + k) * plane + cell]);
+      }
+      double total = 0.0;
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        total += std::exp(base[(5 + k) * plane + cell] - max_logit);
+      }
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        const float prob = static_cast<float>(
+            std::exp(base[(5 + k) * plane + cell] - max_logit) / total);
+        const float target_k = (k == ann.category_id) ? 1.0f : 0.0f;
+        if (k == ann.category_id) loss += -std::log(std::max(1e-7f, prob)) * inv_n;
+        gbase[(5 + k) * plane + cell] = (prob - target_k) * inv_n;
+      }
+    }
+  }
+
+  net_->backward(grad);
+  net_->set_training(false);
+  return static_cast<float>(loss);
+}
+
+}  // namespace alfi::models

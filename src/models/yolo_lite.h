@@ -1,0 +1,38 @@
+// YoloLite: single-stage dense detector with per-cell objectness
+// (YOLO-family analogue).
+//
+// Network output: [N, 5+K, S, S] with channels
+//   0       objectness logit
+//   1..4    tx, ty, tw, th (box encoding, see decode_box)
+//   5..5+K  class logits
+#pragma once
+
+#include "models/detection.h"
+
+namespace alfi::models {
+
+class YoloLite final : public Detector {
+ public:
+  YoloLite(const GridSpec& grid, std::size_t num_classes, std::size_t in_channels);
+
+  nn::Module& network() override { return *net_; }
+  std::string name() const override { return "yolo-lite"; }
+  const GridSpec& grid() const override { return grid_; }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  std::vector<std::vector<Detection>> detect(const Tensor& images,
+                                             float conf_threshold) override;
+  float train_step(const data::DetectionBatch& batch) override;
+
+  /// Decodes an already-computed output map (used by the objdet test
+  /// harness to decode original and corrupted outputs identically).
+  std::vector<std::vector<Detection>> decode(const Tensor& output,
+                                             float conf_threshold) const;
+
+ private:
+  GridSpec grid_;
+  std::size_t num_classes_;
+  std::shared_ptr<nn::Sequential> net_;
+};
+
+}  // namespace alfi::models

@@ -1,0 +1,409 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace alfi::nn {
+
+namespace {
+
+float kaiming_stddev(std::size_t fan_in) {
+  ALFI_CHECK(fan_in > 0, "fan_in must be positive");
+  return std::sqrt(2.0f / static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+// ---- Conv2d ----------------------------------------------------------------
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      spec_{stride, padding},
+      weight_(register_parameter(
+          "weight", Tensor(Shape{out_channels, in_channels, kernel, kernel}))),
+      bias_(register_parameter("bias", Tensor(Shape{out_channels}))) {}
+
+void Conv2d::init(Rng& rng) {
+  const float stddev = kaiming_stddev(in_channels_ * kernel_ * kernel_);
+  weight_->value = Tensor::normal(weight_->value.shape(), rng, 0.0f, stddev);
+  bias_->value.fill(0.0f);
+}
+
+Tensor Conv2d::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::conv2d_forward(input, weight_->value, bias_->value, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "Conv2d backward before forward");
+  auto grads = ops::conv2d_backward(*cached_input_, weight_->value, grad_output, spec_);
+  ops::add_inplace(weight_->grad, grads.grad_weight);
+  ops::add_inplace(bias_->grad, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+// ---- Conv3d ----------------------------------------------------------------
+
+Conv3d::Conv3d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      spec_{stride, padding},
+      weight_(register_parameter(
+          "weight",
+          Tensor(Shape{out_channels, in_channels, kernel, kernel, kernel}))),
+      bias_(register_parameter("bias", Tensor(Shape{out_channels}))) {}
+
+void Conv3d::init(Rng& rng) {
+  const float stddev = kaiming_stddev(in_channels_ * kernel_ * kernel_ * kernel_);
+  weight_->value = Tensor::normal(weight_->value.shape(), rng, 0.0f, stddev);
+  bias_->value.fill(0.0f);
+}
+
+Tensor Conv3d::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::conv3d_forward(input, weight_->value, bias_->value, spec_);
+}
+
+Tensor Conv3d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "Conv3d backward before forward");
+  auto grads = ops::conv3d_backward(*cached_input_, weight_->value, grad_output, spec_);
+  ops::add_inplace(weight_->grad, grads.grad_weight);
+  ops::add_inplace(bias_->grad, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+// ---- Linear ----------------------------------------------------------------
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(register_parameter("weight", Tensor(Shape{out_features, in_features}))),
+      bias_(register_parameter("bias", Tensor(Shape{out_features}))) {}
+
+void Linear::init(Rng& rng) {
+  const float stddev = kaiming_stddev(in_features_);
+  weight_->value = Tensor::normal(weight_->value.shape(), rng, 0.0f, stddev);
+  bias_->value.fill(0.0f);
+}
+
+Tensor Linear::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::linear_forward(input, weight_->value, bias_->value);
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "Linear backward before forward");
+  auto grads = ops::linear_backward(*cached_input_, weight_->value, grad_output);
+  ops::add_inplace(weight_->grad, grads.grad_weight);
+  ops::add_inplace(bias_->grad, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+// ---- activations -----------------------------------------------------------
+
+Tensor ReLU::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::relu(input);
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "ReLU backward before forward");
+  return ops::relu_backward(*cached_input_, grad_output);
+}
+
+Tensor LeakyReLU::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::leaky_relu(input, slope_);
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "LeakyReLU backward before forward");
+  return ops::leaky_relu_backward(*cached_input_, slope_, grad_output);
+}
+
+Tensor Sigmoid::compute(const Tensor& input) {
+  Tensor out = ops::sigmoid(input);
+  if (training()) cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_output_.has_value(), "Sigmoid backward before forward");
+  return ops::sigmoid_backward(*cached_output_, grad_output);
+}
+
+Tensor Tanh::compute(const Tensor& input) {
+  Tensor out = ops::tanh_act(input);
+  if (training()) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_output_.has_value(), "Tanh backward before forward");
+  return ops::tanh_backward(*cached_output_, grad_output);
+}
+
+// ---- pooling ---------------------------------------------------------------
+
+Tensor MaxPool2d::compute(const Tensor& input) {
+  ops::MaxPoolResult result = ops::maxpool2d_forward(input, spec_);
+  Tensor output = result.output;
+  if (training()) {
+    cached_input_ = input;
+    cached_result_ = std::move(result);
+  }
+  return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value() && cached_result_.has_value(),
+             "MaxPool2d backward before forward");
+  return ops::maxpool2d_backward(*cached_input_, *cached_result_, grad_output);
+}
+
+Tensor AvgPool2d::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::avgpool2d_forward(input, spec_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "AvgPool2d backward before forward");
+  return ops::avgpool2d_backward(*cached_input_, spec_, grad_output);
+}
+
+Tensor GlobalAvgPool2d::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::global_avgpool2d(input);
+}
+
+Tensor GlobalAvgPool2d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "GlobalAvgPool2d backward before forward");
+  return ops::global_avgpool2d_backward(*cached_input_, grad_output);
+}
+
+// ---- BatchNorm2d -----------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(register_parameter("weight", Tensor::ones(Shape{channels}))),
+      beta_(register_parameter("bias", Tensor(Shape{channels}))),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::ones(Shape{channels})) {
+  register_buffer("running_mean", &running_mean_);
+  register_buffer("running_var", &running_var_);
+}
+
+Tensor BatchNorm2d::compute(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 4 && input.dim(1) == channels_,
+             "BatchNorm2d expects [N," + std::to_string(channels_) + ",H,W]");
+  const std::size_t n = input.dim(0), c = channels_,
+                    plane = input.dim(2) * input.dim(3);
+  const std::size_t per_channel = n * plane;
+  Tensor out(input.shape());
+
+  if (training()) {
+    cached_input_ = input;
+    cached_mean_.assign(c, 0.0f);
+    cached_inv_std_.assign(c, 0.0f);
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      double mean = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) mean += src[i];
+      }
+      mean /= static_cast<double>(per_channel);
+      double var = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const double d = src[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+
+      running_mean_.raw()[ch] = (1.0f - momentum_) * running_mean_.raw()[ch] +
+                                momentum_ * static_cast<float>(mean);
+      running_var_.raw()[ch] = (1.0f - momentum_) * running_var_.raw()[ch] +
+                               momentum_ * static_cast<float>(var);
+
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_mean_[ch] = static_cast<float>(mean);
+      cached_inv_std_[ch] = inv_std;
+      const float g = gamma_->value.raw()[ch];
+      const float b = beta_->value.raw()[ch];
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * c + ch) * plane;
+        float* dst = out.raw() + (s * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          dst[i] = (src[i] - static_cast<float>(mean)) * inv_std * g + b;
+        }
+      }
+    }
+  } else {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float mean = running_mean_.raw()[ch];
+      const float inv_std = 1.0f / std::sqrt(running_var_.raw()[ch] + eps_);
+      const float g = gamma_->value.raw()[ch];
+      const float b = beta_->value.raw()[ch];
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * c + ch) * plane;
+        float* dst = out.raw() + (s * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          dst[i] = (src[i] - mean) * inv_std * g + b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "BatchNorm2d backward before forward");
+  const Tensor& input = *cached_input_;
+  const std::size_t n = input.dim(0), c = channels_,
+                    plane = input.dim(2) * input.dim(3);
+  const double m = static_cast<double>(n * plane);
+  Tensor grad_input(input.shape());
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float mean = cached_mean_[ch];
+    const float inv_std = cached_inv_std_[ch];
+    const float g = gamma_->value.raw()[ch];
+
+    // Accumulate sum(dY), sum(dY * x_hat) for the channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* x = input.raw() + (s * c + ch) * plane;
+      const float* dy = grad_output.raw() + (s * c + ch) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xhat = (x[i] - mean) * inv_std;
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xhat;
+      }
+    }
+    gamma_->grad.raw()[ch] += static_cast<float>(sum_dy_xhat);
+    beta_->grad.raw()[ch] += static_cast<float>(sum_dy);
+
+    // dX = (g * inv_std / m) * (m*dY - sum(dY) - x_hat * sum(dY*x_hat))
+    const float k = g * inv_std / static_cast<float>(m);
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* x = input.raw() + (s * c + ch) * plane;
+      const float* dy = grad_output.raw() + (s * c + ch) * plane;
+      float* dx = grad_input.raw() + (s * c + ch) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xhat = (x[i] - mean) * inv_std;
+        dx[i] = k * (static_cast<float>(m) * dy[i] - static_cast<float>(sum_dy) -
+                     xhat * static_cast<float>(sum_dy_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ---- Flatten / Softmax / Dropout -------------------------------------------
+
+Tensor Flatten::compute(const Tensor& input) {
+  ALFI_CHECK(input.rank() >= 1, "Flatten expects batched input");
+  cached_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  return input.reshaped(Shape{n, input.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_shape_.has_value(), "Flatten backward before forward");
+  return grad_output.reshaped(*cached_shape_);
+}
+
+Tensor Softmax::compute(const Tensor& input) { return ops::softmax_rows(input); }
+
+Dropout::Dropout(float probability, Rng* rng)
+    : probability_(probability), rng_(rng) {
+  ALFI_CHECK(probability >= 0.0f && probability < 1.0f,
+             "dropout probability must be in [0, 1)");
+  ALFI_CHECK(rng != nullptr, "Dropout needs an Rng");
+}
+
+Tensor Dropout::compute(const Tensor& input) {
+  if (!training() || probability_ == 0.0f) return input;
+  Tensor mask(input.shape());
+  const float keep = 1.0f - probability_;
+  const float scale = 1.0f / keep;
+  for (std::size_t i = 0; i < mask.numel(); ++i) {
+    mask.raw()[i] = rng_->bernoulli(keep) ? scale : 0.0f;
+  }
+  cached_mask_ = mask;
+  return ops::mul(input, mask);
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!cached_mask_.has_value()) return grad_output;  // eval-mode identity
+  return ops::mul(grad_output, *cached_mask_);
+}
+
+// ---- Sequential / Residual --------------------------------------------------
+
+Module* Sequential::append(std::shared_ptr<Module> layer, std::string name) {
+  if (name.empty()) name = std::to_string(children().size());
+  return register_child(std::move(name), std::move(layer));
+}
+
+Tensor Sequential::compute(const Tensor& input) {
+  Tensor value = input;
+  for (const auto& [name, child] : children()) {
+    (void)name;
+    value = child->forward(value);
+  }
+  return value;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const auto& kids = children();
+  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+    grad = it->second->backward(grad);
+  }
+  return grad;
+}
+
+Residual::Residual(std::shared_ptr<Module> main, std::shared_ptr<Module> shortcut)
+    : main_(register_child("main", std::move(main))),
+      shortcut_(shortcut ? register_child("shortcut", std::move(shortcut)) : nullptr) {}
+
+Tensor Residual::compute(const Tensor& input) {
+  Tensor main_out = main_->forward(input);
+  Tensor skip = shortcut_ ? shortcut_->forward(input) : input;
+  Tensor sum = ops::add(main_out, skip);
+  if (training()) cached_sum_ = sum;
+  return ops::relu(sum);
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_sum_.has_value(), "Residual backward before forward");
+  const Tensor grad_sum = ops::relu_backward(*cached_sum_, grad_output);
+  Tensor grad_input = main_->backward(grad_sum);
+  if (shortcut_) {
+    ops::add_inplace(grad_input, shortcut_->backward(grad_sum));
+  } else {
+    ops::add_inplace(grad_input, grad_sum);
+  }
+  return grad_input;
+}
+
+// ---- init -------------------------------------------------------------------
+
+void kaiming_init(Module& root, Rng& rng) {
+  root.for_each_module([&rng](const std::string&, Module& m) {
+    if (auto* conv2d = dynamic_cast<Conv2d*>(&m)) conv2d->init(rng);
+    else if (auto* conv3d = dynamic_cast<Conv3d*>(&m)) conv3d->init(rng);
+    else if (auto* linear = dynamic_cast<Linear*>(&m)) linear->init(rng);
+  });
+}
+
+}  // namespace alfi::nn

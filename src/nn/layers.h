@@ -1,0 +1,298 @@
+// Concrete layers.
+//
+// Every layer caches what its backward pass needs during compute(); a
+// model is trained by calling forward(batch), computing a loss gradient,
+// and passing it back through Module::backward in reverse order (the
+// Sequential container does this automatically).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace alfi::nn {
+
+/// 2-D convolution, layout [N,IC,H,W] -> [N,OC,OH,OW].
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride = 1, std::size_t padding = 0);
+
+  std::string type() const override { return "Conv2d"; }
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  Parameter* weight_param() override { return weight_; }
+  Parameter* bias_param() override { return bias_; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return spec_.stride; }
+  std::size_t padding() const { return spec_.padding; }
+
+  /// Initializes weights (Kaiming-normal) and zero bias.
+  void init(Rng& rng);
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_;
+  ops::Conv2dSpec spec_;
+  Parameter* weight_;
+  Parameter* bias_;
+  std::optional<Tensor> cached_input_;
+};
+
+/// 3-D convolution, layout [N,IC,D,H,W] -> [N,OC,OD,OH,OW].
+class Conv3d : public Module {
+ public:
+  Conv3d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride = 1, std::size_t padding = 0);
+
+  std::string type() const override { return "Conv3d"; }
+  LayerKind kind() const override { return LayerKind::kConv3d; }
+  Parameter* weight_param() override { return weight_; }
+  Parameter* bias_param() override { return bias_; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  void init(Rng& rng);
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_;
+  ops::Conv3dSpec spec_;
+  Parameter* weight_;
+  Parameter* bias_;
+  std::optional<Tensor> cached_input_;
+};
+
+/// Fully connected layer, [N,IN] -> [N,OUT].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  std::string type() const override { return "Linear"; }
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  Parameter* weight_param() override { return weight_; }
+  Parameter* bias_param() override { return bias_; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  void init(Rng& rng);
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::size_t in_features_, out_features_;
+  Parameter* weight_;
+  Parameter* bias_;
+  std::optional<Tensor> cached_input_;
+};
+
+class ReLU : public Module {
+ public:
+  std::string type() const override { return "ReLU"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::optional<Tensor> cached_input_;
+};
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.1f) : slope_(negative_slope) {}
+  std::string type() const override { return "LeakyReLU"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  float slope_;
+  std::optional<Tensor> cached_input_;
+};
+
+class Sigmoid : public Module {
+ public:
+  std::string type() const override { return "Sigmoid"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::optional<Tensor> cached_output_;
+};
+
+class Tanh : public Module {
+ public:
+  std::string type() const override { return "Tanh"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::optional<Tensor> cached_output_;
+};
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel = 2, std::size_t stride = 0)
+      : spec_{kernel, stride == 0 ? kernel : stride} {}
+  std::string type() const override { return "MaxPool2d"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  ops::Pool2dSpec spec_;
+  std::optional<Tensor> cached_input_;
+  std::optional<ops::MaxPoolResult> cached_result_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::size_t kernel = 2, std::size_t stride = 0)
+      : spec_{kernel, stride == 0 ? kernel : stride} {}
+  std::string type() const override { return "AvgPool2d"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  ops::Pool2dSpec spec_;
+  std::optional<Tensor> cached_input_;
+};
+
+/// Global average pooling: [N,C,H,W] -> [N,C].
+class GlobalAvgPool2d : public Module {
+ public:
+  std::string type() const override { return "GlobalAvgPool2d"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::optional<Tensor> cached_input_;
+};
+
+/// Batch normalization over [N,C,H,W]; batch statistics in training
+/// mode, running statistics in eval mode.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  std::string type() const override { return "BatchNorm2d"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::size_t channels_;
+  float eps_, momentum_;
+  Parameter* gamma_;
+  Parameter* beta_;
+  Tensor running_mean_, running_var_;
+  // training-mode backward cache
+  std::optional<Tensor> cached_input_;
+  std::vector<float> cached_mean_, cached_inv_std_;
+};
+
+/// [N, ...] -> [N, prod(...)].
+class Flatten : public Module {
+ public:
+  std::string type() const override { return "Flatten"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  std::optional<Shape> cached_shape_;
+};
+
+/// Row-wise softmax head.
+class Softmax : public Module {
+ public:
+  std::string type() const override { return "Softmax"; }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+};
+
+/// Inverted dropout; identity in eval mode.  Deterministic given the
+/// owning Rng's state.
+class Dropout : public Module {
+ public:
+  Dropout(float probability, Rng* rng);
+  std::string type() const override { return "Dropout"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  float probability_;
+  Rng* rng_;
+  std::optional<Tensor> cached_mask_;
+};
+
+/// Chains children in registration order; backward runs them in reverse.
+class Sequential : public Module {
+ public:
+  std::string type() const override { return "Sequential"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+  /// Appends a layer; name defaults to its index ("0", "1", ...).
+  Module* append(std::shared_ptr<Module> layer, std::string name = "");
+
+  std::size_t size() const { return children().size(); }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+};
+
+/// Residual block: output = relu(main(x) + shortcut(x)).
+/// `shortcut` may be null for identity.
+class Residual : public Module {
+ public:
+  Residual(std::shared_ptr<Module> main, std::shared_ptr<Module> shortcut = nullptr);
+  std::string type() const override { return "Residual"; }
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+
+ private:
+  Module* main_;
+  Module* shortcut_;  // nullptr => identity
+  std::optional<Tensor> cached_sum_;
+};
+
+// -- initialization helpers ----------------------------------------------------
+
+/// Kaiming-normal initialization of every Conv2d/Conv3d/Linear in `root`.
+void kaiming_init(Module& root, Rng& rng);
+
+}  // namespace alfi::nn

@@ -1,0 +1,123 @@
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kConv3d: return "conv3d";
+    case LayerKind::kLinear: return "linear";
+    case LayerKind::kOther: return "other";
+  }
+  return "?";
+}
+
+Tensor Module::forward(const Tensor& input) {
+  Tensor output = compute(input);
+  for (auto& [handle, hook] : hooks_) {
+    (void)handle;
+    hook(*this, input, output);
+  }
+  return output;
+}
+
+Tensor Module::backward(const Tensor&) {
+  throw Error("backward not implemented for layer type " + type());
+}
+
+std::vector<Parameter*> Module::local_parameters() {
+  std::vector<Parameter*> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.get());
+  return out;
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for_each_module([&out](const std::string&, Module& m) {
+    for (Parameter* p : m.local_parameters()) out.push_back(p);
+  });
+  return out;
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t total = 0;
+  for (Parameter* p : parameters()) total += p->value.numel();
+  return total;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+void Module::for_each_module(
+    const std::function<void(const std::string& path, Module&)>& fn) {
+  // Iterative pre-order walk keeping dot-joined paths.
+  struct Frame {
+    std::string path;
+    Module* module;
+  };
+  std::vector<Frame> stack{{"", this}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    fn(frame.path, *frame.module);
+    const auto& kids = frame.module->children_;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      const std::string child_path =
+          frame.path.empty() ? it->first : frame.path + "." + it->first;
+      stack.push_back({child_path, it->second.get()});
+    }
+  }
+}
+
+HookHandle Module::register_forward_hook(ForwardHook hook) {
+  ALFI_CHECK(static_cast<bool>(hook), "cannot register an empty hook");
+  const HookHandle handle{next_hook_id_++};
+  hooks_.emplace_back(handle, std::move(hook));
+  return handle;
+}
+
+void Module::remove_forward_hook(HookHandle handle) {
+  std::erase_if(hooks_, [handle](const auto& entry) {
+    return entry.first.id == handle.id;
+  });
+}
+
+void Module::clear_forward_hooks() { hooks_.clear(); }
+
+void Module::clear_forward_hooks_recursive() {
+  for_each_module([](const std::string&, Module& m) { m.clear_forward_hooks(); });
+}
+
+void Module::set_training(bool training) {
+  for_each_module([training](const std::string&, Module& m) {
+    m.training_ = training;
+  });
+}
+
+Parameter* Module::register_parameter(std::string name, Tensor value) {
+  params_.push_back(std::make_unique<Parameter>(std::move(name), std::move(value)));
+  return params_.back().get();
+}
+
+void Module::register_buffer(std::string name, Tensor* buffer) {
+  ALFI_CHECK(buffer != nullptr, "cannot register a null buffer");
+  for (const auto& [existing, tensor] : buffers_) {
+    (void)tensor;
+    ALFI_CHECK(existing != name, "duplicate buffer name: " + name);
+  }
+  buffers_.emplace_back(std::move(name), buffer);
+}
+
+Module* Module::register_child(std::string name, std::shared_ptr<Module> child) {
+  ALFI_CHECK(child != nullptr, "cannot register a null child module");
+  for (const auto& [existing, module] : children_) {
+    (void)module;
+    ALFI_CHECK(existing != name, "duplicate child module name: " + name);
+  }
+  children_.emplace_back(std::move(name), std::move(child));
+  return children_.back().second.get();
+}
+
+}  // namespace alfi::nn

@@ -1,0 +1,165 @@
+// Module system with named parameters, child traversal and forward hooks.
+//
+// This reproduces the slice of PyTorch's nn.Module contract that
+// PyTorchALFI depends on (paper §II): layers are named modules holding
+// parameters; callers can walk all modules; and *forward hooks* —
+// callbacks that observe and mutate a layer's output tensor in place —
+// are the mechanism for neuron fault injection ("hooks are used for
+// fault injection in neurons, since the values of the tensor position
+// that are to be corrupted are only determined during run time").
+//
+// The public forward() is non-virtual (NVI): it invokes the layer's
+// compute step and then runs registered hooks in registration order, so
+// a layer implementation can never accidentally skip hook execution.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace alfi::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;  // local name within the owning module, e.g. "weight"
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Coarse layer classification used by the fault model to restrict
+/// injection to particular layer types (paper: "Supported layer types
+/// are conv2d, conv3d, and Linear").
+enum class LayerKind { kConv2d, kConv3d, kLinear, kOther };
+
+const char* layer_kind_name(LayerKind kind);
+
+class Module;
+
+/// Identifies one registered hook so it can be removed (mirrors the
+/// handle returned by torch's register_forward_hook).
+struct HookHandle {
+  std::uint64_t id = 0;
+};
+
+/// Forward hook: runs after the layer computed `output`; may mutate
+/// `output` in place.  `module` is the layer the hook is attached to.
+using ForwardHook = std::function<void(Module& module, const Tensor& input, Tensor& output)>;
+
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Runs the layer then all forward hooks; returns the (possibly
+  /// hook-mutated) output.
+  Tensor forward(const Tensor& input);
+
+  /// Drives one inference for profiling purposes so that *every*
+  /// submodule executes at least once.  The default simply forwards;
+  /// multi-stage models whose second stage runs outside compute() (e.g.
+  /// a two-stage detector head) override this to exercise those parts
+  /// too, so layer geometry discovery sees them.
+  virtual void probe_forward(const Tensor& input) { (void)forward(input); }
+
+  /// Backpropagates through the layer using state cached by the most
+  /// recent forward(); accumulates parameter gradients and returns the
+  /// gradient with respect to the input.  Layers that are inference-only
+  /// may throw.
+  virtual Tensor backward(const Tensor& grad_output);
+
+  /// Layer type name, e.g. "Conv2d".
+  virtual std::string type() const = 0;
+
+  virtual LayerKind kind() const { return LayerKind::kOther; }
+
+  /// The layer's weight parameter, or nullptr for weight-less layers.
+  /// Weight fault injection mutates this tensor directly (paper §II:
+  /// "Fault injections into weights don't have to use hooks").
+  virtual Parameter* weight_param() { return nullptr; }
+
+  /// The layer's bias parameter, or nullptr.
+  virtual Parameter* bias_param() { return nullptr; }
+
+  // -- parameters -------------------------------------------------------
+
+  /// Parameters owned directly by this module.
+  std::vector<Parameter*> local_parameters();
+
+  /// All parameters of this module and its descendants, pre-order.
+  std::vector<Parameter*> parameters();
+
+  /// Non-trainable state tensors that must persist with the model
+  /// (e.g. BatchNorm running statistics), name + stable pointer.
+  const std::vector<std::pair<std::string, Tensor*>>& local_buffers() const {
+    return buffers_;
+  }
+
+  /// Total trainable element count in this subtree.
+  std::size_t parameter_count();
+
+  void zero_grad();
+
+  // -- children -----------------------------------------------------------
+
+  /// Named direct children in registration order.
+  const std::vector<std::pair<std::string, std::shared_ptr<Module>>>& children() const {
+    return children_;
+  }
+
+  /// Visits this module and every descendant, pre-order, with dot-joined
+  /// paths ("features.3").  The root's path is "".
+  void for_each_module(const std::function<void(const std::string& path, Module&)>& fn);
+
+  // -- hooks ---------------------------------------------------------------
+
+  HookHandle register_forward_hook(ForwardHook hook);
+  /// Removes one hook; unknown handles are ignored (idempotent).
+  void remove_forward_hook(HookHandle handle);
+  void clear_forward_hooks();
+  std::size_t forward_hook_count() const { return hooks_.size(); }
+
+  /// Removes hooks from this module and every descendant.
+  void clear_forward_hooks_recursive();
+
+  // -- mode ------------------------------------------------------------------
+
+  /// Switches training mode for this subtree (affects BatchNorm, Dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// The layer's computation; hooks are applied by forward().
+  virtual Tensor compute(const Tensor& input) = 0;
+
+  /// Registers a parameter owned by this module; returns a stable pointer.
+  Parameter* register_parameter(std::string name, Tensor value);
+
+  /// Registers a persistent state tensor owned by the derived layer
+  /// (the tensor must outlive the module; typically a data member).
+  void register_buffer(std::string name, Tensor* buffer);
+
+  /// Registers a child module; returns the raw pointer for convenience.
+  Module* register_child(std::string name, std::shared_ptr<Module> child);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  std::vector<std::pair<HookHandle, ForwardHook>> hooks_;
+  std::uint64_t next_hook_id_ = 1;
+  bool training_ = false;
+};
+
+}  // namespace alfi::nn

@@ -1,0 +1,60 @@
+#include "nn/optim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alfi::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad.raw()[j];
+      if (options_.grad_clip > 0.0f) {
+        g = std::min(std::max(g, -options_.grad_clip), options_.grad_clip);
+      }
+      if (options_.weight_decay > 0.0f) g += options_.weight_decay * p.value.raw()[j];
+      vel.raw()[j] = options_.momentum * vel.raw()[j] + g;
+      p.value.raw()[j] -= options_.learning_rate * vel.raw()[j];
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad.raw()[j];
+      if (options_.weight_decay > 0.0f) g += options_.weight_decay * p.value.raw()[j];
+      m_[i].raw()[j] = options_.beta1 * m_[i].raw()[j] + (1.0f - options_.beta1) * g;
+      v_[i].raw()[j] = options_.beta2 * v_[i].raw()[j] + (1.0f - options_.beta2) * g * g;
+      const float mhat = m_[i].raw()[j] / bc1;
+      const float vhat = v_[i].raw()[j] / bc2;
+      p.value.raw()[j] -= options_.learning_rate * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace alfi::nn

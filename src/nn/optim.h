@@ -1,0 +1,62 @@
+// Optimizers for in-repo training of the miniaturized evaluation models.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+class Sgd {
+ public:
+  struct Options {
+    float learning_rate = 0.01f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+    /// Elementwise gradient clip to [-grad_clip, grad_clip]; 0 disables.
+    /// Dense detection losses occasionally spike, and an unclipped spike
+    /// sends small models to NaN.
+    float grad_clip = 0.0f;
+  };
+
+  Sgd(std::vector<Parameter*> params, Options options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+
+  void step();
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Tensor> m_, v_;
+  long step_count_ = 0;
+};
+
+}  // namespace alfi::nn

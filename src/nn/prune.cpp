@@ -1,0 +1,71 @@
+#include "nn/prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace alfi::nn {
+
+namespace {
+
+/// Weight parameters only: the tensors named "weight" on injectable
+/// layers (conv / linear); this matches what weight fault injection
+/// targets.
+std::vector<Parameter*> weight_parameters(Module& root) {
+  std::vector<Parameter*> params;
+  root.for_each_module([&params](const std::string&, Module& m) {
+    if (m.kind() == LayerKind::kOther) return;
+    if (Parameter* w = m.weight_param()) params.push_back(w);
+  });
+  return params;
+}
+
+}  // namespace
+
+PruneReport prune_by_magnitude(Module& root, float fraction) {
+  ALFI_CHECK(fraction >= 0.0f && fraction < 1.0f,
+             "prune fraction must be in [0, 1)");
+  PruneReport report;
+  const std::vector<Parameter*> params = weight_parameters(root);
+  for (const Parameter* p : params) report.considered += p->value.numel();
+  if (fraction == 0.0f || report.considered == 0) return report;
+
+  std::vector<float> magnitudes;
+  magnitudes.reserve(report.considered);
+  for (const Parameter* p : params) {
+    for (const float v : p->value.data()) magnitudes.push_back(std::fabs(v));
+  }
+  const std::size_t cut =
+      static_cast<std::size_t>(static_cast<double>(fraction) * magnitudes.size());
+  if (cut == 0) return report;
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<std::ptrdiff_t>(cut - 1),
+                   magnitudes.end());
+  report.threshold = magnitudes[cut - 1];
+
+  for (Parameter* p : params) {
+    for (float& v : p->value.data()) {
+      if (std::fabs(v) <= report.threshold && v != 0.0f) {
+        v = 0.0f;
+        ++report.pruned;
+      }
+      if (report.pruned >= cut) break;  // exact budget despite ties
+    }
+    if (report.pruned >= cut) break;
+  }
+  return report;
+}
+
+float weight_sparsity(Module& root) {
+  std::size_t zeros = 0, total = 0;
+  for (const Parameter* p : weight_parameters(root)) {
+    for (const float v : p->value.data()) {
+      total += 1;
+      zeros += (v == 0.0f) ? 1 : 0;
+    }
+  }
+  return total == 0 ? 0.0f
+                    : static_cast<float>(zeros) / static_cast<float>(total);
+}
+
+}  // namespace alfi::nn

@@ -1,0 +1,25 @@
+// Magnitude pruning, for the "Compare the robustness of NN between the
+// original model and a pruned version" use case (paper §V).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+struct PruneReport {
+  std::size_t considered = 0;  // weights eligible for pruning
+  std::size_t pruned = 0;      // weights set to zero
+  float threshold = 0.0f;      // |w| below this was removed
+};
+
+/// Zeroes the smallest-magnitude `fraction` of all *weight* values
+/// (biases, batch-norm scales etc. are left untouched) across the whole
+/// module tree — global unstructured magnitude pruning.
+PruneReport prune_by_magnitude(Module& root, float fraction);
+
+/// Fraction of exactly-zero weight values in the tree.
+float weight_sparsity(Module& root);
+
+}  // namespace alfi::nn

@@ -1,0 +1,79 @@
+#include "nn/quantize.h"
+
+#include <cmath>
+
+#include "tensor/bits.h"
+
+namespace alfi::nn {
+
+const char* to_string(NumericType type) {
+  switch (type) {
+    case NumericType::kFloat32: return "fp32";
+    case NumericType::kBfloat16: return "bf16";
+    case NumericType::kFloat16: return "fp16";
+  }
+  return "?";
+}
+
+namespace {
+
+float quantize_bf16(float value) {
+  // Round-to-nearest-even on the upper 16 bits of the fp32 pattern.
+  const std::uint32_t pattern = bits::to_bits(value);
+  const std::uint32_t rounding_bias = 0x7FFF + ((pattern >> 16) & 1);
+  return bits::from_bits((pattern + rounding_bias) & 0xFFFF0000u);
+}
+
+float quantize_fp16(float value) {
+  if (std::isnan(value)) return value;
+  // Clamp to fp16 range, then drop precision below 2^-10 of the value's
+  // binade (round to nearest even via scalbn arithmetic).
+  constexpr float kMax = 65504.0f;
+  if (value > kMax) return std::numeric_limits<float>::infinity();
+  if (value < -kMax) return -std::numeric_limits<float>::infinity();
+  if (value == 0.0f) return value;
+  int exponent = 0;
+  std::frexp(value, &exponent);  // value = m * 2^exponent, m in [0.5, 1)
+  // fp16 subnormals: smallest positive is 2^-24
+  const int shift = std::max(exponent - 11, -24);
+  const float scale = std::ldexp(1.0f, shift);
+  const float quantized = std::nearbyint(value / scale) * scale;
+  return quantized;
+}
+
+}  // namespace
+
+float quantize_value(float value, NumericType type) {
+  switch (type) {
+    case NumericType::kFloat32: return value;
+    case NumericType::kBfloat16: return quantize_bf16(value);
+    case NumericType::kFloat16: return quantize_fp16(value);
+  }
+  return value;
+}
+
+std::size_t quantize_parameters(Module& root, NumericType type) {
+  if (type == NumericType::kFloat32) return 0;
+  std::size_t changed = 0;
+  for (Parameter* param : root.parameters()) {
+    for (float& v : param->value.data()) {
+      const float q = quantize_value(v, type);
+      if (bits::to_bits(q) != bits::to_bits(v)) {
+        v = q;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+int lowest_live_bit(NumericType type) {
+  switch (type) {
+    case NumericType::kFloat32: return 0;
+    case NumericType::kBfloat16: return 16;
+    case NumericType::kFloat16: return 13;
+  }
+  return 0;
+}
+
+}  // namespace alfi::nn

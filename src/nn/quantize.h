@@ -1,0 +1,41 @@
+// Numeric-type emulation for the "Evaluating the vulnerability of
+// different numeric types" use case (paper §V).
+//
+// The framework computes in fp32; reduced-precision types are emulated
+// by rounding every parameter to the nearest representable value of the
+// target type while keeping fp32 storage.  A fault campaign on an
+// emulated-bf16 model restricted to bf16's live bit positions (31..16)
+// then measures that type's vulnerability: bf16 has 8 fewer mantissa
+// bits, so a uniformly drawn fault is far more likely to land in the
+// high-impact exponent field.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+enum class NumericType {
+  kFloat32,   // native
+  kBfloat16,  // 1 sign, 8 exponent, 7 mantissa — fp32 with bits 15..0 zeroed
+  kFloat16,   // 1 sign, 5 exponent, 10 mantissa (IEEE half), emulated
+};
+
+const char* to_string(NumericType type);
+
+/// Rounds one fp32 value to the nearest representable value of `type`
+/// (ties to even for bf16; fp16 via round-trip conversion with clamping
+/// to +-inf on overflow).
+float quantize_value(float value, NumericType type);
+
+/// Quantizes every parameter of `root` in place; returns the number of
+/// values whose bits changed.
+std::size_t quantize_parameters(Module& root, NumericType type);
+
+/// Lowest fp32 bit position that is still meaningful for `type` when
+/// values are kept `type`-rounded (faults below it would be erased by
+/// the next re-quantization).  fp32 -> 0, bf16 -> 16, fp16 -> 13.
+int lowest_live_bit(NumericType type);
+
+}  // namespace alfi::nn

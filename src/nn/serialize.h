@@ -1,0 +1,17 @@
+// Parameter (de)serialization so trained evaluation models can be cached
+// across benchmark runs instead of re-trained.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+/// Writes every parameter of `root` (pre-order path + tensor) to `path`.
+void save_parameters(Module& root, const std::string& path);
+
+/// Loads parameters into `root`; shapes and paths must match exactly.
+void load_parameters(Module& root, const std::string& path);
+
+}  // namespace alfi::nn

@@ -1,0 +1,14 @@
+#include "tensor/bits.h"
+
+namespace alfi::bits {
+
+std::string to_binary_string(float value) {
+  const std::uint32_t pattern = to_bits(value);
+  std::string out(32, '0');
+  for (int bit = 31; bit >= 0; --bit) {
+    if ((pattern >> bit) & 1u) out[static_cast<std::size_t>(31 - bit)] = '1';
+  }
+  return out;
+}
+
+}  // namespace alfi::bits

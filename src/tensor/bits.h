@@ -1,0 +1,76 @@
+// IEEE-754 binary32 bit manipulation — the heart of the fault model.
+//
+// Bit numbering follows the paper's convention (rnd_bit_range: [0, 31]):
+// bit 31 is the sign, bits 30..23 the exponent, bits 22..0 the mantissa.
+// A "bit flip" toggles exactly one of these positions via std::bit_cast,
+// which is bit-exact and has no undefined behaviour (unlike unions or
+// reinterpret_cast).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace alfi::bits {
+
+inline constexpr int kSignBit = 31;
+inline constexpr int kExponentHigh = 30;
+inline constexpr int kExponentLow = 23;
+inline constexpr int kMantissaHigh = 22;
+inline constexpr int kMantissaLow = 0;
+
+/// Raw bit pattern of a float.
+inline std::uint32_t to_bits(float value) {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+/// Float with the given bit pattern.
+inline float from_bits(std::uint32_t pattern) {
+  return std::bit_cast<float>(pattern);
+}
+
+inline void check_bit(int bit) {
+  ALFI_CHECK(bit >= 0 && bit <= 31, "fp32 bit position must be in [0, 31]");
+}
+
+/// Value of bit `bit` in `value` (0 or 1).
+inline int get_bit(float value, int bit) {
+  check_bit(bit);
+  return static_cast<int>((to_bits(value) >> bit) & 1u);
+}
+
+/// Returns `value` with bit `bit` toggled.
+inline float flip_bit(float value, int bit) {
+  check_bit(bit);
+  return from_bits(to_bits(value) ^ (1u << bit));
+}
+
+/// Returns `value` with bit `bit` forced to `on` (stuck-at fault model).
+inline float set_bit(float value, int bit, bool on) {
+  check_bit(bit);
+  const std::uint32_t mask = 1u << bit;
+  const std::uint32_t pattern = to_bits(value);
+  return from_bits(on ? (pattern | mask) : (pattern & ~mask));
+}
+
+inline bool is_sign_bit(int bit) { return bit == kSignBit; }
+inline bool is_exponent_bit(int bit) {
+  return bit >= kExponentLow && bit <= kExponentHigh;
+}
+inline bool is_mantissa_bit(int bit) {
+  return bit >= kMantissaLow && bit <= kMantissaHigh;
+}
+
+/// Direction of the flip that produced `after` from `before` at `bit`:
+/// "0->1" or "1->0" (paper §V.B: fault files record "bit position changes
+/// (from 0→1 or vice-versa)").
+inline std::string flip_direction(float before, int bit) {
+  return get_bit(before, bit) == 0 ? "0->1" : "1->0";
+}
+
+/// 32-character binary string (bit 31 first) for diagnostics.
+std::string to_binary_string(float value);
+
+}  // namespace alfi::bits

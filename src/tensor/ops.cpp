@@ -1,0 +1,744 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alfi::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  ALFI_CHECK(a.shape() == b.shape(), std::string(op) + ": shape mismatch " +
+                                         a.shape().to_string() + " vs " +
+                                         b.shape().to_string());
+}
+
+}  // namespace
+
+// ---- elementwise -----------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] + b.raw()[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] - b.raw()[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] * b.raw()[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float factor) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] * factor;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a.raw()[i] += b.raw()[i];
+}
+
+void axpy_inplace(Tensor& a, float factor, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a.raw()[i] += factor * b.raw()[i];
+}
+
+// ---- linear algebra --------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ALFI_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
+  const std::size_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  ALFI_CHECK(k == k2, "matmul inner dimensions differ: " + a.shape().to_string() +
+                          " vs " + b.shape().to_string());
+  Tensor out(Shape{m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  // i-k-j loop order: streams through b and out rows, cache-friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  ALFI_CHECK(a.rank() == 2, "transpose2d expects rank-2 tensor");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.raw()[j * m + i] = a.raw()[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias) {
+  ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
+  ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
+  const std::size_t n = input.dim(0), in = input.dim(1);
+  const std::size_t out_features = weight.dim(0);
+  ALFI_CHECK(weight.dim(1) == in, "linear weight IN mismatch");
+  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == out_features, "linear bias mismatch");
+  Tensor out(Shape{n, out_features});
+  for (std::size_t row = 0; row < n; ++row) {
+    const float* x = input.raw() + row * in;
+    float* y = out.raw() + row * out_features;
+    for (std::size_t o = 0; o < out_features; ++o) {
+      const float* w = weight.raw() + o * in;
+      double acc = bias.raw()[o];
+      for (std::size_t i = 0; i < in; ++i) acc += static_cast<double>(w[i]) * x[i];
+      y[o] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+LinearGrads linear_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output) {
+  const std::size_t n = input.dim(0), in = input.dim(1);
+  const std::size_t out_features = weight.dim(0);
+  ALFI_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                 grad_output.dim(1) == out_features,
+             "linear grad_output shape mismatch");
+  LinearGrads grads{Tensor(Shape{n, in}), Tensor(Shape{out_features, in}),
+                    Tensor(Shape{out_features})};
+  for (std::size_t row = 0; row < n; ++row) {
+    const float* x = input.raw() + row * in;
+    const float* gy = grad_output.raw() + row * out_features;
+    float* gx = grads.grad_input.raw() + row * in;
+    for (std::size_t o = 0; o < out_features; ++o) {
+      const float g = gy[o];
+      if (g == 0.0f) continue;
+      const float* w = weight.raw() + o * in;
+      float* gw = grads.grad_weight.raw() + o * in;
+      for (std::size_t i = 0; i < in; ++i) {
+        gx[i] += g * w[i];
+        gw[i] += g * x[i];
+      }
+      grads.grad_bias.raw()[o] += g;
+    }
+  }
+  return grads;
+}
+
+// ---- convolution -----------------------------------------------------------
+
+std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
+                          std::size_t padding) {
+  ALFI_CHECK(in + 2 * padding >= kernel, "kernel larger than padded input");
+  ALFI_CHECK(stride > 0, "stride must be positive");
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+namespace {
+
+/// Lowers one sample [C,H,W] to a column matrix [C*KH*KW, OH*OW].
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t padding, std::size_t oh, std::size_t ow, float* col) {
+  const std::size_t plane = height * width;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        float* dst = col + ((c * kh + ky) * kw + kx) * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * stride + ky) -
+              static_cast<std::ptrdiff_t>(padding);
+          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(height)) {
+            std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src_row =
+              input + c * plane + static_cast<std::size_t>(in_y) * width;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * stride + kx) -
+                static_cast<std::ptrdiff_t>(padding);
+            dst[y * ow + x] =
+                (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(width))
+                    ? 0.0f
+                    : src_row[static_cast<std::size_t>(in_x)];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Inverse of im2col: accumulates columns back into the input gradient.
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t padding, std::size_t oh, std::size_t ow, float* input_grad) {
+  const std::size_t plane = height * width;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const float* src = col + ((c * kh + ky) * kw + kx) * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * stride + ky) -
+              static_cast<std::ptrdiff_t>(padding);
+          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(height)) continue;
+          float* dst_row =
+              input_grad + c * plane + static_cast<std::size_t>(in_y) * width;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * stride + kx) -
+                static_cast<std::ptrdiff_t>(padding);
+            if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(width)) continue;
+            dst_row[static_cast<std::size_t>(in_x)] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "conv2d input must be [N,C,H,W]");
+  ALFI_CHECK(weight.rank() == 4, "conv2d weight must be [OC,IC,KH,KW]");
+  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oc = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  ALFI_CHECK(weight.dim(1) == ic, "conv2d channel mismatch");
+  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == oc, "conv2d bias mismatch");
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+
+  Tensor out(Shape{n, oc, oh, ow});
+  const std::size_t col_rows = ic * kh * kw;
+  const std::size_t col_cols = oh * ow;
+  std::vector<float> col(col_rows * col_cols);
+
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw, spec.stride,
+           spec.padding, oh, ow, col.data());
+    // out[sample] = weight[oc, col_rows] @ col[col_rows, col_cols] + bias
+    float* out_base = out.raw() + sample * oc * col_cols;
+    for (std::size_t o = 0; o < oc; ++o) {
+      float* orow = out_base + o * col_cols;
+      std::fill(orow, orow + col_cols, bias.raw()[o]);
+      const float* wrow = weight.raw() + o * col_rows;
+      for (std::size_t r = 0; r < col_rows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* crow = col.data() + r * col_cols;
+        for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
+      }
+    }
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv2dSpec& spec) {
+  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oc = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+  ALFI_CHECK(grad_output.shape() == Shape({n, oc, oh, ow}),
+             "conv2d grad_output shape mismatch");
+
+  Conv2dGrads grads{Tensor(input.shape()), Tensor(weight.shape()),
+                    Tensor(Shape{oc})};
+  const std::size_t col_rows = ic * kh * kw;
+  const std::size_t col_cols = oh * ow;
+  std::vector<float> col(col_rows * col_cols);
+  std::vector<float> col_grad(col_rows * col_cols);
+
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw, spec.stride,
+           spec.padding, oh, ow, col.data());
+    const float* gy_base = grad_output.raw() + sample * oc * col_cols;
+
+    // grad_bias[o] += sum over spatial of gy
+    for (std::size_t o = 0; o < oc; ++o) {
+      double acc = 0.0;
+      const float* gy = gy_base + o * col_cols;
+      for (std::size_t c = 0; c < col_cols; ++c) acc += gy[c];
+      grads.grad_bias.raw()[o] += static_cast<float>(acc);
+    }
+
+    // grad_weight += gy @ col^T ; col_grad = weight^T @ gy
+    std::fill(col_grad.begin(), col_grad.end(), 0.0f);
+    for (std::size_t o = 0; o < oc; ++o) {
+      const float* gy = gy_base + o * col_cols;
+      const float* wrow = weight.raw() + o * col_rows;
+      float* gwrow = grads.grad_weight.raw() + o * col_rows;
+      for (std::size_t r = 0; r < col_rows; ++r) {
+        const float* crow = col.data() + r * col_cols;
+        float* cgrow = col_grad.data() + r * col_cols;
+        const float wv = wrow[r];
+        double acc = 0.0;
+        for (std::size_t c = 0; c < col_cols; ++c) {
+          acc += static_cast<double>(gy[c]) * crow[c];
+          cgrow[c] += wv * gy[c];
+        }
+        gwrow[r] += static_cast<float>(acc);
+      }
+    }
+
+    col2im(col_grad.data(), ic, h, w, kh, kw, spec.stride, spec.padding, oh, ow,
+           grads.grad_input.raw() + sample * ic * h * w);
+  }
+  return grads;
+}
+
+Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv3dSpec& spec) {
+  ALFI_CHECK(input.rank() == 5, "conv3d input must be [N,C,D,H,W]");
+  ALFI_CHECK(weight.rank() == 5, "conv3d weight must be [OC,IC,KD,KH,KW]");
+  const std::size_t n = input.dim(0), ic = input.dim(1), d = input.dim(2),
+                    h = input.dim(3), w = input.dim(4);
+  const std::size_t oc = weight.dim(0), kd = weight.dim(2), kh = weight.dim(3),
+                    kw = weight.dim(4);
+  ALFI_CHECK(weight.dim(1) == ic, "conv3d channel mismatch");
+  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == oc, "conv3d bias mismatch");
+  const std::size_t od = conv_out_size(d, kd, spec.stride, spec.padding);
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+
+  Tensor out(Shape{n, oc, od, oh, ow});
+  const auto in_at = [&](std::size_t s, std::size_t c, std::ptrdiff_t z,
+                         std::ptrdiff_t y, std::ptrdiff_t x) -> float {
+    if (z < 0 || y < 0 || x < 0 || z >= static_cast<std::ptrdiff_t>(d) ||
+        y >= static_cast<std::ptrdiff_t>(h) || x >= static_cast<std::ptrdiff_t>(w)) {
+      return 0.0f;
+    }
+    return input.raw()[(((s * ic + c) * d + static_cast<std::size_t>(z)) * h +
+                        static_cast<std::size_t>(y)) *
+                           w +
+                       static_cast<std::size_t>(x)];
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      for (std::size_t oz = 0; oz < od; ++oz) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            double acc = bias.raw()[o];
+            for (std::size_t c = 0; c < ic; ++c) {
+              for (std::size_t kz = 0; kz < kd; ++kz) {
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                  for (std::size_t kx = 0; kx < kw; ++kx) {
+                    const float wv =
+                        weight.raw()[(((o * ic + c) * kd + kz) * kh + ky) * kw + kx];
+                    const float iv = in_at(
+                        s, c,
+                        static_cast<std::ptrdiff_t>(oz * spec.stride + kz) -
+                            static_cast<std::ptrdiff_t>(spec.padding),
+                        static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                            static_cast<std::ptrdiff_t>(spec.padding),
+                        static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                            static_cast<std::ptrdiff_t>(spec.padding));
+                    acc += static_cast<double>(wv) * iv;
+                  }
+                }
+              }
+            }
+            out.raw()[(((s * oc + o) * od + oz) * oh + oy) * ow + ox] =
+                static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv3dGrads conv3d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv3dSpec& spec) {
+  const std::size_t n = input.dim(0), ic = input.dim(1), d = input.dim(2),
+                    h = input.dim(3), w = input.dim(4);
+  const std::size_t oc = weight.dim(0), kd = weight.dim(2), kh = weight.dim(3),
+                    kw = weight.dim(4);
+  const std::size_t od = conv_out_size(d, kd, spec.stride, spec.padding);
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+  ALFI_CHECK(grad_output.shape() == Shape({n, oc, od, oh, ow}),
+             "conv3d grad_output shape mismatch");
+
+  Conv3dGrads grads{Tensor(input.shape()), Tensor(weight.shape()), Tensor(Shape{oc})};
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      for (std::size_t oz = 0; oz < od; ++oz) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const float g =
+                grad_output.raw()[(((s * oc + o) * od + oz) * oh + oy) * ow + ox];
+            if (g == 0.0f) continue;
+            grads.grad_bias.raw()[o] += g;
+            for (std::size_t c = 0; c < ic; ++c) {
+              for (std::size_t kz = 0; kz < kd; ++kz) {
+                const std::ptrdiff_t z =
+                    static_cast<std::ptrdiff_t>(oz * spec.stride + kz) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                if (z < 0 || z >= static_cast<std::ptrdiff_t>(d)) continue;
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                  const std::ptrdiff_t y =
+                      static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                      static_cast<std::ptrdiff_t>(spec.padding);
+                  if (y < 0 || y >= static_cast<std::ptrdiff_t>(h)) continue;
+                  for (std::size_t kx = 0; kx < kw; ++kx) {
+                    const std::ptrdiff_t x =
+                        static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                        static_cast<std::ptrdiff_t>(spec.padding);
+                    if (x < 0 || x >= static_cast<std::ptrdiff_t>(w)) continue;
+                    const std::size_t in_off =
+                        (((s * ic + c) * d + static_cast<std::size_t>(z)) * h +
+                         static_cast<std::size_t>(y)) *
+                            w +
+                        static_cast<std::size_t>(x);
+                    const std::size_t w_off =
+                        (((o * ic + c) * kd + kz) * kh + ky) * kw + kx;
+                    grads.grad_weight.raw()[w_off] += g * input.raw()[in_off];
+                    grads.grad_input.raw()[in_off] += g * weight.raw()[w_off];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+// ---- pooling ---------------------------------------------------------------
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "maxpool2d input must be [N,C,H,W]");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
+  const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
+  MaxPoolResult result{Tensor(Shape{n, c, oh, ow}), {}};
+  result.argmax.resize(result.output.numel());
+
+  std::size_t out_i = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.raw() + (s * c + ch) * h * w;
+      const std::size_t plane_off = (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_off = plane_off + (oy * spec.stride) * w + ox * spec.stride;
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+              const std::size_t y = oy * spec.stride + ky;
+              const std::size_t x = ox * spec.stride + kx;
+              const float v = plane[y * w + x];
+              // NaN-aware: propagate NaN so corrupted activations are not
+              // silently masked by pooling (matters for DUE detection).
+              if (std::isnan(v) || v > best) {
+                best = v;
+                best_off = plane_off + y * w + x;
+                if (std::isnan(v)) goto emit;
+              }
+            }
+          }
+        emit:
+          result.output.raw()[out_i] = best;
+          result.argmax[out_i] = best_off;
+          ++out_i;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
+                          const Tensor& grad_output) {
+  ALFI_CHECK(grad_output.numel() == fwd.argmax.size(),
+             "maxpool2d grad_output size mismatch");
+  Tensor grad_input(input.shape());
+  for (std::size_t i = 0; i < fwd.argmax.size(); ++i) {
+    grad_input.raw()[fwd.argmax[i]] += grad_output.raw()[i];
+  }
+  return grad_input;
+}
+
+Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "avgpool2d input must be [N,C,H,W]");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
+  const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
+  Tensor out(Shape{n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(spec.kernel * spec.kernel);
+  std::size_t out_i = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.raw() + (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+              acc += plane[(oy * spec.stride + ky) * w + ox * spec.stride + kx];
+            }
+          }
+          out.raw()[out_i++] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& input, const Pool2dSpec& spec,
+                          const Tensor& grad_output) {
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
+  const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
+  ALFI_CHECK(grad_output.shape() == Shape({n, c, oh, ow}),
+             "avgpool2d grad_output shape mismatch");
+  Tensor grad_input(input.shape());
+  const float inv = 1.0f / static_cast<float>(spec.kernel * spec.kernel);
+  std::size_t out_i = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_input.raw() + (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output.raw()[out_i++] * inv;
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+              plane[(oy * spec.stride + ky) * w + ox * spec.stride + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor global_avgpool2d(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 4, "global_avgpool2d input must be [N,C,H,W]");
+  const std::size_t n = input.dim(0), c = input.dim(1),
+                    plane = input.dim(2) * input.dim(3);
+  Tensor out(Shape{n, c});
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* src = input.raw() + (s * c + ch) * plane;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) acc += src[i];
+      out.raw()[s * c + ch] = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool2d_backward(const Tensor& input, const Tensor& grad_output) {
+  const std::size_t n = input.dim(0), c = input.dim(1),
+                    plane = input.dim(2) * input.dim(3);
+  ALFI_CHECK(grad_output.shape() == Shape({n, c}),
+             "global_avgpool2d grad_output mismatch");
+  Tensor grad_input(input.shape());
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.raw()[s * c + ch] * inv;
+      float* dst = grad_input.raw() + (s * c + ch) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+// ---- activations -----------------------------------------------------------
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float v = input.raw()[i];
+    out.raw()[i] = v > 0.0f ? v : (std::isnan(v) ? v : 0.0f);
+  }
+  return out;
+}
+
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
+  check_same_shape(input, grad_output, "relu_backward");
+  Tensor grad(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    grad.raw()[i] = input.raw()[i] > 0.0f ? grad_output.raw()[i] : 0.0f;
+  }
+  return grad;
+}
+
+Tensor leaky_relu(const Tensor& input, float negative_slope) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float v = input.raw()[i];
+    out.raw()[i] = v > 0.0f ? v : v * negative_slope;
+  }
+  return out;
+}
+
+Tensor leaky_relu_backward(const Tensor& input, float negative_slope,
+                           const Tensor& grad_output) {
+  check_same_shape(input, grad_output, "leaky_relu_backward");
+  Tensor grad(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    grad.raw()[i] =
+        input.raw()[i] > 0.0f ? grad_output.raw()[i] : grad_output.raw()[i] * negative_slope;
+  }
+  return grad;
+}
+
+Tensor sigmoid(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    out.raw()[i] = 1.0f / (1.0f + std::exp(-input.raw()[i]));
+  }
+  return out;
+}
+
+Tensor sigmoid_backward(const Tensor& output, const Tensor& grad_output) {
+  check_same_shape(output, grad_output, "sigmoid_backward");
+  Tensor grad(output.shape());
+  for (std::size_t i = 0; i < output.numel(); ++i) {
+    const float y = output.raw()[i];
+    grad.raw()[i] = grad_output.raw()[i] * y * (1.0f - y);
+  }
+  return grad;
+}
+
+Tensor tanh_act(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) out.raw()[i] = std::tanh(input.raw()[i]);
+  return out;
+}
+
+Tensor tanh_backward(const Tensor& output, const Tensor& grad_output) {
+  check_same_shape(output, grad_output, "tanh_backward");
+  Tensor grad(output.shape());
+  for (std::size_t i = 0; i < output.numel(); ++i) {
+    const float y = output.raw()[i];
+    grad.raw()[i] = grad_output.raw()[i] * (1.0f - y * y);
+  }
+  return grad;
+}
+
+Tensor clamp(const Tensor& input, float lo, float hi) {
+  ALFI_CHECK(lo <= hi, "clamp bounds inverted");
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float v = input.raw()[i];
+    // NaN maps to lo so the mitigation layer also neutralizes NaN values.
+    out.raw()[i] = std::isnan(v) ? lo : std::min(std::max(v, lo), hi);
+  }
+  return out;
+}
+
+// ---- classification heads --------------------------------------------------
+
+Tensor softmax_rows(const Tensor& logits) {
+  ALFI_CHECK(logits.rank() == 2, "softmax_rows expects [N, K]");
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t row = 0; row < n; ++row) {
+    const float* x = logits.raw() + row * k;
+    float* y = out.raw() + row * k;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      y[i] = std::exp(x[i] - maxv);
+      total += y[i];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (std::size_t i = 0; i < k; ++i) y[i] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  ALFI_CHECK(logits.rank() == 2, "log_softmax_rows expects [N, K]");
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t row = 0; row < n; ++row) {
+    const float* x = logits.raw() + row * k;
+    float* y = out.raw() + row * k;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) total += std::exp(x[i] - maxv);
+    const float log_total = static_cast<float>(std::log(total)) + maxv;
+    for (std::size_t i = 0; i < k; ++i) y[i] = x[i] - log_total;
+  }
+  return out;
+}
+
+float cross_entropy_loss(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  ALFI_CHECK(logits.rank() == 2 && logits.dim(0) == labels.size(),
+             "cross_entropy label count mismatch");
+  const Tensor logp = log_softmax_rows(logits);
+  const std::size_t k = logits.dim(1);
+  double loss = 0.0;
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    ALFI_CHECK(labels[row] < k, "label out of range");
+    loss -= logp.raw()[row * k + labels[row]];
+  }
+  return static_cast<float>(loss / static_cast<double>(labels.size()));
+}
+
+Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  ALFI_CHECK(logits.rank() == 2 && logits.dim(0) == labels.size(),
+             "cross_entropy label count mismatch");
+  Tensor grad = softmax_rows(logits);
+  const std::size_t k = logits.dim(1);
+  const float inv_n = 1.0f / static_cast<float>(labels.size());
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    grad.raw()[row * k + labels[row]] -= 1.0f;
+  }
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad.raw()[i] *= inv_n;
+  return grad;
+}
+
+std::vector<std::size_t> topk_indices(std::span<const float> values, std::size_t k) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t count = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      // NaN sorts last so a corrupted logit cannot claim top-1.
+                      const float va = values[a], vb = values[b];
+                      if (std::isnan(va)) return false;
+                      if (std::isnan(vb)) return true;
+                      return va > vb;
+                    });
+  order.resize(count);
+  return order;
+}
+
+}  // namespace alfi::ops

@@ -1,0 +1,150 @@
+// Numerical operators over Tensor.
+//
+// Layout conventions (PyTorch-compatible so the fault coordinates in the
+// Table I fault matrix mean the same thing):
+//   * images / activations:  [N, C, H, W]        (conv2d)
+//   * volumetric activations: [N, C, D, H, W]    (conv3d)
+//   * conv2d weights: [OC, IC, KH, KW], conv3d: [OC, IC, KD, KH, KW]
+//   * linear weights: [OUT, IN]
+// Forward ops are paired with the backward ops needed to train the
+// miniaturized evaluation models in-repo.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace alfi::ops {
+
+// ---- elementwise -----------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float factor);
+void add_inplace(Tensor& a, const Tensor& b);
+/// a += factor * b
+void axpy_inplace(Tensor& a, float factor, const Tensor& b);
+
+// ---- linear algebra --------------------------------------------------------
+
+/// [M,K] @ [K,N] -> [M,N]
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// [M,N] -> [N,M]
+Tensor transpose2d(const Tensor& a);
+
+/// y = W x + b for a batch: input [N, IN], weight [OUT, IN], bias [OUT].
+Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias);
+
+struct LinearGrads {
+  Tensor grad_input;   // [N, IN]
+  Tensor grad_weight;  // [OUT, IN]
+  Tensor grad_bias;    // [OUT]
+};
+LinearGrads linear_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output);
+
+// ---- convolution -----------------------------------------------------------
+
+struct Conv2dSpec {
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+/// Output spatial size for one axis.
+std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
+                          std::size_t padding);
+
+/// input [N,IC,H,W], weight [OC,IC,KH,KW], bias [OC] -> [N,OC,OH,OW].
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+};
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv2dSpec& spec);
+
+struct Conv3dSpec {
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+/// input [N,IC,D,H,W], weight [OC,IC,KD,KH,KW], bias [OC] -> [N,OC,OD,OH,OW].
+Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv3dSpec& spec);
+
+struct Conv3dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+};
+Conv3dGrads conv3d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv3dSpec& spec);
+
+// ---- pooling ---------------------------------------------------------------
+
+struct Pool2dSpec {
+  std::size_t kernel = 2;
+  std::size_t stride = 2;
+};
+
+struct MaxPoolResult {
+  Tensor output;
+  /// Flat input offset of each output's winning element, for backward.
+  std::vector<std::size_t> argmax;
+};
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec);
+Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
+                          const Tensor& grad_output);
+
+Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec);
+Tensor avgpool2d_backward(const Tensor& input, const Pool2dSpec& spec,
+                          const Tensor& grad_output);
+
+/// Global average pooling: [N,C,H,W] -> [N,C].
+Tensor global_avgpool2d(const Tensor& input);
+Tensor global_avgpool2d_backward(const Tensor& input, const Tensor& grad_output);
+
+// ---- activations -----------------------------------------------------------
+
+Tensor relu(const Tensor& input);
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output);
+
+Tensor leaky_relu(const Tensor& input, float negative_slope);
+Tensor leaky_relu_backward(const Tensor& input, float negative_slope,
+                           const Tensor& grad_output);
+
+Tensor sigmoid(const Tensor& input);
+Tensor sigmoid_backward(const Tensor& output, const Tensor& grad_output);
+
+Tensor tanh_act(const Tensor& input);
+Tensor tanh_backward(const Tensor& output, const Tensor& grad_output);
+
+/// Clamps every element to [lo, hi] (basis for the Ranger mitigation).
+Tensor clamp(const Tensor& input, float lo, float hi);
+
+// ---- classification heads --------------------------------------------------
+
+/// Row-wise softmax of [N, K].
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax of [N, K] (numerically stable).
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Mean negative log-likelihood of `labels` under `logits` [N, K].
+float cross_entropy_loss(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// d(loss)/d(logits) for the mean cross-entropy above.
+Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// Indices of the k largest values in a rank-1 tensor, descending.
+std::vector<std::size_t> topk_indices(std::span<const float> values, std::size_t k);
+
+}  // namespace alfi::ops

@@ -1,0 +1,79 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alfi {
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  ALFI_CHECK(data_.size() == shape_.numel(),
+             "value count does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  ALFI_CHECK(new_shape.numel() == numel(),
+             "reshape must preserve element count: " + shape_.to_string() +
+                 " -> " + new_shape.to_string());
+  return Tensor(std::move(new_shape), data_);
+}
+
+bool Tensor::has_nan() const {
+  return std::any_of(data_.begin(), data_.end(),
+                     [](float v) { return std::isnan(v); });
+}
+
+bool Tensor::has_inf() const {
+  return std::any_of(data_.begin(), data_.end(),
+                     [](float v) { return std::isinf(v); });
+}
+
+float Tensor::min() const {
+  ALFI_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  ALFI_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  ALFI_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+std::size_t Tensor::argmax() const {
+  ALFI_CHECK(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  ALFI_CHECK(a.shape_ == b.shape_, "max_abs_diff shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace alfi

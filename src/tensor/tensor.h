@@ -1,0 +1,102 @@
+// Dense fp32 tensor with value semantics.
+//
+// The whole framework works in IEEE-754 binary32 because that is the
+// numeric type whose bit-level fault model the paper studies (§I: "a
+// bit flip can affect different bit positions of a value where the most
+// significant bits, e.g. exponent bits in floating point numbers, have
+// the highest impact").  Data is contiguous row-major.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace alfi {
+
+class Tensor {
+ public:
+  /// Rank-0 scalar zero.
+  Tensor() : shape_({}), data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+  Tensor(Shape shape, float fill_value)
+      : shape_(std::move(shape)), data_(shape_.numel(), fill_value) {}
+
+  /// Adopts `values` (must match shape.numel()).
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+
+  /// i.i.d. uniform values in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// i.i.d. normal values.
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.rank(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& flat(std::size_t i) {
+    ALFI_CHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float flat(std::size_t i) const {
+    ALFI_CHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  /// Multi-index element access (bounds-checked).
+  float& at(const std::vector<std::size_t>& index) {
+    return data_[shape_.offset(index)];
+  }
+  float at(const std::vector<std::size_t>& index) const {
+    return data_[shape_.offset(index)];
+  }
+
+  /// Unchecked fast accessors for the hot inner loops of conv/matmul.
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Returns a copy with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// True if any element is NaN.
+  bool has_nan() const;
+  /// True if any element is +-Inf.
+  bool has_inf() const;
+
+  float min() const;
+  float max() const;
+  float sum() const;
+  float mean() const;
+
+  /// Index of the maximum element (first on ties).
+  std::size_t argmax() const;
+
+  /// Max |a - b| over all elements; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace alfi

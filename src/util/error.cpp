@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace alfi::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace alfi::detail

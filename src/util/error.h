@@ -1,0 +1,58 @@
+// Error handling primitives for torchalfi-cpp.
+//
+// Following the C++ Core Guidelines (E.2) we use exceptions to signal
+// errors that cannot be handled locally.  All library exceptions derive
+// from alfi::Error so callers can catch one type at the API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace alfi {
+
+/// Root exception type for every error thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration (scenario file, parameter ranges).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Shape or index mismatch in tensor / layer operations.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error("shape error: " + what) {}
+};
+
+/// Malformed file contents (fault files, JSON, YAML, CSV).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// I/O failure (missing file, write failure).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace alfi
+
+/// Precondition / invariant check that is always active (not only in debug
+/// builds): fault-injection campaigns run in release mode and silent
+/// corruption of the *framework itself* would invalidate every result.
+#define ALFI_CHECK(expr, message)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::alfi::detail::fail_check(#expr, __FILE__, __LINE__, (message));  \
+    }                                                                    \
+  } while (false)

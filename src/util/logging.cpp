@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+namespace alfi {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message) {
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[alfi:" << log_level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace alfi

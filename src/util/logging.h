@@ -1,0 +1,48 @@
+// Minimal leveled logger used by campaign drivers to narrate progress.
+//
+// Not thread-aware by design: campaigns are single-threaded per run (the
+// parallelism in large-scale FI comes from running many campaigns).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace alfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "epoch " << epoch;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::emit_log(level_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace alfi
+
+#define ALFI_LOG(level) ::alfi::LogMessage(::alfi::LogLevel::level)

@@ -1,0 +1,134 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace alfi {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64_next(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  ALFI_CHECK(bound > 0, "next_below bound must be positive");
+  // Lemire's multiply-shift rejection method: unbiased and fast.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ALFI_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next_u64() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::uniform() {
+  // 53 random bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ALFI_CHECK(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate to keep the stream simple.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) {
+  ALFI_CHECK(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  ALFI_CHECK(!weights.empty(), "weighted_index needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    ALFI_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  ALFI_CHECK(total > 0.0, "weights must not all be zero");
+  const double pick = uniform() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (pick < cumulative) return i;
+  }
+  return weights.size() - 1;  // guard against rounding at the upper edge
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t count) {
+  ALFI_CHECK(count <= n, "cannot sample more items than the population holds");
+  // Floyd's algorithm: O(count) expected draws, no O(n) scratch when count << n.
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  for (std::size_t j = n - count; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(next_below(j + 1));
+    bool seen = false;
+    for (const std::size_t p : picked) {
+      if (p == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  return picked;
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  std::uint64_t sm = next_u64();
+  for (auto& word : child.state_) word = splitmix64_next(sm);
+  return child;
+}
+
+}  // namespace alfi

@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Fault-injection campaigns must be exactly reproducible from a single
+// seed recorded in the scenario metadata (paper §IV.A: "Storing and
+// reusing fault locations is essential to ensure the comparability and
+// reproducibility of the researcher's experiments").  We therefore use
+// our own xoshiro256** implementation whose stream is identical across
+// platforms and standard library versions, unlike std::mt19937 +
+// std::uniform_int_distribution whose mapping is unspecified.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace alfi {
+
+/// splitmix64: used to expand a single user seed into xoshiro state.
+/// Advances `state` and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** PRNG with portable, platform-independent derived
+/// distributions.  Copyable: copying forks the stream deterministically.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed'a1f1'0000'0001ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (portable, unlike std::normal_distribution).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Index drawn from a discrete distribution proportional to `weights`
+  /// (weights need not be normalized; all must be >= 0, sum > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws `count` distinct indices from [0, n) (count <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t count);
+
+  /// State snapshot for persistence in experiment metadata.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
+  /// Derives an independent child stream (for per-run fault generation
+  /// that is insensitive to how many draws earlier runs consumed).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace alfi

@@ -1,0 +1,42 @@
+// Small string helpers shared by the parsers (YAML/JSON/CSV) and the
+// result writers.  Kept dependency-free.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alfi {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (config keys are case-insensitive).
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Strict integer parse of the whole string; nullopt on any junk.
+std::optional<long long> parse_int(std::string_view text);
+
+/// Strict floating-point parse of the whole string; nullopt on any junk.
+std::optional<double> parse_double(std::string_view text);
+
+/// Strict boolean parse: true/false/yes/no/on/off/1/0 (case-insensitive).
+std::optional<bool> parse_bool(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace alfi

@@ -1,0 +1,87 @@
+#include "vis/ascii_plot.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace alfi::vis {
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width, const std::string& unit) {
+  if (bars.empty()) return "";
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& [label, value] : bars) {
+    label_width = std::max(label_width, label.size());
+    max_value = std::max(max_value, value);
+  }
+  std::string out;
+  for (const auto& [label, value] : bars) {
+    const std::size_t filled =
+        max_value > 0.0
+            ? static_cast<std::size_t>(value / max_value * static_cast<double>(width))
+            : 0;
+    out += label;
+    out.append(label_width - label.size() + 2, ' ');
+    out += '|';
+    out.append(filled, '#');
+    out.append(width - filled, ' ');
+    out += strformat("| %.4g%s\n", value, unit.c_str());
+  }
+  return out;
+}
+
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += ' ' + cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    return line + '\n';
+  };
+
+  std::string separator = "|";
+  for (const std::size_t w : widths) {
+    separator.append(w + 2, '-');
+    separator += '|';
+  }
+  separator += '\n';
+
+  std::string out = emit_row(header) + separator;
+  for (const auto& row : rows) out += emit_row(row);
+  return out;
+}
+
+std::string series_table(const std::vector<double>& x_values,
+                         const std::string& x_label,
+                         const std::vector<Series>& series,
+                         const std::string& value_format) {
+  std::vector<std::string> header{x_label};
+  for (const Series& s : series) header.push_back(s.label);
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < x_values.size(); ++i) {
+    std::vector<std::string> row{strformat("%g", x_values[i])};
+    for (const Series& s : series) {
+      row.push_back(i < s.values.size()
+                        ? strformat(value_format.c_str(), s.values[i])
+                        : std::string{});
+    }
+    rows.push_back(std::move(row));
+  }
+  return table(header, rows);
+}
+
+}  // namespace alfi::vis

@@ -1,0 +1,34 @@
+// Text visualization of campaign results (the paper ships plotting
+// tools for object detection; this library renders the same summaries
+// as terminal tables and bar charts, which is what the bench binaries
+// print).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace alfi::vis {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Horizontal bar chart: one bar per (label, value), scaled to `width`
+/// characters; values are annotated with `unit`.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width = 48, const std::string& unit = "");
+
+/// Fixed-width table: header plus rows; columns are padded to content.
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// Multi-series chart over a shared x axis, rendered as a table plus a
+/// per-series sparkline-style bar column (used for faults-per-image
+/// sweeps).
+std::string series_table(const std::vector<double>& x_values,
+                         const std::string& x_label,
+                         const std::vector<Series>& series,
+                         const std::string& value_format = "%.4f");
+
+}  // namespace alfi::vis

@@ -1,0 +1,117 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace alfi::core {
+namespace {
+
+TEST(ParseFaultField, SingleAndMultipleEntries) {
+  const auto one = parse_fault_field("3:5:-1:-1:2:7:30");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].layer, 3);
+  EXPECT_EQ(one[0].bit_pos, 30);
+
+  const auto two = parse_fault_field("0:1:2:-1:0:0:23;4:9:-1:-1:1:1:31");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[1].layer, 4);
+  EXPECT_EQ(two[1].bit_pos, 31);
+}
+
+TEST(ParseFaultField, EmptyFieldIsEmpty) {
+  EXPECT_TRUE(parse_fault_field("").empty());
+  EXPECT_TRUE(parse_fault_field("  ").empty());
+}
+
+TEST(ParseFaultField, MalformedThrows) {
+  EXPECT_THROW(parse_fault_field("1:2:3"), ParseError);
+  EXPECT_THROW(parse_fault_field("a:b:c:d:e:f:g"), ParseError);
+}
+
+io::CsvTable synthetic_results() {
+  // Minimal results table: layer 0 faults cause SDE, layer 1 faults DUE,
+  // layer 2 faults are masked.
+  const std::string csv =
+      "image_id,file_name,gt_label,due,sde,faults,orig_top1_class,corr_top1_class\n"
+      "0,a.png,1,0,1,0:1:-1:-1:2:2:30,1,4\n"
+      "1,b.png,2,0,1,0:3:-1:-1:0:1:30,2,4\n"
+      "2,c.png,3,1,0,1:0:-1:-1:1:1:24,3,3\n"
+      "3,d.png,4,0,0,2:2:-1:-1:0:0:12,4,4\n"
+      "4,e.png,5,0,0,2:0:-1:-1:3:3:12,5,5\n";
+  return io::parse_csv(csv);
+}
+
+TEST(AnalyzeResults, TotalsAndGroupings) {
+  const CampaignAnalysis analysis = analyze_results_table(synthetic_results());
+  EXPECT_EQ(analysis.total_images, 5u);
+  EXPECT_EQ(analysis.sde_images, 2u);
+  EXPECT_EQ(analysis.due_images, 1u);
+
+  ASSERT_TRUE(analysis.by_layer.contains(0));
+  EXPECT_DOUBLE_EQ(analysis.by_layer.at(0).sde_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(analysis.by_layer.at(1).due_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(analysis.by_layer.at(2).sde_rate(), 0.0);
+
+  // bit 30 faults all caused SDE; bit 12 faults were masked
+  EXPECT_DOUBLE_EQ(analysis.by_bit.at(30).sde_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(analysis.by_bit.at(12).sde_rate(), 0.0);
+}
+
+TEST(AnalyzeResults, MisclassificationMatrix) {
+  const CampaignAnalysis analysis = analyze_results_table(synthetic_results());
+  ASSERT_EQ(analysis.misclassification.size(), 2u);
+  EXPECT_EQ(analysis.misclassification.at({1, 4}), 1u);
+  EXPECT_EQ(analysis.misclassification.at({2, 4}), 1u);
+}
+
+TEST(AnalyzeResults, FormatMentionsKeySections) {
+  const std::string report = format_analysis(analyze_results_table(synthetic_results()));
+  EXPECT_NE(report.find("layer-wise vulnerability"), std::string::npos);
+  EXPECT_NE(report.find("bit-wise vulnerability"), std::string::npos);
+  EXPECT_NE(report.find("SDE misclassifications"), std::string::npos);
+}
+
+TEST(AnalyzeTrace, DirectionsAndMagnification) {
+  std::vector<InjectionRecord> records(3);
+  records[0].original_value = 1.0f;
+  records[0].corrupted_value = 4.0f;
+  records[0].flip_direction = "0->1";
+  records[1].original_value = 2.0f;
+  records[1].corrupted_value = 0.5f;
+  records[1].flip_direction = "1->0";
+  records[2].original_value = 1.0f;
+  records[2].corrupted_value = std::numeric_limits<float>::infinity();
+  records[2].flip_direction = "0->1";
+
+  const TraceStats stats = analyze_trace(records);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.flips_zero_to_one, 2u);
+  EXPECT_EQ(stats.flips_one_to_zero, 1u);
+  EXPECT_EQ(stats.produced_nonfinite, 1u);
+  // mean log10 over finite pairs: (log10 4 + log10 0.25) / 2 = 0
+  EXPECT_NEAR(stats.mean_log10_magnification, 0.0, 1e-6);
+  EXPECT_NEAR(stats.mean_abs_original, (1.0 + 2.0 + 1.0) / 3.0, 1e-6);
+}
+
+TEST(AnalyzeTrace, EmptyTraceIsZeroed) {
+  const TraceStats stats = analyze_trace({});
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_log10_magnification, 0.0);
+}
+
+TEST(AnalyzeTrace, FileRoundTrip) {
+  test::TempDir dir("trace");
+  std::vector<InjectionRecord> records(1);
+  records[0].original_value = 1.0f;
+  records[0].corrupted_value = -1.0f;
+  records[0].flip_direction = "0->1";
+  save_injection_records(records, dir.file("t.bin"));
+  const TraceStats stats = analyze_trace_file(dir.file("t.bin"));
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.flips_zero_to_one, 1u);
+  EXPECT_NE(format_trace_stats(stats).find("flip direction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alfi::core

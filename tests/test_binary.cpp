@@ -1,0 +1,112 @@
+#include "io/binary.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace alfi::io {
+namespace {
+
+TEST(Binary, ScalarRoundTrip) {
+  test::TempDir dir("bin");
+  const std::string path = dir.file("scalars.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_u8(200);
+    writer.write_u32(123456u);
+    writer.write_u64(1ULL << 40);
+    writer.write_i64(-77);
+    writer.write_f32(1.5f);
+    writer.write_f64(-2.25);
+    writer.write_string("hello world");
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read_u8(), 200);
+  EXPECT_EQ(reader.read_u32(), 123456u);
+  EXPECT_EQ(reader.read_u64(), 1ULL << 40);
+  EXPECT_EQ(reader.read_i64(), -77);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 1.5f);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -2.25);
+  EXPECT_EQ(reader.read_string(), "hello world");
+  EXPECT_TRUE(reader.at_eof());
+}
+
+TEST(Binary, ArrayRoundTrip) {
+  test::TempDir dir("bin");
+  const std::string path = dir.file("arrays.bin");
+  const std::vector<float> floats{1.0f, -2.5f, 0.0f};
+  const std::vector<std::int64_t> ints{-1, 0, 42};
+  {
+    BinaryWriter writer(path);
+    writer.write_f32_array(floats);
+    writer.write_i64_array(ints);
+    writer.write_f32_array({});
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read_f32_array(), floats);
+  EXPECT_EQ(reader.read_i64_array(), ints);
+  EXPECT_TRUE(reader.read_f32_array().empty());
+}
+
+TEST(Binary, HeaderMagicChecked) {
+  test::TempDir dir("bin");
+  const std::string path = dir.file("hdr.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_header("ABCD", 3);
+  }
+  BinaryReader good(path);
+  EXPECT_EQ(good.read_header("ABCD"), 3u);
+
+  BinaryReader bad(path);
+  EXPECT_THROW(bad.read_header("WXYZ"), ParseError);
+}
+
+TEST(Binary, TruncatedFileThrows) {
+  test::TempDir dir("bin");
+  const std::string path = dir.file("trunc.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_u8(1);
+  }
+  BinaryReader reader(path);
+  EXPECT_THROW(reader.read_u64(), ParseError);
+}
+
+TEST(Binary, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader("/nonexistent/file.bin"), IoError);
+}
+
+TEST(Binary, EmptyStringRoundTrip) {
+  test::TempDir dir("bin");
+  const std::string path = dir.file("estr.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_string("");
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read_string(), "");
+}
+
+TEST(Binary, FloatBitPatternsExact) {
+  // NaN and denormals must round-trip bit-exactly: fault traces store
+  // corrupted values that are frequently non-finite.
+  test::TempDir dir("bin");
+  const std::string path = dir.file("bits.bin");
+  const float nan_value = std::numeric_limits<float>::quiet_NaN();
+  const float denormal = std::numeric_limits<float>::denorm_min();
+  const float inf = std::numeric_limits<float>::infinity();
+  {
+    BinaryWriter writer(path);
+    writer.write_f32(nan_value);
+    writer.write_f32(denormal);
+    writer.write_f32(inf);
+  }
+  BinaryReader reader(path);
+  EXPECT_TRUE(std::isnan(reader.read_f32()));
+  EXPECT_EQ(reader.read_f32(), denormal);
+  EXPECT_EQ(reader.read_f32(), inf);
+}
+
+}  // namespace
+}  // namespace alfi::io

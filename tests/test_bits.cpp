@@ -1,0 +1,110 @@
+#include "tensor/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alfi::bits {
+namespace {
+
+TEST(Bits, RoundTripThroughPattern) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 3.14159f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(from_bits(to_bits(v)), v);
+  }
+}
+
+TEST(Bits, FlipIsInvolution) {
+  for (int bit = 0; bit <= 31; ++bit) {
+    const float v = 1.5f;
+    EXPECT_EQ(flip_bit(flip_bit(v, bit), bit), v);
+  }
+}
+
+TEST(Bits, SignFlipNegates) {
+  EXPECT_EQ(flip_bit(2.5f, kSignBit), -2.5f);
+  EXPECT_EQ(flip_bit(-2.5f, kSignBit), 2.5f);
+}
+
+TEST(Bits, TopExponentFlipOfOneIsHuge) {
+  // 1.0f = 0x3F800000; flipping bit 30 gives 0x7F800000 / 2^... -> large
+  const float corrupted = flip_bit(1.0f, 30);
+  EXPECT_GT(std::fabs(corrupted), 1e30f);
+}
+
+TEST(Bits, LowMantissaFlipIsTiny) {
+  const float corrupted = flip_bit(1.0f, 0);
+  EXPECT_NEAR(corrupted, 1.0f, 1e-6f);
+  EXPECT_NE(corrupted, 1.0f);
+}
+
+TEST(Bits, GetBitMatchesKnownPattern) {
+  // 1.0f = sign 0, exponent 01111111, mantissa 0
+  EXPECT_EQ(get_bit(1.0f, 31), 0);
+  EXPECT_EQ(get_bit(1.0f, 30), 0);
+  for (int bit = 23; bit <= 29; ++bit) EXPECT_EQ(get_bit(1.0f, bit), 1);
+  for (int bit = 0; bit <= 22; ++bit) EXPECT_EQ(get_bit(1.0f, bit), 0);
+  EXPECT_EQ(get_bit(-1.0f, 31), 1);
+}
+
+TEST(Bits, SetBitStuckAt) {
+  EXPECT_EQ(set_bit(1.0f, 31, true), -1.0f);
+  EXPECT_EQ(set_bit(-1.0f, 31, false), 1.0f);
+  EXPECT_EQ(set_bit(1.0f, 31, false), 1.0f);  // already 0: unchanged
+}
+
+TEST(Bits, FieldClassification) {
+  EXPECT_TRUE(is_sign_bit(31));
+  EXPECT_FALSE(is_sign_bit(30));
+  EXPECT_TRUE(is_exponent_bit(30));
+  EXPECT_TRUE(is_exponent_bit(23));
+  EXPECT_FALSE(is_exponent_bit(22));
+  EXPECT_TRUE(is_mantissa_bit(0));
+  EXPECT_TRUE(is_mantissa_bit(22));
+  EXPECT_FALSE(is_mantissa_bit(23));
+}
+
+TEST(Bits, FlipDirection) {
+  EXPECT_EQ(flip_direction(1.0f, 30), "0->1");
+  EXPECT_EQ(flip_direction(1.0f, 23), "1->0");
+}
+
+TEST(Bits, BoundsChecked) {
+  EXPECT_THROW(flip_bit(1.0f, 32), Error);
+  EXPECT_THROW(flip_bit(1.0f, -1), Error);
+  EXPECT_THROW(get_bit(1.0f, 99), Error);
+}
+
+TEST(Bits, BinaryStringOfOne) {
+  EXPECT_EQ(to_binary_string(1.0f), "00111111100000000000000000000000");
+  EXPECT_EQ(to_binary_string(-0.0f), "10000000000000000000000000000000");
+}
+
+TEST(Bits, ExponentFlipCanProduceInfOrNan) {
+  // Flipping the top exponent bit of a value with all other exponent
+  // bits set yields Inf/NaN — the classic SDE/DUE trigger.
+  const float v = std::numeric_limits<float>::max();
+  bool any_nonfinite = false;
+  for (int bit = 23; bit <= 30; ++bit) {
+    const float c = flip_bit(v, bit);
+    if (!std::isfinite(c)) any_nonfinite = true;
+  }
+  EXPECT_TRUE(any_nonfinite);
+}
+
+class BitFlipMagnitude : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitFlipMagnitude, ExponentFlipsDominateMantissaFlips) {
+  // Property from the paper's fault model: the higher the flipped
+  // exponent bit, the larger the perturbation of a fixed value.
+  const int bit = GetParam();
+  const float v = 1.75f;
+  const float low = std::fabs(flip_bit(v, bit) - v);
+  const float high = std::fabs(flip_bit(v, bit + 1) - v);
+  EXPECT_LE(low, high) << "bit " << bit << " vs " << bit + 1;
+}
+
+INSTANTIATE_TEST_SUITE_P(AdjacentBits, BitFlipMagnitude,
+                         ::testing::Range(0, 29));
+
+}  // namespace
+}  // namespace alfi::bits

@@ -1,0 +1,93 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace alfi::io {
+namespace {
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  test::TempDir dir("csv");
+  const std::string path = dir.file("out.csv");
+  {
+    CsvWriter writer(path, {"a", "b"});
+    writer.write_row({"1", "x"});
+    writer.write_row({"2", "y,z"});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  const CsvTable table = read_csv_file(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "y,z");
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  test::TempDir dir("csv");
+  CsvWriter writer(dir.file("out.csv"), {"a", "b"});
+  EXPECT_THROW(writer.write_row({"only-one"}), Error);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  test::TempDir dir("csv");
+  EXPECT_THROW(CsvWriter(dir.file("out.csv"), {}), Error);
+}
+
+TEST(CsvParse, HandlesQuotedFields) {
+  const CsvTable table = parse_csv("h1,h2\n\"a,b\",\"c\"\"d\"\n");
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][1], "c\"d");
+}
+
+TEST(CsvParse, HandlesEmbeddedNewlines) {
+  const CsvTable table = parse_csv("h\n\"line1\nline2\"\n");
+  EXPECT_EQ(table.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, HandlesCrLf) {
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n");
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, MissingFinalNewlineOk) {
+  const CsvTable table = parse_csv("a\n1");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), ParseError);
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), ParseError);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const CsvTable table = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_THROW(table.column("w"), ParseError);
+}
+
+TEST(CsvRoundTrip, EscapedContentSurvives) {
+  test::TempDir dir("csv");
+  const std::string path = dir.file("rt.csv");
+  const std::vector<std::string> nasty{"a,b", "c\"d", "e\nf", "plain"};
+  {
+    CsvWriter writer(path, {"c1", "c2", "c3", "c4"});
+    writer.write_row(nasty);
+  }
+  const CsvTable table = read_csv_file(path);
+  EXPECT_EQ(table.rows[0], nasty);
+}
+
+}  // namespace
+}  // namespace alfi::io

@@ -1,0 +1,199 @@
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace alfi::data {
+namespace {
+
+TEST(Iou, KnownOverlaps) {
+  const BoundingBox a{0, 0, 10, 10};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+  EXPECT_FLOAT_EQ(iou(a, BoundingBox{20, 20, 5, 5}), 0.0f);
+  // half overlap: [0,10]x[0,10] vs [5,0]x[15,10] -> inter 50, union 150
+  EXPECT_NEAR(iou(a, BoundingBox{5, 0, 10, 10}), 50.0f / 150.0f, 1e-6f);
+}
+
+TEST(Iou, ZeroAreaBoxes) {
+  const BoundingBox degenerate{0, 0, 0, 0};
+  EXPECT_FLOAT_EQ(iou(degenerate, degenerate), 0.0f);
+}
+
+TEST(SyntheticClassification, DeterministicSamples) {
+  const SyntheticShapesClassification ds({.size = 16, .seed = 5});
+  const ClassificationSample a = ds.get(3);
+  const ClassificationSample b = ds.get(3);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST(SyntheticClassification, DifferentSeedsDiffer) {
+  const SyntheticShapesClassification a({.size = 4, .seed = 1});
+  const SyntheticShapesClassification b({.size = 4, .seed = 2});
+  EXPECT_NE(a.get(0).image, b.get(0).image);
+}
+
+TEST(SyntheticClassification, MetadataComplete) {
+  const SyntheticShapesClassification ds({.size = 8});
+  const ClassificationSample s = ds.get(5);
+  EXPECT_EQ(s.meta.image_id, 5);
+  EXPECT_EQ(s.meta.height, 32u);
+  EXPECT_EQ(s.meta.width, 32u);
+  EXPECT_NE(s.meta.file_name.find("5.png"), std::string::npos);
+}
+
+TEST(SyntheticClassification, LabelsCycleThroughClasses) {
+  const SyntheticShapesClassification ds({.size = 25, .num_classes = 10});
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_EQ(ds.get(i).label, i % 10);
+}
+
+TEST(SyntheticClassification, OutOfRangeThrows) {
+  const SyntheticShapesClassification ds({.size = 4});
+  EXPECT_THROW(ds.get(4), Error);
+}
+
+TEST(SyntheticDetection, DeterministicAndAnnotated) {
+  const SyntheticShapesDetection ds({.size = 8, .seed = 9});
+  const DetectionSample a = ds.get(2);
+  const DetectionSample b = ds.get(2);
+  EXPECT_EQ(a.image, b.image);
+  ASSERT_FALSE(a.annotations.empty());
+  EXPECT_EQ(a.annotations.size(), b.annotations.size());
+  for (const Annotation& ann : a.annotations) {
+    EXPECT_EQ(ann.image_id, 2);
+    EXPECT_LT(ann.category_id, 3u);
+    EXPECT_GE(ann.bbox.x, 0.0f);
+    EXPECT_LE(ann.bbox.x2(), 48.0f + 1e-3f);
+    EXPECT_GE(ann.bbox.y, 0.0f);
+    EXPECT_LE(ann.bbox.y2(), 48.0f + 1e-3f);
+  }
+}
+
+TEST(SyntheticDetection, ObjectCountWithinConfiguredRange) {
+  const SyntheticShapesDetection ds({.size = 32, .min_objects = 2, .max_objects = 3});
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t n = ds.get(i).annotations.size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 3u);
+  }
+}
+
+TEST(SyntheticDetection, ShapePixelsBrighterThanBackground) {
+  // single object per image so no later object overdraws the probed one
+  const SyntheticShapesDetection ds(
+      {.size = 4, .min_objects = 1, .max_objects = 1, .noise_stddev = 0.0f});
+  const DetectionSample s = ds.get(0);
+  const Annotation& ann = s.annotations.front();
+  // center pixel of the object should be bright in its coded channel
+  const std::size_t cx = static_cast<std::size_t>(ann.bbox.x + ann.bbox.w / 2);
+  const std::size_t cy = static_cast<std::size_t>(ann.bbox.y + ann.bbox.h / 2);
+  const float v = s.image.at({ann.category_id % 3, cy, cx});
+  EXPECT_GT(v, 0.6f);
+}
+
+TEST(CocoExport, StructureAndCounts) {
+  const SyntheticShapesDetection ds({.size = 6});
+  const io::Json gt = coco_ground_truth(ds);
+  EXPECT_EQ(gt.at("images").as_array().size(), 6u);
+  EXPECT_EQ(gt.at("categories").as_array().size(), 3u);
+  std::size_t expected_annotations = 0;
+  for (std::size_t i = 0; i < 6; ++i) expected_annotations += ds.get(i).annotations.size();
+  EXPECT_EQ(gt.at("annotations").as_array().size(), expected_annotations);
+
+  const io::Json& first = gt.at("images").as_array()[0];
+  EXPECT_TRUE(first.contains("file_name"));
+  EXPECT_EQ(first.at("height").as_int(), 48);
+  const io::Json& ann = gt.at("annotations").as_array()[0];
+  EXPECT_EQ(ann.at("bbox").as_array().size(), 4u);
+  EXPECT_TRUE(ann.contains("area"));
+}
+
+TEST(ClassificationLoader, BatchShapesAndRemainder) {
+  const SyntheticShapesClassification ds({.size = 10});
+  const ClassificationLoader loader(ds, 4);
+  EXPECT_EQ(loader.num_batches(), 3u);
+  EXPECT_EQ(loader.batch(0).images.shape(), Shape({4, 3, 32, 32}));
+  EXPECT_EQ(loader.batch(2).images.shape(), Shape({2, 3, 32, 32}));
+  EXPECT_EQ(loader.batch(2).size(), 2u);
+}
+
+TEST(ClassificationLoader, UnshuffledPreservesOrder) {
+  const SyntheticShapesClassification ds({.size = 6});
+  const ClassificationLoader loader(ds, 3);
+  const ClassificationBatch batch = loader.batch(1);
+  EXPECT_EQ(batch.metas[0].image_id, 3);
+  EXPECT_EQ(batch.metas[2].image_id, 5);
+}
+
+TEST(ClassificationLoader, ShuffleIsDeterministicFromSeed) {
+  const SyntheticShapesClassification ds({.size = 12});
+  ClassificationLoader a(ds, 12, true, 99);
+  ClassificationLoader b(ds, 12, true, 99);
+  const auto ba = a.batch(0);
+  const auto bb = b.batch(0);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(ba.metas[i].image_id, bb.metas[i].image_id);
+  }
+}
+
+TEST(ClassificationLoader, ShuffleActuallyPermutes) {
+  const SyntheticShapesClassification ds({.size = 32});
+  ClassificationLoader loader(ds, 32, true, 1);
+  const auto batch = loader.batch(0);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (batch.metas[i].image_id != static_cast<std::int64_t>(i)) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(ClassificationLoader, NextEpochReshuffles) {
+  const SyntheticShapesClassification ds({.size = 32});
+  ClassificationLoader loader(ds, 32, true, 1);
+  const auto first = loader.batch(0);
+  loader.next_epoch();
+  const auto second = loader.batch(0);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (first.metas[i].image_id != second.metas[i].image_id) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ClassificationLoader, BatchCarriesLabelsMatchingMetas) {
+  const SyntheticShapesClassification ds({.size = 20, .num_classes = 10});
+  ClassificationLoader loader(ds, 7, true, 5);
+  for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+    const auto batch = loader.batch(b);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.labels[i],
+                static_cast<std::size_t>(batch.metas[i].image_id) % 10);
+    }
+  }
+}
+
+TEST(DetectionLoader, BatchGeometryAndAnnotations) {
+  const SyntheticShapesDetection ds({.size = 5});
+  const DetectionLoader loader(ds, 2);
+  EXPECT_EQ(loader.num_batches(), 3u);
+  const DetectionBatch batch = loader.batch(0);
+  EXPECT_EQ(batch.images.shape(), Shape({2, 3, 48, 48}));
+  EXPECT_EQ(batch.annotations.size(), 2u);
+  EXPECT_EQ(batch.metas[1].image_id, 1);
+}
+
+TEST(Loaders, RejectZeroBatchSize) {
+  const SyntheticShapesClassification ds({.size = 4});
+  EXPECT_THROW(ClassificationLoader(ds, 0), Error);
+}
+
+TEST(Loaders, BatchIndexOutOfRangeThrows) {
+  const SyntheticShapesClassification ds({.size = 4});
+  const ClassificationLoader loader(ds, 2);
+  EXPECT_THROW(loader.batch(2), Error);
+}
+
+}  // namespace
+}  // namespace alfi::data

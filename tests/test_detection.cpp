@@ -1,0 +1,185 @@
+#include "models/detection.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/frcnn_lite.h"
+#include "models/retina_lite.h"
+#include "models/train.h"
+#include "models/yolo_lite.h"
+#include "test_common.h"
+
+namespace alfi::models {
+namespace {
+
+constexpr GridSpec kGrid{6, 48, 48};
+
+TEST(Nms, SuppressesSameClassOverlaps) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0, 0.9f},
+      {{1, 1, 10, 10}, 0, 0.8f},   // overlaps first, same class -> dropped
+      {{0, 0, 10, 10}, 1, 0.7f},   // other class -> kept
+      {{30, 30, 5, 5}, 0, 0.6f},   // disjoint -> kept
+  };
+  const auto kept = nms(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+}
+
+TEST(Nms, KeepsHighestScoreFirst) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0, 0.3f},
+      {{0, 0, 10, 10}, 0, 0.95f},
+  };
+  const auto kept = nms(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.95f);
+}
+
+TEST(Nms, NanScoresSortLast) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0, std::numeric_limits<float>::quiet_NaN()},
+      {{0, 0, 10, 10}, 0, 0.5f},
+  };
+  const auto kept = nms(dets, 0.5f);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.5f);
+}
+
+TEST(Grid, CellOfCenters) {
+  // 48x48 image, 6x6 grid -> 8px cells
+  EXPECT_EQ(kGrid.cell_of(data::BoundingBox{0, 0, 4, 4}),
+            (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(kGrid.cell_of(data::BoundingBox{40, 40, 8, 8}),
+            (std::pair<std::size_t, std::size_t>{5, 5}));
+  EXPECT_EQ(kGrid.cell_of(data::BoundingBox{20, 4, 8, 8}),
+            (std::pair<std::size_t, std::size_t>{1, 3}));
+}
+
+TEST(Grid, CellClampedToGrid) {
+  // box centered beyond the image still maps to the last cell
+  EXPECT_EQ(kGrid.cell_of(data::BoundingBox{46, 46, 10, 10}),
+            (std::pair<std::size_t, std::size_t>{5, 5}));
+}
+
+TEST(BoxCodec, EncodeDecodeRoundTrip) {
+  const data::BoundingBox box{12.0f, 20.0f, 14.0f, 9.0f};
+  const auto [row, col] = kGrid.cell_of(box);
+  const BoxTarget t = encode_box(kGrid, row, col, box);
+  // invert the sigmoids to raw logits
+  const auto logit = [](float s) { return std::log(s / (1.0f - s)); };
+  const data::BoundingBox decoded =
+      decode_box(kGrid, row, col, logit(t.sx), logit(t.sy), logit(t.sw), logit(t.sh));
+  EXPECT_NEAR(decoded.x, box.x, 0.2f);
+  EXPECT_NEAR(decoded.y, box.y, 0.2f);
+  EXPECT_NEAR(decoded.w, box.w, 0.2f);
+  EXPECT_NEAR(decoded.h, box.h, 0.2f);
+}
+
+TEST(DetectorFactory, BuildsAllFamilies) {
+  for (const char* family : {"yolo", "retina", "frcnn"}) {
+    auto det = make_detector(family, kGrid, 3, 3);
+    ASSERT_NE(det, nullptr) << family;
+    EXPECT_EQ(det->num_classes(), 3u);
+    // untrained detect must not crash and returns one entry per image
+    const auto results = det->detect(Tensor(Shape{2, 3, 48, 48}), 0.5f);
+    EXPECT_EQ(results.size(), 2u);
+  }
+  EXPECT_THROW(make_detector("ssd", kGrid, 3, 3), ConfigError);
+}
+
+TEST(DetectorNetworks, ContainInjectableLayers) {
+  for (const char* family : {"yolo", "retina", "frcnn"}) {
+    auto det = make_detector(family, kGrid, 3, 3);
+    std::size_t injectable = 0;
+    det->network().for_each_module([&](const std::string&, nn::Module& m) {
+      if (m.kind() != nn::LayerKind::kOther) ++injectable;
+    });
+    EXPECT_GE(injectable, 4u) << family;
+  }
+}
+
+TEST(YoloLite, DecodeEmitsConfidentCell) {
+  YoloLite yolo(kGrid, 3, 3);
+  // hand-craft an output map with one confident detection at cell (2,3)
+  Tensor output(Shape{1, 8, 6, 6}, -10.0f);  // all logits strongly negative
+  const std::size_t plane = 36, cell = 2 * 6 + 3;
+  output.raw()[0 * plane + cell] = 6.0f;   // objectness ~1
+  output.raw()[1 * plane + cell] = 0.0f;   // center of cell
+  output.raw()[2 * plane + cell] = 0.0f;
+  output.raw()[3 * plane + cell] = -1.5f;  // ~0.18 * 48 ≈ 8.8 wide
+  output.raw()[4 * plane + cell] = -1.5f;
+  output.raw()[(5 + 1) * plane + cell] = 5.0f;  // class 1 dominant
+
+  const auto dets = yolo.decode(output, 0.4f);
+  ASSERT_EQ(dets.size(), 1u);
+  ASSERT_EQ(dets[0].size(), 1u);
+  EXPECT_EQ(dets[0][0].category, 1u);
+  // center should be in cell (row 2, col 3): x in [24,32), y in [16,24)
+  const float cx = dets[0][0].box.x + dets[0][0].box.w / 2;
+  const float cy = dets[0][0].box.y + dets[0][0].box.h / 2;
+  EXPECT_GE(cx, 24.0f);
+  EXPECT_LT(cx, 32.0f);
+  EXPECT_GE(cy, 16.0f);
+  EXPECT_LT(cy, 24.0f);
+}
+
+TEST(YoloLite, DecodeRejectsWrongShape) {
+  YoloLite yolo(kGrid, 3, 3);
+  EXPECT_THROW(yolo.decode(Tensor(Shape{1, 7, 6, 6}), 0.5f), Error);
+}
+
+TEST(RetinaLite, DecodePerClassSigmoid) {
+  RetinaLite retina(kGrid, 3, 3);
+  Tensor output(Shape{1, 7, 6, 6}, -10.0f);
+  const std::size_t plane = 36, cell = 0;
+  output.raw()[2 * plane + cell] = 4.0f;  // class 2 confident at cell 0
+  const auto dets = retina.decode(output, 0.5f);
+  ASSERT_EQ(dets[0].size(), 1u);
+  EXPECT_EQ(dets[0][0].category, 2u);
+}
+
+TEST(Training, YoloLearnsToDetectShapes) {
+  const data::SyntheticShapesDetection dataset(
+      {.size = 48, .min_objects = 1, .max_objects = 2, .seed = 21});
+  YoloLite yolo(kGrid, 3, 3);
+  TrainConfig config;
+  config.epochs = 30;
+  config.batch_size = 16;
+  config.learning_rate = 0.01f;
+  train_detector(yolo, dataset, config);
+  const float recall = evaluate_detector_recall(yolo, dataset, 0.3f);
+  EXPECT_GT(recall, 0.5f) << "YoloLite failed to learn synthetic shapes";
+}
+
+TEST(FrcnnLite, TwoStageForwardProducesProposalsAndHead) {
+  FrcnnLite frcnn(kGrid, 3, 3);
+  Rng rng(3);
+  nn::kaiming_init(frcnn.network(), rng);
+  auto& module = dynamic_cast<FrcnnModule&>(frcnn.network());
+  const Tensor rpn_map = module.forward(Tensor(Shape{1, 3, 48, 48}));
+  EXPECT_EQ(rpn_map.shape(), Shape({1, 5, 6, 6}));
+  EXPECT_EQ(module.last_features().shape(), Shape({1, 64, 6, 6}));
+  const Tensor head_out = module.head_forward(Tensor(Shape{2, 64}));
+  EXPECT_EQ(head_out.shape(), Shape({2, 8}));  // (3+1) classes + 4 box
+}
+
+TEST(Detectors, TrainStepReturnsFiniteLossAndUpdatesGrads) {
+  const data::SyntheticShapesDetection dataset({.size = 8, .seed = 23});
+  const data::DetectionLoader loader(dataset, 4);
+  for (const char* family : {"yolo", "retina", "frcnn"}) {
+    auto det = make_detector(family, kGrid, 3, 3);
+    Rng rng(4);
+    nn::kaiming_init(det->network(), rng);
+    const float loss = det->train_step(loader.batch(0));
+    EXPECT_TRUE(std::isfinite(loss)) << family;
+    EXPECT_GT(loss, 0.0f) << family;
+    float grad_mag = 0.0f;
+    for (nn::Parameter* p : det->network().parameters()) {
+      for (const float g : p->grad.data()) grad_mag += std::fabs(g);
+    }
+    EXPECT_GT(grad_mag, 0.0f) << family;
+  }
+}
+
+}  // namespace
+}  // namespace alfi::models

@@ -1,0 +1,176 @@
+#include "core/hw_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "tensor/bits.h"
+
+namespace alfi::core {
+namespace {
+
+struct ConvFixture : ::testing::Test {
+  ConvFixture() : net(std::make_shared<nn::Sequential>()) {
+    auto conv = std::make_shared<nn::Conv2d>(2, 3, 3, 1, 1);
+    Rng rng(1);
+    conv->init(rng);
+    net->append(conv);
+    net->append(std::make_shared<nn::ReLU>());
+    profile = std::make_unique<ModelProfile>(*net, Tensor(Shape{1, 2, 6, 6}));
+  }
+
+  std::shared_ptr<nn::Sequential> net;
+  std::unique_ptr<ModelProfile> profile;
+  Rng input_rng{2};
+};
+
+TEST(FaultyAccumulate, FlipFinalEqualsFlipOfTrueSum) {
+  const std::vector<float> products{0.5f, -0.25f, 1.0f};
+  const float truth = 0.1f + 0.5f - 0.25f + 1.0f;
+  EXPECT_EQ(faulty_accumulate(products, 0.1f, 31, MacFaultKind::kFlipFinal),
+            bits::flip_bit(truth, 31));
+}
+
+TEST(FaultyAccumulate, StuckAt1ForcesBitAfterEveryStep) {
+  const float result =
+      faulty_accumulate({1.0f, 1.0f}, 0.0f, 31, MacFaultKind::kStuckAt1);
+  // sign bit stuck at 1: the accumulator carries a forced sign bit
+  // after every step (0+1=1 -> -1; -1+1=0 -> -0)
+  EXPECT_TRUE(std::signbit(result));
+  EXPECT_EQ(result, -0.0f);
+}
+
+TEST(FaultyAccumulate, StuckAt0OnCleanBitIsTransparent) {
+  // accumulations that never set bit 22 are unaffected by stuck-at-0
+  const float clean = faulty_accumulate({1.0f, 2.0f}, 0.0f, 22,
+                                        MacFaultKind::kFlipFinal);
+  (void)clean;
+  const float a = 1.0f + 2.0f;
+  const float b = faulty_accumulate({1.0f, 2.0f}, 0.0f,
+                                    /*bit that is 0 in 1,3*/ 22,
+                                    MacFaultKind::kStuckAt0);
+  if (bits::get_bit(1.0f, 22) == 0 && bits::get_bit(3.0f, 22) == 0) {
+    EXPECT_EQ(b, a);
+  }
+}
+
+TEST_F(ConvFixture, FlipFinalCorruptsExactlyOneChannel) {
+  const Tensor input = Tensor::uniform(Shape{2, 2, 6, 6}, input_rng, -1, 1);
+  const Tensor clean = net->forward(input);
+
+  HwMacInjector injector(*net, *profile);
+  injector.arm({/*layer=*/0, /*output_channel=*/1, /*bit=*/31,
+                MacFaultKind::kFlipFinal});
+  const Tensor faulty = net->forward(input);
+  EXPECT_EQ(injector.applications(), 1u);
+
+  // channel 1 of the conv output feeds ReLU: compare post-ReLU outputs
+  const std::size_t plane = 6 * 6;
+  for (std::size_t sample = 0; sample < 2; ++sample) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float* a = clean.raw() + (sample * 3 + c) * plane;
+      const float* b = faulty.raw() + (sample * 3 + c) * plane;
+      float diff = 0.0f;
+      for (std::size_t i = 0; i < plane; ++i) diff += std::fabs(a[i] - b[i]);
+      if (c == 1) {
+        EXPECT_GT(diff, 0.0f) << "faulty lane's channel must change";
+      } else {
+        EXPECT_EQ(diff, 0.0f) << "other channels must be untouched";
+      }
+    }
+  }
+}
+
+TEST_F(ConvFixture, FlipFinalMatchesSignFlippedRecomputation) {
+  // bit 31 flip-final: corrupted channel == -1 * correct channel
+  // (pre-activation).  Check against the conv layer's own output by
+  // hooking before the ReLU.
+  const Tensor input = Tensor::uniform(Shape{1, 2, 6, 6}, input_rng, -1, 1);
+  nn::Module* conv = profile->layer(0).module;
+
+  Tensor clean_conv_out;
+  auto handle = conv->register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { clean_conv_out = out; });
+  net->forward(input);
+  conv->remove_forward_hook(handle);
+
+  HwMacInjector injector(*net, *profile);
+  injector.arm({0, 2, 31, MacFaultKind::kFlipFinal});
+  Tensor faulty_conv_out;
+  auto handle2 = conv->register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { faulty_conv_out = out; });
+  net->forward(input);
+  conv->remove_forward_hook(handle2);
+
+  const std::size_t plane = 6 * 6;
+  for (std::size_t i = 0; i < plane; ++i) {
+    EXPECT_FLOAT_EQ(faulty_conv_out.raw()[2 * plane + i],
+                    -clean_conv_out.raw()[2 * plane + i]);
+  }
+}
+
+TEST_F(ConvFixture, DisarmRestoresCleanBehaviour) {
+  const Tensor input = Tensor::uniform(Shape{1, 2, 6, 6}, input_rng, -1, 1);
+  const Tensor clean = net->forward(input);
+  HwMacInjector injector(*net, *profile);
+  injector.arm({0, 0, 30, MacFaultKind::kStuckAt1});
+  net->forward(input);
+  injector.disarm();
+  EXPECT_EQ(injector.armed_count(), 0u);
+  EXPECT_LT(Tensor::max_abs_diff(net->forward(input), clean), 1e-6f);
+}
+
+TEST_F(ConvFixture, StuckLaneCorruptsWholeChannelEveryImage) {
+  // the blast radius of a MAC-unit fault: every spatial position of the
+  // lane's channel, in every image of the batch
+  const Tensor input = Tensor::uniform(Shape{3, 2, 6, 6}, input_rng, -1, 1);
+  const Tensor clean = net->forward(input);
+  HwMacInjector injector(*net, *profile);
+  injector.arm({0, 0, 30, MacFaultKind::kStuckAt1});
+  const Tensor faulty = net->forward(input);
+
+  const std::size_t plane = 6 * 6;
+  std::size_t changed = 0;
+  for (std::size_t sample = 0; sample < 3; ++sample) {
+    for (std::size_t i = 0; i < plane; ++i) {
+      if (clean.raw()[sample * 3 * plane + i] !=
+          faulty.raw()[sample * 3 * plane + i]) {
+        ++changed;
+      }
+    }
+  }
+  // bit 30 stuck at 1 makes values huge: essentially all positions change
+  EXPECT_GT(changed, 3 * plane / 2);
+}
+
+TEST_F(ConvFixture, RejectsInvalidTargets) {
+  HwMacInjector injector(*net, *profile);
+  EXPECT_THROW(injector.arm({5, 0, 30, MacFaultKind::kStuckAt1}), Error);
+  EXPECT_THROW(injector.arm({0, 99, 30, MacFaultKind::kStuckAt1}), Error);
+  EXPECT_THROW(injector.arm({0, 0, 40, MacFaultKind::kStuckAt1}), Error);
+}
+
+TEST(HwInjectorOnLinearModel, RejectsNonConvLayer) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::Linear>(4, 2));
+  const ModelProfile profile(*net, Tensor(Shape{1, 4}));
+  HwMacInjector injector(*net, profile);
+  EXPECT_THROW(injector.arm({0, 0, 30, MacFaultKind::kStuckAt1}), Error);
+}
+
+TEST_F(ConvFixture, DestructorRemovesHooks) {
+  {
+    HwMacInjector injector(*net, *profile);
+  }
+  EXPECT_EQ(profile->layer(0).module->forward_hook_count(), 0u);
+}
+
+TEST(MacFaultKindNames, Strings) {
+  EXPECT_STREQ(to_string(MacFaultKind::kStuckAt1), "stuck_at_1");
+  EXPECT_STREQ(to_string(MacFaultKind::kStuckAt0), "stuck_at_0");
+  EXPECT_STREQ(to_string(MacFaultKind::kFlipFinal), "flip_final");
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,255 @@
+#include "core/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "tensor/bits.h"
+
+namespace alfi::core {
+namespace {
+
+/// 1-channel 2x2 identity "network": a single conv with a centered
+/// 1-weight so output == input, making injected corruption observable.
+struct IdentityConvFixture : ::testing::Test {
+  IdentityConvFixture()
+      : net(std::make_shared<nn::Sequential>()) {
+    auto conv = std::make_shared<nn::Conv2d>(1, 1, 1, 1, 0);
+    conv->weight_param()->value.flat(0) = 1.0f;
+    net->append(conv);
+    profile = std::make_unique<ModelProfile>(*net, Tensor(Shape{1, 1, 2, 2}));
+  }
+
+  Fault neuron_fault(std::int64_t batch, std::int64_t c, std::int64_t y,
+                     std::int64_t x, int bit) {
+    Fault f;
+    f.target = FaultTarget::kNeurons;
+    f.value_type = ValueType::kBitFlip;
+    f.layer = 0;
+    f.batch = batch;
+    f.channel_out = c;
+    f.height = y;
+    f.width = x;
+    f.bit_pos = bit;
+    return f;
+  }
+
+  std::shared_ptr<nn::Sequential> net;
+  std::unique_ptr<ModelProfile> profile;
+};
+
+TEST_F(IdentityConvFixture, NeuronFaultCorruptsExactlyOnePosition) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(0, 0, 1, 0, 31)});  // sign flip at (1,0)
+
+  const Tensor input(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor out = net->forward(input);
+  EXPECT_FLOAT_EQ(out.flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(out.flat(1), 2.0f);
+  EXPECT_FLOAT_EQ(out.flat(2), -3.0f);  // corrupted
+  EXPECT_FLOAT_EQ(out.flat(3), 4.0f);
+}
+
+TEST_F(IdentityConvFixture, NeuronFaultTargetsBatchSlot) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(1, 0, 0, 0, 31)});
+
+  const Tensor input(Shape{2, 1, 2, 2},
+                     std::vector<float>{1, 1, 1, 1, 5, 5, 5, 5});
+  const Tensor out = net->forward(input);
+  EXPECT_FLOAT_EQ(out.flat(0), 1.0f);   // sample 0 untouched
+  EXPECT_FLOAT_EQ(out.flat(4), -5.0f);  // sample 1 corrupted
+}
+
+TEST_F(IdentityConvFixture, BatchMinusOneHitsAllSlots) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(-1, 0, 0, 0, 31)});
+  const Tensor input(Shape{3, 1, 2, 2}, std::vector<float>(12, 2.0f));
+  const Tensor out = net->forward(input);
+  EXPECT_FLOAT_EQ(out.flat(0), -2.0f);
+  EXPECT_FLOAT_EQ(out.flat(4), -2.0f);
+  EXPECT_FLOAT_EQ(out.flat(8), -2.0f);
+}
+
+TEST_F(IdentityConvFixture, SlotBeyondBatchIsIgnored) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(5, 0, 0, 0, 31)});
+  const Tensor input(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f));
+  const Tensor out = net->forward(input);
+  EXPECT_FLOAT_EQ(out.flat(0), 1.0f);
+  EXPECT_TRUE(injector.records().empty());
+}
+
+TEST_F(IdentityConvFixture, DisarmStopsInjection) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(0, 0, 0, 0, 31)});
+  injector.disarm();
+  const Tensor out = net->forward(Tensor(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f)));
+  EXPECT_FLOAT_EQ(out.flat(0), 1.0f);
+  EXPECT_EQ(injector.armed_neuron_fault_count(), 0u);
+}
+
+TEST_F(IdentityConvFixture, FaultPersistsAcrossForwardsUntilDisarm) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(0, 0, 0, 0, 31)});
+  for (int i = 0; i < 3; ++i) {
+    const Tensor out =
+        net->forward(Tensor(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f)));
+    EXPECT_FLOAT_EQ(out.flat(0), -1.0f);
+  }
+  EXPECT_EQ(injector.records().size(), 3u);
+}
+
+TEST_F(IdentityConvFixture, RecordsCaptureBeforeAfterAndDirection) {
+  Injector injector(*net, *profile);
+  injector.set_inference_index(42);
+  injector.arm({neuron_fault(0, 0, 0, 0, 31)});
+  net->forward(Tensor(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f)));
+  ASSERT_EQ(injector.records().size(), 1u);
+  const InjectionRecord& record = injector.records()[0];
+  EXPECT_FLOAT_EQ(record.original_value, 1.0f);
+  EXPECT_FLOAT_EQ(record.corrupted_value, -1.0f);
+  EXPECT_EQ(record.flip_direction, "0->1");  // sign bit of 1.0 is 0
+  EXPECT_EQ(record.inference_index, 42u);
+}
+
+TEST_F(IdentityConvFixture, WeightFaultAppliedAndRestored) {
+  auto* conv = profile->layer(0).module;
+  Fault f;
+  f.target = FaultTarget::kWeights;
+  f.value_type = ValueType::kBitFlip;
+  f.layer = 0;
+  f.channel_out = 0;
+  f.channel_in = 0;
+  f.height = 0;
+  f.width = 0;
+  f.bit_pos = 31;
+
+  Injector injector(*net, *profile, FaultDuration::kTransient);
+  injector.arm({f});
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), -1.0f);
+  EXPECT_EQ(injector.pending_weight_restores(), 1u);
+
+  injector.disarm();
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), 1.0f);
+  EXPECT_EQ(injector.pending_weight_restores(), 0u);
+}
+
+TEST_F(IdentityConvFixture, PermanentWeightFaultSurvivesDisarm) {
+  auto* conv = profile->layer(0).module;
+  Fault f;
+  f.target = FaultTarget::kWeights;
+  f.layer = 0;
+  f.channel_out = 0;
+  f.channel_in = 0;
+  f.height = 0;
+  f.width = 0;
+  f.bit_pos = 31;
+
+  Injector injector(*net, *profile, FaultDuration::kPermanent);
+  injector.arm({f});
+  injector.disarm();
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), -1.0f);  // still corrupted
+  injector.restore_all_weights();
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), 1.0f);
+}
+
+TEST_F(IdentityConvFixture, OverlappingWeightFaultsUnwindCorrectly) {
+  auto* conv = profile->layer(0).module;
+  Fault f1;
+  f1.target = FaultTarget::kWeights;
+  f1.layer = 0;
+  f1.channel_out = 0;
+  f1.channel_in = 0;
+  f1.height = 0;
+  f1.width = 0;
+  f1.bit_pos = 31;
+  Fault f2 = f1;
+  f2.bit_pos = 30;
+
+  Injector injector(*net, *profile);
+  injector.arm({f1, f2});  // both corrupt the same weight
+  injector.disarm();
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), 1.0f);
+}
+
+TEST_F(IdentityConvFixture, DestructorRemovesHooksAndRestoresWeights) {
+  auto* conv = profile->layer(0).module;
+  {
+    Injector injector(*net, *profile, FaultDuration::kPermanent);
+    Fault f;
+    f.target = FaultTarget::kWeights;
+    f.layer = 0;
+    f.channel_out = 0;
+    f.channel_in = 0;
+    f.height = 0;
+    f.width = 0;
+    f.bit_pos = 31;
+    injector.arm({f});
+  }
+  EXPECT_FLOAT_EQ(conv->weight_param()->value.flat(0), 1.0f);
+  EXPECT_EQ(conv->forward_hook_count(), 0u);
+}
+
+TEST_F(IdentityConvFixture, RandomValueFaultOnNeuron) {
+  Fault f = neuron_fault(0, 0, 0, 1, -1);
+  f.value_type = ValueType::kRandomValue;
+  f.number_value = 99.0f;
+  Injector injector(*net, *profile);
+  injector.arm({f});
+  const Tensor out =
+      net->forward(Tensor(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f)));
+  EXPECT_FLOAT_EQ(out.flat(1), 99.0f);
+  EXPECT_TRUE(injector.records()[0].flip_direction.empty());
+}
+
+TEST_F(IdentityConvFixture, MultipleFaultsSameForward) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(0, 0, 0, 0, 31), neuron_fault(0, 0, 1, 1, 31)});
+  const Tensor out =
+      net->forward(Tensor(Shape{1, 1, 2, 2}, std::vector<float>(4, 1.0f)));
+  EXPECT_FLOAT_EQ(out.flat(0), -1.0f);
+  EXPECT_FLOAT_EQ(out.flat(3), -1.0f);
+  EXPECT_EQ(injector.records().size(), 2u);
+}
+
+TEST_F(IdentityConvFixture, LayerIndexOutOfRangeRejected) {
+  Injector injector(*net, *profile);
+  Fault f = neuron_fault(0, 0, 0, 0, 31);
+  f.layer = 7;
+  EXPECT_THROW(injector.arm({f}), Error);
+}
+
+TEST_F(IdentityConvFixture, ClearRecordsResets) {
+  Injector injector(*net, *profile);
+  injector.arm({neuron_fault(0, 0, 0, 0, 31)});
+  net->forward(Tensor(Shape{1, 1, 2, 2}));
+  EXPECT_FALSE(injector.records().empty());
+  injector.clear_records();
+  EXPECT_TRUE(injector.records().empty());
+}
+
+TEST(InjectorOnLinear, FaultOnLinearOutput) {
+  auto net = std::make_shared<nn::Sequential>();
+  auto linear = std::make_shared<nn::Linear>(2, 3);
+  // identity-ish weights
+  linear->weight_param()->value.flat(0) = 1.0f;  // out0 <- in0
+  linear->weight_param()->value.flat(3) = 1.0f;  // out1 <- in1
+  net->append(linear);
+  const ModelProfile profile(*net, Tensor(Shape{1, 2}));
+
+  Fault f;
+  f.target = FaultTarget::kNeurons;
+  f.layer = 0;
+  f.batch = 0;
+  f.width = 1;  // linear outputs use the Width row as the feature index
+  f.bit_pos = 31;
+
+  Injector injector(*net, profile);
+  injector.arm({f});
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{3, 4}));
+  EXPECT_FLOAT_EQ(out.flat(0), 3.0f);
+  EXPECT_FLOAT_EQ(out.flat(1), -4.0f);
+}
+
+}  // namespace
+}  // namespace alfi::core

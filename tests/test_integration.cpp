@@ -1,0 +1,221 @@
+// Cross-module property tests: invariants that must hold for every
+// combination of architecture, fault target and layer kind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alficore.h"
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "nn/layers.h"
+#include "nn/prune.h"
+#include "nn/quantize.h"
+#include "test_common.h"
+
+namespace alfi::core {
+namespace {
+
+struct SweepCase {
+  const char* arch;
+  FaultTarget target;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << c.arch << "/" << to_string(c.target);
+}
+
+class ArchTargetSweep : public ::testing::TestWithParam<SweepCase> {};
+
+/// Invariant: arming + disarming transient faults leaves every parameter
+/// bit-identical, for every architecture and target.
+TEST_P(ArchTargetSweep, TransientInjectionIsFullyReversible) {
+  const SweepCase& param = GetParam();
+  auto net = models::make_classifier(param.arch, {});
+  Rng rng(1);
+  nn::kaiming_init(*net, rng);
+
+  // snapshot all parameters
+  std::vector<Tensor> snapshot;
+  for (nn::Parameter* p : net->parameters()) snapshot.push_back(p->value);
+
+  Scenario scenario;
+  scenario.target = param.target;
+  scenario.dataset_size = 16;
+  scenario.max_faults_per_image = 4;
+  scenario.rnd_seed = 2;
+  PtfiWrap wrapper(*net, scenario, Tensor(Shape{1, 3, 32, 32}));
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  Rng in_rng(3);
+  const Tensor input = Tensor::uniform(Shape{2, 3, 32, 32}, in_rng);
+  for (int step = 0; step < 4; ++step) {
+    nn::Module& corrupted = iter.next();
+    corrupted.forward(input);
+  }
+  wrapper.injector().disarm();
+
+  const auto params = net->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->value, snapshot[i]) << "parameter " << i << " not restored";
+  }
+}
+
+/// Invariant: a top-exponent-bit fault in any architecture eventually
+/// perturbs the output observably.
+TEST_P(ArchTargetSweep, TopExponentFaultsPerturbOutputs) {
+  const SweepCase& param = GetParam();
+  auto net = models::make_classifier(param.arch, {});
+  Rng rng(4);
+  nn::kaiming_init(*net, rng);
+
+  Scenario scenario;
+  scenario.target = param.target;
+  scenario.rnd_bit_range_lo = 30;
+  scenario.rnd_bit_range_hi = 30;
+  scenario.dataset_size = 16;
+  scenario.max_faults_per_image = 4;
+  scenario.rnd_seed = 5;
+  PtfiWrap wrapper(*net, scenario, Tensor(Shape{1, 3, 32, 32}));
+
+  Rng in_rng(6);
+  const Tensor input = Tensor::uniform(Shape{1, 3, 32, 32}, in_rng);
+  wrapper.injector().disarm();
+  const Tensor clean = net->forward(input);
+
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  bool any_difference = false;
+  while (!iter.exhausted()) {
+    nn::Module& corrupted = iter.next();
+    const Tensor out = corrupted.forward(input);
+    if (out.has_nan() || out.has_inf() ||
+        Tensor::max_abs_diff(out, clean) > 1e-3f) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  wrapper.injector().disarm();
+}
+
+/// Invariant: fault matrices round-trip through disk for every case.
+TEST_P(ArchTargetSweep, FaultMatrixPersistenceRoundTrip) {
+  const SweepCase& param = GetParam();
+  test::TempDir dir("sweep");
+  auto net = models::make_classifier(param.arch, {});
+  Scenario scenario;
+  scenario.target = param.target;
+  scenario.dataset_size = 32;
+  scenario.rnd_seed = 7;
+  PtfiWrap wrapper(*net, scenario, Tensor(Shape{1, 3, 32, 32}));
+  wrapper.save_fault_matrix(dir.file("m.bin"));
+  EXPECT_EQ(FaultMatrix::load(dir.file("m.bin")), wrapper.fault_matrix());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ArchTargetSweep,
+    ::testing::Values(SweepCase{"lenet", FaultTarget::kNeurons},
+                      SweepCase{"lenet", FaultTarget::kWeights},
+                      SweepCase{"alexnet", FaultTarget::kNeurons},
+                      SweepCase{"alexnet", FaultTarget::kWeights},
+                      SweepCase{"vgg", FaultTarget::kNeurons},
+                      SweepCase{"vgg", FaultTarget::kWeights},
+                      SweepCase{"resnet", FaultTarget::kNeurons},
+                      SweepCase{"resnet", FaultTarget::kWeights}));
+
+/// Conv3d models go through the whole wrapper pipeline too.
+TEST(Conv3dIntegration, WrapperEndToEnd) {
+  auto net = models::make_conv3d_classifier({});
+  Rng rng(8);
+  nn::kaiming_init(*net, rng);
+  Scenario scenario;
+  scenario.target = FaultTarget::kNeurons;
+  scenario.layer_types = {nn::LayerKind::kConv3d};
+  scenario.rnd_bit_range_lo = 30;
+  scenario.rnd_bit_range_hi = 30;
+  scenario.dataset_size = 8;
+  scenario.rnd_seed = 9;
+  PtfiWrap wrapper(*net, scenario, Tensor(Shape{1, 1, 8, 16, 16}));
+
+  Rng in_rng(10);
+  const Tensor input = Tensor::uniform(Shape{1, 1, 8, 16, 16}, in_rng);
+  wrapper.injector().disarm();
+  const Tensor clean = net->forward(input);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  bool any_difference = false;
+  while (!iter.exhausted()) {
+    const Tensor out = iter.next().forward(input);
+    if (Tensor::max_abs_diff(out, clean) > 1e-3f || out.has_inf() || out.has_nan()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+/// A quantized model still runs the full campaign machinery.
+TEST(QuantizedIntegration, Bf16CampaignRuns) {
+  const data::SyntheticShapesClassification dataset(
+      {.size = 16, .num_classes = 4, .seed = 11});
+  auto net = models::make_lenet({.num_classes = 4});
+  Rng rng(12);
+  nn::kaiming_init(*net, rng);
+  nn::quantize_parameters(*net, nn::NumericType::kBfloat16);
+
+  Scenario scenario;
+  scenario.target = FaultTarget::kWeights;
+  scenario.rnd_bit_range_lo = 16;  // bf16 live bits only
+  scenario.rnd_bit_range_hi = 31;
+  scenario.dataset_size = 16;
+  scenario.rnd_seed = 13;
+  ImgClassCampaignConfig config;
+  TestErrorModelsImgClass harness(*net, dataset, scenario, config);
+  const auto result = harness.run();
+  EXPECT_EQ(result.kpis.total, 16u);
+}
+
+/// A pruned model still runs the full campaign machinery and its zero
+/// weights stay zero after transient faults are restored.
+TEST(PrunedIntegration, SparsityPreservedThroughCampaign) {
+  const data::SyntheticShapesClassification dataset(
+      {.size = 16, .num_classes = 4, .seed = 14});
+  auto net = models::make_lenet({.num_classes = 4});
+  Rng rng(15);
+  nn::kaiming_init(*net, rng);
+  nn::prune_by_magnitude(*net, 0.5f);
+  const float sparsity_before = nn::weight_sparsity(*net);
+
+  Scenario scenario;
+  scenario.target = FaultTarget::kWeights;
+  scenario.dataset_size = 16;
+  scenario.rnd_seed = 16;
+  ImgClassCampaignConfig config;
+  TestErrorModelsImgClass harness(*net, dataset, scenario, config);
+  harness.run();
+  EXPECT_FLOAT_EQ(nn::weight_sparsity(*net), sparsity_before);
+}
+
+/// Fault-free runs of the same inputs are bit-identical regardless of
+/// how many campaigns ran in between (no hidden state).
+TEST(Determinism, CampaignsLeaveNoResidue) {
+  const data::SyntheticShapesClassification dataset(
+      {.size = 8, .num_classes = 4, .seed = 17});
+  auto net = models::make_lenet({.num_classes = 4});
+  Rng rng(18);
+  nn::kaiming_init(*net, rng);
+  const Tensor input = dataset.get(0).image.reshaped(Shape{1, 3, 32, 32});
+  const Tensor before = net->forward(input);
+
+  for (int i = 0; i < 3; ++i) {
+    Scenario scenario;
+    scenario.target = i % 2 == 0 ? FaultTarget::kWeights : FaultTarget::kNeurons;
+    scenario.dataset_size = 8;
+    scenario.rnd_seed = 19 + static_cast<std::uint64_t>(i);
+    ImgClassCampaignConfig config;
+    TestErrorModelsImgClass harness(*net, dataset, scenario, config);
+    harness.run();
+  }
+
+  const Tensor after = net->forward(input);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,142 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_common.h"
+
+namespace alfi::io {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(Json::parse("-12").as_int(), -12);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("a").as_array()[2].at("b").as_bool(), true);
+  EXPECT_TRUE(doc.at("c").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json doc = Json::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} x"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,"), ParseError);
+  EXPECT_THROW(Json::parse("{'single'}"), ParseError);
+  EXPECT_THROW(Json::parse("nul"), ParseError);
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json doc = Json::parse("  {\n \"k\" :\t[ 1 ,2 ]\r\n} ");
+  EXPECT_EQ(doc.at("k").as_array().size(), 2u);
+}
+
+TEST(JsonDump, RoundTripsComplexDocuments) {
+  const std::string text =
+      R"({"name":"run1","faults":[{"layer":3,"bit":30},{"layer":0,"bit":22}],"rate":0.118,"ok":true,"none":null})";
+  const Json doc = Json::parse(text);
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_EQ(reparsed.at("name").as_string(), "run1");
+  EXPECT_EQ(reparsed.at("faults").as_array()[0].at("layer").as_int(), 3);
+  EXPECT_DOUBLE_EQ(reparsed.at("rate").as_number(), 0.118);
+  EXPECT_TRUE(reparsed.at("none").is_null());
+}
+
+TEST(JsonDump, PreservesKeyInsertionOrder) {
+  Json doc = Json::object();
+  doc["zeta"] = Json(1);
+  doc["alpha"] = Json(2);
+  doc["mid"] = Json(3);
+  const std::string text = doc.dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mid"));
+}
+
+TEST(JsonDump, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(Json(5).dump(), "5");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Json doc{std::string("a\"b\nc")};
+  EXPECT_EQ(Json::parse(doc.dump()).as_string(), "a\"b\nc");
+}
+
+TEST(JsonObject, BracketCreatesAndAtThrows) {
+  Json doc = Json::object();
+  doc["x"] = Json(1);
+  EXPECT_TRUE(doc.contains("x"));
+  EXPECT_FALSE(doc.contains("y"));
+  EXPECT_THROW(doc.at("y"), ParseError);
+}
+
+TEST(JsonObject, BracketOnNullPromotesToObject) {
+  Json doc;
+  doc["k"]["nested"] = Json(7);
+  EXPECT_EQ(doc.at("k").at("nested").as_int(), 7);
+}
+
+TEST(JsonArray, PushBackOnNullPromotesToArray) {
+  Json doc;
+  doc.push_back(Json(1));
+  doc.push_back(Json(2));
+  EXPECT_EQ(doc.as_array().size(), 2u);
+}
+
+TEST(JsonTypeChecks, WrongAccessorThrows) {
+  const Json doc = Json::parse("[1]");
+  EXPECT_THROW(doc.as_object(), Error);
+  EXPECT_THROW(doc.as_string(), Error);
+  EXPECT_THROW(Json(1).as_bool(), Error);
+}
+
+TEST(JsonFile, WriteAndReadBack) {
+  test::TempDir dir("json");
+  Json doc = Json::object();
+  doc["answer"] = Json(42);
+  write_json_file(dir.file("doc.json"), doc);
+  const Json loaded = read_json_file(dir.file("doc.json"));
+  EXPECT_EQ(loaded.at("answer").as_int(), 42);
+}
+
+TEST(JsonFile, MissingFileThrowsIoError) {
+  EXPECT_THROW(read_json_file("/nonexistent/path/x.json"), IoError);
+}
+
+TEST(JsonDump, IndentedOutputParses) {
+  Json doc = Json::object();
+  doc["list"].push_back(Json(1));
+  Json inner = Json::object();
+  inner["k"] = Json("v");
+  doc["list"].push_back(inner);
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty).at("list").as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace alfi::io

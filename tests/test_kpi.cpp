@@ -1,0 +1,200 @@
+#include "core/kpi.h"
+
+#include <gtest/gtest.h>
+
+namespace alfi::core {
+namespace {
+
+using data::Annotation;
+using data::BoundingBox;
+using models::Detection;
+
+TEST(TopKLogits, OrdersAndNormalizes) {
+  const std::vector<float> logits{0.0f, 3.0f, 1.0f};
+  const TopK top = topk_of_logits(logits, 2);
+  ASSERT_EQ(top.classes.size(), 2u);
+  EXPECT_EQ(top.classes[0], 1u);
+  EXPECT_EQ(top.classes[1], 2u);
+  EXPECT_GT(top.probs[0], top.probs[1]);
+  EXPECT_LE(top.probs[0], 1.0f);
+}
+
+TEST(TopKLogits, NanLogitsRankLast) {
+  const std::vector<float> logits{1.0f, std::numeric_limits<float>::quiet_NaN(),
+                                  0.5f};
+  const TopK top = topk_of_logits(logits, 3);
+  EXPECT_EQ(top.classes[0], 0u);
+  EXPECT_EQ(top.classes[2], 1u);
+  EXPECT_FLOAT_EQ(top.probs[2], 0.0f);
+}
+
+TEST(ClassificationKpis, RatesComputeFromCounters) {
+  ClassificationKpis kpis;
+  kpis.total = 200;
+  kpis.sde = 20;
+  kpis.due = 4;
+  kpis.orig_correct = 190;
+  kpis.faulty_correct = 165;
+  EXPECT_DOUBLE_EQ(kpis.sde_rate(), 0.10);
+  EXPECT_DOUBLE_EQ(kpis.due_rate(), 0.02);
+  EXPECT_DOUBLE_EQ(kpis.orig_accuracy(), 0.95);
+  EXPECT_DOUBLE_EQ(kpis.faulty_accuracy(), 0.825);
+}
+
+TEST(ClassificationKpis, EmptyTotalsAreZeroNotNaN) {
+  const ClassificationKpis kpis;
+  EXPECT_DOUBLE_EQ(kpis.sde_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(kpis.orig_accuracy(), 0.0);
+}
+
+// ---- AP ------------------------------------------------------------------
+
+Annotation gt_box(std::int64_t image, std::size_t category, float x, float y,
+                  float w, float h) {
+  Annotation ann;
+  ann.image_id = image;
+  ann.category_id = category;
+  ann.bbox = {x, y, w, h};
+  return ann;
+}
+
+Detection det_box(std::size_t category, float score, float x, float y, float w,
+                  float h) {
+  return Detection{{x, y, w, h}, category, score};
+}
+
+TEST(AveragePrecision, PerfectDetectionsScoreOne) {
+  const std::vector<std::vector<Annotation>> gt{
+      {gt_box(0, 0, 0, 0, 10, 10)},
+      {gt_box(1, 0, 20, 20, 10, 10)},
+  };
+  const std::vector<std::vector<Detection>> dets{
+      {det_box(0, 0.9f, 0, 0, 10, 10)},
+      {det_box(0, 0.8f, 20, 20, 10, 10)},
+  };
+  EXPECT_NEAR(average_precision(gt, dets, 0, 0.5f), 1.0, 0.02);
+}
+
+TEST(AveragePrecision, NoDetectionsScoreZero) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  const std::vector<std::vector<Detection>> dets{{}};
+  EXPECT_DOUBLE_EQ(average_precision(gt, dets, 0, 0.5f), 0.0);
+}
+
+TEST(AveragePrecision, AbsentClassReturnsSentinel) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  const std::vector<std::vector<Detection>> dets{{}};
+  EXPECT_LT(average_precision(gt, dets, 5, 0.5f), 0.0);
+}
+
+TEST(AveragePrecision, FalsePositivesLowerPrecision) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  // one TP (lower score) + one spurious high-score FP
+  const std::vector<std::vector<Detection>> dets{{
+      det_box(0, 0.95f, 30, 30, 5, 5),  // FP ranked first
+      det_box(0, 0.60f, 0, 0, 10, 10),  // TP
+  }};
+  const double ap = average_precision(gt, dets, 0, 0.5f);
+  EXPECT_GT(ap, 0.2);
+  EXPECT_LT(ap, 0.8);
+}
+
+TEST(AveragePrecision, DuplicateDetectionsOnlyMatchOnce) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  const std::vector<std::vector<Detection>> dets{{
+      det_box(0, 0.9f, 0, 0, 10, 10),
+      det_box(0, 0.8f, 1, 1, 10, 10),  // duplicate of the same GT -> FP
+  }};
+  const double ap = average_precision(gt, dets, 0, 0.5f);
+  EXPECT_NEAR(ap, 1.0, 0.02);  // TP ranked first, so precision@recall=1 is 1
+}
+
+TEST(AveragePrecision, StricterIouThresholdLowersAp) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  // slightly offset box: IoU ~ 0.68
+  const std::vector<std::vector<Detection>> dets{{det_box(0, 0.9f, 2, 0, 10, 10)}};
+  EXPECT_GT(average_precision(gt, dets, 0, 0.5f), 0.9);
+  EXPECT_DOUBLE_EQ(average_precision(gt, dets, 0, 0.75f), 0.0);
+}
+
+TEST(EvaluateCoco, PerfectDetectorSummary) {
+  const std::vector<std::vector<Annotation>> gt{
+      {gt_box(0, 0, 0, 0, 10, 10), gt_box(0, 1, 20, 20, 12, 12)},
+  };
+  const std::vector<std::vector<Detection>> dets{{
+      det_box(0, 0.9f, 0, 0, 10, 10),
+      det_box(1, 0.9f, 20, 20, 12, 12),
+  }};
+  const CocoSummary summary = evaluate_coco(gt, dets, 2);
+  EXPECT_NEAR(summary.ap_50, 1.0, 0.02);
+  EXPECT_NEAR(summary.ap_5095, 1.0, 0.02);
+  EXPECT_NEAR(summary.ar_100, 1.0, 0.02);
+}
+
+TEST(EvaluateCoco, EmptyDetectionsGiveZero) {
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  const std::vector<std::vector<Detection>> dets{{}};
+  const CocoSummary summary = evaluate_coco(gt, dets, 2);
+  EXPECT_DOUBLE_EQ(summary.ap_5095, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ar_100, 0.0);
+}
+
+TEST(EvaluateCoco, MismatchedImageCountsThrow) {
+  const std::vector<std::vector<Annotation>> gt{{}};
+  const std::vector<std::vector<Detection>> dets{{}, {}};
+  EXPECT_THROW(evaluate_coco(gt, dets, 1), Error);
+}
+
+// ---- IVMOD ---------------------------------------------------------------
+
+TEST(DetectionsDiffer, IdenticalSetsMatch) {
+  const std::vector<Detection> dets{det_box(0, 0.9f, 0, 0, 10, 10)};
+  EXPECT_FALSE(detections_differ(dets, dets));
+}
+
+TEST(DetectionsDiffer, MissingDetectionIsFn) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10)};
+  EXPECT_TRUE(detections_differ(orig, {}));
+}
+
+TEST(DetectionsDiffer, SpuriousDetectionIsFp) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10)};
+  std::vector<Detection> faulty = orig;
+  faulty.push_back(det_box(1, 0.8f, 30, 30, 5, 5));
+  EXPECT_TRUE(detections_differ(orig, faulty));
+}
+
+TEST(DetectionsDiffer, ClassChangeDetected) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10)};
+  const std::vector<Detection> faulty{det_box(1, 0.9f, 0, 0, 10, 10)};
+  EXPECT_TRUE(detections_differ(orig, faulty));
+}
+
+TEST(DetectionsDiffer, SmallBoxShiftWithinIouToleranceIgnored) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10)};
+  const std::vector<Detection> faulty{det_box(0, 0.7f, 1, 0, 10, 10)};
+  EXPECT_FALSE(detections_differ(orig, faulty));  // IoU ~0.8, same class
+}
+
+TEST(DetectionsDiffer, LargeBoxShiftDetected) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10)};
+  const std::vector<Detection> faulty{det_box(0, 0.9f, 8, 8, 10, 10)};
+  EXPECT_TRUE(detections_differ(orig, faulty));
+}
+
+TEST(DetectionsDiffer, BothEmptyMatch) {
+  EXPECT_FALSE(detections_differ({}, {}));
+}
+
+TEST(IvmodKpis, RatesFromCounters) {
+  IvmodKpis kpis;
+  kpis.total = 1000;
+  kpis.sde_images = 42;
+  kpis.due_images = 9;
+  EXPECT_DOUBLE_EQ(kpis.sde_rate(), 0.042);
+  EXPECT_DOUBLE_EQ(kpis.due_rate(), 0.009);
+  EXPECT_DOUBLE_EQ(IvmodKpis{}.sde_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,147 @@
+#include "core/mitigation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace alfi::core {
+namespace {
+
+std::shared_ptr<nn::Sequential> relu_net() {
+  auto net = std::make_shared<nn::Sequential>();
+  auto fc = std::make_shared<nn::Linear>(2, 2);
+  fc->weight_param()->value.flat(0) = 1.0f;
+  fc->weight_param()->value.flat(3) = 1.0f;
+  net->append(fc, "fc");
+  net->append(std::make_shared<nn::ReLU>(), "act");
+  return net;
+}
+
+TEST(Profiler, RecordsMinMaxPerActivationLayer) {
+  auto net = relu_net();
+  const RangeMap bounds = profile_activation_ranges(
+      *net, {Tensor(Shape{1, 2}, std::vector<float>{1, 2}),
+             Tensor(Shape{1, 2}, std::vector<float>{-3, 5})});
+  ASSERT_EQ(bounds.size(), 1u);
+  const RangeBounds b = bounds.at("act");
+  EXPECT_FLOAT_EQ(b.lo, 0.0f);  // relu(-3) = 0
+  EXPECT_FLOAT_EQ(b.hi, 5.0f);
+}
+
+TEST(Profiler, IgnoresNonFiniteDuringProfiling) {
+  auto net = relu_net();
+  Tensor bad(Shape{1, 2});
+  bad.flat(0) = std::numeric_limits<float>::infinity();
+  const RangeMap bounds =
+      profile_activation_ranges(*net, {Tensor(Shape{1, 2}, std::vector<float>{1, 1}), bad});
+  EXPECT_TRUE(std::isfinite(bounds.at("act").hi));
+}
+
+TEST(Profiler, DetachesHooks) {
+  auto net = relu_net();
+  profile_activation_ranges(*net, {Tensor(Shape{1, 2})});
+  net->for_each_module([](const std::string&, nn::Module& m) {
+    EXPECT_EQ(m.forward_hook_count(), 0u);
+  });
+}
+
+TEST(Profiler, RequiresCalibrationData) {
+  auto net = relu_net();
+  EXPECT_THROW(profile_activation_ranges(*net, {}), Error);
+}
+
+TEST(Ranger, TruncatesOutOfRangeValues) {
+  auto net = relu_net();
+  const RangeMap bounds{{"act", {0.0f, 2.0f}}};
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  EXPECT_EQ(protection.protected_layer_count(), 1u);
+
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{100, 1}));
+  EXPECT_FLOAT_EQ(out.flat(0), 2.0f);  // truncated to hi
+  EXPECT_FLOAT_EQ(out.flat(1), 1.0f);  // in range: untouched
+  EXPECT_EQ(protection.corrections(), 1u);
+}
+
+TEST(Clipper, ZeroesOutOfRangeValues) {
+  auto net = relu_net();
+  const RangeMap bounds{{"act", {0.0f, 2.0f}}};
+  Protection protection(*net, bounds, MitigationKind::kClipper);
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{100, 1}));
+  EXPECT_FLOAT_EQ(out.flat(0), 0.0f);  // zeroed
+  EXPECT_FLOAT_EQ(out.flat(1), 1.0f);
+}
+
+TEST(Ranger, NeutralizesNaN) {
+  auto net = relu_net();
+  auto* fc = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc->weight_param()->value.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  const RangeMap bounds{{"act", {0.0f, 2.0f}}};
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 1}));
+  EXPECT_FALSE(out.has_nan());
+}
+
+TEST(Protection, ToggleDisablesWithoutDetaching) {
+  auto net = relu_net();
+  const RangeMap bounds{{"act", {0.0f, 2.0f}}};
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  protection.set_enabled(false);
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{100, 1}));
+  EXPECT_FLOAT_EQ(out.flat(0), 100.0f);  // untouched while disabled
+  protection.set_enabled(true);
+  const Tensor out2 = net->forward(Tensor(Shape{1, 2}, std::vector<float>{100, 1}));
+  EXPECT_FLOAT_EQ(out2.flat(0), 2.0f);
+}
+
+TEST(Protection, MissingBoundsForLayerThrows) {
+  auto net = relu_net();
+  const RangeMap empty;
+  EXPECT_THROW(Protection(*net, empty, MitigationKind::kRanger), Error);
+}
+
+TEST(Protection, ModelWithoutActivationsThrows) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::Linear>(2, 2));
+  const RangeMap bounds;
+  EXPECT_THROW(Protection(*net, bounds, MitigationKind::kRanger), Error);
+}
+
+TEST(Protection, DetachesOnDestruction) {
+  auto net = relu_net();
+  const RangeMap bounds{{"act", {0.0f, 2.0f}}};
+  {
+    Protection protection(*net, bounds, MitigationKind::kClipper);
+  }
+  net->for_each_module([](const std::string&, nn::Module& m) {
+    EXPECT_EQ(m.forward_hook_count(), 0u);
+  });
+}
+
+TEST(Protection, CorrectionCounterAccumulatesAndResets) {
+  auto net = relu_net();
+  const RangeMap bounds{{"act", {0.0f, 1.0f}}};
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{10, 20}));
+  EXPECT_EQ(protection.corrections(), 2u);
+  protection.reset_corrections();
+  EXPECT_EQ(protection.corrections(), 0u);
+}
+
+TEST(Mitigation, KindNames) {
+  EXPECT_STREQ(to_string(MitigationKind::kRanger), "ranger");
+  EXPECT_STREQ(to_string(MitigationKind::kClipper), "clipper");
+}
+
+TEST(Mitigation, ActivationLayerClassification) {
+  EXPECT_TRUE(is_activation_layer(nn::ReLU{}));
+  EXPECT_TRUE(is_activation_layer(nn::LeakyReLU{0.1f}));
+  EXPECT_TRUE(is_activation_layer(nn::Sigmoid{}));
+  EXPECT_TRUE(is_activation_layer(nn::Tanh{}));
+  EXPECT_FALSE(is_activation_layer(nn::Linear{1, 1}));
+  EXPECT_FALSE(is_activation_layer(nn::Flatten{}));
+}
+
+}  // namespace
+}  // namespace alfi::core

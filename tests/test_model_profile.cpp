@@ -1,0 +1,128 @@
+#include "core/model_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "models/classification.h"
+#include "nn/layers.h"
+
+namespace alfi::core {
+namespace {
+
+std::shared_ptr<nn::Sequential> tiny_net() {
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::Conv2d>(1, 2, 3, 1, 1));  // out [2,8,8]
+  net->append(std::make_shared<nn::ReLU>());
+  net->append(std::make_shared<nn::MaxPool2d>(2));           // [2,4,4]
+  net->append(std::make_shared<nn::Flatten>());
+  net->append(std::make_shared<nn::Linear>(32, 5));          // out [5]
+  return net;
+}
+
+TEST(ModelProfile, EnumeratesInjectableLayersInOrder) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  ASSERT_EQ(profile.layer_count(), 2u);
+  EXPECT_EQ(profile.layer(0).kind, nn::LayerKind::kConv2d);
+  EXPECT_EQ(profile.layer(0).path, "0");
+  EXPECT_EQ(profile.layer(1).kind, nn::LayerKind::kLinear);
+  EXPECT_EQ(profile.layer(1).path, "4");
+  EXPECT_EQ(profile.layer(0).index, 0u);
+  EXPECT_EQ(profile.layer(1).index, 1u);
+}
+
+TEST(ModelProfile, RecordsGeometry) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  EXPECT_EQ(profile.layer(0).weight_shape, Shape({2, 1, 3, 3}));
+  EXPECT_EQ(profile.layer(0).output_shape, Shape({2, 8, 8}));
+  EXPECT_EQ(profile.layer(0).weight_count, 18u);
+  EXPECT_EQ(profile.layer(0).neuron_count, 128u);
+  EXPECT_EQ(profile.layer(1).weight_shape, Shape({5, 32}));
+  EXPECT_EQ(profile.layer(1).output_shape, Shape({5}));
+  EXPECT_EQ(profile.layer(1).neuron_count, 5u);
+}
+
+TEST(ModelProfile, Totals) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  EXPECT_EQ(profile.total_weight_count(), 18u + 160u);
+  EXPECT_EQ(profile.total_neuron_count(), 128u + 5u);
+}
+
+TEST(ModelProfile, ProbeRemovesItsHooks) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  net->for_each_module([](const std::string&, nn::Module& m) {
+    EXPECT_EQ(m.forward_hook_count(), 0u);
+  });
+}
+
+TEST(ModelProfile, SizeWeightsFollowEq1) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  const auto weights = profile.size_weights({0, 1}, /*use_weights=*/true);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 18.0);
+  EXPECT_DOUBLE_EQ(weights[1], 160.0);
+  const auto neurons = profile.size_weights({0, 1}, /*use_weights=*/false);
+  EXPECT_DOUBLE_EQ(neurons[0], 128.0);
+  EXPECT_DOUBLE_EQ(neurons[1], 5.0);
+}
+
+TEST(ModelProfile, Conv3dLayersProfiled) {
+  auto net = models::make_conv3d_classifier({});
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 16, 16}));
+  ASSERT_EQ(profile.layer_count(), 3u);
+  EXPECT_EQ(profile.layer(0).kind, nn::LayerKind::kConv3d);
+  EXPECT_EQ(profile.layer(0).output_shape.rank(), 4u);  // [C,D,H,W]
+}
+
+TEST(ModelProfile, MiniVggLayerCount) {
+  auto net = models::make_mini_vgg({});
+  const ModelProfile profile(*net, Tensor(Shape{1, 3, 32, 32}));
+  // 6 conv + 2 linear
+  EXPECT_EQ(profile.layer_count(), 8u);
+}
+
+TEST(ModelProfile, ResnetIncludesShortcutConvs) {
+  auto net = models::make_mini_resnet({});
+  const ModelProfile profile(*net, Tensor(Shape{1, 3, 32, 32}));
+  // stem conv + 3 blocks * 2 convs + 2 shortcut convs + final linear = 10
+  EXPECT_EQ(profile.layer_count(), 10u);
+}
+
+TEST(ModelProfile, ModelWithoutInjectableLayersThrows) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::ReLU>());
+  EXPECT_THROW(ModelProfile(*net, Tensor(Shape{1, 4})), Error);
+}
+
+TEST(ModelProfile, LayerIndexOutOfRangeThrows) {
+  auto net = tiny_net();
+  const ModelProfile profile(*net, Tensor(Shape{1, 1, 8, 8}));
+  EXPECT_THROW(profile.layer(2), Error);
+}
+
+}  // namespace
+}  // namespace alfi::core
+// appended: two-stage detector profiling via probe_forward
+#include "models/frcnn_lite.h"
+
+namespace alfi::core {
+namespace {
+
+TEST(ModelProfile, TwoStageDetectorHeadDiscovered) {
+  models::FrcnnModule frcnn(3, 3);
+  const ModelProfile profile(frcnn, Tensor(Shape{1, 3, 48, 48}));
+  bool saw_head_linear = false;
+  for (const LayerInfo& layer : profile.layers()) {
+    EXPECT_GT(layer.neuron_count, 0u) << layer.path;
+    if (layer.path.rfind("head.", 0) == 0 && layer.kind == nn::LayerKind::kLinear) {
+      saw_head_linear = true;
+    }
+  }
+  EXPECT_TRUE(saw_head_linear);
+}
+
+}  // namespace
+}  // namespace alfi::core

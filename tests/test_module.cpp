@@ -1,0 +1,169 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace alfi::nn {
+namespace {
+
+std::shared_ptr<Sequential> small_net() {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(1, 2, 3, 1, 1));
+  net->append(std::make_shared<ReLU>());
+  net->append(std::make_shared<Flatten>());
+  net->append(std::make_shared<Linear>(2 * 4 * 4, 3));
+  return net;
+}
+
+TEST(Module, ForEachModuleVisitsAllWithPaths) {
+  auto net = small_net();
+  std::vector<std::string> paths;
+  std::vector<std::string> types;
+  net->for_each_module([&](const std::string& path, Module& m) {
+    paths.push_back(path);
+    types.push_back(m.type());
+  });
+  ASSERT_EQ(paths.size(), 5u);  // root + 4 layers
+  EXPECT_EQ(paths[0], "");
+  EXPECT_EQ(paths[1], "0");
+  EXPECT_EQ(paths[4], "3");
+  EXPECT_EQ(types[0], "Sequential");
+  EXPECT_EQ(types[1], "Conv2d");
+  EXPECT_EQ(types[4], "Linear");
+}
+
+TEST(Module, NestedPathsAreDotJoined) {
+  auto inner = std::make_shared<Sequential>();
+  inner->append(std::make_shared<ReLU>(), "act");
+  auto outer = std::make_shared<Sequential>();
+  outer->append(inner, "block");
+  std::vector<std::string> paths;
+  outer->for_each_module(
+      [&](const std::string& path, Module&) { paths.push_back(path); });
+  EXPECT_EQ(paths, (std::vector<std::string>{"", "block", "block.act"}));
+}
+
+TEST(Module, ParameterEnumeration) {
+  auto net = small_net();
+  const auto params = net->parameters();
+  // Conv2d (weight+bias) + Linear (weight+bias)
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->name, "weight");
+  EXPECT_EQ(params[1]->name, "bias");
+  const std::size_t expected =
+      2 * 1 * 3 * 3 + 2 + (2 * 4 * 4) * 3 + 3;
+  EXPECT_EQ(net->parameter_count(), expected);
+}
+
+TEST(Module, ZeroGradClearsAccumulators) {
+  auto net = small_net();
+  for (Parameter* p : net->parameters()) p->grad.fill(1.0f);
+  net->zero_grad();
+  for (Parameter* p : net->parameters()) {
+    EXPECT_EQ(p->grad.sum(), 0.0f);
+  }
+}
+
+TEST(Module, HooksRunInRegistrationOrderAndMutate) {
+  ReLU layer;
+  std::vector<int> order;
+  layer.register_forward_hook([&order](Module&, const Tensor&, Tensor& out) {
+    order.push_back(1);
+    out.flat(0) += 10.0f;
+  });
+  layer.register_forward_hook([&order](Module&, const Tensor&, Tensor& out) {
+    order.push_back(2);
+    out.flat(0) *= 2.0f;
+  });
+  const Tensor y = layer.forward(Tensor(Shape{1, 1}, std::vector<float>{1.0f}));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FLOAT_EQ(y.flat(0), 22.0f);  // (relu(1)+10)*2
+}
+
+TEST(Module, HookSeesLayerIdentity) {
+  ReLU layer;
+  std::string seen_type;
+  layer.register_forward_hook([&](Module& m, const Tensor&, Tensor&) {
+    seen_type = m.type();
+  });
+  layer.forward(Tensor(Shape{1, 1}));
+  EXPECT_EQ(seen_type, "ReLU");
+}
+
+TEST(Module, HookRemovalIsIdempotent) {
+  ReLU layer;
+  int calls = 0;
+  const HookHandle handle = layer.register_forward_hook(
+      [&calls](Module&, const Tensor&, Tensor&) { ++calls; });
+  layer.forward(Tensor(Shape{1, 1}));
+  layer.remove_forward_hook(handle);
+  layer.remove_forward_hook(handle);  // second removal: no-op
+  layer.forward(Tensor(Shape{1, 1}));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(layer.forward_hook_count(), 0u);
+}
+
+TEST(Module, ClearHooksRecursive) {
+  auto net = small_net();
+  std::size_t registered = 0;
+  net->for_each_module([&](const std::string&, Module& m) {
+    m.register_forward_hook([](Module&, const Tensor&, Tensor&) {});
+    ++registered;
+  });
+  EXPECT_EQ(registered, 5u);
+  net->clear_forward_hooks_recursive();
+  net->for_each_module([&](const std::string&, Module& m) {
+    EXPECT_EQ(m.forward_hook_count(), 0u);
+  });
+}
+
+TEST(Module, HooksOnChildrenRunDuringParentForward) {
+  auto net = small_net();
+  int conv_hook_calls = 0;
+  // hook the conv layer (first child)
+  net->children()[0].second->register_forward_hook(
+      [&](Module&, const Tensor&, Tensor&) { ++conv_hook_calls; });
+  net->forward(Tensor(Shape{1, 1, 4, 4}));
+  EXPECT_EQ(conv_hook_calls, 1);
+}
+
+TEST(Module, SetTrainingPropagates) {
+  auto net = small_net();
+  EXPECT_FALSE(net->training());
+  net->set_training(true);
+  net->for_each_module(
+      [](const std::string&, Module& m) { EXPECT_TRUE(m.training()); });
+  net->set_training(false);
+  net->for_each_module(
+      [](const std::string&, Module& m) { EXPECT_FALSE(m.training()); });
+}
+
+TEST(Module, RegisteringEmptyHookThrows) {
+  ReLU layer;
+  EXPECT_THROW(layer.register_forward_hook(ForwardHook{}), Error);
+}
+
+TEST(Module, LayerKinds) {
+  EXPECT_EQ(Conv2d(1, 1, 1).kind(), LayerKind::kConv2d);
+  EXPECT_EQ(Conv3d(1, 1, 1).kind(), LayerKind::kConv3d);
+  EXPECT_EQ(Linear(1, 1).kind(), LayerKind::kLinear);
+  EXPECT_EQ(ReLU().kind(), LayerKind::kOther);
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv2d), "conv2d");
+}
+
+TEST(Module, WeightParamExposure) {
+  Conv2d conv(2, 3, 3);
+  ASSERT_NE(conv.weight_param(), nullptr);
+  EXPECT_EQ(conv.weight_param()->value.shape(), Shape({3, 2, 3, 3}));
+  ASSERT_NE(conv.bias_param(), nullptr);
+  EXPECT_EQ(ReLU().weight_param(), nullptr);
+}
+
+TEST(Module, BackwardWithoutImplementationThrows) {
+  Softmax softmax;
+  EXPECT_THROW(softmax.backward(Tensor(Shape{1, 2})), Error);
+}
+
+}  // namespace
+}  // namespace alfi::nn

@@ -1,0 +1,114 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace alfi::core {
+namespace {
+
+std::shared_ptr<nn::Sequential> relu_chain() {
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::Linear>(2, 2), "fc1");
+  net->append(std::make_shared<nn::ReLU>(), "act");
+  net->append(std::make_shared<nn::Linear>(2, 2), "fc2");
+  return net;
+}
+
+TEST(Monitor, CleanForwardDetectsNothing) {
+  auto net = relu_chain();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 2}));
+  EXPECT_FALSE(monitor.nan_detected());
+  EXPECT_FALSE(monitor.inf_detected());
+  EXPECT_FALSE(monitor.due_detected());
+}
+
+TEST(Monitor, DetectsNaNFromCorruptedWeight) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 2}));
+  EXPECT_TRUE(monitor.nan_detected());
+  EXPECT_TRUE(monitor.due_detected());
+  // the first offender is fc1 itself
+  ASSERT_FALSE(monitor.nan_layers().empty());
+  EXPECT_EQ(monitor.nan_layers()[0], "fc1");
+}
+
+TEST(Monitor, DetectsInfSeparatelyFromNaN) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = std::numeric_limits<float>::infinity();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 0}));
+  EXPECT_TRUE(monitor.inf_detected());
+}
+
+TEST(Monitor, ResetClearsState) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}));
+  EXPECT_TRUE(monitor.nan_detected());
+  monitor.reset();
+  EXPECT_FALSE(monitor.nan_detected());
+  fc1->weight_param()->value.flat(0) = 0.0f;
+  net->forward(Tensor(Shape{1, 2}));
+  EXPECT_FALSE(monitor.nan_detected());
+}
+
+TEST(Monitor, TracksPropagationThroughLayers) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 1}));
+  // NaN propagates fc1 -> act -> fc2
+  EXPECT_EQ(monitor.nan_layers().size(), 3u);
+}
+
+TEST(Monitor, CustomMonitorReceivesEveryLeafOutput) {
+  auto net = relu_chain();
+  ModelMonitor monitor(*net);
+  std::vector<std::string> seen;
+  monitor.add_custom([&seen](const std::string& path, const Tensor&) {
+    seen.push_back(path);
+  });
+  net->forward(Tensor(Shape{1, 2}));
+  EXPECT_EQ(seen, (std::vector<std::string>{"fc1", "act", "fc2"}));
+}
+
+TEST(Monitor, CustomMonitorCanComputeStatistics) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.fill(1.0f);
+  ModelMonitor monitor(*net);
+  float max_seen = -1e30f;
+  monitor.add_custom([&max_seen](const std::string&, const Tensor& out) {
+    max_seen = std::max(max_seen, out.max());
+  });
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{3, 4}));
+  EXPECT_GE(max_seen, 7.0f);  // fc1 outputs 3+4
+}
+
+TEST(Monitor, DetachesOnDestruction) {
+  auto net = relu_chain();
+  {
+    ModelMonitor monitor(*net);
+  }
+  net->for_each_module([](const std::string&, nn::Module& m) {
+    EXPECT_EQ(m.forward_hook_count(), 0u);
+  });
+}
+
+TEST(Monitor, RejectsEmptyCustomMonitor) {
+  auto net = relu_chain();
+  ModelMonitor monitor(*net);
+  EXPECT_THROW(monitor.add_custom(ModelMonitor::CustomMonitor{}), Error);
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,400 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_common.h"
+
+namespace alfi::ops {
+namespace {
+
+// ---- reference implementations ------------------------------------------------
+
+/// Direct (non-im2col) conv2d used to cross-check the production path.
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                        const Conv2dSpec& spec) {
+  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oc = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+  Tensor out(Shape{n, oc, oh, ow});
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t o = 0; o < oc; ++o)
+      for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = bias.raw()[o];
+          for (std::size_t c = 0; c < ic; ++c)
+            for (std::size_t ky = 0; ky < kh; ++ky)
+              for (std::size_t kx = 0; kx < kw; ++kx) {
+                const std::ptrdiff_t y =
+                    static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                const std::ptrdiff_t x =
+                    static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(h) ||
+                    x >= static_cast<std::ptrdiff_t>(w))
+                  continue;
+                acc += static_cast<double>(
+                           weight.at({o, c, ky, kx})) *
+                       input.at({s, c, static_cast<std::size_t>(y),
+                                 static_cast<std::size_t>(x)});
+              }
+          out.at({s, o, oy, ox}) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+TEST(Elementwise, AddSubMul) {
+  const Tensor a(Shape{3}, std::vector<float>{1, 2, 3});
+  const Tensor b(Shape{3}, std::vector<float>{4, 5, 6});
+  EXPECT_EQ(add(a, b), Tensor(Shape{3}, std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(sub(b, a), Tensor(Shape{3}, std::vector<float>{3, 3, 3}));
+  EXPECT_EQ(mul(a, b), Tensor(Shape{3}, std::vector<float>{4, 10, 18}));
+  EXPECT_EQ(scale(a, 2.0f), Tensor(Shape{3}, std::vector<float>{2, 4, 6}));
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor(Shape{2}), Tensor(Shape{3})), Error);
+}
+
+TEST(Elementwise, InplaceOps) {
+  Tensor a(Shape{2}, std::vector<float>{1, 2});
+  add_inplace(a, Tensor(Shape{2}, std::vector<float>{10, 20}));
+  EXPECT_EQ(a, Tensor(Shape{2}, std::vector<float>{11, 22}));
+  axpy_inplace(a, 0.5f, Tensor(Shape{2}, std::vector<float>{2, 4}));
+  EXPECT_EQ(a, Tensor(Shape{2}, std::vector<float>{12, 24}));
+}
+
+TEST(Matmul, KnownProduct) {
+  const Tensor a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c, Tensor(Shape{2, 2}, std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  const Tensor a = Tensor::uniform(Shape{4, 4}, rng);
+  Tensor eye(Shape{4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_LT(Tensor::max_abs_diff(matmul(a, eye), a), 1e-6f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor(Shape{2, 3}), Tensor(Shape{2, 3})), Error);
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(2);
+  const Tensor a = Tensor::uniform(Shape{3, 5}, rng);
+  EXPECT_EQ(transpose2d(transpose2d(a)), a);
+  EXPECT_EQ(transpose2d(a).shape(), Shape({5, 3}));
+}
+
+TEST(Linear, MatchesManualComputation) {
+  const Tensor x(Shape{1, 2}, std::vector<float>{1, 2});
+  const Tensor w(Shape{3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  const Tensor b(Shape{3}, std::vector<float>{0.5f, 0, -1});
+  const Tensor y = linear_forward(x, w, b);
+  EXPECT_EQ(y, Tensor(Shape{1, 3}, std::vector<float>{1.5f, 2, 2}));
+}
+
+TEST(Linear, BackwardMatchesNumericalGradient) {
+  Rng rng(3);
+  const Tensor x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  Tensor w = Tensor::uniform(Shape{3, 4}, rng, -1, 1);
+  const Tensor b = Tensor::uniform(Shape{3}, rng, -1, 1);
+  const Tensor gy = Tensor::uniform(Shape{2, 3}, rng, -1, 1);
+
+  const LinearGrads grads = linear_backward(x, w, gy);
+
+  // scalar loss = sum(gy * y); check d/dw for a few entries.
+  auto loss_for_w = [&](std::size_t index, float value) {
+    Tensor wt = w;
+    wt.flat(index) = value;
+    const Tensor y = linear_forward(x, wt, b);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) loss += y.raw()[i] * gy.raw()[i];
+    return static_cast<float>(loss);
+  };
+  for (const std::size_t index : {0u, 5u, 11u}) {
+    const float numeric = test::numerical_gradient(
+        [&](float v) { return loss_for_w(index, v); }, w.flat(index));
+    test::expect_close(grads.grad_weight.flat(index), numeric, 1e-2f, 1e-2f,
+                       "grad_weight");
+  }
+}
+
+TEST(ConvOutSize, Formula) {
+  EXPECT_EQ(conv_out_size(32, 3, 1, 1), 32u);
+  EXPECT_EQ(conv_out_size(32, 2, 2, 0), 16u);
+  EXPECT_EQ(conv_out_size(5, 5, 1, 0), 1u);
+  EXPECT_THROW(conv_out_size(3, 5, 1, 0), Error);
+}
+
+struct ConvCase {
+  std::size_t n, ic, h, w, oc, k, stride, pad;
+};
+
+class Conv2dSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dSweep, MatchesDirectReference) {
+  const ConvCase& cs = GetParam();
+  Rng rng(7);
+  const Tensor input = Tensor::uniform(Shape{cs.n, cs.ic, cs.h, cs.w}, rng, -1, 1);
+  const Tensor weight = Tensor::uniform(Shape{cs.oc, cs.ic, cs.k, cs.k}, rng, -1, 1);
+  const Tensor bias = Tensor::uniform(Shape{cs.oc}, rng, -1, 1);
+  const Conv2dSpec spec{cs.stride, cs.pad};
+  const Tensor fast = conv2d_forward(input, weight, bias, spec);
+  const Tensor ref = conv2d_reference(input, weight, bias, spec);
+  EXPECT_LT(Tensor::max_abs_diff(fast, ref), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv2dSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 0},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 9, 7, 3, 3, 2, 1},
+                      ConvCase{2, 4, 6, 6, 2, 1, 1, 0},
+                      ConvCase{1, 1, 8, 8, 2, 5, 1, 2},
+                      ConvCase{3, 2, 10, 10, 5, 3, 2, 0}));
+
+TEST(Conv2d, BackwardMatchesNumericalGradient) {
+  Rng rng(11);
+  const Tensor input = Tensor::uniform(Shape{1, 2, 5, 5}, rng, -1, 1);
+  Tensor weight = Tensor::uniform(Shape{3, 2, 3, 3}, rng, -1, 1);
+  const Tensor bias = Tensor::uniform(Shape{3}, rng, -1, 1);
+  const Conv2dSpec spec{1, 1};
+  const Tensor gy = Tensor::uniform(Shape{1, 3, 5, 5}, rng, -1, 1);
+
+  const Conv2dGrads grads = conv2d_backward(input, weight, gy, spec);
+
+  auto loss_for = [&](const Tensor& in, const Tensor& wt) {
+    const Tensor y = conv2d_forward(in, wt, bias, spec);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) loss += y.raw()[i] * gy.raw()[i];
+    return static_cast<float>(loss);
+  };
+
+  for (const std::size_t index : {0u, 17u, 49u}) {
+    Tensor w2 = weight;
+    const float numeric = test::numerical_gradient(
+        [&](float v) {
+          w2.flat(index) = v;
+          return loss_for(input, w2);
+        },
+        weight.flat(index));
+    test::expect_close(grads.grad_weight.flat(index), numeric, 1e-2f, 1e-2f,
+                       "conv grad_weight");
+  }
+  for (const std::size_t index : {0u, 13u, 31u}) {
+    Tensor in2 = input;
+    const float numeric = test::numerical_gradient(
+        [&](float v) {
+          in2.flat(index) = v;
+          return loss_for(in2, weight);
+        },
+        input.flat(index));
+    test::expect_close(grads.grad_input.flat(index), numeric, 1e-2f, 1e-2f,
+                       "conv grad_input");
+  }
+}
+
+TEST(Conv3d, MatchesManualSingleVoxel) {
+  // 1x1x1 kernel: output = w * input + b voxelwise.
+  Rng rng(13);
+  const Tensor input = Tensor::uniform(Shape{1, 1, 2, 3, 3}, rng, -1, 1);
+  Tensor weight(Shape{1, 1, 1, 1, 1});
+  weight.flat(0) = 2.0f;
+  Tensor bias(Shape{1});
+  bias.flat(0) = 0.5f;
+  const Tensor out = conv3d_forward(input, weight, bias, Conv3dSpec{1, 0});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out.raw()[i], 2.0f * input.raw()[i] + 0.5f);
+  }
+}
+
+TEST(Conv3d, BackwardMatchesNumericalGradient) {
+  Rng rng(17);
+  const Tensor input = Tensor::uniform(Shape{1, 1, 3, 4, 4}, rng, -1, 1);
+  Tensor weight = Tensor::uniform(Shape{2, 1, 2, 2, 2}, rng, -1, 1);
+  const Tensor bias = Tensor::uniform(Shape{2}, rng, -1, 1);
+  const Conv3dSpec spec{1, 0};
+  const Tensor out = conv3d_forward(input, weight, bias, spec);
+  Rng rng2(18);
+  const Tensor gy = Tensor::uniform(out.shape(), rng2, -1, 1);
+
+  const Conv3dGrads grads = conv3d_backward(input, weight, gy, spec);
+
+  auto loss_for_w = [&](std::size_t index, float value) {
+    Tensor wt = weight;
+    wt.flat(index) = value;
+    const Tensor y = conv3d_forward(input, wt, bias, spec);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) loss += y.raw()[i] * gy.raw()[i];
+    return static_cast<float>(loss);
+  };
+  for (const std::size_t index : {0u, 7u, 15u}) {
+    const float numeric = test::numerical_gradient(
+        [&](float v) { return loss_for_w(index, v); }, weight.flat(index));
+    test::expect_close(grads.grad_weight.flat(index), numeric, 1e-2f, 1e-2f,
+                       "conv3d grad_weight");
+  }
+}
+
+TEST(MaxPool, ValuesAndArgmax) {
+  const Tensor input(Shape{1, 1, 2, 4},
+                     std::vector<float>{1, 5, 2, 0, 3, 4, 8, 6});
+  const MaxPoolResult result = maxpool2d_forward(input, Pool2dSpec{2, 2});
+  EXPECT_EQ(result.output.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(result.output.flat(0), 5.0f);
+  EXPECT_FLOAT_EQ(result.output.flat(1), 8.0f);
+  EXPECT_EQ(result.argmax[0], 1u);
+  EXPECT_EQ(result.argmax[1], 6u);
+}
+
+TEST(MaxPool, PropagatesNaN) {
+  Tensor input(Shape{1, 1, 2, 2});
+  input.flat(3) = std::numeric_limits<float>::quiet_NaN();
+  const MaxPoolResult result = maxpool2d_forward(input, Pool2dSpec{2, 2});
+  EXPECT_TRUE(std::isnan(result.output.flat(0)));
+}
+
+TEST(MaxPool, BackwardRoutesToWinner) {
+  const Tensor input(Shape{1, 1, 2, 2}, std::vector<float>{1, 9, 3, 2});
+  const MaxPoolResult fwd = maxpool2d_forward(input, Pool2dSpec{2, 2});
+  const Tensor gy(Shape{1, 1, 1, 1}, std::vector<float>{5});
+  const Tensor gx = maxpool2d_backward(input, fwd, gy);
+  EXPECT_EQ(gx, Tensor(Shape{1, 1, 2, 2}, std::vector<float>{0, 5, 0, 0}));
+}
+
+TEST(AvgPool, ForwardAndBackward) {
+  const Tensor input(Shape{1, 1, 2, 2}, std::vector<float>{1, 3, 5, 7});
+  const Tensor out = avgpool2d_forward(input, Pool2dSpec{2, 2});
+  EXPECT_FLOAT_EQ(out.flat(0), 4.0f);
+  const Tensor gy(Shape{1, 1, 1, 1}, std::vector<float>{8});
+  const Tensor gx = avgpool2d_backward(input, Pool2dSpec{2, 2}, gy);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx.flat(i), 2.0f);
+}
+
+TEST(GlobalAvgPool, ReducesSpatial) {
+  const Tensor input(Shape{1, 2, 2, 2},
+                     std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor out = global_avgpool2d(input);
+  EXPECT_EQ(out.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(out.flat(0), 2.5f);
+  EXPECT_FLOAT_EQ(out.flat(1), 25.0f);
+}
+
+TEST(Activations, ReluAndBackward) {
+  const Tensor x(Shape{4}, std::vector<float>{-1, 0, 2, -3});
+  EXPECT_EQ(relu(x), Tensor(Shape{4}, std::vector<float>{0, 0, 2, 0}));
+  const Tensor gy(Shape{4}, std::vector<float>{1, 1, 1, 1});
+  EXPECT_EQ(relu_backward(x, gy), Tensor(Shape{4}, std::vector<float>{0, 0, 1, 0}));
+}
+
+TEST(Activations, ReluPropagatesNaN) {
+  Tensor x(Shape{1});
+  x.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(relu(x).has_nan());
+}
+
+TEST(Activations, LeakyRelu) {
+  const Tensor x(Shape{2}, std::vector<float>{-2, 4});
+  const Tensor y = leaky_relu(x, 0.1f);
+  EXPECT_FLOAT_EQ(y.flat(0), -0.2f);
+  EXPECT_FLOAT_EQ(y.flat(1), 4.0f);
+}
+
+TEST(Activations, SigmoidRangeAndSymmetry) {
+  const Tensor x(Shape{3}, std::vector<float>{-10, 0, 10});
+  const Tensor y = sigmoid(x);
+  EXPECT_NEAR(y.flat(0), 0.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y.flat(1), 0.5f);
+  EXPECT_NEAR(y.flat(2), 1.0f, 1e-4f);
+}
+
+TEST(Activations, Clamp) {
+  Tensor x(Shape{4}, std::vector<float>{-5, 0.5f, 7, 0});
+  x.flat(3) = std::numeric_limits<float>::quiet_NaN();
+  const Tensor y = clamp(x, -1, 1);
+  EXPECT_FLOAT_EQ(y.flat(0), -1.0f);
+  EXPECT_FLOAT_EQ(y.flat(1), 0.5f);
+  EXPECT_FLOAT_EQ(y.flat(2), 1.0f);
+  EXPECT_FLOAT_EQ(y.flat(3), -1.0f);  // NaN neutralized to lo
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(19);
+  const Tensor logits = Tensor::uniform(Shape{4, 7}, rng, -5, 5);
+  const Tensor probs = softmax_rows(logits);
+  for (std::size_t row = 0; row < 4; ++row) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) total += probs.raw()[row * 7 + c];
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits(Shape{1, 2}, std::vector<float>{1000, 999});
+  const Tensor probs = softmax_rows(logits);
+  EXPECT_FALSE(probs.has_nan());
+  EXPECT_GT(probs.flat(0), probs.flat(1));
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  Rng rng(23);
+  const Tensor logits = Tensor::uniform(Shape{2, 5}, rng, -3, 3);
+  const Tensor a = log_softmax_rows(logits);
+  const Tensor b = softmax_rows(logits);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.raw()[i], std::log(b.raw()[i]), 1e-4f);
+  }
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss) {
+  const Tensor logits(Shape{1, 3}, std::vector<float>{10, -10, -10});
+  EXPECT_LT(cross_entropy_loss(logits, {0}), 1e-3f);
+  EXPECT_GT(cross_entropy_loss(logits, {1}), 5.0f);
+}
+
+TEST(CrossEntropy, GradMatchesNumerical) {
+  Rng rng(29);
+  Tensor logits = Tensor::uniform(Shape{2, 4}, rng, -2, 2);
+  const std::vector<std::size_t> labels{1, 3};
+  const Tensor grad = cross_entropy_grad(logits, labels);
+  for (const std::size_t index : {0u, 3u, 5u, 7u}) {
+    const float numeric = test::numerical_gradient(
+        [&](float v) {
+          Tensor l2 = logits;
+          l2.flat(index) = v;
+          return cross_entropy_loss(l2, labels);
+        },
+        logits.flat(index));
+    test::expect_close(grad.flat(index), numeric, 1e-3f, 1e-2f, "ce grad");
+  }
+}
+
+TEST(TopK, OrdersDescending) {
+  const std::vector<float> values{0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = topk_indices(values, 3);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 3, 2}));
+}
+
+TEST(TopK, NanSortsLast) {
+  std::vector<float> values{0.5f, std::numeric_limits<float>::quiet_NaN(), 0.1f};
+  const auto top = topk_indices(values, 3);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[2], 1u);
+}
+
+TEST(TopK, KLargerThanSizeClamps) {
+  const std::vector<float> values{1.0f, 2.0f};
+  EXPECT_EQ(topk_indices(values, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace alfi::ops

@@ -1,0 +1,85 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace alfi::nn {
+namespace {
+
+/// Minimizes ||W x - t||^2 for a fixed batch with the given stepper.
+template <typename Optimizer, typename Options>
+float optimize_linear(Options options, int steps) {
+  Linear layer(3, 2);
+  Rng rng(1);
+  layer.init(rng);
+  layer.set_training(true);
+  const Tensor x = Tensor::uniform(Shape{4, 3}, rng, -1, 1);
+  const Tensor target = Tensor::uniform(Shape{4, 2}, rng, -1, 1);
+
+  Optimizer optimizer(layer.parameters(), options);
+  float loss = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    const Tensor y = layer.forward(x);
+    const Tensor diff = ops::sub(y, target);
+    loss = 0.0f;
+    for (std::size_t j = 0; j < diff.numel(); ++j) loss += diff.raw()[j] * diff.raw()[j];
+    layer.backward(ops::scale(diff, 2.0f));
+    optimizer.step();
+  }
+  return loss;
+}
+
+TEST(Sgd, ReducesQuadraticLoss) {
+  const float final_loss = optimize_linear<Sgd, Sgd::Options>({0.05f, 0.9f, 0.0f}, 200);
+  EXPECT_LT(final_loss, 1e-4f);
+}
+
+TEST(Sgd, WithoutMomentumStillConverges) {
+  const float final_loss = optimize_linear<Sgd, Sgd::Options>({0.05f, 0.0f, 0.0f}, 600);
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Linear layer(2, 2);
+  layer.weight_param()->value.fill(1.0f);
+  Sgd optimizer(layer.parameters(), {0.1f, 0.0f, 0.5f});
+  // zero gradients: the only force is decay
+  optimizer.step();
+  for (const float v : layer.weight_param()->value.data()) {
+    EXPECT_LT(v, 1.0f);
+    EXPECT_GT(v, 0.0f);
+  }
+}
+
+TEST(Sgd, StepZeroesGradients) {
+  Linear layer(2, 2);
+  layer.weight_param()->grad.fill(1.0f);
+  Sgd optimizer(layer.parameters(), {0.1f, 0.9f, 0.0f});
+  optimizer.step();
+  EXPECT_EQ(layer.weight_param()->grad.sum(), 0.0f);
+}
+
+TEST(Adam, ReducesQuadraticLoss) {
+  const float final_loss =
+      optimize_linear<Adam, Adam::Options>({0.05f, 0.9f, 0.999f, 1e-8f, 0.0f}, 300);
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(Adam, LearningRateAccessors) {
+  Linear layer(2, 2);
+  Adam optimizer(layer.parameters(), {});
+  optimizer.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(optimizer.learning_rate(), 0.5f);
+}
+
+TEST(Sgd, LearningRateAccessors) {
+  Linear layer(2, 2);
+  Sgd optimizer(layer.parameters(), {});
+  optimizer.set_learning_rate(0.25f);
+  EXPECT_FLOAT_EQ(optimizer.learning_rate(), 0.25f);
+}
+
+}  // namespace
+}  // namespace alfi::nn

@@ -1,0 +1,102 @@
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "tensor/bits.h"
+
+namespace alfi::nn {
+namespace {
+
+TEST(Quantize, Fp32IsIdentity) {
+  for (const float v : {0.1f, -3.7f, 1e-20f, 1e20f}) {
+    EXPECT_EQ(quantize_value(v, NumericType::kFloat32), v);
+  }
+}
+
+TEST(Quantize, Bf16ZeroesLowSixteenBits) {
+  const float q = quantize_value(1.2345678f, NumericType::kBfloat16);
+  EXPECT_EQ(bits::to_bits(q) & 0xFFFFu, 0u);
+  EXPECT_NEAR(q, 1.2345678f, 0.01f);  // bf16 keeps ~2-3 decimal digits
+}
+
+TEST(Quantize, Bf16ExactValuesUnchanged) {
+  // values with an all-zero low half are bf16-representable already
+  for (const float v : {1.0f, -2.0f, 0.5f, 0.0f}) {
+    EXPECT_EQ(quantize_value(v, NumericType::kBfloat16), v);
+  }
+}
+
+TEST(Quantize, Bf16RoundsToNearest) {
+  // bf16 has 7 mantissa bits, so its ulp at 1.0 is 2^-7: 1 + 2^-7 is
+  // exactly representable, 1 + 2^-8 is the tie and rounds to even (1.0).
+  const float representable = 1.0f + 0.0078125f;  // 1 + 2^-7
+  EXPECT_EQ(quantize_value(representable, NumericType::kBfloat16), representable);
+  const float tie = 1.0f + 0.00390625f;  // 1 + 2^-8
+  EXPECT_EQ(quantize_value(tie, NumericType::kBfloat16), 1.0f);
+}
+
+TEST(Quantize, Fp16RangeClamping) {
+  EXPECT_TRUE(std::isinf(quantize_value(1e6f, NumericType::kFloat16)));
+  EXPECT_TRUE(std::isinf(quantize_value(-1e6f, NumericType::kFloat16)));
+  EXPECT_FALSE(std::isinf(quantize_value(60000.0f, NumericType::kFloat16)));
+}
+
+TEST(Quantize, Fp16PrecisionLoss) {
+  const float q = quantize_value(1.0009765f, NumericType::kFloat16);
+  // fp16 ulp at 1.0 is 2^-10 ≈ 0.0009766: result is one step away from 1
+  EXPECT_NEAR(q, 1.0009765f, 5e-4f);
+  EXPECT_NE(q, 1.0009765f);
+}
+
+TEST(Quantize, Fp16PreservesZeroAndNan) {
+  EXPECT_EQ(quantize_value(0.0f, NumericType::kFloat16), 0.0f);
+  EXPECT_TRUE(std::isnan(quantize_value(std::nanf(""), NumericType::kFloat16)));
+}
+
+TEST(Quantize, ParametersInPlace) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Linear>(8, 8));
+  Rng rng(1);
+  kaiming_init(*net, rng);
+  const std::size_t changed = quantize_parameters(*net, NumericType::kBfloat16);
+  EXPECT_GT(changed, 0u);
+  // every weight now has a zero low half
+  for (Parameter* p : net->parameters()) {
+    for (const float v : p->value.data()) {
+      EXPECT_EQ(bits::to_bits(v) & 0xFFFFu, 0u);
+    }
+  }
+  // idempotent
+  EXPECT_EQ(quantize_parameters(*net, NumericType::kBfloat16), 0u);
+}
+
+TEST(Quantize, LiveBits) {
+  EXPECT_EQ(lowest_live_bit(NumericType::kFloat32), 0);
+  EXPECT_EQ(lowest_live_bit(NumericType::kBfloat16), 16);
+  EXPECT_EQ(lowest_live_bit(NumericType::kFloat16), 13);
+}
+
+TEST(Quantize, Names) {
+  EXPECT_STREQ(to_string(NumericType::kFloat32), "fp32");
+  EXPECT_STREQ(to_string(NumericType::kBfloat16), "bf16");
+  EXPECT_STREQ(to_string(NumericType::kFloat16), "fp16");
+}
+
+class QuantizeErrorSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(QuantizeErrorSweep, Bf16RelativeErrorBounded) {
+  const float v = GetParam();
+  const float q = quantize_value(v, NumericType::kBfloat16);
+  // bf16 has 8 mantissa bits -> relative error <= 2^-8
+  EXPECT_LE(std::fabs(q - v), std::fabs(v) * (1.0f / 256.0f) + 1e-30f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, QuantizeErrorSweep,
+                         ::testing::Values(0.001f, 0.12345f, 1.5f, -3.14159f,
+                                           1234.567f, -9.87e5f, 1e-10f));
+
+}  // namespace
+}  // namespace alfi::nn

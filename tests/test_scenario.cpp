@@ -1,0 +1,184 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace alfi::core {
+namespace {
+
+const char* kFullYaml = R"(
+# PyTorchALFI-style scenario
+fault_injection:
+  target: weights
+  value_type: bitflip
+  rnd_bit_range: [23, 30]
+  rnd_value_range: [-2.0, 2.0]
+  duration: transient
+  inj_policy: per_batch
+  max_faults_per_image: 3
+  layer_types: [conv2d, linear]
+  layer_range: [1, 4]
+  weighted_layer_selection: false
+run:
+  dataset_size: 50
+  num_runs: 2
+  batch_size: 10
+  rnd_seed: 777
+)";
+
+TEST(Scenario, ParsesFullDocument) {
+  const Scenario s = Scenario::from_yaml(io::parse_yaml(kFullYaml));
+  EXPECT_EQ(s.target, FaultTarget::kWeights);
+  EXPECT_EQ(s.value_type, ValueType::kBitFlip);
+  EXPECT_EQ(s.rnd_bit_range_lo, 23);
+  EXPECT_EQ(s.rnd_bit_range_hi, 30);
+  EXPECT_FLOAT_EQ(s.rnd_value_min, -2.0f);
+  EXPECT_EQ(s.duration, FaultDuration::kTransient);
+  EXPECT_EQ(s.inj_policy, InjectionPolicy::kPerBatch);
+  EXPECT_EQ(s.max_faults_per_image, 3u);
+  ASSERT_EQ(s.layer_types.size(), 2u);
+  EXPECT_EQ(s.layer_types[0], nn::LayerKind::kConv2d);
+  ASSERT_TRUE(s.layer_range.has_value());
+  EXPECT_EQ(s.layer_range->first, 1u);
+  EXPECT_EQ(s.layer_range->second, 4u);
+  EXPECT_FALSE(s.weighted_layer_selection);
+  EXPECT_EQ(s.dataset_size, 50u);
+  EXPECT_EQ(s.num_runs, 2u);
+  EXPECT_EQ(s.batch_size, 10u);
+  EXPECT_EQ(s.rnd_seed, 777u);
+}
+
+TEST(Scenario, TotalFaultsIsProduct) {
+  Scenario s;
+  s.dataset_size = 7;
+  s.num_runs = 3;
+  s.max_faults_per_image = 2;
+  EXPECT_EQ(s.total_faults(), 42u);  // n = a * b * c (paper §V.C)
+}
+
+TEST(Scenario, DefaultsAreValid) {
+  Scenario s;
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.target, FaultTarget::kNeurons);
+  EXPECT_TRUE(s.weighted_layer_selection);
+}
+
+TEST(Scenario, PartialYamlKeepsDefaults) {
+  const Scenario s = Scenario::from_yaml(
+      io::parse_yaml("run:\n  dataset_size: 5\n"));
+  EXPECT_EQ(s.dataset_size, 5u);
+  EXPECT_EQ(s.num_runs, 1u);
+  EXPECT_EQ(s.target, FaultTarget::kNeurons);
+}
+
+TEST(Scenario, YamlRoundTrip) {
+  const Scenario original = Scenario::from_yaml(io::parse_yaml(kFullYaml));
+  const Scenario reparsed = Scenario::from_yaml(original.to_yaml());
+  EXPECT_EQ(reparsed.target, original.target);
+  EXPECT_EQ(reparsed.rnd_bit_range_lo, original.rnd_bit_range_lo);
+  EXPECT_EQ(reparsed.rnd_bit_range_hi, original.rnd_bit_range_hi);
+  EXPECT_EQ(reparsed.inj_policy, original.inj_policy);
+  EXPECT_EQ(reparsed.max_faults_per_image, original.max_faults_per_image);
+  EXPECT_EQ(reparsed.layer_types, original.layer_types);
+  EXPECT_EQ(reparsed.layer_range, original.layer_range);
+  EXPECT_EQ(reparsed.weighted_layer_selection, original.weighted_layer_selection);
+  EXPECT_EQ(reparsed.dataset_size, original.dataset_size);
+  EXPECT_EQ(reparsed.rnd_seed, original.rnd_seed);
+}
+
+TEST(Scenario, FileRoundTrip) {
+  test::TempDir dir("scenario");
+  Scenario s;
+  s.rnd_seed = 4242;
+  s.save_yaml_file(dir.file("default.yml"));
+  const Scenario loaded = Scenario::from_yaml_file(dir.file("default.yml"));
+  EXPECT_EQ(loaded.rnd_seed, 4242u);
+}
+
+TEST(Scenario, ValidationRejectsBadBitRange) {
+  Scenario s;
+  s.rnd_bit_range_lo = 5;
+  s.rnd_bit_range_hi = 3;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.rnd_bit_range_lo = -1;
+  s.rnd_bit_range_hi = 31;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.rnd_bit_range_lo = 0;
+  s.rnd_bit_range_hi = 32;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(Scenario, ValidationRejectsZeroCounts) {
+  Scenario s;
+  s.max_faults_per_image = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = Scenario{};
+  s.dataset_size = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = Scenario{};
+  s.num_runs = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = Scenario{};
+  s.batch_size = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(Scenario, ValidationRejectsInvertedRanges) {
+  Scenario s;
+  s.layer_range = {{5, 2}};
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = Scenario{};
+  s.rnd_value_min = 1.0f;
+  s.rnd_value_max = -1.0f;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(Scenario, AllowsLayerKind) {
+  Scenario s;
+  EXPECT_TRUE(s.allows_layer_kind(nn::LayerKind::kConv2d));
+  EXPECT_TRUE(s.allows_layer_kind(nn::LayerKind::kLinear));
+  EXPECT_FALSE(s.allows_layer_kind(nn::LayerKind::kOther));
+  s.layer_types = {nn::LayerKind::kConv2d};
+  EXPECT_TRUE(s.allows_layer_kind(nn::LayerKind::kConv2d));
+  EXPECT_FALSE(s.allows_layer_kind(nn::LayerKind::kLinear));
+}
+
+TEST(Scenario, EnumStringConversions) {
+  EXPECT_EQ(fault_target_from_string("neurons"), FaultTarget::kNeurons);
+  EXPECT_EQ(fault_target_from_string("Weights"), FaultTarget::kWeights);
+  EXPECT_THROW(fault_target_from_string("bananas"), ConfigError);
+  EXPECT_EQ(value_type_from_string("bitflip"), ValueType::kBitFlip);
+  EXPECT_EQ(value_type_from_string("stuck_at_1"), ValueType::kStuckAt1);
+  EXPECT_EQ(value_type_from_string("random_value"), ValueType::kRandomValue);
+  EXPECT_THROW(value_type_from_string("x"), ConfigError);
+  EXPECT_EQ(injection_policy_from_string("per_epoch"), InjectionPolicy::kPerEpoch);
+  EXPECT_THROW(injection_policy_from_string("per_year"), ConfigError);
+  EXPECT_EQ(fault_duration_from_string("permanent"), FaultDuration::kPermanent);
+  EXPECT_STREQ(to_string(FaultTarget::kWeights), "weights");
+  EXPECT_STREQ(to_string(ValueType::kStuckAt0), "stuck_at_0");
+  EXPECT_STREQ(to_string(InjectionPolicy::kPerImage), "per_image");
+  EXPECT_STREQ(to_string(FaultDuration::kTransient), "transient");
+}
+
+TEST(Scenario, FromYamlValidates) {
+  EXPECT_THROW(Scenario::from_yaml(io::parse_yaml(
+                   "fault_injection:\n  rnd_bit_range: [5, 2]\n")),
+               ConfigError);
+  EXPECT_THROW(Scenario::from_yaml(io::parse_yaml(
+                   "fault_injection:\n  layer_types: [dense]\n")),
+               ConfigError);
+  EXPECT_THROW(Scenario::from_yaml(io::parse_yaml(
+                   "fault_injection:\n  rnd_bit_range: [1]\n")),
+               ConfigError);
+}
+
+TEST(Scenario, RepoDefaultYamlParses) {
+  // The shipped scenarios/default.yml must always stay valid.
+  const std::string path = std::string(SCENARIOS_DIR) + "/default.yml";
+  const Scenario s = Scenario::from_yaml_file(path);
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,133 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "models/classification.h"
+#include "nn/layers.h"
+#include "test_common.h"
+
+namespace alfi::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  test::TempDir dir("params");
+  auto net = models::make_lenet({});
+  Rng rng(1);
+  kaiming_init(*net, rng);
+  save_parameters(*net, dir.file("lenet.bin"));
+
+  auto clone = models::make_lenet({});
+  load_parameters(*clone, dir.file("lenet.bin"));
+
+  const auto a = net->parameters();
+  const auto b = clone->parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->value, b[i]->value) << "parameter " << i;
+  }
+}
+
+TEST(Serialize, LoadedModelProducesIdenticalOutputs) {
+  test::TempDir dir("params");
+  auto net = models::make_mini_resnet({});
+  Rng rng(2);
+  kaiming_init(*net, rng);
+  save_parameters(*net, dir.file("m.bin"));
+
+  auto clone = models::make_mini_resnet({});
+  load_parameters(*clone, dir.file("m.bin"));
+
+  Rng in_rng(3);
+  const Tensor input = Tensor::uniform(Shape{2, 3, 32, 32}, in_rng);
+  EXPECT_LT(Tensor::max_abs_diff(net->forward(input), clone->forward(input)), 1e-6f);
+}
+
+TEST(Serialize, ArchitectureMismatchDetected) {
+  test::TempDir dir("params");
+  auto net = models::make_lenet({});
+  save_parameters(*net, dir.file("lenet.bin"));
+
+  auto other = models::make_mini_vgg({});
+  EXPECT_THROW(load_parameters(*other, dir.file("lenet.bin")), ParseError);
+}
+
+TEST(Serialize, ShapeMismatchDetected) {
+  test::TempDir dir("params");
+  auto a = std::make_shared<Sequential>();
+  a->append(std::make_shared<Linear>(4, 2));
+  save_parameters(*a, dir.file("a.bin"));
+
+  auto b = std::make_shared<Sequential>();
+  b->append(std::make_shared<Linear>(4, 3));
+  EXPECT_THROW(load_parameters(*b, dir.file("a.bin")), ParseError);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  test::TempDir dir("params");
+  {
+    std::ofstream out(dir.file("junk.bin"), std::ios::binary);
+    out << "not a parameter file";
+  }
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Linear>(2, 2));
+  EXPECT_THROW(load_parameters(*net, dir.file("junk.bin")), ParseError);
+}
+
+TEST(Serialize, LoadZeroesGradients) {
+  test::TempDir dir("params");
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Linear>(2, 2));
+  save_parameters(*net, dir.file("p.bin"));
+  net->parameters()[0]->grad.fill(5.0f);
+  load_parameters(*net, dir.file("p.bin"));
+  EXPECT_EQ(net->parameters()[0]->grad.sum(), 0.0f);
+}
+
+}  // namespace
+}  // namespace alfi::nn
+// appended: buffer (BatchNorm running stats) persistence
+namespace alfi::nn {
+namespace {
+
+TEST(Serialize, BatchNormRunningStatsPersist) {
+  test::TempDir dir("buffers");
+  auto net = models::make_mini_resnet({});
+  Rng rng(5);
+  kaiming_init(*net, rng);
+
+  // drive training-mode forwards so running stats move off their init
+  net->set_training(true);
+  Rng in_rng(6);
+  for (int i = 0; i < 5; ++i) {
+    net->forward(Tensor::normal(Shape{4, 3, 32, 32}, in_rng, 1.0f, 2.0f));
+  }
+  net->set_training(false);
+  Rng probe_rng(7);
+  const Tensor input = Tensor::uniform(Shape{1, 3, 32, 32}, probe_rng);
+  const Tensor before = net->forward(input);
+
+  save_parameters(*net, dir.file("m.bin"));
+  auto clone = models::make_mini_resnet({});
+  load_parameters(*clone, dir.file("m.bin"));
+  // without buffer persistence the clone's fresh running stats would
+  // produce wildly different eval-mode outputs
+  EXPECT_LT(Tensor::max_abs_diff(clone->forward(input), before), 1e-6f);
+}
+
+TEST(Module, DuplicateBufferNameRejected) {
+  BatchNorm2d bn(2);  // registers running_mean / running_var
+  // registering the same name again must throw
+  class Probe : public BatchNorm2d {
+   public:
+    using BatchNorm2d::BatchNorm2d;
+    void add_dup(Tensor* t) { register_buffer("running_mean", t); }
+  };
+  Probe probe(2);
+  Tensor t(Shape{2});
+  EXPECT_THROW(probe.add_dup(&t), Error);
+}
+
+}  // namespace
+}  // namespace alfi::nn

@@ -1,0 +1,77 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace alfi {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Join, InverseOfSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ";"), ';'), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD-Case_09"), "mixed-case_09");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("conv2d", "conv"));
+  EXPECT_FALSE(starts_with("conv", "conv2d"));
+  EXPECT_TRUE(ends_with("faults.bin", ".bin"));
+  EXPECT_FALSE(ends_with(".bin", "faults.bin"));
+}
+
+TEST(ParseInt, StrictWholeString) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("  13 "), 13);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseDouble, StrictWholeString) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("7"), 7.0);
+  EXPECT_FALSE(parse_double("2.5f").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(ParseBool, WordForms) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("Yes"), true);
+  EXPECT_EQ(parse_bool("ON"), true);
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_EQ(parse_bool("no"), false);
+  EXPECT_EQ(parse_bool("off"), false);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strformat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(strformat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace alfi

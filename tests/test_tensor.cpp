@@ -1,0 +1,132 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alfi {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  EXPECT_EQ(Shape({2, 3, 4}).numel(), 24u);
+  EXPECT_EQ(Shape({2, 3, 4}).rank(), 3u);
+  EXPECT_EQ(Shape({}).numel(), 1u);
+  EXPECT_EQ(Shape({5}).numel(), 5u);
+  EXPECT_EQ(Shape({2, 0, 3}).numel(), 0u);
+}
+
+TEST(Shape, OffsetRowMajor) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset({0, 0, 0}), 0u);
+  EXPECT_EQ(s.offset({0, 0, 3}), 3u);
+  EXPECT_EQ(s.offset({0, 1, 0}), 4u);
+  EXPECT_EQ(s.offset({1, 0, 0}), 12u);
+  EXPECT_EQ(s.offset({1, 2, 3}), 23u);
+}
+
+TEST(Shape, UnravelInvertsOffset) {
+  const Shape s{3, 5, 7};
+  for (std::size_t flat = 0; flat < s.numel(); ++flat) {
+    EXPECT_EQ(s.offset(s.unravel(flat)), flat);
+  }
+}
+
+TEST(Shape, OffsetBoundsChecked) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.offset({2, 0}), Error);
+  EXPECT_THROW(s.offset({0, 3}), Error);
+  EXPECT_THROW(s.offset({0}), Error);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]"); }
+
+TEST(Tensor, ConstructionFillsZero) {
+  const Tensor t(Shape{2, 2});
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_EQ(Tensor::ones(Shape{3}).sum(), 3.0f);
+  EXPECT_EQ(Tensor::full(Shape{2, 2}, 2.5f).sum(), 10.0f);
+}
+
+TEST(Tensor, AdoptValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2}), Error);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 5.0f;
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  EXPECT_EQ(t.flat(5), 5.0f);
+}
+
+TEST(Tensor, FlatAccessBoundsChecked) {
+  Tensor t(Shape{2});
+  EXPECT_THROW(t.flat(2), Error);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  const Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshaped(Shape{4}), Error);
+}
+
+TEST(Tensor, NanInfDetection) {
+  Tensor t(Shape{3});
+  EXPECT_FALSE(t.has_nan());
+  EXPECT_FALSE(t.has_inf());
+  t.flat(1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.has_nan());
+  t.flat(1) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.has_nan());
+  EXPECT_TRUE(t.has_inf());
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{4}, std::vector<float>{-1, 3, 2, 0});
+  EXPECT_EQ(t.min(), -1.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.sum(), 4.0f);
+  EXPECT_EQ(t.mean(), 1.0f);
+  EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  const Tensor t(Shape{3}, std::vector<float>{2, 2, 1});
+  EXPECT_EQ(t.argmax(), 0u);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a(Shape{2}, std::vector<float>{1, 5});
+  const Tensor b(Shape{2}, std::vector<float>{1.5f, 4});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 1.0f);
+  EXPECT_THROW(Tensor::max_abs_diff(a, Tensor(Shape{3})), Error);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  Rng r1(5), r2(5);
+  const Tensor a = Tensor::uniform(Shape{10}, r1, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform(Shape{10}, r2, -1.0f, 1.0f);
+  EXPECT_EQ(a, b);
+  for (const float v : a.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, NormalFactoryShapeAndSpread) {
+  Rng rng(5);
+  const Tensor t = Tensor::normal(Shape{1000}, rng, 2.0f, 0.5f);
+  EXPECT_NEAR(t.mean(), 2.0f, 0.1f);
+}
+
+}  // namespace
+}  // namespace alfi

@@ -1,0 +1,57 @@
+#include "vis/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace alfi::vis {
+namespace {
+
+TEST(BarChart, RendersOneLinePerBar) {
+  const std::string chart = bar_chart({{"vgg", 0.118}, {"resnet", 0.03}}, 20, "%");
+  EXPECT_NE(chart.find("vgg"), std::string::npos);
+  EXPECT_NE(chart.find("resnet"), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 2);
+  // larger value gets more fill
+  const std::size_t vgg_hashes =
+      std::count(chart.begin(), chart.begin() + chart.find('\n'), '#');
+  EXPECT_EQ(vgg_hashes, 20u);
+}
+
+TEST(BarChart, EmptyInputIsEmptyOutput) {
+  EXPECT_TRUE(bar_chart({}).empty());
+}
+
+TEST(BarChart, AllZeroValuesDoNotDivideByZero) {
+  const std::string chart = bar_chart({{"a", 0.0}, {"b", 0.0}}, 10);
+  EXPECT_EQ(chart.find('#'), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  const std::string out = table({"model", "sde"}, {{"vgg-16", "0.118"},
+                                                   {"alexnet", "0.05"}});
+  EXPECT_NE(out.find("| model"), std::string::npos);
+  EXPECT_NE(out.find("vgg-16"), std::string::npos);
+  // header separator row present
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, HandlesMissingCells) {
+  const std::string out = table({"a", "b"}, {{"only-one"}});
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(SeriesTable, RendersXAndSeries) {
+  const std::string out = series_table(
+      {1, 2, 4}, "faults",
+      {{"vgg", {0.1, 0.2, 0.3}}, {"resnet", {0.01, 0.02, 0.04}}});
+  EXPECT_NE(out.find("faults"), std::string::npos);
+  EXPECT_NE(out.find("vgg"), std::string::npos);
+  EXPECT_NE(out.find("0.3000"), std::string::npos);
+}
+
+TEST(SeriesTable, ToleratesShortSeries) {
+  const std::string out = series_table({1, 2}, "x", {{"s", {0.5}}});
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alfi::vis

@@ -1,0 +1,178 @@
+#include "core/wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "models/classification.h"
+#include "nn/layers.h"
+#include "test_common.h"
+
+namespace alfi::core {
+namespace {
+
+struct WrapperFixture : ::testing::Test {
+  WrapperFixture() : net(models::make_lenet({})) {
+    Rng rng(1);
+    nn::kaiming_init(*net, rng);
+  }
+
+  Scenario small_scenario() {
+    Scenario s;
+    s.dataset_size = 8;
+    s.num_runs = 1;
+    s.max_faults_per_image = 2;
+    s.batch_size = 4;
+    s.rnd_seed = 123;
+    return s;
+  }
+
+  std::shared_ptr<nn::Sequential> net;
+  const Tensor probe{Shape{1, 3, 32, 32}};
+};
+
+TEST_F(WrapperFixture, PreGeneratesAllFaults) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  EXPECT_EQ(wrapper.fault_matrix().size(), 16u);  // 8 * 1 * 2
+}
+
+TEST_F(WrapperFixture, IteratorConsumesGroups) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  EXPECT_EQ(iter.remaining(), 16u);
+  nn::Module& m = iter.next();
+  EXPECT_EQ(&m, net.get());  // Listing 1: next() returns the model
+  EXPECT_EQ(iter.position(), 2u);
+  EXPECT_EQ(wrapper.injector().armed_neuron_fault_count(), 2u);
+  iter.next();
+  EXPECT_EQ(iter.position(), 4u);
+}
+
+TEST_F(WrapperFixture, IteratorExhaustionThrows) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  for (int i = 0; i < 8; ++i) iter.next();
+  EXPECT_TRUE(iter.exhausted());
+  EXPECT_THROW(iter.next(), Error);
+}
+
+TEST_F(WrapperFixture, IteratorResetRewinds) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next();
+  iter.reset();
+  EXPECT_EQ(iter.position(), 0u);
+  EXPECT_EQ(wrapper.injector().armed_neuron_fault_count(), 0u);
+  EXPECT_NO_THROW(iter.next());
+}
+
+TEST_F(WrapperFixture, NextForBatchAssignsSlots) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next_for_batch(4);
+  EXPECT_EQ(iter.position(), 8u);  // 4 images * 2 faults
+  EXPECT_EQ(wrapper.injector().armed_neuron_fault_count(), 8u);
+}
+
+TEST_F(WrapperFixture, SetScenarioRegeneratesFaults) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  const FaultMatrix before = wrapper.fault_matrix();
+
+  Scenario changed = small_scenario();
+  changed.max_faults_per_image = 1;
+  wrapper.set_scenario(changed);
+  EXPECT_EQ(wrapper.fault_matrix().size(), 8u);
+  EXPECT_EQ(wrapper.get_scenario().max_faults_per_image, 1u);
+}
+
+TEST_F(WrapperFixture, SetScenarioValidates) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  Scenario bad = small_scenario();
+  bad.max_faults_per_image = 0;
+  EXPECT_THROW(wrapper.set_scenario(bad), ConfigError);
+}
+
+TEST_F(WrapperFixture, LayerSweepViaSetScenario) {
+  // The paper's §V.D layer iteration: move layer_range one layer at a
+  // time; each step regenerates faults constrained to that layer.
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  const std::size_t layers = wrapper.profile().layer_count();
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    Scenario s = wrapper.get_scenario();
+    s.layer_range = {{layer, layer}};
+    wrapper.set_scenario(s);
+    for (const Fault& f : wrapper.fault_matrix().faults()) {
+      EXPECT_EQ(f.layer, static_cast<std::int64_t>(layer));
+    }
+  }
+}
+
+TEST_F(WrapperFixture, FaultFileRoundTripGivesIdenticalFaults) {
+  test::TempDir dir("wrapper");
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  wrapper.save_fault_matrix(dir.file("faults.bin"));
+  const FaultMatrix original = wrapper.fault_matrix();
+
+  // a second wrapper with a different seed reuses the persisted faults
+  Scenario other = small_scenario();
+  other.rnd_seed = 999;
+  PtfiWrap wrapper2(*net, other, probe);
+  EXPECT_NE(wrapper2.fault_matrix(), original);
+  wrapper2.load_fault_matrix(dir.file("faults.bin"));
+  EXPECT_EQ(wrapper2.fault_matrix(), original);
+}
+
+TEST_F(WrapperFixture, SameSeedSameFaultMatrix) {
+  PtfiWrap a(*net, small_scenario(), probe);
+  PtfiWrap b(*net, small_scenario(), probe);
+  EXPECT_EQ(a.fault_matrix(), b.fault_matrix());
+}
+
+TEST_F(WrapperFixture, CorruptedForwardDiffersFromCleanForward) {
+  // End-to-end Listing 1 usage: corrupted outputs eventually differ.
+  Scenario s = small_scenario();
+  s.target = FaultTarget::kWeights;
+  s.rnd_bit_range_lo = 30;  // top exponent bit: guaranteed large effect
+  s.rnd_bit_range_hi = 30;
+  s.max_faults_per_image = 4;
+  PtfiWrap wrapper(*net, s, probe);
+
+  Rng in_rng(7);
+  const Tensor input = Tensor::uniform(Shape{1, 3, 32, 32}, in_rng);
+  wrapper.injector().disarm();
+  const Tensor clean = net->forward(input);
+
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  bool any_diff = false;
+  for (int step = 0; step < 4; ++step) {
+    nn::Module& corrupted_model = iter.next();
+    const Tensor corrupted = corrupted_model.forward(input);
+    if (Tensor::max_abs_diff(clean, corrupted) > 1e-3f) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+
+  // after disarm the model is pristine again (transient faults)
+  wrapper.injector().disarm();
+  EXPECT_LT(Tensor::max_abs_diff(net->forward(input), clean), 1e-6f);
+}
+
+TEST_F(WrapperFixture, ScenarioFromFileConstructor) {
+  test::TempDir dir("wrapper");
+  Scenario s = small_scenario();
+  s.save_yaml_file(dir.file("default.yml"));
+  PtfiWrap wrapper(*net, dir.file("default.yml"), probe);
+  EXPECT_EQ(wrapper.get_scenario().dataset_size, 8u);
+  EXPECT_EQ(wrapper.fault_matrix().size(), 16u);
+}
+
+TEST_F(WrapperFixture, SetFaultMatrixReplaysSubset) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultMatrix subset(wrapper.fault_matrix().slice(0, 4));
+  wrapper.set_fault_matrix(subset);
+  EXPECT_EQ(wrapper.fault_matrix().size(), 4u);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next();
+  iter.next();
+  EXPECT_TRUE(iter.exhausted());
+}
+
+}  // namespace
+}  // namespace alfi::core

@@ -1,0 +1,313 @@
+// alfi — command-line front end for the fault-injection framework.
+//
+// Subcommands:
+//   run-imgclass   train (cached) a classifier and run a FI campaign
+//   run-objdet     train (cached) a detector and run a FI campaign
+//   inspect-faults print a persisted fault matrix (Table I view or JSON)
+//   analyze        aggregate a results CSV / injection trace (§V.F.1)
+//   show-scenario  parse, validate and echo a scenario YAML
+//
+// Examples:
+//   alfi run-imgclass --model vgg --dataset-size 96 --output out/ --mitigation ranger
+//   alfi run-objdet --family yolo --output out/
+//   alfi inspect-faults out/vgg_faults.bin
+//   alfi analyze out/vgg_results.csv --trace out/vgg_trace.bin
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/alficore.h"
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "models/train.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "vis/ascii_plot.h"
+
+using namespace alfi;
+
+namespace {
+
+/// Minimal --flag value parser; flags without '--' are positionals.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (starts_with(token, "--")) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+          args.flags[key] = argv[++i];
+        } else {
+          args.flags[key] = "true";
+        }
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? std::nullopt : std::optional(it->second);
+  }
+};
+
+std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
+  const auto value = args.get("mitigation");
+  if (!value) return std::nullopt;
+  if (*value == "ranger") return core::MitigationKind::kRanger;
+  if (*value == "clipper") return core::MitigationKind::kClipper;
+  throw ConfigError("unknown mitigation: " + *value + " (ranger|clipper)");
+}
+
+core::Scenario load_scenario(const Args& args) {
+  core::Scenario scenario;
+  if (const auto path = args.get("scenario")) {
+    scenario = core::Scenario::from_yaml_file(*path);
+  }
+  if (const auto v = args.get("dataset-size")) {
+    scenario.dataset_size = static_cast<std::size_t>(*parse_int(*v));
+  }
+  if (const auto v = args.get("faults-per-image")) {
+    scenario.max_faults_per_image = static_cast<std::size_t>(*parse_int(*v));
+  }
+  if (const auto v = args.get("seed")) {
+    scenario.rnd_seed = static_cast<std::uint64_t>(*parse_int(*v));
+  }
+  if (const auto v = args.get("target")) {
+    scenario.target = core::fault_target_from_string(*v);
+  }
+  scenario.validate();
+  return scenario;
+}
+
+int cmd_run_imgclass(const Args& args) {
+  const std::string arch = args.get("model", "lenet");
+  core::Scenario scenario = load_scenario(args);
+
+  data::ClassificationConfig data_config;
+  data_config.size = std::max<std::size_t>(scenario.dataset_size, 128);
+  data_config.seed = 99;
+  const data::SyntheticShapesClassification dataset(data_config);
+
+  auto model = models::make_classifier(arch, {});
+  models::TrainConfig train_config;
+  train_config.epochs = 30;
+  train_config.batch_size = 32;
+  train_config.learning_rate = 0.02f;
+  std::filesystem::create_directories("alfi_cache");
+  models::train_classifier_cached(*model, dataset, train_config,
+                                  "alfi_cache/cli_" + arch + ".params");
+  std::printf("model %s ready, fault-free accuracy %.3f\n", arch.c_str(),
+              static_cast<double>(models::evaluate_classifier(*model, dataset)));
+
+  core::ImgClassCampaignConfig config;
+  config.model_name = arch;
+  config.output_dir = args.get("output", "alfi_out");
+  config.mitigation = parse_mitigation(args);
+  config.fault_file = args.get("fault-file", "");
+
+  core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
+  const auto result = harness.run();
+  std::printf("campaign done: %zu images | SDE %.3f | DUE %.3f", result.kpis.total,
+              result.kpis.sde_rate(), result.kpis.due_rate());
+  if (result.kpis.has_resil) {
+    std::printf(" | hardened SDE %.3f", result.kpis.resil_sde_rate());
+  }
+  std::printf("\noutputs under %s/\n", config.output_dir.c_str());
+  return 0;
+}
+
+int cmd_run_objdet(const Args& args) {
+  const std::string family = args.get("family", "yolo");
+  core::Scenario scenario = load_scenario(args);
+
+  data::DetectionConfig data_config;
+  data_config.size = std::max<std::size_t>(scenario.dataset_size, 48);
+  data_config.seed = 41;
+  const data::SyntheticShapesDetection dataset(data_config);
+  scenario.dataset_size = std::min(scenario.dataset_size, dataset.size());
+
+  auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
+  models::TrainConfig train_config;
+  train_config.epochs = 50;
+  train_config.batch_size = 16;
+  train_config.learning_rate = 0.01f;
+  std::filesystem::create_directories("alfi_cache");
+  models::train_detector_cached(*detector, dataset, train_config,
+                                "alfi_cache/cli_" + family + ".params");
+  std::printf("detector %s ready, recall@0.5IoU %.3f\n", family.c_str(),
+              static_cast<double>(
+                  models::evaluate_detector_recall(*detector, dataset, 0.4f)));
+
+  core::ObjDetCampaignConfig config;
+  config.model_name = family;
+  config.output_dir = args.get("output", "alfi_out");
+  config.mitigation = parse_mitigation(args);
+  config.fault_file = args.get("fault-file", "");
+
+  core::TestErrorModelsObjDet harness(*detector, dataset, scenario, config);
+  const auto result = harness.run();
+  std::printf(
+      "campaign done: %zu images | IVMOD_SDE %.3f | IVMOD_DUE %.3f | mAP50 "
+      "%.3f -> %.3f\n",
+      result.ivmod.total, result.ivmod.sde_rate(), result.ivmod.due_rate(),
+      result.orig_map.ap_50, result.faulty_map.ap_50);
+  std::printf("outputs under %s/\n", config.output_dir.c_str());
+  return 0;
+}
+
+int cmd_inspect_faults(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: alfi inspect-faults <faults.bin> [--json] [--limit N]\n");
+    return 2;
+  }
+  const core::FaultMatrix matrix = core::FaultMatrix::load(args.positional[0]);
+  if (args.get("json")) {
+    std::printf("%s\n", matrix.to_json().dump(2).c_str());
+    return 0;
+  }
+  const std::size_t limit = static_cast<std::size_t>(
+      *parse_int(args.get("limit", "16")));
+  const auto rows = matrix.table_rows();
+  const char* names[7] = {"Batch/Layer", "Layer/OutCh", "Channel/InCh", "Depth",
+                          "Height",      "Width",       "Value"};
+  std::vector<std::string> header{"row"};
+  for (std::size_t c = 0; c < std::min(limit, matrix.size()); ++c) {
+    header.push_back("f" + std::to_string(c));
+  }
+  std::vector<std::vector<std::string>> out_rows;
+  for (std::size_t r = 0; r < 7; ++r) {
+    std::vector<std::string> row{names[r]};
+    for (std::size_t c = 0; c < std::min(limit, matrix.size()); ++c) {
+      row.push_back(std::to_string(rows[r][c]));
+    }
+    out_rows.push_back(std::move(row));
+  }
+  std::printf("%zu faults in %s (showing %zu):\n%s", matrix.size(),
+              args.positional[0].c_str(), std::min(limit, matrix.size()),
+              vis::table(header, out_rows).c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: alfi analyze <results.csv> [--trace trace.bin]\n");
+    return 2;
+  }
+  const core::CampaignAnalysis analysis =
+      core::analyze_results_csv(args.positional[0]);
+  std::printf("%s", core::format_analysis(analysis).c_str());
+  if (const auto trace = args.get("trace")) {
+    std::printf("\n%s", core::format_trace_stats(
+                            core::analyze_trace_file(*trace)).c_str());
+  }
+  return 0;
+}
+
+/// Compares two results CSVs image-by-image (e.g. unprotected vs.
+/// hardened runs of the same fault file).
+int cmd_diff(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::fprintf(stderr, "usage: alfi diff <a_results.csv> <b_results.csv>\n");
+    return 2;
+  }
+  const io::CsvTable a = io::read_csv_file(args.positional[0]);
+  const io::CsvTable b = io::read_csv_file(args.positional[1]);
+  if (a.rows.size() != b.rows.size()) {
+    std::fprintf(stderr, "alfi: row counts differ (%zu vs %zu)\n", a.rows.size(),
+                 b.rows.size());
+    return 1;
+  }
+  const std::size_t a_id = a.column("image_id"), b_id = b.column("image_id");
+  const std::size_t a_sde = a.column("sde"), b_sde = b.column("sde");
+  const std::size_t a_due = a.column("due"), b_due = b.column("due");
+  const std::size_t a_top = a.column("corr_top1_class");
+  const std::size_t b_top = b.column("corr_top1_class");
+
+  std::size_t verdict_changes = 0, top1_changes = 0;
+  std::size_t fixed = 0, introduced = 0;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i][a_id] != b.rows[i][b_id]) {
+      std::fprintf(stderr, "alfi: image order differs at row %zu\n", i);
+      return 1;
+    }
+    const bool a_bad = a.rows[i][a_sde] == "1" || a.rows[i][a_due] == "1";
+    const bool b_bad = b.rows[i][b_sde] == "1" || b.rows[i][b_due] == "1";
+    if (a_bad != b_bad) {
+      ++verdict_changes;
+      if (a_bad && !b_bad) ++fixed;
+      if (!a_bad && b_bad) ++introduced;
+    }
+    if (a.rows[i][a_top] != b.rows[i][b_top]) ++top1_changes;
+  }
+  std::printf("%zu images compared\n", a.rows.size());
+  std::printf("  corruption verdict changed: %zu (%zu fixed in B, %zu introduced)\n",
+              verdict_changes, fixed, introduced);
+  std::printf("  faulty top-1 changed: %zu\n", top1_changes);
+  return 0;
+}
+
+int cmd_show_scenario(const Args& args) {
+  const std::string path =
+      args.positional.empty() ? "scenarios/default.yml" : args.positional[0];
+  const core::Scenario scenario = core::Scenario::from_yaml_file(path);
+  std::printf("%s", io::dump_yaml(scenario.to_yaml()).c_str());
+  std::printf("# total pre-generated faults n = a*b*c = %zu\n",
+              scenario.total_faults());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: alfi <command> [options]\n"
+               "commands:\n"
+               "  run-imgclass   --model <lenet|alexnet|vgg|resnet> [--scenario f.yml]\n"
+               "                 [--dataset-size N] [--faults-per-image N] [--seed N]\n"
+               "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
+               "                 [--fault-file f.bin] [--output dir]\n"
+               "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
+               "  inspect-faults <faults.bin> [--json] [--limit N]\n"
+               "  analyze        <results.csv> [--trace trace.bin]\n"
+               "  diff           <a_results.csv> <b_results.csv>\n"
+               "  show-scenario  [scenario.yml]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "run-imgclass") return cmd_run_imgclass(args);
+    if (command == "run-objdet") return cmd_run_objdet(args);
+    if (command == "inspect-faults") return cmd_inspect_faults(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "show-scenario") return cmd_show_scenario(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "alfi: %s\n", e.what());
+    return 1;
+  }
+}
