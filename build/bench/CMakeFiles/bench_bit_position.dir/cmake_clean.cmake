@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bit_position.dir/bench_bit_position.cpp.o"
+  "CMakeFiles/bench_bit_position.dir/bench_bit_position.cpp.o.d"
+  "bench_bit_position"
+  "bench_bit_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bit_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_layer_weighting.dir/bench_eq1_layer_weighting.cpp.o"
+  "CMakeFiles/bench_eq1_layer_weighting.dir/bench_eq1_layer_weighting.cpp.o.d"
+  "bench_eq1_layer_weighting"
+  "bench_eq1_layer_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_layer_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_duration.dir/bench_fault_duration.cpp.o"
+  "CMakeFiles/bench_fault_duration.dir/bench_fault_duration.cpp.o.d"
+  "bench_fault_duration"
+  "bench_fault_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

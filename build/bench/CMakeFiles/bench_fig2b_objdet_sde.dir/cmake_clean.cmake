@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_objdet_sde.dir/bench_fig2b_objdet_sde.cpp.o"
+  "CMakeFiles/bench_fig2b_objdet_sde.dir/bench_fig2b_objdet_sde.cpp.o.d"
+  "bench_fig2b_objdet_sde"
+  "bench_fig2b_objdet_sde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_objdet_sde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_fault_model.dir/bench_hw_fault_model.cpp.o"
+  "CMakeFiles/bench_hw_fault_model.dir/bench_hw_fault_model.cpp.o.d"
+  "bench_hw_fault_model"
+  "bench_hw_fault_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_fault_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_layer_sweep.cpp" "bench/CMakeFiles/bench_layer_sweep.dir/bench_layer_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_layer_sweep.dir/bench_layer_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/alfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/alfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/alfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/alfi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alfi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/alfi_vis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

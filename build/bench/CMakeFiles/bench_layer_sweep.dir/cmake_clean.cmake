@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layer_sweep.dir/bench_layer_sweep.cpp.o"
+  "CMakeFiles/bench_layer_sweep.dir/bench_layer_sweep.cpp.o.d"
+  "bench_layer_sweep"
+  "bench_layer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_neuron_vs_weight.dir/bench_neuron_vs_weight.cpp.o"
+  "CMakeFiles/bench_neuron_vs_weight.dir/bench_neuron_vs_weight.cpp.o.d"
+  "bench_neuron_vs_weight"
+  "bench_neuron_vs_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_neuron_vs_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

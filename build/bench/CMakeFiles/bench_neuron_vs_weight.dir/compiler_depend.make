@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_neuron_vs_weight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numeric_types.dir/bench_numeric_types.cpp.o"
+  "CMakeFiles/bench_numeric_types.dir/bench_numeric_types.cpp.o.d"
+  "bench_numeric_types"
+  "bench_numeric_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numeric_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pruning_robustness.dir/bench_pruning_robustness.cpp.o"
+  "CMakeFiles/bench_pruning_robustness.dir/bench_pruning_robustness.cpp.o.d"
+  "bench_pruning_robustness"
+  "bench_pruning_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pruning_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_faultmatrix.dir/bench_table1_faultmatrix.cpp.o"
+  "CMakeFiles/bench_table1_faultmatrix.dir/bench_table1_faultmatrix.cpp.o.d"
+  "bench_table1_faultmatrix"
+  "bench_table1_faultmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_faultmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

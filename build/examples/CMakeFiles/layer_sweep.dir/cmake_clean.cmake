@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_sweep.dir/layer_sweep.cpp.o"
+  "CMakeFiles/layer_sweep.dir/layer_sweep.cpp.o.d"
+  "layer_sweep"
+  "layer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

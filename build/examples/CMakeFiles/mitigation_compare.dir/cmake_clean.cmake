@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_compare.dir/mitigation_compare.cpp.o"
+  "CMakeFiles/mitigation_compare.dir/mitigation_compare.cpp.o.d"
+  "mitigation_compare"
+  "mitigation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

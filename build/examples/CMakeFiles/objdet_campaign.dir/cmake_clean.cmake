@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objdet_campaign.dir/objdet_campaign.cpp.o"
+  "CMakeFiles/objdet_campaign.dir/objdet_campaign.cpp.o.d"
+  "objdet_campaign"
+  "objdet_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objdet_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/alfi_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/fault.cpp" "src/core/CMakeFiles/alfi_core.dir/fault.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/fault.cpp.o.d"
+  "/root/repo/src/core/fault_generator.cpp" "src/core/CMakeFiles/alfi_core.dir/fault_generator.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/fault_generator.cpp.o.d"
+  "/root/repo/src/core/fault_matrix.cpp" "src/core/CMakeFiles/alfi_core.dir/fault_matrix.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/fault_matrix.cpp.o.d"
+  "/root/repo/src/core/hw_injector.cpp" "src/core/CMakeFiles/alfi_core.dir/hw_injector.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/hw_injector.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "src/core/CMakeFiles/alfi_core.dir/injector.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/injector.cpp.o.d"
+  "/root/repo/src/core/kpi.cpp" "src/core/CMakeFiles/alfi_core.dir/kpi.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/kpi.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/core/CMakeFiles/alfi_core.dir/mitigation.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/mitigation.cpp.o.d"
+  "/root/repo/src/core/model_profile.cpp" "src/core/CMakeFiles/alfi_core.dir/model_profile.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/model_profile.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/alfi_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/alfi_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/test_img_class.cpp" "src/core/CMakeFiles/alfi_core.dir/test_img_class.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/test_img_class.cpp.o.d"
+  "/root/repo/src/core/test_obj_det.cpp" "src/core/CMakeFiles/alfi_core.dir/test_obj_det.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/test_obj_det.cpp.o.d"
+  "/root/repo/src/core/wrapper.cpp" "src/core/CMakeFiles/alfi_core.dir/wrapper.cpp.o" "gcc" "src/core/CMakeFiles/alfi_core.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/alfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/alfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/alfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/alfi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_core.dir/analysis.cpp.o"
+  "CMakeFiles/alfi_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/fault.cpp.o"
+  "CMakeFiles/alfi_core.dir/fault.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/fault_generator.cpp.o"
+  "CMakeFiles/alfi_core.dir/fault_generator.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/fault_matrix.cpp.o"
+  "CMakeFiles/alfi_core.dir/fault_matrix.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/hw_injector.cpp.o"
+  "CMakeFiles/alfi_core.dir/hw_injector.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/injector.cpp.o"
+  "CMakeFiles/alfi_core.dir/injector.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/kpi.cpp.o"
+  "CMakeFiles/alfi_core.dir/kpi.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/mitigation.cpp.o"
+  "CMakeFiles/alfi_core.dir/mitigation.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/model_profile.cpp.o"
+  "CMakeFiles/alfi_core.dir/model_profile.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/monitor.cpp.o"
+  "CMakeFiles/alfi_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/scenario.cpp.o"
+  "CMakeFiles/alfi_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/test_img_class.cpp.o"
+  "CMakeFiles/alfi_core.dir/test_img_class.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/test_obj_det.cpp.o"
+  "CMakeFiles/alfi_core.dir/test_obj_det.cpp.o.d"
+  "CMakeFiles/alfi_core.dir/wrapper.cpp.o"
+  "CMakeFiles/alfi_core.dir/wrapper.cpp.o.d"
+  "libalfi_core.a"
+  "libalfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

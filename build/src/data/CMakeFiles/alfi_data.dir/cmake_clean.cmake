@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_data.dir/dataloader.cpp.o"
+  "CMakeFiles/alfi_data.dir/dataloader.cpp.o.d"
+  "CMakeFiles/alfi_data.dir/dataset.cpp.o"
+  "CMakeFiles/alfi_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/alfi_data.dir/synthetic.cpp.o"
+  "CMakeFiles/alfi_data.dir/synthetic.cpp.o.d"
+  "libalfi_data.a"
+  "libalfi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

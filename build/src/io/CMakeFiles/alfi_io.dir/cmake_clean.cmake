@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_io.dir/binary.cpp.o"
+  "CMakeFiles/alfi_io.dir/binary.cpp.o.d"
+  "CMakeFiles/alfi_io.dir/csv.cpp.o"
+  "CMakeFiles/alfi_io.dir/csv.cpp.o.d"
+  "CMakeFiles/alfi_io.dir/json.cpp.o"
+  "CMakeFiles/alfi_io.dir/json.cpp.o.d"
+  "CMakeFiles/alfi_io.dir/yaml.cpp.o"
+  "CMakeFiles/alfi_io.dir/yaml.cpp.o.d"
+  "libalfi_io.a"
+  "libalfi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

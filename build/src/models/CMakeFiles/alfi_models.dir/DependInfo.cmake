@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/classification.cpp" "src/models/CMakeFiles/alfi_models.dir/classification.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/classification.cpp.o.d"
+  "/root/repo/src/models/detection.cpp" "src/models/CMakeFiles/alfi_models.dir/detection.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/detection.cpp.o.d"
+  "/root/repo/src/models/frcnn_lite.cpp" "src/models/CMakeFiles/alfi_models.dir/frcnn_lite.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/frcnn_lite.cpp.o.d"
+  "/root/repo/src/models/retina_lite.cpp" "src/models/CMakeFiles/alfi_models.dir/retina_lite.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/retina_lite.cpp.o.d"
+  "/root/repo/src/models/train.cpp" "src/models/CMakeFiles/alfi_models.dir/train.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/train.cpp.o.d"
+  "/root/repo/src/models/yolo_lite.cpp" "src/models/CMakeFiles/alfi_models.dir/yolo_lite.cpp.o" "gcc" "src/models/CMakeFiles/alfi_models.dir/yolo_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/alfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/alfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alfi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/alfi_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

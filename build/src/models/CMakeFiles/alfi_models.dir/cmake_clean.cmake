@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_models.dir/classification.cpp.o"
+  "CMakeFiles/alfi_models.dir/classification.cpp.o.d"
+  "CMakeFiles/alfi_models.dir/detection.cpp.o"
+  "CMakeFiles/alfi_models.dir/detection.cpp.o.d"
+  "CMakeFiles/alfi_models.dir/frcnn_lite.cpp.o"
+  "CMakeFiles/alfi_models.dir/frcnn_lite.cpp.o.d"
+  "CMakeFiles/alfi_models.dir/retina_lite.cpp.o"
+  "CMakeFiles/alfi_models.dir/retina_lite.cpp.o.d"
+  "CMakeFiles/alfi_models.dir/train.cpp.o"
+  "CMakeFiles/alfi_models.dir/train.cpp.o.d"
+  "CMakeFiles/alfi_models.dir/yolo_lite.cpp.o"
+  "CMakeFiles/alfi_models.dir/yolo_lite.cpp.o.d"
+  "libalfi_models.a"
+  "libalfi_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

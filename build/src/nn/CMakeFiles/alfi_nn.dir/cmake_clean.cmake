@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_nn.dir/layers.cpp.o"
+  "CMakeFiles/alfi_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/alfi_nn.dir/module.cpp.o"
+  "CMakeFiles/alfi_nn.dir/module.cpp.o.d"
+  "CMakeFiles/alfi_nn.dir/optim.cpp.o"
+  "CMakeFiles/alfi_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/alfi_nn.dir/prune.cpp.o"
+  "CMakeFiles/alfi_nn.dir/prune.cpp.o.d"
+  "CMakeFiles/alfi_nn.dir/quantize.cpp.o"
+  "CMakeFiles/alfi_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/alfi_nn.dir/serialize.cpp.o"
+  "CMakeFiles/alfi_nn.dir/serialize.cpp.o.d"
+  "libalfi_nn.a"
+  "libalfi_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

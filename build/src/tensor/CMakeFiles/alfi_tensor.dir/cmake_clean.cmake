@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_tensor.dir/bits.cpp.o"
+  "CMakeFiles/alfi_tensor.dir/bits.cpp.o.d"
+  "CMakeFiles/alfi_tensor.dir/ops.cpp.o"
+  "CMakeFiles/alfi_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/alfi_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/alfi_tensor.dir/tensor.cpp.o.d"
+  "libalfi_tensor.a"
+  "libalfi_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalfi_tensor.a"
+)

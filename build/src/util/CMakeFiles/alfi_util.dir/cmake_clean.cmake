@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_util.dir/error.cpp.o"
+  "CMakeFiles/alfi_util.dir/error.cpp.o.d"
+  "CMakeFiles/alfi_util.dir/logging.cpp.o"
+  "CMakeFiles/alfi_util.dir/logging.cpp.o.d"
+  "CMakeFiles/alfi_util.dir/rng.cpp.o"
+  "CMakeFiles/alfi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/alfi_util.dir/string_util.cpp.o"
+  "CMakeFiles/alfi_util.dir/string_util.cpp.o.d"
+  "libalfi_util.a"
+  "libalfi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi_vis.dir/ascii_plot.cpp.o"
+  "CMakeFiles/alfi_vis.dir/ascii_plot.cpp.o.d"
+  "libalfi_vis.a"
+  "libalfi_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_profile.dir/test_model_profile.cpp.o"
+  "CMakeFiles/test_model_profile.dir/test_model_profile.cpp.o.d"
+  "test_model_profile"
+  "test_model_profile.pdb"
+  "test_model_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

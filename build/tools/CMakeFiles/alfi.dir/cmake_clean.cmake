@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alfi.dir/alfi_cli.cpp.o"
+  "CMakeFiles/alfi.dir/alfi_cli.cpp.o.d"
+  "alfi"
+  "alfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
