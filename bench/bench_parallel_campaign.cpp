@@ -1,0 +1,93 @@
+// Parallel campaign throughput — CampaignRunner speedup over the serial
+// executor.
+//
+// The paper's motivation is validation *efficiency*: fault-injection
+// campaigns are embarrassingly parallel across fault-matrix columns, so
+// the wall-clock cost of a campaign should drop near-linearly with
+// worker count while the outputs stay byte-identical (DESIGN.md,
+// "Parallel execution model").  BM_CampaignJobs runs the same AlexNet
+// classification campaign at --jobs 1/2/4 and reports the measured
+// speedup vs the serial run as the "speedup" counter.  On a single-core
+// host the speedup stays ~1x (threads time-slice one CPU); the merge
+// overhead visible there is the price of determinism.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace alfi;
+
+namespace {
+
+struct Env {
+  Env() : dataset({.size = 64, .num_classes = 10, .seed = 99}),
+          model(models::make_mini_alexnet({})) {
+    Rng rng(1);
+    nn::kaiming_init(*model, rng);
+  }
+  data::SyntheticShapesClassification dataset;
+  std::shared_ptr<nn::Sequential> model;
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+core::Scenario campaign_scenario() {
+  core::Scenario s;
+  s.target = core::FaultTarget::kNeurons;
+  s.inj_policy = core::InjectionPolicy::kPerImage;
+  s.dataset_size = 64;
+  s.num_runs = 1;
+  s.max_faults_per_image = 2;
+  s.batch_size = 8;
+  s.rnd_seed = 77;
+  return s;
+}
+
+double run_campaign_once(std::size_t jobs) {
+  core::ImgClassCampaignConfig config;
+  config.model_name = "alexnet";
+  config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
+  core::TestErrorModelsImgClass harness(*env().model, env().dataset,
+                                        campaign_scenario(), config);
+  Stopwatch watch;
+  const auto result = harness.run();
+  benchmark::DoNotOptimize(result.kpis.total);
+  return watch.elapsed_seconds();
+}
+
+/// Serial wall-clock baseline, measured once and reused by every job
+/// count so the reported speedups share a denominator.
+double serial_baseline() {
+  static const double seconds = run_campaign_once(1);
+  return seconds;
+}
+
+void BM_CampaignJobs(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  double last = 0.0;
+  for (auto _ : state) {
+    last = run_campaign_once(jobs);
+  }
+  state.counters["speedup"] = serial_baseline() / last;
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_CampaignJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("jobs")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== parallel campaign scaling (CampaignRunner) ====\n");
+  std::printf("# hardware concurrency: %zu\n",
+              core::CampaignRunner::default_job_count());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

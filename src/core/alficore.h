@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/analysis.h"
+#include "core/campaign.h"
 #include "core/fault.h"
 #include "core/fault_generator.h"
 #include "core/fault_matrix.h"

@@ -1,0 +1,82 @@
+#include "core/campaign.h"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.h"
+
+namespace alfi::core {
+
+namespace {
+
+/// Shard stream seed: mixes the campaign seed with the shard's first
+/// global work-unit index so the stream depends on *what* the shard
+/// covers, never on how many workers the operator chose.
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t begin) {
+  std::uint64_t state = seed ^ 0xa1f1'c0de'5eed'0001ULL;
+  const std::uint64_t mixed = splitmix64_next(state);
+  return mixed ^ (0x9e37'79b9'7f4a'7c15ULL * (static_cast<std::uint64_t>(begin) + 1));
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_job_count() : jobs) {}
+
+std::size_t CampaignRunner::default_job_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<CampaignShard> CampaignRunner::shard_columns(std::size_t count,
+                                                         std::size_t jobs,
+                                                         std::uint64_t seed) {
+  ALFI_CHECK(jobs > 0, "shard_columns needs at least one job");
+  std::vector<CampaignShard> shards;
+  if (count == 0) return shards;
+  const std::size_t workers = std::min(jobs, count);
+  const std::size_t base = count / workers;
+  const std::size_t extra = count % workers;
+  std::size_t begin = 0;
+  shards.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    CampaignShard shard;
+    shard.index = i;
+    shard.begin = begin;
+    shard.end = begin + size;
+    shard.rng = Rng(shard_seed(seed, begin));
+    shards.push_back(std::move(shard));
+    begin += size;
+  }
+  ALFI_CHECK(begin == count, "shard partition must cover every work unit");
+  return shards;
+}
+
+void CampaignRunner::run_shards(
+    const std::vector<CampaignShard>& shards,
+    const std::function<void(const CampaignShard&)>& work) const {
+  if (shards.empty()) return;
+  if (shards.size() == 1) {
+    work(shards.front());
+    return;
+  }
+  std::vector<std::exception_ptr> errors(shards.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    threads.emplace_back([&shards, &work, &errors, i] {
+      try {
+        work(shards[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace alfi::core

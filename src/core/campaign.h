@@ -1,0 +1,71 @@
+// CampaignRunner — deterministic sharded execution of fault-injection
+// campaigns across worker threads.
+//
+// Per-fault-config independence makes FI campaigns embarrassingly
+// parallel (the pre-generated fault matrix fixes every fault location
+// before the first inference), so a campaign of N work units can be
+// split into contiguous shards, each executed by one worker against its
+// own deep-cloned model replica (nn::Module::clone()), its own Injector
+// and its own child RNG stream, and merged back in shard order.
+//
+// Determinism guarantee: the shard boundaries depend only on (count,
+// jobs), every work unit carries its global index, and the merge
+// concatenates shard outputs in ascending shard order — so the merged
+// result of `--jobs N` is byte-identical to the serial `--jobs 1` run.
+// The per-shard RNG is derived from (seed, shard.begin) alone, keeping
+// any future stochastic per-shard behavior reproducible as well.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace alfi::core {
+
+/// One contiguous range of campaign work units, [begin, end), plus the
+/// worker's independent child RNG stream.
+struct CampaignShard {
+  std::size_t index = 0;  ///< merge position (ascending = serial order)
+  std::size_t begin = 0;  ///< first global work-unit index (inclusive)
+  std::size_t end = 0;    ///< one past the last work-unit index
+
+  /// Child stream seeded from (campaign seed, begin): identical for the
+  /// same range regardless of how many workers run the campaign.
+  Rng rng;
+
+  std::size_t size() const { return end - begin; }
+};
+
+class CampaignRunner {
+ public:
+  /// `jobs` worker threads; 0 selects default_job_count().
+  explicit CampaignRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Hardware concurrency, with a floor of 1 when it is unknown.
+  static std::size_t default_job_count();
+
+  /// Partitions [0, count) into at most `jobs` contiguous shards of
+  /// near-equal size (the first count % jobs shards get one extra unit).
+  /// Every unit is covered exactly once; shards come back in merge
+  /// order.  `seed` feeds each shard's child RNG stream.
+  static std::vector<CampaignShard> shard_columns(std::size_t count,
+                                                  std::size_t jobs,
+                                                  std::uint64_t seed);
+
+  /// Executes `work` once per shard: inline on the calling thread when
+  /// there is a single shard, otherwise one std::thread per shard.  If
+  /// any worker throws, the first exception (in shard order) is
+  /// rethrown on the calling thread after all workers joined.
+  void run_shards(const std::vector<CampaignShard>& shards,
+                  const std::function<void(const CampaignShard&)>& work) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace alfi::core

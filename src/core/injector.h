@@ -52,6 +52,15 @@ class Injector {
   const std::vector<InjectionRecord>& records() const { return records_; }
   void clear_records() { records_.clear(); }
 
+  /// Moves the accumulated records out (the injector keeps running with
+  /// an empty log).  Lets parallel campaign workers hand their shard's
+  /// trace to the merge step without copying.
+  std::vector<InjectionRecord> take_records() {
+    std::vector<InjectionRecord> out = std::move(records_);
+    records_.clear();
+    return out;
+  }
+
   std::size_t armed_neuron_fault_count() const;
   std::size_t pending_weight_restores() const { return weight_restores_.size(); }
 

@@ -40,6 +40,21 @@ struct ClassificationKpis {
   std::size_t resil_sde = 0;   // SDE surviving the mitigation
   bool has_resil = false;
 
+  /// Accumulates another (disjoint) window of the same campaign — used
+  /// by the parallel runner to fold per-shard counters back together.
+  /// Counter addition commutes, so the merged KPIs are independent of
+  /// shard count and merge order.
+  void merge(const ClassificationKpis& other) {
+    total += other.total;
+    orig_correct += other.orig_correct;
+    faulty_correct += other.faulty_correct;
+    resil_correct += other.resil_correct;
+    sde += other.sde;
+    due += other.due;
+    resil_sde += other.resil_sde;
+    has_resil = has_resil || other.has_resil;
+  }
+
   double orig_accuracy() const { return ratio(orig_correct); }
   double faulty_accuracy() const { return ratio(faulty_correct); }
   double resil_accuracy() const { return ratio(resil_correct); }

@@ -6,6 +6,7 @@
 #include <optional>
 #include <tuple>
 
+#include "core/campaign.h"
 #include "io/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -47,6 +48,25 @@ bool row_has_nonfinite(std::span<const float> row) {
   return false;
 }
 
+/// Everything one shard of the campaign produces, buffered so the merge
+/// step can emit it in original column order regardless of which worker
+/// finished first.
+struct ShardOutput {
+  ClassificationKpis kpis;
+  std::vector<std::vector<std::string>> result_rows;
+  std::vector<std::vector<std::string>> fault_free_rows;
+  std::vector<InjectionRecord> records;
+};
+
+/// Per-thread execution resources: the model (original or deep-cloned
+/// replica) plus the injection/observation machinery bound to it.
+struct ExecContext {
+  nn::Module* model = nullptr;
+  Injector* injector = nullptr;
+  ModelMonitor* monitor = nullptr;
+  Protection* protection = nullptr;  // null when no mitigation configured
+};
+
 }  // namespace
 
 TestErrorModelsImgClass::TestErrorModelsImgClass(
@@ -74,8 +94,20 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
   ImgClassCampaignResult result;
   const bool write_outputs = !config_.output_dir.empty();
 
-  std::unique_ptr<io::CsvWriter> results_csv;
-  std::unique_ptr<io::CsvWriter> fault_free_csv;
+  std::vector<std::string> header{"image_id", "file_name", "gt_label",
+                                  "due",      "sde",       "faults"};
+  for (const char* which : {"orig", "corr", "resil"}) {
+    for (std::size_t k = 1; k <= config_.top_k; ++k) {
+      header.push_back(strformat("%s_top%zu_class", which, k));
+      header.push_back(strformat("%s_top%zu_prob", which, k));
+    }
+  }
+  std::vector<std::string> ff_header{"image_id", "file_name", "gt_label"};
+  for (std::size_t k = 1; k <= config_.top_k; ++k) {
+    ff_header.push_back(strformat("top%zu_class", k));
+    ff_header.push_back(strformat("top%zu_prob", k));
+  }
+
   if (write_outputs) {
     std::filesystem::create_directories(config_.output_dir);
     const std::string base = config_.output_dir + "/" + config_.model_name;
@@ -90,31 +122,15 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
 
     result.fault_bin = base + "_faults.bin";
     wrapper_.save_fault_matrix(result.fault_bin);
-
-    std::vector<std::string> header{"image_id", "file_name", "gt_label",
-                                    "due",      "sde",       "faults"};
-    for (const char* which : {"orig", "corr", "resil"}) {
-      for (std::size_t k = 1; k <= config_.top_k; ++k) {
-        header.push_back(strformat("%s_top%zu_class", which, k));
-        header.push_back(strformat("%s_top%zu_prob", which, k));
-      }
-    }
     result.results_csv = base + "_results.csv";
-    results_csv = std::make_unique<io::CsvWriter>(result.results_csv, header);
-
-    std::vector<std::string> ff_header{"image_id", "file_name", "gt_label"};
-    for (std::size_t k = 1; k <= config_.top_k; ++k) {
-      ff_header.push_back(strformat("top%zu_class", k));
-      ff_header.push_back(strformat("top%zu_prob", k));
-    }
     result.fault_free_csv = base + "_fault_free.csv";
-    fault_free_csv = std::make_unique<io::CsvWriter>(result.fault_free_csv, ff_header);
   }
 
   // Hardened path: profile activation bounds on fault-free calibration
-  // batches, install the (toggleable) protection.
+  // batches once, up front — workers install their own Protection over
+  // the same bounds, so hardened verdicts match the serial run exactly.
   data::ClassificationLoader loader(dataset_, scenario.batch_size);
-  std::unique_ptr<Protection> protection;
+  RangeMap bounds;
   if (config_.mitigation) {
     std::vector<Tensor> calibration;
     const std::size_t count =
@@ -123,21 +139,17 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
     for (std::size_t b = 0; b < count; ++b) {
       calibration.push_back(loader.batch(b).images);
     }
-    const RangeMap bounds = profile_activation_ranges(model_, calibration);
-    protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
-    protection->set_enabled(false);
+    bounds = profile_activation_ranges(model_, calibration);
   }
 
-  ModelMonitor monitor(model_);
-  FaultModelIterator iterator = wrapper_.get_fimodel_iter();
-  ClassificationKpis kpis;
-  kpis.has_resil = config_.mitigation.has_value();
+  const std::size_t group = scenario.max_faults_per_image;
 
   // Records the verdicts and CSV rows of one window of images evaluated
-  // under one armed fault group.  `images` holds `count` samples;
-  // `fault_group_for(i)` names the fault columns reported for image i.
+  // under one armed fault group, appended to `out` for later in-order
+  // emission.  `fault_group_for(i)` names the fault columns reported
+  // for image i of the window.
   const auto evaluate_window =
-      [&](const Tensor& orig_logits, const Tensor& corr_logits,
+      [&](ShardOutput& out, const Tensor& orig_logits, const Tensor& corr_logits,
           const Tensor* resil_logits, std::span<const std::size_t> labels,
           std::span<const data::ImageMeta> metas, bool window_monitor_due,
           std::size_t epoch,
@@ -158,14 +170,14 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
           const bool due = row_has_nonfinite(corr_row) || window_monitor_due;
           const bool sde = !due && corr_top.classes[0] != orig_top.classes[0];
 
-          ++kpis.total;
-          kpis.orig_correct += orig_top.classes[0] == labels[i] ? 1 : 0;
-          kpis.faulty_correct += corr_top.classes[0] == labels[i] ? 1 : 0;
-          kpis.due += due ? 1 : 0;
-          kpis.sde += sde ? 1 : 0;
+          ++out.kpis.total;
+          out.kpis.orig_correct += orig_top.classes[0] == labels[i] ? 1 : 0;
+          out.kpis.faulty_correct += corr_top.classes[0] == labels[i] ? 1 : 0;
+          out.kpis.due += due ? 1 : 0;
+          out.kpis.sde += sde ? 1 : 0;
           if (resil_logits != nullptr) {
-            kpis.resil_correct += resil_top.classes[0] == labels[i] ? 1 : 0;
-            kpis.resil_sde +=
+            out.kpis.resil_correct += resil_top.classes[0] == labels[i] ? 1 : 0;
+            out.kpis.resil_sde +=
                 (!due && resil_top.classes[0] != orig_top.classes[0]) ? 1 : 0;
           }
 
@@ -188,7 +200,7 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
             push_topk(orig_top);
             push_topk(corr_top);
             push_topk(resil_logits != nullptr ? resil_top : TopK{});
-            results_csv->write_row(row);
+            out.result_rows.push_back(std::move(row));
 
             if (epoch == 0) {
               std::vector<std::string> ff_row{std::to_string(metas[i].image_id),
@@ -203,63 +215,135 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
                   ff_row.push_back("");
                 }
               }
-              fault_free_csv->write_row(ff_row);
+              out.fault_free_rows.push_back(std::move(ff_row));
             }
           }
         }
       };
 
-  // Runs the coupled triple on one input window with the currently armed
-  // fault group; returns via evaluate_window.
-  const auto run_triple = [&](const Tensor& images,
-                              const std::function<void()>& arm) {
-    wrapper_.injector().disarm();
-    if (protection) protection->set_enabled(false);
-    const Tensor orig = model_.forward(images);
+  // Runs the coupled triple on one input window with the fault group
+  // `arm` installs, against the given execution context.
+  const auto run_triple = [](ExecContext& ctx, const Tensor& images,
+                             const std::function<void()>& arm) {
+    ctx.injector->disarm();
+    if (ctx.protection) ctx.protection->set_enabled(false);
+    const Tensor orig = ctx.model->forward(images);
 
     arm();
-    monitor.reset();
-    const Tensor corr = model_.forward(images);
-    const bool window_due = monitor.due_detected();
+    ctx.monitor->reset();
+    const Tensor corr = ctx.model->forward(images);
+    const bool window_due = ctx.monitor->due_detected();
 
     std::optional<Tensor> resil;
-    if (protection) {
-      protection->set_enabled(true);
-      resil = model_.forward(images);
-      protection->set_enabled(false);
+    if (ctx.protection) {
+      ctx.protection->set_enabled(true);
+      resil = ctx.model->forward(images);
+      ctx.protection->set_enabled(false);
     }
-    wrapper_.injector().disarm();
+    ctx.injector->disarm();
     return std::tuple<Tensor, Tensor, std::optional<Tensor>, bool>(
         std::move(orig), std::move(corr), std::move(resil), window_due);
   };
 
-  const std::size_t group = scenario.max_faults_per_image;
+  // One per_image work unit: global step t = epoch * dataset_size + img
+  // runs image `img` under fault columns [t*group, (t+1)*group).  The
+  // global index keeps slice positions and trace labels independent of
+  // which shard executes the step.
+  const auto run_unit = [&](ExecContext& ctx, std::size_t t, ShardOutput& out) {
+    const std::size_t epoch = t / scenario.dataset_size;
+    const std::size_t img = t % scenario.dataset_size;
+    const data::ClassificationSample sample = dataset_.get(img);
+    const Shape& s = sample.image.shape();
+    const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+    const std::vector<Fault> faults = wrapper_.fault_matrix().slice(t * group, group);
+    const auto [orig, corr, resil, window_due] = run_triple(ctx, input, [&] {
+      ctx.injector->set_inference_index(t);
+      ctx.injector->arm(faults);
+    });
+    const std::size_t labels[1] = {sample.label};
+    const data::ImageMeta metas[1] = {sample.meta};
+    evaluate_window(out, orig, corr, resil ? &*resil : nullptr, labels, metas,
+                    window_due, epoch, [&](std::size_t) { return faults; });
+  };
 
-  for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
-    if (scenario.inj_policy == InjectionPolicy::kPerImage) {
-      // One image per window: each image sees exactly its own fault
-      // group (required for per-image weight faults) and DUE verdicts
-      // attribute precisely.
-      for (std::size_t img = 0; img < scenario.dataset_size; ++img) {
-        const data::ClassificationSample sample = dataset_.get(img);
-        const Shape& s = sample.image.shape();
-        const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
-        std::size_t group_start = 0;
-        const auto [orig, corr, resil, window_due] = run_triple(input, [&] {
-          iterator.next();
-          group_start = iterator.position() - group;
-        });
-        const std::size_t labels[1] = {sample.label};
-        const data::ImageMeta metas[1] = {sample.meta};
-        evaluate_window(orig, corr, resil ? &*resil : nullptr, labels, metas,
-                        window_due, epoch, [&](std::size_t) {
-                          return wrapper_.fault_matrix().slice(group_start, group);
-                        });
+  std::vector<ShardOutput> outputs;
+
+  if (scenario.inj_policy == InjectionPolicy::kPerImage) {
+    const std::size_t steps = scenario.dataset_size * scenario.num_runs;
+    ALFI_CHECK(wrapper_.fault_matrix().size() >= steps * group,
+               "fault matrix smaller than the campaign needs: increase "
+               "dataset_size/num_runs or load a larger fault file");
+    const CampaignRunner runner(config_.jobs);
+    const std::vector<CampaignShard> shards =
+        CampaignRunner::shard_columns(steps, runner.jobs(), scenario.rnd_seed);
+    outputs.resize(shards.size());
+
+    if (shards.size() <= 1) {
+      // Serial: the original model and the wrapper's injector, exactly
+      // the single-threaded campaign of old.
+      ModelMonitor monitor(model_);
+      std::unique_ptr<Protection> protection;
+      if (config_.mitigation) {
+        protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
+        protection->set_enabled(false);
+      }
+      ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
+      const std::size_t base_records = wrapper_.injector().records().size();
+      if (!shards.empty()) {
+        for (std::size_t t = shards[0].begin; t < shards[0].end; ++t) {
+          run_unit(ctx, t, outputs[0]);
+        }
+        const auto& recs = wrapper_.injector().records();
+        outputs[0].records.assign(recs.begin() + base_records, recs.end());
       }
     } else {
-      // Batched windows: one fault group per batch (per_batch) or per
-      // epoch (per_epoch).  DUE from the monitor is window-scoped, which
-      // matches the window-scoped fault group.
+      ALFI_LOG(kInfo) << "parallel campaign: " << steps << " inferences across "
+                      << shards.size() << " shards (" << runner.jobs()
+                      << " jobs)";
+      const Tensor probe = probe_input(dataset_);
+      runner.run_shards(shards, [&](const CampaignShard& shard) {
+        // Each worker owns a full replica of the injection stack; the
+        // original model is never touched, so workers share only
+        // read-only state (dataset, fault matrix, calibration bounds).
+        const std::shared_ptr<nn::Module> replica = model_.clone();
+        ModelProfile profile(*replica, probe);
+        Injector injector(*replica, profile, scenario.duration);
+        ModelMonitor monitor(*replica);
+        std::unique_ptr<Protection> protection;
+        if (config_.mitigation) {
+          protection =
+              std::make_unique<Protection>(*replica, bounds, *config_.mitigation);
+          protection->set_enabled(false);
+        }
+        ExecContext ctx{replica.get(), &injector, &monitor, protection.get()};
+        ShardOutput& out = outputs[shard.index];
+        for (std::size_t t = shard.begin; t < shard.end; ++t) {
+          run_unit(ctx, t, out);
+        }
+        out.records = injector.take_records();
+      });
+    }
+  } else {
+    // Batched windows: one fault group per batch (per_batch) or per
+    // epoch (per_epoch).  These policies couple consecutive windows to
+    // one armed group, so they always run serially.
+    if (config_.jobs != 1) {
+      ALFI_LOG(kInfo) << "inj_policy " << to_string(scenario.inj_policy)
+                      << " runs serially; --jobs applies to per_image only";
+    }
+    outputs.resize(1);
+    ShardOutput& out = outputs[0];
+    ModelMonitor monitor(model_);
+    std::unique_ptr<Protection> protection;
+    if (config_.mitigation) {
+      protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
+      protection->set_enabled(false);
+    }
+    ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
+    const std::size_t base_records = wrapper_.injector().records().size();
+    FaultModelIterator iterator = wrapper_.get_fimodel_iter();
+
+    for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
       std::size_t epoch_group_start = 0;
       if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
         iterator.next();  // consume the epoch's group
@@ -275,7 +359,7 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
 
         std::size_t group_start = epoch_group_start;
         const auto [orig, corr, resil, window_due] =
-            run_triple(batch.images, [&] {
+            run_triple(ctx, batch.images, [&] {
               if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
                 iterator.next();
                 group_start = iterator.position() - group;
@@ -284,7 +368,7 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
                     wrapper_.fault_matrix().slice(epoch_group_start, group));
               }
             });
-        evaluate_window(orig, corr, resil ? &*resil : nullptr,
+        evaluate_window(out, orig, corr, resil ? &*resil : nullptr,
                         std::span<const std::size_t>(batch.labels.data(), use),
                         std::span<const data::ImageMeta>(batch.metas.data(), use),
                         window_due, epoch, [&](std::size_t) {
@@ -292,13 +376,33 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
                         });
         images_done += use;
       }
+      wrapper_.injector().disarm();
     }
-    wrapper_.injector().disarm();
+    const auto& recs = wrapper_.injector().records();
+    out.records.assign(recs.begin() + base_records, recs.end());
+  }
+
+  // ---- merge: ascending shard order restores the serial column order ----
+  ClassificationKpis kpis;
+  kpis.has_resil = config_.mitigation.has_value();
+  std::vector<InjectionRecord> trace;
+  for (const ShardOutput& out : outputs) {
+    kpis.merge(out.kpis);
+    trace.insert(trace.end(), out.records.begin(), out.records.end());
   }
 
   if (write_outputs) {
+    io::CsvWriter results_csv(result.results_csv, header);
+    io::CsvWriter fault_free_csv(result.fault_free_csv, ff_header);
+    for (const ShardOutput& out : outputs) {
+      for (const auto& row : out.result_rows) results_csv.write_row(row);
+      for (const auto& row : out.fault_free_rows) fault_free_csv.write_row(row);
+    }
+    results_csv.close();
+    fault_free_csv.close();
+
     result.trace_bin = config_.output_dir + "/" + config_.model_name + "_trace.bin";
-    save_injection_records(wrapper_.injector().records(), result.trace_bin);
+    save_injection_records(trace, result.trace_bin);
   }
 
   result.kpis = kpis;

@@ -42,6 +42,12 @@ struct ImgClassCampaignConfig {
   /// first few dataset batches when empty).
   std::size_t calibration_batches = 4;
   std::size_t top_k = 5;
+  /// Worker threads for the per_image campaign (CampaignRunner).  1 =
+  /// serial on the wrapped model; 0 = hardware concurrency; N > 1 runs
+  /// N deep-cloned model replicas over contiguous fault-matrix shards.
+  /// Output (KPIs, CSVs, trace) is byte-identical for every job count.
+  /// Batched policies (per_batch / per_epoch) always run serially.
+  std::size_t jobs = 1;
 };
 
 struct ImgClassCampaignResult {

@@ -26,11 +26,13 @@ void PtfiWrap::set_scenario(Scenario scenario) {
   // original seed.
   Rng generation_stream = rng_.fork();
   faults_ = generate_fault_matrix(scenario_, *profile_, generation_stream);
+  ++matrix_generation_;
 }
 
 void PtfiWrap::load_fault_matrix(const std::string& path) {
   injector_->disarm();
   faults_ = FaultMatrix::load(path);
+  ++matrix_generation_;
 }
 
 void PtfiWrap::save_fault_matrix(const std::string& path) const {
@@ -40,19 +42,36 @@ void PtfiWrap::save_fault_matrix(const std::string& path) const {
 void PtfiWrap::set_fault_matrix(FaultMatrix faults) {
   injector_->disarm();
   faults_ = std::move(faults);
+  ++matrix_generation_;
+}
+
+FaultModelIterator::FaultModelIterator(PtfiWrap& wrapper)
+    : wrapper_(&wrapper), generation_(wrapper.matrix_generation_) {}
+
+bool FaultModelIterator::stale() const {
+  return generation_ != wrapper_->matrix_generation_;
 }
 
 std::size_t FaultModelIterator::remaining() const {
-  return wrapper_->faults_.size() - position_;
+  // A stale iterator's position is meaningless against the new matrix;
+  // report exhaustion instead of slicing out of range.  The same clamp
+  // protects a position past the end from size_t underflow.
+  if (stale()) return 0;
+  const std::size_t size = wrapper_->faults_.size();
+  return position_ >= size ? 0 : size - position_;
 }
 
 void FaultModelIterator::reset() {
   wrapper_->injector_->disarm();
   position_ = 0;
   step_ = 0;
+  generation_ = wrapper_->matrix_generation_;
 }
 
 nn::Module& FaultModelIterator::next() {
+  ALFI_CHECK(!stale(),
+             "fault iterator invalidated: the wrapper's fault matrix was "
+             "regenerated (set_scenario/load_fault_matrix); call reset()");
   const std::size_t group = wrapper_->scenario_.max_faults_per_image;
   ALFI_CHECK(remaining() >= group,
              "fault matrix exhausted: increase dataset_size/num_runs or reset()");
@@ -64,6 +83,9 @@ nn::Module& FaultModelIterator::next() {
 }
 
 nn::Module& FaultModelIterator::next_for_batch(std::size_t batch_size) {
+  ALFI_CHECK(!stale(),
+             "fault iterator invalidated: the wrapper's fault matrix was "
+             "regenerated (set_scenario/load_fault_matrix); call reset()");
   ALFI_CHECK(batch_size > 0, "batch size must be positive");
   const std::size_t per_image = wrapper_->scenario_.max_faults_per_image;
   const std::size_t group = batch_size * per_image;

@@ -12,6 +12,7 @@
 // layer sweeps, fault-count sweeps and bit-position sweeps.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -41,21 +42,32 @@ class FaultModelIterator {
   /// Columns consumed so far.
   std::size_t position() const { return position_; }
 
-  /// Remaining columns in the fault matrix.
+  /// Remaining columns in the fault matrix: 0 when the iterator is
+  /// stale (the wrapper regenerated/replaced its matrix since this
+  /// iterator was obtained) or when the position is at/past the end —
+  /// never underflows.
   std::size_t remaining() const;
 
   bool exhausted() const { return remaining() == 0; }
 
-  /// Rewinds to the first column (faults are reused, not regenerated).
+  /// True once the wrapper's fault matrix was regenerated or replaced
+  /// (set_scenario / load_fault_matrix / set_fault_matrix) after this
+  /// iterator was obtained.  A stale iterator reports remaining() == 0
+  /// and next() throws; reset() re-binds it to the current matrix.
+  bool stale() const;
+
+  /// Rewinds to the first column of the wrapper's *current* fault
+  /// matrix (faults are reused, not regenerated) and clears staleness.
   void reset();
 
  private:
   friend class PtfiWrap;
-  explicit FaultModelIterator(PtfiWrap& wrapper) : wrapper_(&wrapper) {}
+  explicit FaultModelIterator(PtfiWrap& wrapper);
 
   PtfiWrap* wrapper_;
   std::size_t position_ = 0;
   std::size_t step_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class PtfiWrap {
@@ -106,6 +118,9 @@ class PtfiWrap {
   std::unique_ptr<ModelProfile> profile_;
   std::unique_ptr<Injector> injector_;
   FaultMatrix faults_;
+  /// Bumped whenever faults_ is regenerated or replaced; outstanding
+  /// iterators compare against it to detect staleness.
+  std::uint64_t matrix_generation_ = 0;
 };
 
 }  // namespace alfi::core

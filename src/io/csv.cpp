@@ -42,10 +42,25 @@ void CsvWriter::emit(const std::vector<std::string>& fields) {
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (!out_.is_open()) return;
+  // A failed final flush (e.g. disk full) must not silently truncate
+  // campaign results: surface it before the stream is torn down.
+  out_.flush();
+  const bool flush_ok = static_cast<bool>(out_);
+  out_.close();
+  if (!flush_ok || out_.fail()) {
+    throw IoError("failed to flush/close CSV file (disk full?)");
+  }
 }
 
-CsvWriter::~CsvWriter() { close(); }
+CsvWriter::~CsvWriter() {
+  // Destructors must not throw; an explicit close() is how callers get
+  // the error.  Swallow here so stack unwinding stays safe.
+  try {
+    close();
+  } catch (const IoError&) {
+  }
+}
 
 std::size_t CsvTable::column(const std::string& name) const {
   for (std::size_t i = 0; i < header.size(); ++i) {
@@ -90,8 +105,12 @@ CsvTable parse_csv(const std::string& text) {
       field_started = true;
     } else if (c == ',') {
       end_field();
-    } else if (c == '\r') {
-      // swallow; \r\n handled at \n
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      // CRLF line terminator: the \r belongs to it, not to the field;
+      // the record ends at the following \n.  A lone \r (not before \n)
+      // is field content — csv_escape quotes such fields on write, so
+      // only foreign unquoted data reaches this path, and dropping the
+      // character would corrupt it silently.
     } else if (c == '\n') {
       end_record();
     } else {

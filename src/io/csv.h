@@ -28,7 +28,10 @@ class CsvWriter {
 
   const std::vector<std::string>& header() const { return header_; }
 
-  /// Flushes and closes; called by the destructor too.
+  /// Flushes, verifies the final flush reached the file and closes;
+  /// throws IoError on failure (e.g. disk full).  The destructor also
+  /// closes but swallows the error — call close() explicitly when the
+  /// file's integrity matters.
   void close();
 
   ~CsvWriter();

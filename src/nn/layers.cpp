@@ -396,6 +396,86 @@ Tensor Residual::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+// ---- cloning ----------------------------------------------------------------
+
+std::shared_ptr<Module> Conv2d::clone_structure() const {
+  return std::make_shared<Conv2d>(in_channels_, out_channels_, kernel_,
+                                  spec_.stride, spec_.padding);
+}
+
+std::shared_ptr<Module> Conv3d::clone_structure() const {
+  return std::make_shared<Conv3d>(in_channels_, out_channels_, kernel_,
+                                  spec_.stride, spec_.padding);
+}
+
+std::shared_ptr<Module> Linear::clone_structure() const {
+  return std::make_shared<Linear>(in_features_, out_features_);
+}
+
+std::shared_ptr<Module> ReLU::clone_structure() const {
+  return std::make_shared<ReLU>();
+}
+
+std::shared_ptr<Module> LeakyReLU::clone_structure() const {
+  return std::make_shared<LeakyReLU>(slope_);
+}
+
+std::shared_ptr<Module> Sigmoid::clone_structure() const {
+  return std::make_shared<Sigmoid>();
+}
+
+std::shared_ptr<Module> Tanh::clone_structure() const {
+  return std::make_shared<Tanh>();
+}
+
+std::shared_ptr<Module> MaxPool2d::clone_structure() const {
+  return std::make_shared<MaxPool2d>(spec_.kernel, spec_.stride);
+}
+
+std::shared_ptr<Module> AvgPool2d::clone_structure() const {
+  return std::make_shared<AvgPool2d>(spec_.kernel, spec_.stride);
+}
+
+std::shared_ptr<Module> GlobalAvgPool2d::clone_structure() const {
+  return std::make_shared<GlobalAvgPool2d>();
+}
+
+std::shared_ptr<Module> BatchNorm2d::clone_structure() const {
+  return std::make_shared<BatchNorm2d>(channels_, eps_, momentum_);
+}
+
+std::shared_ptr<Module> Flatten::clone_structure() const {
+  return std::make_shared<Flatten>();
+}
+
+std::shared_ptr<Module> Softmax::clone_structure() const {
+  return std::make_shared<Softmax>();
+}
+
+std::shared_ptr<Module> Dropout::clone_structure() const {
+  // The clone shares the owning Rng: identical in eval mode (dropout is
+  // the identity there); training a clone concurrently is not supported.
+  return std::make_shared<Dropout>(probability_, rng_);
+}
+
+std::shared_ptr<Module> Sequential::clone_structure() const {
+  auto copy = std::make_shared<Sequential>();
+  for (const auto& [name, child] : children()) {
+    copy->append(child->clone_structure(), name);
+  }
+  return copy;
+}
+
+std::shared_ptr<Module> Residual::clone_structure() const {
+  std::shared_ptr<Module> main;
+  std::shared_ptr<Module> shortcut;
+  for (const auto& [name, child] : children()) {
+    if (name == "main") main = child->clone_structure();
+    if (name == "shortcut") shortcut = child->clone_structure();
+  }
+  return std::make_shared<Residual>(std::move(main), std::move(shortcut));
+}
+
 // ---- init -------------------------------------------------------------------
 
 void kaiming_init(Module& root, Rng& rng) {

@@ -23,6 +23,7 @@ class Conv2d : public Module {
          std::size_t stride = 1, std::size_t padding = 0);
 
   std::string type() const override { return "Conv2d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   LayerKind kind() const override { return LayerKind::kConv2d; }
   Parameter* weight_param() override { return weight_; }
   Parameter* bias_param() override { return bias_; }
@@ -55,6 +56,7 @@ class Conv3d : public Module {
          std::size_t stride = 1, std::size_t padding = 0);
 
   std::string type() const override { return "Conv3d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   LayerKind kind() const override { return LayerKind::kConv3d; }
   Parameter* weight_param() override { return weight_; }
   Parameter* bias_param() override { return bias_; }
@@ -79,6 +81,7 @@ class Linear : public Module {
   Linear(std::size_t in_features, std::size_t out_features);
 
   std::string type() const override { return "Linear"; }
+  std::shared_ptr<Module> clone_structure() const override;
   LayerKind kind() const override { return LayerKind::kLinear; }
   Parameter* weight_param() override { return weight_; }
   Parameter* bias_param() override { return bias_; }
@@ -102,6 +105,7 @@ class Linear : public Module {
 class ReLU : public Module {
  public:
   std::string type() const override { return "ReLU"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -115,6 +119,7 @@ class LeakyReLU : public Module {
  public:
   explicit LeakyReLU(float negative_slope = 0.1f) : slope_(negative_slope) {}
   std::string type() const override { return "LeakyReLU"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -128,6 +133,7 @@ class LeakyReLU : public Module {
 class Sigmoid : public Module {
  public:
   std::string type() const override { return "Sigmoid"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -140,6 +146,7 @@ class Sigmoid : public Module {
 class Tanh : public Module {
  public:
   std::string type() const override { return "Tanh"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -154,6 +161,7 @@ class MaxPool2d : public Module {
   explicit MaxPool2d(std::size_t kernel = 2, std::size_t stride = 0)
       : spec_{kernel, stride == 0 ? kernel : stride} {}
   std::string type() const override { return "MaxPool2d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -170,6 +178,7 @@ class AvgPool2d : public Module {
   explicit AvgPool2d(std::size_t kernel = 2, std::size_t stride = 0)
       : spec_{kernel, stride == 0 ? kernel : stride} {}
   std::string type() const override { return "AvgPool2d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -184,6 +193,7 @@ class AvgPool2d : public Module {
 class GlobalAvgPool2d : public Module {
  public:
   std::string type() const override { return "GlobalAvgPool2d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -200,6 +210,7 @@ class BatchNorm2d : public Module {
   explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f, float momentum = 0.1f);
 
   std::string type() const override { return "BatchNorm2d"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
   const Tensor& running_mean() const { return running_mean_; }
@@ -223,6 +234,7 @@ class BatchNorm2d : public Module {
 class Flatten : public Module {
  public:
   std::string type() const override { return "Flatten"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -236,6 +248,7 @@ class Flatten : public Module {
 class Softmax : public Module {
  public:
   std::string type() const override { return "Softmax"; }
+  std::shared_ptr<Module> clone_structure() const override;
 
  protected:
   Tensor compute(const Tensor& input) override;
@@ -247,6 +260,7 @@ class Dropout : public Module {
  public:
   Dropout(float probability, Rng* rng);
   std::string type() const override { return "Dropout"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:
@@ -262,6 +276,7 @@ class Dropout : public Module {
 class Sequential : public Module {
  public:
   std::string type() const override { return "Sequential"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
   /// Appends a layer; name defaults to its index ("0", "1", ...).
@@ -279,6 +294,7 @@ class Residual : public Module {
  public:
   Residual(std::shared_ptr<Module> main, std::shared_ptr<Module> shortcut = nullptr);
   std::string type() const override { return "Residual"; }
+  std::shared_ptr<Module> clone_structure() const override;
   Tensor backward(const Tensor& grad_output) override;
 
  protected:

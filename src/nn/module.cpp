@@ -25,6 +25,55 @@ Tensor Module::backward(const Tensor&) {
   throw Error("backward not implemented for layer type " + type());
 }
 
+std::shared_ptr<Module> Module::clone_structure() const {
+  throw Error("clone not supported for layer type " + type());
+}
+
+std::shared_ptr<Module> Module::clone() {
+  std::shared_ptr<Module> copy = clone_structure();
+  copy->copy_state_from(*this);
+  copy->set_training(training_);
+  return copy;
+}
+
+void Module::copy_state_from(Module& source) {
+  struct Entry {
+    std::string path;
+    Module* module;
+  };
+  std::vector<Entry> mine, theirs;
+  for_each_module([&mine](const std::string& path, Module& m) {
+    mine.push_back({path, &m});
+  });
+  source.for_each_module([&theirs](const std::string& path, Module& m) {
+    theirs.push_back({path, &m});
+  });
+  ALFI_CHECK(mine.size() == theirs.size(),
+             "copy_state_from: module trees differ in size");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    ALFI_CHECK(mine[i].path == theirs[i].path &&
+                   mine[i].module->type() == theirs[i].module->type(),
+               "copy_state_from: module trees differ at '" + theirs[i].path + "'");
+    const auto dst_params = mine[i].module->local_parameters();
+    const auto src_params = theirs[i].module->local_parameters();
+    ALFI_CHECK(dst_params.size() == src_params.size(),
+               "copy_state_from: parameter count differs at '" + theirs[i].path + "'");
+    for (std::size_t p = 0; p < dst_params.size(); ++p) {
+      ALFI_CHECK(dst_params[p]->value.shape() == src_params[p]->value.shape(),
+                 "copy_state_from: parameter shape differs at '" + theirs[i].path + "'");
+      dst_params[p]->value = src_params[p]->value;
+      dst_params[p]->zero_grad();
+    }
+    const auto& dst_buffers = mine[i].module->local_buffers();
+    const auto& src_buffers = theirs[i].module->local_buffers();
+    ALFI_CHECK(dst_buffers.size() == src_buffers.size(),
+               "copy_state_from: buffer count differs at '" + theirs[i].path + "'");
+    for (std::size_t b = 0; b < dst_buffers.size(); ++b) {
+      *dst_buffers[b].second = *src_buffers[b].second;
+    }
+  }
+}
+
 std::vector<Parameter*> Module::local_parameters() {
   std::vector<Parameter*> out;
   out.reserve(params_.size());

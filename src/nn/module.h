@@ -66,6 +66,26 @@ class Module {
   /// hook-mutated) output.
   Tensor forward(const Tensor& input);
 
+  // -- cloning -------------------------------------------------------------
+
+  /// Architecture-only copy: a fresh module tree with the same layer
+  /// types, hyperparameters and child structure but default-initialized
+  /// parameter values.  Containers clone their children recursively.
+  /// Layers that do not support cloning throw Error; forward hooks are
+  /// never copied (a clone starts unobserved).
+  virtual std::shared_ptr<Module> clone_structure() const;
+
+  /// Deep copy: clone_structure() plus all parameter values, buffer
+  /// tensors and the training flag.  The clone shares no mutable state
+  /// with the original, so it can run on another thread (the basis of
+  /// the parallel campaign runner's per-worker model replicas).
+  std::shared_ptr<Module> clone();
+
+  /// Copies parameter values and buffers from `source` into this tree;
+  /// both trees must have identical structure (module types, paths and
+  /// parameter/buffer registration order).
+  void copy_state_from(Module& source);
+
   /// Drives one inference for profiling purposes so that *every*
   /// submodule executes at least once.  The default simply forwards;
   /// multi-stage models whose second stage runs outside compute() (e.g.

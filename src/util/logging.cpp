@@ -1,13 +1,25 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace alfi {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
-}
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+/// Serializes emission so concurrent worker-thread messages come out as
+/// whole lines.
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -23,7 +35,17 @@ const char* log_level_name(LogLevel level) {
 namespace detail {
 void emit_log(LogLevel level, const std::string& message) {
   std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  out << "[alfi:" << log_level_name(level) << "] " << message << '\n';
+  // Assemble the full line first so the stream sees exactly one write.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[alfi:";
+  line += log_level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
 }
 }  // namespace detail
 

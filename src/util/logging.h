@@ -1,7 +1,9 @@
 // Minimal leveled logger used by campaign drivers to narrate progress.
 //
-// Not thread-aware by design: campaigns are single-threaded per run (the
-// parallelism in large-scale FI comes from running many campaigns).
+// Thread-safe: the parallel campaign runner logs from worker threads, so
+// each message is assembled off-stream and emitted as one atomic write
+// under a global mutex — concurrent lines never interleave mid-line.
+// The level threshold is atomic and may be changed at any time.
 #pragma once
 
 #include <iostream>

@@ -89,5 +89,59 @@ TEST(CsvRoundTrip, EscapedContentSurvives) {
   EXPECT_EQ(table.rows[0], nasty);
 }
 
+TEST(CsvParse, CrlfTerminatorsAreStripped) {
+  // Windows-exported CSVs terminate rows with \r\n; the \r belongs to
+  // the terminator, not to the last field.
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n3,4\r\n");
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParse, LoneCarriageReturnIsFieldContent) {
+  // A \r not followed by \n is data, not a terminator.
+  const CsvTable table = parse_csv("a,b\n1,x\ry\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "x\ry");
+}
+
+TEST(CsvRoundTrip, CarriageReturnFieldsSurvive) {
+  test::TempDir dir("csv");
+  const std::string path = dir.file("cr.csv");
+  const std::vector<std::string> fields{"x\ry", "trail\r", "\r\nboth"};
+  {
+    CsvWriter writer(path, {"c1", "c2", "c3"});
+    writer.write_row(fields);
+  }
+  const CsvTable table = read_csv_file(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0], fields);
+}
+
+TEST(CsvWriter, CloseThrowsWhenFlushFails) {
+  // /dev/full accepts buffered writes but fails the flush with ENOSPC —
+  // exactly the silent-truncation case close() must surface.
+  if (!std::ifstream("/dev/full")) GTEST_SKIP() << "/dev/full unavailable";
+  CsvWriter writer("/dev/full", {"a"});
+  writer.write_row({"1"});
+  EXPECT_THROW(writer.close(), IoError);
+}
+
+TEST(CsvWriter, DestructorSwallowsFlushFailure) {
+  if (!std::ifstream("/dev/full")) GTEST_SKIP() << "/dev/full unavailable";
+  // Must not terminate: the destructor reports nothing but never throws.
+  CsvWriter writer("/dev/full", {"a"});
+  writer.write_row({"1"});
+}
+
+TEST(CsvWriter, CloseIsIdempotent) {
+  test::TempDir dir("csv");
+  CsvWriter writer(dir.file("ok.csv"), {"a"});
+  writer.write_row({"1"});
+  writer.close();
+  EXPECT_NO_THROW(writer.close());
+}
+
 }  // namespace
 }  // namespace alfi::io

@@ -165,5 +165,76 @@ TEST(Module, BackwardWithoutImplementationThrows) {
   EXPECT_THROW(softmax.backward(Tensor(Shape{1, 2})), Error);
 }
 
+TEST(ModuleClone, CloneForwardsBitIdentically) {
+  auto net = small_net();
+  Rng rng(5);
+  kaiming_init(*net, rng);
+  auto copy = net->clone();
+  const Tensor input = Tensor::uniform(Shape{2, 1, 4, 4}, rng, -1.0f, 1.0f);
+  const Tensor expected = net->forward(input);
+  const Tensor actual = copy->forward(input);
+  ASSERT_EQ(actual.shape(), expected.shape());
+  for (std::size_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_EQ(actual.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(ModuleClone, CloneSharesNoParameterStorage) {
+  auto net = small_net();
+  Rng rng(5);
+  kaiming_init(*net, rng);
+  auto copy = net->clone();
+  // Corrupting the clone must leave the original untouched (and vice
+  // versa) — the property parallel campaign replicas rely on.
+  const float before = net->parameters()[0]->value.data()[0];
+  copy->parameters()[0]->value.data()[0] = 1234.5f;
+  EXPECT_EQ(net->parameters()[0]->value.data()[0], before);
+  net->parameters()[2]->value.data()[0] = -77.0f;
+  EXPECT_NE(copy->parameters()[2]->value.data()[0], -77.0f);
+}
+
+TEST(ModuleClone, CloneCopiesBuffersAndTrainingFlag) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<BatchNorm2d>(2), "bn");
+  Rng rng(3);
+  kaiming_init(*net, rng);
+  net->set_training(true);
+  // Run a training forward so the BatchNorm running stats move off
+  // their defaults.
+  net->forward(Tensor::uniform(Shape{4, 2, 3, 3}, rng, -2.0f, 2.0f));
+  auto copy = net->clone();
+  EXPECT_TRUE(copy->training());
+  const auto& src_buffers = net->children()[0].second->local_buffers();
+  const auto& dst_buffers = copy->children()[0].second->local_buffers();
+  ASSERT_EQ(src_buffers.size(), dst_buffers.size());
+  ASSERT_FALSE(src_buffers.empty());
+  for (std::size_t b = 0; b < src_buffers.size(); ++b) {
+    for (std::size_t i = 0; i < src_buffers[b].second->numel(); ++i) {
+      EXPECT_EQ(dst_buffers[b].second->data()[i],
+                src_buffers[b].second->data()[i]);
+    }
+  }
+}
+
+TEST(ModuleClone, ForwardHooksAreNotCopied) {
+  auto net = small_net();
+  Rng rng(5);
+  kaiming_init(*net, rng);
+  net->children()[0].second->register_forward_hook(
+      [](Module&, const Tensor&, Tensor&) {});
+  auto copy = net->clone();
+  EXPECT_EQ(copy->children()[0].second->forward_hook_count(), 0u);
+  EXPECT_EQ(net->children()[0].second->forward_hook_count(), 1u);
+}
+
+TEST(ModuleClone, UnsupportedLayerThrows) {
+  struct Opaque final : Module {
+    std::string type() const override { return "Opaque"; }
+    Tensor compute(const Tensor& input) override { return input; }
+  };
+  Opaque layer;
+  EXPECT_THROW(layer.clone(), Error);
+}
+
 }  // namespace
 }  // namespace alfi::nn

@@ -174,5 +174,78 @@ TEST_F(WrapperFixture, SetFaultMatrixReplaysSubset) {
   EXPECT_TRUE(iter.exhausted());
 }
 
+TEST_F(WrapperFixture, SetScenarioShrinkInvalidatesLiveIterator) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  for (int i = 0; i < 4; ++i) iter.next();  // position 8 of 16
+
+  Scenario smaller = small_scenario();
+  smaller.dataset_size = 2;  // matrix shrinks to 4 < position
+  wrapper.set_scenario(smaller);
+
+  // Before the generation guard, remaining() computed 4 - 8 on size_t
+  // and reported ~SIZE_MAX faults left.
+  EXPECT_TRUE(iter.stale());
+  EXPECT_EQ(iter.remaining(), 0u);
+  EXPECT_TRUE(iter.exhausted());
+  EXPECT_THROW(iter.next(), Error);
+  EXPECT_THROW(iter.next_for_batch(1), Error);
+}
+
+TEST_F(WrapperFixture, SetScenarioGrowAlsoInvalidates) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next();
+
+  Scenario bigger = small_scenario();
+  bigger.dataset_size = 16;  // a different matrix, even though larger
+  wrapper.set_scenario(bigger);
+
+  EXPECT_TRUE(iter.stale());
+  EXPECT_EQ(iter.remaining(), 0u);
+  EXPECT_THROW(iter.next(), Error);
+}
+
+TEST_F(WrapperFixture, ResetRebindsStaleIterator) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  for (int i = 0; i < 4; ++i) iter.next();
+
+  Scenario smaller = small_scenario();
+  smaller.dataset_size = 2;
+  wrapper.set_scenario(smaller);
+  ASSERT_TRUE(iter.stale());
+
+  iter.reset();
+  EXPECT_FALSE(iter.stale());
+  EXPECT_EQ(iter.position(), 0u);
+  EXPECT_EQ(iter.remaining(), 4u);  // 2 images * 2 faults
+  iter.next();
+  iter.next();
+  EXPECT_TRUE(iter.exhausted());
+}
+
+TEST_F(WrapperFixture, SetFaultMatrixInvalidatesLiveIterator) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next();
+  wrapper.set_fault_matrix(FaultMatrix(wrapper.fault_matrix().slice(0, 4)));
+  EXPECT_TRUE(iter.stale());
+  EXPECT_THROW(iter.next(), Error);
+}
+
+TEST_F(WrapperFixture, NextForBatchConsumesFinalPartialGroupExactly) {
+  PtfiWrap wrapper(*net, small_scenario(), probe);  // 16 faults, 2/image
+  FaultModelIterator iter = wrapper.get_fimodel_iter();
+  iter.next_for_batch(3);  // 6 faults
+  EXPECT_EQ(iter.remaining(), 10u);
+  iter.next_for_batch(3);  // 6 more
+  EXPECT_EQ(iter.remaining(), 4u);
+  iter.next_for_batch(2);  // final partial batch consumes the tail exactly
+  EXPECT_EQ(iter.remaining(), 0u);
+  EXPECT_TRUE(iter.exhausted());
+  EXPECT_THROW(iter.next_for_batch(1), Error);
+}
+
 }  // namespace
 }  // namespace alfi::core

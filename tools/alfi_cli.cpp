@@ -66,6 +66,17 @@ struct Args {
   }
 };
 
+/// --jobs N: campaign worker threads; default = hardware concurrency.
+std::size_t parse_jobs(const Args& args) {
+  const auto value = args.get("jobs");
+  if (!value) return core::CampaignRunner::default_job_count();
+  const auto parsed = parse_int(*value);
+  if (!parsed || *parsed < 1) {
+    throw ConfigError("--jobs must be a positive integer, got: " + *value);
+  }
+  return static_cast<std::size_t>(*parsed);
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -120,6 +131,7 @@ int cmd_run_imgclass(const Args& args) {
   config.output_dir = args.get("output", "alfi_out");
   config.mitigation = parse_mitigation(args);
   config.fault_file = args.get("fault-file", "");
+  config.jobs = parse_jobs(args);
 
   core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
   const auto result = harness.run();
@@ -279,7 +291,9 @@ void usage() {
                "  run-imgclass   --model <lenet|alexnet|vgg|resnet> [--scenario f.yml]\n"
                "                 [--dataset-size N] [--faults-per-image N] [--seed N]\n"
                "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
-               "                 [--fault-file f.bin] [--output dir]\n"
+               "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
+               "                 (--jobs: campaign worker threads, default = all\n"
+               "                  cores; output is identical for every job count)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"

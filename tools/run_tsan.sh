@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the concurrency layer under ThreadSanitizer and run the
+# campaign-labeled tests (CampaignRunner sharding, parallel campaign
+# byte-identity).  Usage:
+#
+#   tools/run_tsan.sh [extra ctest args...]
+#
+# Uses the "tsan" CMake preset (build dir: build-tsan).  Any extra
+# arguments are forwarded to ctest, e.g. `tools/run_tsan.sh -V`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan "$@"
