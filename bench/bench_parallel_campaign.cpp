@@ -12,6 +12,8 @@
 // overhead visible there is the price of determinism.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include "bench_common.h"
 
 using namespace alfi;
@@ -45,10 +47,13 @@ core::Scenario campaign_scenario() {
   return s;
 }
 
-double run_campaign_once(std::size_t jobs) {
+double run_campaign_once(std::size_t jobs, const std::string& checkpoint_dir = "",
+                         std::size_t checkpoint_every = 8) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
+  config.checkpoint_dir = checkpoint_dir;
+  config.checkpoint_every = checkpoint_every;
   core::TestErrorModelsImgClass harness(*env().model, env().dataset,
                                         campaign_scenario(), config);
   Stopwatch watch;
@@ -78,6 +83,37 @@ BENCHMARK(BM_CampaignJobs)
     ->Arg(2)
     ->Arg(4)
     ->ArgName("jobs")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Crash-safety overhead: the same campaign with journaling + periodic
+/// checkpoints enabled.  "overhead" reports the slowdown vs the
+/// checkpoint-free serial baseline — the per-unit fsync'd journal
+/// append plus one atomic checkpoint write every `checkpoint_every`
+/// units.  The arg sweeps checkpoint frequency (1 = checkpoint after
+/// every unit, the worst case).
+void BM_CampaignCheckpointOverhead(benchmark::State& state) {
+  const auto every = static_cast<std::size_t>(state.range(0));
+  double last = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir =
+        "bench_ckpt_" + std::to_string(::getpid()) + "_" + std::to_string(every);
+    std::filesystem::remove_all(dir);  // fresh journal each iteration
+    state.ResumeTiming();
+    last = run_campaign_once(1, dir, every);
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["overhead"] = last / serial_baseline();
+  state.counters["checkpoint_every"] = static_cast<double>(every);
+}
+BENCHMARK(BM_CampaignCheckpointOverhead)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->ArgName("every")
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -31,13 +31,14 @@ int main() {
               static_cast<double>(
                   models::train_classifier(*model, dataset, train_config)));
 
-  core::Scenario scenario;
-  scenario.target = core::FaultTarget::kWeights;
-  scenario.rnd_bit_range_lo = 20;  // mix of mantissa + exponent + sign
-  scenario.rnd_bit_range_hi = 31;
-  scenario.dataset_size = dataset.size();
-  scenario.max_faults_per_image = 1;
-  scenario.rnd_seed = 11;
+  const core::Scenario scenario =
+      core::ScenarioBuilder()
+          .target(core::FaultTarget::kWeights)
+          .bit_range(20, 31)  // mix of mantissa + exponent + sign
+          .dataset_size(dataset.size())
+          .max_faults_per_image(1)
+          .seed(11)
+          .build();
 
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";

@@ -59,12 +59,12 @@ int main() {
               static_cast<double>(
                   models::train_classifier(*model, dataset, train_config)));
 
-  core::Scenario scenario;
-  scenario.target = core::FaultTarget::kNeurons;
-  scenario.rnd_bit_range_lo = 28;
-  scenario.rnd_bit_range_hi = 30;
-  scenario.dataset_size = dataset.size();
-  scenario.rnd_seed = 5;
+  const core::Scenario scenario = core::ScenarioBuilder()
+                                      .target(core::FaultTarget::kNeurons)
+                                      .bit_range(28, 30)
+                                      .dataset_size(dataset.size())
+                                      .seed(5)
+                                      .build();
 
   const Tensor probe = dataset.get(0).image.reshaped(Shape{1, 3, 32, 32});
   core::PtfiWrap wrapper(*model, scenario, probe);
@@ -72,9 +72,9 @@ int main() {
   // ---- sweep 1: layer index (§V.2a) ---------------------------------------
   std::printf("\nlayer sweep (neuron faults, bits 28-30):\n");
   for (std::size_t layer = 0; layer < wrapper.profile().layer_count(); ++layer) {
-    core::Scenario step = wrapper.get_scenario();
-    step.layer_range = {{layer, layer}};
-    wrapper.set_scenario(step);
+    wrapper.set_scenario(core::ScenarioBuilder::from(wrapper.get_scenario())
+                             .layer_range(layer, layer)
+                             .build());
     std::printf("  layer %zu (%-4s %-2s): corruption rate %.3f\n", layer,
                 wrapper.profile().layer(layer).path.c_str(),
                 nn::layer_kind_name(wrapper.profile().layer(layer).kind),
@@ -84,10 +84,10 @@ int main() {
   // ---- sweep 2: faults per image (§V.2b) -----------------------------------
   std::printf("\nfaults-per-image sweep (all layers):\n");
   for (const std::size_t faults : {1u, 2u, 4u, 8u, 16u}) {
-    core::Scenario step = wrapper.get_scenario();
-    step.layer_range.reset();
-    step.max_faults_per_image = faults;
-    wrapper.set_scenario(step);
+    wrapper.set_scenario(core::ScenarioBuilder::from(wrapper.get_scenario())
+                             .any_layer()
+                             .max_faults_per_image(faults)
+                             .build());
     std::printf("  %2zu fault(s)/image: corruption rate %.3f\n", faults,
                 corruption_rate(wrapper, *model, dataset));
   }
@@ -96,10 +96,10 @@ int main() {
   std::printf("\ntarget sweep (1 fault/image):\n");
   for (const core::FaultTarget target :
        {core::FaultTarget::kNeurons, core::FaultTarget::kWeights}) {
-    core::Scenario step = wrapper.get_scenario();
-    step.max_faults_per_image = 1;
-    step.target = target;
-    wrapper.set_scenario(step);
+    wrapper.set_scenario(core::ScenarioBuilder::from(wrapper.get_scenario())
+                             .max_faults_per_image(1)
+                             .target(target)
+                             .build());
     std::printf("  %-8s: corruption rate %.3f\n", core::to_string(target),
                 corruption_rate(wrapper, *model, dataset));
   }

@@ -30,13 +30,13 @@ int main() {
                   models::train_classifier(*model, dataset, train_config)));
 
   // One scenario, one fault file, three protection settings.
-  core::Scenario scenario;
-  scenario.target = core::FaultTarget::kWeights;
-  scenario.rnd_bit_range_lo = 26;
-  scenario.rnd_bit_range_hi = 30;
-  scenario.dataset_size = dataset.size();
-  scenario.max_faults_per_image = 2;
-  scenario.rnd_seed = 97;
+  const core::Scenario scenario = core::ScenarioBuilder()
+                                      .target(core::FaultTarget::kWeights)
+                                      .bit_range(26, 30)
+                                      .dataset_size(dataset.size())
+                                      .max_faults_per_image(2)
+                                      .seed(97)
+                                      .build();
 
   std::string fault_file;  // filled by the first campaign, reused after
   for (const auto& [label, mitigation] :

@@ -35,15 +35,16 @@ int main() {
                   models::evaluate_detector_recall(yolo, dataset, 0.4f)));
 
   // the campaign: single bit flips (SBFs) into weights, per image
-  core::Scenario scenario;
-  scenario.target = core::FaultTarget::kWeights;
-  scenario.value_type = core::ValueType::kBitFlip;
-  scenario.rnd_bit_range_lo = 23;
-  scenario.rnd_bit_range_hi = 30;
-  scenario.inj_policy = core::InjectionPolicy::kPerImage;
-  scenario.max_faults_per_image = 1;
-  scenario.dataset_size = dataset.size();
-  scenario.rnd_seed = 2023;
+  const core::Scenario scenario =
+      core::ScenarioBuilder()
+          .target(core::FaultTarget::kWeights)
+          .value_type(core::ValueType::kBitFlip)
+          .bit_range(23, 30)
+          .injection_policy(core::InjectionPolicy::kPerImage)
+          .max_faults_per_image(1)
+          .dataset_size(dataset.size())
+          .seed(2023)
+          .build();
 
   core::ObjDetCampaignConfig config;
   config.model_name = "yolov3";  // role of the paper's Darknet yolov3

@@ -49,12 +49,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no %s found, using built-in defaults\n", scenario_path.c_str());
   }
-  scenario.dataset_size = dataset.size();
-  scenario.num_runs = 1;
-  scenario.max_faults_per_image = 1;
-  scenario.target = core::FaultTarget::kNeurons;
-  scenario.rnd_bit_range_lo = 27;  // high exponent bits: visible corruption
-  scenario.rnd_bit_range_hi = 30;
+  scenario = core::ScenarioBuilder::from(scenario)
+                 .dataset_size(dataset.size())
+                 .num_runs(1)
+                 .max_faults_per_image(1)
+                 .target(core::FaultTarget::kNeurons)
+                 .bit_range(27, 30)  // high exponent bits: visible corruption
+                 .build();
 
   const Tensor probe = dataset.get(0).image.reshaped(Shape{1, 3, 32, 32});
   core::PtfiWrap wrapper(*net, scenario, probe);

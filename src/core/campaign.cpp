@@ -1,9 +1,16 @@
 #include "core/campaign.h"
 
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <thread>
 
-#include "util/error.h"
+#include "io/atomic_file.h"
+#include "util/drain.h"
+#include "util/logging.h"
+#include "util/string_util.h"
 
 namespace alfi::core {
 
@@ -17,6 +24,9 @@ std::uint64_t shard_seed(std::uint64_t seed, std::size_t begin) {
   const std::uint64_t mixed = splitmix64_next(state);
   return mixed ^ (0x9e37'79b9'7f4a'7c15ULL * (static_cast<std::uint64_t>(begin) + 1));
 }
+
+constexpr char kCheckpointMagic[4] = {'A', 'C', 'K', 'P'};
+constexpr std::uint32_t kCheckpointVersion = 1;
 
 }  // namespace
 
@@ -77,6 +87,236 @@ void CampaignRunner::run_shards(
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+// ---- checkpoint file --------------------------------------------------------
+
+CampaignInterrupted::CampaignInterrupted(std::size_t completed, std::size_t total,
+                                         std::string checkpoint_dir)
+    : Error(strformat("campaign drained to checkpoint: %zu/%zu units complete, "
+                      "resume from %s",
+                      completed, total, checkpoint_dir.c_str())),
+      completed_(completed),
+      total_(total),
+      checkpoint_dir_(std::move(checkpoint_dir)) {}
+
+void CampaignCheckpoint::save(const std::string& path) const {
+  io::ByteWriter w;
+  w.write_bytes(std::string_view(kCheckpointMagic, 4));
+  w.write_u32(kCheckpointVersion);
+  w.write_u64(fingerprint);
+  w.write_string(task_kind);
+  w.write_u64(unit_count);
+  w.write_u64(completed_units);
+  w.write_u64(rnd_seed);
+  w.write_u64(journal_valid_bytes);
+  w.write_u32(static_cast<std::uint32_t>(shards.size()));
+  for (const ShardWaterMark& shard : shards) {
+    w.write_u64(shard.begin);
+    w.write_u64(shard.end);
+    w.write_u64(shard.high_water);
+  }
+  // sync=true: the checkpoint must never reference journal bytes the
+  // kernel has not made durable.
+  io::write_file_atomic(path, w.bytes(), /*sync=*/true);
+}
+
+CampaignCheckpoint CampaignCheckpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  io::ByteReader r(bytes);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.read_u8());
+  if (std::string_view(magic, 4) != std::string_view(kCheckpointMagic, 4)) {
+    throw ParseError("bad magic in checkpoint file: " + path);
+  }
+  const std::uint32_t version = r.read_u32();
+  if (version != kCheckpointVersion) {
+    throw ParseError("unsupported checkpoint version in " + path);
+  }
+  CampaignCheckpoint cp;
+  cp.fingerprint = r.read_u64();
+  cp.task_kind = r.read_string();
+  cp.unit_count = r.read_u64();
+  cp.completed_units = r.read_u64();
+  cp.rnd_seed = r.read_u64();
+  cp.journal_valid_bytes = r.read_u64();
+  const std::uint32_t shard_count = r.read_u32();
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    ShardWaterMark shard;
+    shard.begin = r.read_u64();
+    shard.end = r.read_u64();
+    shard.high_water = r.read_u64();
+    cp.shards.push_back(shard);
+  }
+  return cp;
+}
+
+// ---- executor ---------------------------------------------------------------
+
+CampaignExecutor::CampaignExecutor(CampaignTask& task) : task_(task) {}
+
+std::string CampaignExecutor::journal_path(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/journal.bin";
+}
+
+std::string CampaignExecutor::checkpoint_path(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/checkpoint.bin";
+}
+
+void CampaignExecutor::execute() {
+  const CampaignConfigBase& config = task_.base_config();
+  const Scenario& scenario = task_.task_scenario();
+  const std::size_t units = task_.unit_count();
+  const std::uint64_t fingerprint = task_.fingerprint();
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  ALFI_CHECK(!config.resume || checkpointing,
+             "resume requires a checkpoint directory");
+
+  const std::function<bool()> interrupted =
+      config.interrupt ? config.interrupt : std::function<bool()>(&drain_requested);
+
+  // ---- resume: validate identity, recover the journal ----------------------
+  std::vector<std::string> payloads(units);
+  std::vector<char> completed(units, 0);
+  std::size_t done = 0;
+  if (config.resume) {
+    const std::string cp_path = checkpoint_path(config.checkpoint_dir);
+    const std::string jn_path = journal_path(config.checkpoint_dir);
+    const CampaignCheckpoint checkpoint = CampaignCheckpoint::load(cp_path);
+    if (checkpoint.fingerprint != fingerprint ||
+        checkpoint.task_kind != task_.task_kind() ||
+        checkpoint.unit_count != units) {
+      throw ConfigError(
+          "refusing to resume: checkpoint was written by a different campaign "
+          "(scenario, fault matrix, seed or workload changed) — delete " +
+          config.checkpoint_dir + " to start over");
+    }
+    io::JournalScan scan = io::scan_journal(jn_path);
+    if (scan.header.fingerprint != fingerprint ||
+        scan.header.task_kind != task_.task_kind()) {
+      throw ConfigError("refusing to resume: journal fingerprint mismatch in " +
+                        jn_path);
+    }
+    if (scan.torn_tail) {
+      ALFI_LOG(kWarn) << "journal has a torn tail at byte " << scan.valid_bytes
+                      << "; truncating (the affected units will be recomputed)";
+      io::repair_journal(jn_path, scan);
+    }
+    for (auto& [unit, payload] : scan.units) {
+      if (unit >= units || completed[unit]) continue;  // duplicate or stray frame
+      payloads[unit] = std::move(payload);
+      completed[unit] = 1;
+      ++done;
+    }
+    ALFI_LOG(kInfo) << "resuming campaign: " << done << "/" << units
+                    << " units recovered from journal";
+  } else if (checkpointing) {
+    std::filesystem::create_directories(config.checkpoint_dir);
+  }
+
+  // prepare() after resume validation: meta-files are (re)written
+  // identically, calibration bounds recomputed deterministically.
+  task_.prepare();
+
+  const CampaignRunner runner(config.jobs);
+  const std::vector<CampaignShard> shards =
+      CampaignRunner::shard_columns(units, runner.jobs(), scenario.rnd_seed);
+
+  std::unique_ptr<io::JournalWriter> journal;
+  if (checkpointing) {
+    io::JournalHeader header;
+    header.fingerprint = fingerprint;
+    header.unit_count = units;
+    header.task_kind = task_.task_kind();
+    journal = std::make_unique<io::JournalWriter>(
+        journal_path(config.checkpoint_dir), header, config.resume);
+  }
+
+  // Everything the workers publish goes through this mutex: journal
+  // appends, payload/completion bookkeeping and checkpoint writes.
+  std::mutex merge_mutex;
+  std::size_t done_since_checkpoint = 0;
+
+  const auto write_checkpoint_locked = [&] {
+    if (!checkpointing) return;
+    journal->sync();
+    CampaignCheckpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.task_kind = task_.task_kind();
+    cp.unit_count = units;
+    cp.completed_units = done;
+    cp.rnd_seed = scenario.rnd_seed;
+    cp.journal_valid_bytes =
+        std::filesystem::file_size(journal_path(config.checkpoint_dir));
+    for (const CampaignShard& shard : shards) {
+      ShardWaterMark mark{shard.begin, shard.end, shard.begin};
+      while (mark.high_water < shard.end && completed[mark.high_water]) {
+        ++mark.high_water;
+      }
+      cp.shards.push_back(mark);
+    }
+    cp.save(checkpoint_path(config.checkpoint_dir));
+  };
+
+  if (checkpointing && !config.resume) {
+    // Initial checkpoint: a crash before the first periodic write still
+    // leaves a resumable directory.
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    write_checkpoint_locked();
+  }
+
+  if (!shards.empty()) {
+    const bool shared_model = shards.size() == 1;
+    if (shards.size() > 1) {
+      ALFI_LOG(kInfo) << "parallel campaign: " << units << " units across "
+                      << shards.size() << " shards (" << runner.jobs() << " jobs)";
+    }
+    runner.run_shards(shards, [&](const CampaignShard& shard) {
+      std::unique_ptr<CampaignUnitRunner> unit_runner;  // created lazily:
+      // a fully-journaled shard never pays for a model replica.
+      for (std::size_t t = shard.begin; t < shard.end; ++t) {
+        if (completed[t]) continue;  // replayed from journal (pre-thread state)
+        if (interrupted()) break;
+        if (!unit_runner) unit_runner = task_.make_unit_runner(shared_model);
+        std::string payload = unit_runner->run_unit(t);
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (journal) journal->append_unit(t, payload);
+        payloads[t] = std::move(payload);
+        completed[t] = 1;
+        ++done;
+        if (checkpointing && ++done_since_checkpoint >= config.checkpoint_every) {
+          done_since_checkpoint = 0;
+          write_checkpoint_locked();
+        }
+      }
+    });
+  }
+
+  // ---- drained? persist progress and surface the preemption ----------------
+  if (done < units) {
+    if (checkpointing) {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      write_checkpoint_locked();
+      journal->close();
+    }
+    throw CampaignInterrupted(done, units, config.checkpoint_dir);
+  }
+
+  if (checkpointing) {
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    write_checkpoint_locked();  // final: high-water == end on every shard
+    journal->close();
+  }
+
+  // ---- merge: ascending unit order restores the serial output order --------
+  for (std::size_t t = 0; t < units; ++t) {
+    task_.absorb_unit(t, payloads[t]);
+  }
+  task_.finalize();
 }
 
 }  // namespace alfi::core

@@ -1,5 +1,7 @@
 // CampaignRunner — deterministic sharded execution of fault-injection
-// campaigns across worker threads.
+// campaigns across worker threads — and CampaignExecutor, the
+// crash-safe driver that runs any CampaignTask with journaling,
+// checkpoint/resume and graceful drain.
 //
 // Per-fault-config independence makes FI campaigns embarrassingly
 // parallel (the pre-generated fault matrix fixes every fault location
@@ -14,13 +16,26 @@
 // result of `--jobs N` is byte-identical to the serial `--jobs 1` run.
 // The per-shard RNG is derived from (seed, shard.begin) alone, keeping
 // any future stochastic per-shard behavior reproducible as well.
+//
+// Crash safety (DESIGN.md §8): with a checkpoint directory configured,
+// every completed unit's serialized result is appended to a
+// CRC32-framed journal and a checkpoint (atomic temp+rename) records
+// the campaign fingerprint and per-shard high-water marks.  A resumed
+// run validates the fingerprint, truncates any torn journal tail,
+// replays intact units from the journal and computes only the rest —
+// the merged outputs are byte-identical to an uninterrupted run for any
+// job count, because final outputs are only ever produced from unit
+// payloads absorbed in ascending unit order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "core/campaign_task.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace alfi::core {
@@ -66,6 +81,70 @@ class CampaignRunner {
 
  private:
   std::size_t jobs_;
+};
+
+/// Thrown when a campaign drains to its checkpoint instead of
+/// finishing: a drain request (SIGINT/SIGTERM or the config's interrupt
+/// callback) stopped workers between units.  The journal and checkpoint
+/// are durable at throw time; re-running with resume=true completes the
+/// campaign with byte-identical outputs.
+class CampaignInterrupted : public Error {
+ public:
+  CampaignInterrupted(std::size_t completed, std::size_t total,
+                      std::string checkpoint_dir);
+
+  std::size_t completed_units() const { return completed_; }
+  std::size_t total_units() const { return total_; }
+  const std::string& checkpoint_dir() const { return checkpoint_dir_; }
+
+ private:
+  std::size_t completed_;
+  std::size_t total_;
+  std::string checkpoint_dir_;
+};
+
+/// Per-shard progress recorded in the checkpoint file: the shard's
+/// range at checkpoint time plus its high-water mark (first unit not
+/// yet completed).  On resume the executor re-derives shards for the
+/// *current* job count and re-arms each shard's RNG fork at its first
+/// incomplete unit; the persisted marks are validation/telemetry.
+struct ShardWaterMark {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t high_water = 0;
+};
+
+/// Checkpoint file contents (checkpoint.bin, atomic temp+rename).
+struct CampaignCheckpoint {
+  std::uint64_t fingerprint = 0;
+  std::string task_kind;
+  std::uint64_t unit_count = 0;
+  std::uint64_t completed_units = 0;
+  std::uint64_t rnd_seed = 0;
+  std::uint64_t journal_valid_bytes = 0;
+  std::vector<ShardWaterMark> shards;
+
+  void save(const std::string& path) const;
+  static CampaignCheckpoint load(const std::string& path);
+};
+
+/// Runs a CampaignTask end to end: prepare -> sharded unit execution
+/// (journaled when checkpointing is configured) -> ordered merge ->
+/// finalize.  One executor instance runs one campaign.
+class CampaignExecutor {
+ public:
+  explicit CampaignExecutor(CampaignTask& task);
+
+  /// Paths used inside a checkpoint directory.
+  static std::string journal_path(const std::string& checkpoint_dir);
+  static std::string checkpoint_path(const std::string& checkpoint_dir);
+
+  /// Executes the campaign.  Throws CampaignInterrupted on graceful
+  /// drain, ConfigError when a resume's fingerprints do not match.
+  void execute();
+
+ private:
+  CampaignTask& task_;
 };
 
 }  // namespace alfi::core

@@ -1,0 +1,71 @@
+#include "core/campaign_task.h"
+
+#include "core/fault_matrix.h"
+#include "io/yaml.h"
+#include "util/hash.h"
+
+namespace alfi::core {
+
+void write_fault_bytes(io::ByteWriter& writer, const Fault& fault) {
+  writer.write_u8(static_cast<std::uint8_t>(fault.target));
+  writer.write_u8(static_cast<std::uint8_t>(fault.value_type));
+  writer.write_i64(fault.batch);
+  writer.write_i64(fault.layer);
+  writer.write_i64(fault.channel_out);
+  writer.write_i64(fault.channel_in);
+  writer.write_i64(fault.depth);
+  writer.write_i64(fault.height);
+  writer.write_i64(fault.width);
+  writer.write_i64(fault.bit_pos);
+  writer.write_f32(fault.number_value);
+}
+
+Fault read_fault_bytes(io::ByteReader& reader) {
+  Fault fault;
+  fault.target = static_cast<FaultTarget>(reader.read_u8());
+  fault.value_type = static_cast<ValueType>(reader.read_u8());
+  fault.batch = reader.read_i64();
+  fault.layer = reader.read_i64();
+  fault.channel_out = reader.read_i64();
+  fault.channel_in = reader.read_i64();
+  fault.depth = reader.read_i64();
+  fault.height = reader.read_i64();
+  fault.width = reader.read_i64();
+  fault.bit_pos = static_cast<int>(reader.read_i64());
+  fault.number_value = reader.read_f32();
+  return fault;
+}
+
+void write_record_bytes(io::ByteWriter& writer, const InjectionRecord& record) {
+  write_fault_bytes(writer, record.fault);
+  writer.write_u64(record.inference_index);
+  writer.write_f32(record.original_value);
+  writer.write_f32(record.corrupted_value);
+  writer.write_string(record.flip_direction);
+}
+
+InjectionRecord read_record_bytes(io::ByteReader& reader) {
+  InjectionRecord record;
+  record.fault = read_fault_bytes(reader);
+  record.inference_index = static_cast<std::size_t>(reader.read_u64());
+  record.original_value = reader.read_f32();
+  record.corrupted_value = reader.read_f32();
+  record.flip_direction = reader.read_string();
+  return record;
+}
+
+std::uint64_t campaign_fingerprint(const Scenario& scenario,
+                                   const FaultMatrix& faults) {
+  // The scenario's YAML dump covers every field (including the seed);
+  // the fault matrix is digested column by column so a different matrix
+  // of the same size still changes the fingerprint.
+  std::uint64_t h = fnv1a64(io::dump_yaml(scenario.to_yaml()));
+  io::ByteWriter matrix_bytes;
+  matrix_bytes.write_u64(faults.size());
+  for (const Fault& fault : faults.faults()) {
+    write_fault_bytes(matrix_bytes, fault);
+  }
+  return fnv1a64(matrix_bytes.bytes(), h);
+}
+
+}  // namespace alfi::core

@@ -1,0 +1,136 @@
+// CampaignTask — the unified contract between a fault-injection
+// workload and the campaign execution machinery.
+//
+// The two harnesses (TestErrorModelsImgClass, TestErrorModelsObjDet)
+// used to own parallel copies of the same loop: shard the fault matrix,
+// run units, buffer per-shard results, merge in order.  Checkpointing
+// would have doubled that duplication.  Instead both workloads now
+// implement this interface and a single executor (core::CampaignExecutor,
+// campaign.h) owns sharding, journaling, checkpoint/resume and the
+// ordered merge — one code path, two (or N) workloads.
+//
+// The contract that makes crash-safe resume byte-exact:
+//   * Work is addressed absolutely: unit t means the same inputs, fault
+//     columns and RNG stream no matter which worker, job count or
+//     process (original vs. resumed) runs it.
+//   * run_unit(t) returns the unit's complete result as bytes; those
+//     bytes are journaled, and the final outputs are produced ONLY by
+//     absorbing payloads in ascending t — so replayed-from-journal and
+//     freshly-computed units are indistinguishable.
+//   * fingerprint() digests everything the result depends on (scenario,
+//     fault matrix, seeds); resume refuses a mismatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/fault.h"
+#include "core/mitigation.h"
+#include "core/scenario.h"
+#include "io/journal.h"
+
+namespace alfi::core {
+
+/// Configuration shared by every campaign workload.  Harness-specific
+/// configs derive from this so the executor and the CLI handle both
+/// through one type.
+struct CampaignConfigBase {
+  std::string model_name = "model";
+  /// Directory for the output sets; empty = write nothing (KPIs only).
+  std::string output_dir;
+  /// Reuse a persisted fault matrix instead of generating one.
+  std::string fault_file;
+  /// Harden a copy of the inference path with Ranger or Clipper and
+  /// report the hardened verdicts alongside.
+  std::optional<MitigationKind> mitigation;
+  /// Worker threads (CampaignRunner).  1 = serial on the wrapped model;
+  /// 0 = hardware concurrency; N > 1 runs N deep-cloned replicas over
+  /// contiguous fault-matrix shards.  Output is byte-identical for
+  /// every job count.
+  std::size_t jobs = 1;
+
+  // ---- crash safety --------------------------------------------------------
+  /// Directory for the result journal + checkpoint; empty disables
+  /// checkpointing.  Requires inj_policy per_image for classification.
+  std::string checkpoint_dir;
+  /// Continue a prior run from checkpoint_dir: validate fingerprints,
+  /// repair the journal tail, skip completed units.
+  bool resume = false;
+  /// Completed units between checkpoint writes (journal frames are
+  /// appended on every unit regardless).
+  std::size_t checkpoint_every = 8;
+  /// Polled between units; returning true requests a graceful drain
+  /// (finish in-flight units, checkpoint, throw CampaignInterrupted).
+  /// Defaults to alfi::drain_requested() — the SIGINT/SIGTERM flag.
+  std::function<bool()> interrupt;
+};
+
+/// Per-worker execution engine for one shard: owns whatever replica /
+/// injector state the workload needs, and computes units one at a time.
+class CampaignUnitRunner {
+ public:
+  virtual ~CampaignUnitRunner() = default;
+
+  /// Computes global work unit `t` and returns its serialized result.
+  /// Must be deterministic in t alone (given the task's fingerprint).
+  virtual std::string run_unit(std::size_t t) = 0;
+};
+
+/// A campaign workload the executor can shard, journal and merge.
+class CampaignTask {
+ public:
+  virtual ~CampaignTask() = default;
+
+  /// Stable workload tag recorded in the journal header ("imgclass",
+  /// "objdet"); resume refuses a journal written by a different kind.
+  virtual std::string task_kind() const = 0;
+
+  virtual const Scenario& task_scenario() const = 0;
+  virtual const CampaignConfigBase& base_config() const = 0;
+
+  /// Total number of absolutely-addressed work units.
+  virtual std::size_t unit_count() const = 0;
+
+  /// Digest of scenario + fault matrix + seed: everything unit results
+  /// depend on.  See campaign_fingerprint().
+  virtual std::uint64_t fingerprint() const = 0;
+
+  /// Called once before any unit runs (and again, idempotently, on
+  /// resume): create output dirs, write meta-files, profile
+  /// calibration bounds.
+  virtual void prepare() = 0;
+
+  /// Builds a runner.  `shared_model` is true for the single-shard
+  /// serial path (use the wrapped original model); false means the
+  /// runner must own an isolated replica (called from worker threads).
+  virtual std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) = 0;
+
+  /// Folds one unit's payload into the final result.  Called on the
+  /// coordinating thread, strictly in ascending t, each unit exactly
+  /// once.
+  virtual void absorb_unit(std::size_t t, const std::string& payload) = 0;
+
+  /// Writes the merged outputs after every unit was absorbed.
+  virtual void finalize() = 0;
+};
+
+// ---- shared payload helpers --------------------------------------------------
+
+/// Fault / injection-record packing shared by the workloads' unit
+/// payloads (field-compatible with the fault-file binary format).
+void write_fault_bytes(io::ByteWriter& writer, const Fault& fault);
+Fault read_fault_bytes(io::ByteReader& reader);
+void write_record_bytes(io::ByteWriter& writer, const InjectionRecord& record);
+InjectionRecord read_record_bytes(io::ByteReader& reader);
+
+class FaultMatrix;
+
+/// FNV-1a digest of the scenario (YAML dump), the full fault matrix and
+/// the seed — the identity a resume validates before trusting a journal.
+std::uint64_t campaign_fingerprint(const Scenario& scenario,
+                                   const FaultMatrix& faults);
+
+}  // namespace alfi::core

@@ -85,10 +85,11 @@ std::vector<std::vector<std::int64_t>> FaultMatrix::table_rows() const {
 }
 
 void FaultMatrix::save(const std::string& path) const {
-  io::BinaryWriter writer(path);
+  io::BinaryWriter writer(path, io::WriteMode::kAtomic);
   writer.write_header(kFaultMagic, kVersion);
   writer.write_u64(faults_.size());
   for (const Fault& fault : faults_) write_fault(writer, fault);
+  writer.close();
 }
 
 FaultMatrix FaultMatrix::load(const std::string& path) {
@@ -124,7 +125,7 @@ io::Json FaultMatrix::to_json() const {
 
 void save_injection_records(const std::vector<InjectionRecord>& records,
                             const std::string& path) {
-  io::BinaryWriter writer(path);
+  io::BinaryWriter writer(path, io::WriteMode::kAtomic);
   writer.write_header(kRecordMagic, kVersion);
   writer.write_u64(records.size());
   for (const InjectionRecord& record : records) {
@@ -134,6 +135,7 @@ void save_injection_records(const std::vector<InjectionRecord>& records,
     writer.write_f32(record.corrupted_value);
     writer.write_string(record.flip_direction);
   }
+  writer.close();
 }
 
 std::vector<InjectionRecord> load_injection_records(const std::string& path) {

@@ -84,28 +84,39 @@ nn::LayerKind layer_kind_from_string(const std::string& text) {
 
 }  // namespace
 
-void Scenario::validate() const {
+std::vector<std::string> Scenario::validation_errors() const {
+  std::vector<std::string> errors;
   if (rnd_bit_range_lo < 0 || rnd_bit_range_hi > 31 ||
       rnd_bit_range_lo > rnd_bit_range_hi) {
-    throw ConfigError("rnd_bit_range must satisfy 0 <= lo <= hi <= 31");
+    errors.push_back("rnd_bit_range must satisfy 0 <= lo <= hi <= 31");
   }
   if (rnd_value_min > rnd_value_max) {
-    throw ConfigError("rnd_value_range must satisfy min <= max");
+    errors.push_back("rnd_value_range must satisfy min <= max");
   }
   if (max_faults_per_image == 0) {
-    throw ConfigError("max_faults_per_image must be at least 1");
+    errors.push_back("max_faults_per_image must be at least 1");
   }
-  if (dataset_size == 0) throw ConfigError("dataset_size must be positive");
-  if (num_runs == 0) throw ConfigError("num_runs must be positive");
-  if (batch_size == 0) throw ConfigError("batch_size must be positive");
+  if (dataset_size == 0) errors.push_back("dataset_size must be positive");
+  if (num_runs == 0) errors.push_back("num_runs must be positive");
+  if (batch_size == 0) errors.push_back("batch_size must be positive");
   if (layer_range && layer_range->first > layer_range->second) {
-    throw ConfigError("layer_range must satisfy first <= last");
+    errors.push_back("layer_range must satisfy first <= last");
   }
   for (const nn::LayerKind kind : layer_types) {
     if (kind == nn::LayerKind::kOther) {
-      throw ConfigError("layer_types may only list conv2d, conv3d, linear");
+      errors.push_back("layer_types may only list conv2d, conv3d, linear");
+      break;
     }
   }
+  return errors;
+}
+
+void Scenario::validate() const {
+  const std::vector<std::string> errors = validation_errors();
+  if (errors.empty()) return;
+  std::string message = "invalid scenario:";
+  for (const std::string& error : errors) message += "\n  - " + error;
+  throw ConfigError(message);
 }
 
 bool Scenario::allows_layer_kind(nn::LayerKind kind) const {
@@ -231,6 +242,126 @@ io::Json Scenario::to_yaml() const {
 
 void Scenario::save_yaml_file(const std::string& path) const {
   io::write_yaml_file(path, to_yaml());
+}
+
+ScenarioBuilder ScenarioBuilder::from(const Scenario& scenario) {
+  ScenarioBuilder builder;
+  builder.s_ = scenario;
+  return builder;
+}
+
+ScenarioBuilder& ScenarioBuilder::target(FaultTarget target) {
+  s_.target = target;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::value_type(ValueType type) {
+  s_.value_type = type;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bit_range(int lo, int hi) {
+  s_.rnd_bit_range_lo = lo;
+  s_.rnd_bit_range_hi = hi;
+  bit_range_set_ = true;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::value_range(float min, float max) {
+  s_.rnd_value_min = min;
+  s_.rnd_value_max = max;
+  value_range_set_ = true;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::duration(FaultDuration duration) {
+  s_.duration = duration;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::injection_policy(InjectionPolicy policy) {
+  s_.inj_policy = policy;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::max_faults_per_image(std::size_t count) {
+  s_.max_faults_per_image = count;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::layer_types(std::vector<nn::LayerKind> kinds) {
+  s_.layer_types = std::move(kinds);
+  layer_types_set_ = true;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::layer_range(std::size_t first,
+                                              std::size_t last) {
+  s_.layer_range = {first, last};
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::any_layer() {
+  s_.layer_types.clear();
+  s_.layer_range.reset();
+  layer_types_set_ = false;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::weighted_layer_selection(bool enabled) {
+  s_.weighted_layer_selection = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::dataset_size(std::size_t size) {
+  s_.dataset_size = size;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::num_runs(std::size_t runs) {
+  s_.num_runs = runs;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::batch_size(std::size_t size) {
+  s_.batch_size = size;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  s_.rnd_seed = seed;
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  std::vector<std::string> errors = s_.validation_errors();
+  if (bit_range_set_ && s_.value_type == ValueType::kRandomValue) {
+    errors.push_back(
+        "bit_range conflicts with value_type random_value (random-value "
+        "faults ignore bit positions)");
+  }
+  if (value_range_set_ && s_.value_type != ValueType::kRandomValue) {
+    errors.push_back(std::string("value_range conflicts with value_type ") +
+                     to_string(s_.value_type) +
+                     " (only random_value draws from it)");
+  }
+  if (s_.duration == FaultDuration::kPermanent &&
+      s_.inj_policy == InjectionPolicy::kPerImage) {
+    errors.push_back(
+        "permanent faults conflict with the per_image policy (a fault that "
+        "never heals cannot be re-drawn for every image; use per_epoch)");
+  }
+  if (layer_types_set_ && s_.layer_types.empty()) {
+    errors.push_back(
+        "layer_types was set to an empty list (no layer could receive "
+        "faults; use any_layer() to lift the restriction)");
+  }
+  if (!errors.empty()) {
+    std::string message = "invalid scenario:";
+    for (const std::string& error : errors) message += "\n  - " + error;
+    throw ConfigError(message);
+  }
+  return s_;
 }
 
 }  // namespace alfi::core

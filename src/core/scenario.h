@@ -72,7 +72,12 @@ struct Scenario {
     return dataset_size * num_runs * max_faults_per_image;
   }
 
-  /// Throws ConfigError when any field combination is invalid.
+  /// All field-level problems, empty when the scenario is valid.  Each
+  /// entry is one human-readable complaint; validate() joins them.
+  std::vector<std::string> validation_errors() const;
+
+  /// Throws ConfigError listing every invalid field combination (not
+  /// just the first one found).
   void validate() const;
 
   /// True if `kind` may receive faults under this scenario.
@@ -83,6 +88,67 @@ struct Scenario {
   static Scenario from_yaml_file(const std::string& path);
   io::Json to_yaml() const;
   void save_yaml_file(const std::string& path) const;
+};
+
+/// Fluent scenario construction with deferred, aggregated validation.
+///
+/// Setting fields directly on a Scenario struct reports at most one
+/// problem at a time (the first validate() throw) and cannot tell an
+/// intentional default apart from a setting that the chosen fault model
+/// ignores.  The builder records which knobs were touched and checks
+/// everything at build():
+///
+///   Scenario s = ScenarioBuilder()
+///                    .target(FaultTarget::kWeights)
+///                    .bit_range(0, 7)
+///                    .dataset_size(64)
+///                    .build();   // throws ConfigError listing ALL problems
+///
+/// build() rejects, in one ConfigError that lists every offence:
+///  - any field-level problem Scenario::validate() would flag,
+///  - bit_range() combined with ValueType::kRandomValue (random-value
+///    faults ignore bit positions),
+///  - value_range() combined with a non-random value type,
+///  - permanent faults combined with the per_image policy (a fault that
+///    never heals cannot also be re-drawn for every image),
+///  - layer_types() called with an empty list (would inject nowhere).
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  /// Seeds the builder from an existing scenario (e.g. one loaded from
+  /// YAML) so single knobs can be overridden fluently.
+  static ScenarioBuilder from(const Scenario& scenario);
+
+  ScenarioBuilder& target(FaultTarget target);
+  ScenarioBuilder& value_type(ValueType type);
+  /// Inclusive fp32 bit range for bit-flip faults.
+  ScenarioBuilder& bit_range(int lo, int hi);
+  /// Value range for ValueType::kRandomValue.
+  ScenarioBuilder& value_range(float min, float max);
+  ScenarioBuilder& duration(FaultDuration duration);
+  ScenarioBuilder& injection_policy(InjectionPolicy policy);
+  ScenarioBuilder& max_faults_per_image(std::size_t count);
+  ScenarioBuilder& layer_types(std::vector<nn::LayerKind> kinds);
+  /// Inclusive [first, last] injectable-layer index range.
+  ScenarioBuilder& layer_range(std::size_t first, std::size_t last);
+  /// Clears any layer-type / layer-range restriction.
+  ScenarioBuilder& any_layer();
+  ScenarioBuilder& weighted_layer_selection(bool enabled);
+  ScenarioBuilder& dataset_size(std::size_t size);
+  ScenarioBuilder& num_runs(std::size_t runs);
+  ScenarioBuilder& batch_size(std::size_t size);
+  ScenarioBuilder& seed(std::uint64_t seed);
+
+  /// Validates and returns the scenario.  Throws ConfigError whose
+  /// message lists every problem, not just the first.
+  Scenario build() const;
+
+ private:
+  Scenario s_;
+  bool bit_range_set_ = false;
+  bool value_range_set_ = false;
+  bool layer_types_set_ = false;
 };
 
 }  // namespace alfi::core

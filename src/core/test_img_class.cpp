@@ -8,6 +8,7 @@
 
 #include "core/campaign.h"
 #include "io/csv.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -48,17 +49,15 @@ bool row_has_nonfinite(std::span<const float> row) {
   return false;
 }
 
-/// Everything one shard of the campaign produces, buffered so the merge
-/// step can emit it in original column order regardless of which worker
-/// finished first.
-struct ShardOutput {
+/// Verdicts and CSV rows produced by evaluating one window of images,
+/// merged into the campaign totals in unit order.
+struct EvalSink {
   ClassificationKpis kpis;
   std::vector<std::vector<std::string>> result_rows;
   std::vector<std::vector<std::string>> fault_free_rows;
-  std::vector<InjectionRecord> records;
 };
 
-/// Per-thread execution resources: the model (original or deep-cloned
+/// Per-worker execution resources: the model (original or deep-cloned
 /// replica) plus the injection/observation machinery bound to it.
 struct ExecContext {
   nn::Module* model = nullptr;
@@ -67,7 +66,219 @@ struct ExecContext {
   Protection* protection = nullptr;  // null when no mitigation configured
 };
 
+/// Records the verdicts and CSV rows of one window of images evaluated
+/// under one armed fault group.  `fault_group_for(i)` names the fault
+/// columns reported for image i of the window.
+void evaluate_window(
+    EvalSink& out, std::size_t top_k, bool make_rows, const Tensor& orig_logits,
+    const Tensor& corr_logits, const Tensor* resil_logits,
+    std::span<const std::size_t> labels, std::span<const data::ImageMeta> metas,
+    bool window_monitor_due, std::size_t epoch,
+    const std::function<std::vector<Fault>(std::size_t)>& fault_group_for) {
+  const std::size_t k = orig_logits.dim(1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::span<const float> orig_row{orig_logits.raw() + i * k, k};
+    const std::span<const float> corr_row{corr_logits.raw() + i * k, k};
+
+    const TopK orig_top = topk_of_logits(orig_row, top_k);
+    const TopK corr_top = topk_of_logits(corr_row, top_k);
+    TopK resil_top;
+    if (resil_logits != nullptr) {
+      const std::span<const float> resil_row{resil_logits->raw() + i * k, k};
+      resil_top = topk_of_logits(resil_row, top_k);
+    }
+
+    const bool due = row_has_nonfinite(corr_row) || window_monitor_due;
+    const bool sde = !due && corr_top.classes[0] != orig_top.classes[0];
+
+    ++out.kpis.total;
+    out.kpis.orig_correct += orig_top.classes[0] == labels[i] ? 1 : 0;
+    out.kpis.faulty_correct += corr_top.classes[0] == labels[i] ? 1 : 0;
+    out.kpis.due += due ? 1 : 0;
+    out.kpis.sde += sde ? 1 : 0;
+    if (resil_logits != nullptr) {
+      out.kpis.resil_correct += resil_top.classes[0] == labels[i] ? 1 : 0;
+      out.kpis.resil_sde +=
+          (!due && resil_top.classes[0] != orig_top.classes[0]) ? 1 : 0;
+    }
+
+    if (make_rows) {
+      std::vector<std::string> row{
+          std::to_string(metas[i].image_id), metas[i].file_name,
+          std::to_string(labels[i]), due ? "1" : "0", sde ? "1" : "0",
+          faults_to_field(fault_group_for(i))};
+      const auto push_topk = [&row, top_k](const TopK& top) {
+        for (std::size_t j = 0; j < top_k; ++j) {
+          if (j < top.classes.size()) {
+            row.push_back(std::to_string(top.classes[j]));
+            row.push_back(fmt_float(top.probs[j]));
+          } else {
+            row.push_back("");
+            row.push_back("");
+          }
+        }
+      };
+      push_topk(orig_top);
+      push_topk(corr_top);
+      push_topk(resil_logits != nullptr ? resil_top : TopK{});
+      out.result_rows.push_back(std::move(row));
+
+      if (epoch == 0) {
+        std::vector<std::string> ff_row{std::to_string(metas[i].image_id),
+                                        metas[i].file_name,
+                                        std::to_string(labels[i])};
+        for (std::size_t j = 0; j < top_k; ++j) {
+          if (j < orig_top.classes.size()) {
+            ff_row.push_back(std::to_string(orig_top.classes[j]));
+            ff_row.push_back(fmt_float(orig_top.probs[j]));
+          } else {
+            ff_row.push_back("");
+            ff_row.push_back("");
+          }
+        }
+        out.fault_free_rows.push_back(std::move(ff_row));
+      }
+    }
+  }
+}
+
+/// Runs the coupled triple on one input window with the fault group
+/// `arm` installs, against the given execution context.
+std::tuple<Tensor, Tensor, std::optional<Tensor>, bool> run_triple(
+    ExecContext& ctx, const Tensor& images, const std::function<void()>& arm) {
+  ctx.injector->disarm();
+  if (ctx.protection) ctx.protection->set_enabled(false);
+  Tensor orig = ctx.model->forward(images);
+
+  arm();
+  ctx.monitor->reset();
+  Tensor corr = ctx.model->forward(images);
+  const bool window_due = ctx.monitor->due_detected();
+
+  std::optional<Tensor> resil;
+  if (ctx.protection) {
+    ctx.protection->set_enabled(true);
+    resil = ctx.model->forward(images);
+    ctx.protection->set_enabled(false);
+  }
+  ctx.injector->disarm();
+  return {std::move(orig), std::move(corr), std::move(resil), window_due};
+}
+
+void write_rows(io::ByteWriter& w,
+                const std::vector<std::vector<std::string>>& rows) {
+  w.write_u64(rows.size());
+  for (const auto& row : rows) {
+    w.write_u64(row.size());
+    for (const std::string& field : row) w.write_string(field);
+  }
+}
+
+std::vector<std::vector<std::string>> read_rows(io::ByteReader& r) {
+  std::vector<std::vector<std::string>> rows(r.read_u64());
+  for (auto& row : rows) {
+    row.resize(r.read_u64());
+    for (std::string& field : row) field = r.read_string();
+  }
+  return rows;
+}
+
+/// Unit payload: KPI counter deltas, CSV rows and injection records of
+/// one image evaluated under one fault group.  Deterministic in the
+/// unit index alone, so journal-replayed and fresh units match.
+std::string serialize_unit(const EvalSink& out,
+                           const std::vector<InjectionRecord>& records,
+                           std::size_t base_records) {
+  io::ByteWriter w;
+  w.write_u64(out.kpis.total);
+  w.write_u64(out.kpis.orig_correct);
+  w.write_u64(out.kpis.faulty_correct);
+  w.write_u64(out.kpis.resil_correct);
+  w.write_u64(out.kpis.sde);
+  w.write_u64(out.kpis.due);
+  w.write_u64(out.kpis.resil_sde);
+  write_rows(w, out.result_rows);
+  write_rows(w, out.fault_free_rows);
+  w.write_u64(records.size() - base_records);
+  for (std::size_t i = base_records; i < records.size(); ++i) {
+    write_record_bytes(w, records[i]);
+  }
+  return w.take();
+}
+
 }  // namespace
+
+/// Per-worker unit engine for the classification campaign.  A shared
+/// runner drives the wrapped original model (single-shard serial path);
+/// otherwise it owns a deep-cloned replica with its own injection stack
+/// so workers share only read-only state (dataset, fault matrix,
+/// calibration bounds).
+class ImgClassUnitRunner final : public CampaignUnitRunner {
+ public:
+  ImgClassUnitRunner(TestErrorModelsImgClass& harness, bool shared_model)
+      : h_(harness) {
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    if (shared_model) {
+      ctx_.model = &h_.model_;
+      ctx_.injector = &h_.wrapper_.injector();
+    } else {
+      replica_ = h_.model_.clone();
+      profile_ = std::make_unique<ModelProfile>(*replica_, probe_input(h_.dataset_));
+      injector_ =
+          std::make_unique<Injector>(*replica_, *profile_, scenario.duration);
+      ctx_.model = replica_.get();
+      ctx_.injector = injector_.get();
+    }
+    monitor_ = std::make_unique<ModelMonitor>(*ctx_.model);
+    ctx_.monitor = monitor_.get();
+    if (h_.config_.mitigation) {
+      protection_ = std::make_unique<Protection>(*ctx_.model, h_.bounds_,
+                                                 *h_.config_.mitigation);
+      protection_->set_enabled(false);
+    }
+    ctx_.protection = protection_.get();
+  }
+
+  /// Global step t = epoch * dataset_size + img runs image `img` under
+  /// fault columns [t*group, (t+1)*group).  The global index keeps
+  /// slice positions and trace labels independent of which shard — or
+  /// which process, for a resumed campaign — executes the step.
+  std::string run_unit(std::size_t t) override {
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    const std::size_t group = scenario.max_faults_per_image;
+    const std::size_t epoch = t / scenario.dataset_size;
+    const std::size_t img = t % scenario.dataset_size;
+    const data::ClassificationSample sample = h_.dataset_.get(img);
+    const Shape& s = sample.image.shape();
+    const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+    const std::vector<Fault> faults =
+        h_.wrapper_.fault_matrix().slice(t * group, group);
+
+    const std::size_t base_records = ctx_.injector->records().size();
+    const auto [orig, corr, resil, window_due] = run_triple(ctx_, input, [&] {
+      ctx_.injector->set_inference_index(t);
+      ctx_.injector->arm(faults);
+    });
+
+    EvalSink out;
+    const std::size_t labels[1] = {sample.label};
+    const data::ImageMeta metas[1] = {sample.meta};
+    const Tensor* resil_ptr = resil ? &*resil : nullptr;
+    evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, orig, corr,
+                    resil_ptr, labels, metas, window_due, epoch,
+                    [&](std::size_t) { return faults; });
+    return serialize_unit(out, ctx_.injector->records(), base_records);
+  }
+
+ private:
+  TestErrorModelsImgClass& h_;
+  std::shared_ptr<nn::Module> replica_;  // null when sharing the original
+  std::unique_ptr<ModelProfile> profile_;
+  std::unique_ptr<Injector> injector_;
+  std::unique_ptr<ModelMonitor> monitor_;
+  std::unique_ptr<Protection> protection_;
+  ExecContext ctx_;
+};
 
 TestErrorModelsImgClass::TestErrorModelsImgClass(
     nn::Module& model, const data::ClassificationDataset& dataset, Scenario scenario,
@@ -89,49 +300,79 @@ TestErrorModelsImgClass::TestErrorModelsImgClass(
   if (!config_.fault_file.empty()) wrapper_.load_fault_matrix(config_.fault_file);
 }
 
-ImgClassCampaignResult TestErrorModelsImgClass::run() {
+std::size_t TestErrorModelsImgClass::unit_count() const {
   const Scenario& scenario = wrapper_.get_scenario();
-  ImgClassCampaignResult result;
+  return scenario.dataset_size * scenario.num_runs;
+}
+
+std::uint64_t TestErrorModelsImgClass::fingerprint() const {
+  // Beyond scenario + fault matrix, the unit payloads also depend on
+  // the mitigation choice and top_k — fold them in so a resume with a
+  // different configuration is refused.
+  io::ByteWriter extra;
+  extra.write_string(config_.mitigation ? to_string(*config_.mitigation)
+                                        : "none");
+  extra.write_u64(config_.top_k);
+  return fnv1a64(extra.bytes(),
+                 campaign_fingerprint(wrapper_.get_scenario(),
+                                      wrapper_.fault_matrix()));
+}
+
+void TestErrorModelsImgClass::prepare() {
+  const Scenario& scenario = wrapper_.get_scenario();
   const bool write_outputs = !config_.output_dir.empty();
 
-  std::vector<std::string> header{"image_id", "file_name", "gt_label",
-                                  "due",      "sde",       "faults"};
+  kpis_ = {};
+  kpis_.has_resil = config_.mitigation.has_value();
+  result_rows_.clear();
+  fault_free_rows_.clear();
+  trace_.clear();
+  result_ = {};
+
+  header_ = {"image_id", "file_name", "gt_label", "due", "sde", "faults"};
   for (const char* which : {"orig", "corr", "resil"}) {
     for (std::size_t k = 1; k <= config_.top_k; ++k) {
-      header.push_back(strformat("%s_top%zu_class", which, k));
-      header.push_back(strformat("%s_top%zu_prob", which, k));
+      header_.push_back(strformat("%s_top%zu_class", which, k));
+      header_.push_back(strformat("%s_top%zu_prob", which, k));
     }
   }
-  std::vector<std::string> ff_header{"image_id", "file_name", "gt_label"};
+  ff_header_ = {"image_id", "file_name", "gt_label"};
   for (std::size_t k = 1; k <= config_.top_k; ++k) {
-    ff_header.push_back(strformat("top%zu_class", k));
-    ff_header.push_back(strformat("top%zu_prob", k));
+    ff_header_.push_back(strformat("top%zu_class", k));
+    ff_header_.push_back(strformat("top%zu_prob", k));
+  }
+
+  if (scenario.inj_policy == InjectionPolicy::kPerImage) {
+    ALFI_CHECK(wrapper_.fault_matrix().size() >=
+                   unit_count() * scenario.max_faults_per_image,
+               "fault matrix smaller than the campaign needs: increase "
+               "dataset_size/num_runs or load a larger fault file");
   }
 
   if (write_outputs) {
     std::filesystem::create_directories(config_.output_dir);
     const std::string base = config_.output_dir + "/" + config_.model_name;
 
-    result.scenario_yml = base + "_scenario.yml";
+    result_.scenario_yml = base + "_scenario.yml";
     io::Json meta = scenario.to_yaml();
     meta["meta"]["model"] = io::Json(config_.model_name);
     meta["meta"]["dataset"] = io::Json(dataset_.name());
     meta["meta"]["mitigation"] =
         io::Json(config_.mitigation ? to_string(*config_.mitigation) : "none");
-    io::write_yaml_file(result.scenario_yml, meta);
+    io::write_yaml_file(result_.scenario_yml, meta);
 
-    result.fault_bin = base + "_faults.bin";
-    wrapper_.save_fault_matrix(result.fault_bin);
-    result.results_csv = base + "_results.csv";
-    result.fault_free_csv = base + "_fault_free.csv";
+    result_.fault_bin = base + "_faults.bin";
+    wrapper_.save_fault_matrix(result_.fault_bin);
+    result_.results_csv = base + "_results.csv";
+    result_.fault_free_csv = base + "_fault_free.csv";
   }
 
   // Hardened path: profile activation bounds on fault-free calibration
   // batches once, up front — workers install their own Protection over
   // the same bounds, so hardened verdicts match the serial run exactly.
-  data::ClassificationLoader loader(dataset_, scenario.batch_size);
-  RangeMap bounds;
+  bounds_ = {};
   if (config_.mitigation) {
+    data::ClassificationLoader loader(dataset_, scenario.batch_size);
     std::vector<Tensor> calibration;
     const std::size_t count =
         std::min(config_.calibration_batches, loader.num_batches());
@@ -139,274 +380,135 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
     for (std::size_t b = 0; b < count; ++b) {
       calibration.push_back(loader.batch(b).images);
     }
-    bounds = profile_activation_ranges(model_, calibration);
+    bounds_ = profile_activation_ranges(model_, calibration);
   }
+}
 
-  const std::size_t group = scenario.max_faults_per_image;
+std::unique_ptr<CampaignUnitRunner> TestErrorModelsImgClass::make_unit_runner(
+    bool shared_model) {
+  return std::make_unique<ImgClassUnitRunner>(*this, shared_model);
+}
 
-  // Records the verdicts and CSV rows of one window of images evaluated
-  // under one armed fault group, appended to `out` for later in-order
-  // emission.  `fault_group_for(i)` names the fault columns reported
-  // for image i of the window.
-  const auto evaluate_window =
-      [&](ShardOutput& out, const Tensor& orig_logits, const Tensor& corr_logits,
-          const Tensor* resil_logits, std::span<const std::size_t> labels,
-          std::span<const data::ImageMeta> metas, bool window_monitor_due,
-          std::size_t epoch,
-          const std::function<std::vector<Fault>(std::size_t)>& fault_group_for) {
-        const std::size_t k = orig_logits.dim(1);
-        for (std::size_t i = 0; i < labels.size(); ++i) {
-          const std::span<const float> orig_row{orig_logits.raw() + i * k, k};
-          const std::span<const float> corr_row{corr_logits.raw() + i * k, k};
-
-          const TopK orig_top = topk_of_logits(orig_row, config_.top_k);
-          const TopK corr_top = topk_of_logits(corr_row, config_.top_k);
-          TopK resil_top;
-          if (resil_logits != nullptr) {
-            const std::span<const float> resil_row{resil_logits->raw() + i * k, k};
-            resil_top = topk_of_logits(resil_row, config_.top_k);
-          }
-
-          const bool due = row_has_nonfinite(corr_row) || window_monitor_due;
-          const bool sde = !due && corr_top.classes[0] != orig_top.classes[0];
-
-          ++out.kpis.total;
-          out.kpis.orig_correct += orig_top.classes[0] == labels[i] ? 1 : 0;
-          out.kpis.faulty_correct += corr_top.classes[0] == labels[i] ? 1 : 0;
-          out.kpis.due += due ? 1 : 0;
-          out.kpis.sde += sde ? 1 : 0;
-          if (resil_logits != nullptr) {
-            out.kpis.resil_correct += resil_top.classes[0] == labels[i] ? 1 : 0;
-            out.kpis.resil_sde +=
-                (!due && resil_top.classes[0] != orig_top.classes[0]) ? 1 : 0;
-          }
-
-          if (write_outputs) {
-            std::vector<std::string> row{
-                std::to_string(metas[i].image_id), metas[i].file_name,
-                std::to_string(labels[i]), due ? "1" : "0", sde ? "1" : "0",
-                faults_to_field(fault_group_for(i))};
-            const auto push_topk = [&row, this](const TopK& top) {
-              for (std::size_t j = 0; j < config_.top_k; ++j) {
-                if (j < top.classes.size()) {
-                  row.push_back(std::to_string(top.classes[j]));
-                  row.push_back(fmt_float(top.probs[j]));
-                } else {
-                  row.push_back("");
-                  row.push_back("");
-                }
-              }
-            };
-            push_topk(orig_top);
-            push_topk(corr_top);
-            push_topk(resil_logits != nullptr ? resil_top : TopK{});
-            out.result_rows.push_back(std::move(row));
-
-            if (epoch == 0) {
-              std::vector<std::string> ff_row{std::to_string(metas[i].image_id),
-                                              metas[i].file_name,
-                                              std::to_string(labels[i])};
-              for (std::size_t j = 0; j < config_.top_k; ++j) {
-                if (j < orig_top.classes.size()) {
-                  ff_row.push_back(std::to_string(orig_top.classes[j]));
-                  ff_row.push_back(fmt_float(orig_top.probs[j]));
-                } else {
-                  ff_row.push_back("");
-                  ff_row.push_back("");
-                }
-              }
-              out.fault_free_rows.push_back(std::move(ff_row));
-            }
-          }
-        }
-      };
-
-  // Runs the coupled triple on one input window with the fault group
-  // `arm` installs, against the given execution context.
-  const auto run_triple = [](ExecContext& ctx, const Tensor& images,
-                             const std::function<void()>& arm) {
-    ctx.injector->disarm();
-    if (ctx.protection) ctx.protection->set_enabled(false);
-    const Tensor orig = ctx.model->forward(images);
-
-    arm();
-    ctx.monitor->reset();
-    const Tensor corr = ctx.model->forward(images);
-    const bool window_due = ctx.monitor->due_detected();
-
-    std::optional<Tensor> resil;
-    if (ctx.protection) {
-      ctx.protection->set_enabled(true);
-      resil = ctx.model->forward(images);
-      ctx.protection->set_enabled(false);
-    }
-    ctx.injector->disarm();
-    return std::tuple<Tensor, Tensor, std::optional<Tensor>, bool>(
-        std::move(orig), std::move(corr), std::move(resil), window_due);
-  };
-
-  // One per_image work unit: global step t = epoch * dataset_size + img
-  // runs image `img` under fault columns [t*group, (t+1)*group).  The
-  // global index keeps slice positions and trace labels independent of
-  // which shard executes the step.
-  const auto run_unit = [&](ExecContext& ctx, std::size_t t, ShardOutput& out) {
-    const std::size_t epoch = t / scenario.dataset_size;
-    const std::size_t img = t % scenario.dataset_size;
-    const data::ClassificationSample sample = dataset_.get(img);
-    const Shape& s = sample.image.shape();
-    const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
-    const std::vector<Fault> faults = wrapper_.fault_matrix().slice(t * group, group);
-    const auto [orig, corr, resil, window_due] = run_triple(ctx, input, [&] {
-      ctx.injector->set_inference_index(t);
-      ctx.injector->arm(faults);
-    });
-    const std::size_t labels[1] = {sample.label};
-    const data::ImageMeta metas[1] = {sample.meta};
-    evaluate_window(out, orig, corr, resil ? &*resil : nullptr, labels, metas,
-                    window_due, epoch, [&](std::size_t) { return faults; });
-  };
-
-  std::vector<ShardOutput> outputs;
-
-  if (scenario.inj_policy == InjectionPolicy::kPerImage) {
-    const std::size_t steps = scenario.dataset_size * scenario.num_runs;
-    ALFI_CHECK(wrapper_.fault_matrix().size() >= steps * group,
-               "fault matrix smaller than the campaign needs: increase "
-               "dataset_size/num_runs or load a larger fault file");
-    const CampaignRunner runner(config_.jobs);
-    const std::vector<CampaignShard> shards =
-        CampaignRunner::shard_columns(steps, runner.jobs(), scenario.rnd_seed);
-    outputs.resize(shards.size());
-
-    if (shards.size() <= 1) {
-      // Serial: the original model and the wrapper's injector, exactly
-      // the single-threaded campaign of old.
-      ModelMonitor monitor(model_);
-      std::unique_ptr<Protection> protection;
-      if (config_.mitigation) {
-        protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
-        protection->set_enabled(false);
-      }
-      ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
-      const std::size_t base_records = wrapper_.injector().records().size();
-      if (!shards.empty()) {
-        for (std::size_t t = shards[0].begin; t < shards[0].end; ++t) {
-          run_unit(ctx, t, outputs[0]);
-        }
-        const auto& recs = wrapper_.injector().records();
-        outputs[0].records.assign(recs.begin() + base_records, recs.end());
-      }
-    } else {
-      ALFI_LOG(kInfo) << "parallel campaign: " << steps << " inferences across "
-                      << shards.size() << " shards (" << runner.jobs()
-                      << " jobs)";
-      const Tensor probe = probe_input(dataset_);
-      runner.run_shards(shards, [&](const CampaignShard& shard) {
-        // Each worker owns a full replica of the injection stack; the
-        // original model is never touched, so workers share only
-        // read-only state (dataset, fault matrix, calibration bounds).
-        const std::shared_ptr<nn::Module> replica = model_.clone();
-        ModelProfile profile(*replica, probe);
-        Injector injector(*replica, profile, scenario.duration);
-        ModelMonitor monitor(*replica);
-        std::unique_ptr<Protection> protection;
-        if (config_.mitigation) {
-          protection =
-              std::make_unique<Protection>(*replica, bounds, *config_.mitigation);
-          protection->set_enabled(false);
-        }
-        ExecContext ctx{replica.get(), &injector, &monitor, protection.get()};
-        ShardOutput& out = outputs[shard.index];
-        for (std::size_t t = shard.begin; t < shard.end; ++t) {
-          run_unit(ctx, t, out);
-        }
-        out.records = injector.take_records();
-      });
-    }
-  } else {
-    // Batched windows: one fault group per batch (per_batch) or per
-    // epoch (per_epoch).  These policies couple consecutive windows to
-    // one armed group, so they always run serially.
-    if (config_.jobs != 1) {
-      ALFI_LOG(kInfo) << "inj_policy " << to_string(scenario.inj_policy)
-                      << " runs serially; --jobs applies to per_image only";
-    }
-    outputs.resize(1);
-    ShardOutput& out = outputs[0];
-    ModelMonitor monitor(model_);
-    std::unique_ptr<Protection> protection;
-    if (config_.mitigation) {
-      protection = std::make_unique<Protection>(model_, bounds, *config_.mitigation);
-      protection->set_enabled(false);
-    }
-    ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
-    const std::size_t base_records = wrapper_.injector().records().size();
-    FaultModelIterator iterator = wrapper_.get_fimodel_iter();
-
-    for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
-      std::size_t epoch_group_start = 0;
-      if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
-        iterator.next();  // consume the epoch's group
-        epoch_group_start = iterator.position() - group;
-        wrapper_.injector().disarm();
-      }
-
-      std::size_t images_done = 0;
-      for (std::size_t b = 0; images_done < scenario.dataset_size; ++b) {
-        const data::ClassificationBatch batch = loader.batch(b);
-        const std::size_t use =
-            std::min(batch.size(), scenario.dataset_size - images_done);
-
-        std::size_t group_start = epoch_group_start;
-        const auto [orig, corr, resil, window_due] =
-            run_triple(ctx, batch.images, [&] {
-              if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
-                iterator.next();
-                group_start = iterator.position() - group;
-              } else {
-                wrapper_.injector().arm(
-                    wrapper_.fault_matrix().slice(epoch_group_start, group));
-              }
-            });
-        evaluate_window(out, orig, corr, resil ? &*resil : nullptr,
-                        std::span<const std::size_t>(batch.labels.data(), use),
-                        std::span<const data::ImageMeta>(batch.metas.data(), use),
-                        window_due, epoch, [&](std::size_t) {
-                          return wrapper_.fault_matrix().slice(group_start, group);
-                        });
-        images_done += use;
-      }
-      wrapper_.injector().disarm();
-    }
-    const auto& recs = wrapper_.injector().records();
-    out.records.assign(recs.begin() + base_records, recs.end());
+void TestErrorModelsImgClass::absorb_unit(std::size_t, const std::string& payload) {
+  io::ByteReader r(payload);
+  kpis_.total += r.read_u64();
+  kpis_.orig_correct += r.read_u64();
+  kpis_.faulty_correct += r.read_u64();
+  kpis_.resil_correct += r.read_u64();
+  kpis_.sde += r.read_u64();
+  kpis_.due += r.read_u64();
+  kpis_.resil_sde += r.read_u64();
+  for (auto& row : read_rows(r)) result_rows_.push_back(std::move(row));
+  for (auto& row : read_rows(r)) fault_free_rows_.push_back(std::move(row));
+  const std::uint64_t num_records = r.read_u64();
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    trace_.push_back(read_record_bytes(r));
   }
+}
 
-  // ---- merge: ascending shard order restores the serial column order ----
-  ClassificationKpis kpis;
-  kpis.has_resil = config_.mitigation.has_value();
-  std::vector<InjectionRecord> trace;
-  for (const ShardOutput& out : outputs) {
-    kpis.merge(out.kpis);
-    trace.insert(trace.end(), out.records.begin(), out.records.end());
-  }
-
-  if (write_outputs) {
-    io::CsvWriter results_csv(result.results_csv, header);
-    io::CsvWriter fault_free_csv(result.fault_free_csv, ff_header);
-    for (const ShardOutput& out : outputs) {
-      for (const auto& row : out.result_rows) results_csv.write_row(row);
-      for (const auto& row : out.fault_free_rows) fault_free_csv.write_row(row);
-    }
+void TestErrorModelsImgClass::finalize() {
+  if (!config_.output_dir.empty()) {
+    io::CsvWriter results_csv(result_.results_csv, header_, io::WriteMode::kAtomic);
+    io::CsvWriter fault_free_csv(result_.fault_free_csv, ff_header_,
+                                 io::WriteMode::kAtomic);
+    for (const auto& row : result_rows_) results_csv.write_row(row);
+    for (const auto& row : fault_free_rows_) fault_free_csv.write_row(row);
     results_csv.close();
     fault_free_csv.close();
 
-    result.trace_bin = config_.output_dir + "/" + config_.model_name + "_trace.bin";
-    save_injection_records(trace, result.trace_bin);
+    result_.trace_bin = config_.output_dir + "/" + config_.model_name + "_trace.bin";
+    save_injection_records(trace_, result_.trace_bin);
+  }
+  result_.kpis = kpis_;
+}
+
+ImgClassCampaignResult TestErrorModelsImgClass::run() {
+  const Scenario& scenario = wrapper_.get_scenario();
+
+  if (scenario.inj_policy == InjectionPolicy::kPerImage) {
+    CampaignExecutor executor(*this);
+    executor.execute();
+    return result_;
   }
 
-  result.kpis = kpis;
-  return result;
+  // Batched windows: one fault group per batch (per_batch) or per epoch
+  // (per_epoch).  These policies couple consecutive windows to one
+  // armed group, so they run serially and are not unit-addressable —
+  // which also rules out checkpointing.
+  if (!config_.checkpoint_dir.empty()) {
+    throw ConfigError(
+        "campaign checkpointing requires inj_policy per_image for "
+        "classification (batched policies are not unit-addressable)");
+  }
+  if (config_.jobs != 1) {
+    ALFI_LOG(kInfo) << "inj_policy " << to_string(scenario.inj_policy)
+                    << " runs serially; --jobs applies to per_image only";
+  }
+  prepare();
+  run_batched();
+  finalize();
+  return result_;
+}
+
+void TestErrorModelsImgClass::run_batched() {
+  const Scenario& scenario = wrapper_.get_scenario();
+  const bool write_outputs = !config_.output_dir.empty();
+  const std::size_t group = scenario.max_faults_per_image;
+  data::ClassificationLoader loader(dataset_, scenario.batch_size);
+
+  EvalSink out;
+  ModelMonitor monitor(model_);
+  std::unique_ptr<Protection> protection;
+  if (config_.mitigation) {
+    protection = std::make_unique<Protection>(model_, bounds_, *config_.mitigation);
+    protection->set_enabled(false);
+  }
+  ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
+  const std::size_t base_records = wrapper_.injector().records().size();
+  FaultModelIterator iterator = wrapper_.get_fimodel_iter();
+
+  for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
+    std::size_t epoch_group_start = 0;
+    if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
+      iterator.next();  // consume the epoch's group
+      epoch_group_start = iterator.position() - group;
+      wrapper_.injector().disarm();
+    }
+
+    std::size_t images_done = 0;
+    for (std::size_t b = 0; images_done < scenario.dataset_size; ++b) {
+      const data::ClassificationBatch batch = loader.batch(b);
+      const std::size_t use =
+          std::min(batch.size(), scenario.dataset_size - images_done);
+
+      std::size_t group_start = epoch_group_start;
+      const auto [orig, corr, resil, window_due] =
+          run_triple(ctx, batch.images, [&] {
+            if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
+              iterator.next();
+              group_start = iterator.position() - group;
+            } else {
+              wrapper_.injector().arm(
+                  wrapper_.fault_matrix().slice(epoch_group_start, group));
+            }
+          });
+      evaluate_window(out, config_.top_k, write_outputs, orig, corr,
+                      resil ? &*resil : nullptr,
+                      std::span<const std::size_t>(batch.labels.data(), use),
+                      std::span<const data::ImageMeta>(batch.metas.data(), use),
+                      window_due, epoch, [&](std::size_t) {
+                        return wrapper_.fault_matrix().slice(group_start, group);
+                      });
+      images_done += use;
+    }
+    wrapper_.injector().disarm();
+  }
+  const auto& recs = wrapper_.injector().records();
+  trace_.assign(recs.begin() + base_records, recs.end());
+
+  kpis_.merge(out.kpis);
+  result_rows_ = std::move(out.result_rows);
+  fault_free_rows_ = std::move(out.fault_free_rows);
 }
 
 }  // namespace alfi::core

@@ -16,11 +16,20 @@
 // same input tensor and the same armed fault set, so effects can be
 // analyzed "at a granular level of a single fault location and input
 // data point" (paper §I).
+//
+// The per_image policy runs through core::CampaignExecutor as a
+// CampaignTask: the executor owns sharding, journaling and
+// checkpoint/resume; this class contributes the unit computation
+// (one image under one fault group) and the ordered merge.  Batched
+// policies (per_batch / per_epoch) couple consecutive windows to one
+// armed group and keep the legacy serial loop (no checkpointing).
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/campaign_task.h"
 #include "core/kpi.h"
 #include "core/mitigation.h"
 #include "core/monitor.h"
@@ -29,25 +38,11 @@
 
 namespace alfi::core {
 
-struct ImgClassCampaignConfig {
-  std::string model_name = "model";
-  /// Directory for the output sets; empty = write nothing (KPIs only).
-  std::string output_dir;
-  /// Reuse a persisted fault matrix instead of generating one.
-  std::string fault_file;
-  /// Harden a copy of the inference path with Ranger or Clipper and
-  /// report the hardened verdicts alongside.
-  std::optional<MitigationKind> mitigation;
+struct ImgClassCampaignConfig : CampaignConfigBase {
   /// Batches of calibration data for range profiling (defaults to the
   /// first few dataset batches when empty).
   std::size_t calibration_batches = 4;
   std::size_t top_k = 5;
-  /// Worker threads for the per_image campaign (CampaignRunner).  1 =
-  /// serial on the wrapped model; 0 = hardware concurrency; N > 1 runs
-  /// N deep-cloned model replicas over contiguous fault-matrix shards.
-  /// Output (KPIs, CSVs, trace) is byte-identical for every job count.
-  /// Batched policies (per_batch / per_epoch) always run serially.
-  std::size_t jobs = 1;
 };
 
 struct ImgClassCampaignResult {
@@ -59,7 +54,9 @@ struct ImgClassCampaignResult {
   std::string trace_bin;       // post-run injection records
 };
 
-class TestErrorModelsImgClass {
+class ImgClassUnitRunner;
+
+class TestErrorModelsImgClass final : public CampaignTask {
  public:
   TestErrorModelsImgClass(nn::Module& model,
                           const data::ClassificationDataset& dataset,
@@ -71,11 +68,36 @@ class TestErrorModelsImgClass {
 
   PtfiWrap& wrapper() { return wrapper_; }
 
+  // ---- CampaignTask ----------------------------------------------------------
+  std::string task_kind() const override { return "imgclass"; }
+  const Scenario& task_scenario() const override { return wrapper_.get_scenario(); }
+  const CampaignConfigBase& base_config() const override { return config_; }
+  std::size_t unit_count() const override;
+  std::uint64_t fingerprint() const override;
+  void prepare() override;
+  std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) override;
+  void absorb_unit(std::size_t t, const std::string& payload) override;
+  void finalize() override;
+
  private:
+  friend class ImgClassUnitRunner;
+
+  void run_batched();
+
   nn::Module& model_;
   const data::ClassificationDataset& dataset_;
   ImgClassCampaignConfig config_;
   PtfiWrap wrapper_;
+
+  // Campaign state between prepare() and finalize().
+  RangeMap bounds_;  ///< mitigation calibration, shared by all workers
+  std::vector<std::string> header_;
+  std::vector<std::string> ff_header_;
+  ClassificationKpis kpis_;
+  std::vector<std::vector<std::string>> result_rows_;
+  std::vector<std::vector<std::string>> fault_free_rows_;
+  std::vector<InjectionRecord> trace_;
+  ImgClassCampaignResult result_;
 };
 
 }  // namespace alfi::core

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "core/campaign.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace alfi::core {
@@ -36,7 +38,204 @@ io::Json detections_to_coco(const std::vector<std::int64_t>& image_ids,
   return arr;
 }
 
+void write_detections(io::ByteWriter& w,
+                      const std::vector<models::Detection>& dets) {
+  w.write_u64(dets.size());
+  for (const models::Detection& det : dets) {
+    w.write_f32(det.box.x);
+    w.write_f32(det.box.y);
+    w.write_f32(det.box.w);
+    w.write_f32(det.box.h);
+    w.write_u64(det.category);
+    w.write_f32(det.score);
+  }
+}
+
+std::vector<models::Detection> read_detections(io::ByteReader& r) {
+  std::vector<models::Detection> dets(r.read_u64());
+  for (models::Detection& det : dets) {
+    det.box.x = r.read_f32();
+    det.box.y = r.read_f32();
+    det.box.w = r.read_f32();
+    det.box.h = r.read_f32();
+    det.category = static_cast<std::size_t>(r.read_u64());
+    det.score = r.read_f32();
+  }
+  return dets;
+}
+
+/// Geometry of one work unit: which fault group it arms and which batch
+/// slot neuron faults are remapped from.  Closed-form in t so the same
+/// unit arms the same faults on any worker, job count or resumed run.
+struct UnitAddress {
+  std::size_t epoch = 0;
+  std::size_t img = 0;
+  std::size_t group_start = 0;
+  std::size_t slot = 0;  ///< batch slot for per_batch remapping, else 0
+};
+
+UnitAddress address_unit(const Scenario& scenario, std::size_t t) {
+  UnitAddress addr;
+  addr.epoch = t / scenario.dataset_size;
+  addr.img = t % scenario.dataset_size;
+  std::size_t group_number = 0;
+  switch (scenario.inj_policy) {
+    case InjectionPolicy::kPerImage:
+      group_number = t;
+      break;
+    case InjectionPolicy::kPerBatch: {
+      const std::size_t batches_per_epoch =
+          (scenario.dataset_size + scenario.batch_size - 1) / scenario.batch_size;
+      group_number =
+          addr.epoch * batches_per_epoch + addr.img / scenario.batch_size;
+      addr.slot = addr.img % scenario.batch_size;
+      break;
+    }
+    case InjectionPolicy::kPerEpoch:
+      group_number = addr.epoch;
+      break;
+  }
+  addr.group_start = group_number * scenario.max_faults_per_image;
+  return addr;
+}
+
+/// Fault groups the campaign consumes (the highest group number + 1).
+std::size_t groups_needed(const Scenario& scenario) {
+  switch (scenario.inj_policy) {
+    case InjectionPolicy::kPerImage:
+      return scenario.num_runs * scenario.dataset_size;
+    case InjectionPolicy::kPerBatch:
+      return scenario.num_runs *
+             ((scenario.dataset_size + scenario.batch_size - 1) /
+              scenario.batch_size);
+    case InjectionPolicy::kPerEpoch:
+      return scenario.num_runs;
+  }
+  return 0;
+}
+
 }  // namespace
+
+/// Per-worker unit engine for the detection campaign.  A shared runner
+/// drives the wrapped original detector (single-shard serial path);
+/// otherwise it owns a Detector::clone() replica with its own injection
+/// stack.
+class ObjDetUnitRunner final : public CampaignUnitRunner {
+ public:
+  ObjDetUnitRunner(TestErrorModelsObjDet& harness, bool shared_model)
+      : h_(harness) {
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    if (shared_model) {
+      detector_ = &h_.detector_;
+      injector_ptr_ = &h_.wrapper_.injector();
+    } else {
+      replica_ = h_.detector_.clone();
+      profile_ = std::make_unique<ModelProfile>(replica_->network(),
+                                                probe_input(h_.dataset_));
+      injector_ = std::make_unique<Injector>(replica_->network(), *profile_,
+                                             scenario.duration);
+      detector_ = replica_.get();
+      injector_ptr_ = injector_.get();
+    }
+    monitor_ = std::make_unique<ModelMonitor>(detector_->network());
+    if (h_.config_.mitigation) {
+      protection_ = std::make_unique<Protection>(detector_->network(), h_.bounds_,
+                                                 *h_.config_.mitigation);
+      protection_->set_enabled(false);
+    }
+  }
+
+  std::string run_unit(std::size_t t) override {
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    const UnitAddress addr = address_unit(scenario, t);
+    const std::size_t group = scenario.max_faults_per_image;
+
+    const data::DetectionSample sample = h_.dataset_.get(addr.img);
+    const Shape& s = sample.image.shape();
+    const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+
+    // Arms the unit's fault group, remapping each neuron fault's batch
+    // slot onto this single-image inference (weight faults apply
+    // regardless of slot).
+    const auto arm = [&] {
+      std::vector<Fault> armed;
+      for (const Fault& f :
+           h_.wrapper_.fault_matrix().slice(addr.group_start, group)) {
+        if (f.target == FaultTarget::kWeights) {
+          armed.push_back(f);
+        } else if (f.batch < 0 ||
+                   f.batch == static_cast<std::int64_t>(addr.slot)) {
+          Fault remapped = f;
+          remapped.batch = 0;
+          armed.push_back(remapped);
+        }
+      }
+      injector_ptr_->set_inference_index(t);
+      injector_ptr_->arm(std::move(armed));
+    };
+
+    const std::size_t base_records = injector_ptr_->records().size();
+
+    // ---- pass 1: fault-free -------------------------------------------------
+    injector_ptr_->disarm();
+    if (protection_) protection_->set_enabled(false);
+    auto orig = detector_->detect(input, h_.config_.conf_threshold);
+
+    // ---- pass 2: faulty -----------------------------------------------------
+    arm();
+    monitor_->reset();
+    auto corr = detector_->detect(input, h_.config_.conf_threshold);
+    const bool due = monitor_->due_detected();
+
+    // ---- pass 3: hardened ---------------------------------------------------
+    std::vector<models::Detection> resil;
+    if (protection_) {
+      injector_ptr_->disarm();
+      arm();
+      protection_->set_enabled(true);
+      auto resil_batched = detector_->detect(input, h_.config_.conf_threshold);
+      protection_->set_enabled(false);
+      resil = std::move(resil_batched[0]);
+    }
+    injector_ptr_->disarm();
+
+    // ---- verdicts + payload -------------------------------------------------
+    const bool sde = !due && detections_differ(orig[0], corr[0]);
+    const bool resil_sde =
+        protection_ && !due && detections_differ(orig[0], resil);
+
+    io::ByteWriter w;
+    w.write_u8(due ? 1 : 0);
+    w.write_u8(sde ? 1 : 0);
+    w.write_u8(resil_sde ? 1 : 0);
+    // mAP is evaluated over one pass of the dataset, so detections only
+    // ride along for epoch-0 units.
+    w.write_u8(addr.epoch == 0 ? 1 : 0);
+    if (addr.epoch == 0) {
+      w.write_i64(sample.meta.image_id);
+      write_detections(w, orig[0]);
+      write_detections(w, corr[0]);
+      w.write_u8(protection_ ? 1 : 0);
+      if (protection_) write_detections(w, resil);
+    }
+    const auto& recs = injector_ptr_->records();
+    w.write_u64(recs.size() - base_records);
+    for (std::size_t i = base_records; i < recs.size(); ++i) {
+      write_record_bytes(w, recs[i]);
+    }
+    return w.take();
+  }
+
+ private:
+  TestErrorModelsObjDet& h_;
+  std::unique_ptr<models::Detector> replica_;  // null when sharing the original
+  std::unique_ptr<ModelProfile> profile_;
+  std::unique_ptr<Injector> injector_;
+  std::unique_ptr<ModelMonitor> monitor_;
+  std::unique_ptr<Protection> protection_;
+  models::Detector* detector_ = nullptr;
+  Injector* injector_ptr_ = nullptr;
+};
 
 TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,
                                              const data::DetectionDataset& dataset,
@@ -56,33 +255,62 @@ TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,
   if (!config_.fault_file.empty()) wrapper_.load_fault_matrix(config_.fault_file);
 }
 
-ObjDetCampaignResult TestErrorModelsObjDet::run() {
+std::size_t TestErrorModelsObjDet::unit_count() const {
   const Scenario& scenario = wrapper_.get_scenario();
-  ObjDetCampaignResult result;
+  return scenario.dataset_size * scenario.num_runs;
+}
+
+std::uint64_t TestErrorModelsObjDet::fingerprint() const {
+  io::ByteWriter extra;
+  extra.write_string(config_.mitigation ? to_string(*config_.mitigation)
+                                        : "none");
+  extra.write_f32(config_.conf_threshold);
+  return fnv1a64(extra.bytes(),
+                 campaign_fingerprint(wrapper_.get_scenario(),
+                                      wrapper_.fault_matrix()));
+}
+
+void TestErrorModelsObjDet::prepare() {
+  const Scenario& scenario = wrapper_.get_scenario();
   const bool write_outputs = !config_.output_dir.empty();
-  nn::Module& network = detector_.network();
+
+  ivmod_ = {};
+  ivmod_.has_resil = config_.mitigation.has_value();
+  image_ids_.clear();
+  ground_truth_.clear();
+  orig_all_.clear();
+  corr_all_.clear();
+  resil_all_.clear();
+  trace_.clear();
+  result_ = {};
+
+  ALFI_CHECK(wrapper_.fault_matrix().size() >=
+                 groups_needed(scenario) * scenario.max_faults_per_image,
+             "fault matrix smaller than the campaign needs: increase "
+             "dataset_size/num_runs or load a larger fault file");
 
   if (write_outputs) {
     std::filesystem::create_directories(config_.output_dir);
     const std::string base = config_.output_dir + "/" + config_.model_name;
 
-    result.ground_truth_json = base + "_ground_truth.json";
-    io::write_json_file(result.ground_truth_json, data::coco_ground_truth(dataset_));
+    result_.ground_truth_json = base + "_ground_truth.json";
+    io::write_json_file(result_.ground_truth_json, data::coco_ground_truth(dataset_));
 
-    result.scenario_yml = base + "_scenario.yml";
+    result_.scenario_yml = base + "_scenario.yml";
     io::Json meta = scenario.to_yaml();
     meta["meta"]["model"] = io::Json(config_.model_name);
     meta["meta"]["dataset"] = io::Json(dataset_.name());
     meta["meta"]["mitigation"] =
         io::Json(config_.mitigation ? to_string(*config_.mitigation) : "none");
-    io::write_yaml_file(result.scenario_yml, meta);
+    io::write_yaml_file(result_.scenario_yml, meta);
 
-    result.fault_bin = base + "_faults.bin";
-    wrapper_.save_fault_matrix(result.fault_bin);
+    result_.fault_bin = base + "_faults.bin";
+    wrapper_.save_fault_matrix(result_.fault_bin);
   }
 
-  // Mitigation: profile bounds on fault-free calibration images.
-  std::unique_ptr<Protection> protection;
+  // Mitigation: profile bounds on fault-free calibration images, once,
+  // up front — every worker's Protection shares the same bounds.
+  bounds_ = {};
   if (config_.mitigation) {
     std::vector<Tensor> calibration;
     const std::size_t count = std::min(config_.calibration_images, dataset_.size());
@@ -92,139 +320,70 @@ ObjDetCampaignResult TestErrorModelsObjDet::run() {
       const Shape& s = sample.image.shape();
       calibration.push_back(sample.image.reshaped(Shape{1, s[0], s[1], s[2]}));
     }
-    const RangeMap bounds = profile_activation_ranges(network, calibration);
-    protection = std::make_unique<Protection>(network, bounds, *config_.mitigation);
-    protection->set_enabled(false);
+    bounds_ = profile_activation_ranges(detector_.network(), calibration);
+  }
+}
+
+std::unique_ptr<CampaignUnitRunner> TestErrorModelsObjDet::make_unit_runner(
+    bool shared_model) {
+  return std::make_unique<ObjDetUnitRunner>(*this, shared_model);
+}
+
+void TestErrorModelsObjDet::absorb_unit(std::size_t t, const std::string& payload) {
+  const UnitAddress addr = address_unit(wrapper_.get_scenario(), t);
+  io::ByteReader r(payload);
+
+  const bool due = r.read_u8() != 0;
+  const bool sde = r.read_u8() != 0;
+  const bool resil_sde = r.read_u8() != 0;
+  ++ivmod_.total;
+  ivmod_.due_images += due ? 1 : 0;
+  ivmod_.sde_images += sde ? 1 : 0;
+  ivmod_.resil_sde_images += resil_sde ? 1 : 0;
+
+  if (r.read_u8() != 0) {  // epoch-0 detections present
+    image_ids_.push_back(r.read_i64());
+    ground_truth_.push_back(dataset_.get(addr.img).annotations);
+    orig_all_.push_back(read_detections(r));
+    corr_all_.push_back(read_detections(r));
+    if (r.read_u8() != 0) resil_all_.push_back(read_detections(r));
   }
 
-  ModelMonitor monitor(network);
-  FaultModelIterator iterator = wrapper_.get_fimodel_iter();
-  IvmodKpis ivmod;
-  ivmod.has_resil = config_.mitigation.has_value();
-
-  std::vector<std::int64_t> image_ids;
-  std::vector<std::vector<data::Annotation>> ground_truth;
-  std::vector<std::vector<models::Detection>> orig_all, corr_all, resil_all;
-
-  // Current fault group, re-armed per image with batch-slot remapping.
-  std::size_t group_start = 0, group_size = 0;
-  auto arm_for_image = [&](std::size_t slot_in_group) {
-    std::vector<Fault> armed;
-    for (const Fault& f : wrapper_.fault_matrix().slice(group_start, group_size)) {
-      if (f.target == FaultTarget::kWeights) {
-        armed.push_back(f);
-      } else if (f.batch < 0 ||
-                 f.batch == static_cast<std::int64_t>(slot_in_group)) {
-        Fault remapped = f;
-        remapped.batch = 0;
-        armed.push_back(remapped);
-      }
-    }
-    wrapper_.injector().arm(std::move(armed));
-  };
-
-  for (std::size_t epoch = 0; epoch < scenario.num_runs; ++epoch) {
-    if (scenario.inj_policy == InjectionPolicy::kPerEpoch) {
-      iterator.next();
-      group_size = scenario.max_faults_per_image;
-      group_start = iterator.position() - group_size;
-    }
-
-    for (std::size_t img = 0; img < scenario.dataset_size; ++img) {
-      const std::size_t slot_in_batch = img % scenario.batch_size;
-      switch (scenario.inj_policy) {
-        case InjectionPolicy::kPerImage:
-          iterator.next();
-          group_size = scenario.max_faults_per_image;
-          group_start = iterator.position() - group_size;
-          break;
-        case InjectionPolicy::kPerBatch:
-          if (slot_in_batch == 0) {
-            iterator.next();
-            group_size = scenario.max_faults_per_image;
-            group_start = iterator.position() - group_size;
-          }
-          break;
-        case InjectionPolicy::kPerEpoch:
-          break;
-      }
-
-      const data::DetectionSample sample = dataset_.get(img);
-      const Shape& s = sample.image.shape();
-      const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
-
-      // ---- pass 1: fault-free ---------------------------------------------
-      wrapper_.injector().disarm();
-      if (protection) protection->set_enabled(false);
-      auto orig = detector_.detect(input, config_.conf_threshold);
-
-      // ---- pass 2: faulty ----------------------------------------------------
-      const std::size_t slot = scenario.inj_policy == InjectionPolicy::kPerBatch
-                                   ? slot_in_batch
-                                   : 0;
-      arm_for_image(slot);
-      monitor.reset();
-      auto corr = detector_.detect(input, config_.conf_threshold);
-      const bool due = monitor.due_detected();
-
-      // ---- pass 3: hardened ---------------------------------------------------
-      std::vector<models::Detection> resil;
-      if (protection) {
-        wrapper_.injector().disarm();
-        arm_for_image(slot);
-        protection->set_enabled(true);
-        auto resil_batched = detector_.detect(input, config_.conf_threshold);
-        protection->set_enabled(false);
-        resil = std::move(resil_batched[0]);
-      }
-      wrapper_.injector().disarm();
-
-      // ---- verdicts --------------------------------------------------------------
-      ++ivmod.total;
-      const bool sde = !due && detections_differ(orig[0], corr[0]);
-      ivmod.due_images += due ? 1 : 0;
-      ivmod.sde_images += sde ? 1 : 0;
-      if (protection) {
-        ivmod.resil_sde_images +=
-            (!due && detections_differ(orig[0], resil)) ? 1 : 0;
-      }
-
-      if (epoch == 0) {
-        // mAP is evaluated over one pass of the dataset.
-        image_ids.push_back(sample.meta.image_id);
-        ground_truth.push_back(sample.annotations);
-        orig_all.push_back(std::move(orig[0]));
-        corr_all.push_back(std::move(corr[0]));
-        if (protection) resil_all.push_back(std::move(resil));
-      }
-    }
-    wrapper_.injector().disarm();
+  const std::uint64_t num_records = r.read_u64();
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    trace_.push_back(read_record_bytes(r));
   }
+}
 
+void TestErrorModelsObjDet::finalize() {
   const std::size_t num_classes = detector_.num_classes();
-  result.orig_map = evaluate_coco(ground_truth, orig_all, num_classes);
-  result.faulty_map = evaluate_coco(ground_truth, corr_all, num_classes);
+  result_.orig_map = evaluate_coco(ground_truth_, orig_all_, num_classes);
+  result_.faulty_map = evaluate_coco(ground_truth_, corr_all_, num_classes);
   if (config_.mitigation) {
-    result.resil_map = evaluate_coco(ground_truth, resil_all, num_classes);
+    result_.resil_map = evaluate_coco(ground_truth_, resil_all_, num_classes);
   }
-  result.ivmod = ivmod;
+  result_.ivmod = ivmod_;
 
-  if (write_outputs) {
+  if (!config_.output_dir.empty()) {
     const std::string base = config_.output_dir + "/" + config_.model_name;
-    result.orig_json = base + "_orig_detections.json";
-    io::write_json_file(result.orig_json, detections_to_coco(image_ids, orig_all));
-    result.corr_json = base + "_corr_detections.json";
-    io::write_json_file(result.corr_json, detections_to_coco(image_ids, corr_all));
+    result_.orig_json = base + "_orig_detections.json";
+    io::write_json_file(result_.orig_json, detections_to_coco(image_ids_, orig_all_));
+    result_.corr_json = base + "_corr_detections.json";
+    io::write_json_file(result_.corr_json, detections_to_coco(image_ids_, corr_all_));
     if (config_.mitigation) {
-      result.resil_json = base + "_resil_detections.json";
-      io::write_json_file(result.resil_json,
-                          detections_to_coco(image_ids, resil_all));
+      result_.resil_json = base + "_resil_detections.json";
+      io::write_json_file(result_.resil_json,
+                          detections_to_coco(image_ids_, resil_all_));
     }
-    result.trace_bin = base + "_trace.bin";
-    save_injection_records(wrapper_.injector().records(), result.trace_bin);
+    result_.trace_bin = base + "_trace.bin";
+    save_injection_records(trace_, result_.trace_bin);
   }
+}
 
-  return result;
+ObjDetCampaignResult TestErrorModelsObjDet::run() {
+  CampaignExecutor executor(*this);
+  executor.execute();
+  return result_;
 }
 
 }  // namespace alfi::core

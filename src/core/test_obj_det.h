@@ -13,11 +13,20 @@
 // (changed detections) verdicts attribute exactly to one image and one
 // fault group; per_batch fault groups are replayed by remapping each
 // fault's batch slot onto the matching sequential image.
+//
+// Because every image is an independent inference, the whole campaign
+// is unit-addressable for every injection policy: unit t maps to
+// (epoch, image) and its fault group by closed-form arithmetic.  The
+// harness therefore runs entirely through core::CampaignExecutor as a
+// CampaignTask — gaining parallel --jobs (per-worker Detector::clone()
+// replicas) and crash-safe checkpoint/resume for free.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/campaign_task.h"
 #include "core/kpi.h"
 #include "core/mitigation.h"
 #include "core/monitor.h"
@@ -26,11 +35,9 @@
 
 namespace alfi::core {
 
-struct ObjDetCampaignConfig {
-  std::string model_name = "detector";
-  std::string output_dir;
-  std::string fault_file;
-  std::optional<MitigationKind> mitigation;
+struct ObjDetCampaignConfig : CampaignConfigBase {
+  ObjDetCampaignConfig() { model_name = "detector"; }
+
   std::size_t calibration_images = 16;
   float conf_threshold = 0.4f;
 };
@@ -49,7 +56,9 @@ struct ObjDetCampaignResult {
   std::string resil_json;
 };
 
-class TestErrorModelsObjDet {
+class ObjDetUnitRunner;
+
+class TestErrorModelsObjDet final : public CampaignTask {
  public:
   TestErrorModelsObjDet(models::Detector& detector,
                         const data::DetectionDataset& dataset, Scenario scenario,
@@ -60,11 +69,33 @@ class TestErrorModelsObjDet {
 
   PtfiWrap& wrapper() { return wrapper_; }
 
+  // ---- CampaignTask ----------------------------------------------------------
+  std::string task_kind() const override { return "objdet"; }
+  const Scenario& task_scenario() const override { return wrapper_.get_scenario(); }
+  const CampaignConfigBase& base_config() const override { return config_; }
+  std::size_t unit_count() const override;
+  std::uint64_t fingerprint() const override;
+  void prepare() override;
+  std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) override;
+  void absorb_unit(std::size_t t, const std::string& payload) override;
+  void finalize() override;
+
  private:
+  friend class ObjDetUnitRunner;
+
   models::Detector& detector_;
   const data::DetectionDataset& dataset_;
   ObjDetCampaignConfig config_;
   PtfiWrap wrapper_;
+
+  // Campaign state between prepare() and finalize().
+  RangeMap bounds_;
+  IvmodKpis ivmod_;
+  std::vector<std::int64_t> image_ids_;
+  std::vector<std::vector<data::Annotation>> ground_truth_;
+  std::vector<std::vector<models::Detection>> orig_all_, corr_all_, resil_all_;
+  std::vector<InjectionRecord> trace_;
+  ObjDetCampaignResult result_;
 };
 
 }  // namespace alfi::core

@@ -1,0 +1,48 @@
+#include "io/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace alfi::io {
+
+std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+
+void atomic_commit(const std::string& temp, const std::string& path, bool sync) {
+  if (sync) {
+    const int fd = ::open(temp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot commit " + temp + " -> " + path);
+  }
+}
+
+void atomic_discard(const std::string& temp) {
+  std::remove(temp.c_str());
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents,
+                       bool sync) {
+  const std::string temp = atomic_temp_path(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot write file: " + temp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      atomic_discard(temp);
+      throw IoError("failed while writing file: " + temp);
+    }
+  }
+  atomic_commit(temp, path, sync);
+}
+
+}  // namespace alfi::io

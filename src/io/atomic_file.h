@@ -1,0 +1,43 @@
+// Write-temp-then-rename file commits.
+//
+// Campaign outputs (KPI CSVs, detection JSONs, binary traces,
+// checkpoints) must never be observable half-written: a crash mid-write
+// would otherwise leave a truncated file at the final path that a
+// resumed run — or a downstream analysis script — happily consumes.
+// Every campaign artifact is therefore written to `<path>.tmp` and
+// renamed into place only once complete; POSIX rename(2) within one
+// directory is atomic, so readers see either the old file or the whole
+// new one, never a prefix.
+#pragma once
+
+#include <string>
+
+namespace alfi::io {
+
+/// How a streaming writer (CsvWriter, BinaryWriter) publishes its file.
+enum class WriteMode {
+  kDirect,  ///< write straight to the final path (legacy behavior)
+  /// Write to `<path>.tmp`, rename into place on close(): a crash can
+  /// never leave a truncated file at the final path.  All campaign
+  /// outputs use this mode.
+  kAtomic,
+};
+
+/// The sibling temp path used while the file is being written.
+std::string atomic_temp_path(const std::string& path);
+
+/// Renames `temp` onto `path`; throws IoError on failure.  When
+/// `sync` is true the temp file's contents are fsync'ed first so the
+/// rename never promotes data the kernel has not made durable.
+void atomic_commit(const std::string& temp, const std::string& path,
+                   bool sync = false);
+
+/// Removes a leftover temp file, ignoring errors (crash cleanup).
+void atomic_discard(const std::string& temp);
+
+/// Whole-file convenience: writes `contents` to the temp path, then
+/// commits.  Used by the JSON/YAML emitters and the checkpoint writer.
+void write_file_atomic(const std::string& path, const std::string& contents,
+                       bool sync = false);
+
+}  // namespace alfi::io

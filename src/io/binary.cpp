@@ -8,9 +8,12 @@ namespace alfi::io {
 static_assert(std::endian::native == std::endian::little,
               "binary fault-file format assumes a little-endian host");
 
-BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) throw IoError("cannot write binary file: " + path);
+BinaryWriter::BinaryWriter(const std::string& path, WriteMode mode)
+    : final_path_(path),
+      path_(mode == WriteMode::kAtomic ? atomic_temp_path(path) : path),
+      mode_(mode) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw IoError("cannot write binary file: " + path_);
 }
 
 void BinaryWriter::put(const void* data, std::size_t size) {
@@ -46,10 +49,25 @@ void BinaryWriter::write_header(const char magic[4], std::uint32_t version) {
 }
 
 void BinaryWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool flush_ok = static_cast<bool>(out_);
+  out_.close();
+  if (!flush_ok || out_.fail()) {
+    if (mode_ == WriteMode::kAtomic) atomic_discard(path_);
+    throw IoError("failed to flush/close binary file: " + path_);
+  }
+  if (mode_ == WriteMode::kAtomic) atomic_commit(path_, final_path_);
 }
 
-BinaryWriter::~BinaryWriter() { close(); }
+BinaryWriter::~BinaryWriter() {
+  // Destructors must not throw; an explicit close() is how callers get
+  // the error (and, in kAtomic mode, the commit).
+  try {
+    close();
+  } catch (const IoError&) {
+  }
+}
 
 BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary), path_(path) {

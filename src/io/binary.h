@@ -12,13 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.h"
 #include "util/error.h"
 
 namespace alfi::io {
 
 class BinaryWriter {
  public:
-  explicit BinaryWriter(const std::string& path);
+  explicit BinaryWriter(const std::string& path,
+                        WriteMode mode = WriteMode::kDirect);
 
   void write_u8(std::uint8_t v);
   void write_u32(std::uint32_t v);
@@ -34,6 +36,9 @@ class BinaryWriter {
   /// Writes a 4-byte magic tag plus a u32 version.
   void write_header(const char magic[4], std::uint32_t version);
 
+  /// Flushes and closes; in kAtomic mode also the commit point (temp
+  /// file renamed onto the final path).  Throws IoError when the final
+  /// flush failed.
   void close();
   ~BinaryWriter();
   BinaryWriter(const BinaryWriter&) = delete;
@@ -42,7 +47,9 @@ class BinaryWriter {
  private:
   void put(const void* data, std::size_t size);
   std::ofstream out_;
-  std::string path_;
+  std::string final_path_;
+  std::string path_;  ///< path being written (== final_path_ in kDirect)
+  WriteMode mode_;
 };
 
 class BinaryReader {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "io/atomic_file.h"
+
 namespace alfi::io {
 
 std::string csv_escape(const std::string& field) {
@@ -18,9 +20,13 @@ std::string csv_escape(const std::string& field) {
 }
 
 CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& header)
-    : out_(path, std::ios::binary | std::ios::trunc), header_(header) {
-  if (!out_) throw IoError("cannot write CSV file: " + path);
+                     const std::vector<std::string>& header, WriteMode mode)
+    : final_path_(path),
+      write_path_(mode == WriteMode::kAtomic ? atomic_temp_path(path) : path),
+      mode_(mode),
+      header_(header) {
+  out_.open(write_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw IoError("cannot write CSV file: " + write_path_);
   ALFI_CHECK(!header.empty(), "CSV header must not be empty");
   emit(header_);
 }
@@ -49,8 +55,10 @@ void CsvWriter::close() {
   const bool flush_ok = static_cast<bool>(out_);
   out_.close();
   if (!flush_ok || out_.fail()) {
+    if (mode_ == WriteMode::kAtomic) atomic_discard(write_path_);
     throw IoError("failed to flush/close CSV file (disk full?)");
   }
+  if (mode_ == WriteMode::kAtomic) atomic_commit(write_path_, final_path_);
 }
 
 CsvWriter::~CsvWriter() {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.h"
 #include "util/error.h"
 
 namespace alfi::io {
@@ -18,7 +19,8 @@ namespace alfi::io {
 class CsvWriter {
  public:
   /// Opens `path` for writing (truncates) and emits `header` as first row.
-  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  CsvWriter(const std::string& path, const std::vector<std::string>& header,
+            WriteMode mode = WriteMode::kDirect);
 
   /// Appends one row; must have the same arity as the header.
   void write_row(const std::vector<std::string>& fields);
@@ -29,9 +31,10 @@ class CsvWriter {
   const std::vector<std::string>& header() const { return header_; }
 
   /// Flushes, verifies the final flush reached the file and closes;
-  /// throws IoError on failure (e.g. disk full).  The destructor also
-  /// closes but swallows the error — call close() explicitly when the
-  /// file's integrity matters.
+  /// throws IoError on failure (e.g. disk full).  In kAtomic mode this
+  /// is also the commit point: the temp file is renamed onto the final
+  /// path.  The destructor also closes but swallows the error — call
+  /// close() explicitly when the file's integrity matters.
   void close();
 
   ~CsvWriter();
@@ -42,6 +45,9 @@ class CsvWriter {
   void emit(const std::vector<std::string>& fields);
 
   std::ofstream out_;
+  std::string final_path_;
+  std::string write_path_;
+  WriteMode mode_;
   std::vector<std::string> header_;
   std::size_t rows_ = 0;
 };

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/atomic_file.h"
+
 namespace alfi::io {
 
 Json& JsonObject::operator[](const std::string& key) {
@@ -371,10 +373,7 @@ Json read_json_file(const std::string& path) {
 }
 
 void write_json_file(const std::string& path, const Json& value) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot write JSON file: " + path);
-  out << value.dump(2) << '\n';
-  if (!out) throw IoError("failed while writing JSON file: " + path);
+  write_file_atomic(path, value.dump(2) + '\n');
 }
 
 }  // namespace alfi::io

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "io/atomic_file.h"
 #include "util/string_util.h"
 
 namespace alfi::io {
@@ -291,10 +292,7 @@ std::string dump_yaml(const Json& value) {
 }
 
 void write_yaml_file(const std::string& path, const Json& value) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot write YAML file: " + path);
-  out << dump_yaml(value);
-  if (!out) throw IoError("failed while writing YAML file: " + path);
+  write_file_atomic(path, dump_yaml(value));
 }
 
 }  // namespace alfi::io

@@ -77,6 +77,12 @@ class Detector {
   virtual std::vector<std::vector<Detection>> detect(const Tensor& images,
                                                      float conf_threshold) = 0;
 
+  /// Deep copy: a fresh detector of the same family and geometry whose
+  /// network holds copies of this detector's parameters.  The clone
+  /// shares no mutable state with the original, so it can run on
+  /// another thread (the basis of parallel object-detection campaigns).
+  virtual std::unique_ptr<Detector> clone() = 0;
+
   /// One optimizer-free training step: forward, loss, backward; the
   /// caller owns the optimizer.  Returns the batch loss.
   virtual float train_step(const data::DetectionBatch& batch) = 0;

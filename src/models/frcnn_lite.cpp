@@ -70,7 +70,7 @@ Tensor FrcnnModule::head_backward(const Tensor& grad_output) {
 
 FrcnnLite::FrcnnLite(const GridSpec& grid, std::size_t num_classes,
                      std::size_t in_channels)
-    : grid_(grid), num_classes_(num_classes) {
+    : grid_(grid), num_classes_(num_classes), in_channels_(in_channels) {
   ALFI_CHECK(grid.image_h == grid.grid * 8 && grid.image_w == grid.grid * 8,
              "FrcnnLite expects an 8x spatial reduction (image = 8 * grid)");
   net_ = std::make_shared<FrcnnModule>(in_channels, num_classes);
@@ -290,6 +290,12 @@ float FrcnnLite::train_step(const data::DetectionBatch& batch) {
 
   net_->set_training(false);
   return static_cast<float>(loss);
+}
+
+std::unique_ptr<Detector> FrcnnLite::clone() {
+  auto copy = std::make_unique<FrcnnLite>(grid_, num_classes_, in_channels_);
+  copy->network().copy_state_from(network());
+  return copy;
 }
 
 }  // namespace alfi::models

@@ -64,6 +64,7 @@ class FrcnnLite final : public Detector {
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
   float train_step(const data::DetectionBatch& batch) override;
+  std::unique_ptr<Detector> clone() override;
 
   /// Number of proposals forwarded to stage 2 per image.
   static constexpr std::size_t kProposalsPerImage = 6;
@@ -71,6 +72,7 @@ class FrcnnLite final : public Detector {
  private:
   GridSpec grid_;
   std::size_t num_classes_;
+  std::size_t in_channels_;
   std::shared_ptr<FrcnnModule> net_;
 };
 

@@ -88,7 +88,7 @@ Tensor RetinaNetModule::backward(const Tensor& grad_output) {
 
 RetinaLite::RetinaLite(const GridSpec& grid, std::size_t num_classes,
                        std::size_t in_channels)
-    : grid_(grid), num_classes_(num_classes) {
+    : grid_(grid), num_classes_(num_classes), in_channels_(in_channels) {
   ALFI_CHECK(grid.image_h == grid.grid * 8 && grid.image_w == grid.grid * 8,
              "RetinaLite expects an 8x spatial reduction (image = 8 * grid)");
   net_ = std::make_shared<RetinaNetModule>(in_channels, num_classes, grid.grid);
@@ -195,6 +195,12 @@ float RetinaLite::train_step(const data::DetectionBatch& batch) {
   net_->backward(grad);
   net_->set_training(false);
   return static_cast<float>(loss);
+}
+
+std::unique_ptr<Detector> RetinaLite::clone() {
+  auto copy = std::make_unique<RetinaLite>(grid_, num_classes_, in_channels_);
+  copy->network().copy_state_from(network());
+  return copy;
 }
 
 }  // namespace alfi::models

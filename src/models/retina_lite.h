@@ -45,6 +45,7 @@ class RetinaLite final : public Detector {
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
   float train_step(const data::DetectionBatch& batch) override;
+  std::unique_ptr<Detector> clone() override;
 
   std::vector<std::vector<Detection>> decode(const Tensor& output,
                                              float conf_threshold) const;
@@ -52,6 +53,7 @@ class RetinaLite final : public Detector {
  private:
   GridSpec grid_;
   std::size_t num_classes_;
+  std::size_t in_channels_;
   std::shared_ptr<RetinaNetModule> net_;
 };
 

@@ -14,7 +14,7 @@ float sigm(float v) { return 1.0f / (1.0f + std::exp(-v)); }
 
 YoloLite::YoloLite(const GridSpec& grid, std::size_t num_classes,
                    std::size_t in_channels)
-    : grid_(grid), num_classes_(num_classes) {
+    : grid_(grid), num_classes_(num_classes), in_channels_(in_channels) {
   ALFI_CHECK(grid.image_h == grid.grid * 8 && grid.image_w == grid.grid * 8,
              "YoloLite expects an 8x spatial reduction (image = 8 * grid)");
   net_ = std::make_shared<nn::Sequential>();
@@ -159,6 +159,12 @@ float YoloLite::train_step(const data::DetectionBatch& batch) {
   net_->backward(grad);
   net_->set_training(false);
   return static_cast<float>(loss);
+}
+
+std::unique_ptr<Detector> YoloLite::clone() {
+  auto copy = std::make_unique<YoloLite>(grid_, num_classes_, in_channels_);
+  copy->network().copy_state_from(network());
+  return copy;
 }
 
 }  // namespace alfi::models

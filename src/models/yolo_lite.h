@@ -23,6 +23,7 @@ class YoloLite final : public Detector {
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
   float train_step(const data::DetectionBatch& batch) override;
+  std::unique_ptr<Detector> clone() override;
 
   /// Decodes an already-computed output map (used by the objdet test
   /// harness to decode original and corrupted outputs identically).
@@ -32,6 +33,7 @@ class YoloLite final : public Detector {
  private:
   GridSpec grid_;
   std::size_t num_classes_;
+  std::size_t in_channels_;
   std::shared_ptr<nn::Sequential> net_;
 };
 

@@ -1,0 +1,41 @@
+#include "util/drain.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace alfi {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void drain_signal_handler(int signum) {
+  g_drain.store(true, std::memory_order_relaxed);
+  // Restore the default disposition: a second signal terminates
+  // immediately instead of being swallowed by a stuck drain.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_drain_handlers() {
+  if (g_installed.exchange(true)) return;
+  std::signal(SIGINT, drain_signal_handler);
+  std::signal(SIGTERM, drain_signal_handler);
+}
+
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+void request_drain() { g_drain.store(true, std::memory_order_relaxed); }
+
+void reset_drain_request() {
+  g_drain.store(false, std::memory_order_relaxed);
+  // Re-arm the handlers in case a first signal reset them to SIG_DFL.
+  if (g_installed.load()) {
+    std::signal(SIGINT, drain_signal_handler);
+    std::signal(SIGTERM, drain_signal_handler);
+  }
+}
+
+}  // namespace alfi

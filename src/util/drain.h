@@ -1,0 +1,34 @@
+// Graceful preemption for long campaigns.
+//
+// A SIGINT/SIGTERM received mid-campaign should not kill the process in
+// the middle of a work unit: with checkpointing enabled the run can
+// instead *drain* — finish the in-flight columns, flush the journal,
+// write a final checkpoint, and exit with a distinct code so schedulers
+// (and humans) know the campaign is resumable, not failed.
+//
+// The handler only sets a flag; the campaign executor polls
+// drain_requested() between work units.  A second signal falls back to
+// the default disposition (immediate termination) so an impatient ^C^C
+// still works.
+#pragma once
+
+namespace alfi {
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain.
+/// Idempotent; only the first call installs.
+void install_drain_handlers();
+
+/// True once SIGINT or SIGTERM was received (or request_drain() called).
+bool drain_requested();
+
+/// Programmatic drain request — same effect as receiving a signal.
+void request_drain();
+
+/// Clears the flag (between campaigns in one process, and in tests).
+void reset_drain_request();
+
+/// Exit code for "campaign drained to checkpoint, resume to finish"
+/// (EX_TEMPFAIL: transient condition, retrying will succeed).
+inline constexpr int kDrainExitCode = 75;
+
+}  // namespace alfi

@@ -180,5 +180,147 @@ TEST(Scenario, RepoDefaultYamlParses) {
   EXPECT_NO_THROW(s.validate());
 }
 
+// ---- ScenarioBuilder --------------------------------------------------------
+
+/// Runs build() and returns the ConfigError message ("" when it builds).
+std::string build_error(const ScenarioBuilder& builder) {
+  try {
+    builder.build();
+    return "";
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+}
+
+TEST(ScenarioBuilder, FluentChainSetsEveryField) {
+  const Scenario s = ScenarioBuilder()
+                         .target(FaultTarget::kWeights)
+                         .value_type(ValueType::kBitFlip)
+                         .bit_range(23, 30)
+                         .duration(FaultDuration::kTransient)
+                         .injection_policy(InjectionPolicy::kPerBatch)
+                         .max_faults_per_image(3)
+                         .layer_types({nn::LayerKind::kConv2d})
+                         .layer_range(1, 4)
+                         .weighted_layer_selection(false)
+                         .dataset_size(50)
+                         .num_runs(2)
+                         .batch_size(10)
+                         .seed(777)
+                         .build();
+  EXPECT_EQ(s.target, FaultTarget::kWeights);
+  EXPECT_EQ(s.rnd_bit_range_lo, 23);
+  EXPECT_EQ(s.rnd_bit_range_hi, 30);
+  EXPECT_EQ(s.inj_policy, InjectionPolicy::kPerBatch);
+  EXPECT_EQ(s.max_faults_per_image, 3u);
+  ASSERT_EQ(s.layer_types.size(), 1u);
+  ASSERT_TRUE(s.layer_range.has_value());
+  EXPECT_EQ(s.layer_range->second, 4u);
+  EXPECT_FALSE(s.weighted_layer_selection);
+  EXPECT_EQ(s.dataset_size, 50u);
+  EXPECT_EQ(s.rnd_seed, 777u);
+}
+
+TEST(ScenarioBuilder, DefaultBuilds) {
+  EXPECT_NO_THROW(ScenarioBuilder().build());
+}
+
+TEST(ScenarioBuilder, AggregatesAllProblemsInOneError) {
+  // Three independent offences — the single ConfigError must name every
+  // one, not just the first.
+  const std::string message = build_error(ScenarioBuilder()
+                                              .value_type(ValueType::kRandomValue)
+                                              .bit_range(5, 3)
+                                              .dataset_size(0));
+  EXPECT_NE(message.find("invalid scenario:"), std::string::npos) << message;
+  EXPECT_NE(message.find("bit_range conflicts"), std::string::npos) << message;
+  EXPECT_NE(message.find("rnd_bit_range must satisfy"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("dataset_size must be positive"), std::string::npos)
+      << message;
+}
+
+TEST(ScenarioBuilder, RejectsBitRangeWithRandomValue) {
+  EXPECT_NE(build_error(ScenarioBuilder()
+                            .value_type(ValueType::kRandomValue)
+                            .bit_range(0, 7))
+                .find("bit_range conflicts with value_type random_value"),
+            std::string::npos);
+  // Setting the same bit range under bitflip is fine.
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .value_type(ValueType::kBitFlip)
+                            .bit_range(0, 7)),
+            "");
+}
+
+TEST(ScenarioBuilder, RejectsValueRangeWithoutRandomValue) {
+  EXPECT_NE(build_error(ScenarioBuilder().value_range(-2.0f, 2.0f))
+                .find("value_range conflicts with value_type bitflip"),
+            std::string::npos);
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .value_type(ValueType::kRandomValue)
+                            .value_range(-2.0f, 2.0f)),
+            "");
+}
+
+TEST(ScenarioBuilder, RejectsPermanentPerImage) {
+  EXPECT_NE(build_error(ScenarioBuilder()
+                            .duration(FaultDuration::kPermanent)
+                            .injection_policy(InjectionPolicy::kPerImage))
+                .find("permanent faults conflict with the per_image policy"),
+            std::string::npos);
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .duration(FaultDuration::kPermanent)
+                            .injection_policy(InjectionPolicy::kPerEpoch)),
+            "");
+}
+
+TEST(ScenarioBuilder, RejectsEmptyLayerTypes) {
+  EXPECT_NE(build_error(ScenarioBuilder().layer_types({}))
+                .find("layer_types was set to an empty list"),
+            std::string::npos);
+  // An untouched layer_types (empty by default = all kinds) stays valid.
+  EXPECT_EQ(build_error(ScenarioBuilder()), "");
+}
+
+TEST(ScenarioBuilder, AnyLayerLiftsRestrictions) {
+  const Scenario s = ScenarioBuilder()
+                         .layer_types({})  // would be rejected on its own
+                         .layer_range(2, 5)
+                         .any_layer()
+                         .build();
+  EXPECT_TRUE(s.layer_types.empty());
+  EXPECT_FALSE(s.layer_range.has_value());
+}
+
+TEST(ScenarioBuilder, FromSeedsExistingScenario) {
+  const Scenario base = Scenario::from_yaml(io::parse_yaml(kFullYaml));
+  const Scenario tweaked = ScenarioBuilder::from(base).seed(999).build();
+  EXPECT_EQ(tweaked.rnd_seed, 999u);
+  // Everything else carried over untouched.
+  EXPECT_EQ(tweaked.target, base.target);
+  EXPECT_EQ(tweaked.layer_types, base.layer_types);
+  EXPECT_EQ(tweaked.dataset_size, base.dataset_size);
+}
+
+TEST(ScenarioBuilder, FromRevalidatesOnBuild) {
+  Scenario broken;
+  broken.dataset_size = 0;  // struct fields can be set without checks
+  EXPECT_THROW(ScenarioBuilder::from(broken).build(), ConfigError);
+  // Fixing the offending knob through the builder makes it build.
+  EXPECT_NO_THROW(ScenarioBuilder::from(broken).dataset_size(10).build());
+}
+
+TEST(Scenario, ValidationErrorsListsEveryProblem) {
+  Scenario s;
+  s.rnd_bit_range_lo = 9;
+  s.rnd_bit_range_hi = 2;
+  s.dataset_size = 0;
+  s.batch_size = 0;
+  const auto errors = s.validation_errors();
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(Scenario{}.validation_errors().empty());
+}
+
 }  // namespace
 }  // namespace alfi::core

@@ -24,6 +24,7 @@
 #include "data/synthetic.h"
 #include "models/classification.h"
 #include "models/train.h"
+#include "util/drain.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "vis/ascii_plot.h"
@@ -77,6 +78,26 @@ std::size_t parse_jobs(const Args& args) {
   return static_cast<std::size_t>(*parsed);
 }
 
+/// --checkpoint <dir> / --resume <dir> / --checkpoint-every N: shared
+/// crash-safety flags of both run commands.  --resume implies the
+/// checkpoint directory, so `alfi run-... --resume out/ckpt` both
+/// continues the interrupted campaign and keeps checkpointing it.
+void apply_checkpoint_flags(core::CampaignConfigBase& config, const Args& args) {
+  if (const auto dir = args.get("checkpoint")) config.checkpoint_dir = *dir;
+  if (const auto dir = args.get("resume")) {
+    config.checkpoint_dir = *dir;
+    config.resume = true;
+  }
+  if (const auto v = args.get("checkpoint-every")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--checkpoint-every must be a positive integer, got: " + *v);
+    }
+    config.checkpoint_every = static_cast<std::size_t>(*parsed);
+  }
+  if (!config.checkpoint_dir.empty()) install_drain_handlers();
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -115,6 +136,17 @@ int cmd_run_imgclass(const Args& args) {
   data_config.seed = 99;
   const data::SyntheticShapesClassification dataset(data_config);
 
+  // Checkpoint flags first: the drain handlers must already be in place
+  // while the (potentially long) model training below runs, so a
+  // SIGTERM at any point after argument parsing drains gracefully.
+  core::ImgClassCampaignConfig config;
+  config.model_name = arch;
+  config.output_dir = args.get("output", "alfi_out");
+  config.mitigation = parse_mitigation(args);
+  config.fault_file = args.get("fault-file", "");
+  config.jobs = parse_jobs(args);
+  apply_checkpoint_flags(config, args);
+
   auto model = models::make_classifier(arch, {});
   models::TrainConfig train_config;
   train_config.epochs = 30;
@@ -125,13 +157,6 @@ int cmd_run_imgclass(const Args& args) {
                                   "alfi_cache/cli_" + arch + ".params");
   std::printf("model %s ready, fault-free accuracy %.3f\n", arch.c_str(),
               static_cast<double>(models::evaluate_classifier(*model, dataset)));
-
-  core::ImgClassCampaignConfig config;
-  config.model_name = arch;
-  config.output_dir = args.get("output", "alfi_out");
-  config.mitigation = parse_mitigation(args);
-  config.fault_file = args.get("fault-file", "");
-  config.jobs = parse_jobs(args);
 
   core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
   const auto result = harness.run();
@@ -154,6 +179,15 @@ int cmd_run_objdet(const Args& args) {
   const data::SyntheticShapesDetection dataset(data_config);
   scenario.dataset_size = std::min(scenario.dataset_size, dataset.size());
 
+  // As in run-imgclass: drain handlers in place before the training run.
+  core::ObjDetCampaignConfig config;
+  config.model_name = family;
+  config.output_dir = args.get("output", "alfi_out");
+  config.mitigation = parse_mitigation(args);
+  config.fault_file = args.get("fault-file", "");
+  config.jobs = parse_jobs(args);
+  apply_checkpoint_flags(config, args);
+
   auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
   models::TrainConfig train_config;
   train_config.epochs = 50;
@@ -165,12 +199,6 @@ int cmd_run_objdet(const Args& args) {
   std::printf("detector %s ready, recall@0.5IoU %.3f\n", family.c_str(),
               static_cast<double>(
                   models::evaluate_detector_recall(*detector, dataset, 0.4f)));
-
-  core::ObjDetCampaignConfig config;
-  config.model_name = family;
-  config.output_dir = args.get("output", "alfi_out");
-  config.mitigation = parse_mitigation(args);
-  config.fault_file = args.get("fault-file", "");
 
   core::TestErrorModelsObjDet harness(*detector, dataset, scenario, config);
   const auto result = harness.run();
@@ -292,8 +320,12 @@ void usage() {
                "                 [--dataset-size N] [--faults-per-image N] [--seed N]\n"
                "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
+               "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
-               "                  cores; output is identical for every job count)\n"
+               "                  cores; output is identical for every job count.\n"
+               "                  --checkpoint: journal completed units so an\n"
+               "                  interrupted campaign resumes with --resume;\n"
+               "                  SIGINT/SIGTERM drain gracefully, exit code 75)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"
@@ -320,6 +352,12 @@ int main(int argc, char** argv) {
     if (command == "show-scenario") return cmd_show_scenario(args);
     usage();
     return 2;
+  } catch (const core::CampaignInterrupted& e) {
+    std::fprintf(stderr, "alfi: %s\n", e.what());
+    std::fprintf(stderr,
+                 "alfi: rerun with --resume %s to finish the campaign\n",
+                 e.checkpoint_dir().c_str());
+    return kDrainExitCode;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "alfi: %s\n", e.what());
     return 1;
