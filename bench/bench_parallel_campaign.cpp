@@ -47,8 +47,19 @@ core::Scenario campaign_scenario() {
   return s;
 }
 
-double run_campaign_once(std::size_t jobs, const std::string& checkpoint_dir = "",
-                         std::size_t checkpoint_every = 8) {
+/// One campaign run: wall time plus the per-unit latency percentiles
+/// from the harness's campaign.unit_ms histogram — the perf baseline
+/// future optimization PRs compare against.
+struct CampaignRun {
+  double seconds = 0.0;
+  double unit_p50_ms = 0.0;
+  double unit_p95_ms = 0.0;
+  double unit_p99_ms = 0.0;
+};
+
+CampaignRun run_campaign_once(std::size_t jobs,
+                              const std::string& checkpoint_dir = "",
+                              std::size_t checkpoint_every = 8) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
@@ -59,24 +70,35 @@ double run_campaign_once(std::size_t jobs, const std::string& checkpoint_dir = "
   Stopwatch watch;
   const auto result = harness.run();
   benchmark::DoNotOptimize(result.kpis.total);
-  return watch.elapsed_seconds();
+  CampaignRun run;
+  run.seconds = watch.elapsed_seconds();
+  for (const auto& [name, histogram] : harness.metrics().histograms()) {
+    if (name != "campaign.unit_ms") continue;
+    run.unit_p50_ms = histogram->percentile(50.0);
+    run.unit_p95_ms = histogram->percentile(95.0);
+    run.unit_p99_ms = histogram->percentile(99.0);
+  }
+  return run;
 }
 
 /// Serial wall-clock baseline, measured once and reused by every job
 /// count so the reported speedups share a denominator.
 double serial_baseline() {
-  static const double seconds = run_campaign_once(1);
+  static const double seconds = run_campaign_once(1).seconds;
   return seconds;
 }
 
 void BM_CampaignJobs(benchmark::State& state) {
   const auto jobs = static_cast<std::size_t>(state.range(0));
-  double last = 0.0;
+  CampaignRun last;
   for (auto _ : state) {
     last = run_campaign_once(jobs);
   }
-  state.counters["speedup"] = serial_baseline() / last;
+  state.counters["speedup"] = serial_baseline() / last.seconds;
   state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["unit_p50_ms"] = last.unit_p50_ms;
+  state.counters["unit_p95_ms"] = last.unit_p95_ms;
+  state.counters["unit_p99_ms"] = last.unit_p99_ms;
 }
 BENCHMARK(BM_CampaignJobs)
     ->Arg(1)
@@ -94,7 +116,7 @@ BENCHMARK(BM_CampaignJobs)
 /// every unit, the worst case).
 void BM_CampaignCheckpointOverhead(benchmark::State& state) {
   const auto every = static_cast<std::size_t>(state.range(0));
-  double last = 0.0;
+  CampaignRun last;
   for (auto _ : state) {
     state.PauseTiming();
     const std::string dir =
@@ -106,8 +128,10 @@ void BM_CampaignCheckpointOverhead(benchmark::State& state) {
     std::filesystem::remove_all(dir);
     state.ResumeTiming();
   }
-  state.counters["overhead"] = last / serial_baseline();
+  state.counters["overhead"] = last.seconds / serial_baseline();
   state.counters["checkpoint_every"] = static_cast<double>(every);
+  state.counters["unit_p50_ms"] = last.unit_p50_ms;
+  state.counters["unit_p95_ms"] = last.unit_p95_ms;
 }
 BENCHMARK(BM_CampaignCheckpointOverhead)
     ->Arg(1)

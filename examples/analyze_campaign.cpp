@@ -8,6 +8,7 @@
 // bit-wise vulnerability tables, a misclassification matrix, and
 // flip-direction statistics.
 #include <cstdio>
+#include <cstring>
 
 #include "core/alficore.h"
 #include "data/synthetic.h"
@@ -17,8 +18,20 @@
 
 using namespace alfi;
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+
+  // optional telemetry: --metrics <path> writes the campaign's
+  // metrics.json (DESIGN.md §9), --progress draws a live stderr line
+  std::string metrics_path;
+  bool progress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    }
+  }
 
   const data::SyntheticShapesClassification dataset(
       {.size = 96, .num_classes = 10, .seed = 23});
@@ -43,6 +56,8 @@ int main() {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.output_dir = "analyze_campaign_out";
+  config.metrics_path = metrics_path;
+  config.progress = progress;
   core::TestErrorModelsImgClass campaign(*model, dataset, scenario, config);
   const auto result = campaign.run();
   std::printf("campaign done (SDE %.3f, DUE %.3f); analyzing output files...\n\n",

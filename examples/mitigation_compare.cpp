@@ -6,6 +6,7 @@
 // one — the tightly-coupled triple the paper's architecture is built
 // around — and reports SDE before/after hardening.
 #include <cstdio>
+#include <cstring>
 
 #include "core/alficore.h"
 #include "data/synthetic.h"
@@ -15,8 +16,20 @@
 
 using namespace alfi;
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+
+  // optional telemetry: --metrics <base path> writes one metrics.json
+  // per protection setting, --progress draws a live stderr line
+  std::string metrics_base;
+  bool progress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_base = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    }
+  }
 
   const data::SyntheticShapesClassification dataset(
       {.size = 96, .num_classes = 10, .seed = 13});
@@ -49,6 +62,8 @@ int main() {
     config.output_dir = "mitigation_compare_out";
     config.mitigation = mitigation;
     config.fault_file = fault_file;  // empty on the first pass
+    if (!metrics_base.empty()) config.metrics_path = metrics_base + "." + label;
+    config.progress = progress;
     core::TestErrorModelsImgClass campaign(*model, dataset, scenario, config);
     const auto result = campaign.run();
     if (fault_file.empty()) fault_file = result.fault_bin;

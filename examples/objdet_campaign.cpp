@@ -9,6 +9,7 @@
 // complete fault-injection campaign, producing the three output sets of
 // §V.F.2 under ./objdet_campaign_out/.
 #include <cstdio>
+#include <cstring>
 
 #include "core/alficore.h"
 #include "data/synthetic.h"
@@ -18,8 +19,20 @@
 
 using namespace alfi;
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::kInfo);
+
+  // optional telemetry: --metrics <path> writes the campaign's
+  // metrics.json (DESIGN.md §9), --progress draws a live stderr line
+  std::string metrics_path;
+  bool progress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    }
+  }
 
   // the existing application: a trained detector
   const data::SyntheticShapesDetection dataset(
@@ -50,6 +63,8 @@ int main() {
   config.model_name = "yolov3";  // role of the paper's Darknet yolov3
   config.output_dir = "objdet_campaign_out";
   config.mitigation = core::MitigationKind::kRanger;
+  config.metrics_path = metrics_path;
+  config.progress = progress;
 
   core::TestErrorModelsObjDet campaign(yolo, dataset, scenario, config);
   const core::ObjDetCampaignResult result = campaign.run();
@@ -68,5 +83,8 @@ int main() {
   std::printf("output set c) %s\n            %s\n            %s\n",
               result.orig_json.c_str(), result.corr_json.c_str(),
               result.resil_json.c_str());
+  if (!metrics_path.empty()) {
+    std::printf("telemetry     %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "core/campaign.h"
 
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "util/stopwatch.h"
 
 #include "io/atomic_file.h"
 #include "util/drain.h"
@@ -156,7 +159,9 @@ CampaignCheckpoint CampaignCheckpoint::load(const std::string& path) {
 
 // ---- executor ---------------------------------------------------------------
 
-CampaignExecutor::CampaignExecutor(CampaignTask& task) : task_(task) {}
+CampaignExecutor::CampaignExecutor(CampaignTask& task,
+                                   util::MetricsRegistry* metrics)
+    : task_(task), metrics_(metrics) {}
 
 std::string CampaignExecutor::journal_path(const std::string& checkpoint_dir) {
   return checkpoint_dir + "/journal.bin";
@@ -177,6 +182,31 @@ void CampaignExecutor::execute() {
 
   const std::function<bool()> interrupted =
       config.interrupt ? config.interrupt : std::function<bool()>(&drain_requested);
+
+  // Resolve every telemetry handle up front: counters exist (at zero)
+  // in the output even when an event never fires, and the hot loop
+  // updates them lock-free.
+  util::Counter* units_total = nullptr;
+  util::Counter* units_computed = nullptr;
+  util::Counter* units_replayed = nullptr;
+  util::Counter* journal_frames = nullptr;
+  util::Counter* journal_payload_bytes = nullptr;
+  util::Counter* checkpoint_writes = nullptr;
+  util::Histogram* unit_ms = nullptr;
+  util::Histogram* journal_append_ms = nullptr;
+  util::Histogram* checkpoint_write_ms = nullptr;
+  if (metrics_ != nullptr) {
+    units_total = &metrics_->counter("units.total");
+    units_computed = &metrics_->counter("units.computed");
+    units_replayed = &metrics_->counter("units.replayed");
+    journal_frames = &metrics_->counter("journal.frames");
+    journal_payload_bytes = &metrics_->counter("journal.payload_bytes");
+    checkpoint_writes = &metrics_->counter("checkpoint.writes");
+    unit_ms = &metrics_->histogram("campaign.unit_ms");
+    journal_append_ms = &metrics_->histogram("journal.append_ms");
+    checkpoint_write_ms = &metrics_->histogram("checkpoint.write_ms");
+  }
+  if (units_total != nullptr) units_total->add(units);
 
   // ---- resume: validate identity, recover the journal ----------------------
   std::vector<std::string> payloads(units);
@@ -213,6 +243,7 @@ void CampaignExecutor::execute() {
     }
     ALFI_LOG(kInfo) << "resuming campaign: " << done << "/" << units
                     << " units recovered from journal";
+    if (units_replayed != nullptr) units_replayed->add(done);
   } else if (checkpointing) {
     std::filesystem::create_directories(config.checkpoint_dir);
   }
@@ -242,6 +273,7 @@ void CampaignExecutor::execute() {
 
   const auto write_checkpoint_locked = [&] {
     if (!checkpointing) return;
+    Stopwatch cp_watch;
     journal->sync();
     CampaignCheckpoint cp;
     cp.fingerprint = fingerprint;
@@ -259,6 +291,28 @@ void CampaignExecutor::execute() {
       cp.shards.push_back(mark);
     }
     cp.save(checkpoint_path(config.checkpoint_dir));
+    if (checkpoint_writes != nullptr) checkpoint_writes->add();
+    if (checkpoint_write_ms != nullptr) checkpoint_write_ms->record(cp_watch.elapsed_ms());
+  };
+
+  // Throttled --progress line: at most one stderr update per 200ms,
+  // written under merge_mutex so lines never interleave.
+  const Stopwatch campaign_watch;
+  double last_progress_ms = -1.0;
+  const auto print_progress_locked = [&](bool final_line) {
+    if (!config.progress) return;
+    const double now_ms = campaign_watch.elapsed_ms();
+    if (!final_line && last_progress_ms >= 0.0 && now_ms - last_progress_ms < 200.0) {
+      return;
+    }
+    last_progress_ms = now_ms;
+    const double pct = units == 0 ? 100.0 : 100.0 * static_cast<double>(done) /
+                                                static_cast<double>(units);
+    const double rate = now_ms <= 0.0 ? 0.0 : static_cast<double>(done) /
+                                                  (now_ms / 1000.0);
+    std::fprintf(stderr, "\r[alfi] %zu/%zu units (%5.1f%%) %8.1f units/s%s",
+                 done, units, pct, rate, final_line ? "\n" : "");
+    std::fflush(stderr);
   };
 
   if (checkpointing && !config.resume) {
@@ -277,23 +331,49 @@ void CampaignExecutor::execute() {
     runner.run_shards(shards, [&](const CampaignShard& shard) {
       std::unique_ptr<CampaignUnitRunner> unit_runner;  // created lazily:
       // a fully-journaled shard never pays for a model replica.
+      const Stopwatch shard_watch;
+      std::size_t shard_computed = 0;
       for (std::size_t t = shard.begin; t < shard.end; ++t) {
         if (completed[t]) continue;  // replayed from journal (pre-thread state)
         if (interrupted()) break;
         if (!unit_runner) unit_runner = task_.make_unit_runner(shared_model);
+        const Stopwatch unit_watch;
         std::string payload = unit_runner->run_unit(t);
+        if (unit_ms != nullptr) unit_ms->record(unit_watch.elapsed_ms());
+        ++shard_computed;
 
         std::lock_guard<std::mutex> lock(merge_mutex);
-        if (journal) journal->append_unit(t, payload);
+        if (journal) {
+          const Stopwatch append_watch;
+          journal->append_unit(t, payload);
+          if (journal_append_ms != nullptr) {
+            journal_append_ms->record(append_watch.elapsed_ms());
+          }
+          if (journal_frames != nullptr) journal_frames->add();
+          if (journal_payload_bytes != nullptr) {
+            journal_payload_bytes->add(payload.size());
+          }
+        }
         payloads[t] = std::move(payload);
         completed[t] = 1;
         ++done;
+        if (units_computed != nullptr) units_computed->add();
+        print_progress_locked(/*final_line=*/false);
         if (checkpointing && ++done_since_checkpoint >= config.checkpoint_every) {
           done_since_checkpoint = 0;
           write_checkpoint_locked();
         }
       }
+      if (metrics_ != nullptr && shard_computed > 0) {
+        const double seconds = shard_watch.elapsed_seconds();
+        metrics_->gauge("worker." + std::to_string(shard.index) + ".units_per_sec")
+            .set(seconds <= 0.0 ? 0.0 : static_cast<double>(shard_computed) / seconds);
+      }
     });
+  }
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    print_progress_locked(/*final_line=*/true);
   }
 
   // ---- drained? persist progress and surface the preemption ----------------

@@ -36,6 +36,7 @@
 
 #include "core/campaign_task.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace alfi::core {
@@ -133,7 +134,12 @@ struct CampaignCheckpoint {
 /// finalize.  One executor instance runs one campaign.
 class CampaignExecutor {
  public:
-  explicit CampaignExecutor(CampaignTask& task);
+  /// `metrics` (optional) receives campaign telemetry: unit counters
+  /// (units.total/computed/replayed — commutative, so identical for any
+  /// --jobs), the campaign.unit_ms latency histogram, journal/checkpoint
+  /// write latency + bytes and per-worker units/sec gauges.
+  explicit CampaignExecutor(CampaignTask& task,
+                            util::MetricsRegistry* metrics = nullptr);
 
   /// Paths used inside a checkpoint directory.
   static std::string journal_path(const std::string& checkpoint_dir);
@@ -145,6 +151,7 @@ class CampaignExecutor {
 
  private:
   CampaignTask& task_;
+  util::MetricsRegistry* metrics_;
 };
 
 }  // namespace alfi::core

@@ -66,6 +66,13 @@ struct CampaignConfigBase {
   /// (finish in-flight units, checkpoint, throw CampaignInterrupted).
   /// Defaults to alfi::drain_requested() — the SIGINT/SIGTERM flag.
   std::function<bool()> interrupt;
+
+  // ---- telemetry -----------------------------------------------------------
+  /// Write the campaign's metrics.json here (io/metrics_json.h schema,
+  /// atomic temp+rename); empty disables the file.
+  std::string metrics_path;
+  /// Emit a throttled live progress line on stderr while units run.
+  bool progress = false;
 };
 
 /// Per-worker execution engine for one shard: owns whatever replica /

@@ -27,6 +27,7 @@ Injector::~Injector() {
 }
 
 void Injector::arm(std::vector<Fault> faults) {
+  if (armed_counter_ != nullptr) armed_counter_->add(faults.size());
   for (Fault& fault : faults) {
     ALFI_CHECK(fault.layer >= 0 &&
                    static_cast<std::size_t>(fault.layer) < profile_.layer_count(),
@@ -39,6 +40,22 @@ void Injector::arm(std::vector<Fault> faults) {
   }
 }
 
+void Injector::set_metrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    armed_counter_ = nullptr;
+    applied_counter_ = nullptr;
+    skipped_counter_ = nullptr;
+    weight_applied_counter_ = nullptr;
+    weight_restore_counter_ = nullptr;
+    return;
+  }
+  armed_counter_ = &registry->counter("injections.armed");
+  applied_counter_ = &registry->counter("injections.applied");
+  skipped_counter_ = &registry->counter("injections.skipped_batch_slot");
+  weight_applied_counter_ = &registry->counter("injections.weight_applied");
+  weight_restore_counter_ = &registry->counter("injections.weight_restores");
+}
+
 void Injector::disarm() {
   for (auto& layer_faults : neuron_faults_by_layer_) layer_faults.clear();
   if (duration_ == FaultDuration::kTransient) restore_all_weights();
@@ -49,6 +66,9 @@ void Injector::restore_all_weights() {
   // unwind to the true original value.
   for (auto it = weight_restores_.rbegin(); it != weight_restores_.rend(); ++it) {
     it->param->value.flat(it->offset) = it->original;
+  }
+  if (weight_restore_counter_ != nullptr) {
+    weight_restore_counter_->add(weight_restores_.size());
   }
   weight_restores_.clear();
 }
@@ -69,6 +89,7 @@ void Injector::apply_weight_fault(const Fault& fault) {
   const float corrupted = fault.corrupt(original);
   weight->value.flat(offset) = corrupted;
   weight_restores_.push_back({weight, offset, original});
+  if (weight_applied_counter_ != nullptr) weight_applied_counter_->add();
 
   InjectionRecord record;
   record.fault = fault;
@@ -97,7 +118,14 @@ void Injector::apply_neuron_faults(std::size_t layer_index, Tensor& output) {
     const std::size_t offset = fault.neuron_offset(sample_shape);
     const std::size_t first_slot =
         fault.batch < 0 ? 0 : static_cast<std::size_t>(fault.batch);
-    if (fault.batch >= 0 && first_slot >= batch) continue;
+    if (fault.batch >= 0 && first_slot >= batch) {
+      // A per-batch fault aimed past a short (final) batch: nothing is
+      // corrupted, so the unit is effectively fault-free.  Count it —
+      // silently dropping it shrinks the KPI denominators.
+      ++skipped_injections_;
+      if (skipped_counter_ != nullptr) skipped_counter_->add();
+      continue;
+    }
     const std::size_t last_slot = fault.batch < 0 ? batch - 1 : first_slot;
 
     for (std::size_t slot = first_slot; slot <= last_slot; ++slot) {
@@ -117,6 +145,7 @@ void Injector::apply_neuron_faults(std::size_t layer_index, Tensor& output) {
         record.flip_direction = bits::flip_direction(original, fault.bit_pos);
       }
       records_.push_back(std::move(record));
+      if (applied_counter_ != nullptr) applied_counter_->add();
     }
   }
 }

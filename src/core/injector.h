@@ -15,10 +15,12 @@
 // corrupted value, flip direction) for the post-run binary trace file.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/fault_matrix.h"
 #include "core/model_profile.h"
+#include "util/metrics.h"
 
 namespace alfi::core {
 
@@ -37,7 +39,8 @@ class Injector {
   /// Arms a set of faults: weight faults are applied immediately,
   /// neuron faults fire on every subsequent forward until disarmed.
   /// A fault's `batch` field selects the sample slot (-1 = all slots;
-  /// slots beyond the actual batch are ignored).
+  /// a slot beyond the actual batch — e.g. a per-batch fault meeting a
+  /// short final batch — is counted in skipped_injection_count()).
   void arm(std::vector<Fault> faults);
 
   /// Disarms neuron faults and (for transient duration) restores weights.
@@ -64,6 +67,15 @@ class Injector {
   std::size_t armed_neuron_fault_count() const;
   std::size_t pending_weight_restores() const { return weight_restores_.size(); }
 
+  /// Neuron faults whose batch slot exceeded the forwarded batch, so no
+  /// value was corrupted and no InjectionRecord written.  Campaigns
+  /// surface this so KPI denominators do not silently shrink.
+  std::size_t skipped_injection_count() const { return skipped_injections_; }
+
+  /// Mirrors armed/applied/skipped/restore events into `registry`
+  /// (counters `injections.*`).  Pass nullptr to detach.
+  void set_metrics(util::MetricsRegistry* registry);
+
   FaultDuration duration() const { return duration_; }
   void set_duration(FaultDuration duration) { duration_ = duration; }
 
@@ -86,6 +98,13 @@ class Injector {
   std::vector<WeightRestore> weight_restores_;
   std::vector<InjectionRecord> records_;
   std::size_t inference_index_ = 0;
+  std::size_t skipped_injections_ = 0;
+  // Resolved once in set_metrics(); updated lock-free on the hot path.
+  util::Counter* armed_counter_ = nullptr;
+  util::Counter* applied_counter_ = nullptr;
+  util::Counter* skipped_counter_ = nullptr;
+  util::Counter* weight_applied_counter_ = nullptr;
+  util::Counter* weight_restore_counter_ = nullptr;
 };
 
 }  // namespace alfi::core

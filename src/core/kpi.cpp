@@ -81,34 +81,15 @@ ClassDetections match_class(
   return out;
 }
 
-}  // namespace
+/// One pooled detection: its score and whether it matched a ground truth.
+struct Scored {
+  float score;
+  bool tp;
+};
 
-double average_precision(
-    const std::vector<std::vector<data::Annotation>>& ground_truth,
-    const std::vector<std::vector<models::Detection>>& detections,
-    std::size_t category, float iou_threshold) {
-  ALFI_CHECK(ground_truth.size() == detections.size(),
-             "ground truth / detection image counts differ");
-
-  // Pool detections across all images, keeping per-image matching.
-  struct Scored {
-    float score;
-    bool tp;
-  };
-  std::vector<Scored> pooled;
-  std::size_t gt_total = 0;
-  for (std::size_t img = 0; img < ground_truth.size(); ++img) {
-    for (const data::Annotation& gt : ground_truth[img]) {
-      if (gt.category_id == category) ++gt_total;
-    }
-    const ClassDetections matched =
-        match_class(ground_truth[img], detections[img], category, iou_threshold);
-    for (std::size_t i = 0; i < matched.scores.size(); ++i) {
-      pooled.push_back({matched.scores[i], matched.true_positive[i]});
-    }
-  }
-  if (gt_total == 0) return -1.0;  // class absent: COCO skips it
-
+/// 101-point COCO-interpolated AP over detections pooled across images
+/// (sorts `pooled` by descending score in place).
+double ap_from_pooled(std::vector<Scored>& pooled, std::size_t gt_total) {
   std::stable_sort(pooled.begin(), pooled.end(),
                    [](const Scored& a, const Scored& b) { return a.score > b.score; });
 
@@ -138,55 +119,109 @@ double average_precision(
   return ap / 101.0;
 }
 
+/// COCO maxDets: keeps only the top `max_dets` detections per image by
+/// score (all classes together, as pycocotools does).
+std::vector<std::vector<models::Detection>> cap_detections(
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t max_dets) {
+  std::vector<std::vector<models::Detection>> capped = detections;
+  for (std::vector<models::Detection>& dets : capped) {
+    if (dets.size() <= max_dets) continue;
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const models::Detection& a, const models::Detection& b) {
+                       return a.score > b.score;
+                     });
+    dets.resize(max_dets);
+  }
+  return capped;
+}
+
+}  // namespace
+
+double average_precision(
+    const std::vector<std::vector<data::Annotation>>& ground_truth,
+    const std::vector<std::vector<models::Detection>>& detections,
+    std::size_t category, float iou_threshold) {
+  ALFI_CHECK(ground_truth.size() == detections.size(),
+             "ground truth / detection image counts differ");
+
+  // Pool detections across all images, keeping per-image matching.
+  std::vector<Scored> pooled;
+  std::size_t gt_total = 0;
+  for (std::size_t img = 0; img < ground_truth.size(); ++img) {
+    for (const data::Annotation& gt : ground_truth[img]) {
+      if (gt.category_id == category) ++gt_total;
+    }
+    const ClassDetections matched =
+        match_class(ground_truth[img], detections[img], category, iou_threshold);
+    for (std::size_t i = 0; i < matched.scores.size(); ++i) {
+      pooled.push_back({matched.scores[i], matched.true_positive[i]});
+    }
+  }
+  if (gt_total == 0) return -1.0;  // class absent: COCO skips it
+  return ap_from_pooled(pooled, gt_total);
+}
+
+std::vector<float> coco_iou_thresholds() {
+  std::vector<float> thresholds;
+  thresholds.reserve(kCocoIouSteps);
+  for (int step = 0; step < kCocoIouSteps; ++step) {
+    thresholds.push_back(static_cast<float>(50 + 5 * step) / 100.0f);
+  }
+  return thresholds;
+}
+
 CocoSummary evaluate_coco(
     const std::vector<std::vector<data::Annotation>>& ground_truth,
     const std::vector<std::vector<models::Detection>>& detections,
     std::size_t num_classes) {
+  ALFI_CHECK(ground_truth.size() == detections.size(),
+             "ground truth / detection image counts differ");
   CocoSummary summary;
-  std::vector<float> thresholds;
-  for (float t = 0.50f; t < 0.96f; t += 0.05f) thresholds.push_back(t);
 
+  // COCO maxDets=100 applies to AP and AR alike; cap once, up front.
+  const std::vector<std::vector<models::Detection>> capped =
+      cap_detections(detections, kCocoMaxDetections);
+  const std::vector<float> thresholds = coco_iou_thresholds();
+
+  // One match pass per (threshold, class, image) feeds both AP (pooled
+  // scored matches) and AR (TP count over ground-truth total).
   double ap_sum_5095 = 0.0;
   std::size_t ap_terms = 0;
-  for (const float threshold : thresholds) {
+  double ar_sum = 0.0;
+  std::size_t ar_terms = 0;
+  for (int step = 0; step < kCocoIouSteps; ++step) {
+    const float threshold = thresholds[static_cast<std::size_t>(step)];
     double class_sum = 0.0;
     std::size_t class_count = 0;
     for (std::size_t c = 0; c < num_classes; ++c) {
-      const double ap = average_precision(ground_truth, detections, c, threshold);
-      if (ap < 0.0) continue;
-      class_sum += ap;
-      ++class_count;
-    }
-    if (class_count == 0) continue;
-    const double map_at_t = class_sum / static_cast<double>(class_count);
-    ap_sum_5095 += map_at_t;
-    ++ap_terms;
-    if (std::fabs(threshold - 0.50f) < 1e-4f) summary.ap_50 = map_at_t;
-    if (std::fabs(threshold - 0.75f) < 1e-4f) summary.ap_75 = map_at_t;
-  }
-  summary.ap_5095 = ap_terms == 0 ? 0.0 : ap_sum_5095 / static_cast<double>(ap_terms);
-
-  // AR: mean over classes and IoU thresholds of achieved recall.
-  double ar_sum = 0.0;
-  std::size_t ar_terms = 0;
-  for (const float threshold : thresholds) {
-    for (std::size_t c = 0; c < num_classes; ++c) {
+      std::vector<Scored> pooled;
       std::size_t gt_total = 0, tp = 0;
       for (std::size_t img = 0; img < ground_truth.size(); ++img) {
         for (const data::Annotation& gt : ground_truth[img]) {
           if (gt.category_id == c) ++gt_total;
         }
         const ClassDetections matched =
-            match_class(ground_truth[img], detections[img], c, threshold);
-        for (const bool is_tp : matched.true_positive) {
-          if (is_tp) ++tp;
+            match_class(ground_truth[img], capped[img], c, threshold);
+        for (std::size_t i = 0; i < matched.scores.size(); ++i) {
+          pooled.push_back({matched.scores[i], matched.true_positive[i]});
+          tp += matched.true_positive[i] ? 1 : 0;
         }
       }
-      if (gt_total == 0) continue;
+      if (gt_total == 0) continue;  // class absent: COCO skips it
+      class_sum += ap_from_pooled(pooled, gt_total);
+      ++class_count;
       ar_sum += static_cast<double>(tp) / static_cast<double>(gt_total);
       ++ar_terms;
     }
+    if (class_count == 0) continue;
+    const double map_at_t = class_sum / static_cast<double>(class_count);
+    ap_sum_5095 += map_at_t;
+    ++ap_terms;
+    if (step == 0) summary.ap_50 = map_at_t;
+    if (step == kCocoAp75Step) summary.ap_75 = map_at_t;
   }
+  summary.ap_5095 = ap_terms == 0 ? 0.0 : ap_sum_5095 / static_cast<double>(ap_terms);
   summary.ar_100 = ar_terms == 0 ? 0.0 : ar_sum / static_cast<double>(ar_terms);
   return summary;
 }

@@ -78,7 +78,21 @@ struct CocoSummary {
   double ar_100 = 0.0;       // AR @ IoU .50:.05:.95, up to 100 dets
 };
 
+/// COCO evaluation constants.  The IoU thresholds are generated from
+/// integer steps 50..95 step 5 — never by accumulating floats — so the
+/// set is exact and ap_50/ap_75 select by step index, not by comparing
+/// drifted floats.
+inline constexpr int kCocoIouSteps = 10;
+inline constexpr int kCocoAp75Step = 5;  ///< step index of IoU 0.75
+/// COCO maxDets: at most this many detections per image (by score) are
+/// evaluated, for AP and AR alike.
+inline constexpr std::size_t kCocoMaxDetections = 100;
+
+/// The exact thresholds 0.50, 0.55, ..., 0.95 (kCocoIouSteps entries).
+std::vector<float> coco_iou_thresholds();
+
 /// Per-image inputs: ground truth and predictions aligned by index.
+/// Applies the kCocoMaxDetections per-image cap before matching.
 CocoSummary evaluate_coco(
     const std::vector<std::vector<data::Annotation>>& ground_truth,
     const std::vector<std::vector<models::Detection>>& detections,

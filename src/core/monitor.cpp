@@ -29,9 +29,28 @@ void ModelMonitor::add_custom(CustomMonitor monitor) {
   custom_.push_back(std::move(monitor));
 }
 
+void ModelMonitor::set_metrics(util::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    nan_total_ = nullptr;
+    inf_total_ = nullptr;
+    return;
+  }
+  nan_total_ = &registry->counter("monitor.nan_total");
+  inf_total_ = &registry->counter("monitor.inf_total");
+}
+
 void ModelMonitor::observe(const std::string& path, const Tensor& output) {
-  if (output.has_nan()) nan_layers_.push_back(path);
-  if (output.has_inf()) inf_layers_.push_back(path);
+  if (output.has_nan()) {
+    nan_layers_.push_back(path);
+    if (nan_total_ != nullptr) nan_total_->add();
+    if (metrics_ != nullptr) metrics_->counter("monitor.nan." + path).add();
+  }
+  if (output.has_inf()) {
+    inf_layers_.push_back(path);
+    if (inf_total_ != nullptr) inf_total_->add();
+    if (metrics_ != nullptr) metrics_->counter("monitor.inf." + path).add();
+  }
   for (const CustomMonitor& monitor : custom_) monitor(path, output);
 }
 

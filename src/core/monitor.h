@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "util/metrics.h"
 
 namespace alfi::core {
 
@@ -43,6 +44,13 @@ class ModelMonitor {
   /// output after the NaN/Inf scan).
   void add_custom(CustomMonitor monitor);
 
+  /// Mirrors detections into `registry`: totals under
+  /// `monitor.nan_total` / `monitor.inf_total` plus per-layer counters
+  /// `monitor.nan.<path>` / `monitor.inf.<path>`.  The totals are
+  /// pre-registered here so the counter set is stable even when a run
+  /// detects nothing.  Pass nullptr to detach.
+  void set_metrics(util::MetricsRegistry* registry);
+
  private:
   void observe(const std::string& path, const Tensor& output);
 
@@ -54,6 +62,9 @@ class ModelMonitor {
   std::vector<std::string> nan_layers_;
   std::vector<std::string> inf_layers_;
   std::vector<CustomMonitor> custom_;
+  util::MetricsRegistry* metrics_ = nullptr;
+  util::Counter* nan_total_ = nullptr;
+  util::Counter* inf_total_ = nullptr;
 };
 
 }  // namespace alfi::core

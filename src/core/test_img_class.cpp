@@ -8,8 +8,10 @@
 
 #include "core/campaign.h"
 #include "io/csv.h"
+#include "io/metrics_json.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace alfi::core {
@@ -229,7 +231,9 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
       ctx_.model = replica_.get();
       ctx_.injector = injector_.get();
     }
+    ctx_.injector->set_metrics(&h_.metrics_);
     monitor_ = std::make_unique<ModelMonitor>(*ctx_.model);
+    monitor_->set_metrics(&h_.metrics_);
     ctx_.monitor = monitor_.get();
     if (h_.config_.mitigation) {
       protection_ = std::make_unique<Protection>(*ctx_.model, h_.bounds_,
@@ -424,10 +428,12 @@ void TestErrorModelsImgClass::finalize() {
 
 ImgClassCampaignResult TestErrorModelsImgClass::run() {
   const Scenario& scenario = wrapper_.get_scenario();
+  const Stopwatch run_watch;
 
   if (scenario.inj_policy == InjectionPolicy::kPerImage) {
-    CampaignExecutor executor(*this);
+    CampaignExecutor executor(*this, &metrics_);
     executor.execute();
+    finish_metrics(run_watch.elapsed_seconds());
     return result_;
   }
 
@@ -447,7 +453,19 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
   prepare();
   run_batched();
   finalize();
+  finish_metrics(run_watch.elapsed_seconds());
   return result_;
+}
+
+void TestErrorModelsImgClass::finish_metrics(double wall_seconds) {
+  result_.skipped_injections =
+      metrics_.counter("injections.skipped_batch_slot").value();
+  if (config_.metrics_path.empty()) return;
+  io::MetricsFileInfo info;
+  info.task_kind = task_kind();
+  info.jobs = config_.jobs;
+  info.wall_seconds = wall_seconds;
+  io::write_metrics_file(config_.metrics_path, metrics_, info);
 }
 
 void TestErrorModelsImgClass::run_batched() {
@@ -458,6 +476,13 @@ void TestErrorModelsImgClass::run_batched() {
 
   EvalSink out;
   ModelMonitor monitor(model_);
+  monitor.set_metrics(&metrics_);
+  wrapper_.injector().set_metrics(&metrics_);
+  // The batched policies are not unit-addressable, so one armed window
+  // is the closest analogue of an executor unit.
+  util::Counter& units_total = metrics_.counter("units.total");
+  util::Counter& units_computed = metrics_.counter("units.computed");
+  util::Histogram& unit_ms = metrics_.histogram("campaign.unit_ms");
   std::unique_ptr<Protection> protection;
   if (config_.mitigation) {
     protection = std::make_unique<Protection>(model_, bounds_, *config_.mitigation);
@@ -482,6 +507,7 @@ void TestErrorModelsImgClass::run_batched() {
           std::min(batch.size(), scenario.dataset_size - images_done);
 
       std::size_t group_start = epoch_group_start;
+      const Stopwatch window_watch;
       const auto [orig, corr, resil, window_due] =
           run_triple(ctx, batch.images, [&] {
             if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
@@ -499,6 +525,9 @@ void TestErrorModelsImgClass::run_batched() {
                       window_due, epoch, [&](std::size_t) {
                         return wrapper_.fault_matrix().slice(group_start, group);
                       });
+      unit_ms.record(window_watch.elapsed_ms());
+      units_total.add();
+      units_computed.add();
       images_done += use;
     }
     wrapper_.injector().disarm();

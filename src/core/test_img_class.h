@@ -35,6 +35,7 @@
 #include "core/monitor.h"
 #include "core/wrapper.h"
 #include "data/dataloader.h"
+#include "util/metrics.h"
 
 namespace alfi::core {
 
@@ -47,6 +48,9 @@ struct ImgClassCampaignConfig : CampaignConfigBase {
 
 struct ImgClassCampaignResult {
   ClassificationKpis kpis;
+  /// Per-batch faults whose batch slot exceeded a short final batch, so
+  /// no value was corrupted (see Injector::skipped_injection_count()).
+  std::size_t skipped_injections = 0;
   std::string results_csv;     // per-image faulty-run results ("" if not written)
   std::string fault_free_csv;  // fault-free outputs
   std::string scenario_yml;    // effective scenario meta-file
@@ -68,6 +72,10 @@ class TestErrorModelsImgClass final : public CampaignTask {
 
   PtfiWrap& wrapper() { return wrapper_; }
 
+  /// Campaign telemetry, populated during run().  Written to
+  /// config.metrics_path (when set) and readable afterwards regardless.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
   // ---- CampaignTask ----------------------------------------------------------
   std::string task_kind() const override { return "imgclass"; }
   const Scenario& task_scenario() const override { return wrapper_.get_scenario(); }
@@ -83,10 +91,14 @@ class TestErrorModelsImgClass final : public CampaignTask {
   friend class ImgClassUnitRunner;
 
   void run_batched();
+  void finish_metrics(double wall_seconds);
 
   nn::Module& model_;
   const data::ClassificationDataset& dataset_;
   ImgClassCampaignConfig config_;
+  // Declared before wrapper_: the wrapper's injector reports restore
+  // counts while being destroyed, so the registry must outlive it.
+  util::MetricsRegistry metrics_;
   PtfiWrap wrapper_;
 
   // Campaign state between prepare() and finalize().

@@ -1,10 +1,13 @@
 #include "core/test_obj_det.h"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/campaign.h"
+#include "io/metrics_json.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace alfi::core {
 
@@ -137,7 +140,10 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       detector_ = replica_.get();
       injector_ptr_ = injector_.get();
     }
+    injector_ptr_->set_metrics(&h_.metrics_);
+    skipped_counter_ = &h_.metrics_.counter("injections.skipped_batch_slot");
     monitor_ = std::make_unique<ModelMonitor>(detector_->network());
+    monitor_->set_metrics(&h_.metrics_);
     if (h_.config_.mitigation) {
       protection_ = std::make_unique<Protection>(detector_->network(), h_.bounds_,
                                                  *h_.config_.mitigation);
@@ -153,6 +159,21 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
     const data::DetectionSample sample = h_.dataset_.get(addr.img);
     const Shape& s = sample.image.shape();
     const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
+
+    // A per-batch fault aimed past the images of a short (final) batch
+    // can never arm on any unit of that batch.  Count it once — on the
+    // batch's first unit, so the total is identical for any --jobs.
+    if (scenario.inj_policy == InjectionPolicy::kPerBatch && addr.slot == 0) {
+      const std::size_t images_in_batch =
+          std::min(scenario.batch_size, scenario.dataset_size - addr.img);
+      for (const Fault& f :
+           h_.wrapper_.fault_matrix().slice(addr.group_start, group)) {
+        if (f.target != FaultTarget::kWeights &&
+            f.batch >= static_cast<std::int64_t>(images_in_batch)) {
+          skipped_counter_->add();
+        }
+      }
+    }
 
     // Arms the unit's fault group, remapping each neuron fault's batch
     // slot onto this single-image inference (weight faults apply
@@ -235,6 +256,7 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
   std::unique_ptr<Protection> protection_;
   models::Detector* detector_ = nullptr;
   Injector* injector_ptr_ = nullptr;
+  util::Counter* skipped_counter_ = nullptr;
 };
 
 TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,
@@ -381,8 +403,18 @@ void TestErrorModelsObjDet::finalize() {
 }
 
 ObjDetCampaignResult TestErrorModelsObjDet::run() {
-  CampaignExecutor executor(*this);
+  const Stopwatch run_watch;
+  CampaignExecutor executor(*this, &metrics_);
   executor.execute();
+  result_.skipped_injections =
+      metrics_.counter("injections.skipped_batch_slot").value();
+  if (!config_.metrics_path.empty()) {
+    io::MetricsFileInfo info;
+    info.task_kind = task_kind();
+    info.jobs = config_.jobs;
+    info.wall_seconds = run_watch.elapsed_seconds();
+    io::write_metrics_file(config_.metrics_path, metrics_, info);
+  }
   return result_;
 }
 

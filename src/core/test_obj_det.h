@@ -32,6 +32,7 @@
 #include "core/monitor.h"
 #include "core/wrapper.h"
 #include "data/dataloader.h"
+#include "util/metrics.h"
 
 namespace alfi::core {
 
@@ -44,6 +45,9 @@ struct ObjDetCampaignConfig : CampaignConfigBase {
 
 struct ObjDetCampaignResult {
   IvmodKpis ivmod;
+  /// Per-batch faults whose batch slot exceeded the images of a short
+  /// final batch, so they could never arm on any unit.
+  std::size_t skipped_injections = 0;
   CocoSummary orig_map;
   CocoSummary faulty_map;
   CocoSummary resil_map;  // valid only when mitigation was configured
@@ -69,6 +73,10 @@ class TestErrorModelsObjDet final : public CampaignTask {
 
   PtfiWrap& wrapper() { return wrapper_; }
 
+  /// Campaign telemetry, populated during run().  Written to
+  /// config.metrics_path (when set) and readable afterwards regardless.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
   // ---- CampaignTask ----------------------------------------------------------
   std::string task_kind() const override { return "objdet"; }
   const Scenario& task_scenario() const override { return wrapper_.get_scenario(); }
@@ -86,6 +94,9 @@ class TestErrorModelsObjDet final : public CampaignTask {
   models::Detector& detector_;
   const data::DetectionDataset& dataset_;
   ObjDetCampaignConfig config_;
+  // Declared before wrapper_: the wrapper's injector reports restore
+  // counts while being destroyed, so the registry must outlive it.
+  util::MetricsRegistry metrics_;
   PtfiWrap wrapper_;
 
   // Campaign state between prepare() and finalize().

@@ -1,0 +1,62 @@
+#include "io/metrics_json.h"
+
+#include <filesystem>
+
+#include "io/atomic_file.h"
+
+namespace alfi::io {
+
+namespace {
+
+Json histogram_to_json(const util::Histogram& h) {
+  Json out = Json::object();
+  out["unit"] = "ms";
+  out["count"] = h.count();
+  out["mean"] = h.mean();
+  out["min"] = h.min();
+  out["max"] = h.max();
+  out["p50"] = h.percentile(50.0);
+  out["p95"] = h.percentile(95.0);
+  out["p99"] = h.percentile(99.0);
+  return out;
+}
+
+}  // namespace
+
+Json metrics_to_json(const util::MetricsRegistry& registry,
+                     const MetricsFileInfo& info) {
+  Json root = Json::object();
+  root["schema"] = "alfi-metrics-v1";
+  root["task"] = info.task_kind;
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : registry.counters()) counters[name] = value;
+  root["counters"] = std::move(counters);
+
+  Json timing = Json::object();
+  timing["jobs"] = info.jobs;
+  timing["wall_seconds"] = info.wall_seconds;
+  Json gauges = Json::object();
+  for (const auto& [name, value] : registry.gauges()) gauges[name] = value;
+  timing["gauges"] = std::move(gauges);
+  Json histograms = Json::object();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    histograms[name] = histogram_to_json(*histogram);
+  }
+  timing["histograms"] = std::move(histograms);
+  root["timing"] = std::move(timing);
+  return root;
+}
+
+void write_metrics_file(const std::string& path,
+                        const util::MetricsRegistry& registry,
+                        const MetricsFileInfo& info) {
+  // The metrics file often lands next to campaign outputs in a
+  // directory that does not exist yet (e.g. --metrics out/m.json on a
+  // fresh run); create it like the other output writers do.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  write_file_atomic(path, metrics_to_json(registry, info).dump(2) + "\n");
+}
+
+}  // namespace alfi::io

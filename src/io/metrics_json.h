@@ -1,0 +1,50 @@
+// metrics.json — the serialized form of a campaign's telemetry.
+//
+// Schema (DESIGN.md §9):
+//
+//   {
+//     "schema":   "alfi-metrics-v1",
+//     "task":     "<task_kind>",
+//     "counters": { "<name>": <u64>, ... },      // sorted by name
+//     "timing": {                                 // wall-clock facts
+//       "jobs":         <N>,
+//       "wall_seconds": <double>,
+//       "gauges":     { "<name>": <double>, ... },
+//       "histograms": { "<name>": {"unit": "ms", "count": N, "mean": x,
+//                                  "min": x, "max": x,
+//                                  "p50": x, "p95": x, "p99": x}, ... }
+//     }
+//   }
+//
+// Everything outside the single `timing` field is deterministic: the
+// counters commute across workers, so the file is byte-identical for
+// --jobs 1 and --jobs N on the same scenario once `timing` is ignored.
+// The file is committed atomically (write temp + rename), so a crash
+// mid-campaign never leaves a truncated metrics file.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "io/json.h"
+#include "util/metrics.h"
+
+namespace alfi::io {
+
+/// Run facts that belong in the file but not in the registry.
+struct MetricsFileInfo {
+  std::string task_kind;
+  std::size_t jobs = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Serializes the registry per the schema above (sorted names).
+Json metrics_to_json(const util::MetricsRegistry& registry,
+                     const MetricsFileInfo& info);
+
+/// Writes metrics.json via WriteMode::kAtomic semantics.
+void write_metrics_file(const std::string& path,
+                        const util::MetricsRegistry& registry,
+                        const MetricsFileInfo& info);
+
+}  // namespace alfi::io

@@ -79,6 +79,27 @@ TEST_F(IdentityConvFixture, SlotBeyondBatchIsIgnored) {
   EXPECT_TRUE(injector.records().empty());
 }
 
+TEST_F(IdentityConvFixture, SlotBeyondBatchIsCountedAsSkipped) {
+  // Regression: the silent drop above used to be invisible — a fault
+  // aimed at batch slot 3 of a 2-image forward must now be accounted
+  // for, both on the injector and in an attached metrics registry.
+  util::MetricsRegistry metrics;
+  Injector injector(*net, *profile);
+  injector.set_metrics(&metrics);
+  injector.arm({neuron_fault(3, 0, 0, 0, 31)});
+  EXPECT_EQ(injector.skipped_injection_count(), 0u);
+
+  const Tensor input(Shape{2, 1, 2, 2}, std::vector<float>(8, 1.0f));
+  const Tensor out = net->forward(input);
+  EXPECT_FLOAT_EQ(out.flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(out.flat(4), 1.0f);
+  EXPECT_TRUE(injector.records().empty());
+  EXPECT_EQ(injector.skipped_injection_count(), 1u);
+  EXPECT_EQ(metrics.counter("injections.skipped_batch_slot").value(), 1u);
+  EXPECT_EQ(metrics.counter("injections.armed").value(), 1u);
+  EXPECT_EQ(metrics.counter("injections.applied").value(), 0u);
+}
+
 TEST_F(IdentityConvFixture, DisarmStopsInjection) {
   Injector injector(*net, *profile);
   injector.arm({neuron_fault(0, 0, 0, 0, 31)});

@@ -117,6 +117,68 @@ TEST(AveragePrecision, StricterIouThresholdLowersAp) {
   EXPECT_DOUBLE_EQ(average_precision(gt, dets, 0, 0.75f), 0.0);
 }
 
+TEST(CocoIouThresholds, ExactlyTenExactValues) {
+  // Regression: the thresholds were once built by accumulating 0.05f,
+  // which drifts (0.75000006f) — integer steps must be exact.
+  const std::vector<float> t = coco_iou_thresholds();
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_EQ(t[0], 0.50f);
+  EXPECT_EQ(t[1], 0.55f);
+  EXPECT_EQ(t[5], 0.75f);
+  EXPECT_EQ(t[9], 0.95f);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], static_cast<float>(50 + 5 * i) / 100.0f);
+  }
+}
+
+TEST(EvaluateCoco, Ap50AndAp75SelectTheirExactThresholds) {
+  // One detection with IoU = 80/120 = 0.667 against its ground truth:
+  // a TP at thresholds .50-.65, an FP from .70 up.  ap_50 must see the
+  // match, ap_75 (step index 5) must not.
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  const std::vector<std::vector<Detection>> dets{{det_box(0, 0.9f, 2, 0, 10, 10)}};
+  const CocoSummary summary = evaluate_coco(gt, dets, 1);
+  EXPECT_NEAR(summary.ap_50, 1.0, 0.02);
+  EXPECT_DOUBLE_EQ(summary.ap_75, 0.0);
+  // 4 of the 10 thresholds match; mean AP reflects exactly that.
+  EXPECT_NEAR(summary.ap_5095, 0.4, 0.02);
+}
+
+TEST(EvaluateCoco, Ar100CapsDetectionsPerImage) {
+  // Regression: ar_100 was computed without COCO's maxDets=100 cap.
+  // 100 high-score false positives push the single true positive (the
+  // lowest-scored detection) past the cap, so it must not count.
+  const std::vector<std::vector<Annotation>> gt{{gt_box(0, 0, 0, 0, 10, 10)}};
+  std::vector<Detection> crowded;
+  for (int i = 0; i < 100; ++i) {
+    crowded.push_back(det_box(0, 0.9f, 200.0f + 10.0f * static_cast<float>(i),
+                              200.0f, 5, 5));
+  }
+  crowded.push_back(det_box(0, 0.1f, 0, 0, 10, 10));  // the only TP, rank 101
+  const CocoSummary summary = evaluate_coco(gt, {crowded}, 1);
+  EXPECT_DOUBLE_EQ(summary.ar_100, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ap_5095, 0.0);  // the cap applies to AP too
+}
+
+TEST(EvaluateCoco, MatchesAveragePrecisionPerClass) {
+  // The single-match restructure must agree with the standalone
+  // average_precision() whenever the maxDets cap is inactive.
+  const std::vector<std::vector<Annotation>> gt{
+      {gt_box(0, 0, 0, 0, 10, 10), gt_box(0, 1, 20, 20, 12, 12)},
+      {gt_box(1, 0, 40, 40, 10, 10)},
+  };
+  const std::vector<std::vector<Detection>> dets{
+      {det_box(0, 0.9f, 0, 0, 10, 10), det_box(1, 0.7f, 21, 20, 12, 12),
+       det_box(0, 0.6f, 70, 70, 4, 4)},
+      {det_box(0, 0.8f, 40, 41, 10, 10)},
+  };
+  const CocoSummary summary = evaluate_coco(gt, dets, 2);
+  const double expected_ap50 = (average_precision(gt, dets, 0, 0.50f) +
+                                average_precision(gt, dets, 1, 0.50f)) /
+                               2.0;
+  EXPECT_DOUBLE_EQ(summary.ap_50, expected_ap50);
+}
+
 TEST(EvaluateCoco, PerfectDetectorSummary) {
   const std::vector<std::vector<Annotation>> gt{
       {gt_box(0, 0, 0, 0, 10, 10), gt_box(0, 1, 20, 20, 12, 12)},

@@ -1,0 +1,245 @@
+// Tests for the telemetry layer: util/metrics.h primitives, the
+// registry's deterministic snapshots, and the metrics.json serializer
+// (io/metrics_json.h).  The threaded cases double as TSAN targets via
+// the `telemetry` ctest label.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "io/metrics_json.h"
+#include "util/error.h"
+#include "util/metrics.h"
+
+namespace alfi::util {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, PercentilesAreClampedToObservedRange) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.record(1.5);
+  // Every sample sits in the (1, 2] bucket; interpolation must never
+  // leave the observed [min, max] = [1.5, 1.5].
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.5);
+}
+
+TEST(Histogram, PercentileOrderingOnSpreadSamples) {
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  // 90 fast samples, 10 slow ones: p50 must sit in the fast bucket,
+  // p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.record(0.5);
+  for (int i = 0; i < 10; ++i) h.record(12.0);
+  EXPECT_LE(h.percentile(50.0), 1.0);
+  EXPECT_GE(h.percentile(99.0), 8.0);
+  EXPECT_LE(h.percentile(99.0), 12.0);
+  EXPECT_GE(h.percentile(99.0), h.percentile(50.0));
+}
+
+TEST(Histogram, OverflowSamplesReportMax) {
+  Histogram h({1.0});
+  h.record(99.0);
+  h.record(101.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 101.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending) {
+  const auto bounds = Histogram::default_latency_bounds_ms();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("units.total");
+  Counter& b = registry.counter("units.total");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+
+  Histogram& h1 = registry.histogram("unit_ms");
+  Histogram& h2 = registry.histogram("unit_ms", std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);  // second registration keeps the first bounds
+  EXPECT_EQ(h1.bounds().size(),
+            Histogram::default_latency_bounds_ms().size());
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.counter("mid").add(3);
+  registry.gauge("z.rate").set(1.0);
+  registry.gauge("a.rate").set(2.0);
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "mid");
+  EXPECT_EQ(counters[2].first, "zeta");
+
+  const auto gauges = registry.gauges();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].first, "a.rate");
+  EXPECT_EQ(gauges[1].first, "z.rate");
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreExact) {
+  // The determinism contract in one test: four threads hammering the
+  // same counter / histogram must lose no update.  Run under the tsan
+  // preset this also proves the hot path race-free.
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("hits");
+  Histogram& latency = registry.histogram("latency_ms");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &hits, &latency, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add();
+        latency.record(0.5 + static_cast<double>(t));
+        registry.counter("shared.resolved").add();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(hits.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(latency.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.counter("shared.resolved").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(latency.min(), 0.5);
+  EXPECT_DOUBLE_EQ(latency.max(), 3.5);
+}
+
+TEST(SpanTimer, RecordsExactlyOnce) {
+  Histogram h({1.0, 1000.0});
+  {
+    SpanTimer timer(h);
+    const double first = timer.stop_ms();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.stop_ms(), first);  // idempotent
+  }  // destructor must not record a second sample
+  EXPECT_EQ(h.count(), 1u);
+
+  {
+    SpanTimer timer(h);  // records via the destructor alone
+  }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(MetricsJson, SchemaAndSortedIntegerCounters) {
+  MetricsRegistry registry;
+  registry.counter("units.total").add(12);
+  registry.counter("injections.applied").add(3);
+  registry.gauge("worker.0.units_per_sec").set(123.5);
+  registry.histogram("campaign.unit_ms").record(2.5);
+
+  io::MetricsFileInfo info;
+  info.task_kind = "imgclass";
+  info.jobs = 4;
+  info.wall_seconds = 1.25;
+  const io::Json doc = io::metrics_to_json(registry, info);
+
+  EXPECT_EQ(doc.at("schema").as_string(), "alfi-metrics-v1");
+  EXPECT_EQ(doc.at("task").as_string(), "imgclass");
+  const io::Json& counters = doc.at("counters");
+  EXPECT_EQ(counters.as_object().size(), 2u);
+  EXPECT_EQ(counters.at("units.total").as_int(), 12);
+  EXPECT_EQ(counters.at("injections.applied").as_int(), 3);
+
+  const io::Json& timing = doc.at("timing");
+  EXPECT_EQ(timing.at("jobs").as_int(), 4);
+  EXPECT_DOUBLE_EQ(timing.at("wall_seconds").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(
+      timing.at("gauges").at("worker.0.units_per_sec").as_number(), 123.5);
+  const io::Json& hist = timing.at("histograms").at("campaign.unit_ms");
+  EXPECT_EQ(hist.at("unit").as_string(), "ms");
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_number(), 2.5);
+
+  // Integral counters must serialize as integers ("12", not "12.0") —
+  // the byte-identity contract depends on it.
+  const std::string text = doc.dump(2);
+  EXPECT_NE(text.find("\"units.total\": 12"), std::string::npos);
+  // Sorted section: "injections.applied" precedes "units.total".
+  EXPECT_LT(text.find("injections.applied"), text.find("units.total"));
+}
+
+TEST(MetricsJson, DumpIsDeterministicAcrossRegistrationOrder) {
+  // Two registries fed the same values in different orders must emit
+  // identical counter sections — the core of the jobs=1 vs jobs=N
+  // byte-identity guarantee.
+  MetricsRegistry first;
+  first.counter("b").add(2);
+  first.counter("a").add(1);
+  MetricsRegistry second;
+  second.counter("a").add(1);
+  second.counter("b").add(2);
+
+  io::MetricsFileInfo info;
+  info.task_kind = "t";
+  io::Json lhs = io::metrics_to_json(first, info);
+  io::Json rhs = io::metrics_to_json(second, info);
+  lhs["timing"] = io::Json();
+  rhs["timing"] = io::Json();
+  EXPECT_EQ(lhs.dump(2), rhs.dump(2));
+}
+
+}  // namespace
+}  // namespace alfi::util

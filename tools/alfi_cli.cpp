@@ -98,6 +98,14 @@ void apply_checkpoint_flags(core::CampaignConfigBase& config, const Args& args) 
   if (!config.checkpoint_dir.empty()) install_drain_handlers();
 }
 
+/// --metrics <path> / --progress: shared telemetry flags of both run
+/// commands.  --metrics writes the campaign's metrics.json (schema in
+/// DESIGN.md §9); --progress draws a live stderr line while units run.
+void apply_telemetry_flags(core::CampaignConfigBase& config, const Args& args) {
+  if (const auto path = args.get("metrics")) config.metrics_path = *path;
+  if (args.get("progress")) config.progress = true;
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -146,6 +154,7 @@ int cmd_run_imgclass(const Args& args) {
   config.fault_file = args.get("fault-file", "");
   config.jobs = parse_jobs(args);
   apply_checkpoint_flags(config, args);
+  apply_telemetry_flags(config, args);
 
   auto model = models::make_classifier(arch, {});
   models::TrainConfig train_config;
@@ -165,7 +174,13 @@ int cmd_run_imgclass(const Args& args) {
   if (result.kpis.has_resil) {
     std::printf(" | hardened SDE %.3f", result.kpis.resil_sde_rate());
   }
+  if (result.skipped_injections > 0) {
+    std::printf(" | skipped injections %zu", result.skipped_injections);
+  }
   std::printf("\noutputs under %s/\n", config.output_dir.c_str());
+  if (!config.metrics_path.empty()) {
+    std::printf("metrics written to %s\n", config.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -187,6 +202,7 @@ int cmd_run_objdet(const Args& args) {
   config.fault_file = args.get("fault-file", "");
   config.jobs = parse_jobs(args);
   apply_checkpoint_flags(config, args);
+  apply_telemetry_flags(config, args);
 
   auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
   models::TrainConfig train_config;
@@ -207,7 +223,13 @@ int cmd_run_objdet(const Args& args) {
       "%.3f -> %.3f\n",
       result.ivmod.total, result.ivmod.sde_rate(), result.ivmod.due_rate(),
       result.orig_map.ap_50, result.faulty_map.ap_50);
+  if (result.skipped_injections > 0) {
+    std::printf("skipped injections: %zu\n", result.skipped_injections);
+  }
   std::printf("outputs under %s/\n", config.output_dir.c_str());
+  if (!config.metrics_path.empty()) {
+    std::printf("metrics written to %s\n", config.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -321,11 +343,14 @@ void usage() {
                "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
                "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
+               "                 [--metrics out.json] [--progress]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --checkpoint: journal completed units so an\n"
                "                  interrupted campaign resumes with --resume;\n"
-               "                  SIGINT/SIGTERM drain gracefully, exit code 75)\n"
+               "                  SIGINT/SIGTERM drain gracefully, exit code 75.\n"
+               "                  --metrics: write campaign telemetry as JSON\n"
+               "                  (DESIGN.md §9); --progress: live stderr line)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build the concurrency layer under ThreadSanitizer and run the
-# campaign-labeled tests (CampaignRunner sharding, parallel campaign
-# byte-identity).  Usage:
+# campaign- and telemetry-labeled tests (CampaignRunner sharding,
+# parallel campaign byte-identity, the lock-free metrics registry
+# hammered from worker threads).  Usage:
 #
 #   tools/run_tsan.sh [extra ctest args...]
 #
