@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "bench_common.h"
+#include "io/json.h"
 
 using namespace alfi;
 
@@ -52,19 +53,38 @@ core::Scenario campaign_scenario() {
 /// future optimization PRs compare against.
 struct CampaignRun {
   double seconds = 0.0;
+  double unit_mean_ms = 0.0;
   double unit_p50_ms = 0.0;
   double unit_p95_ms = 0.0;
   double unit_p99_ms = 0.0;
+  double arena_high_water_bytes = 0.0;  // 0 on the allocating path
+
+  /// Whole-campaign rate: includes the fixed setup cost (fault-matrix
+  /// generation, model profiling, result merge) that every path pays.
+  double units_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(campaign_scenario().dataset_size) /
+                               seconds
+                         : 0.0;
+  }
+
+  /// Steady-state unit rate from the campaign.unit_ms histogram — the
+  /// number that scales with campaign size, and the one the
+  /// zero-allocation refactor targets.
+  double unit_throughput_per_sec() const {
+    return unit_mean_ms > 0.0 ? 1000.0 / unit_mean_ms : 0.0;
+  }
 };
 
 CampaignRun run_campaign_once(std::size_t jobs,
                               const std::string& checkpoint_dir = "",
-                              std::size_t checkpoint_every = 8) {
+                              std::size_t checkpoint_every = 8,
+                              bool workspace = true) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
   config.checkpoint_dir = checkpoint_dir;
   config.checkpoint_every = checkpoint_every;
+  config.workspace = workspace;
   core::TestErrorModelsImgClass harness(*env().model, env().dataset,
                                         campaign_scenario(), config);
   Stopwatch watch;
@@ -74,9 +94,13 @@ CampaignRun run_campaign_once(std::size_t jobs,
   run.seconds = watch.elapsed_seconds();
   for (const auto& [name, histogram] : harness.metrics().histograms()) {
     if (name != "campaign.unit_ms") continue;
+    run.unit_mean_ms = histogram->mean();
     run.unit_p50_ms = histogram->percentile(50.0);
     run.unit_p95_ms = histogram->percentile(95.0);
     run.unit_p99_ms = histogram->percentile(99.0);
+  }
+  for (const auto& [name, value] : harness.metrics().gauges()) {
+    if (name == "campaign.arena_high_water_bytes") run.arena_high_water_bytes = value;
   }
   return run;
 }
@@ -141,6 +165,82 @@ BENCHMARK(BM_CampaignCheckpointOverhead)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+io::Json run_to_json(const CampaignRun& run) {
+  io::Json entry = io::Json::object();
+  entry["seconds"] = io::Json(run.seconds);
+  entry["units_per_sec"] = io::Json(run.units_per_sec());
+  entry["unit_throughput_per_sec"] = io::Json(run.unit_throughput_per_sec());
+  entry["unit_mean_ms"] = io::Json(run.unit_mean_ms);
+  entry["unit_p50_ms"] = io::Json(run.unit_p50_ms);
+  entry["unit_p95_ms"] = io::Json(run.unit_p95_ms);
+  entry["unit_p99_ms"] = io::Json(run.unit_p99_ms);
+  entry["arena_high_water_bytes"] = io::Json(run.arena_high_water_bytes);
+  return entry;
+}
+
+/// Best-of-N wrapper: reruns one configuration and keeps the run with
+/// the lowest mean unit latency.  Minimum-of-repeats is the standard
+/// way to strip scheduler noise from a latency benchmark — the fastest
+/// observation is the one closest to the code's true cost.
+template <typename RunFn>
+CampaignRun best_of(std::size_t repeats, RunFn&& run_fn) {
+  CampaignRun best = run_fn();
+  for (std::size_t i = 1; i < repeats; ++i) {
+    const CampaignRun run = run_fn();
+    if (run.unit_mean_ms < best.unit_mean_ms) best = run;
+  }
+  return best;
+}
+
+/// Machine-readable summary consumed by perf-tracking scripts: serial
+/// workspace vs serial allocating (the headline zero-allocation
+/// speedup) plus the parallel workspace run.  Written after the
+/// google-benchmark tables so both forms come from one binary.
+///
+/// workspace_speedup is the ratio of single-thread *unit* throughput
+/// (from the campaign.unit_ms histogram): the per-unit inference cost
+/// is what the arena path optimizes, while the fixed campaign setup
+/// (fault-matrix generation, profiling, merge) is identical on both
+/// paths and amortizes away as campaigns grow.
+void write_bench_json(const std::string& path) {
+  std::printf("\n==== BENCH_campaign.json (workspace vs allocating) ====\n");
+  run_campaign_once(1);  // warmup: populates the dataset render cache
+  const CampaignRun ws_serial = best_of(3, [] { return run_campaign_once(1); });
+  const CampaignRun alloc_serial =
+      best_of(3, [] { return run_campaign_once(1, "", 8, /*workspace=*/false); });
+  const CampaignRun ws_jobs4 = run_campaign_once(4);
+
+  const core::Scenario scenario = campaign_scenario();
+  io::Json root = io::Json::object();
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v1"));
+  io::Json workload = io::Json::object();
+  workload["model"] = io::Json(std::string("mini-alexnet"));
+  workload["units"] =
+      io::Json(static_cast<double>(scenario.dataset_size * scenario.num_runs));
+  workload["faults_per_unit"] =
+      io::Json(static_cast<double>(scenario.max_faults_per_image));
+  root["workload"] = workload;
+  root["workspace_serial"] = run_to_json(ws_serial);
+  root["allocating_serial"] = run_to_json(alloc_serial);
+  root["workspace_jobs4"] = run_to_json(ws_jobs4);
+  const double speedup =
+      ws_serial.unit_mean_ms > 0.0
+          ? alloc_serial.unit_mean_ms / ws_serial.unit_mean_ms
+          : 0.0;
+  root["workspace_speedup"] = io::Json(speedup);
+  io::write_json_file(path, root);
+
+  std::printf(
+      "workspace  serial: %7.2f units/s (mean %.3f ms, p50 %.3f ms, arena %.0f B)\n",
+      ws_serial.unit_throughput_per_sec(), ws_serial.unit_mean_ms,
+      ws_serial.unit_p50_ms, ws_serial.arena_high_water_bytes);
+  std::printf("allocating serial: %7.2f units/s (mean %.3f ms, p50 %.3f ms)\n",
+              alloc_serial.unit_throughput_per_sec(), alloc_serial.unit_mean_ms,
+              alloc_serial.unit_p50_ms);
+  std::printf("workspace speedup: %.2fx (single-thread unit throughput) -> %s\n",
+              speedup, path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,5 +249,6 @@ int main(int argc, char** argv) {
               core::CampaignRunner::default_job_count());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  write_bench_json("BENCH_campaign.json");
   return 0;
 }

@@ -111,6 +111,11 @@ int main() {
   // restrict faults to the custom layer's weights (linear kind)
   scenario.layer_types = {nn::LayerKind::kLinear};
 
+  // The harness defaults to arena-backed workspace inference; a custom
+  // layer without a compute_ws override rides along via the allocating
+  // fallback (its result is copied into a stable slot), so hooks and
+  // verdicts behave identically — it just opts out of the
+  // zero-allocation guarantee for its own step.
   core::ImgClassCampaignConfig config;
   core::TestErrorModelsImgClass harness(*net, dataset, scenario, config);
   const auto result = harness.run();

@@ -14,6 +14,7 @@
 #include "data/synthetic.h"
 #include "models/classification.h"
 #include "models/train.h"
+#include "nn/workspace.h"
 #include "util/logging.h"
 
 using namespace alfi;
@@ -26,13 +27,16 @@ double corruption_rate(core::PtfiWrap& wrapper, nn::Module& model,
                        const data::SyntheticShapesClassification& dataset) {
   core::FaultModelIterator iterator = wrapper.get_fimodel_iter();
   const core::Scenario& s = wrapper.get_scenario();
+  // Workspace inference: buffers planned on the first image of the
+  // sweep, reused for every following one (one per pass, DESIGN.md §10).
+  nn::InferenceWorkspace ws_orig, ws_corr;
   std::size_t corrupted = 0;
   for (std::size_t i = 0; i < s.dataset_size; ++i) {
     const Tensor input = dataset.get(i).image.reshaped(Shape{1, 3, 32, 32});
     wrapper.injector().disarm();
-    const Tensor orig = model.forward(input);
+    const Tensor& orig = ws_orig.run(model, input);
     iterator.next();
-    const Tensor corr = model.forward(input);
+    const Tensor& corr = ws_corr.run(model, input);
     bool nonfinite = false;
     for (const float v : corr.data()) {
       if (std::isnan(v) || std::isinf(v)) nonfinite = true;

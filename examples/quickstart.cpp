@@ -18,6 +18,7 @@
 #include "data/synthetic.h"
 #include "models/classification.h"
 #include "models/train.h"
+#include "nn/workspace.h"
 #include "util/logging.h"
 
 using namespace alfi;
@@ -62,18 +63,22 @@ int main(int argc, char** argv) {
   std::printf("pre-generated %zu faults across %zu injectable layers\n",
               wrapper.fault_matrix().size(), wrapper.profile().layer_count());
 
-  // 3. Iterate: one corrupted model per image.
+  // 3. Iterate: one corrupted model per image.  Inference runs through
+  //    arena-backed workspaces — buffers are planned on the first image
+  //    and reused for the rest (one workspace per pass so the fault-free
+  //    and corrupted outputs coexist).
   core::FaultModelIterator fault_iter = wrapper.get_fimodel_iter();
+  nn::InferenceWorkspace ws_orig, ws_corr;
   std::size_t corrupted_count = 0;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     const data::ClassificationSample sample = dataset.get(i);
     const Tensor input = sample.image.reshaped(Shape{1, 3, 32, 32});
 
     wrapper.injector().disarm();
-    const Tensor orig_output = net->forward(input);
+    const Tensor& orig_output = ws_orig.run(*net, input);
 
     nn::Module& corrupted_model = fault_iter.next();
-    const Tensor corrupted_output = corrupted_model.forward(input);
+    const Tensor& corrupted_output = ws_corr.run(corrupted_model, input);
 
     const std::size_t orig_top1 = orig_output.argmax();
     const std::size_t corr_top1 = corrupted_output.argmax();

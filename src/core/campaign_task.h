@@ -51,6 +51,13 @@ struct CampaignConfigBase {
   /// contiguous fault-matrix shards.  Output is byte-identical for
   /// every job count.
   std::size_t jobs = 1;
+  /// Route inference through arena-backed nn::InferenceWorkspace buffers
+  /// (planned once, zero steady-state heap allocations; DESIGN.md §10).
+  /// Off = the legacy allocating forward() path.  Both paths produce
+  /// byte-identical campaign outputs; the toggle exists for A/B
+  /// comparison and for training-mode models, which the workspace
+  /// refuses.
+  bool workspace = true;
 
   // ---- crash safety --------------------------------------------------------
   /// Directory for the result journal + checkpoint; empty disables

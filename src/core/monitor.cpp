@@ -1,5 +1,10 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
 namespace alfi::core {
 
 ModelMonitor::ModelMonitor(nn::Module& model) {
@@ -41,12 +46,32 @@ void ModelMonitor::set_metrics(util::MetricsRegistry* registry) {
 }
 
 void ModelMonitor::observe(const std::string& path, const Tensor& output) {
-  if (output.has_nan()) {
+  // The hook runs on every layer of every inference, so the all-finite
+  // common case must be as cheap as possible.  A float is non-finite
+  // iff its exponent field is all ones; a branchless max-reduction
+  // over the masked exponent bits vectorizes, and the per-element
+  // NaN-vs-Inf classification only runs when the sweep hits something.
+  constexpr std::uint32_t kExpMask = 0x7f800000u;
+  std::uint32_t worst_exp = 0;
+  for (const float v : output.data()) {
+    worst_exp = std::max(worst_exp, std::bit_cast<std::uint32_t>(v) & kExpMask);
+  }
+  if (worst_exp != kExpMask && custom_.empty()) return;
+
+  bool any_nan = false;
+  bool any_inf = false;
+  if (worst_exp == kExpMask) {
+    for (const float v : output.data()) {
+      any_nan |= std::isnan(v);
+      any_inf |= std::isinf(v);
+    }
+  }
+  if (any_nan) {
     nan_layers_.push_back(path);
     if (nan_total_ != nullptr) nan_total_->add();
     if (metrics_ != nullptr) metrics_->counter("monitor.nan." + path).add();
   }
-  if (output.has_inf()) {
+  if (any_inf) {
     inf_layers_.push_back(path);
     if (inf_total_ != nullptr) inf_total_->add();
     if (metrics_ != nullptr) metrics_->counter("monitor.inf." + path).add();

@@ -3,10 +3,9 @@
 #include <cmath>
 #include <filesystem>
 #include <functional>
-#include <optional>
-#include <tuple>
 
 #include "core/campaign.h"
+#include "nn/workspace.h"
 #include "io/csv.h"
 #include "io/metrics_json.h"
 #include "util/hash.h"
@@ -61,11 +60,29 @@ struct EvalSink {
 
 /// Per-worker execution resources: the model (original or deep-cloned
 /// replica) plus the injection/observation machinery bound to it.
+/// When the workspace pointers are set, the triple runs through the
+/// arena-backed zero-allocation path — one workspace per pass so the
+/// three output tensors coexist; otherwise each pass uses the legacy
+/// allocating forward() and parks its result in the holder members.
 struct ExecContext {
   nn::Module* model = nullptr;
   Injector* injector = nullptr;
   ModelMonitor* monitor = nullptr;
   Protection* protection = nullptr;  // null when no mitigation configured
+  nn::InferenceWorkspace* ws_orig = nullptr;
+  nn::InferenceWorkspace* ws_corr = nullptr;
+  nn::InferenceWorkspace* ws_resil = nullptr;
+  Tensor orig_hold, corr_hold, resil_hold;  // allocating-path storage
+};
+
+/// Outputs of one coupled triple; the pointers reference either the
+/// workspaces' root slots or the context's holder tensors, valid until
+/// the next run_triple on the same context.
+struct TripleOutputs {
+  const Tensor* orig = nullptr;
+  const Tensor* corr = nullptr;
+  const Tensor* resil = nullptr;  // null without mitigation
+  bool window_due = false;
 };
 
 /// Records the verdicts and CSV rows of one window of images evaluated
@@ -146,25 +163,41 @@ void evaluate_window(
 
 /// Runs the coupled triple on one input window with the fault group
 /// `arm` installs, against the given execution context.
-std::tuple<Tensor, Tensor, std::optional<Tensor>, bool> run_triple(
-    ExecContext& ctx, const Tensor& images, const std::function<void()>& arm) {
+TripleOutputs run_triple(ExecContext& ctx, const Tensor& images,
+                         const std::function<void()>& arm) {
+  const bool use_ws = ctx.ws_orig != nullptr;
+  TripleOutputs out;
   ctx.injector->disarm();
   if (ctx.protection) ctx.protection->set_enabled(false);
-  Tensor orig = ctx.model->forward(images);
+  if (use_ws) {
+    out.orig = &ctx.ws_orig->run(*ctx.model, images);
+  } else {
+    ctx.orig_hold = ctx.model->forward(images);
+    out.orig = &ctx.orig_hold;
+  }
 
   arm();
   ctx.monitor->reset();
-  Tensor corr = ctx.model->forward(images);
-  const bool window_due = ctx.monitor->due_detected();
+  if (use_ws) {
+    out.corr = &ctx.ws_corr->run(*ctx.model, images);
+  } else {
+    ctx.corr_hold = ctx.model->forward(images);
+    out.corr = &ctx.corr_hold;
+  }
+  out.window_due = ctx.monitor->due_detected();
 
-  std::optional<Tensor> resil;
   if (ctx.protection) {
     ctx.protection->set_enabled(true);
-    resil = ctx.model->forward(images);
+    if (use_ws) {
+      out.resil = &ctx.ws_resil->run(*ctx.model, images);
+    } else {
+      ctx.resil_hold = ctx.model->forward(images);
+      out.resil = &ctx.resil_hold;
+    }
     ctx.protection->set_enabled(false);
   }
   ctx.injector->disarm();
-  return {std::move(orig), std::move(corr), std::move(resil), window_due};
+  return out;
 }
 
 void write_rows(io::ByteWriter& w,
@@ -241,6 +274,12 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
       protection_->set_enabled(false);
     }
     ctx_.protection = protection_.get();
+    if (h_.config_.workspace) {
+      ctx_.ws_orig = &ws_orig_;
+      ctx_.ws_corr = &ws_corr_;
+      ctx_.ws_resil = &ws_resil_;
+      arena_gauge_ = &h_.metrics_.gauge("campaign.arena_high_water_bytes");
+    }
   }
 
   /// Global step t = epoch * dataset_size + img runs image `img` under
@@ -259,18 +298,22 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
         h_.wrapper_.fault_matrix().slice(t * group, group);
 
     const std::size_t base_records = ctx_.injector->records().size();
-    const auto [orig, corr, resil, window_due] = run_triple(ctx_, input, [&] {
+    const TripleOutputs trip = run_triple(ctx_, input, [&] {
       ctx_.injector->set_inference_index(t);
       ctx_.injector->arm(faults);
     });
+    if (arena_gauge_ != nullptr) {
+      // Same planned footprint every unit, so the gauge is deterministic
+      // for any job count (the three passes share one plan size).
+      arena_gauge_->set(static_cast<double>(ws_corr_.high_water_bytes()));
+    }
 
     EvalSink out;
     const std::size_t labels[1] = {sample.label};
     const data::ImageMeta metas[1] = {sample.meta};
-    const Tensor* resil_ptr = resil ? &*resil : nullptr;
-    evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, orig, corr,
-                    resil_ptr, labels, metas, window_due, epoch,
-                    [&](std::size_t) { return faults; });
+    evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, *trip.orig,
+                    *trip.corr, trip.resil, labels, metas, trip.window_due,
+                    epoch, [&](std::size_t) { return faults; });
     return serialize_unit(out, ctx_.injector->records(), base_records);
   }
 
@@ -281,6 +324,8 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
   std::unique_ptr<Injector> injector_;
   std::unique_ptr<ModelMonitor> monitor_;
   std::unique_ptr<Protection> protection_;
+  nn::InferenceWorkspace ws_orig_, ws_corr_, ws_resil_;
+  util::Gauge* arena_gauge_ = nullptr;
   ExecContext ctx_;
 };
 
@@ -489,6 +534,15 @@ void TestErrorModelsImgClass::run_batched() {
     protection->set_enabled(false);
   }
   ExecContext ctx{&model_, &wrapper_.injector(), &monitor, protection.get()};
+  // A short final batch changes the input shape, which replans the
+  // workspaces for that window and again on the next epoch's first
+  // full batch — correct either way, just two extra plan passes.
+  nn::InferenceWorkspace ws_orig, ws_corr, ws_resil;
+  if (config_.workspace) {
+    ctx.ws_orig = &ws_orig;
+    ctx.ws_corr = &ws_corr;
+    ctx.ws_resil = &ws_resil;
+  }
   const std::size_t base_records = wrapper_.injector().records().size();
   FaultModelIterator iterator = wrapper_.get_fimodel_iter();
 
@@ -508,21 +562,20 @@ void TestErrorModelsImgClass::run_batched() {
 
       std::size_t group_start = epoch_group_start;
       const Stopwatch window_watch;
-      const auto [orig, corr, resil, window_due] =
-          run_triple(ctx, batch.images, [&] {
-            if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
-              iterator.next();
-              group_start = iterator.position() - group;
-            } else {
-              wrapper_.injector().arm(
-                  wrapper_.fault_matrix().slice(epoch_group_start, group));
-            }
-          });
-      evaluate_window(out, config_.top_k, write_outputs, orig, corr,
-                      resil ? &*resil : nullptr,
+      const TripleOutputs trip = run_triple(ctx, batch.images, [&] {
+        if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
+          iterator.next();
+          group_start = iterator.position() - group;
+        } else {
+          wrapper_.injector().arm(
+              wrapper_.fault_matrix().slice(epoch_group_start, group));
+        }
+      });
+      evaluate_window(out, config_.top_k, write_outputs, *trip.orig, *trip.corr,
+                      trip.resil,
                       std::span<const std::size_t>(batch.labels.data(), use),
                       std::span<const data::ImageMeta>(batch.metas.data(), use),
-                      window_due, epoch, [&](std::size_t) {
+                      trip.window_due, epoch, [&](std::size_t) {
                         return wrapper_.fault_matrix().slice(group_start, group);
                       });
       unit_ms.record(window_watch.elapsed_ms());
@@ -531,6 +584,10 @@ void TestErrorModelsImgClass::run_batched() {
       images_done += use;
     }
     wrapper_.injector().disarm();
+  }
+  if (config_.workspace) {
+    metrics_.gauge("campaign.arena_high_water_bytes")
+        .set(static_cast<double>(ws_corr.high_water_bytes()));
   }
   const auto& recs = wrapper_.injector().records();
   trace_.assign(recs.begin() + base_records, recs.end());

@@ -5,6 +5,7 @@
 
 #include "core/campaign.h"
 #include "io/metrics_json.h"
+#include "nn/workspace.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -149,7 +150,15 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
                                                  *h_.config_.mitigation);
       protection_->set_enabled(false);
     }
+    if (h_.config_.workspace) {
+      // One workspace suffices: detect() decodes each pass's output into
+      // Detection vectors before the next pass overwrites the slots.
+      detector_->set_workspace(&ws_);
+      arena_gauge_ = &h_.metrics_.gauge("campaign.arena_high_water_bytes");
+    }
   }
+
+  ~ObjDetUnitRunner() override { detector_->set_workspace(nullptr); }
 
   std::string run_unit(std::size_t t) override {
     const Scenario& scenario = h_.wrapper_.get_scenario();
@@ -219,6 +228,9 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       resil = std::move(resil_batched[0]);
     }
     injector_ptr_->disarm();
+    if (arena_gauge_ != nullptr) {
+      arena_gauge_->set(static_cast<double>(ws_.high_water_bytes()));
+    }
 
     // ---- verdicts + payload -------------------------------------------------
     const bool sde = !due && detections_differ(orig[0], corr[0]);
@@ -257,6 +269,8 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
   models::Detector* detector_ = nullptr;
   Injector* injector_ptr_ = nullptr;
   util::Counter* skipped_counter_ = nullptr;
+  nn::InferenceWorkspace ws_;
+  util::Gauge* arena_gauge_ = nullptr;
 };
 
 TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,

@@ -23,10 +23,24 @@ SyntheticShapesClassification::SyntheticShapesClassification(
     : config_(std::move(config)) {
   ALFI_CHECK(config_.num_classes >= 2, "need at least two classes");
   ALFI_CHECK(config_.size > 0, "dataset must not be empty");
+  cache_.resize(config_.size);
 }
 
 ClassificationSample SyntheticShapesClassification::get(std::size_t index) const {
   ALFI_CHECK(index < config_.size, "classification sample index out of range");
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_[index]) return *cache_[index];
+  }
+  // Render outside the lock: concurrent workers may render the same
+  // index twice, but the result is deterministic so either copy wins.
+  ClassificationSample sample = render(index);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_[index]) cache_[index] = std::move(sample);
+  return *cache_[index];
+}
+
+ClassificationSample SyntheticShapesClassification::render(std::size_t index) const {
   Rng rng = sample_rng(config_.seed, index, /*salt=*/0xC1A55ULL);
 
   const std::size_t label = index % config_.num_classes;
@@ -89,10 +103,22 @@ SyntheticShapesDetection::SyntheticShapesDetection(DetectionConfig config)
   ALFI_CHECK(config_.max_object_size <= static_cast<float>(config_.height) &&
                  config_.max_object_size <= static_cast<float>(config_.width),
              "objects larger than the image");
+  cache_.resize(config_.size);
 }
 
 DetectionSample SyntheticShapesDetection::get(std::size_t index) const {
   ALFI_CHECK(index < config_.size, "detection sample index out of range");
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_[index]) return *cache_[index];
+  }
+  DetectionSample sample = render(index);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_[index]) cache_[index] = std::move(sample);
+  return *cache_[index];
+}
+
+DetectionSample SyntheticShapesDetection::render(std::size_t index) const {
   Rng rng = sample_rng(config_.seed, index, /*salt=*/0xDE7EC7ULL);
 
   const std::size_t c = config_.channels, h = config_.height, w = config_.width;

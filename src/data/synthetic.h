@@ -13,10 +13,17 @@
 //   per image on a textured background, with exact bounding boxes.
 //
 // Samples are generated lazily from (seed, index) so two iterations of
-// the same dataset see bit-identical pixels.
+// the same dataset see bit-identical pixels.  The first render of each
+// index is memoized: a campaign revisits every image once per fault
+// column, and re-rendering the procedural texture (thousands of
+// transcendental calls per image) was measurable against the planned
+// inference path.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 #include "data/dataset.h"
 #include "util/rng.h"
@@ -46,7 +53,11 @@ class SyntheticShapesClassification final : public ClassificationDataset {
   const ClassificationConfig& config() const { return config_; }
 
  private:
+  ClassificationSample render(std::size_t index) const;
+
   ClassificationConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::optional<ClassificationSample>> cache_;
 };
 
 struct DetectionConfig {
@@ -77,8 +88,12 @@ class SyntheticShapesDetection final : public DetectionDataset {
   const DetectionConfig& config() const { return config_; }
 
  private:
+  DetectionSample render(std::size_t index) const;
+
   DetectionConfig config_;
   std::vector<std::string> categories_;
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::optional<DetectionSample>> cache_;
 };
 
 }  // namespace alfi::data

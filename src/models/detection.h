@@ -20,6 +20,10 @@
 #include "data/dataset.h"
 #include "nn/layers.h"
 
+namespace alfi::nn {
+class InferenceWorkspace;
+}
+
 namespace alfi::models {
 
 /// One predicted object.
@@ -76,6 +80,14 @@ class Detector {
   /// Full inference: network forward (hooks run) + decode + NMS.
   virtual std::vector<std::vector<Detection>> detect(const Tensor& images,
                                                      float conf_threshold) = 0;
+
+  /// Routes detect()'s network inference through `ws` — arena-backed
+  /// buffers planned once, zero steady-state allocations (DESIGN.md
+  /// §10); nullptr restores the allocating forward() path.  The
+  /// workspace must outlive its use; clones start without one.  The
+  /// default ignores the workspace, so custom detectors keep working
+  /// (they just stay on the allocating path).
+  virtual void set_workspace(nn::InferenceWorkspace* ws) { (void)ws; }
 
   /// Deep copy: a fresh detector of the same family and geometry whose
   /// network holds copies of this detector's parameters.  The clone

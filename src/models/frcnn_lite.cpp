@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/workspace.h"
+
 namespace alfi::models {
 
 namespace {
@@ -46,6 +48,15 @@ Tensor FrcnnModule::compute(const Tensor& input) {
   return rpn_->forward(*last_features_);
 }
 
+Tensor& FrcnnModule::compute_ws(const Tensor& input, nn::InferenceWorkspace& ws) {
+  Tensor& features = backbone_->forward_ws(input, ws);
+  // Owning copy for stage 2: it must survive the arena slots being
+  // overwritten, and copy-assignment reuses the existing capacity, so
+  // no steady-state allocation.
+  last_features_ = features;
+  return rpn_->forward_ws(features, ws);
+}
+
 void FrcnnModule::probe_forward(const Tensor& input) {
   forward(input);
   head_->forward(Tensor(Shape{1, kFeatureChannels}));
@@ -76,9 +87,24 @@ FrcnnLite::FrcnnLite(const GridSpec& grid, std::size_t num_classes,
   net_ = std::make_shared<FrcnnModule>(in_channels, num_classes);
 }
 
+void FrcnnLite::set_workspace(nn::InferenceWorkspace* ws) {
+  ws_ = ws;
+  if (ws != nullptr && head_ws_ == nullptr) {
+    head_ws_ = std::make_unique<nn::InferenceWorkspace>();
+  }
+}
+
 std::vector<std::vector<Detection>> FrcnnLite::detect(const Tensor& images,
                                                       float conf_threshold) {
-  const Tensor rpn_out = net_->forward(images);
+  Tensor rpn_local;
+  const Tensor* rpn_ptr;
+  if (ws_ != nullptr) {
+    rpn_ptr = &ws_->run(*net_, images);
+  } else {
+    rpn_local = net_->forward(images);
+    rpn_ptr = &rpn_local;
+  }
+  const Tensor& rpn_out = *rpn_ptr;
   const Tensor& features = net_->last_features();
   const std::size_t n = rpn_out.dim(0);
   const std::size_t s = grid_.grid;
@@ -111,7 +137,15 @@ std::vector<std::vector<Detection>> FrcnnLite::detect(const Tensor& images,
       }
     }
 
-    const Tensor head_out = net_->head_forward(pooled);
+    Tensor head_local;
+    const Tensor* head_ptr;
+    if (ws_ != nullptr) {
+      head_ptr = &head_ws_->run(net_->head(), pooled);
+    } else {
+      head_local = net_->head_forward(pooled);
+      head_ptr = &head_local;
+    }
+    const Tensor& head_out = *head_ptr;
     const std::size_t head_channels = (num_classes_ + 1) + 4;
 
     std::vector<Detection> dets;

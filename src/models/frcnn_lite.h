@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "models/detection.h"
+#include "nn/workspace.h"
 
 namespace alfi::models {
 
@@ -43,6 +44,10 @@ class FrcnnModule final : public nn::Module {
  protected:
   /// Returns the RPN map [N, 5, S, S]; features are cached for stage 2.
   Tensor compute(const Tensor& input) override;
+  /// Workspace twin: backbone/RPN run through arena slots; the feature
+  /// cache stays an owning copy whose vector capacity is reused, so the
+  /// steady state remains allocation-free.
+  Tensor& compute_ws(const Tensor& input, nn::InferenceWorkspace& ws) override;
 
  private:
   std::size_t num_classes_;
@@ -63,6 +68,7 @@ class FrcnnLite final : public Detector {
 
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
+  void set_workspace(nn::InferenceWorkspace* ws) override;
   float train_step(const data::DetectionBatch& batch) override;
   std::unique_ptr<Detector> clone() override;
 
@@ -74,6 +80,11 @@ class FrcnnLite final : public Detector {
   std::size_t num_classes_;
   std::size_t in_channels_;
   std::shared_ptr<FrcnnModule> net_;
+  nn::InferenceWorkspace* ws_ = nullptr;
+  /// Second-stage workspace: the head is its own root, so it cannot
+  /// share ws_ (a workspace serves one root at a time).  Owned here
+  /// because the head's proposal batch is detector-driven.
+  std::unique_ptr<nn::InferenceWorkspace> head_ws_;
 };
 
 }  // namespace alfi::models

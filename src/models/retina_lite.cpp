@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/workspace.h"
+
 namespace alfi::models {
 
 namespace {
@@ -53,6 +55,27 @@ Tensor RetinaNetModule::compute(const Tensor& input) {
   ALFI_CHECK(box.dim(2) == s1 && box.dim(3) == s2, "head grid mismatch");
   const std::size_t plane = s1 * s2;
   Tensor out(Shape{n, num_classes_ + 4, s1, s2});
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    std::memcpy(out.raw() + sample * (num_classes_ + 4) * plane,
+                cls.raw() + sample * num_classes_ * plane,
+                num_classes_ * plane * sizeof(float));
+    std::memcpy(out.raw() + (sample * (num_classes_ + 4) + num_classes_) * plane,
+                box.raw() + sample * 4 * plane, 4 * plane * sizeof(float));
+  }
+  return out;
+}
+
+Tensor& RetinaNetModule::compute_ws(const Tensor& input,
+                                    nn::InferenceWorkspace& ws) {
+  const Tensor& features = backbone_->forward_ws(input, ws);
+  const Tensor& cls = cls_head_->forward_ws(features, ws);
+  const Tensor& box = box_head_->forward_ws(features, ws);
+
+  const std::size_t n = cls.dim(0), s1 = cls.dim(2), s2 = cls.dim(3);
+  ALFI_CHECK(box.dim(2) == s1 && box.dim(3) == s2, "head grid mismatch");
+  const std::size_t plane = s1 * s2;
+  Tensor& out =
+      ws.slot(*this, [&] { return Shape{n, num_classes_ + 4, s1, s2}; });
   for (std::size_t sample = 0; sample < n; ++sample) {
     std::memcpy(out.raw() + sample * (num_classes_ + 4) * plane,
                 cls.raw() + sample * num_classes_ * plane,
@@ -133,6 +156,7 @@ std::vector<std::vector<Detection>> RetinaLite::decode(const Tensor& output,
 
 std::vector<std::vector<Detection>> RetinaLite::detect(const Tensor& images,
                                                        float conf_threshold) {
+  if (ws_ != nullptr) return decode(ws_->run(*net_, images), conf_threshold);
   return decode(net_->forward(images), conf_threshold);
 }
 

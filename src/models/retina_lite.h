@@ -25,6 +25,9 @@ class RetinaNetModule final : public nn::Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  /// Workspace twin: heads run on the backbone's slot, the concatenated
+  /// map is written into this module's own slot.
+  Tensor& compute_ws(const Tensor& input, nn::InferenceWorkspace& ws) override;
 
  private:
   std::size_t num_classes_;
@@ -44,6 +47,7 @@ class RetinaLite final : public Detector {
 
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
+  void set_workspace(nn::InferenceWorkspace* ws) override { ws_ = ws; }
   float train_step(const data::DetectionBatch& batch) override;
   std::unique_ptr<Detector> clone() override;
 
@@ -55,6 +59,7 @@ class RetinaLite final : public Detector {
   std::size_t num_classes_;
   std::size_t in_channels_;
   std::shared_ptr<RetinaNetModule> net_;
+  nn::InferenceWorkspace* ws_ = nullptr;
 };
 
 }  // namespace alfi::models

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/workspace.h"
+
 namespace alfi::models {
 
 namespace {
@@ -84,6 +86,7 @@ std::vector<std::vector<Detection>> YoloLite::decode(const Tensor& output,
 
 std::vector<std::vector<Detection>> YoloLite::detect(const Tensor& images,
                                                      float conf_threshold) {
+  if (ws_ != nullptr) return decode(ws_->run(*net_, images), conf_threshold);
   return decode(net_->forward(images), conf_threshold);
 }
 

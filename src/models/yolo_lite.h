@@ -22,6 +22,7 @@ class YoloLite final : public Detector {
 
   std::vector<std::vector<Detection>> detect(const Tensor& images,
                                              float conf_threshold) override;
+  void set_workspace(nn::InferenceWorkspace* ws) override { ws_ = ws; }
   float train_step(const data::DetectionBatch& batch) override;
   std::unique_ptr<Detector> clone() override;
 
@@ -35,6 +36,7 @@ class YoloLite final : public Detector {
   std::size_t num_classes_;
   std::size_t in_channels_;
   std::shared_ptr<nn::Sequential> net_;
+  nn::InferenceWorkspace* ws_ = nullptr;
 };
 
 }  // namespace alfi::models

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/workspace.h"
+
 namespace alfi::nn {
 
 namespace {
@@ -150,12 +152,17 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 // ---- pooling ---------------------------------------------------------------
 
 Tensor MaxPool2d::compute(const Tensor& input) {
-  ops::MaxPoolResult result = ops::maxpool2d_forward(input, spec_);
-  Tensor output = result.output;
   if (training()) {
+    // Backward needs the winner indices; cache the full result.
     cached_input_ = input;
-    cached_result_ = std::move(result);
+    cached_result_ = ops::maxpool2d_forward(input, spec_);
+    return cached_result_->output;
   }
+  // Inference needs only the pooled values — skip the argmax buffer.
+  const std::size_t oh = ops::conv_out_size(input.dim(2), spec_.kernel, spec_.stride, 0);
+  const std::size_t ow = ops::conv_out_size(input.dim(3), spec_.kernel, spec_.stride, 0);
+  Tensor output(Shape{input.dim(0), input.dim(1), oh, ow});
+  ops::maxpool2d_forward_into(output, input, spec_);
   return output;
 }
 
@@ -247,19 +254,8 @@ Tensor BatchNorm2d::compute(const Tensor& input) {
       }
     }
   } else {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float mean = running_mean_.raw()[ch];
-      const float inv_std = 1.0f / std::sqrt(running_var_.raw()[ch] + eps_);
-      const float g = gamma_->value.raw()[ch];
-      const float b = beta_->value.raw()[ch];
-      for (std::size_t s = 0; s < n; ++s) {
-        const float* src = input.raw() + (s * c + ch) * plane;
-        float* dst = out.raw() + (s * c + ch) * plane;
-        for (std::size_t i = 0; i < plane; ++i) {
-          dst[i] = (src[i] - mean) * inv_std * g + b;
-        }
-      }
-    }
+    ops::batchnorm2d_eval_into(out, input, gamma_->value, beta_->value,
+                               running_mean_, running_var_, eps_);
   }
   return out;
 }
@@ -355,10 +351,13 @@ Module* Sequential::append(std::shared_ptr<Module> layer, std::string name) {
 }
 
 Tensor Sequential::compute(const Tensor& input) {
-  Tensor value = input;
-  for (const auto& [name, child] : children()) {
-    (void)name;
-    value = child->forward(value);
+  const auto& kids = children();
+  if (kids.empty()) return input;
+  // Feed the input straight to the first child instead of copying it
+  // into a local first — the copy was a full batch-sized temporary.
+  Tensor value = kids.front().second->forward(input);
+  for (std::size_t i = 1; i < kids.size(); ++i) {
+    value = kids[i].second->forward(value);
   }
   return value;
 }
@@ -378,10 +377,22 @@ Residual::Residual(std::shared_ptr<Module> main, std::shared_ptr<Module> shortcu
 
 Tensor Residual::compute(const Tensor& input) {
   Tensor main_out = main_->forward(input);
-  Tensor skip = shortcut_ ? shortcut_->forward(input) : input;
-  Tensor sum = ops::add(main_out, skip);
-  if (training()) cached_sum_ = sum;
-  return ops::relu(sum);
+  if (training()) {
+    // Backward differentiates through the pre-activation sum.
+    Tensor skip = shortcut_ ? shortcut_->forward(input) : input;
+    Tensor sum = ops::add(main_out, skip);
+    cached_sum_ = sum;
+    return ops::relu(sum);
+  }
+  // Inference: accumulate the skip into main_out and ReLU in place
+  // rather than materializing sum and relu(sum) separately.
+  if (shortcut_) {
+    ops::add_inplace(main_out, shortcut_->forward(input));
+  } else {
+    ops::add_inplace(main_out, input);
+  }
+  ops::relu_into(main_out, main_out);
+  return main_out;
 }
 
 Tensor Residual::backward(const Tensor& grad_output) {
@@ -394,6 +405,161 @@ Tensor Residual::backward(const Tensor& grad_output) {
     ops::add_inplace(grad_input, grad_sum);
   }
   return grad_input;
+}
+
+// ---- workspace kernels -------------------------------------------------------
+//
+// Each built-in layer writes into its arena-backed workspace slot via
+// the `_into` ops, so steady-state inference never allocates.  Shape
+// callables run only on the planning pass (see workspace.h).
+
+Tensor& Conv2d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] {
+    const std::size_t oh =
+        ops::conv_out_size(input.dim(2), kernel_, spec_.stride, spec_.padding);
+    const std::size_t ow =
+        ops::conv_out_size(input.dim(3), kernel_, spec_.stride, spec_.padding);
+    return Shape{input.dim(0), out_channels_, oh, ow};
+  });
+  const std::size_t col_floats = weight_->value.dim(1) * kernel_ * kernel_ *
+                                 out.dim(2) * out.dim(3);
+  if (!ws_plan_.matches(input.shape())) {
+    ws_plan_ = ops::make_conv2d_plan(input.shape(), weight_->value.shape(), spec_);
+  }
+  ops::conv2d_forward_planned(out, input, weight_->value, bias_->value, ws_plan_,
+                              ws.scratch(*this, col_floats));
+  return out;
+}
+
+Tensor& Conv3d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] {
+    const std::size_t od =
+        ops::conv_out_size(input.dim(2), kernel_, spec_.stride, spec_.padding);
+    const std::size_t oh =
+        ops::conv_out_size(input.dim(3), kernel_, spec_.stride, spec_.padding);
+    const std::size_t ow =
+        ops::conv_out_size(input.dim(4), kernel_, spec_.stride, spec_.padding);
+    return Shape{input.dim(0), out_channels_, od, oh, ow};
+  });
+  ops::conv3d_forward_into(out, input, weight_->value, bias_->value, spec_);
+  return out;
+}
+
+Tensor& Linear::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return Shape{input.dim(0), out_features_}; });
+  ops::linear_forward_into(out, input, weight_->value, bias_->value);
+  return out;
+}
+
+Tensor& ReLU::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::relu_into(out, input);
+  return out;
+}
+
+Tensor& LeakyReLU::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::leaky_relu_into(out, input, slope_);
+  return out;
+}
+
+Tensor& Sigmoid::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::sigmoid_into(out, input);
+  return out;
+}
+
+Tensor& Tanh::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::tanh_act_into(out, input);
+  return out;
+}
+
+Tensor& MaxPool2d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] {
+    const std::size_t oh =
+        ops::conv_out_size(input.dim(2), spec_.kernel, spec_.stride, 0);
+    const std::size_t ow =
+        ops::conv_out_size(input.dim(3), spec_.kernel, spec_.stride, 0);
+    return Shape{input.dim(0), input.dim(1), oh, ow};
+  });
+  ops::maxpool2d_forward_into(out, input, spec_);
+  return out;
+}
+
+Tensor& AvgPool2d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] {
+    const std::size_t oh =
+        ops::conv_out_size(input.dim(2), spec_.kernel, spec_.stride, 0);
+    const std::size_t ow =
+        ops::conv_out_size(input.dim(3), spec_.kernel, spec_.stride, 0);
+    return Shape{input.dim(0), input.dim(1), oh, ow};
+  });
+  ops::avgpool2d_forward_into(out, input, spec_);
+  return out;
+}
+
+Tensor& GlobalAvgPool2d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return Shape{input.dim(0), input.dim(1)}; });
+  ops::global_avgpool2d_into(out, input);
+  return out;
+}
+
+Tensor& BatchNorm2d::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  ALFI_CHECK(input.rank() == 4 && input.dim(1) == channels_,
+             "BatchNorm2d expects [N," + std::to_string(channels_) + ",H,W]");
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::batchnorm2d_eval_into(out, input, gamma_->value, beta_->value,
+                             running_mean_, running_var_, eps_);
+  return out;
+}
+
+Tensor& Flatten::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  ALFI_CHECK(input.rank() >= 1, "Flatten expects batched input");
+  Tensor& out = ws.slot(*this, [&] {
+    return Shape{input.dim(0), input.numel() / input.dim(0)};
+  });
+  out.copy_from(input);
+  return out;
+}
+
+Tensor& Softmax::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::softmax_rows_into(out, input);
+  return out;
+}
+
+Tensor& Dropout::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  // Eval-mode dropout is the identity; the slot copy mirrors the
+  // allocating path, where compute() returns a distinct output tensor.
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  out.copy_from(input);
+  return out;
+}
+
+Tensor& Sequential::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor* value = nullptr;
+  const Tensor* current = &input;
+  for (const auto& [name, child] : children()) {
+    (void)name;
+    value = &child->forward_ws(*current, ws);
+    current = value;
+  }
+  if (value == nullptr) {  // empty container: identity through a slot
+    Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+    out.copy_from(input);
+    return out;
+  }
+  return *value;
+}
+
+Tensor& Residual::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& main_out = main_->forward_ws(input, ws);
+  const Tensor& skip = shortcut_ ? shortcut_->forward_ws(input, ws) : input;
+  Tensor& out = ws.slot(*this, [&] { return main_out.shape(); });
+  ops::add_into(out, main_out, skip);
+  ops::relu_into(out, out);
+  return out;
 }
 
 // ---- cloning ----------------------------------------------------------------

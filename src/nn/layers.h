@@ -40,12 +40,15 @@ class Conv2d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::size_t in_channels_, out_channels_, kernel_;
   ops::Conv2dSpec spec_;
   Parameter* weight_;
   Parameter* bias_;
+  // workspace-path gather plan, rebuilt when the input shape changes
+  ops::Conv2dPlan ws_plan_;
   std::optional<Tensor> cached_input_;
 };
 
@@ -66,6 +69,7 @@ class Conv3d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::size_t in_channels_, out_channels_, kernel_;
@@ -94,6 +98,7 @@ class Linear : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::size_t in_features_, out_features_;
@@ -110,6 +115,7 @@ class ReLU : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::optional<Tensor> cached_input_;
@@ -124,6 +130,7 @@ class LeakyReLU : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   float slope_;
@@ -138,6 +145,7 @@ class Sigmoid : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::optional<Tensor> cached_output_;
@@ -151,6 +159,7 @@ class Tanh : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::optional<Tensor> cached_output_;
@@ -166,6 +175,7 @@ class MaxPool2d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   ops::Pool2dSpec spec_;
@@ -183,6 +193,7 @@ class AvgPool2d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   ops::Pool2dSpec spec_;
@@ -198,6 +209,7 @@ class GlobalAvgPool2d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::optional<Tensor> cached_input_;
@@ -218,6 +230,7 @@ class BatchNorm2d : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::size_t channels_;
@@ -239,6 +252,7 @@ class Flatten : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   std::optional<Shape> cached_shape_;
@@ -252,6 +266,7 @@ class Softmax : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 };
 
 /// Inverted dropout; identity in eval mode.  Deterministic given the
@@ -265,6 +280,7 @@ class Dropout : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   float probability_;
@@ -286,6 +302,7 @@ class Sequential : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 };
 
 /// Residual block: output = relu(main(x) + shortcut(x)).
@@ -299,6 +316,7 @@ class Residual : public Module {
 
  protected:
   Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
 
  private:
   Module* main_;

@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include "nn/workspace.h"
+
 namespace alfi::nn {
 
 const char* layer_kind_name(LayerKind kind) {
@@ -19,6 +21,25 @@ Tensor Module::forward(const Tensor& input) {
     hook(*this, input, output);
   }
   return output;
+}
+
+Tensor& Module::forward_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& output = compute_ws(input, ws);
+  for (auto& [handle, hook] : hooks_) {
+    (void)handle;
+    hook(*this, input, output);
+  }
+  return output;
+}
+
+Tensor& Module::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  // Fallback for layers without an `_into` kernel: run the allocating
+  // compute, then park the result in a stable slot so hooks still see
+  // arena-backed storage they can mutate across calls.
+  Tensor out = compute(input);
+  Tensor& slot = ws.slot(*this, [&] { return out.shape(); });
+  slot.copy_from(out);
+  return slot;
 }
 
 Tensor Module::backward(const Tensor&) {

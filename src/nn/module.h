@@ -53,7 +53,11 @@ struct HookHandle {
 
 /// Forward hook: runs after the layer computed `output`; may mutate
 /// `output` in place.  `module` is the layer the hook is attached to.
+/// On the workspace path `output` is an arena-backed slot: hooks must
+/// mutate its elements, never reassign the tensor itself.
 using ForwardHook = std::function<void(Module& module, const Tensor& input, Tensor& output)>;
+
+class InferenceWorkspace;
 
 class Module {
  public:
@@ -65,6 +69,15 @@ class Module {
   /// Runs the layer then all forward hooks; returns the (possibly
   /// hook-mutated) output.
   Tensor forward(const Tensor& input);
+
+  /// Workspace twin of forward() for eval-mode inference: computes into
+  /// a stable arena-backed slot owned by `ws` and runs the same hooks,
+  /// in the same order, mutating the slot in place — so neuron
+  /// injection, monitoring and mitigation semantics are bit-identical
+  /// to the allocating path.  The returned reference is valid until the
+  /// workspace replans.  Prefer InferenceWorkspace::run() as the entry
+  /// point; it handles plan invalidation.
+  Tensor& forward_ws(const Tensor& input, InferenceWorkspace& ws);
 
   // -- cloning -------------------------------------------------------------
 
@@ -162,6 +175,14 @@ class Module {
  protected:
   /// The layer's computation; hooks are applied by forward().
   virtual Tensor compute(const Tensor& input) = 0;
+
+  /// Workspace computation; hooks are applied by forward_ws().  The
+  /// default falls back to the allocating compute() and copies the
+  /// result into this module's slot, so custom layers work unmodified
+  /// (they just don't get the zero-allocation guarantee); built-in
+  /// layers override this with `_into` kernels writing straight into
+  /// the slot.
+  virtual Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws);
 
   /// Registers a parameter owned by this module; returns a stable pointer.
   Parameter* register_parameter(std::string name, Tensor value);

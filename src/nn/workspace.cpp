@@ -1,0 +1,33 @@
+#include "nn/workspace.h"
+
+#include "nn/module.h"
+
+namespace alfi::nn {
+
+Tensor& InferenceWorkspace::run(Module& root, const Tensor& input) {
+  ALFI_CHECK(!root.training(),
+             "InferenceWorkspace requires eval mode; training needs the "
+             "allocating forward() path (layers cache state for backward)");
+  if (root_ != &root || !(input_shape_ == input.shape())) {
+    invalidate();
+    root_ = &root;
+    input_shape_ = input.shape();
+  }
+  return root.forward_ws(input, *this);
+}
+
+std::span<float> InferenceWorkspace::scratch(const Module& m, std::size_t floats) {
+  const auto it = scratch_.find(&m);
+  if (it != scratch_.end()) return it->second;
+  return scratch_.emplace(&m, arena_.allocate(floats)).first->second;
+}
+
+void InferenceWorkspace::invalidate() {
+  slots_.clear();
+  scratch_.clear();
+  arena_.reset();
+  root_ = nullptr;
+  input_shape_ = Shape();
+}
+
+}  // namespace alfi::nn

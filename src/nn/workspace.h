@@ -1,0 +1,77 @@
+// Planned, zero-steady-state-allocation inference.
+//
+// An InferenceWorkspace owns a TensorArena plus one arena-backed output
+// slot per module.  The first run() for a given root/input shape is the
+// *planning* pass: every layer requests its slot (and any scratch, e.g.
+// the conv2d im2col buffer) from the arena.  Subsequent runs find the
+// existing buffers in a hash map and never touch the heap — the
+// property the counting-allocator regression test pins down.
+//
+// Lifetime rules (DESIGN.md §10):
+//   * slots are valid until the next invalidate(), which happens
+//     automatically when run() sees a different root or input shape;
+//   * forward hooks receive the arena-backed slot and must mutate its
+//     *elements* (inject, clamp, scan) — reassigning the tensor itself
+//     would break the borrow and is not supported;
+//   * a workspace serves one model pass at a time: campaign code that
+//     compares fault-free / faulty / mitigated outputs keeps one
+//     workspace per pass so the three outputs coexist.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace alfi::nn {
+
+class Module;
+
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+
+  // Slots reference arena blocks owned by this object; keep it pinned.
+  InferenceWorkspace(const InferenceWorkspace&) = delete;
+  InferenceWorkspace& operator=(const InferenceWorkspace&) = delete;
+
+  /// One eval-mode forward pass of `root`; plans buffers on the first
+  /// call (or when root/input shape changes) and reuses them after.
+  /// The returned reference is the root's output slot, valid until the
+  /// next run() or invalidate().
+  Tensor& run(Module& root, const Tensor& input);
+
+  /// The output slot of `m`, creating it with `make_shape()` on the
+  /// planning pass.  The shape callable keeps the steady-state path
+  /// free of Shape construction (which heap-allocates).
+  template <typename ShapeFn>
+  Tensor& slot(const Module& m, ShapeFn&& make_shape) {
+    const auto it = slots_.find(&m);
+    if (it != slots_.end()) return it->second;
+    return slots_.emplace(&m, arena_.make(make_shape())).first->second;
+  }
+
+  /// Per-module scratch buffer of `floats` floats (planning-pass sized,
+  /// like slot()).
+  std::span<float> scratch(const Module& m, std::size_t floats);
+
+  /// Drops every slot and rewinds the arena; the next run() replans.
+  void invalidate();
+
+  bool planned() const { return !slots_.empty(); }
+
+  /// Peak arena footprint in bytes — the fixed preallocation one model
+  /// pass needs (exported to the campaign metrics registry).
+  std::size_t high_water_bytes() const { return arena_.high_water_bytes(); }
+
+ private:
+  TensorArena arena_;
+  std::unordered_map<const Module*, Tensor> slots_;
+  std::unordered_map<const Module*, std::span<float>> scratch_;
+  const Module* root_ = nullptr;
+  Shape input_shape_;
+};
+
+}  // namespace alfi::nn

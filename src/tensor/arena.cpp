@@ -1,0 +1,58 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+namespace alfi {
+
+namespace {
+constexpr std::size_t kMinBlockFloats = 1024;
+}
+
+std::span<float> TensorArena::allocate(std::size_t count) {
+  // Degenerate but legal: a rank-0 tensor still needs one element.
+  if (count == 0) count = 1;
+  Block* block = nullptr;
+  for (Block& b : blocks_) {
+    if (b.capacity - b.used >= count) {
+      block = &b;
+      break;
+    }
+  }
+  if (block == nullptr) {
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().capacity;
+    const std::size_t capacity = std::max({count, 2 * prev, kMinBlockFloats});
+    blocks_.push_back({std::make_unique<float[]>(capacity), capacity, 0});
+    block = &blocks_.back();
+  }
+  float* base = block->data.get() + block->used;
+  block->used += count;
+  allocated_ += count;
+  high_water_ = std::max(high_water_, allocated_);
+  std::fill(base, base + count, 0.0f);
+  return {base, count};
+}
+
+Tensor TensorArena::make(Shape shape) {
+  const std::size_t count = shape.numel();
+  return Tensor(std::move(shape), allocate(count));
+}
+
+void TensorArena::reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce so the next plan (same model, same shapes) lands in one
+    // contiguous block instead of re-walking the fragmented list.
+    blocks_.clear();
+    blocks_.push_back({std::make_unique<float[]>(high_water_), high_water_, 0});
+  } else {
+    for (Block& b : blocks_) b.used = 0;
+  }
+  allocated_ = 0;
+}
+
+std::size_t TensorArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total * sizeof(float);
+}
+
+}  // namespace alfi

@@ -1,0 +1,64 @@
+// Bump allocator backing zero-steady-state-allocation inference.
+//
+// A TensorArena hands out float spans from a small list of large blocks.
+// Blocks are never reallocated, so every span stays valid until reset():
+// an InferenceWorkspace plans all per-layer buffers once, then reuses
+// them across campaign units without touching the heap (DESIGN.md §10).
+//
+// reset() rewinds the allocator; if the previous plan spilled into more
+// than one block, the blocks are coalesced into a single block sized to
+// the high-water mark so the next plan is contiguous.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace alfi {
+
+class TensorArena {
+ public:
+  TensorArena() = default;
+
+  // Spans returned by allocate() point into the blocks; moving the arena
+  // would be safe, copying would not, so both are disabled to keep the
+  // ownership story simple.
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Returns a zero-filled span of `count` floats, valid until reset().
+  std::span<float> allocate(std::size_t count);
+
+  /// A non-owning Tensor of `shape` backed by arena storage.
+  Tensor make(Shape shape);
+
+  /// Invalidates every span handed out so far and rewinds to empty.
+  void reset();
+
+  /// Floats currently handed out since the last reset, in bytes.
+  std::size_t allocated_bytes() const { return allocated_ * sizeof(float); }
+
+  /// Largest allocated_bytes() ever observed — the memory footprint a
+  /// fixed preallocation would need (reported to the metrics registry).
+  std::size_t high_water_bytes() const { return high_water_ * sizeof(float); }
+
+  /// Total bytes reserved across all blocks.
+  std::size_t capacity_bytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t allocated_ = 0;   // floats handed out since last reset
+  std::size_t high_water_ = 0;  // max of allocated_ over the arena lifetime
+};
+
+}  // namespace alfi

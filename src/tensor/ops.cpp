@@ -13,34 +13,62 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                          b.shape().to_string());
 }
 
+// Steady-state `_into` calls must not allocate, so destination shapes
+// are validated by element count instead of by constructing an expected
+// Shape (Shape construction heap-allocates its dims vector).
+void check_dst_numel(const Tensor& dst, std::size_t numel, const char* op) {
+  ALFI_CHECK(dst.numel() == numel,
+             std::string(op) + ": destination element count mismatch");
+}
+
 }  // namespace
 
 // ---- elementwise -----------------------------------------------------------
 
-Tensor add(const Tensor& a, const Tensor& b) {
+void add_into(Tensor& dst, const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
+  check_dst_numel(dst, a.numel(), "add_into");
+  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] + b.raw()[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] + b.raw()[i];
+  add_into(out, a, b);
   return out;
+}
+
+void sub_into(Tensor& dst, const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  check_dst_numel(dst, a.numel(), "sub_into");
+  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] - b.raw()[i];
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "sub");
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] - b.raw()[i];
+  sub_into(out, a, b);
   return out;
 }
 
-Tensor mul(const Tensor& a, const Tensor& b) {
+void mul_into(Tensor& dst, const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
+  check_dst_numel(dst, a.numel(), "mul_into");
+  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] * b.raw()[i];
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] * b.raw()[i];
+  mul_into(out, a, b);
   return out;
+}
+
+void scale_into(Tensor& dst, const Tensor& a, float factor) {
+  check_dst_numel(dst, a.numel(), "scale_into");
+  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] * factor;
 }
 
 Tensor scale(const Tensor& a, float factor) {
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.raw()[i] = a.raw()[i] * factor;
+  scale_into(out, a, factor);
   return out;
 }
 
@@ -56,15 +84,16 @@ void axpy_inplace(Tensor& a, float factor, const Tensor& b) {
 
 // ---- linear algebra --------------------------------------------------------
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b) {
   ALFI_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   ALFI_CHECK(k == k2, "matmul inner dimensions differ: " + a.shape().to_string() +
                           " vs " + b.shape().to_string());
-  Tensor out(Shape{m, n});
+  check_dst_numel(dst, m * n, "matmul_into");
   const float* pa = a.raw();
   const float* pb = b.raw();
-  float* po = out.raw();
+  float* po = dst.raw();
+  std::fill(po, po + m * n, 0.0f);
   // i-k-j loop order: streams through b and out rows, cache-friendly.
   for (std::size_t i = 0; i < m; ++i) {
     float* orow = po + i * n;
@@ -75,32 +104,45 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ALFI_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
+  Tensor out(Shape{a.dim(0), b.dim(1)});
+  matmul_into(out, a, b);
   return out;
+}
+
+void transpose2d_into(Tensor& dst, const Tensor& a) {
+  ALFI_CHECK(a.rank() == 2, "transpose2d expects rank-2 tensor");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  check_dst_numel(dst, m * n, "transpose2d_into");
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dst.raw()[j * m + i] = a.raw()[i * n + j];
+    }
+  }
 }
 
 Tensor transpose2d(const Tensor& a) {
   ALFI_CHECK(a.rank() == 2, "transpose2d expects rank-2 tensor");
-  const std::size_t m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n, m});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      out.raw()[j * m + i] = a.raw()[i * n + j];
-    }
-  }
+  Tensor out(Shape{a.dim(1), a.dim(0)});
+  transpose2d_into(out, a);
   return out;
 }
 
-Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias) {
+void linear_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias) {
   ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
   ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
   const std::size_t n = input.dim(0), in = input.dim(1);
   const std::size_t out_features = weight.dim(0);
   ALFI_CHECK(weight.dim(1) == in, "linear weight IN mismatch");
   ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == out_features, "linear bias mismatch");
-  Tensor out(Shape{n, out_features});
+  check_dst_numel(dst, n * out_features, "linear_forward_into");
   for (std::size_t row = 0; row < n; ++row) {
     const float* x = input.raw() + row * in;
-    float* y = out.raw() + row * out_features;
+    float* y = dst.raw() + row * out_features;
     for (std::size_t o = 0; o < out_features; ++o) {
       const float* w = weight.raw() + o * in;
       double acc = bias.raw()[o];
@@ -108,6 +150,13 @@ Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& b
       y[o] = static_cast<float>(acc);
     }
   }
+}
+
+Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias) {
+  ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
+  ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
+  Tensor out(Shape{input.dim(0), weight.dim(0)});
+  linear_forward_into(out, input, weight, bias);
   return out;
 }
 
@@ -215,8 +264,18 @@ void col2im(const float* col, std::size_t channels, std::size_t height,
 
 }  // namespace
 
-Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                      const Conv2dSpec& spec) {
+std::size_t conv2d_scratch_floats(const Shape& input, const Shape& weight,
+                                  const Conv2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4 && weight.rank() == 4,
+             "conv2d scratch expects [N,C,H,W] input and [OC,IC,KH,KW] weight");
+  const std::size_t oh = conv_out_size(input[2], weight[2], spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(input[3], weight[3], spec.stride, spec.padding);
+  return weight[1] * weight[2] * weight[3] * oh * ow;
+}
+
+void conv2d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         std::span<float> col_scratch) {
   ALFI_CHECK(input.rank() == 4, "conv2d input must be [N,C,H,W]");
   ALFI_CHECK(weight.rank() == 4, "conv2d weight must be [OC,IC,KH,KW]");
   const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
@@ -226,17 +285,19 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& b
   ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == oc, "conv2d bias mismatch");
   const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
   const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+  check_dst_numel(dst, n * oc * oh * ow, "conv2d_forward_into");
 
-  Tensor out(Shape{n, oc, oh, ow});
   const std::size_t col_rows = ic * kh * kw;
   const std::size_t col_cols = oh * ow;
-  std::vector<float> col(col_rows * col_cols);
+  ALFI_CHECK(col_scratch.size() >= col_rows * col_cols,
+             "conv2d col scratch too small");
+  float* col = col_scratch.data();
 
   for (std::size_t sample = 0; sample < n; ++sample) {
     im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw, spec.stride,
-           spec.padding, oh, ow, col.data());
-    // out[sample] = weight[oc, col_rows] @ col[col_rows, col_cols] + bias
-    float* out_base = out.raw() + sample * oc * col_cols;
+           spec.padding, oh, ow, col);
+    // dst[sample] = weight[oc, col_rows] @ col[col_rows, col_cols] + bias
+    float* out_base = dst.raw() + sample * oc * col_cols;
     for (std::size_t o = 0; o < oc; ++o) {
       float* orow = out_base + o * col_cols;
       std::fill(orow, orow + col_cols, bias.raw()[o]);
@@ -244,11 +305,179 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& b
       for (std::size_t r = 0; r < col_rows; ++r) {
         const float wv = wrow[r];
         if (wv == 0.0f) continue;
-        const float* crow = col.data() + r * col_cols;
+        const float* crow = col + r * col_cols;
         for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
       }
     }
   }
+}
+
+Conv2dPlan make_conv2d_plan(const Shape& input, const Shape& weight,
+                            const Conv2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4 && weight.rank() == 4,
+             "conv2d plan expects [N,C,H,W] input and [OC,IC,KH,KW] weight");
+  ALFI_CHECK(weight[1] == input[1], "conv2d channel mismatch");
+  const std::size_t ic = input[1], h = input[2], w = input[3];
+  const std::size_t kh = weight[2], kw = weight[3];
+  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
+  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
+
+  Conv2dPlan plan;
+  plan.input_shape = input;
+  plan.col_rows = ic * kh * kw;
+  plan.col_cols = oh * ow;
+  plan.col_index.resize(plan.col_rows * plan.col_cols);
+  const std::size_t plane = h * w;
+  for (std::size_t c = 0; c < ic; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        std::int32_t* row =
+            plan.col_index.data() + ((c * kh + ky) * kw + kx) * plan.col_cols;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.padding);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            const bool pad = in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(h) ||
+                             in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(w);
+            row[y * ow + x] =
+                pad ? -1
+                    : static_cast<std::int32_t>(c * plane +
+                                                static_cast<std::size_t>(in_y) * w +
+                                                static_cast<std::size_t>(in_x));
+          }
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+void conv2d_forward_planned(Tensor& dst, const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, const Conv2dPlan& plan,
+                            std::span<float> col_scratch) {
+  ALFI_CHECK(plan.matches(input.shape()), "conv2d plan/input shape mismatch");
+  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oc = weight.dim(0);
+  const std::size_t col_rows = plan.col_rows;
+  const std::size_t col_cols = plan.col_cols;
+  check_dst_numel(dst, n * oc * col_cols, "conv2d_forward_planned");
+  ALFI_CHECK(col_scratch.size() >= col_rows * col_cols,
+             "conv2d col scratch too small");
+
+  float* __restrict col = col_scratch.data();
+  const std::int32_t* __restrict idx = plan.col_index.data();
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    const float* __restrict src = input.raw() + sample * ic * h * w;
+    for (std::size_t j = 0; j < col_rows * col_cols; ++j) {
+      const std::int32_t k = idx[j];
+      col[j] = k < 0 ? 0.0f : src[static_cast<std::size_t>(k)];
+    }
+    // dst[sample] = weight @ col + bias, blocked 4 weight rows x 4
+    // output channels per sweep: the four col rows loaded for one
+    // r-block feed four output rows, cutting col traffic 4x (the col
+    // matrix is bigger than L1 for the mid-size convs).  Each output
+    // element still accumulates its terms strictly left to right with
+    // the same zero-weight skip, so the result is bit-identical to the
+    // reference kernel in conv2d_forward_into.
+    float* out_base = dst.raw() + sample * oc * col_cols;
+
+    // One r-block (4 weight rows) of a single output row, with the
+    // reference semantics: fused when all four weights are live, else
+    // the per-row skip (a faulted weight can be exactly zero, and
+    // 0 * Inf would manufacture a NaN the allocating path never sees).
+    const auto rblock_single = [&](float* __restrict orow, const float* wrow,
+                                   std::size_t r) {
+      const float w0 = wrow[r], w1 = wrow[r + 1], w2 = wrow[r + 2],
+                  w3 = wrow[r + 3];
+      const float* __restrict c0 = col + r * col_cols;
+      const float* __restrict c1 = c0 + col_cols;
+      const float* __restrict c2 = c1 + col_cols;
+      const float* __restrict c3 = c2 + col_cols;
+      if (w0 != 0.0f && w1 != 0.0f && w2 != 0.0f && w3 != 0.0f) {
+        for (std::size_t c = 0; c < col_cols; ++c) {
+          orow[c] = orow[c] + w0 * c0[c] + w1 * c1[c] + w2 * c2[c] + w3 * c3[c];
+        }
+      } else {
+        for (std::size_t k = r; k < r + 4; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          const float* __restrict crow = col + k * col_cols;
+          for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
+        }
+      }
+    };
+    // Scalar tail rows (col_rows % 4) of a single output row.
+    const auto rtail_single = [&](float* __restrict orow, const float* wrow,
+                                  std::size_t r) {
+      for (; r < col_rows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* __restrict crow = col + r * col_cols;
+        for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
+      }
+    };
+
+    std::size_t o = 0;
+    for (; o + 2 <= oc; o += 2) {
+      float* __restrict o0 = out_base + o * col_cols;
+      float* __restrict o1 = o0 + col_cols;
+      std::fill(o0, o0 + col_cols, bias.raw()[o]);
+      std::fill(o1, o1 + col_cols, bias.raw()[o + 1]);
+      const float* w0row = weight.raw() + o * col_rows;
+      const float* w1row = w0row + col_rows;
+      std::size_t r = 0;
+      for (; r + 4 <= col_rows; r += 4) {
+        const float a0 = w0row[r], a1 = w0row[r + 1], a2 = w0row[r + 2],
+                    a3 = w0row[r + 3];
+        const float b0 = w1row[r], b1 = w1row[r + 1], b2 = w1row[r + 2],
+                    b3 = w1row[r + 3];
+        const bool all_live = a0 != 0.0f && a1 != 0.0f && a2 != 0.0f &&
+                              a3 != 0.0f && b0 != 0.0f && b1 != 0.0f &&
+                              b2 != 0.0f && b3 != 0.0f;
+        if (all_live) {
+          const float* __restrict c0 = col + r * col_cols;
+          const float* __restrict c1 = c0 + col_cols;
+          const float* __restrict c2 = c1 + col_cols;
+          const float* __restrict c3 = c2 + col_cols;
+          for (std::size_t c = 0; c < col_cols; ++c) {
+            o0[c] = o0[c] + a0 * c0[c] + a1 * c1[c] + a2 * c2[c] + a3 * c3[c];
+            o1[c] = o1[c] + b0 * c0[c] + b1 * c1[c] + b2 * c2[c] + b3 * c3[c];
+          }
+        } else {
+          rblock_single(o0, w0row, r);
+          rblock_single(o1, w1row, r);
+        }
+      }
+      rtail_single(o0, w0row, r);
+      rtail_single(o1, w1row, r);
+    }
+    for (; o < oc; ++o) {
+      float* __restrict orow = out_base + o * col_cols;
+      std::fill(orow, orow + col_cols, bias.raw()[o]);
+      const float* wrow = weight.raw() + o * col_rows;
+      std::size_t r = 0;
+      for (; r + 4 <= col_rows; r += 4) rblock_single(orow, wrow, r);
+      rtail_single(orow, wrow, r);
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "conv2d input must be [N,C,H,W]");
+  ALFI_CHECK(weight.rank() == 4, "conv2d weight must be [OC,IC,KH,KW]");
+  const std::size_t oh =
+      conv_out_size(input.dim(2), weight.dim(2), spec.stride, spec.padding);
+  const std::size_t ow =
+      conv_out_size(input.dim(3), weight.dim(3), spec.stride, spec.padding);
+  Tensor out(Shape{input.dim(0), weight.dim(0), oh, ow});
+  std::vector<float> col(conv2d_scratch_floats(input.shape(), weight.shape(), spec));
+  conv2d_forward_into(out, input, weight, bias, spec, col);
   return out;
 }
 
@@ -307,8 +536,8 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   return grads;
 }
 
-Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                      const Conv3dSpec& spec) {
+void conv3d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv3dSpec& spec) {
   ALFI_CHECK(input.rank() == 5, "conv3d input must be [N,C,D,H,W]");
   ALFI_CHECK(weight.rank() == 5, "conv3d weight must be [OC,IC,KD,KH,KW]");
   const std::size_t n = input.dim(0), ic = input.dim(1), d = input.dim(2),
@@ -320,8 +549,7 @@ Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& b
   const std::size_t od = conv_out_size(d, kd, spec.stride, spec.padding);
   const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
   const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
-
-  Tensor out(Shape{n, oc, od, oh, ow});
+  check_dst_numel(dst, n * oc * od * oh * ow, "conv3d_forward_into");
   const auto in_at = [&](std::size_t s, std::size_t c, std::ptrdiff_t z,
                          std::ptrdiff_t y, std::ptrdiff_t x) -> float {
     if (z < 0 || y < 0 || x < 0 || z >= static_cast<std::ptrdiff_t>(d) ||
@@ -359,13 +587,27 @@ Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& b
                 }
               }
             }
-            out.raw()[(((s * oc + o) * od + oz) * oh + oy) * ow + ox] =
+            dst.raw()[(((s * oc + o) * od + oz) * oh + oy) * ow + ox] =
                 static_cast<float>(acc);
           }
         }
       }
     }
   }
+}
+
+Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv3dSpec& spec) {
+  ALFI_CHECK(input.rank() == 5, "conv3d input must be [N,C,D,H,W]");
+  ALFI_CHECK(weight.rank() == 5, "conv3d weight must be [OC,IC,KD,KH,KW]");
+  const std::size_t od =
+      conv_out_size(input.dim(2), weight.dim(2), spec.stride, spec.padding);
+  const std::size_t oh =
+      conv_out_size(input.dim(3), weight.dim(3), spec.stride, spec.padding);
+  const std::size_t ow =
+      conv_out_size(input.dim(4), weight.dim(4), spec.stride, spec.padding);
+  Tensor out(Shape{input.dim(0), weight.dim(0), od, oh, ow});
+  conv3d_forward_into(out, input, weight, bias, spec);
   return out;
 }
 
@@ -430,14 +672,14 @@ Conv3dGrads conv3d_backward(const Tensor& input, const Tensor& weight,
 
 // ---- pooling ---------------------------------------------------------------
 
-MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+void maxpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec,
+                            std::size_t* argmax) {
   ALFI_CHECK(input.rank() == 4, "maxpool2d input must be [N,C,H,W]");
   const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
   const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
   const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
-  MaxPoolResult result{Tensor(Shape{n, c, oh, ow}), {}};
-  result.argmax.resize(result.output.numel());
+  check_dst_numel(dst, n * c * oh * ow, "maxpool2d_forward_into");
 
   std::size_t out_i = 0;
   for (std::size_t s = 0; s < n; ++s) {
@@ -463,13 +705,22 @@ MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
             }
           }
         emit:
-          result.output.raw()[out_i] = best;
-          result.argmax[out_i] = best_off;
+          dst.raw()[out_i] = best;
+          if (argmax != nullptr) argmax[out_i] = best_off;
           ++out_i;
         }
       }
     }
   }
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "maxpool2d input must be [N,C,H,W]");
+  const std::size_t oh = conv_out_size(input.dim(2), spec.kernel, spec.stride, 0);
+  const std::size_t ow = conv_out_size(input.dim(3), spec.kernel, spec.stride, 0);
+  MaxPoolResult result{Tensor(Shape{input.dim(0), input.dim(1), oh, ow}), {}};
+  result.argmax.resize(result.output.numel());
+  maxpool2d_forward_into(result.output, input, spec, result.argmax.data());
   return result;
 }
 
@@ -484,13 +735,13 @@ Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
   return grad_input;
 }
 
-Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+void avgpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec) {
   ALFI_CHECK(input.rank() == 4, "avgpool2d input must be [N,C,H,W]");
   const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
   const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
   const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
-  Tensor out(Shape{n, c, oh, ow});
+  check_dst_numel(dst, n * c * oh * ow, "avgpool2d_forward_into");
   const float inv = 1.0f / static_cast<float>(spec.kernel * spec.kernel);
   std::size_t out_i = 0;
   for (std::size_t s = 0; s < n; ++s) {
@@ -504,11 +755,19 @@ Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
               acc += plane[(oy * spec.stride + ky) * w + ox * spec.stride + kx];
             }
           }
-          out.raw()[out_i++] = static_cast<float>(acc) * inv;
+          dst.raw()[out_i++] = static_cast<float>(acc) * inv;
         }
       }
     }
   }
+}
+
+Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
+  ALFI_CHECK(input.rank() == 4, "avgpool2d input must be [N,C,H,W]");
+  const std::size_t oh = conv_out_size(input.dim(2), spec.kernel, spec.stride, 0);
+  const std::size_t ow = conv_out_size(input.dim(3), spec.kernel, spec.stride, 0);
+  Tensor out(Shape{input.dim(0), input.dim(1), oh, ow});
+  avgpool2d_forward_into(out, input, spec);
   return out;
 }
 
@@ -541,20 +800,26 @@ Tensor avgpool2d_backward(const Tensor& input, const Pool2dSpec& spec,
   return grad_input;
 }
 
-Tensor global_avgpool2d(const Tensor& input) {
+void global_avgpool2d_into(Tensor& dst, const Tensor& input) {
   ALFI_CHECK(input.rank() == 4, "global_avgpool2d input must be [N,C,H,W]");
   const std::size_t n = input.dim(0), c = input.dim(1),
                     plane = input.dim(2) * input.dim(3);
-  Tensor out(Shape{n, c});
+  check_dst_numel(dst, n * c, "global_avgpool2d_into");
   const float inv = 1.0f / static_cast<float>(plane);
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* src = input.raw() + (s * c + ch) * plane;
       double acc = 0.0;
       for (std::size_t i = 0; i < plane; ++i) acc += src[i];
-      out.raw()[s * c + ch] = static_cast<float>(acc) * inv;
+      dst.raw()[s * c + ch] = static_cast<float>(acc) * inv;
     }
   }
+}
+
+Tensor global_avgpool2d(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 4, "global_avgpool2d input must be [N,C,H,W]");
+  Tensor out(Shape{input.dim(0), input.dim(1)});
+  global_avgpool2d_into(out, input);
   return out;
 }
 
@@ -577,12 +842,17 @@ Tensor global_avgpool2d_backward(const Tensor& input, const Tensor& grad_output)
 
 // ---- activations -----------------------------------------------------------
 
-Tensor relu(const Tensor& input) {
-  Tensor out(input.shape());
+void relu_into(Tensor& dst, const Tensor& input) {
+  check_dst_numel(dst, input.numel(), "relu_into");
   for (std::size_t i = 0; i < input.numel(); ++i) {
     const float v = input.raw()[i];
-    out.raw()[i] = v > 0.0f ? v : (std::isnan(v) ? v : 0.0f);
+    dst.raw()[i] = v > 0.0f ? v : (std::isnan(v) ? v : 0.0f);
   }
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  relu_into(out, input);
   return out;
 }
 
@@ -595,12 +865,17 @@ Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
   return grad;
 }
 
-Tensor leaky_relu(const Tensor& input, float negative_slope) {
-  Tensor out(input.shape());
+void leaky_relu_into(Tensor& dst, const Tensor& input, float negative_slope) {
+  check_dst_numel(dst, input.numel(), "leaky_relu_into");
   for (std::size_t i = 0; i < input.numel(); ++i) {
     const float v = input.raw()[i];
-    out.raw()[i] = v > 0.0f ? v : v * negative_slope;
+    dst.raw()[i] = v > 0.0f ? v : v * negative_slope;
   }
+}
+
+Tensor leaky_relu(const Tensor& input, float negative_slope) {
+  Tensor out(input.shape());
+  leaky_relu_into(out, input, negative_slope);
   return out;
 }
 
@@ -615,11 +890,16 @@ Tensor leaky_relu_backward(const Tensor& input, float negative_slope,
   return grad;
 }
 
+void sigmoid_into(Tensor& dst, const Tensor& input) {
+  check_dst_numel(dst, input.numel(), "sigmoid_into");
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    dst.raw()[i] = 1.0f / (1.0f + std::exp(-input.raw()[i]));
+  }
+}
+
 Tensor sigmoid(const Tensor& input) {
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    out.raw()[i] = 1.0f / (1.0f + std::exp(-input.raw()[i]));
-  }
+  sigmoid_into(out, input);
   return out;
 }
 
@@ -633,9 +913,14 @@ Tensor sigmoid_backward(const Tensor& output, const Tensor& grad_output) {
   return grad;
 }
 
+void tanh_act_into(Tensor& dst, const Tensor& input) {
+  check_dst_numel(dst, input.numel(), "tanh_act_into");
+  for (std::size_t i = 0; i < input.numel(); ++i) dst.raw()[i] = std::tanh(input.raw()[i]);
+}
+
 Tensor tanh_act(const Tensor& input) {
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < input.numel(); ++i) out.raw()[i] = std::tanh(input.raw()[i]);
+  tanh_act_into(out, input);
   return out;
 }
 
@@ -649,26 +934,58 @@ Tensor tanh_backward(const Tensor& output, const Tensor& grad_output) {
   return grad;
 }
 
-Tensor clamp(const Tensor& input, float lo, float hi) {
+void clamp_into(Tensor& dst, const Tensor& input, float lo, float hi) {
   ALFI_CHECK(lo <= hi, "clamp bounds inverted");
-  Tensor out(input.shape());
+  check_dst_numel(dst, input.numel(), "clamp_into");
   for (std::size_t i = 0; i < input.numel(); ++i) {
     const float v = input.raw()[i];
     // NaN maps to lo so the mitigation layer also neutralizes NaN values.
-    out.raw()[i] = std::isnan(v) ? lo : std::min(std::max(v, lo), hi);
+    dst.raw()[i] = std::isnan(v) ? lo : std::min(std::max(v, lo), hi);
   }
+}
+
+Tensor clamp(const Tensor& input, float lo, float hi) {
+  Tensor out(input.shape());
+  clamp_into(out, input, lo, hi);
   return out;
+}
+
+// ---- normalization ----------------------------------------------------------
+
+void batchnorm2d_eval_into(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                           const Tensor& beta, const Tensor& running_mean,
+                           const Tensor& running_var, float eps) {
+  ALFI_CHECK(input.rank() == 4, "batchnorm2d input must be [N,C,H,W]");
+  const std::size_t n = input.dim(0), c = input.dim(1),
+                    plane = input.dim(2) * input.dim(3);
+  ALFI_CHECK(gamma.numel() == c && beta.numel() == c && running_mean.numel() == c &&
+                 running_var.numel() == c,
+             "batchnorm2d channel stats mismatch");
+  check_dst_numel(dst, input.numel(), "batchnorm2d_eval_into");
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float mean = running_mean.raw()[ch];
+    const float inv_std = 1.0f / std::sqrt(running_var.raw()[ch] + eps);
+    const float g = gamma.raw()[ch];
+    const float b = beta.raw()[ch];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = input.raw() + (s * c + ch) * plane;
+      float* out = dst.raw() + (s * c + ch) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        out[i] = (src[i] - mean) * inv_std * g + b;
+      }
+    }
+  }
 }
 
 // ---- classification heads --------------------------------------------------
 
-Tensor softmax_rows(const Tensor& logits) {
+void softmax_rows_into(Tensor& dst, const Tensor& logits) {
   ALFI_CHECK(logits.rank() == 2, "softmax_rows expects [N, K]");
   const std::size_t n = logits.dim(0), k = logits.dim(1);
-  Tensor out(logits.shape());
+  check_dst_numel(dst, logits.numel(), "softmax_rows_into");
   for (std::size_t row = 0; row < n; ++row) {
     const float* x = logits.raw() + row * k;
-    float* y = out.raw() + row * k;
+    float* y = dst.raw() + row * k;
     float maxv = -std::numeric_limits<float>::infinity();
     for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
     double total = 0.0;
@@ -679,16 +996,21 @@ Tensor softmax_rows(const Tensor& logits) {
     const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
     for (std::size_t i = 0; i < k; ++i) y[i] *= inv;
   }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out(logits.shape());
+  softmax_rows_into(out, logits);
   return out;
 }
 
-Tensor log_softmax_rows(const Tensor& logits) {
+void log_softmax_rows_into(Tensor& dst, const Tensor& logits) {
   ALFI_CHECK(logits.rank() == 2, "log_softmax_rows expects [N, K]");
   const std::size_t n = logits.dim(0), k = logits.dim(1);
-  Tensor out(logits.shape());
+  check_dst_numel(dst, logits.numel(), "log_softmax_rows_into");
   for (std::size_t row = 0; row < n; ++row) {
     const float* x = logits.raw() + row * k;
-    float* y = out.raw() + row * k;
+    float* y = dst.raw() + row * k;
     float maxv = -std::numeric_limits<float>::infinity();
     for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
     double total = 0.0;
@@ -696,6 +1018,11 @@ Tensor log_softmax_rows(const Tensor& logits) {
     const float log_total = static_cast<float>(std::log(total)) + maxv;
     for (std::size_t i = 0; i < k; ++i) y[i] = x[i] - log_total;
   }
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  Tensor out(logits.shape());
+  log_softmax_rows_into(out, logits);
   return out;
 }
 

@@ -18,12 +18,24 @@
 
 namespace alfi::ops {
 
+// Every forward op has an `_into(dst, ...)` variant that writes into a
+// caller-provided tensor (typically an arena-backed workspace slot, see
+// arena.h) instead of allocating the result.  The allocating form is a
+// thin wrapper over the `_into` form, so both paths are bit-identical
+// by construction.  `dst` must already have the output shape; unless
+// noted otherwise it must not alias the inputs (elementwise ops and
+// activations are alias-safe).
+
 // ---- elementwise -----------------------------------------------------------
 
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
 Tensor mul(const Tensor& a, const Tensor& b);
 Tensor scale(const Tensor& a, float factor);
+void add_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void sub_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void mul_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void scale_into(Tensor& dst, const Tensor& a, float factor);
 void add_inplace(Tensor& a, const Tensor& b);
 /// a += factor * b
 void axpy_inplace(Tensor& a, float factor, const Tensor& b);
@@ -32,12 +44,16 @@ void axpy_inplace(Tensor& a, float factor, const Tensor& b);
 
 /// [M,K] @ [K,N] -> [M,N]
 Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b);
 
 /// [M,N] -> [N,M]
 Tensor transpose2d(const Tensor& a);
+void transpose2d_into(Tensor& dst, const Tensor& a);
 
 /// y = W x + b for a batch: input [N, IN], weight [OUT, IN], bias [OUT].
 Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias);
+void linear_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias);
 
 struct LinearGrads {
   Tensor grad_input;   // [N, IN]
@@ -62,6 +78,41 @@ std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
                       const Conv2dSpec& spec);
 
+/// im2col scratch floats conv2d_forward_into needs for these shapes.
+std::size_t conv2d_scratch_floats(const Shape& input, const Shape& weight,
+                                  const Conv2dSpec& spec);
+
+/// `col_scratch` must hold at least conv2d_scratch_floats(...) floats.
+void conv2d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         std::span<float> col_scratch);
+
+/// Plan-time conv2d addressing for the workspace path: the im2col
+/// gather indices depend only on the geometry, so they are computed
+/// once when buffers are planned and reused every run (-1 = padding
+/// zero).  Building a plan allocates; using it does not.
+struct Conv2dPlan {
+  Shape input_shape;                    // plan key
+  std::vector<std::int32_t> col_index;  // [col_rows * col_cols], per sample
+  std::size_t col_rows = 0;
+  std::size_t col_cols = 0;
+
+  bool matches(const Shape& input) const {
+    return !col_index.empty() && input_shape == input;
+  }
+};
+
+Conv2dPlan make_conv2d_plan(const Shape& input, const Shape& weight,
+                            const Conv2dSpec& spec);
+
+/// conv2d via a prebuilt plan: flat index gather instead of recomputed
+/// im2col addressing, plus a 4-row-blocked GEMM whose accumulation
+/// order is bit-identical to conv2d_forward_into (same left-to-right
+/// sum per output element, same zero-weight skip).
+void conv2d_forward_planned(Tensor& dst, const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, const Conv2dPlan& plan,
+                            std::span<float> col_scratch);
+
 struct Conv2dGrads {
   Tensor grad_input;
   Tensor grad_weight;
@@ -78,6 +129,8 @@ struct Conv3dSpec {
 /// input [N,IC,D,H,W], weight [OC,IC,KD,KH,KW], bias [OC] -> [N,OC,OD,OH,OW].
 Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
                       const Conv3dSpec& spec);
+void conv3d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv3dSpec& spec);
 
 struct Conv3dGrads {
   Tensor grad_input;
@@ -101,42 +154,66 @@ struct MaxPoolResult {
 };
 
 MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec);
+
+/// `argmax`, when non-null, must hold dst.numel() entries; passing null
+/// skips the winner-index bookkeeping entirely (inference needs only
+/// the pooled values).
+void maxpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec,
+                            std::size_t* argmax = nullptr);
 Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
                           const Tensor& grad_output);
 
 Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec);
+void avgpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec);
 Tensor avgpool2d_backward(const Tensor& input, const Pool2dSpec& spec,
                           const Tensor& grad_output);
 
 /// Global average pooling: [N,C,H,W] -> [N,C].
 Tensor global_avgpool2d(const Tensor& input);
+void global_avgpool2d_into(Tensor& dst, const Tensor& input);
 Tensor global_avgpool2d_backward(const Tensor& input, const Tensor& grad_output);
 
 // ---- activations -----------------------------------------------------------
 
 Tensor relu(const Tensor& input);
+void relu_into(Tensor& dst, const Tensor& input);
 Tensor relu_backward(const Tensor& input, const Tensor& grad_output);
 
 Tensor leaky_relu(const Tensor& input, float negative_slope);
+void leaky_relu_into(Tensor& dst, const Tensor& input, float negative_slope);
 Tensor leaky_relu_backward(const Tensor& input, float negative_slope,
                            const Tensor& grad_output);
 
 Tensor sigmoid(const Tensor& input);
+void sigmoid_into(Tensor& dst, const Tensor& input);
 Tensor sigmoid_backward(const Tensor& output, const Tensor& grad_output);
 
 Tensor tanh_act(const Tensor& input);
+void tanh_act_into(Tensor& dst, const Tensor& input);
 Tensor tanh_backward(const Tensor& output, const Tensor& grad_output);
 
 /// Clamps every element to [lo, hi] (basis for the Ranger mitigation).
 Tensor clamp(const Tensor& input, float lo, float hi);
+void clamp_into(Tensor& dst, const Tensor& input, float lo, float hi);
+
+// ---- normalization ----------------------------------------------------------
+
+/// Eval-mode batch normalization over [N,C,H,W] using running stats
+/// (the training path lives in nn::BatchNorm2d, which needs the batch
+/// statistics for backward).
+void batchnorm2d_eval_into(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                           const Tensor& beta, const Tensor& running_mean,
+                           const Tensor& running_var, float eps);
 
 // ---- classification heads --------------------------------------------------
 
 /// Row-wise softmax of [N, K].
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(Tensor& dst, const Tensor& logits);
 
 /// Row-wise log-softmax of [N, K] (numerically stable).
 Tensor log_softmax_rows(const Tensor& logits);
+void log_softmax_rows_into(Tensor& dst, const Tensor& logits);
 
 /// Mean negative log-likelihood of `labels` under `logits` [N, K].
 float cross_entropy_loss(const Tensor& logits, const std::vector<std::size_t>& labels);

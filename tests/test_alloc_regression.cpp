@@ -1,0 +1,173 @@
+// Zero-allocation regression guard: after the planning pass, workspace
+// inference must never touch the heap.  The global operator new/delete
+// pair below counts every allocation made while `g_counting` is set;
+// the tests warm a model up, switch the counter on, run steady-state
+// inferences, and require the count to stay at zero (DESIGN.md §10).
+//
+// Assertions never run inside the counted region — gtest itself
+// allocates — so each test snapshots the counter before and after.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "nn/layers.h"
+#include "nn/workspace.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace alfi::nn {
+namespace {
+
+Tensor probe_image(std::size_t batch) {
+  const data::SyntheticShapesClassification dataset(
+      {.size = batch, .num_classes = 10, .seed = 23});
+  Tensor input(Shape{batch, 3, 32, 32});
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Tensor image = dataset.get(i).image;
+    std::copy(image.data().begin(), image.data().end(),
+              input.data().begin() + static_cast<std::ptrdiff_t>(i * image.numel()));
+  }
+  return input;
+}
+
+/// Runs `iterations` steady-state inferences and returns the number of
+/// heap allocations they made.  The sink defeats dead-code elimination.
+std::size_t count_steady_state_allocs(InferenceWorkspace& ws, Module& model,
+                                      const Tensor& input, int iterations) {
+  volatile float sink = 0.0f;
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < iterations; ++i) {
+    const Tensor& out = ws.run(model, input);
+    sink = sink + out.flat(0);
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  (void)sink;
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocRegression, SteadyStateWorkspaceInferenceIsHeapFree) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  InferenceWorkspace ws;
+  ws.run(*net, input);  // planning pass: allocates slots + scratch
+  ws.run(*net, input);  // warmup: must already be allocation-free
+  EXPECT_EQ(count_steady_state_allocs(ws, *net, input, 16), 0u);
+}
+
+TEST(AllocRegression, BatchedInferenceIsHeapFree) {
+  // The campaign's batched evaluation path: batch > 1 through the same
+  // planned buffers.
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(8);
+
+  InferenceWorkspace ws;
+  ws.run(*net, input);
+  ws.run(*net, input);
+  EXPECT_EQ(count_steady_state_allocs(ws, *net, input, 8), 0u);
+}
+
+TEST(AllocRegression, HookedInferenceIsHeapFree) {
+  // Campaign hooks (inject / monitor / clamp) mutate slot elements in
+  // place; the hook dispatch itself must not allocate either.
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  Module* target = net->children()[0].second.get();
+  const HookHandle handle = target->register_forward_hook(
+      [](Module&, const Tensor&, Tensor& output) {
+        for (float& v : output.data()) {
+          if (v > 4.0f) v = 4.0f;  // Ranger-style clamp
+        }
+      });
+
+  InferenceWorkspace ws;
+  ws.run(*net, input);
+  ws.run(*net, input);
+  const std::size_t allocs = count_steady_state_allocs(ws, *net, input, 16);
+  target->remove_forward_hook(handle);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocRegression, LegacyForwardAllocatesAsBaseline) {
+  // Sanity check that the counter instrumentation works at all: the
+  // allocating forward() path must register heap traffic.
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  volatile float sink = 0.0f;
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  const Tensor out = net->forward(input);
+  sink = sink + out.flat(0);
+  g_counting.store(false, std::memory_order_relaxed);
+  (void)sink;
+  EXPECT_GT(g_alloc_count.load(std::memory_order_relaxed), 0u);
+}
+
+}  // namespace
+}  // namespace alfi::nn

@@ -1,0 +1,243 @@
+// InferenceWorkspace: arena-backed eval-mode inference must be
+// bit-identical to the allocating forward() path, keep hook semantics
+// (hooks mutate the slot in place and downstream layers consume the
+// mutated values), and replan transparently when the root model or the
+// input shape changes (DESIGN.md §10).
+#include "nn/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "models/classification.h"
+#include "nn/layers.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace alfi::nn {
+namespace {
+
+Tensor probe_image(std::size_t batch, std::uint64_t seed = 17) {
+  const data::SyntheticShapesClassification dataset(
+      {.size = batch, .num_classes = 10, .seed = seed});
+  Tensor input(Shape{batch, 3, 32, 32});
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Tensor image = dataset.get(i).image;
+    std::copy(image.data().begin(), image.data().end(),
+              input.data().begin() + static_cast<std::ptrdiff_t>(i * image.numel()));
+  }
+  return input;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(da[i], db[i]) << "element " << i;
+  }
+}
+
+/// A model touching every stock layer that has an `_into` kernel.
+std::shared_ptr<Sequential> make_zoo_model() {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(3, 6, 3, 1, 1), "conv1");
+  net->append(std::make_shared<BatchNorm2d>(6), "bn1");
+  net->append(std::make_shared<LeakyReLU>(0.1f), "lrelu");
+  net->append(std::make_shared<MaxPool2d>(2), "pool1");
+  auto res_main = std::make_shared<Sequential>();
+  res_main->append(std::make_shared<Conv2d>(6, 6, 3, 1, 1), "conv");
+  res_main->append(std::make_shared<ReLU>(), "relu");
+  net->append(std::make_shared<Residual>(res_main), "res");
+  net->append(std::make_shared<AvgPool2d>(2), "pool2");
+  net->append(std::make_shared<Conv2d>(6, 8, 3, 1, 1), "conv2");
+  net->append(std::make_shared<Sigmoid>(), "sig");
+  net->append(std::make_shared<GlobalAvgPool2d>(), "gap");
+  net->append(std::make_shared<Flatten>(), "flat");
+  net->append(std::make_shared<Linear>(8, 16), "fc1");
+  net->append(std::make_shared<Tanh>(), "tanh");
+  net->append(std::make_shared<Linear>(16, 10), "fc2");
+  net->append(std::make_shared<Softmax>(), "softmax");
+  Rng rng(7);
+  kaiming_init(*net, rng);
+  return net;
+}
+
+TEST(InferenceWorkspace, MatchesAllocatingForwardBitExactly) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(2);
+
+  InferenceWorkspace ws;
+  const Tensor& ws_out = ws.run(*net, input);
+  const Tensor alloc_out = net->forward(input);
+  expect_bitwise_equal(ws_out, alloc_out);
+
+  // Steady state (no replanning) stays identical too.
+  expect_bitwise_equal(ws.run(*net, input), alloc_out);
+}
+
+TEST(InferenceWorkspace, EveryStockLayerKindMatches) {
+  auto net = make_zoo_model();
+  const Tensor input = probe_image(2, 29);
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*net, input), net->forward(input));
+}
+
+TEST(InferenceWorkspace, Conv3dMatches) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv3d>(2, 3, 3, 1, 1), "conv3d");
+  net->append(std::make_shared<ReLU>(), "relu");
+  Rng rng(3);
+  kaiming_init(*net, rng);
+  Tensor input(Shape{1, 2, 4, 6, 6});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input.flat(i) = static_cast<float>(rng.normal());
+  }
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*net, input), net->forward(input));
+}
+
+TEST(InferenceWorkspace, HooksMutateTheSlotInPlace) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  // Hook on an interior layer: the mutation must propagate through the
+  // remaining layers exactly as it does on the allocating path.
+  Module* target = net->children()[0].second.get();
+  const HookHandle handle = target->register_forward_hook(
+      [](Module&, const Tensor&, Tensor& output) {
+        for (float& v : output.data()) v = -v;
+      });
+
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*net, input), net->forward(input));
+  target->remove_forward_hook(handle);
+}
+
+TEST(InferenceWorkspace, HookSeesTheSameSlotStorageEveryRun) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  Module* target = net->children()[0].second.get();
+  std::vector<const float*> storage;
+  const HookHandle handle = target->register_forward_hook(
+      [&storage](Module&, const Tensor&, Tensor& output) {
+        storage.push_back(output.raw());
+      });
+
+  InferenceWorkspace ws;
+  ws.run(*net, input);
+  ws.run(*net, input);
+  ws.run(*net, input);
+  target->remove_forward_hook(handle);
+  ASSERT_EQ(storage.size(), 3u);
+  EXPECT_EQ(storage[0], storage[1]);  // planned once, reused after
+  EXPECT_EQ(storage[1], storage[2]);
+}
+
+TEST(InferenceWorkspace, ReplansOnInputShapeChange) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor batch1 = probe_image(1);
+  const Tensor batch3 = probe_image(3);
+
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*net, batch1), net->forward(batch1));
+  expect_bitwise_equal(ws.run(*net, batch3), net->forward(batch3));
+  expect_bitwise_equal(ws.run(*net, batch1), net->forward(batch1));
+}
+
+TEST(InferenceWorkspace, ReplansOnRootChange) {
+  auto lenet = models::make_lenet();
+  auto alexnet = models::make_mini_alexnet();
+  Rng rng(5);
+  kaiming_init(*lenet, rng);
+  kaiming_init(*alexnet, rng);
+  const Tensor input = probe_image(2);
+
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*lenet, input), lenet->forward(input));
+  expect_bitwise_equal(ws.run(*alexnet, input), alexnet->forward(input));
+}
+
+TEST(InferenceWorkspace, ArenaFootprintStableInSteadyState) {
+  auto net = models::make_mini_alexnet();
+  Rng rng(17);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(2);
+
+  InferenceWorkspace ws;
+  EXPECT_FALSE(ws.planned());
+  ws.run(*net, input);
+  EXPECT_TRUE(ws.planned());
+  const std::size_t high_water = ws.high_water_bytes();
+  EXPECT_GT(high_water, 0u);
+  for (int i = 0; i < 5; ++i) ws.run(*net, input);
+  EXPECT_EQ(ws.high_water_bytes(), high_water);
+
+  ws.invalidate();
+  EXPECT_FALSE(ws.planned());
+}
+
+TEST(InferenceWorkspace, RefusesTrainingMode) {
+  auto net = models::make_lenet();
+  Rng rng(1);
+  kaiming_init(*net, rng);
+  net->set_training(true);
+  InferenceWorkspace ws;
+  EXPECT_THROW(ws.run(*net, probe_image(1)), Error);
+  net->set_training(false);
+  EXPECT_NO_THROW(ws.run(*net, probe_image(1)));
+}
+
+// A layer with no compute_ws override rides the allocating fallback:
+// same numbers, and its hook still sees stable arena-backed storage.
+class DoubleLayer : public Module {
+ public:
+  std::string type() const override { return "DoubleLayer"; }
+
+ protected:
+  Tensor compute(const Tensor& input) override {
+    Tensor out = input;
+    for (float& v : out.data()) v *= 2.0f;
+    return out;
+  }
+};
+
+TEST(InferenceWorkspace, CustomLayerFallsBackToAllocatingCompute) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Conv2d>(3, 4, 3, 1, 1), "conv");
+  net->append(std::make_shared<DoubleLayer>(), "custom");
+  net->append(std::make_shared<ReLU>(), "relu");
+  Rng rng(11);
+  kaiming_init(*net, rng);
+  const Tensor input = probe_image(1);
+
+  Module* custom = net->children()[1].second.get();
+  std::vector<const float*> storage;
+  const HookHandle handle = custom->register_forward_hook(
+      [&storage](Module&, const Tensor&, Tensor& output) {
+        storage.push_back(output.raw());
+      });
+
+  InferenceWorkspace ws;
+  expect_bitwise_equal(ws.run(*net, input), net->forward(input));
+  storage.clear();
+  ws.run(*net, input);
+  ws.run(*net, input);
+  custom->remove_forward_hook(handle);
+  ASSERT_EQ(storage.size(), 2u);
+  EXPECT_EQ(storage[0], storage[1]);  // fallback parks results in one slot
+}
+
+}  // namespace
+}  // namespace alfi::nn

@@ -106,6 +106,12 @@ void apply_telemetry_flags(core::CampaignConfigBase& config, const Args& args) {
   if (args.get("progress")) config.progress = true;
 }
 
+/// --no-workspace: fall back to the allocating forward() path instead
+/// of arena-backed workspace inference (same outputs, for A/B timing).
+void apply_workspace_flag(core::CampaignConfigBase& config, const Args& args) {
+  if (args.get("no-workspace")) config.workspace = false;
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -155,6 +161,7 @@ int cmd_run_imgclass(const Args& args) {
   config.jobs = parse_jobs(args);
   apply_checkpoint_flags(config, args);
   apply_telemetry_flags(config, args);
+  apply_workspace_flag(config, args);
 
   auto model = models::make_classifier(arch, {});
   models::TrainConfig train_config;
@@ -203,6 +210,7 @@ int cmd_run_objdet(const Args& args) {
   config.jobs = parse_jobs(args);
   apply_checkpoint_flags(config, args);
   apply_telemetry_flags(config, args);
+  apply_workspace_flag(config, args);
 
   auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
   models::TrainConfig train_config;
@@ -343,14 +351,16 @@ void usage() {
                "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
                "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
-               "                 [--metrics out.json] [--progress]\n"
+               "                 [--metrics out.json] [--progress] [--no-workspace]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --checkpoint: journal completed units so an\n"
                "                  interrupted campaign resumes with --resume;\n"
                "                  SIGINT/SIGTERM drain gracefully, exit code 75.\n"
                "                  --metrics: write campaign telemetry as JSON\n"
-               "                  (DESIGN.md §9); --progress: live stderr line)\n"
+               "                  (DESIGN.md §9); --progress: live stderr line;\n"
+               "                  --no-workspace: allocating inference path\n"
+               "                  instead of arena-backed buffers, same outputs)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the memory layer under AddressSanitizer + UBSan and run the
+# tensor-, nn- and campaign-labeled tests (TensorArena borrows,
+# workspace slot lifetimes, the `_into` kernels, and the campaign
+# paths that consume them).  Usage:
+#
+#   tools/run_asan.sh [extra ctest args...]
+#
+# Uses the "asan" CMake preset (build dir: build-asan).  Any extra
+# arguments are forwarded to ctest, e.g. `tools/run_asan.sh -V`.
+# The ThreadSanitizer sibling for the concurrency layer is
+# tools/run_tsan.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan "$@"

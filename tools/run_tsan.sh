@@ -8,6 +8,8 @@
 #
 # Uses the "tsan" CMake preset (build dir: build-tsan).  Any extra
 # arguments are forwarded to ctest, e.g. `tools/run_tsan.sh -V`.
+# The AddressSanitizer+UBSan sibling for the memory layer (arena,
+# workspaces, `_into` kernels) is tools/run_asan.sh.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
