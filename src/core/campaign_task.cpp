@@ -1,6 +1,9 @@
 #include "core/campaign_task.h"
 
+#include <algorithm>
+
 #include "core/fault_matrix.h"
+#include "core/injector.h"
 #include "io/yaml.h"
 #include "util/hash.h"
 
@@ -66,6 +69,23 @@ std::uint64_t campaign_fingerprint(const Scenario& scenario,
     write_fault_bytes(matrix_bytes, fault);
   }
   return fnv1a64(matrix_bytes.bytes(), h);
+}
+
+std::size_t diff_prefix_boundary(const Injector& injector,
+                                 const nn::InferenceWorkspace& baseline) {
+  if (!baseline.planned()) return 0;  // no cached pass to replay from
+  std::size_t boundary = nn::InferenceWorkspace::kSkipAllLeaves;
+  bool unmapped = false;
+  injector.for_each_armed_layer([&](std::size_t layer) {
+    const nn::Module* module = injector.profile().layer(layer).module;
+    const std::optional<std::size_t> index = baseline.leaf_exec_index(*module);
+    if (!index.has_value()) {
+      unmapped = true;  // armed layer outside this workspace's pass
+      return;
+    }
+    boundary = std::min(boundary, *index);
+  });
+  return unmapped ? 0 : boundary;
 }
 
 }  // namespace alfi::core

@@ -58,6 +58,13 @@ struct CampaignConfigBase {
   /// comparison and for training-mode models, which the workspace
   /// refuses.
   bool workspace = true;
+  /// Differential inference (DESIGN.md §11): the corrupted and mitigated
+  /// passes replay the fault-free pass's cached layer outputs up to the
+  /// earliest armed layer and recompute only the suffix.  Requires the
+  /// workspace path (silently full-recomputes when workspace is off).
+  /// Outputs are byte-identical either way; `--no-diff` exists for A/B
+  /// verification and paranoia.
+  bool diff = true;
 
   // ---- crash safety --------------------------------------------------------
   /// Directory for the result journal + checkpoint; empty disables
@@ -146,5 +153,18 @@ class FaultMatrix;
 /// the seed — the identity a resume validates before trusting a journal.
 std::uint64_t campaign_fingerprint(const Scenario& scenario,
                                    const FaultMatrix& faults);
+
+class Injector;
+
+/// Execution-order prefix boundary for one unit's differential passes:
+/// the smallest leaf execution index (in `baseline`'s recorded order)
+/// among the injector's armed layers.  Leaves running strictly before it
+/// are bit-identical to the fault-free pass and may be replayed.
+/// Conservative by construction: an unplanned baseline or an armed layer
+/// the baseline never executed (e.g. a detector head running under a
+/// separate workspace) returns 0 — full recompute; no armed layers at
+/// all returns InferenceWorkspace::kSkipAllLeaves.
+std::size_t diff_prefix_boundary(const Injector& injector,
+                                 const nn::InferenceWorkspace& baseline);
 
 }  // namespace alfi::core

@@ -1,5 +1,7 @@
 #include "core/injector.h"
 
+#include <algorithm>
+
 #include "tensor/bits.h"
 
 namespace alfi::core {
@@ -79,6 +81,28 @@ std::size_t Injector::armed_neuron_fault_count() const {
   return count;
 }
 
+std::size_t Injector::earliest_armed_layer() const {
+  std::size_t earliest = kNoArmedLayer;
+  for_each_armed_layer([&earliest](std::size_t layer) {
+    earliest = std::min(earliest, layer);
+  });
+  return earliest;
+}
+
+void Injector::for_each_armed_layer(const std::function<void(std::size_t)>& fn) const {
+  std::vector<bool> armed(profile_.layer_count(), false);
+  for (std::size_t i = 0; i < neuron_faults_by_layer_.size(); ++i) {
+    // Count every armed fault, including ones aimed past the batch: the
+    // layer's hook still runs skip accounting for them, so the layer
+    // must recompute even though its values stay fault-free.
+    if (!neuron_faults_by_layer_[i].empty()) armed[i] = true;
+  }
+  for (const WeightRestore& restore : weight_restores_) armed[restore.layer] = true;
+  for (std::size_t i = 0; i < armed.size(); ++i) {
+    if (armed[i]) fn(i);
+  }
+}
+
 void Injector::apply_weight_fault(const Fault& fault) {
   const LayerInfo& layer = profile_.layer(static_cast<std::size_t>(fault.layer));
   nn::Parameter* weight = layer.module->weight_param();
@@ -88,7 +112,8 @@ void Injector::apply_weight_fault(const Fault& fault) {
   const float original = weight->value.flat(offset);
   const float corrupted = fault.corrupt(original);
   weight->value.flat(offset) = corrupted;
-  weight_restores_.push_back({weight, offset, original});
+  weight_restores_.push_back(
+      {weight, offset, original, static_cast<std::size_t>(fault.layer)});
   if (weight_applied_counter_ != nullptr) weight_applied_counter_->add();
 
   InjectionRecord record;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/fault_matrix.h"
@@ -67,6 +68,24 @@ class Injector {
   std::size_t armed_neuron_fault_count() const;
   std::size_t pending_weight_restores() const { return weight_restores_.size(); }
 
+  /// earliest_armed_layer() result when nothing is armed: every layer's
+  /// output is bit-identical to the fault-free pass.
+  static constexpr std::size_t kNoArmedLayer = static_cast<std::size_t>(-1);
+
+  /// Smallest injectable-layer index currently carrying a fault — armed
+  /// neuron faults (even ones whose batch slot will be skipped: the
+  /// hook still accounts for them) and unreverted weight corruptions
+  /// alike.  Layers strictly before it compute bit-identical outputs to
+  /// the fault-free pass, which is what differential inference exploits.
+  std::size_t earliest_armed_layer() const;
+
+  /// Invokes `fn` once per injectable-layer index currently armed
+  /// (neuron faults or weight corruptions), in ascending order.
+  void for_each_armed_layer(const std::function<void(std::size_t)>& fn) const;
+
+  /// The model profile the injector's layer indices refer to.
+  const ModelProfile& profile() const { return profile_; }
+
   /// Neuron faults whose batch slot exceeded the forwarded batch, so no
   /// value was corrupted and no InjectionRecord written.  Campaigns
   /// surface this so KPI denominators do not silently shrink.
@@ -87,6 +106,7 @@ class Injector {
     nn::Parameter* param;
     std::size_t offset;
     float original;
+    std::size_t layer;  // injectable-layer index owning the weight
   };
 
   nn::Module& model_;

@@ -8,21 +8,36 @@
 namespace alfi::core {
 
 TopK topk_of_logits(std::span<const float> logits, std::size_t k) {
-  // softmax over the row (numerically stable)
+  // Non-finite-aware softmax.  Fault injection routinely drives logits
+  // to +Inf/NaN, and the naive stable softmax computes exp(Inf - Inf) =
+  // NaN there, poisoning every reported probability on exactly the
+  // units the SDE/DUE KPIs exist to measure.  Semantics: any +Inf logit
+  // takes the whole mass (split evenly across +Inf entries); NaN and
+  // -Inf logits carry zero mass; a row with no finite and no +Inf
+  // logits degrades to all-zero probs.
+  std::vector<float> probs(logits.size(), 0.0f);
+  std::size_t inf_count = 0;
   float maxv = -std::numeric_limits<float>::infinity();
   for (const float v : logits) {
-    if (!std::isnan(v)) maxv = std::max(maxv, v);
+    if (v == std::numeric_limits<float>::infinity()) ++inf_count;
+    else if (!std::isnan(v)) maxv = std::max(maxv, v);
   }
-  std::vector<float> probs(logits.size(), 0.0f);
-  double total = 0.0;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    const float v = logits[i];
-    probs[i] = std::isnan(v) ? 0.0f : static_cast<float>(std::exp(v - maxv));
-    total += probs[i];
-  }
-  if (total > 0.0) {
-    for (float& p : probs) p = static_cast<float>(p / total);
-  }
+  if (inf_count > 0) {
+    const float share = 1.0f / static_cast<float>(inf_count);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      if (logits[i] == std::numeric_limits<float>::infinity()) probs[i] = share;
+    }
+  } else if (std::isfinite(maxv)) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      const float v = logits[i];
+      probs[i] = std::isnan(v) ? 0.0f : static_cast<float>(std::exp(v - maxv));
+      total += probs[i];
+    }
+    if (total > 0.0) {
+      for (float& p : probs) p = static_cast<float>(p / total);
+    }
+  }  // else: all logits are -Inf/NaN — keep the all-zero row
 
   TopK out;
   out.classes = ops::topk_indices(logits, k);
@@ -184,6 +199,16 @@ CocoSummary evaluate_coco(
       cap_detections(detections, kCocoMaxDetections);
   const std::vector<float> thresholds = coco_iou_thresholds();
 
+  // Ground-truth counts per class do not depend on the IoU threshold;
+  // counting them once here instead of per (threshold, class) saves
+  // kCocoIouSteps redundant scans of every annotation per class.
+  std::vector<std::size_t> gt_per_class(num_classes, 0);
+  for (const std::vector<data::Annotation>& image_gt : ground_truth) {
+    for (const data::Annotation& gt : image_gt) {
+      if (gt.category_id < num_classes) ++gt_per_class[gt.category_id];
+    }
+  }
+
   // One match pass per (threshold, class, image) feeds both AP (pooled
   // scored matches) and AR (TP count over ground-truth total).
   double ap_sum_5095 = 0.0;
@@ -195,12 +220,11 @@ CocoSummary evaluate_coco(
     double class_sum = 0.0;
     std::size_t class_count = 0;
     for (std::size_t c = 0; c < num_classes; ++c) {
+      const std::size_t gt_total = gt_per_class[c];
+      if (gt_total == 0) continue;  // class absent: COCO skips it
       std::vector<Scored> pooled;
-      std::size_t gt_total = 0, tp = 0;
+      std::size_t tp = 0;
       for (std::size_t img = 0; img < ground_truth.size(); ++img) {
-        for (const data::Annotation& gt : ground_truth[img]) {
-          if (gt.category_id == c) ++gt_total;
-        }
         const ClassDetections matched =
             match_class(ground_truth[img], capped[img], c, threshold);
         for (std::size_t i = 0; i < matched.scores.size(); ++i) {
@@ -208,7 +232,6 @@ CocoSummary evaluate_coco(
           tp += matched.true_positive[i] ? 1 : 0;
         }
       }
-      if (gt_total == 0) continue;  // class absent: COCO skips it
       class_sum += ap_from_pooled(pooled, gt_total);
       ++class_count;
       ar_sum += static_cast<double>(tp) / static_cast<double>(gt_total);
@@ -229,21 +252,26 @@ CocoSummary evaluate_coco(
 bool detections_differ(const std::vector<models::Detection>& original,
                        const std::vector<models::Detection>& faulty,
                        float iou_threshold) {
-  // Greedy bidirectional matching: every original detection must have a
-  // same-class faulty counterpart and vice versa.
+  // Bidirectional matching: every original detection must have a
+  // same-class faulty counterpart and vice versa.  Each original takes
+  // its best-IoU unused candidate (ties broken by lowest index) rather
+  // than the first one above threshold — first-fit is emission-order
+  // dependent, so an original box could grab a faulty detection that a
+  // later original needed and flag a spurious IVMOD difference.
   std::vector<bool> faulty_used(faulty.size(), false);
   for (const models::Detection& orig : original) {
-    bool matched = false;
+    float best_iou = -1.0f;
+    std::size_t best = faulty.size();
     for (std::size_t i = 0; i < faulty.size(); ++i) {
-      if (faulty_used[i]) continue;
-      if (faulty[i].category == orig.category &&
-          data::iou(faulty[i].box, orig.box) >= iou_threshold) {
-        faulty_used[i] = true;
-        matched = true;
-        break;
+      if (faulty_used[i] || faulty[i].category != orig.category) continue;
+      const float overlap = data::iou(faulty[i].box, orig.box);
+      if (overlap >= iou_threshold && overlap > best_iou) {
+        best_iou = overlap;
+        best = i;
       }
     }
-    if (!matched) return true;  // FN introduced by the fault
+    if (best == faulty.size()) return true;  // FN introduced by the fault
+    faulty_used[best] = true;
   }
   for (const bool used : faulty_used) {
     if (!used) return true;  // FP introduced by the fault

@@ -78,8 +78,20 @@ Protection::Protection(nn::Module& model, const RangeMap& bounds, MitigationKind
           }
         });
     attachments_.push_back({&m, handle});
+    module_bounds_.emplace(&m, range);
   });
   ALFI_CHECK(!attachments_.empty(), "model has no activation layers to protect");
+}
+
+bool Protection::can_replay(const nn::Module& module, const Tensor& cached) {
+  if (!enabled_) return true;
+  const auto it = module_bounds_.find(&module);
+  if (it == module_bounds_.end()) return true;  // layer is not range-supervised
+  const RangeBounds range = it->second;
+  for (const float v : cached.data()) {
+    if (std::isnan(v) || v < range.lo || v > range.hi) return false;
+  }
+  return true;
 }
 
 Protection::~Protection() {

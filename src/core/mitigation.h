@@ -12,9 +12,11 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/workspace.h"
 
 namespace alfi::core {
 
@@ -61,7 +63,14 @@ const char* to_string(MitigationKind kind);
 /// hooks are removed on destruction.  `bounds` paths must match the
 /// model's activation-layer paths (same architecture as the profiled
 /// model).
-class Protection {
+///
+/// As a differential-inference PrefixObserver, Protection vetoes the
+/// replay of any cached activation its clamp would alter (out-of-range
+/// or NaN values while enabled): the workspace then materializes the
+/// leaf and runs the real hook, so clamped values and the corrections()
+/// count match a full recompute exactly.  In-range cached outputs are
+/// clamp-identities, so skipping them is side-effect free.
+class Protection : public nn::PrefixObserver {
  public:
   Protection(nn::Module& model, const RangeMap& bounds, MitigationKind kind);
   ~Protection();
@@ -80,6 +89,11 @@ class Protection {
   std::size_t corrections() const { return corrections_; }
   void reset_corrections() { corrections_ = 0; }
 
+  /// PrefixObserver: true iff this protection's hook would leave
+  /// `cached` unchanged (disabled, unprotected layer, or all values
+  /// in range and finite).  Side-effect free.
+  bool can_replay(const nn::Module& module, const Tensor& cached) override;
+
  private:
   struct Attachment {
     nn::Module* module;
@@ -87,6 +101,7 @@ class Protection {
   };
   MitigationKind kind_;
   std::vector<Attachment> attachments_;
+  std::unordered_map<const nn::Module*, RangeBounds> module_bounds_;
   std::size_t corrections_ = 0;
   bool enabled_ = true;
 };

@@ -10,14 +10,21 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/workspace.h"
 #include "util/metrics.h"
 
 namespace alfi::core {
 
-class ModelMonitor {
+/// ModelMonitor doubles as a differential-inference PrefixObserver:
+/// when a workspace replays a leaf from the fault-free baseline, the
+/// monitor re-runs its NaN/Inf scan (and custom monitors) on the cached
+/// output, so detection state and `monitor.*` counters stay identical
+/// to a full recompute.
+class ModelMonitor : public nn::PrefixObserver {
  public:
   /// Observes a layer output: (module path, output tensor).
   using CustomMonitor = std::function<void(const std::string& path, const Tensor& output)>;
@@ -51,6 +58,9 @@ class ModelMonitor {
   /// detects nothing.  Pass nullptr to detach.
   void set_metrics(util::MetricsRegistry* registry);
 
+  /// PrefixObserver: replays the observation hook for a skipped leaf.
+  void on_replay(const nn::Module& module, const Tensor& cached) override;
+
  private:
   void observe(const std::string& path, const Tensor& output);
 
@@ -59,6 +69,7 @@ class ModelMonitor {
     nn::HookHandle handle;
   };
   std::vector<Attachment> attachments_;
+  std::unordered_map<const nn::Module*, std::string> paths_;
   std::vector<std::string> nan_layers_;
   std::vector<std::string> inf_layers_;
   std::vector<CustomMonitor> custom_;

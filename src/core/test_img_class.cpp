@@ -73,6 +73,12 @@ struct ExecContext {
   nn::InferenceWorkspace* ws_corr = nullptr;
   nn::InferenceWorkspace* ws_resil = nullptr;
   Tensor orig_hold, corr_hold, resil_hold;  // allocating-path storage
+  /// Differential inference: corr/resil replay the orig pass's cached
+  /// prefix up to the earliest armed layer (workspace path only).
+  bool diff = false;
+  util::Counter* diff_skipped = nullptr;  // campaign.diff.layers_skipped
+  util::Counter* diff_hits = nullptr;     // passes that replayed >= 1 leaf
+  util::Counter* diff_misses = nullptr;   // passes that fully recomputed
 };
 
 /// Outputs of one coupled triple; the pointers reference either the
@@ -178,8 +184,23 @@ TripleOutputs run_triple(ExecContext& ctx, const Tensor& images,
 
   arm();
   ctx.monitor->reset();
+  // The armed set is fixed for both remaining passes, so one boundary
+  // serves corr and resil alike; 0 (diff off or nothing replayable)
+  // makes forward_from a plain full recompute.
+  std::size_t boundary = 0;
+  if (use_ws && ctx.diff) {
+    boundary = diff_prefix_boundary(*ctx.injector, *ctx.ws_orig);
+  }
+  const auto note_diff = [&ctx](const nn::InferenceWorkspace& ws) {
+    if (!ctx.diff) return;
+    const std::size_t reused = ws.prefix_reused_last_run();
+    if (ctx.diff_skipped != nullptr) ctx.diff_skipped->add(reused);
+    util::Counter* outcome = reused > 0 ? ctx.diff_hits : ctx.diff_misses;
+    if (outcome != nullptr) outcome->add();
+  };
   if (use_ws) {
-    out.corr = &ctx.ws_corr->run(*ctx.model, images);
+    out.corr = &ctx.model->forward_from(boundary, images, *ctx.ws_corr);
+    note_diff(*ctx.ws_corr);
   } else {
     ctx.corr_hold = ctx.model->forward(images);
     out.corr = &ctx.corr_hold;
@@ -189,7 +210,8 @@ TripleOutputs run_triple(ExecContext& ctx, const Tensor& images,
   if (ctx.protection) {
     ctx.protection->set_enabled(true);
     if (use_ws) {
-      out.resil = &ctx.ws_resil->run(*ctx.model, images);
+      out.resil = &ctx.model->forward_from(boundary, images, *ctx.ws_resil);
+      note_diff(*ctx.ws_resil);
     } else {
       ctx.resil_hold = ctx.model->forward(images);
       out.resil = &ctx.resil_hold;
@@ -279,6 +301,20 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
       ctx_.ws_corr = &ws_corr_;
       ctx_.ws_resil = &ws_resil_;
       arena_gauge_ = &h_.metrics_.gauge("campaign.arena_high_water_bytes");
+      if (h_.config_.diff) {
+        // corr/resil replay the orig pass; observers follow the hook
+        // order on each leaf (injector has nothing to replay on unarmed
+        // layers, monitor observes, protection validates its clamp).
+        ctx_.diff = true;
+        for (nn::InferenceWorkspace* ws : {&ws_corr_, &ws_resil_}) {
+          ws->set_prefix_baseline(&ws_orig_);
+          ws->add_prefix_observer(monitor_.get());
+          if (ctx_.protection != nullptr) ws->add_prefix_observer(ctx_.protection);
+        }
+        ctx_.diff_skipped = &h_.metrics_.counter("campaign.diff.layers_skipped");
+        ctx_.diff_hits = &h_.metrics_.counter("campaign.diff.prefix_hits");
+        ctx_.diff_misses = &h_.metrics_.counter("campaign.diff.prefix_misses");
+      }
     }
   }
 
@@ -542,6 +578,17 @@ void TestErrorModelsImgClass::run_batched() {
     ctx.ws_orig = &ws_orig;
     ctx.ws_corr = &ws_corr;
     ctx.ws_resil = &ws_resil;
+    if (config_.diff) {
+      ctx.diff = true;
+      for (nn::InferenceWorkspace* ws : {&ws_corr, &ws_resil}) {
+        ws->set_prefix_baseline(&ws_orig);
+        ws->add_prefix_observer(&monitor);
+        if (protection != nullptr) ws->add_prefix_observer(protection.get());
+      }
+      ctx.diff_skipped = &metrics_.counter("campaign.diff.layers_skipped");
+      ctx.diff_hits = &metrics_.counter("campaign.diff.prefix_hits");
+      ctx.diff_misses = &metrics_.counter("campaign.diff.prefix_misses");
+    }
   }
   const std::size_t base_records = wrapper_.injector().records().size();
   FaultModelIterator iterator = wrapper_.get_fimodel_iter();

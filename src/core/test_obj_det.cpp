@@ -155,6 +155,18 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       // Detection vectors before the next pass overwrites the slots.
       detector_->set_workspace(&ws_);
       arena_gauge_ = &h_.metrics_.gauge("campaign.arena_high_water_bytes");
+      if (h_.config_.diff) {
+        // Self-baseline: a differential pass only overwrites suffix
+        // slots, so prefix slots keep their fault-free values from this
+        // unit's pass 1 — valid to replay for passes 2 and 3.
+        diff_ = true;
+        ws_.set_prefix_baseline(&ws_);
+        ws_.add_prefix_observer(monitor_.get());
+        if (protection_) ws_.add_prefix_observer(protection_.get());
+        diff_skipped_ = &h_.metrics_.counter("campaign.diff.layers_skipped");
+        diff_hits_ = &h_.metrics_.counter("campaign.diff.prefix_hits");
+        diff_misses_ = &h_.metrics_.counter("campaign.diff.prefix_misses");
+      }
     }
   }
 
@@ -214,7 +226,20 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
     // ---- pass 2: faulty -----------------------------------------------------
     arm();
     monitor_->reset();
+    // Both remaining passes arm the identical fault group, so one
+    // boundary serves pass 2 and pass 3 — which also guarantees pass 3
+    // never replays a slot pass 2 overwrote.
+    std::size_t boundary = 0;
+    if (diff_) boundary = diff_prefix_boundary(*injector_ptr_, ws_);
+    const auto note_diff = [this] {
+      if (!diff_) return;
+      const std::size_t reused = ws_.prefix_reused_last_run();
+      diff_skipped_->add(reused);
+      (reused > 0 ? diff_hits_ : diff_misses_)->add();
+    };
+    ws_.set_prefix_boundary(boundary);
     auto corr = detector_->detect(input, h_.config_.conf_threshold);
+    note_diff();
     const bool due = monitor_->due_detected();
 
     // ---- pass 3: hardened ---------------------------------------------------
@@ -223,7 +248,9 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       injector_ptr_->disarm();
       arm();
       protection_->set_enabled(true);
+      ws_.set_prefix_boundary(boundary);
       auto resil_batched = detector_->detect(input, h_.config_.conf_threshold);
+      note_diff();
       protection_->set_enabled(false);
       resil = std::move(resil_batched[0]);
     }
@@ -271,6 +298,10 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
   util::Counter* skipped_counter_ = nullptr;
   nn::InferenceWorkspace ws_;
   util::Gauge* arena_gauge_ = nullptr;
+  bool diff_ = false;
+  util::Counter* diff_skipped_ = nullptr;
+  util::Counter* diff_hits_ = nullptr;
+  util::Counter* diff_misses_ = nullptr;
 };
 
 TestErrorModelsObjDet::TestErrorModelsObjDet(models::Detector& detector,

@@ -24,12 +24,47 @@ Tensor Module::forward(const Tensor& input) {
 }
 
 Tensor& Module::forward_ws(const Tensor& input, InferenceWorkspace& ws) {
+  // Differential-inference prefix handling applies to leaves only:
+  // containers recombine their children's (possibly replayed) outputs
+  // with cheap elementwise math, so they always recompute.
+  if (children_.empty()) {
+    if (ws.recording_exec()) ws.record_leaf(*this);
+    Tensor* cached = nullptr;
+    switch (ws.prefix_action(*this, &cached)) {
+      case InferenceWorkspace::PrefixAction::kSkip:
+        // Bit-identical to recomputing: every leaf upstream replayed the
+        // fault-free pass, this leaf holds no armed fault, and all
+        // observers replayed their hook side effects from `cached`.
+        return *cached;
+      case InferenceWorkspace::PrefixAction::kMaterialize: {
+        // An observer vetoed the replay (its hook would alter the data).
+        // The cached tensor still equals what compute_ws would produce —
+        // upstream was bit-identical — so copy it into this module's own
+        // slot and run the real hooks on it.
+        Tensor& slot = ws.slot(*this, [&] { return cached->shape(); });
+        if (&slot != cached) slot.copy_from(*cached);
+        for (auto& [handle, hook] : hooks_) {
+          (void)handle;
+          hook(*this, input, slot);
+        }
+        return slot;
+      }
+      case InferenceWorkspace::PrefixAction::kCompute:
+        break;
+    }
+  }
   Tensor& output = compute_ws(input, ws);
   for (auto& [handle, hook] : hooks_) {
     (void)handle;
     hook(*this, input, output);
   }
   return output;
+}
+
+Tensor& Module::forward_from(std::size_t first_recomputed_leaf, const Tensor& input,
+                             InferenceWorkspace& ws) {
+  ws.set_prefix_boundary(first_recomputed_leaf);
+  return ws.run(*this, input);
 }
 
 Tensor& Module::compute_ws(const Tensor& input, InferenceWorkspace& ws) {

@@ -79,6 +79,19 @@ class Module {
   /// point; it handles plan invalidation.
   Tensor& forward_ws(const Tensor& input, InferenceWorkspace& ws);
 
+  /// Differential inference entry point (DESIGN.md §11): one workspace
+  /// pass that replays every leaf executing before `first_recomputed_leaf`
+  /// from the workspace's prefix baseline and recomputes the rest.
+  /// Equivalent to ws.set_prefix_boundary(first_recomputed_leaf) followed
+  /// by ws.run(*this, input); 0 is a plain full recompute and
+  /// InferenceWorkspace::kSkipAllLeaves replays the whole pass.  Output,
+  /// hook side effects and monitor/protection accounting are
+  /// bit-identical to the full recompute whenever the prefix engages
+  /// (and the workspace degrades to full recompute whenever equivalence
+  /// cannot be proven).
+  Tensor& forward_from(std::size_t first_recomputed_leaf, const Tensor& input,
+                       InferenceWorkspace& ws);
+
   // -- cloning -------------------------------------------------------------
 
   /// Architecture-only copy: a fresh module tree with the same layer

@@ -1,5 +1,7 @@
 #include "nn/workspace.h"
 
+#include <algorithm>
+
 #include "nn/module.h"
 
 namespace alfi::nn {
@@ -13,7 +15,34 @@ Tensor& InferenceWorkspace::run(Module& root, const Tensor& input) {
     root_ = &root;
     input_shape_ = input.shape();
   }
-  return root.forward_ws(input, *this);
+
+  // The boundary is one-shot: consume it now so a plain run() after a
+  // forward_from() never inherits a stale prefix.
+  const std::size_t boundary = prefix_boundary_;
+  prefix_boundary_ = 0;
+
+  recording_exec_ = !planned();
+  if (recording_exec_) {
+    leaf_exec_.clear();
+    exec_valid_ = true;
+  }
+
+  // The prefix only activates when replaying is provably equivalent to
+  // recompute: the baseline ran this exact root on this exact input
+  // shape, completed a planning pass (slots exist), and its execution
+  // order is unambiguous.  Anything else degrades to full recompute.
+  const InferenceWorkspace* base = prefix_baseline_;
+  prefix_active_ = boundary > 0 && base != nullptr && base->root_ == &root &&
+                   base->input_shape_ == input.shape() && base->planned() &&
+                   base->exec_valid_;
+  prefix_boundary_run_ = boundary;
+  prefix_cursor_ = 0;
+  prefix_reused_last_run_ = 0;
+
+  Tensor& out = root.forward_ws(input, *this);
+  recording_exec_ = false;
+  prefix_active_ = false;
+  return out;
 }
 
 std::span<float> InferenceWorkspace::scratch(const Module& m, std::size_t floats) {
@@ -28,6 +57,59 @@ void InferenceWorkspace::invalidate() {
   arena_.reset();
   root_ = nullptr;
   input_shape_ = Shape();
+  leaf_exec_.clear();
+  exec_valid_ = true;
+  prefix_active_ = false;
+}
+
+void InferenceWorkspace::add_prefix_observer(PrefixObserver* observer) {
+  ALFI_CHECK(observer != nullptr, "cannot register a null prefix observer");
+  if (std::find(prefix_observers_.begin(), prefix_observers_.end(), observer) ==
+      prefix_observers_.end()) {
+    prefix_observers_.push_back(observer);
+  }
+}
+
+std::optional<std::size_t> InferenceWorkspace::leaf_exec_index(const Module& m) const {
+  const auto it = leaf_exec_.find(&m);
+  if (it == leaf_exec_.end()) return std::nullopt;
+  return it->second;
+}
+
+void InferenceWorkspace::record_leaf(const Module& m) {
+  if (!leaf_exec_.emplace(&m, leaf_exec_.size()).second) {
+    exec_valid_ = false;  // leaf ran twice: execution index is ambiguous
+  }
+}
+
+InferenceWorkspace::PrefixAction InferenceWorkspace::prefix_action(const Module& m,
+                                                                   Tensor** cached) {
+  if (!prefix_active_) return PrefixAction::kCompute;
+  const std::size_t index = prefix_cursor_++;
+  if (index >= prefix_boundary_run_) {
+    prefix_active_ = false;  // reached the suffix: recompute from here on
+    return PrefixAction::kCompute;
+  }
+  const auto it = prefix_baseline_->slots_.find(&m);
+  if (it == prefix_baseline_->slots_.end()) {
+    // The baseline never planned a slot for this leaf (custom execution
+    // path); without cached data the whole remaining pass recomputes.
+    prefix_active_ = false;
+    return PrefixAction::kCompute;
+  }
+  Tensor& slot = const_cast<Tensor&>(it->second);
+  *cached = &slot;
+  for (PrefixObserver* observer : prefix_observers_) {
+    if (!observer->can_replay(m, slot)) {
+      // Replay would diverge (e.g. protection would clamp): run the
+      // real hooks on the cached data and recompute everything after.
+      prefix_active_ = false;
+      return PrefixAction::kMaterialize;
+    }
+  }
+  for (PrefixObserver* observer : prefix_observers_) observer->on_replay(m, slot);
+  ++prefix_reused_last_run_;
+  return PrefixAction::kSkip;
 }
 
 }  // namespace alfi::nn

@@ -16,11 +16,21 @@
 //   * a workspace serves one model pass at a time: campaign code that
 //     compares fault-free / faulty / mitigated outputs keeps one
 //     workspace per pass so the three outputs coexist.
+//
+// Differential inference (DESIGN.md §11): a workspace can additionally
+// replay a *prefix* of leaf layers from a baseline workspace holding the
+// fault-free pass.  Module::forward_from(k, input, ws) arms a one-shot
+// boundary — every leaf whose execution index is < k returns the
+// baseline's cached slot by reference instead of recomputing, provided
+// all registered PrefixObservers agree the replay is side-effect
+// equivalent to re-running the leaf's hooks on identical data.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "tensor/arena.h"
 #include "tensor/tensor.h"
@@ -29,8 +39,44 @@ namespace alfi::nn {
 
 class Module;
 
+/// Validates/replays hook side effects for leaves skipped by the
+/// differential-inference prefix.  One observer per hook-owning
+/// component (monitor, protection); registration order must match the
+/// hook registration order on the leaves so replayed side effects land
+/// in the same sequence a full recompute would produce.
+class PrefixObserver {
+ public:
+  virtual ~PrefixObserver() = default;
+
+  /// Called before a leaf is skipped.  Return false when replaying the
+  /// cached output would NOT reproduce this component's hook behaviour
+  /// (e.g. an enabled Ranger whose clamp would alter the values) — the
+  /// workspace then materializes the leaf and runs the real hooks.
+  /// Must be side-effect free.
+  virtual bool can_replay(const Module& module, const Tensor& cached) {
+    (void)module;
+    (void)cached;
+    return true;
+  }
+
+  /// Called once per skipped leaf, in execution order, after every
+  /// observer approved the skip.  Reproduce the component's hook side
+  /// effects here (e.g. ModelMonitor NaN/Inf accounting) from the
+  /// cached fault-free output.
+  virtual void on_replay(const Module& module, const Tensor& cached) {
+    (void)module;
+    (void)cached;
+  }
+};
+
 class InferenceWorkspace {
  public:
+  /// What forward_ws should do with a leaf under an armed prefix.
+  enum class PrefixAction { kCompute, kSkip, kMaterialize };
+
+  /// set_prefix_boundary() value meaning "replay every leaf".
+  static constexpr std::size_t kSkipAllLeaves = static_cast<std::size_t>(-1);
+
   InferenceWorkspace() = default;
 
   // Slots reference arena blocks owned by this object; keep it pinned.
@@ -66,12 +112,75 @@ class InferenceWorkspace {
   /// pass needs (exported to the campaign metrics registry).
   std::size_t high_water_bytes() const { return arena_.high_water_bytes(); }
 
+  // -- differential inference (prefix reuse) -------------------------------
+
+  /// Declares the workspace whose slots hold the fault-free outputs the
+  /// prefix replays from.  May be `this` (a single workspace replaying
+  /// its own previous full pass — valid because a differential run only
+  /// overwrites suffix slots, leaving prefix slots at their fault-free
+  /// values).  The baseline must outlive this workspace's runs; pass
+  /// nullptr to detach.
+  void set_prefix_baseline(const InferenceWorkspace* baseline) {
+    prefix_baseline_ = baseline;
+  }
+
+  /// Registers an observer consulted for every skipped leaf, in
+  /// registration order.  Observers must outlive the workspace's runs.
+  void add_prefix_observer(PrefixObserver* observer);
+  void clear_prefix_observers() { prefix_observers_.clear(); }
+
+  /// Arms the prefix for the NEXT run() only (consumed and reset): leaves
+  /// with execution index < `first_recomputed_leaf` replay the baseline's
+  /// cached outputs; everything from that leaf on recomputes.  0 disarms
+  /// (full recompute); kSkipAllLeaves replays the whole pass.  The run
+  /// silently degrades to full recompute whenever replay cannot be proven
+  /// equivalent (unplanned or mismatched baseline, a leaf missing from
+  /// the baseline, an observer veto).
+  void set_prefix_boundary(std::size_t first_recomputed_leaf) {
+    prefix_boundary_ = first_recomputed_leaf;
+  }
+
+  /// Execution index of `m` among this workspace's leaves, recorded on
+  /// the planning pass; nullopt for modules this workspace never ran
+  /// (e.g. a detector head running under a separate workspace).
+  std::optional<std::size_t> leaf_exec_index(const Module& m) const;
+
+  /// Leaves executed by one planned pass (0 before planning).
+  std::size_t leaf_count() const { return leaf_exec_.size(); }
+
+  /// Leaves replayed from the baseline during the most recent run().
+  std::size_t prefix_reused_last_run() const { return prefix_reused_last_run_; }
+
+  // -- forward_ws plumbing (called by Module, not by harness code) ---------
+
+  bool recording_exec() const { return recording_exec_; }
+  void record_leaf(const Module& m);
+
+  /// Decides the fate of the next leaf in execution order.  On kSkip and
+  /// kMaterialize, `*cached` points at the baseline's slot for `m`.
+  PrefixAction prefix_action(const Module& m, Tensor** cached);
+
  private:
   TensorArena arena_;
   std::unordered_map<const Module*, Tensor> slots_;
   std::unordered_map<const Module*, std::span<float>> scratch_;
   const Module* root_ = nullptr;
   Shape input_shape_;
+
+  // Differential-inference state.  leaf_exec_ maps each leaf to its
+  // execution index, captured once on the planning pass; exec_valid_
+  // drops to false if a leaf runs twice in one pass (shared module —
+  // the cursor-based prefix would misattribute it, so never activate).
+  std::unordered_map<const Module*, std::size_t> leaf_exec_;
+  bool exec_valid_ = true;
+  bool recording_exec_ = false;
+  const InferenceWorkspace* prefix_baseline_ = nullptr;
+  std::vector<PrefixObserver*> prefix_observers_;
+  std::size_t prefix_boundary_ = 0;       // armed for the next run (one-shot)
+  std::size_t prefix_boundary_run_ = 0;   // boundary of the run in flight
+  bool prefix_active_ = false;
+  std::size_t prefix_cursor_ = 0;
+  std::size_t prefix_reused_last_run_ = 0;
 };
 
 }  // namespace alfi::nn

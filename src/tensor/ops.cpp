@@ -1058,11 +1058,17 @@ std::vector<std::size_t> topk_indices(std::span<const float> values, std::size_t
   const std::size_t count = std::min(k, order.size());
   std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
                     order.end(), [&](std::size_t a, std::size_t b) {
-                      // NaN sorts last so a corrupted logit cannot claim top-1.
+                      // Total order: NaN sorts last so a corrupted logit cannot
+                      // claim top-1, and every tie (equal values, NaN-vs-NaN)
+                      // breaks by index — partial_sort is unstable, so without
+                      // the index tiebreak the reported class order for tied
+                      // logits could differ between platforms or between the
+                      // allocating and workspace inference paths.
                       const float va = values[a], vb = values[b];
-                      if (std::isnan(va)) return false;
-                      if (std::isnan(vb)) return true;
-                      return va > vb;
+                      const bool na = std::isnan(va), nb = std::isnan(vb);
+                      if (na || nb) return na == nb ? a < b : nb;
+                      if (va != vb) return va > vb;
+                      return a < b;
                     });
   order.resize(count);
   return order;

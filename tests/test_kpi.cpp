@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace alfi::core {
 namespace {
 
@@ -26,6 +28,54 @@ TEST(TopKLogits, NanLogitsRankLast) {
   EXPECT_EQ(top.classes[0], 0u);
   EXPECT_EQ(top.classes[2], 1u);
   EXPECT_FLOAT_EQ(top.probs[2], 0.0f);
+}
+
+// Regression: a +Inf logit made the stable softmax compute
+// exp(Inf - Inf) = NaN for every class, so all reported probabilities
+// went NaN exactly on the corrupted units the SDE/DUE KPIs measure.
+TEST(TopKLogits, InfLogitTakesAllMass) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> logits{0.0f, inf, 1.0f};
+  const TopK top = topk_of_logits(logits, 3);
+  EXPECT_EQ(top.classes[0], 1u);
+  ASSERT_EQ(top.probs.size(), 3u);
+  EXPECT_FLOAT_EQ(top.probs[0], 1.0f);
+  EXPECT_FLOAT_EQ(top.probs[1], 0.0f);
+  EXPECT_FLOAT_EQ(top.probs[2], 0.0f);
+  for (const float p : top.probs) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(TopKLogits, MultipleInfLogitsSplitMassEvenly) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> logits{inf, 4.0f, inf, nan};
+  const TopK top = topk_of_logits(logits, 4);
+  EXPECT_EQ(top.classes[0], 0u);
+  EXPECT_EQ(top.classes[1], 2u);
+  EXPECT_FLOAT_EQ(top.probs[0], 0.5f);
+  EXPECT_FLOAT_EQ(top.probs[1], 0.5f);
+  EXPECT_FLOAT_EQ(top.probs[2], 0.0f);  // finite logit carries no mass
+  EXPECT_FLOAT_EQ(top.probs[3], 0.0f);  // NaN logit carries no mass
+}
+
+TEST(TopKLogits, AllNonfiniteRowDegradesToZeroProbs) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> logits{-inf, nan, -inf};
+  const TopK top = topk_of_logits(logits, 3);
+  ASSERT_EQ(top.probs.size(), 3u);
+  for (const float p : top.probs) EXPECT_FLOAT_EQ(p, 0.0f);
+  EXPECT_EQ(top.classes[2], 1u);  // NaN still ranks last, ties by index
+}
+
+TEST(TopKLogits, NegInfAlongsideFiniteLogitsIsStillStable) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> logits{2.0f, -inf, 1.0f};
+  const TopK top = topk_of_logits(logits, 3);
+  EXPECT_EQ(top.classes[0], 0u);
+  EXPECT_FLOAT_EQ(top.probs[2], 0.0f);       // -Inf gets zero mass
+  EXPECT_GT(top.probs[0], top.probs[1]);
+  EXPECT_NEAR(top.probs[0] + top.probs[1], 1.0f, 1e-6f);
 }
 
 TEST(ClassificationKpis, RatesComputeFromCounters) {
@@ -246,6 +296,31 @@ TEST(DetectionsDiffer, LargeBoxShiftDetected) {
 
 TEST(DetectionsDiffer, BothEmptyMatch) {
   EXPECT_FALSE(detections_differ({}, {}));
+}
+
+// Regression: the old matcher greedily took the FIRST faulty box above
+// the IoU threshold, so when two faulty boxes both overlapped original A
+// the verdict depended on their order in the vector.  With best-IoU
+// matching, A pairs with its exact copy F2 and B pairs with F1, so this
+// set is (correctly) not a deviation regardless of ordering.
+TEST(DetectionsDiffer, BestIouMatchIsOrderIndependent) {
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10),    // A
+                                    det_box(0, 0.8f, 0, 6, 10, 10)};   // B
+  const Detection f1 = det_box(0, 0.85f, 0, 3, 10, 10);  // IoU 0.538 w/ both
+  const Detection f2 = det_box(0, 0.9f, 0, 0, 10, 10);   // exact copy of A
+  // Old greedy matcher: A grabbed F1 (first above threshold), leaving B
+  // unmatched against F2 (IoU 0.25) -> spurious "differ" verdict.
+  EXPECT_FALSE(detections_differ(orig, {f1, f2}));
+  EXPECT_FALSE(detections_differ(orig, {f2, f1}));
+}
+
+TEST(DetectionsDiffer, BestIouStillFlagsRealDeviation) {
+  // Only one faulty box covering two originals: the better-overlapping
+  // original wins the match, the other stays unmatched -> differ.
+  const std::vector<Detection> orig{det_box(0, 0.9f, 0, 0, 10, 10),
+                                    det_box(0, 0.8f, 0, 6, 10, 10)};
+  const std::vector<Detection> faulty{det_box(0, 0.85f, 0, 1, 10, 10)};
+  EXPECT_TRUE(detections_differ(orig, faulty));
 }
 
 TEST(IvmodKpis, RatesFromCounters) {

@@ -396,5 +396,20 @@ TEST(TopK, KLargerThanSizeClamps) {
   EXPECT_EQ(topk_indices(values, 10).size(), 2u);
 }
 
+// Regression: equal values (and NaN pairs) previously compared as
+// unordered under std::partial_sort, so the tie order — and therefore
+// the reported top-k class IDs on corrupted logit rows — could vary
+// between libstdc++ algorithms and between k values.  The comparator is
+// now a total order: value descending, NaN last, index ascending.
+TEST(TopK, TiesAndNansOrderDeterministically) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> values{2.0f, nan, 2.0f, 3.0f, nan, 2.0f};
+  EXPECT_EQ(topk_indices(values, 6),
+            (std::vector<std::size_t>{3, 0, 2, 5, 1, 4}));
+  // A partial sort over the same data must agree with the full sort's
+  // prefix, including the tie broken by index.
+  EXPECT_EQ(topk_indices(values, 3), (std::vector<std::size_t>{3, 0, 2}));
+}
+
 }  // namespace
 }  // namespace alfi::ops

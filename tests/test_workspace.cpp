@@ -239,5 +239,178 @@ TEST(InferenceWorkspace, CustomLayerFallsBackToAllocatingCompute) {
   EXPECT_EQ(storage[0], storage[1]);  // fallback parks results in one slot
 }
 
+// ---- differential inference (prefix reuse, DESIGN.md §11) ---------------
+
+/// Observer that vetoes replay at one chosen leaf and records every
+/// replay callback, in order.
+class ProbeObserver : public PrefixObserver {
+ public:
+  bool can_replay(const Module& m, const Tensor&) override {
+    return &m != veto_at;
+  }
+  void on_replay(const Module& m, const Tensor&) override {
+    replayed.push_back(&m);
+  }
+
+  const Module* veto_at = nullptr;
+  std::vector<const Module*> replayed;
+};
+
+class DifferentialPrefix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = models::make_mini_alexnet();
+    Rng rng(17);
+    kaiming_init(*net_, rng);
+    input_ = probe_image(2);
+    full_ = net_->forward(input_);
+  }
+
+  std::shared_ptr<Sequential> net_;
+  Tensor input_;
+  Tensor full_;
+};
+
+TEST_F(DifferentialPrefix, ReplayedPrefixIsBitIdenticalToFullRecompute) {
+  InferenceWorkspace base;
+  base.run(*net_, input_);
+  ASSERT_GT(base.leaf_count(), 3u);
+
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  for (std::size_t boundary = 0; boundary <= base.leaf_count(); ++boundary) {
+    expect_bitwise_equal(net_->forward_from(boundary, input_, diff), full_);
+    EXPECT_EQ(diff.prefix_reused_last_run(), boundary) << boundary;
+  }
+}
+
+TEST_F(DifferentialPrefix, BoundaryIsConsumedByOneRun) {
+  InferenceWorkspace base;
+  base.run(*net_, input_);
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  net_->forward_from(3, input_, diff);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 3u);
+  // A plain run() right after must fully recompute: the boundary is
+  // one-shot, not sticky.
+  expect_bitwise_equal(diff.run(*net_, input_), full_);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 0u);
+}
+
+TEST_F(DifferentialPrefix, SkipAllLeavesReturnsTheBaselineSlot) {
+  InferenceWorkspace base;
+  const Tensor& base_out = base.run(*net_, input_);
+  InferenceWorkspace diff;
+  diff.run(*net_, input_);  // plan first so exec indices exist
+  diff.set_prefix_baseline(&base);
+  const Tensor& out =
+      net_->forward_from(InferenceWorkspace::kSkipAllLeaves, input_, diff);
+  EXPECT_EQ(diff.prefix_reused_last_run(), diff.leaf_count());
+  EXPECT_EQ(out.raw(), base_out.raw());  // replayed by reference, no copy
+  expect_bitwise_equal(out, full_);
+}
+
+TEST_F(DifferentialPrefix, SelfBaselineReplaysOwnPreviousPass) {
+  // The object-detection harness uses one workspace as its own
+  // baseline: a differential run only overwrites suffix slots, so the
+  // prefix slots still hold the previous full pass's values.
+  InferenceWorkspace ws;
+  ws.run(*net_, input_);
+  ws.set_prefix_baseline(&ws);
+  expect_bitwise_equal(net_->forward_from(4, input_, ws), full_);
+  EXPECT_EQ(ws.prefix_reused_last_run(), 4u);
+  expect_bitwise_equal(net_->forward_from(4, input_, ws), full_);
+  EXPECT_EQ(ws.prefix_reused_last_run(), 4u);
+}
+
+TEST_F(DifferentialPrefix, UnplannedBaselineDegradesToFullRecompute) {
+  InferenceWorkspace never_ran;
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&never_ran);
+  expect_bitwise_equal(net_->forward_from(3, input_, diff), full_);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 0u);
+}
+
+TEST_F(DifferentialPrefix, BaselineShapeMismatchDegradesToFullRecompute) {
+  InferenceWorkspace base;
+  base.run(*net_, probe_image(1));  // planned for a different batch size
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  expect_bitwise_equal(net_->forward_from(3, input_, diff), full_);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 0u);
+}
+
+TEST_F(DifferentialPrefix, ObserverVetoMaterializesAndRunsRealHooks) {
+  InferenceWorkspace base;
+  base.run(*net_, input_);
+
+  // Veto replay at leaf 2: leaves 0-1 replay, leaf 2 materializes (its
+  // real hooks run on the copied baseline values), and the prefix
+  // breaks — everything after recomputes even though the boundary was 5.
+  Module* veto_leaf = net_->children()[2].second.get();
+  int hook_calls = 0;
+  const HookHandle handle = veto_leaf->register_forward_hook(
+      [&hook_calls](Module&, const Tensor&, Tensor&) { ++hook_calls; });
+
+  ProbeObserver observer;
+  observer.veto_at = veto_leaf;
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  diff.add_prefix_observer(&observer);
+  expect_bitwise_equal(net_->forward_from(5, input_, diff), full_);
+  veto_leaf->remove_forward_hook(handle);
+
+  EXPECT_EQ(diff.prefix_reused_last_run(), 2u);  // only leaves 0 and 1
+  EXPECT_EQ(hook_calls, 1);  // the vetoed leaf's hooks really ran
+  ASSERT_EQ(observer.replayed.size(), 2u);
+  EXPECT_EQ(observer.replayed[0], net_->children()[0].second.get());
+  EXPECT_EQ(observer.replayed[1], net_->children()[1].second.get());
+}
+
+TEST_F(DifferentialPrefix, ObserversSeeSkippedLeavesInExecutionOrder) {
+  InferenceWorkspace base;
+  base.run(*net_, input_);
+  ProbeObserver observer;
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  diff.add_prefix_observer(&observer);
+  net_->forward_from(4, input_, diff);
+  ASSERT_EQ(observer.replayed.size(), 4u);
+  for (std::size_t i = 0; i < observer.replayed.size(); ++i) {
+    EXPECT_EQ(diff.leaf_exec_index(*observer.replayed[i]), i);
+  }
+}
+
+TEST_F(DifferentialPrefix, LeafExecIndexMapsExecutionOrder) {
+  InferenceWorkspace ws;
+  EXPECT_EQ(ws.leaf_count(), 0u);
+  ws.run(*net_, input_);
+  EXPECT_EQ(ws.leaf_exec_index(*net_->children()[0].second), 0u);
+  EXPECT_EQ(ws.leaf_exec_index(*net_->children()[1].second), 1u);
+  // A module this workspace never executed has no index.
+  const Conv2d foreign(3, 4, 3, 1, 1);
+  EXPECT_EQ(ws.leaf_exec_index(foreign), std::nullopt);
+}
+
+TEST_F(DifferentialPrefix, SuffixHooksStillFireUnderAnArmedPrefix) {
+  InferenceWorkspace base;
+  base.run(*net_, input_);
+
+  // A mutating hook on a suffix leaf must behave exactly as on the
+  // allocating path even when the leaves before it were replayed.
+  Module* suffix_leaf = net_->children()[3].second.get();
+  const HookHandle handle = suffix_leaf->register_forward_hook(
+      [](Module&, const Tensor&, Tensor& output) {
+        for (float& v : output.data()) v *= 0.5f;
+      });
+  const Tensor hooked_full = net_->forward(input_);
+
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+  expect_bitwise_equal(net_->forward_from(3, input_, diff), hooked_full);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 3u);
+  suffix_leaf->remove_forward_hook(handle);
+}
+
 }  // namespace
 }  // namespace alfi::nn

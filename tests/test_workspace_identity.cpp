@@ -92,8 +92,18 @@ class WorkspaceIdentity : public ::testing::Test {
                                     config);
     RunArtifacts artifacts;
     artifacts.result = harness.run();
-    artifacts.counters_json =
-        io::read_json_file(config.metrics_path).at("counters").dump();
+    // The workspace path runs differential inference by default, which
+    // adds `campaign.diff.*` bookkeeping counters the allocating path
+    // cannot have — they describe how the result was computed, not the
+    // result, so they are excluded from the identity contract (every
+    // other counter must still match exactly).
+    const io::Json counters =
+        io::read_json_file(config.metrics_path).at("counters");
+    io::Json filtered = io::Json::object();
+    for (const auto& [key, value] : counters.as_object()) {
+      if (!key.starts_with("campaign.diff.")) filtered.as_object()[key] = value;
+    }
+    artifacts.counters_json = filtered.dump();
     if (journal) {
       artifacts.journal_bytes =
           file_bytes(CampaignExecutor::journal_path(config.checkpoint_dir));

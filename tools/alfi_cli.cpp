@@ -108,8 +108,12 @@ void apply_telemetry_flags(core::CampaignConfigBase& config, const Args& args) {
 
 /// --no-workspace: fall back to the allocating forward() path instead
 /// of arena-backed workspace inference (same outputs, for A/B timing).
+/// --no-diff: full recompute of every campaign pass instead of
+/// differential inference replaying the fault-free prefix (DESIGN.md
+/// §11; same outputs, for A/B verification).
 void apply_workspace_flag(core::CampaignConfigBase& config, const Args& args) {
   if (args.get("no-workspace")) config.workspace = false;
+  if (args.get("no-diff")) config.diff = false;
 }
 
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
@@ -352,6 +356,7 @@ void usage() {
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
                "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
                "                 [--metrics out.json] [--progress] [--no-workspace]\n"
+               "                 [--no-diff]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --checkpoint: journal completed units so an\n"
@@ -360,7 +365,9 @@ void usage() {
                "                  --metrics: write campaign telemetry as JSON\n"
                "                  (DESIGN.md §9); --progress: live stderr line;\n"
                "                  --no-workspace: allocating inference path\n"
-               "                  instead of arena-backed buffers, same outputs)\n"
+               "                  instead of arena-backed buffers, same outputs;\n"
+               "                  --no-diff: full recompute instead of replaying\n"
+               "                  the fault-free prefix, same outputs)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"
