@@ -79,7 +79,8 @@ CampaignRun run_campaign_once(std::size_t jobs,
                               const std::string& checkpoint_dir = "",
                               std::size_t checkpoint_every = 8,
                               bool workspace = true, bool diff = true,
-                              const core::Scenario* scenario = nullptr) {
+                              const core::Scenario* scenario = nullptr,
+                              std::size_t unit_batch = 1) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
@@ -87,6 +88,7 @@ CampaignRun run_campaign_once(std::size_t jobs,
   config.checkpoint_every = checkpoint_every;
   config.workspace = workspace;
   config.diff = diff;
+  config.unit_batch = unit_batch;
   core::TestErrorModelsImgClass harness(*env().model, env().dataset,
                                         scenario ? *scenario
                                                  : campaign_scenario(),
@@ -118,6 +120,12 @@ CampaignRun run_campaign_once(std::size_t jobs,
 core::Scenario mid_network_scenario() {
   core::Scenario s = campaign_scenario();
   s.layer_range = {{2, 4}};
+  // Reshaped to 8 images x 16 epochs: multi-epoch geometry gives the
+  // executor stride-packs (the same image under many epochs' fault
+  // groups), which is what both the differential runs and the
+  // --unit-batch runs below exercise.
+  s.dataset_size = 8;
+  s.num_runs = 16;
   return s;
 }
 
@@ -181,6 +189,37 @@ BENCHMARK(BM_CampaignCheckpointOverhead)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Batched unit execution (--unit-batch K, DESIGN.md §12): the executor
+/// strides packs by dataset_size, so K units share ONE fault-free pass
+/// (computed batch-1, broadcast-replayed into the packed corrupted /
+/// hardened passes) — the dominant per-unit cost, the full fault-free
+/// forward, amortizes K ways.  "batched_speedup" reports amortized
+/// per-unit throughput vs the unit-at-a-time run of the same campaign.
+void BM_CampaignUnitBatch(benchmark::State& state) {
+  const auto unit_batch = static_cast<std::size_t>(state.range(0));
+  static const core::Scenario mid = mid_network_scenario();
+  CampaignRun last;
+  for (auto _ : state) {
+    last = run_campaign_once(1, "", 8, true, true, &mid, unit_batch);
+  }
+  static const double serial_unit_ms =
+      run_campaign_once(1, "", 8, true, true, &mid)
+          .unit_mean_ms;  // shared unit-at-a-time baseline
+  state.counters["batched_speedup"] =
+      last.unit_mean_ms > 0.0 ? serial_unit_ms / last.unit_mean_ms : 0.0;
+  state.counters["unit_batch"] = static_cast<double>(unit_batch);
+  state.counters["unit_p50_ms"] = last.unit_p50_ms;
+  state.counters["unit_p95_ms"] = last.unit_p95_ms;
+}
+BENCHMARK(BM_CampaignUnitBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->ArgName("unit_batch")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 io::Json run_to_json(const CampaignRun& run) {
   io::Json entry = io::Json::object();
   entry["seconds"] = io::Json(run.seconds);
@@ -241,9 +280,19 @@ void write_bench_json(const std::string& path) {
     return run_campaign_once(1, "", 8, true, /*diff=*/false, &mid);
   });
 
+  // Batched unit execution on the same mid/late-network workload:
+  // --unit-batch 16 against the unit-at-a-time diff run, both serial,
+  // so batched_speedup isolates the pack effect on top of prefix reuse.
+  // With 16 epochs the packs are same-image (stride = dataset_size) and
+  // each pack computes the fault-free pass once for all 16 units.
+  const CampaignRun batched = best_of(3, [&mid] {
+    return run_campaign_once(1, "", 8, true, /*diff=*/true, &mid,
+                             /*unit_batch=*/16);
+  });
+
   const core::Scenario scenario = campaign_scenario();
   io::Json root = io::Json::object();
-  root["schema"] = io::Json(std::string("alfi.bench.campaign.v1"));
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v2"));
   io::Json workload = io::Json::object();
   workload["model"] = io::Json(std::string("mini-alexnet"));
   workload["units"] =
@@ -274,6 +323,12 @@ void write_bench_json(const std::string& path) {
                                   ? diff_off.unit_mean_ms / diff_on.unit_mean_ms
                                   : 0.0;
   root["diff_speedup"] = io::Json(diff_speedup);
+  root["batched_serial"] = run_to_json(batched);
+  root["batched_unit_batch"] = io::Json(16.0);
+  const double batched_speedup =
+      batched.unit_mean_ms > 0.0 ? diff_on.unit_mean_ms / batched.unit_mean_ms
+                                 : 0.0;
+  root["batched_speedup"] = io::Json(batched_speedup);
   io::write_json_file(path, root);
 
   std::printf(
@@ -293,8 +348,13 @@ void write_bench_json(const std::string& path) {
       "diff off (layers 2-4): %7.2f units/s (mean %.3f ms, p50 %.3f ms)\n",
       diff_off.unit_throughput_per_sec(), diff_off.unit_mean_ms,
       diff_off.unit_p50_ms);
-  std::printf("diff speedup: %.2fx (single-thread unit throughput) -> %s\n",
-              diff_speedup, path.c_str());
+  std::printf("diff speedup: %.2fx (single-thread unit throughput)\n",
+              diff_speedup);
+  std::printf(
+      "batched (unit-batch 16): %7.2f units/s (amortized mean %.3f ms)\n",
+      batched.unit_throughput_per_sec(), batched.unit_mean_ms);
+  std::printf("batched speedup: %.2fx (vs unit-at-a-time diff run) -> %s\n",
+              batched_speedup, path.c_str());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "core/campaign.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -159,19 +160,19 @@ CampaignCheckpoint CampaignCheckpoint::load(const std::string& path) {
 
 // ---- executor ---------------------------------------------------------------
 
-CampaignExecutor::CampaignExecutor(CampaignTask& task,
-                                   util::MetricsRegistry* metrics)
+BatchedCampaignExecutor::BatchedCampaignExecutor(CampaignTask& task,
+                                                 util::MetricsRegistry* metrics)
     : task_(task), metrics_(metrics) {}
 
-std::string CampaignExecutor::journal_path(const std::string& checkpoint_dir) {
+std::string BatchedCampaignExecutor::journal_path(const std::string& checkpoint_dir) {
   return checkpoint_dir + "/journal.bin";
 }
 
-std::string CampaignExecutor::checkpoint_path(const std::string& checkpoint_dir) {
+std::string BatchedCampaignExecutor::checkpoint_path(const std::string& checkpoint_dir) {
   return checkpoint_dir + "/checkpoint.bin";
 }
 
-void CampaignExecutor::execute() {
+void BatchedCampaignExecutor::execute() {
   const CampaignConfigBase& config = task_.base_config();
   const Scenario& scenario = task_.task_scenario();
   const std::size_t units = task_.unit_count();
@@ -322,6 +323,28 @@ void CampaignExecutor::execute() {
     write_checkpoint_locked();
   }
 
+  // Unit packing: clamp the requested pack size to what the workload
+  // supports.  pack == 1 hands the runner one unit per call — the
+  // classic executor, bit for bit.
+  const std::size_t pack =
+      std::max<std::size_t>(1, std::min(config.unit_batch == 0
+                                            ? std::size_t{1}
+                                            : config.unit_batch,
+                                        task_.max_unit_pack()));
+  if (config.unit_batch > 1 && pack < config.unit_batch) {
+    ALFI_LOG(kInfo) << "unit batch clamped to " << pack
+                    << " (workload max_unit_pack)";
+  }
+  const std::size_t stride = std::max<std::size_t>(1, task_.unit_pack_stride());
+
+  // Deferred absorb bookkeeping (DESIGN.md §12): a pack holds units
+  // {t, t+stride, ...}, so units complete out of ascending order.  The
+  // journal frames, unit counters and checkpoint cadence must still
+  // match unit-at-a-time execution, so each shard journals from its own
+  // ascending cursor and pending[u] marks a computed payload the cursor
+  // has not reached yet.
+  std::vector<char> pending(units, 0);
+
   if (!shards.empty()) {
     const bool shared_model = shards.size() == 1;
     if (shards.size() > 1) {
@@ -333,36 +356,73 @@ void CampaignExecutor::execute() {
       // a fully-journaled shard never pays for a model replica.
       const Stopwatch shard_watch;
       std::size_t shard_computed = 0;
-      for (std::size_t t = shard.begin; t < shard.end; ++t) {
-        if (completed[t]) continue;  // replayed from journal (pre-thread state)
+      std::size_t absorb_cursor = shard.begin;  // next unit to journal/count
+      std::vector<std::size_t> pack_units;
+      for (std::size_t t = shard.begin; t < shard.end;) {
+        if (completed[t]) { ++t; continue; }  // replayed or pack-mate
         if (interrupted()) break;
         if (!unit_runner) unit_runner = task_.make_unit_runner(shared_model);
+        // Pack incomplete units at the task's stride: {t, t+S, t+2S, ...}.
+        // The classification harness strides by dataset_size, so every
+        // unit in the pack re-runs the SAME image under a different
+        // fault group and the runner shares one fault-free pass across
+        // the pack.  A journal-replayed unit ends the pack so replay
+        // boundaries never change what a packed pass computes.
+        pack_units.clear();
+        for (std::size_t u = t;
+             pack_units.size() < pack && u < shard.end && !completed[u];
+             u += stride) {
+          pack_units.push_back(u);
+        }
         const Stopwatch unit_watch;
-        std::string payload = unit_runner->run_unit(t);
-        if (unit_ms != nullptr) unit_ms->record(unit_watch.elapsed_ms());
-        ++shard_computed;
+        std::vector<std::string> batch = unit_runner->run_unit_pack(pack_units);
+        ALFI_CHECK(batch.size() == pack_units.size(),
+                   "unit runner returned a wrong-sized payload batch");
+        // The per-unit latency of a packed pass is its amortized share.
+        const double per_unit_ms =
+            unit_watch.elapsed_ms() / static_cast<double>(batch.size());
+        shard_computed += batch.size();
 
         std::lock_guard<std::mutex> lock(merge_mutex);
-        if (journal) {
-          const Stopwatch append_watch;
-          journal->append_unit(t, payload);
-          if (journal_append_ms != nullptr) {
-            journal_append_ms->record(append_watch.elapsed_ms());
-          }
-          if (journal_frames != nullptr) journal_frames->add();
-          if (journal_payload_bytes != nullptr) {
-            journal_payload_bytes->add(payload.size());
-          }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const std::size_t u = pack_units[i];
+          payloads[u] = std::move(batch[i]);
+          completed[u] = 1;
+          pending[u] = 1;
+          if (unit_ms != nullptr) unit_ms->record(per_unit_ms);
         }
-        payloads[t] = std::move(payload);
-        completed[t] = 1;
-        ++done;
-        if (units_computed != nullptr) units_computed->add();
+        // Absorb in ascending unit order from the shard cursor: journal
+        // frames, the done count and the checkpoint cadence all advance
+        // exactly as unit-at-a-time execution would, no matter how the
+        // strided packs interleaved.  Units the cursor cannot reach yet
+        // stay pending; a crash loses only their (recomputable) work.
+        while (absorb_cursor < shard.end && completed[absorb_cursor]) {
+          if (pending[absorb_cursor]) {
+            pending[absorb_cursor] = 0;
+            const std::string& payload = payloads[absorb_cursor];
+            if (journal) {
+              const Stopwatch append_watch;
+              journal->append_unit(absorb_cursor, payload);
+              if (journal_append_ms != nullptr) {
+                journal_append_ms->record(append_watch.elapsed_ms());
+              }
+              if (journal_frames != nullptr) journal_frames->add();
+              if (journal_payload_bytes != nullptr) {
+                journal_payload_bytes->add(payload.size());
+              }
+            }
+            ++done;
+            if (units_computed != nullptr) units_computed->add();
+            if (checkpointing &&
+                ++done_since_checkpoint >= config.checkpoint_every) {
+              done_since_checkpoint = 0;
+              write_checkpoint_locked();
+            }
+          }
+          ++absorb_cursor;
+        }
         print_progress_locked(/*final_line=*/false);
-        if (checkpointing && ++done_since_checkpoint >= config.checkpoint_every) {
-          done_since_checkpoint = 0;
-          write_checkpoint_locked();
-        }
+        ++t;
       }
       if (metrics_ != nullptr && shard_computed > 0) {
         const double seconds = shard_watch.elapsed_seconds();

@@ -132,14 +132,26 @@ struct CampaignCheckpoint {
 /// Runs a CampaignTask end to end: prepare -> sharded unit execution
 /// (journaled when checkpointing is configured) -> ordered merge ->
 /// finalize.  One executor instance runs one campaign.
-class CampaignExecutor {
+///
+/// Unit packing (DESIGN.md §12): within each shard the executor hands
+/// the runner up to min(config.unit_batch, task.max_unit_pack())
+/// incomplete units per run_unit_pack call, spaced at the task's
+/// unit_pack_stride() — the classification harness strides by
+/// dataset_size so a pack re-runs the SAME image under different fault
+/// groups and shares one fault-free pass across the pack.  Payloads
+/// come back in pack order; each shard then journals / counts them
+/// from an ascending cursor (out-of-order pack-mates wait as pending),
+/// so journal frames, counters and checkpoint cadence match
+/// unit-at-a-time execution and outputs stay byte-identical for every
+/// --unit-batch / --jobs combination.
+class BatchedCampaignExecutor {
  public:
   /// `metrics` (optional) receives campaign telemetry: unit counters
   /// (units.total/computed/replayed — commutative, so identical for any
   /// --jobs), the campaign.unit_ms latency histogram, journal/checkpoint
   /// write latency + bytes and per-worker units/sec gauges.
-  explicit CampaignExecutor(CampaignTask& task,
-                            util::MetricsRegistry* metrics = nullptr);
+  explicit BatchedCampaignExecutor(CampaignTask& task,
+                                   util::MetricsRegistry* metrics = nullptr);
 
   /// Paths used inside a checkpoint directory.
   static std::string journal_path(const std::string& checkpoint_dir);
@@ -153,5 +165,10 @@ class CampaignExecutor {
   CampaignTask& task_;
   util::MetricsRegistry* metrics_;
 };
+
+/// The packed executor subsumed the original unit-at-a-time executor
+/// (unit_batch == 1 reproduces it exactly); the old name remains the
+/// conventional spelling at call sites.
+using CampaignExecutor = BatchedCampaignExecutor;
 
 }  // namespace alfi::core

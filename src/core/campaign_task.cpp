@@ -9,6 +9,16 @@
 
 namespace alfi::core {
 
+std::vector<std::string> CampaignUnitRunner::run_unit_pack(
+    const std::vector<std::size_t>& units) {
+  std::vector<std::string> payloads;
+  payloads.reserve(units.size());
+  for (const std::size_t t : units) {
+    payloads.push_back(run_unit(t));
+  }
+  return payloads;
+}
+
 void write_fault_bytes(io::ByteWriter& writer, const Fault& fault) {
   writer.write_u8(static_cast<std::uint8_t>(fault.target));
   writer.write_u8(static_cast<std::uint8_t>(fault.value_type));

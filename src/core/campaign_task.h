@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/fault.h"
 #include "core/mitigation.h"
@@ -65,6 +66,16 @@ struct CampaignConfigBase {
   /// Outputs are byte-identical either way; `--no-diff` exists for A/B
   /// verification and paranoia.
   bool diff = true;
+  /// Unit packing (DESIGN.md §12): hand each runner up to this many
+  /// units per call so it can fuse them into one batched forward pass,
+  /// arming each unit's faults on its own batch slot.  Units are packed
+  /// at the task's unit_pack_stride() — e.g. the classification harness
+  /// packs the SAME image across epochs so one shared fault-free pass
+  /// serves the whole pack.  Clamped to the task's max_unit_pack() (1
+  /// for workloads that cannot pack, e.g. weight-fault scenarios).
+  /// 1 — the default — is the classic unit-at-a-time path; every value
+  /// produces byte-identical campaign outputs.
+  std::size_t unit_batch = 1;
 
   // ---- crash safety --------------------------------------------------------
   /// Directory for the result journal + checkpoint; empty disables
@@ -90,7 +101,8 @@ struct CampaignConfigBase {
 };
 
 /// Per-worker execution engine for one shard: owns whatever replica /
-/// injector state the workload needs, and computes units one at a time.
+/// injector state the workload needs, and computes units one at a time
+/// (run_unit) or in packed batches (run_unit_pack).
 class CampaignUnitRunner {
  public:
   virtual ~CampaignUnitRunner() = default;
@@ -98,6 +110,16 @@ class CampaignUnitRunner {
   /// Computes global work unit `t` and returns its serialized result.
   /// Must be deterministic in t alone (given the task's fingerprint).
   virtual std::string run_unit(std::size_t t) = 0;
+
+  /// Computes the given units (ascending, distinct — consecutive at the
+  /// task's unit_pack_stride()) and returns their serialized payloads in
+  /// the same order.  The default implementation loops run_unit; runners
+  /// that support unit packing override it to fuse the units into one
+  /// batched forward pass.  The contract is strict: every payload must
+  /// be byte-identical to what run_unit would have produced, and
+  /// units.size() never exceeds the task's max_unit_pack().
+  virtual std::vector<std::string> run_unit_pack(
+      const std::vector<std::size_t>& units);
 };
 
 /// A campaign workload the executor can shard, journal and merge.
@@ -128,6 +150,21 @@ class CampaignTask {
   /// serial path (use the wrapped original model); false means the
   /// runner must own an isolated replica (called from worker threads).
   virtual std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) = 0;
+
+  /// Upper bound on how many units one run_unit_pack call may receive;
+  /// the executor clamps config.unit_batch to it.  The default (1)
+  /// disables packing; workloads whose units are independent
+  /// single-sample inferences with slot-addressable faults raise it
+  /// (DESIGN.md §12 lists the degradation rules).
+  virtual std::size_t max_unit_pack() const { return 1; }
+
+  /// Distance between units packed into one run_unit_pack call.  The
+  /// default (1) packs consecutive units.  Workloads whose unit index
+  /// wraps an input set — classification units are epoch * dataset_size
+  /// + image — return the wrap period so a pack holds the SAME input
+  /// under different fault groups, letting the runner share a single
+  /// fault-free pass across the whole pack (DESIGN.md §12).
+  virtual std::size_t unit_pack_stride() const { return 1; }
 
   /// Folds one unit's payload into the final result.  Called on the
   /// coordinating thread, strictly in ascending t, each unit exactly

@@ -40,8 +40,11 @@ class Injector {
   /// Arms a set of faults: weight faults are applied immediately,
   /// neuron faults fire on every subsequent forward until disarmed.
   /// A fault's `batch` field selects the sample slot (-1 = all slots;
-  /// a slot beyond the actual batch — e.g. a per-batch fault meeting a
-  /// short final batch — is counted in skipped_injection_count()).
+  /// a slot beyond the actual batch is counted in
+  /// skipped_injection_count()).  The campaign harnesses remap slots
+  /// onto the actual window occupancy before arming (modulo remap,
+  /// DESIGN.md §12), so the skip path is a backstop for hand-armed
+  /// faults, not a normal campaign outcome.
   void arm(std::vector<Fault> faults);
 
   /// Disarms neuron faults and (for transient duration) restores weights.
@@ -55,6 +58,13 @@ class Injector {
 
   const std::vector<InjectionRecord>& records() const { return records_; }
   void clear_records() { records_.clear(); }
+
+  /// Mutable access to the record log.  Batched campaign runners use it
+  /// to rewrite the batch-slot coordinates of a packed pass's records
+  /// back into the per-unit form a serial run would have produced
+  /// (fault.batch -> 0, inference_index -> the slot's unit index);
+  /// see DESIGN.md §12.
+  std::vector<InjectionRecord>& records_mutable() { return records_; }
 
   /// Moves the accumulated records out (the injector keeps running with
   /// an empty log).  Lets parallel campaign workers hand their shard's

@@ -34,6 +34,19 @@ ModelMonitor::~ModelMonitor() {
 void ModelMonitor::reset() {
   nan_layers_.clear();
   inf_layers_.clear();
+  std::fill(slot_nan_.begin(), slot_nan_.end(), std::uint8_t{0});
+  std::fill(slot_inf_.begin(), slot_inf_.end(), std::uint8_t{0});
+}
+
+void ModelMonitor::set_slot_count(std::size_t slots) {
+  slot_count_ = slots;
+  slot_nan_.assign(slots, 0);
+  slot_inf_.assign(slots, 0);
+}
+
+bool ModelMonitor::slot_due(std::size_t slot) const {
+  ALFI_CHECK(slot < slot_count_, "monitor slot index out of range");
+  return slot_nan_[slot] != 0 || slot_inf_[slot] != 0;
 }
 
 void ModelMonitor::add_custom(CustomMonitor monitor) {
@@ -65,23 +78,55 @@ void ModelMonitor::observe(const std::string& path, const Tensor& output) {
   }
   if (worst_exp != kExpMask && custom_.empty()) return;
 
-  bool any_nan = false;
-  bool any_inf = false;
-  if (worst_exp == kExpMask) {
-    for (const float v : output.data()) {
-      any_nan |= std::isnan(v);
-      any_inf |= std::isinf(v);
+  if (worst_exp == kExpMask && slot_count_ > 0) {
+    // Per-slot mode: classify each packed sample's row independently so
+    // flags and counter increments equal those of slot_count_ separate
+    // single-sample inferences (one increment per affected slot).
+    ALFI_CHECK(output.rank() >= 1 && output.dim(0) == slot_count_,
+               "per-slot monitoring requires dim(0) == slot count on every "
+               "observed output");
+    const std::size_t per_slot = output.numel() / slot_count_;
+    const float* data = output.raw();
+    for (std::size_t s = 0; s < slot_count_; ++s) {
+      bool any_nan = false;
+      bool any_inf = false;
+      for (std::size_t i = 0; i < per_slot; ++i) {
+        const float v = data[s * per_slot + i];
+        any_nan |= std::isnan(v);
+        any_inf |= std::isinf(v);
+      }
+      if (any_nan) {
+        slot_nan_[s] = 1;
+        nan_layers_.push_back(path);
+        if (nan_total_ != nullptr) nan_total_->add();
+        if (metrics_ != nullptr) metrics_->counter("monitor.nan." + path).add();
+      }
+      if (any_inf) {
+        slot_inf_[s] = 1;
+        inf_layers_.push_back(path);
+        if (inf_total_ != nullptr) inf_total_->add();
+        if (metrics_ != nullptr) metrics_->counter("monitor.inf." + path).add();
+      }
     }
-  }
-  if (any_nan) {
-    nan_layers_.push_back(path);
-    if (nan_total_ != nullptr) nan_total_->add();
-    if (metrics_ != nullptr) metrics_->counter("monitor.nan." + path).add();
-  }
-  if (any_inf) {
-    inf_layers_.push_back(path);
-    if (inf_total_ != nullptr) inf_total_->add();
-    if (metrics_ != nullptr) metrics_->counter("monitor.inf." + path).add();
+  } else {
+    bool any_nan = false;
+    bool any_inf = false;
+    if (worst_exp == kExpMask) {
+      for (const float v : output.data()) {
+        any_nan |= std::isnan(v);
+        any_inf |= std::isinf(v);
+      }
+    }
+    if (any_nan) {
+      nan_layers_.push_back(path);
+      if (nan_total_ != nullptr) nan_total_->add();
+      if (metrics_ != nullptr) metrics_->counter("monitor.nan." + path).add();
+    }
+    if (any_inf) {
+      inf_layers_.push_back(path);
+      if (inf_total_ != nullptr) inf_total_->add();
+      if (metrics_ != nullptr) metrics_->counter("monitor.inf." + path).add();
+    }
   }
   for (const CustomMonitor& monitor : custom_) monitor(path, output);
 }

@@ -8,6 +8,7 @@
 // arbitrary signals.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,19 @@ class ModelMonitor : public nn::PrefixObserver {
   /// output after the NaN/Inf scan).
   void add_custom(CustomMonitor monitor);
 
+  // ---- per-slot mode (packed campaign batches, DESIGN.md §12) --------------
+  /// Scans each of the `slots` leading dim-0 rows of every observed
+  /// output independently, so per-slot detection flags and `monitor.*`
+  /// counter increments equal those of `slots` separate single-sample
+  /// inferences.  Every observed output must then have dim(0) == slots.
+  /// 0 (the default) restores whole-tensor scanning.  reset() clears
+  /// the flags but keeps the mode; custom monitors still receive the
+  /// whole packed tensor once per layer.
+  void set_slot_count(std::size_t slots);
+
+  /// Slot-resolved due_detected(); only meaningful in per-slot mode.
+  bool slot_due(std::size_t slot) const;
+
   /// Mirrors detections into `registry`: totals under
   /// `monitor.nan_total` / `monitor.inf_total` plus per-layer counters
   /// `monitor.nan.<path>` / `monitor.inf.<path>`.  The totals are
@@ -72,6 +86,9 @@ class ModelMonitor : public nn::PrefixObserver {
   std::unordered_map<const nn::Module*, std::string> paths_;
   std::vector<std::string> nan_layers_;
   std::vector<std::string> inf_layers_;
+  std::size_t slot_count_ = 0;         // 0 = whole-tensor scanning
+  std::vector<std::uint8_t> slot_nan_;
+  std::vector<std::uint8_t> slot_inf_;
   std::vector<CustomMonitor> custom_;
   util::MetricsRegistry* metrics_ = nullptr;
   util::Counter* nan_total_ = nullptr;

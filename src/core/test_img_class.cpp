@@ -1,8 +1,10 @@
 #include "core/test_img_class.h"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <functional>
+#include <limits>
 
 #include "core/campaign.h"
 #include "nn/workspace.h"
@@ -79,6 +81,12 @@ struct ExecContext {
   util::Counter* diff_skipped = nullptr;  // campaign.diff.layers_skipped
   util::Counter* diff_hits = nullptr;     // passes that replayed >= 1 leaf
   util::Counter* diff_misses = nullptr;   // passes that fully recomputed
+  /// Packed unit batch: > 0 makes run_triple snapshot per-slot monitor
+  /// verdicts into *slot_due_out right after the corrupted pass — the
+  /// same point a serial unit reads its window_due — before the
+  /// hardened pass can add detections of its own.
+  std::size_t slot_count = 0;
+  std::vector<std::uint8_t>* slot_due_out = nullptr;
 };
 
 /// Outputs of one coupled triple; the pointers reference either the
@@ -93,23 +101,29 @@ struct TripleOutputs {
 
 /// Records the verdicts and CSV rows of one window of images evaluated
 /// under one armed fault group.  `fault_group_for(i)` names the fault
-/// columns reported for image i of the window.
+/// columns reported for image i of the window.  `first_row` offsets the
+/// logit rows read for image i (row first_row + i): a packed unit batch
+/// evaluates each slot as its own one-image window against the slot's
+/// row of the shared output tensors.
 void evaluate_window(
     EvalSink& out, std::size_t top_k, bool make_rows, const Tensor& orig_logits,
     const Tensor& corr_logits, const Tensor* resil_logits,
     std::span<const std::size_t> labels, std::span<const data::ImageMeta> metas,
     bool window_monitor_due, std::size_t epoch,
-    const std::function<std::vector<Fault>(std::size_t)>& fault_group_for) {
+    const std::function<std::vector<Fault>(std::size_t)>& fault_group_for,
+    std::size_t first_row = 0) {
   const std::size_t k = orig_logits.dim(1);
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    const std::span<const float> orig_row{orig_logits.raw() + i * k, k};
-    const std::span<const float> corr_row{corr_logits.raw() + i * k, k};
+    const std::size_t row_index = first_row + i;
+    const std::span<const float> orig_row{orig_logits.raw() + row_index * k, k};
+    const std::span<const float> corr_row{corr_logits.raw() + row_index * k, k};
 
     const TopK orig_top = topk_of_logits(orig_row, top_k);
     const TopK corr_top = topk_of_logits(corr_row, top_k);
     TopK resil_top;
     if (resil_logits != nullptr) {
-      const std::span<const float> resil_row{resil_logits->raw() + i * k, k};
+      const std::span<const float> resil_row{resil_logits->raw() + row_index * k,
+                                             k};
       resil_top = topk_of_logits(resil_row, top_k);
     }
 
@@ -167,22 +181,32 @@ void evaluate_window(
   }
 }
 
-/// Runs the coupled triple on one input window with the fault group
-/// `arm` installs, against the given execution context.
-TripleOutputs run_triple(ExecContext& ctx, const Tensor& images,
+/// Runs the coupled triple with the fault group `arm` installs, against
+/// the given execution context.  The fault-free pass runs on
+/// `orig_images`; the corrupted and hardened passes run on
+/// `faulty_images`.  A same-image unit pack passes a batch-1 tensor as
+/// `orig_images` and its N-fold replication as `faulty_images`, so one
+/// shared fault-free pass serves every slot (the broadcast prefix
+/// replay, DESIGN.md §12); everywhere else the two are the same tensor.
+TripleOutputs run_triple(ExecContext& ctx, const Tensor& orig_images,
+                         const Tensor& faulty_images,
                          const std::function<void()>& arm) {
   const bool use_ws = ctx.ws_orig != nullptr;
   TripleOutputs out;
   ctx.injector->disarm();
   if (ctx.protection) ctx.protection->set_enabled(false);
+  // The fault-free pass observes whole-tensor — a same-image pack runs
+  // it batch-1; per-slot monitoring only matters for the armed passes.
+  ctx.monitor->set_slot_count(0);
   if (use_ws) {
-    out.orig = &ctx.ws_orig->run(*ctx.model, images);
+    out.orig = &ctx.ws_orig->run(*ctx.model, orig_images);
   } else {
-    ctx.orig_hold = ctx.model->forward(images);
+    ctx.orig_hold = ctx.model->forward(orig_images);
     out.orig = &ctx.orig_hold;
   }
 
   arm();
+  ctx.monitor->set_slot_count(ctx.slot_count);
   ctx.monitor->reset();
   // The armed set is fixed for both remaining passes, so one boundary
   // serves corr and resil alike; 0 (diff off or nothing replayable)
@@ -199,21 +223,27 @@ TripleOutputs run_triple(ExecContext& ctx, const Tensor& images,
     if (outcome != nullptr) outcome->add();
   };
   if (use_ws) {
-    out.corr = &ctx.model->forward_from(boundary, images, *ctx.ws_corr);
+    out.corr = &ctx.model->forward_from(boundary, faulty_images, *ctx.ws_corr);
     note_diff(*ctx.ws_corr);
   } else {
-    ctx.corr_hold = ctx.model->forward(images);
+    ctx.corr_hold = ctx.model->forward(faulty_images);
     out.corr = &ctx.corr_hold;
   }
   out.window_due = ctx.monitor->due_detected();
+  if (ctx.slot_due_out != nullptr) {
+    ctx.slot_due_out->assign(ctx.slot_count, 0);
+    for (std::size_t s = 0; s < ctx.slot_count; ++s) {
+      (*ctx.slot_due_out)[s] = ctx.monitor->slot_due(s) ? 1 : 0;
+    }
+  }
 
   if (ctx.protection) {
     ctx.protection->set_enabled(true);
     if (use_ws) {
-      out.resil = &ctx.model->forward_from(boundary, images, *ctx.ws_resil);
+      out.resil = &ctx.model->forward_from(boundary, faulty_images, *ctx.ws_resil);
       note_diff(*ctx.ws_resil);
     } else {
-      ctx.resil_hold = ctx.model->forward(images);
+      ctx.resil_hold = ctx.model->forward(faulty_images);
       out.resil = &ctx.resil_hold;
     }
     ctx.protection->set_enabled(false);
@@ -308,6 +338,10 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
         ctx_.diff = true;
         for (nn::InferenceWorkspace* ws : {&ws_corr_, &ws_resil_}) {
           ws->set_prefix_baseline(&ws_orig_);
+          // Same-image packs run the orig pass at batch 1 under a K-row
+          // corr/resil pass; every packed row is the same image, so the
+          // broadcast-replay row-equality contract holds (DESIGN.md §12).
+          ws->set_prefix_broadcast(true);
           ws->add_prefix_observer(monitor_.get());
           if (ctx_.protection != nullptr) ws->add_prefix_observer(ctx_.protection);
         }
@@ -334,7 +368,7 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
         h_.wrapper_.fault_matrix().slice(t * group, group);
 
     const std::size_t base_records = ctx_.injector->records().size();
-    const TripleOutputs trip = run_triple(ctx_, input, [&] {
+    const TripleOutputs trip = run_triple(ctx_, input, input, [&] {
       ctx_.injector->set_inference_index(t);
       ctx_.injector->arm(faults);
     });
@@ -351,6 +385,136 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
                     *trip.corr, trip.resil, labels, metas, trip.window_due,
                     epoch, [&](std::size_t) { return faults; });
     return serialize_unit(out, ctx_.injector->records(), base_records);
+  }
+
+  /// Packed execution (DESIGN.md §12): the given units run as one
+  /// triple over a [count, C, H, W] tensor, each unit's fault group
+  /// armed on its own batch slot.  The executor strides packs by
+  /// dataset_size, so a pack normally holds the SAME image under
+  /// different epochs' fault groups — the fault-free pass then runs
+  /// batch-1 and is shared by every slot (via the broadcast prefix
+  /// replay when diff is on).  Per-slot outputs are evaluated and
+  /// serialized exactly as count separate run_unit calls would have —
+  /// same rows, same KPIs, same records, same counters.
+  std::vector<std::string> run_unit_pack(
+      const std::vector<std::size_t>& units) override {
+    if (units.size() == 1) return {run_unit(units[0])};
+    const std::size_t count = units.size();
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    const std::size_t group = scenario.max_faults_per_image;
+
+    bool same_image = true;
+    for (std::size_t i = 1; i < count; ++i) {
+      if (units[i] % scenario.dataset_size !=
+          units[0] % scenario.dataset_size) {
+        same_image = false;
+        break;
+      }
+    }
+
+    // Pack the units' input samples along dim 0.
+    const data::ClassificationSample probe =
+        h_.dataset_.get(units[0] % scenario.dataset_size);
+    const Shape& s = probe.image.shape();
+    Tensor packed(Shape{count, s[0], s[1], s[2]});
+    const std::size_t per_image = probe.image.numel();
+    std::vector<std::size_t> labels(count);
+    std::vector<data::ImageMeta> metas(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const data::ClassificationSample sample =
+          h_.dataset_.get(units[i] % scenario.dataset_size);
+      std::copy(sample.image.raw(), sample.image.raw() + per_image,
+                packed.raw() + i * per_image);
+      labels[i] = sample.label;
+      metas[i] = sample.meta;
+    }
+    // A same-image pack computes the fault-free pass once, batch-1.
+    const Tensor orig_input =
+        same_image ? probe.image.reshaped(Shape{1, s[0], s[1], s[2]})
+                   : Tensor();
+
+    // Arm every slot's group in one set.  Per-unit serial semantics on
+    // a one-image inference: batch <= 0 applies (to slot 0), batch > 0
+    // is out of range and skipped.  The packed equivalents: batch <= 0
+    // arms on the unit's slot; batch > 0 is pushed past the packed
+    // batch (slot count + batch) so the injector's skip accounting
+    // fires exactly as it would serially.
+    const auto arm = [&] {
+      ctx_.injector->set_inference_index(units[0]);
+      std::vector<Fault> armed;
+      armed.reserve(count * group);
+      for (std::size_t i = 0; i < count; ++i) {
+        for (Fault f : h_.wrapper_.fault_matrix().slice(units[i] * group, group)) {
+          if (f.target == FaultTarget::kNeurons) {
+            f.batch = f.batch > 0 ? f.batch + static_cast<std::int64_t>(count)
+                                  : static_cast<std::int64_t>(i);
+          }
+          armed.push_back(f);
+        }
+      }
+      ctx_.injector->arm(std::move(armed));
+    };
+
+    std::vector<std::uint8_t> slot_due;
+    ctx_.slot_count = count;
+    ctx_.slot_due_out = &slot_due;
+    const std::size_t base_records = ctx_.injector->records().size();
+    const TripleOutputs trip =
+        run_triple(ctx_, same_image ? orig_input : packed, packed, arm);
+    ctx_.slot_due_out = nullptr;
+    ctx_.slot_count = 0;
+    ctx_.monitor->set_slot_count(0);
+    if (arena_gauge_ != nullptr) {
+      arena_gauge_->set(static_cast<double>(ws_corr_.high_water_bytes()));
+    }
+
+    // A shared fault-free pass produced one logit row; evaluate_window
+    // reads the slot's row, so replicate it count ways (identical to
+    // what count serial fault-free passes would each have produced).
+    Tensor orig_rep;
+    const Tensor* orig_logits = trip.orig;
+    if (same_image) {
+      const std::size_t k = trip.orig->dim(1);
+      orig_rep = Tensor(Shape{count, k});
+      for (std::size_t i = 0; i < count; ++i) {
+        std::copy(trip.orig->raw(), trip.orig->raw() + k,
+                  orig_rep.raw() + i * k);
+      }
+      orig_logits = &orig_rep;
+    }
+
+    // Rewrite the packed pass's records into per-unit serial form: the
+    // recorded batch slot identifies the owning unit; a serial unit
+    // records batch 0 and its own inference index.  Bucketing by slot
+    // preserves the within-pass firing order, which equals each serial
+    // unit's record order (layers fire in the same order either way).
+    std::vector<InjectionRecord>& recs = ctx_.injector->records_mutable();
+    std::vector<std::vector<InjectionRecord>> per_unit_records(count);
+    for (std::size_t r = base_records; r < recs.size(); ++r) {
+      InjectionRecord record = recs[r];
+      const std::size_t slot = static_cast<std::size_t>(record.fault.batch);
+      record.fault.batch = 0;
+      record.inference_index = units[slot];
+      per_unit_records[slot].push_back(record);
+      recs[r] = record;
+    }
+
+    std::vector<std::string> payloads;
+    payloads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t t = units[i];
+      const std::vector<Fault> faults =
+          h_.wrapper_.fault_matrix().slice(t * group, group);
+      EvalSink out;
+      const std::span<const std::size_t> label_span{labels.data() + i, 1};
+      const std::span<const data::ImageMeta> meta_span{metas.data() + i, 1};
+      evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, *orig_logits,
+                      *trip.corr, trip.resil, label_span, meta_span,
+                      slot_due[i] != 0, t / scenario.dataset_size,
+                      [&](std::size_t) { return faults; }, /*first_row=*/i);
+      payloads.push_back(serialize_unit(out, per_unit_records[i], 0));
+    }
+    return payloads;
   }
 
  private:
@@ -472,6 +636,18 @@ void TestErrorModelsImgClass::prepare() {
 std::unique_ptr<CampaignUnitRunner> TestErrorModelsImgClass::make_unit_runner(
     bool shared_model) {
   return std::make_unique<ImgClassUnitRunner>(*this, shared_model);
+}
+
+std::size_t TestErrorModelsImgClass::max_unit_pack() const {
+  for (const Fault& fault : wrapper_.fault_matrix().faults()) {
+    if (fault.target == FaultTarget::kWeights) return 1;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+std::size_t TestErrorModelsImgClass::unit_pack_stride() const {
+  const Scenario& scenario = wrapper_.get_scenario();
+  return scenario.num_runs > 1 ? scenario.dataset_size : 1;
 }
 
 void TestErrorModelsImgClass::absorb_unit(std::size_t, const std::string& payload) {
@@ -609,9 +785,13 @@ void TestErrorModelsImgClass::run_batched() {
 
       std::size_t group_start = epoch_group_start;
       const Stopwatch window_watch;
-      const TripleOutputs trip = run_triple(ctx, batch.images, [&] {
+      const TripleOutputs trip = run_triple(ctx, batch.images, batch.images, [&] {
         if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
-          iterator.next();
+          // Arm against the window's actual occupancy: a fault drawn
+          // for a slot past the scored images of a short final batch is
+          // remapped (slot % use) instead of silently skipped, so every
+          // drawn fault lands on a scored image.
+          iterator.next_for_window(use);
           group_start = iterator.position() - group;
         } else {
           wrapper_.injector().arm(

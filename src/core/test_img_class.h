@@ -48,8 +48,11 @@ struct ImgClassCampaignConfig : CampaignConfigBase {
 
 struct ImgClassCampaignResult {
   ClassificationKpis kpis;
-  /// Per-batch faults whose batch slot exceeded a short final batch, so
-  /// no value was corrupted (see Injector::skipped_injection_count()).
+  /// Injector-level skip backstop (Injector::skipped_injection_count()).
+  /// Campaign-generated per-batch faults are remapped onto the actual
+  /// window occupancy before arming (slot % occupancy), so this stays 0
+  /// for generated matrices; loaded fault files hand-crafted with
+  /// out-of-range slots on per_image campaigns still surface here.
   std::size_t skipped_injections = 0;
   std::string results_csv;     // per-image faulty-run results ("" if not written)
   std::string fault_free_csv;  // fault-free outputs
@@ -84,6 +87,14 @@ class TestErrorModelsImgClass final : public CampaignTask {
   std::uint64_t fingerprint() const override;
   void prepare() override;
   std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) override;
+  /// Unbounded for neuron-fault campaigns (each unit's group arms on its
+  /// own batch slot); 1 when any fault targets weights — weights are
+  /// shared across a packed pass, so those campaigns stay unit-at-a-time.
+  std::size_t max_unit_pack() const override;
+  /// dataset_size when the scenario runs multiple epochs: a pack then
+  /// holds the SAME image under different epochs' fault groups, so the
+  /// runner computes the fault-free pass once per pack (DESIGN.md §12).
+  std::size_t unit_pack_stride() const override;
   void absorb_unit(std::size_t t, const std::string& payload) override;
   void finalize() override;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 
 #include "core/campaign.h"
 #include "io/metrics_json.h"
@@ -76,6 +77,13 @@ struct UnitAddress {
   std::size_t img = 0;
   std::size_t group_start = 0;
   std::size_t slot = 0;  ///< batch slot for per_batch remapping, else 0
+  /// Images the unit's conceptual batch actually scores: batch_size for
+  /// full batches, fewer for the short final batch of a non-divisible
+  /// dataset.  Fault slots are taken modulo this, so a per-batch fault
+  /// drawn past the short batch still lands on a scored image instead
+  /// of being silently dropped (seed-stable: the drawn matrix is
+  /// untouched, only the slot comparison re-maps).
+  std::size_t occupancy = 1;
 };
 
 UnitAddress address_unit(const Scenario& scenario, std::size_t t) {
@@ -93,6 +101,9 @@ UnitAddress address_unit(const Scenario& scenario, std::size_t t) {
       group_number =
           addr.epoch * batches_per_epoch + addr.img / scenario.batch_size;
       addr.slot = addr.img % scenario.batch_size;
+      const std::size_t batch_first = addr.img - addr.slot;
+      addr.occupancy =
+          std::min(scenario.batch_size, scenario.dataset_size - batch_first);
       break;
     }
     case InjectionPolicy::kPerEpoch:
@@ -101,6 +112,20 @@ UnitAddress address_unit(const Scenario& scenario, std::size_t t) {
   }
   addr.group_start = group_number * scenario.max_faults_per_image;
   return addr;
+}
+
+/// True when the unit's addressed neuron fault applies to its image:
+/// every slot for batch < 0; for per_batch the drawn slot remapped onto
+/// the batch's occupancy must equal the unit's slot; other policies
+/// match the slot exactly (generated faults always draw slot 0 there).
+bool fault_addresses_unit(const Scenario& scenario, const Fault& fault,
+                          const UnitAddress& addr) {
+  if (fault.batch < 0) return true;
+  if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
+    return fault.batch % static_cast<std::int64_t>(addr.occupancy) ==
+           static_cast<std::int64_t>(addr.slot);
+  }
+  return fault.batch == static_cast<std::int64_t>(addr.slot);
 }
 
 /// Fault groups the campaign consumes (the highest group number + 1).
@@ -142,7 +167,6 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       injector_ptr_ = injector_.get();
     }
     injector_ptr_->set_metrics(&h_.metrics_);
-    skipped_counter_ = &h_.metrics_.counter("injections.skipped_batch_slot");
     monitor_ = std::make_unique<ModelMonitor>(detector_->network());
     monitor_->set_metrics(&h_.metrics_);
     if (h_.config_.mitigation) {
@@ -181,32 +205,18 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
     const Shape& s = sample.image.shape();
     const Tensor input = sample.image.reshaped(Shape{1, s[0], s[1], s[2]});
 
-    // A per-batch fault aimed past the images of a short (final) batch
-    // can never arm on any unit of that batch.  Count it once — on the
-    // batch's first unit, so the total is identical for any --jobs.
-    if (scenario.inj_policy == InjectionPolicy::kPerBatch && addr.slot == 0) {
-      const std::size_t images_in_batch =
-          std::min(scenario.batch_size, scenario.dataset_size - addr.img);
-      for (const Fault& f :
-           h_.wrapper_.fault_matrix().slice(addr.group_start, group)) {
-        if (f.target != FaultTarget::kWeights &&
-            f.batch >= static_cast<std::int64_t>(images_in_batch)) {
-          skipped_counter_->add();
-        }
-      }
-    }
-
     // Arms the unit's fault group, remapping each neuron fault's batch
     // slot onto this single-image inference (weight faults apply
-    // regardless of slot).
+    // regardless of slot).  fault_addresses_unit takes the drawn slot
+    // modulo the batch's occupancy, so a per-batch fault drawn past a
+    // short final batch arms on a scored image instead of vanishing.
     const auto arm = [&] {
       std::vector<Fault> armed;
       for (const Fault& f :
            h_.wrapper_.fault_matrix().slice(addr.group_start, group)) {
         if (f.target == FaultTarget::kWeights) {
           armed.push_back(f);
-        } else if (f.batch < 0 ||
-                   f.batch == static_cast<std::int64_t>(addr.slot)) {
+        } else if (fault_addresses_unit(scenario, f, addr)) {
           Fault remapped = f;
           remapped.batch = 0;
           armed.push_back(remapped);
@@ -286,6 +296,142 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
     return w.take();
   }
 
+  /// Packed execution (DESIGN.md §12): the given units run as one
+  /// three-pass sequence over a [count, C, H, W] tensor, each unit's
+  /// addressed faults armed on its own batch slot.  detect() already
+  /// returns per-slot detection lists, so unpacking is direct;
+  /// verdicts, payloads, records and counters match count serial units.
+  std::vector<std::string> run_unit_pack(
+      const std::vector<std::size_t>& units) override {
+    if (units.size() == 1) return {run_unit(units[0])};
+    const std::size_t count = units.size();
+    const Scenario& scenario = h_.wrapper_.get_scenario();
+    const std::size_t group = scenario.max_faults_per_image;
+
+    std::vector<UnitAddress> addrs(count);
+    std::vector<data::DetectionSample> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      addrs[i] = address_unit(scenario, units[i]);
+      samples.push_back(h_.dataset_.get(addrs[i].img));
+    }
+    const Shape& s = samples[0].image.shape();
+    Tensor packed(Shape{count, s[0], s[1], s[2]});
+    const std::size_t per_image = samples[0].image.numel();
+    for (std::size_t i = 0; i < count; ++i) {
+      std::copy(samples[i].image.raw(), samples[i].image.raw() + per_image,
+                packed.raw() + i * per_image);
+    }
+
+    // Arm every unit's addressed faults on its slot.  max_unit_pack()
+    // guarantees no weight faults reach a packed pass (weights are
+    // shared across slots).
+    const auto arm = [&] {
+      injector_ptr_->set_inference_index(units[0]);
+      std::vector<Fault> armed;
+      for (std::size_t i = 0; i < count; ++i) {
+        for (const Fault& f :
+             h_.wrapper_.fault_matrix().slice(addrs[i].group_start, group)) {
+          if (fault_addresses_unit(scenario, f, addrs[i])) {
+            Fault remapped = f;
+            remapped.batch = static_cast<std::int64_t>(i);
+            armed.push_back(remapped);
+          }
+        }
+      }
+      injector_ptr_->arm(std::move(armed));
+    };
+
+    const std::size_t base_records = injector_ptr_->records().size();
+    monitor_->set_slot_count(count);
+
+    // ---- pass 1: fault-free -------------------------------------------------
+    injector_ptr_->disarm();
+    if (protection_) protection_->set_enabled(false);
+    auto orig = detector_->detect(packed, h_.config_.conf_threshold);
+
+    // ---- pass 2: faulty -----------------------------------------------------
+    arm();
+    monitor_->reset();
+    std::size_t boundary = 0;
+    if (diff_) boundary = diff_prefix_boundary(*injector_ptr_, ws_);
+    const auto note_diff = [this] {
+      if (!diff_) return;
+      const std::size_t reused = ws_.prefix_reused_last_run();
+      diff_skipped_->add(reused);
+      (reused > 0 ? diff_hits_ : diff_misses_)->add();
+    };
+    ws_.set_prefix_boundary(boundary);
+    auto corr = detector_->detect(packed, h_.config_.conf_threshold);
+    note_diff();
+    // Per-slot DUE verdicts, read at the same point a serial unit reads
+    // its flag: after the faulty pass, before the hardened one.
+    std::vector<std::uint8_t> due(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      due[i] = monitor_->slot_due(i) ? 1 : 0;
+    }
+
+    // ---- pass 3: hardened ---------------------------------------------------
+    std::vector<std::vector<models::Detection>> resil;
+    if (protection_) {
+      injector_ptr_->disarm();
+      arm();
+      protection_->set_enabled(true);
+      ws_.set_prefix_boundary(boundary);
+      resil = detector_->detect(packed, h_.config_.conf_threshold);
+      note_diff();
+      protection_->set_enabled(false);
+    }
+    injector_ptr_->disarm();
+    monitor_->set_slot_count(0);
+    if (arena_gauge_ != nullptr) {
+      arena_gauge_->set(static_cast<double>(ws_.high_water_bytes()));
+    }
+
+    // Rewrite the packed pass's records into per-unit serial form (the
+    // recorded slot names the owning unit; a serial unit records batch
+    // 0 under its own inference index).
+    std::vector<InjectionRecord>& recs = injector_ptr_->records_mutable();
+    std::vector<std::vector<InjectionRecord>> per_unit_records(count);
+    for (std::size_t r = base_records; r < recs.size(); ++r) {
+      InjectionRecord record = recs[r];
+      const std::size_t slot = static_cast<std::size_t>(record.fault.batch);
+      record.fault.batch = 0;
+      record.inference_index = units[slot];
+      per_unit_records[slot].push_back(record);
+      recs[r] = record;
+    }
+
+    // ---- per-unit verdicts + payloads ---------------------------------------
+    std::vector<std::string> payloads;
+    payloads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const bool unit_due = due[i] != 0;
+      const bool sde = !unit_due && detections_differ(orig[i], corr[i]);
+      const bool resil_sde =
+          protection_ && !unit_due && detections_differ(orig[i], resil[i]);
+
+      io::ByteWriter w;
+      w.write_u8(unit_due ? 1 : 0);
+      w.write_u8(sde ? 1 : 0);
+      w.write_u8(resil_sde ? 1 : 0);
+      w.write_u8(addrs[i].epoch == 0 ? 1 : 0);
+      if (addrs[i].epoch == 0) {
+        w.write_i64(samples[i].meta.image_id);
+        write_detections(w, orig[i]);
+        write_detections(w, corr[i]);
+        w.write_u8(protection_ ? 1 : 0);
+        if (protection_) write_detections(w, resil[i]);
+      }
+      w.write_u64(per_unit_records[i].size());
+      for (const InjectionRecord& record : per_unit_records[i]) {
+        write_record_bytes(w, record);
+      }
+      payloads.push_back(w.take());
+    }
+    return payloads;
+  }
+
  private:
   TestErrorModelsObjDet& h_;
   std::unique_ptr<models::Detector> replica_;  // null when sharing the original
@@ -295,7 +441,6 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
   std::unique_ptr<Protection> protection_;
   models::Detector* detector_ = nullptr;
   Injector* injector_ptr_ = nullptr;
-  util::Counter* skipped_counter_ = nullptr;
   nn::InferenceWorkspace ws_;
   util::Gauge* arena_gauge_ = nullptr;
   bool diff_ = false;
@@ -394,6 +539,13 @@ void TestErrorModelsObjDet::prepare() {
 std::unique_ptr<CampaignUnitRunner> TestErrorModelsObjDet::make_unit_runner(
     bool shared_model) {
   return std::make_unique<ObjDetUnitRunner>(*this, shared_model);
+}
+
+std::size_t TestErrorModelsObjDet::max_unit_pack() const {
+  for (const Fault& fault : wrapper_.fault_matrix().faults()) {
+    if (fault.target == FaultTarget::kWeights) return 1;
+  }
+  return std::numeric_limits<std::size_t>::max();
 }
 
 void TestErrorModelsObjDet::absorb_unit(std::size_t t, const std::string& payload) {

@@ -45,8 +45,10 @@ struct ObjDetCampaignConfig : CampaignConfigBase {
 
 struct ObjDetCampaignResult {
   IvmodKpis ivmod;
-  /// Per-batch faults whose batch slot exceeded the images of a short
-  /// final batch, so they could never arm on any unit.
+  /// Injector-level skip backstop.  Per-batch fault slots are remapped
+  /// onto the actual batch occupancy before arming (slot % occupancy),
+  /// so every drawn fault lands on a scored image and this stays 0 for
+  /// campaign-generated matrices.
   std::size_t skipped_injections = 0;
   CocoSummary orig_map;
   CocoSummary faulty_map;
@@ -85,6 +87,9 @@ class TestErrorModelsObjDet final : public CampaignTask {
   std::uint64_t fingerprint() const override;
   void prepare() override;
   std::unique_ptr<CampaignUnitRunner> make_unit_runner(bool shared_model) override;
+  /// Unbounded for neuron-fault campaigns (each unit's addressed faults
+  /// arm on its own batch slot); 1 when any fault targets weights.
+  std::size_t max_unit_pack() const override;
   void absorb_unit(std::size_t t, const std::string& payload) override;
   void finalize() override;
 

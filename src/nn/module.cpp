@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include <algorithm>
+
 #include "nn/workspace.h"
 
 namespace alfi::nn {
@@ -43,6 +45,33 @@ Tensor& Module::forward_ws(const Tensor& input, InferenceWorkspace& ws) {
         // slot and run the real hooks on it.
         Tensor& slot = ws.slot(*this, [&] { return cached->shape(); });
         if (&slot != cached) slot.copy_from(*cached);
+        for (auto& [handle, hook] : hooks_) {
+          (void)handle;
+          hook(*this, input, slot);
+        }
+        return slot;
+      }
+      case InferenceWorkspace::PrefixAction::kBroadcast: {
+        // Same-image unit pack (DESIGN.md §12): the baseline cached a
+        // batch-1 fault-free row and this pass runs N identical copies
+        // of that input.  Replicate the row into this module's own
+        // N-row slot and run the real hooks — each row sees exactly the
+        // data a batch-1 recompute would have produced.
+        ALFI_CHECK(cached->shape().rank() > 0 && cached->shape()[0] == 1,
+                   "broadcast replay requires a batch-1 baseline slot");
+        const std::size_t rows = input.shape()[0];
+        Tensor& slot = ws.slot(*this, [&] {
+          std::vector<std::size_t> dims = cached->shape().dims();
+          dims[0] = rows;
+          return Shape(std::move(dims));
+        });
+        const std::span<const float> row = cached->data();
+        const std::span<float> out = slot.data();
+        ALFI_CHECK(out.size() == row.size() * rows,
+                   "broadcast replay slot shape mismatch");
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::copy(row.begin(), row.end(), out.begin() + r * row.size());
+        }
         for (auto& [handle, hook] : hooks_) {
           (void)handle;
           hook(*this, input, slot);

@@ -6,6 +6,22 @@
 
 namespace alfi::nn {
 
+namespace {
+
+// True when `base` is a batch-1 shape and `target` packs N > 1 rows of
+// the same per-row geometry along dim 0 (same-image unit packs,
+// DESIGN.md §12).  Equal shapes are NOT broadcast — plain replay wins.
+bool broadcast_compatible(const Shape& base, const Shape& target) {
+  if (base.rank() == 0 || base.rank() != target.rank()) return false;
+  if (base[0] != 1 || target[0] <= 1) return false;
+  for (std::size_t axis = 1; axis < base.rank(); ++axis) {
+    if (base[axis] != target[axis]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Tensor& InferenceWorkspace::run(Module& root, const Tensor& input) {
   ALFI_CHECK(!root.training(),
              "InferenceWorkspace requires eval mode; training needs the "
@@ -31,10 +47,19 @@ Tensor& InferenceWorkspace::run(Module& root, const Tensor& input) {
   // recompute: the baseline ran this exact root on this exact input
   // shape, completed a planning pass (slots exist), and its execution
   // order is unambiguous.  Anything else degrades to full recompute.
+  // Broadcast replay (opt-in, set_prefix_broadcast) additionally
+  // accepts a batch-1 baseline under an N-row pass: the caller promised
+  // every input row equals the baseline's row, so prefix leaves
+  // replicate the cached row N ways and run their real hooks
+  // (DESIGN.md §12).
   const InferenceWorkspace* base = prefix_baseline_;
-  prefix_active_ = boundary > 0 && base != nullptr && base->root_ == &root &&
-                   base->input_shape_ == input.shape() && base->planned() &&
-                   base->exec_valid_;
+  const bool baseline_ok = boundary > 0 && base != nullptr &&
+                           base->root_ == &root && base->planned() &&
+                           base->exec_valid_;
+  prefix_broadcast_ = baseline_ok && prefix_broadcast_allowed_ &&
+                      broadcast_compatible(base->input_shape_, input.shape());
+  prefix_active_ =
+      baseline_ok && (base->input_shape_ == input.shape() || prefix_broadcast_);
   prefix_boundary_run_ = boundary;
   prefix_cursor_ = 0;
   prefix_reused_last_run_ = 0;
@@ -42,6 +67,7 @@ Tensor& InferenceWorkspace::run(Module& root, const Tensor& input) {
   Tensor& out = root.forward_ws(input, *this);
   recording_exec_ = false;
   prefix_active_ = false;
+  prefix_broadcast_ = false;
   return out;
 }
 
@@ -99,6 +125,22 @@ InferenceWorkspace::PrefixAction InferenceWorkspace::prefix_action(const Module&
   }
   Tensor& slot = const_cast<Tensor&>(it->second);
   *cached = &slot;
+  if (prefix_broadcast_) {
+    // Broadcast replay replicates the batch-1 row into this workspace's
+    // own N-row slot and runs the REAL hooks there, so no on_replay
+    // side-effect reproduction is needed.  An observer veto still means
+    // the hooks will alter the data (e.g. protection clamping), so the
+    // suffix must recompute from the hooked rows — deactivate, exactly
+    // like the kMaterialize path, but keep the broadcast copy.
+    for (PrefixObserver* observer : prefix_observers_) {
+      if (!observer->can_replay(m, slot)) {
+        prefix_active_ = false;
+        return PrefixAction::kBroadcast;
+      }
+    }
+    ++prefix_reused_last_run_;
+    return PrefixAction::kBroadcast;
+  }
   for (PrefixObserver* observer : prefix_observers_) {
     if (!observer->can_replay(m, slot)) {
       // Replay would diverge (e.g. protection would clamp): run the

@@ -24,6 +24,17 @@
 // baseline's cached slot by reference instead of recomputing, provided
 // all registered PrefixObservers agree the replay is side-effect
 // equivalent to re-running the leaf's hooks on identical data.
+//
+// Broadcast replay (DESIGN.md §12): when the baseline ran a batch-1
+// pass and the current pass packs N identical copies of that input
+// along dim 0 (a same-image unit pack), prefix leaves replicate the
+// baseline's single cached row into this workspace's N-row slot and run
+// the leaf's REAL hooks on the replicated tensor — computing the
+// fault-free prefix once per pack instead of once per row.  The mode is
+// opt-in (set_prefix_broadcast): the shapes alone cannot prove the data
+// contract — every row of the pass input must equal the baseline's row
+// — so the caller must promise it; a mismatched baseline otherwise
+// degrades to full recompute as usual.
 #pragma once
 
 #include <optional>
@@ -72,7 +83,10 @@ class PrefixObserver {
 class InferenceWorkspace {
  public:
   /// What forward_ws should do with a leaf under an armed prefix.
-  enum class PrefixAction { kCompute, kSkip, kMaterialize };
+  /// kBroadcast replicates a batch-1 baseline row into this workspace's
+  /// own N-row slot and runs the leaf's real hooks on it (same-image
+  /// unit packs, DESIGN.md §12).
+  enum class PrefixAction { kCompute, kSkip, kMaterialize, kBroadcast };
 
   /// set_prefix_boundary() value meaning "replay every leaf".
   static constexpr std::size_t kSkipAllLeaves = static_cast<std::size_t>(-1);
@@ -129,6 +143,15 @@ class InferenceWorkspace {
   void add_prefix_observer(PrefixObserver* observer);
   void clear_prefix_observers() { prefix_observers_.clear(); }
 
+  /// Opts into broadcast replay: when the armed prefix finds a batch-1
+  /// baseline under an N-row pass (other dims equal), prefix leaves
+  /// replicate the baseline row N ways and run their real hooks instead
+  /// of degrading to full recompute.  CALLER PROMISE: every row of the
+  /// pass input equals the baseline's single input row — the workspace
+  /// can only check shapes, and replaying unequal data would silently
+  /// corrupt the pass.  Off (the default) never broadcasts.
+  void set_prefix_broadcast(bool allow) { prefix_broadcast_allowed_ = allow; }
+
   /// Arms the prefix for the NEXT run() only (consumed and reset): leaves
   /// with execution index < `first_recomputed_leaf` replay the baseline's
   /// cached outputs; everything from that leaf on recomputes.  0 disarms
@@ -179,6 +202,8 @@ class InferenceWorkspace {
   std::size_t prefix_boundary_ = 0;       // armed for the next run (one-shot)
   std::size_t prefix_boundary_run_ = 0;   // boundary of the run in flight
   bool prefix_active_ = false;
+  bool prefix_broadcast_allowed_ = false;  // caller opted in (set_prefix_broadcast)
+  bool prefix_broadcast_ = false;  // batch-1 baseline under an N-row pass
   std::size_t prefix_cursor_ = 0;
   std::size_t prefix_reused_last_run_ = 0;
 };

@@ -88,6 +88,23 @@ TEST(Histogram, OverflowSamplesReportMax) {
   EXPECT_DOUBLE_EQ(h.percentile(99.0), 101.0);
 }
 
+TEST(Histogram, OverflowHeavyTailClampsHighPercentiles) {
+  // A long campaign whose batched units mostly land past the last bound
+  // (e.g. unit-batch latency under coarse default bounds): the overflow
+  // bucket has no upper edge, so p99/p100 must report the observed max
+  // instead of extrapolating past it.
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 5; ++i) h.record(0.5);
+  for (int i = 0; i < 95; ++i) h.record(250.0);
+  h.record(300.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 300.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 300.0);
+  // In-range percentiles still clamp to the observed sample range, never
+  // below the smallest recorded value.
+  EXPECT_GE(h.percentile(1.0), 0.5);
+  EXPECT_LE(h.percentile(1.0), 1.0);
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram(std::vector<double>{}), Error);
   EXPECT_THROW(Histogram({1.0, 1.0}), Error);

@@ -293,6 +293,16 @@ TEST(ScenarioBuilder, AnyLayerLiftsRestrictions) {
   EXPECT_FALSE(s.layer_range.has_value());
 }
 
+TEST(ScenarioBuilder, RejectsZeroBatchSizeAtBuildTime) {
+  // batch_size feeds the legacy batched runner AND clamps --unit-batch
+  // packing; 0 must fail at build() rather than surface later as a
+  // division by zero in run geometry.
+  EXPECT_NE(build_error(ScenarioBuilder().batch_size(0))
+                .find("batch_size must be positive"),
+            std::string::npos);
+  EXPECT_EQ(build_error(ScenarioBuilder().batch_size(1)), "");
+}
+
 TEST(ScenarioBuilder, FromSeedsExistingScenario) {
   const Scenario base = Scenario::from_yaml(io::parse_yaml(kFullYaml));
   const Scenario tweaked = ScenarioBuilder::from(base).seed(999).build();

@@ -140,13 +140,13 @@ TEST_F(TelemetryCampaign, RegistryReadableWithoutMetricsFile) {
   EXPECT_TRUE(saw_unit_ms);
 }
 
-TEST_F(TelemetryCampaign, ShortFinalBatchCountsSkippedInjections) {
+TEST_F(TelemetryCampaign, ShortFinalBatchRemapsSlotInsteadOfSkipping) {
   // per_batch with dataset_size 10 / batch_size 8: the final batch has
-  // two images, so a neuron fault aimed at batch slot 7 can corrupt
-  // nothing there.  It used to vanish silently; now it must surface as
-  // skipped_injections.
-  // A 10-image dataset makes the loader's second batch genuinely short
-  // (2 images in the tensor), which is what the injector skips on.
+  // two images, so a neuron fault drawn for batch slot 7 cannot land
+  // there as drawn.  It used to be silently dropped (counted as
+  // skipped, but the unit was still scored as if injected); now the
+  // armed copy is remapped onto the window's occupancy (7 % 2 = slot 1)
+  // so every drawn fault corrupts a scored image.
   const data::SyntheticShapesClassification short_dataset(
       {.size = 10, .num_classes = 4, .seed = 29});
 
@@ -177,14 +177,18 @@ TEST_F(TelemetryCampaign, ShortFinalBatchCountsSkippedInjections) {
 
   const auto result = harness.run();
   EXPECT_EQ(result.kpis.total, 10u);
-  // Batch 0 has 8 images (slot 7 exists, fault applies); batch 1 has 2
-  // images, so exactly the one armed forward pass skips the fault.
-  EXPECT_EQ(result.skipped_injections, 1u);
+  // Batch 0 has 8 images (slot 7 exists, fault applies as drawn);
+  // batch 1 scores 2, so its fault arms at 7 % 2 = slot 1.  Nothing is
+  // skipped and both windows record an application.
+  EXPECT_EQ(result.skipped_injections, 0u);
   for (const auto& [name, value] : harness.metrics().counters()) {
-    if (name == "injections.skipped_batch_slot") {
-      EXPECT_EQ(value, 1u);
-    }
+    if (name == "injections.skipped_batch_slot") EXPECT_EQ(value, 0u);
+    if (name == "injections.applied") EXPECT_EQ(value, 2u);
   }
+  const auto& records = harness.wrapper().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].fault.batch, 7);  // full batch: slot as drawn
+  EXPECT_EQ(records[1].fault.batch, 1);  // short batch: 7 % 2
 }
 
 }  // namespace

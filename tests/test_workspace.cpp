@@ -340,6 +340,35 @@ TEST_F(DifferentialPrefix, BaselineShapeMismatchDegradesToFullRecompute) {
   EXPECT_EQ(diff.prefix_reused_last_run(), 0u);
 }
 
+TEST_F(DifferentialPrefix, BroadcastReplayIsOptInAndBitIdentical) {
+  // Same-image unit packs (DESIGN.md §12): the baseline runs at batch 1
+  // and the differential pass packs N copies of that exact row.
+  const Tensor one = probe_image(1);
+  const std::size_t rows = 3;
+  Tensor packed(Shape{rows, 3, 32, 32});
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy(one.data().begin(), one.data().end(),
+              packed.data().begin() + static_cast<std::ptrdiff_t>(r * one.numel()));
+  }
+  const Tensor packed_full = net_->forward(packed);
+
+  InferenceWorkspace base;
+  base.run(*net_, one);
+  InferenceWorkspace diff;
+  diff.set_prefix_baseline(&base);
+
+  // Without the opt-in, a batch-1 baseline under a batch-N pass must
+  // degrade to full recompute: shapes alone cannot prove row equality.
+  expect_bitwise_equal(net_->forward_from(3, packed, diff), packed_full);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 0u);
+
+  // With the caller's row-equality promise, the prefix replicates the
+  // baseline rows and still matches the full pass bit for bit.
+  diff.set_prefix_broadcast(true);
+  expect_bitwise_equal(net_->forward_from(3, packed, diff), packed_full);
+  EXPECT_EQ(diff.prefix_reused_last_run(), 3u);
+}
+
 TEST_F(DifferentialPrefix, ObserverVetoMaterializesAndRunsRealHooks) {
   InferenceWorkspace base;
   base.run(*net_, input_);

@@ -111,9 +111,19 @@ void apply_telemetry_flags(core::CampaignConfigBase& config, const Args& args) {
 /// --no-diff: full recompute of every campaign pass instead of
 /// differential inference replaying the fault-free prefix (DESIGN.md
 /// §11; same outputs, for A/B verification).
+/// --unit-batch K: pack up to K campaign units into one batched forward
+/// pass, arming each unit's faults on its own batch slot (DESIGN.md
+/// §12; same outputs, clamped to what the workload supports).
 void apply_workspace_flag(core::CampaignConfigBase& config, const Args& args) {
   if (args.get("no-workspace")) config.workspace = false;
   if (args.get("no-diff")) config.diff = false;
+  if (const auto v = args.get("unit-batch")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--unit-batch must be a positive integer, got: " + *v);
+    }
+    config.unit_batch = static_cast<std::size_t>(*parsed);
+  }
 }
 
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
@@ -356,9 +366,12 @@ void usage() {
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
                "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
                "                 [--metrics out.json] [--progress] [--no-workspace]\n"
-               "                 [--no-diff]\n"
+               "                 [--no-diff] [--unit-batch K]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
+               "                  --unit-batch: pack up to K campaign units into\n"
+               "                  one forward pass (default 1); outputs are\n"
+               "                  identical for every K.\n"
                "                  --checkpoint: journal completed units so an\n"
                "                  interrupted campaign resumes with --resume;\n"
                "                  SIGINT/SIGTERM drain gracefully, exit code 75.\n"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build the memory layer under AddressSanitizer + UBSan and run the
-# tensor-, nn- and campaign-labeled tests (TensorArena borrows,
-# workspace slot lifetimes, the `_into` kernels, and the campaign
-# paths that consume them).  Usage:
+# tensor-, nn-, campaign- and batched-labeled tests (TensorArena
+# borrows, workspace slot lifetimes, the `_into` kernels, the campaign
+# paths that consume them, and the packed-unit record rewriting of
+# DESIGN.md §12).  Usage:
 #
 #   tools/run_asan.sh [extra ctest args...]
 #
