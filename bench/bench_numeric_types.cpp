@@ -1,12 +1,24 @@
 // §V use case: "Evaluating the vulnerability of different numeric types".
 //
-// The same trained MiniAlexNet is evaluated natively (fp32) and with
-// its weights quantized to emulated bf16 / fp16.  Faults are drawn
-// uniformly over each type's live bit positions.  Expected shape: the
-// fewer mantissa bits a type has, the larger the fraction of its bits
-// that sit in the high-impact exponent field, so the per-bit-flip SDE
-// probability *rises* as precision shrinks (bf16: 8 of 16 live bits are
-// exponent; fp32: 8 of 32).
+// The same trained MiniAlexNet is evaluated natively (fp32), with its
+// weights quantized to the emulated bf16 / fp16 types, and with true
+// reduced-width stored representations (fp16_stored, int8).  Faults are
+// drawn uniformly over each representation's live bit positions — the
+// fp32 pattern's live bits for emulated types, the STORED code's bits
+// for stored types.  Expected shape (the SDC-vs-precision table):
+//
+//   * emulated types: the fewer mantissa bits, the larger the fraction
+//     of live bits sitting in the high-impact fp32 exponent field, so
+//     per-bit-flip SDE probability rises as precision shrinks (bf16:
+//     8 of 16 live bits are exponent; fp32: 8 of 32).
+//   * fp16_stored: only 5 of 16 stored bits are exponent, and a half
+//     exponent flip moves the value by at most ~2^16 rather than
+//     ~2^128 — large-magnitude corruption (the classic DUE source)
+//     becomes impossible at the representation level.
+//   * int8: no exponent field at all; the worst flip (two's-complement
+//     sign) moves a weight by 256 quantization steps of its channel
+//     scale.  Corruption is bounded by construction, trading DUEs for
+//     a higher rate of small, silent deviations.
 #include "bench_common.h"
 
 #include "nn/quantize.h"
@@ -30,24 +42,38 @@ int main() {
 
   for (const nn::NumericType type :
        {nn::NumericType::kFloat32, nn::NumericType::kBfloat16,
-        nn::NumericType::kFloat16}) {
-    // fresh copy of the reference weights, then quantize
+        nn::NumericType::kFloat16, nn::NumericType::kFloat16Stored,
+        nn::NumericType::kInt8}) {
+    // fresh copy of the fp32 reference weights; the harness quantizes
+    // them at prepare() according to scenario.numeric_type (emulated
+    // rounding, or a StoredWeightStore for the stored types).
     nn::load_parameters(*reference, snapshot);
-    nn::quantize_parameters(*reference, type);
-    const float clean = models::evaluate_classifier(*reference, dataset);
 
-    const int low_bit = nn::lowest_live_bit(type);
+    const bool stored = nn::is_stored_type(type);
+    const int low_bit = stored ? 0 : nn::lowest_live_bit(type);
+    const int high_bit = stored ? nn::storage_bits(type) - 1 : 31;
     core::Scenario scenario =
-        bench::exponent_weight_scenario(dataset.size(), 1, 6000 + low_bit);
+        bench::exponent_weight_scenario(dataset.size(), 1, 6000 + low_bit + high_bit);
     scenario.rnd_bit_range_lo = low_bit;  // uniform over the type's live bits
-    scenario.rnd_bit_range_hi = 31;
+    scenario.rnd_bit_range_hi = high_bit;
+    scenario.numeric_type = type;
 
     core::ImgClassCampaignConfig config;
     core::TestErrorModelsImgClass harness(*reference, dataset, scenario, config);
     const auto result = harness.run();
+    // Clean accuracy measured after the run: transient faults are
+    // restored, so the weights hold exactly the representation the
+    // campaign computed with (dequantized stored codes for fp16_stored
+    // and int8 — quantization loss shows up here, not only under fault).
+    const float clean = models::evaluate_classifier(*reference, dataset);
 
-    const int live_bits = 32 - low_bit;
-    const double exp_share = 8.0 / live_bits;  // 8 exponent bits for fp32/bf16
+    const int live_bits = stored ? nn::storage_bits(type) : 32 - low_bit;
+    // exponent bits per representation: fp32/bf16 8 (fp32 field), fp16
+    // emulated 8 (faults act on the fp32 pattern), half-stored 5, int8 0
+    const double exp_bits = type == nn::NumericType::kFloat16Stored ? 5.0
+                            : type == nn::NumericType::kInt8        ? 0.0
+                                                                    : 8.0;
+    const double exp_share = exp_bits / live_bits;
     const double combined = result.kpis.sde_rate() + result.kpis.due_rate();
     rows.push_back({nn::to_string(type), std::to_string(live_bits),
                     strformat("%.2f", exp_share), strformat("%.3f", clean),
@@ -58,11 +84,13 @@ int main() {
   }
 
   std::printf(
-      "\nPer-bit-flip vulnerability by numeric type (1 fault/image, uniform over "
-      "live bits):\n%s\n",
+      "\nSDC rate vs precision (1 weight fault/image, uniform over each "
+      "representation's live bits):\n%s\n",
       vis::table(header, rows).c_str());
-  std::printf("SDE+DUE by type (reduced precision => more exponent exposure):\n%s\n",
-              vis::bar_chart(bars, 40).c_str());
+  std::printf(
+      "SDE+DUE by type (emulated types add exponent exposure; stored types\n"
+      "bound corruption by representation width):\n%s\n",
+      vis::bar_chart(bars, 40).c_str());
 
   // restore the cached fp32 weights for other benches
   nn::load_parameters(*reference, snapshot);

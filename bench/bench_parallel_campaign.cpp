@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "io/json.h"
+#include "tensor/backend.h"
 
 using namespace alfi;
 
@@ -220,6 +221,64 @@ BENCHMARK(BM_CampaignUnitBatch)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Kernel-level SIMD microbenchmark: the same GEMM + conv2d workload on
+/// the scalar "ref" backend and the most accelerated registered backend
+/// (avx2 when the build and host support it).  These two kernels carry
+/// nearly all inference FLOPs, so their ratio is the backend seam's
+/// headline number.  Returns {speedup, backend name}; speedup is 1.0
+/// when only "ref" is registered.
+struct SimdBench {
+  double speedup = 1.0;
+  std::string backend = "ref";
+  double ref_ms = 0.0;
+  double simd_ms = 0.0;
+};
+
+SimdBench measure_simd_speedup() {
+  Rng rng(4711);
+  // GEMM shaped like the im2col matmul of a mid-network conv layer.
+  Tensor a = Tensor::uniform(Shape{96, 288}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::uniform(Shape{288, 256}, rng, -1.0f, 1.0f);
+  Tensor gemm_out(Shape{96, 256});
+  // conv2d on a mini-alexnet-like mid layer.
+  Tensor input = Tensor::uniform(Shape{4, 16, 16, 16}, rng, -1.0f, 1.0f);
+  Tensor weight = Tensor::uniform(Shape{32, 16, 3, 3}, rng, -0.5f, 0.5f);
+  Tensor bias = Tensor::uniform(Shape{32}, rng, -0.1f, 0.1f);
+  const ops::Conv2dSpec spec{1, 1};
+  Tensor conv_out(Shape{4, 32, 16, 16});
+  std::vector<float> scratch(
+      ops::conv2d_scratch_floats(input.shape(), weight.shape(), spec));
+
+  const auto time_backend = [&](const tensor::Backend& backend) {
+    constexpr int kIters = 20;
+    double best = std::numeric_limits<double>::infinity();
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      Stopwatch watch;
+      for (int i = 0; i < kIters; ++i) {
+        backend.matmul(gemm_out, a, b);
+        backend.conv2d_forward(conv_out, input, weight, bias, spec, scratch);
+      }
+      benchmark::DoNotOptimize(gemm_out.raw());
+      benchmark::DoNotOptimize(conv_out.raw());
+      best = std::min(best, watch.elapsed_seconds() * 1000.0 / kIters);
+    }
+    return best;
+  };
+
+  SimdBench result;
+  result.ref_ms = time_backend(tensor::ref_backend());
+  const auto& backends = tensor::registered_backends();
+  const tensor::Backend* fastest = backends.back();
+  if (fastest == &tensor::ref_backend()) {
+    result.simd_ms = result.ref_ms;
+    return result;  // scalar-only build/host: speedup 1.0 by definition
+  }
+  result.backend = fastest->name();
+  result.simd_ms = time_backend(*fastest);
+  result.speedup = result.simd_ms > 0.0 ? result.ref_ms / result.simd_ms : 0.0;
+  return result;
+}
+
 io::Json run_to_json(const CampaignRun& run) {
   io::Json entry = io::Json::object();
   entry["seconds"] = io::Json(run.seconds);
@@ -290,9 +349,12 @@ void write_bench_json(const std::string& path) {
                              /*unit_batch=*/16);
   });
 
+  // SIMD backend microbench (GEMM + conv2d, ref vs best registered).
+  const SimdBench simd = measure_simd_speedup();
+
   const core::Scenario scenario = campaign_scenario();
   io::Json root = io::Json::object();
-  root["schema"] = io::Json(std::string("alfi.bench.campaign.v2"));
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v3"));
   io::Json workload = io::Json::object();
   workload["model"] = io::Json(std::string("mini-alexnet"));
   workload["units"] =
@@ -329,6 +391,10 @@ void write_bench_json(const std::string& path) {
       batched.unit_mean_ms > 0.0 ? diff_on.unit_mean_ms / batched.unit_mean_ms
                                  : 0.0;
   root["batched_speedup"] = io::Json(batched_speedup);
+  root["simd_backend"] = io::Json(simd.backend);
+  root["simd_gemm_conv_ref_ms"] = io::Json(simd.ref_ms);
+  root["simd_gemm_conv_ms"] = io::Json(simd.simd_ms);
+  root["simd_speedup"] = io::Json(simd.speedup);
   io::write_json_file(path, root);
 
   std::printf(
@@ -353,6 +419,9 @@ void write_bench_json(const std::string& path) {
   std::printf(
       "batched (unit-batch 16): %7.2f units/s (amortized mean %.3f ms)\n",
       batched.unit_throughput_per_sec(), batched.unit_mean_ms);
+  std::printf(
+      "simd (%s vs ref, GEMM+conv2d): %.3f ms vs %.3f ms -> %.2fx speedup\n",
+      simd.backend.c_str(), simd.simd_ms, simd.ref_ms, simd.speedup);
   std::printf("batched speedup: %.2fx (vs unit-at-a-time diff run) -> %s\n",
               batched_speedup, path.c_str());
 }

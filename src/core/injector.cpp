@@ -67,7 +67,19 @@ void Injector::restore_all_weights() {
   // Restore in reverse order so overlapping corruptions of one weight
   // unwind to the true original value.
   for (auto it = weight_restores_.rbegin(); it != weight_restores_.rend(); ++it) {
-    it->param->value.flat(it->offset) = it->original;
+    if (it->stored && store_ != nullptr) {
+      // Stored representation: writing the original code back refreshes
+      // the fp32 view through dequantization, bit-exact.
+      store_->set_code(*it->param, it->offset, it->original_code);
+    } else {
+      // Round-trip through the emulated representation so a restored
+      // weight cannot carry bits below the type's lowest live bit
+      // (identity for fp32).  Without this, an `original` captured from
+      // an out-of-contract weight would silently re-break the
+      // quantization invariant the campaign was configured to measure.
+      it->param->value.flat(it->offset) =
+          nn::quantize_value(it->original, numeric_type_);
+    }
   }
   if (weight_restore_counter_ != nullptr) {
     weight_restore_counter_->add(weight_restores_.size());
@@ -110,21 +122,52 @@ void Injector::apply_weight_fault(const Fault& fault) {
   const std::size_t offset = fault.weight_offset(weight->value.shape());
 
   const float original = weight->value.flat(offset);
-  const float corrupted = fault.corrupt(original);
-  weight->value.flat(offset) = corrupted;
-  weight_restores_.push_back(
-      {weight, offset, original, static_cast<std::size_t>(fault.layer)});
-  if (weight_applied_counter_ != nullptr) weight_applied_counter_->add();
-
   InjectionRecord record;
   record.fault = fault;
   record.inference_index = inference_index_;
   record.original_value = original;
-  record.corrupted_value = corrupted;
-  if (fault.value_type != ValueType::kRandomValue && fault.bit_pos >= 0 &&
-      original != corrupted) {
-    record.flip_direction = bits::flip_direction(original, fault.bit_pos);
+
+  if (store_ != nullptr && store_->handles(weight)) {
+    // Stored representation: the fault corrupts the reduced-width code;
+    // the fp32 compute view is refreshed by dequantization.
+    const std::uint32_t original_code = store_->code(*weight, offset);
+    std::uint32_t corrupted_code = original_code;
+    if (fault.value_type == ValueType::kRandomValue) {
+      corrupted_code = store_->encode(*weight, offset, fault.number_value);
+    } else {
+      ALFI_CHECK(fault.bit_pos >= 0 &&
+                     fault.bit_pos < nn::storage_bits(store_->type()),
+                 "weight fault bit position exceeds stored representation width");
+      const std::uint32_t mask = 1u << fault.bit_pos;
+      switch (fault.value_type) {
+        case ValueType::kBitFlip: corrupted_code ^= mask; break;
+        case ValueType::kStuckAt0: corrupted_code &= ~mask; break;
+        case ValueType::kStuckAt1: corrupted_code |= mask; break;
+        case ValueType::kRandomValue: break;  // handled above
+      }
+    }
+    const float corrupted = store_->set_code(*weight, offset, corrupted_code);
+    weight_restores_.push_back({weight, offset, original,
+                                static_cast<std::size_t>(fault.layer),
+                                original_code, true});
+    record.corrupted_value = corrupted;
+    if (fault.value_type != ValueType::kRandomValue && fault.bit_pos >= 0 &&
+        original_code != corrupted_code) {
+      record.flip_direction =
+          ((original_code >> fault.bit_pos) & 1u) == 0 ? "0->1" : "1->0";
+    }
+  } else {
+    const float corrupted = fault.corrupt(original);
+    weight->value.flat(offset) = corrupted;
+    weight_restores_.push_back(
+        {weight, offset, original, static_cast<std::size_t>(fault.layer)});
+    record.corrupted_value = corrupted;
+    if (fault.value_type != ValueType::kRandomValue && fault.bit_pos >= 0 &&
+        original != corrupted) {
+      record.flip_direction = bits::flip_direction(original, fault.bit_pos);
+    }
   }
+  if (weight_applied_counter_ != nullptr) weight_applied_counter_->add();
   records_.push_back(std::move(record));
 }
 

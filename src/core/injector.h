@@ -21,6 +21,7 @@
 
 #include "core/fault_matrix.h"
 #include "core/model_profile.h"
+#include "nn/quantize.h"
 #include "util/metrics.h"
 
 namespace alfi::core {
@@ -108,6 +109,21 @@ class Injector {
   FaultDuration duration() const { return duration_; }
   void set_duration(FaultDuration duration) { duration_ = duration; }
 
+  /// Numeric-emulation contract (DESIGN.md §13): weight restores
+  /// round-trip through quantize_value(original, type) so a restored
+  /// weight never carries bits below the type's lowest live bit —
+  /// identity for fp32.  For stored types also pass the model's
+  /// StoredWeightStore via set_stored_weights(); weight faults then
+  /// corrupt the STORED code (bit_pos indexes storage_bits(type) bits)
+  /// and restore by writing the original code back.
+  void set_numeric_type(nn::NumericType type) { numeric_type_ = type; }
+  nn::NumericType numeric_type() const { return numeric_type_; }
+
+  /// Attaches the stored-weight representation for this injector's
+  /// model instance (nullptr detaches).  Must cover the model's
+  /// parameters; required when numeric_type() is a stored type.
+  void set_stored_weights(nn::StoredWeightStore* store) { store_ = store; }
+
  private:
   void apply_neuron_faults(std::size_t layer_index, Tensor& output);
   void apply_weight_fault(const Fault& fault);
@@ -117,6 +133,8 @@ class Injector {
     std::size_t offset;
     float original;
     std::size_t layer;  // injectable-layer index owning the weight
+    std::uint32_t original_code = 0;  // stored representation, if any
+    bool stored = false;              // restore via the stored code
   };
 
   nn::Module& model_;
@@ -127,6 +145,8 @@ class Injector {
   std::vector<std::vector<Fault>> neuron_faults_by_layer_;
   std::vector<WeightRestore> weight_restores_;
   std::vector<InjectionRecord> records_;
+  nn::NumericType numeric_type_ = nn::NumericType::kFloat32;
+  nn::StoredWeightStore* store_ = nullptr;
   std::size_t inference_index_ = 0;
   std::size_t skipped_injections_ = 0;
   // Resolved once in set_metrics(); updated lock-free on the hot path.

@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include "tensor/backend.h"
 #include "util/string_util.h"
 
 namespace alfi::core {
@@ -108,6 +109,19 @@ std::vector<std::string> Scenario::validation_errors() const {
       break;
     }
   }
+  if (!tensor::is_known_backend_name(backend)) {
+    errors.push_back("unknown backend '" + backend +
+                     "' (expected ref, avx2 or auto)");
+  }
+  if (target == FaultTarget::kWeights && nn::is_stored_type(numeric_type) &&
+      value_type != ValueType::kRandomValue &&
+      rnd_bit_range_hi >= nn::storage_bits(numeric_type)) {
+    errors.push_back(
+        "rnd_bit_range exceeds the " +
+        std::to_string(nn::storage_bits(numeric_type)) +
+        "-bit stored representation of " + nn::to_string(numeric_type) +
+        " weights (stored-type weight faults index stored-code bits)");
+  }
   return errors;
 }
 
@@ -178,6 +192,16 @@ Scenario Scenario::from_yaml(const io::Json& tree) {
       s.weighted_layer_selection = fi.at("weighted_layer_selection").as_bool();
     }
   }
+  if (tree.contains("inference")) {
+    const io::Json& inf = tree.at("inference");
+    if (inf.contains("backend")) s.backend = inf.at("backend").as_string();
+    if (inf.contains("numeric_type")) {
+      const std::string name = inf.at("numeric_type").as_string();
+      if (!nn::numeric_type_from_string(name, s.numeric_type)) {
+        throw ConfigError("unknown numeric type: " + name);
+      }
+    }
+  }
   if (tree.contains("run")) {
     const io::Json& run = tree.at("run");
     if (run.contains("dataset_size")) {
@@ -230,6 +254,19 @@ io::Json Scenario::to_yaml() const {
   fi["layer_range"] = range;
   fi["weighted_layer_selection"] = io::Json(weighted_layer_selection);
   tree["fault_injection"] = fi;
+
+  // The inference section is emitted only when it deviates from the
+  // defaults (ref backend, fp32 weights).  Default scenarios therefore
+  // serialize byte-identically to earlier framework versions, which
+  // keeps campaign fingerprints — and with them journals, checkpoints
+  // and resumability of existing runs — unchanged.
+  const bool default_backend = backend.empty() || backend == "ref";
+  if (!default_backend || numeric_type != nn::NumericType::kFloat32) {
+    io::Json inf = io::Json::object();
+    inf["backend"] = io::Json(default_backend ? "ref" : backend);
+    inf["numeric_type"] = io::Json(nn::to_string(numeric_type));
+    tree["inference"] = inf;
+  }
 
   io::Json run = io::Json::object();
   run["dataset_size"] = io::Json(dataset_size);
@@ -310,6 +347,16 @@ ScenarioBuilder& ScenarioBuilder::any_layer() {
 
 ScenarioBuilder& ScenarioBuilder::weighted_layer_selection(bool enabled) {
   s_.weighted_layer_selection = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::backend(std::string name) {
+  s_.backend = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::numeric_type(nn::NumericType type) {
+  s_.numeric_type = type;
   return *this;
 }
 

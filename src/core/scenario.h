@@ -20,6 +20,7 @@
 
 #include "io/yaml.h"
 #include "nn/module.h"
+#include "nn/quantize.h"
 
 namespace alfi::core {
 
@@ -60,6 +61,19 @@ struct Scenario {
   std::optional<std::pair<std::size_t, std::size_t>> layer_range;
   /// Eq.(1): weight layer choice by relative layer size.
   bool weighted_layer_selection = true;
+
+  // -- inference configuration -------------------------------------------------
+  /// Kernel backend the campaign computes with: "" or "ref" (the scalar
+  /// reference oracle), "avx2", or "auto" (best available, falls back
+  /// to ref).  Resolved against the registry by the harnesses at
+  /// prepare time (tensor::resolve_backend); an unavailable explicit
+  /// choice fails there, an unknown name already fails validation.
+  std::string backend;
+  /// Numeric representation of the model weights (DESIGN.md §13):
+  /// emulated types round the fp32 values, stored types (fp16_stored,
+  /// int8) additionally keep reduced-width codes that weight faults
+  /// corrupt directly.  Activations always stay fp32.
+  nn::NumericType numeric_type = nn::NumericType::kFloat32;
 
   // -- run geometry -----------------------------------------------------------
   std::size_t dataset_size = 100;  // a
@@ -135,6 +149,11 @@ class ScenarioBuilder {
   /// Clears any layer-type / layer-range restriction.
   ScenarioBuilder& any_layer();
   ScenarioBuilder& weighted_layer_selection(bool enabled);
+  /// Kernel backend name ("ref", "avx2", "auto"); unknown names are
+  /// reported by build() alongside every other problem.
+  ScenarioBuilder& backend(std::string name);
+  /// Weight numeric representation (emulated or stored; DESIGN.md §13).
+  ScenarioBuilder& numeric_type(nn::NumericType type);
   ScenarioBuilder& dataset_size(std::size_t size);
   ScenarioBuilder& num_runs(std::size_t runs);
   ScenarioBuilder& batch_size(std::size_t size);

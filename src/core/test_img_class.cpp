@@ -8,6 +8,7 @@
 
 #include "core/campaign.h"
 #include "nn/workspace.h"
+#include "tensor/backend.h"
 #include "io/csv.h"
 #include "io/metrics_json.h"
 #include "util/hash.h"
@@ -311,8 +312,17 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
     } else {
       replica_ = h_.model_.clone();
       profile_ = std::make_unique<ModelProfile>(*replica_, probe_input(h_.dataset_));
+      if (h_.store_) {
+        // Bit-exact copy of the primary stored representation, rebound
+        // onto the replica's parameters (never rebuilt from the
+        // dequantized values — scales could round differently).
+        replica_store_ =
+            std::make_unique<nn::StoredWeightStore>(*replica_, *h_.store_);
+      }
       injector_ =
           std::make_unique<Injector>(*replica_, *profile_, scenario.duration);
+      injector_->set_numeric_type(scenario.numeric_type);
+      injector_->set_stored_weights(replica_store_.get());
       ctx_.model = replica_.get();
       ctx_.injector = injector_.get();
     }
@@ -521,6 +531,9 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
   TestErrorModelsImgClass& h_;
   std::shared_ptr<nn::Module> replica_;  // null when sharing the original
   std::unique_ptr<ModelProfile> profile_;
+  // Declared before injector_: the injector's destructor restores
+  // corrupted weights through the store.
+  std::unique_ptr<nn::StoredWeightStore> replica_store_;
   std::unique_ptr<Injector> injector_;
   std::unique_ptr<ModelMonitor> monitor_;
   std::unique_ptr<Protection> protection_;
@@ -570,6 +583,21 @@ std::uint64_t TestErrorModelsImgClass::fingerprint() const {
 void TestErrorModelsImgClass::prepare() {
   const Scenario& scenario = wrapper_.get_scenario();
   const bool write_outputs = !config_.output_dir.empty();
+
+  // Inference configuration (DESIGN.md §13): resolve the backend — an
+  // unavailable explicit choice fails here, loudly — and install the
+  // weight representation before calibration so the hardened bounds are
+  // profiled on the model the campaign actually runs.
+  tensor::Backend& backend = tensor::resolve_backend(scenario.backend);
+  tensor::set_active_backend(backend);
+  resolved_backend_ = backend.name();
+  if (nn::is_stored_type(scenario.numeric_type)) {
+    if (!store_) store_.emplace(model_, scenario.numeric_type);
+  } else if (scenario.numeric_type != nn::NumericType::kFloat32) {
+    nn::quantize_parameters(model_, scenario.numeric_type);
+  }
+  wrapper_.injector().set_numeric_type(scenario.numeric_type);
+  wrapper_.injector().set_stored_weights(store_ ? &*store_ : nullptr);
 
   kpis_ = {};
   kpis_.has_resil = config_.mitigation.has_value();
@@ -722,6 +750,8 @@ void TestErrorModelsImgClass::finish_metrics(double wall_seconds) {
   info.task_kind = task_kind();
   info.jobs = config_.jobs;
   info.wall_seconds = wall_seconds;
+  info.backend = resolved_backend_;
+  info.numeric_type = nn::to_string(wrapper_.get_scenario().numeric_type);
   io::write_metrics_file(config_.metrics_path, metrics_, info);
 }
 

@@ -35,6 +35,7 @@
 #include "core/monitor.h"
 #include "core/wrapper.h"
 #include "data/dataloader.h"
+#include "nn/quantize.h"
 #include "util/metrics.h"
 
 namespace alfi::core {
@@ -114,6 +115,12 @@ class TestErrorModelsImgClass final : public CampaignTask {
 
   // Campaign state between prepare() and finalize().
   RangeMap bounds_;  ///< mitigation calibration, shared by all workers
+  /// Stored-weight representation of the primary model (stored numeric
+  /// types only).  Built once — rebuilding from the already-dequantized
+  /// values on an idempotent re-prepare could round scales differently.
+  /// Replica runners copy it bit-exact (StoredWeightStore replica ctor).
+  std::optional<nn::StoredWeightStore> store_;
+  std::string resolved_backend_;  ///< registry name of what actually ran
   std::vector<std::string> header_;
   std::vector<std::string> ff_header_;
   ClassificationKpis kpis_;

@@ -7,6 +7,7 @@
 #include "core/campaign.h"
 #include "io/metrics_json.h"
 #include "nn/workspace.h"
+#include "tensor/backend.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -161,8 +162,17 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
       replica_ = h_.detector_.clone();
       profile_ = std::make_unique<ModelProfile>(replica_->network(),
                                                 probe_input(h_.dataset_));
+      if (h_.store_) {
+        // Bit-exact copy of the primary stored representation, rebound
+        // onto the replica's parameters (never rebuilt from the
+        // dequantized values — scales could round differently).
+        replica_store_ = std::make_unique<nn::StoredWeightStore>(
+            replica_->network(), *h_.store_);
+      }
       injector_ = std::make_unique<Injector>(replica_->network(), *profile_,
                                              scenario.duration);
+      injector_->set_numeric_type(scenario.numeric_type);
+      injector_->set_stored_weights(replica_store_.get());
       detector_ = replica_.get();
       injector_ptr_ = injector_.get();
     }
@@ -436,6 +446,9 @@ class ObjDetUnitRunner final : public CampaignUnitRunner {
   TestErrorModelsObjDet& h_;
   std::unique_ptr<models::Detector> replica_;  // null when sharing the original
   std::unique_ptr<ModelProfile> profile_;
+  // Declared before injector_: the injector's destructor restores
+  // corrupted weights through the store.
+  std::unique_ptr<nn::StoredWeightStore> replica_store_;
   std::unique_ptr<Injector> injector_;
   std::unique_ptr<ModelMonitor> monitor_;
   std::unique_ptr<Protection> protection_;
@@ -485,6 +498,21 @@ std::uint64_t TestErrorModelsObjDet::fingerprint() const {
 void TestErrorModelsObjDet::prepare() {
   const Scenario& scenario = wrapper_.get_scenario();
   const bool write_outputs = !config_.output_dir.empty();
+
+  // Inference configuration (DESIGN.md §13): resolve the backend — an
+  // unavailable explicit choice fails here, loudly — and install the
+  // weight representation before calibration so the hardened bounds are
+  // profiled on the model the campaign actually runs.
+  tensor::Backend& backend = tensor::resolve_backend(scenario.backend);
+  tensor::set_active_backend(backend);
+  resolved_backend_ = backend.name();
+  if (nn::is_stored_type(scenario.numeric_type)) {
+    if (!store_) store_.emplace(detector_.network(), scenario.numeric_type);
+  } else if (scenario.numeric_type != nn::NumericType::kFloat32) {
+    nn::quantize_parameters(detector_.network(), scenario.numeric_type);
+  }
+  wrapper_.injector().set_numeric_type(scenario.numeric_type);
+  wrapper_.injector().set_stored_weights(store_ ? &*store_ : nullptr);
 
   ivmod_ = {};
   ivmod_.has_resil = config_.mitigation.has_value();
@@ -610,6 +638,8 @@ ObjDetCampaignResult TestErrorModelsObjDet::run() {
     info.task_kind = task_kind();
     info.jobs = config_.jobs;
     info.wall_seconds = run_watch.elapsed_seconds();
+    info.backend = resolved_backend_;
+    info.numeric_type = nn::to_string(wrapper_.get_scenario().numeric_type);
     io::write_metrics_file(config_.metrics_path, metrics_, info);
   }
   return result_;

@@ -32,6 +32,7 @@
 #include "core/monitor.h"
 #include "core/wrapper.h"
 #include "data/dataloader.h"
+#include "nn/quantize.h"
 #include "util/metrics.h"
 
 namespace alfi::core {
@@ -106,6 +107,12 @@ class TestErrorModelsObjDet final : public CampaignTask {
 
   // Campaign state between prepare() and finalize().
   RangeMap bounds_;
+  /// Stored-weight representation of the primary network (stored
+  /// numeric types only).  Built once — rebuilding from the
+  /// already-dequantized values on an idempotent re-prepare could round
+  /// scales differently.  Replica runners copy it bit-exact.
+  std::optional<nn::StoredWeightStore> store_;
+  std::string resolved_backend_;  ///< registry name of what actually ran
   IvmodKpis ivmod_;
   std::vector<std::int64_t> image_ids_;
   std::vector<std::vector<data::Annotation>> ground_truth_;

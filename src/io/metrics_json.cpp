@@ -29,6 +29,11 @@ Json metrics_to_json(const util::MetricsRegistry& registry,
   root["schema"] = "alfi-metrics-v1";
   root["task"] = info.task_kind;
 
+  Json inference = Json::object();
+  inference["backend"] = info.backend;
+  inference["numeric_type"] = info.numeric_type;
+  root["inference"] = std::move(inference);
+
   Json counters = Json::object();
   for (const auto& [name, value] : registry.counters()) counters[name] = value;
   root["counters"] = std::move(counters);

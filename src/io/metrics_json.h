@@ -5,6 +5,10 @@
 //   {
 //     "schema":   "alfi-metrics-v1",
 //     "task":     "<task_kind>",
+//     "inference": {                              // what actually ran
+//       "backend":      "<ref|avx2>",             // resolved, not requested
+//       "numeric_type": "<fp32|bf16|fp16|fp16_stored|int8>"
+//     },
 //     "counters": { "<name>": <u64>, ... },      // sorted by name
 //     "timing": {                                 // wall-clock facts
 //       "jobs":         <N>,
@@ -36,6 +40,12 @@ struct MetricsFileInfo {
   std::string task_kind;
   std::size_t jobs = 1;
   double wall_seconds = 0.0;
+  /// Resolved kernel backend the campaign computed with — the registry
+  /// name of what actually ran (e.g. "auto" resolves to "avx2" or
+  /// "ref"), never the requested alias.
+  std::string backend = "ref";
+  /// Weight numeric representation of the campaign (nn::NumericType).
+  std::string numeric_type = "fp32";
 };
 
 /// Serializes the registry per the schema above (sorted names).

@@ -1,8 +1,10 @@
 #include "nn/quantize.h"
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/bits.h"
+#include "util/error.h"
 
 namespace alfi::nn {
 
@@ -11,8 +13,42 @@ const char* to_string(NumericType type) {
     case NumericType::kFloat32: return "fp32";
     case NumericType::kBfloat16: return "bf16";
     case NumericType::kFloat16: return "fp16";
+    case NumericType::kFloat16Stored: return "fp16_stored";
+    case NumericType::kInt8: return "int8";
   }
   return "?";
+}
+
+bool numeric_type_from_string(const std::string& name, NumericType& out) {
+  if (name.empty() || name == "fp32") {
+    out = NumericType::kFloat32;
+  } else if (name == "bf16") {
+    out = NumericType::kBfloat16;
+  } else if (name == "fp16") {
+    out = NumericType::kFloat16;
+  } else if (name == "fp16_stored") {
+    out = NumericType::kFloat16Stored;
+  } else if (name == "int8") {
+    out = NumericType::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int storage_bits(NumericType type) {
+  switch (type) {
+    case NumericType::kFloat32:
+    case NumericType::kBfloat16:
+    case NumericType::kFloat16: return 32;
+    case NumericType::kFloat16Stored: return 16;
+    case NumericType::kInt8: return 8;
+  }
+  return 32;
+}
+
+bool is_stored_type(NumericType type) {
+  return type == NumericType::kFloat16Stored || type == NumericType::kInt8;
 }
 
 namespace {
@@ -41,6 +77,39 @@ float quantize_fp16(float value) {
   return quantized;
 }
 
+constexpr float kInt8Max = 127.0f;
+
+/// Symmetric per-channel scale: maxabs/127, or 1.0 when the channel is
+/// all-zero so bit flips on its codes still express a value change.
+float int8_channel_scale(const float* values, std::size_t count) {
+  float maxabs = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float a = std::fabs(values[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  return maxabs > 0.0f ? maxabs / kInt8Max : 1.0f;
+}
+
+std::uint32_t int8_encode(float value, float scale) {
+  if (std::isnan(value)) return 0;
+  const float scaled = value / scale;
+  float q;
+  if (scaled >= kInt8Max) {
+    q = kInt8Max;
+  } else if (scaled <= -kInt8Max) {
+    q = -kInt8Max;
+  } else {
+    q = std::nearbyint(scaled);
+  }
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+      static_cast<std::int8_t>(q)));
+}
+
+float int8_decode(std::uint32_t code, float scale) {
+  const auto v = static_cast<std::int8_t>(static_cast<std::uint8_t>(code & 0xFFu));
+  return static_cast<float>(v) * scale;
+}
+
 }  // namespace
 
 float quantize_value(float value, NumericType type) {
@@ -48,12 +117,15 @@ float quantize_value(float value, NumericType type) {
     case NumericType::kFloat32: return value;
     case NumericType::kBfloat16: return quantize_bf16(value);
     case NumericType::kFloat16: return quantize_fp16(value);
+    case NumericType::kFloat16Stored:
+      return float_from_fp16_bits(fp16_bits_from_float(value));
+    case NumericType::kInt8: return value;  // needs a channel scale; see header
   }
   return value;
 }
 
 std::size_t quantize_parameters(Module& root, NumericType type) {
-  if (type == NumericType::kFloat32) return 0;
+  if (type == NumericType::kFloat32 || type == NumericType::kInt8) return 0;
   std::size_t changed = 0;
   for (Parameter* param : root.parameters()) {
     for (float& v : param->value.data()) {
@@ -72,8 +144,178 @@ int lowest_live_bit(NumericType type) {
     case NumericType::kFloat32: return 0;
     case NumericType::kBfloat16: return 16;
     case NumericType::kFloat16: return 13;
+    case NumericType::kFloat16Stored:
+    case NumericType::kInt8: return 0;  // stored-code bits are all live
   }
   return 0;
+}
+
+// ---- fp16 bit conversion ----------------------------------------------------
+
+std::uint16_t fp16_bits_from_float(float value) {
+  const std::uint32_t pattern = bits::to_bits(value);
+  const std::uint32_t sign = (pattern >> 16) & 0x8000u;
+  const std::uint32_t abs = pattern & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf / NaN
+    if (abs == 0x7F800000u) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    std::uint32_t mantissa = (abs >> 13) & 0x3FFu;
+    if (mantissa == 0) mantissa = 1;  // keep NaN a NaN after truncation
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mantissa);
+  }
+  const int e = static_cast<int>(abs >> 23) - 127 + 15;  // half-biased exponent
+  if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow -> inf
+  if (e <= 0) {
+    // Subnormal half (or underflow to zero): shift the 24-bit mantissa
+    // (implicit 1) down to the 10-bit subnormal field, rounding to even.
+    if (e < -10) return static_cast<std::uint16_t>(sign);
+    const std::uint32_t m = (abs & 0x7FFFFFu) | 0x800000u;
+    const int shift = 14 - e;
+    std::uint32_t half = m >> shift;
+    const std::uint32_t rem = m & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    // A carry out of the subnormal field lands in exponent 1 — correct.
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  std::uint32_t half = (static_cast<std::uint32_t>(e) << 10) | ((abs >> 13) & 0x3FFu);
+  const std::uint32_t rem = abs & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  if (half >= 0x7C00u) return static_cast<std::uint16_t>(sign | 0x7C00u);  // rounded up to inf
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float float_from_fp16_bits(std::uint16_t pattern) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(pattern & 0x8000u) << 16;
+  const std::uint32_t exponent = (pattern >> 10) & 0x1Fu;
+  std::uint32_t mantissa = pattern & 0x3FFu;
+  if (exponent == 0x1Fu) {  // inf / NaN
+    return bits::from_bits(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits::from_bits(sign);  // +-0
+    // Subnormal: normalize the mantissa into an fp32 exponent.
+    int shift = 0;
+    while ((mantissa & 0x400u) == 0) {
+      mantissa <<= 1;
+      ++shift;
+    }
+    mantissa &= 0x3FFu;
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - shift + 1);
+    return bits::from_bits(sign | (exp32 << 23) | (mantissa << 13));
+  }
+  return bits::from_bits(sign | ((exponent + 112u) << 23) | (mantissa << 13));
+}
+
+// ---- StoredWeightStore ------------------------------------------------------
+
+StoredWeightStore::StoredWeightStore(Module& root, NumericType type) : type_(type) {
+  ALFI_CHECK(is_stored_type(type),
+             "StoredWeightStore requires a stored numeric type (fp16_stored/int8)");
+  for (Parameter* param : root.parameters()) {
+    Entry entry;
+    entry.param = param;
+    const std::size_t numel = param->value.numel();
+    entry.codes.resize(numel);
+    const std::size_t channels = param->value.rank() > 0 ? param->value.dim(0) : 1;
+    entry.per_channel = channels > 0 ? numel / channels : numel;
+    if (entry.per_channel == 0) entry.per_channel = 1;
+    float* values = param->value.raw();
+    if (type == NumericType::kInt8) {
+      entry.scales.resize(channels);
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        const std::size_t base = ch * entry.per_channel;
+        entry.scales[ch] = int8_channel_scale(values + base, entry.per_channel);
+        for (std::size_t i = 0; i < entry.per_channel; ++i) {
+          const std::uint32_t code = int8_encode(values[base + i], entry.scales[ch]);
+          entry.codes[base + i] = static_cast<std::uint16_t>(code);
+          values[base + i] = int8_decode(code, entry.scales[ch]);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < numel; ++i) {
+        const std::uint16_t code = fp16_bits_from_float(values[i]);
+        entry.codes[i] = code;
+        values[i] = float_from_fp16_bits(code);
+      }
+    }
+    index_.emplace(param, entries_.size());
+    entries_.push_back(std::move(entry));
+  }
+}
+
+StoredWeightStore::StoredWeightStore(Module& replica, const StoredWeightStore& other)
+    : type_(other.type_) {
+  const std::vector<Parameter*> params = replica.parameters();
+  ALFI_CHECK(params.size() == other.entries_.size(),
+             "StoredWeightStore replica parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Entry& src = other.entries_[i];
+    ALFI_CHECK(params[i]->value.numel() == src.codes.size(),
+               "StoredWeightStore replica parameter shape mismatch");
+    Entry entry;
+    entry.param = params[i];
+    entry.codes = src.codes;
+    entry.scales = src.scales;
+    entry.per_channel = src.per_channel;
+    float* values = entry.param->value.raw();
+    for (std::size_t j = 0; j < entry.codes.size(); ++j) {
+      values[j] = decode_entry(entry, j, entry.codes[j]);
+    }
+    index_.emplace(params[i], entries_.size());
+    entries_.push_back(std::move(entry));
+  }
+}
+
+const StoredWeightStore::Entry& StoredWeightStore::entry_of(
+    const Parameter& param) const {
+  const auto it = index_.find(&param);
+  ALFI_CHECK(it != index_.end(), "parameter not covered by StoredWeightStore");
+  return entries_[it->second];
+}
+
+float StoredWeightStore::decode_entry(const Entry& entry, std::size_t offset,
+                                      std::uint32_t code) const {
+  if (type_ == NumericType::kInt8) {
+    return int8_decode(code, entry.scales[offset / entry.per_channel]);
+  }
+  return float_from_fp16_bits(static_cast<std::uint16_t>(code & 0xFFFFu));
+}
+
+std::uint32_t StoredWeightStore::code(const Parameter& param,
+                                      std::size_t offset) const {
+  const Entry& entry = entry_of(param);
+  ALFI_CHECK(offset < entry.codes.size(), "stored-weight offset out of range");
+  return entry.codes[offset];
+}
+
+float StoredWeightStore::set_code(Parameter& param, std::size_t offset,
+                                  std::uint32_t code) {
+  const auto it = index_.find(&param);
+  ALFI_CHECK(it != index_.end(), "parameter not covered by StoredWeightStore");
+  Entry& entry = entries_[it->second];
+  ALFI_CHECK(offset < entry.codes.size(), "stored-weight offset out of range");
+  const std::uint32_t mask = type_ == NumericType::kInt8 ? 0xFFu : 0xFFFFu;
+  entry.codes[offset] = static_cast<std::uint16_t>(code & mask);
+  const float value = decode_entry(entry, offset, entry.codes[offset]);
+  param.value.flat(offset) = value;
+  return value;
+}
+
+std::uint32_t StoredWeightStore::encode(const Parameter& param, std::size_t offset,
+                                        float value) const {
+  const Entry& entry = entry_of(param);
+  ALFI_CHECK(offset < entry.codes.size(), "stored-weight offset out of range");
+  if (type_ == NumericType::kInt8) {
+    return int8_encode(value, entry.scales[offset / entry.per_channel]);
+  }
+  return fp16_bits_from_float(value);
+}
+
+float StoredWeightStore::decode(const Parameter& param, std::size_t offset,
+                                std::uint32_t code) const {
+  const Entry& entry = entry_of(param);
+  ALFI_CHECK(offset < entry.codes.size(), "stored-weight offset out of range");
+  return decode_entry(entry, offset, code);
 }
 
 }  // namespace alfi::nn

@@ -1,41 +1,154 @@
-// Numeric-type emulation for the "Evaluating the vulnerability of
-// different numeric types" use case (paper §V).
+// Numeric-type emulation and stored-representation quantization for the
+// "Evaluating the vulnerability of different numeric types" use case
+// (paper §V) extended along MRFI's multi-resolution axis.
 //
-// The framework computes in fp32; reduced-precision types are emulated
-// by rounding every parameter to the nearest representable value of the
-// target type while keeping fp32 storage.  A fault campaign on an
-// emulated-bf16 model restricted to bf16's live bit positions (31..16)
-// then measures that type's vulnerability: bf16 has 8 fewer mantissa
-// bits, so a uniformly drawn fault is far more likely to land in the
-// high-impact exponent field.
+// Two families of reduced-precision types:
+//
+//   * EMULATED (bf16, fp16): the framework computes in fp32; parameters
+//     are rounded to the nearest representable value of the target type
+//     while keeping fp32 storage.  Faults act on the fp32 bit pattern,
+//     restricted to the type's live bit positions.
+//
+//   * STORED (fp16_stored, int8): parameters are additionally kept in a
+//     true reduced-width representation (StoredWeightStore) — IEEE half
+//     bit patterns, or int8 codes with a symmetric per-output-channel
+//     scale.  Weight faults flip bits of the STORED code; the corrupted
+//     code is dequantized back into the fp32 compute view on store.
+//     This measures the representation's real vulnerability surface:
+//     an int8 weight has only 8 flippable bits, and a flip of its MSB
+//     (two's-complement sign) moves the value by 256 quantization steps
+//     rather than re-interpreting an fp32 exponent.  Activations stay
+//     fp32, so neuron faults keep fp32 semantics under every type.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace alfi::nn {
 
 enum class NumericType {
-  kFloat32,   // native
-  kBfloat16,  // 1 sign, 8 exponent, 7 mantissa — fp32 with bits 15..0 zeroed
-  kFloat16,   // 1 sign, 5 exponent, 10 mantissa (IEEE half), emulated
+  kFloat32,        // native
+  kBfloat16,       // 1 sign, 8 exponent, 7 mantissa — fp32 with bits 15..0 zeroed
+  kFloat16,        // 1 sign, 5 exponent, 10 mantissa (IEEE half), emulated
+  kFloat16Stored,  // IEEE half, stored as 16-bit patterns (weight faults hit them)
+  kInt8,           // symmetric int8, per-output-channel scale, stored as 8-bit codes
 };
 
 const char* to_string(NumericType type);
 
+/// Parses "fp32"/"bf16"/"fp16"/"fp16_stored"/"int8"; returns false for
+/// anything else ("" parses as fp32).
+bool numeric_type_from_string(const std::string& name, NumericType& out);
+
+/// Width in bits of the representation a weight fault corrupts: 32 for
+/// fp32 and the emulated types (faults act on the fp32 pattern), 16 for
+/// fp16_stored, 8 for int8.
+int storage_bits(NumericType type);
+
+/// True for the types whose weights live in a StoredWeightStore.
+bool is_stored_type(NumericType type);
+
 /// Rounds one fp32 value to the nearest representable value of `type`
-/// (ties to even for bf16; fp16 via round-trip conversion with clamping
-/// to +-inf on overflow).
+/// (ties to even for bf16; fp16/fp16_stored via round-trip conversion
+/// with clamping to +-inf on overflow).  int8 needs a channel scale, so
+/// this returns the value unchanged — only StoredWeightStore can
+/// quantize it.
 float quantize_value(float value, NumericType type);
 
 /// Quantizes every parameter of `root` in place; returns the number of
-/// values whose bits changed.
+/// values whose bits changed.  For kInt8 this is a no-op — use
+/// StoredWeightStore, which owns the per-channel scales.
 std::size_t quantize_parameters(Module& root, NumericType type);
 
 /// Lowest fp32 bit position that is still meaningful for `type` when
 /// values are kept `type`-rounded (faults below it would be erased by
 /// the next re-quantization).  fp32 -> 0, bf16 -> 16, fp16 -> 13.
+/// Stored types -> 0: their faults index STORED code bits, where every
+/// position is live.
 int lowest_live_bit(NumericType type);
+
+// ---- fp16 bit conversion ----------------------------------------------------
+
+/// fp32 -> IEEE binary16 bit pattern, round-to-nearest-even, overflow
+/// to +-inf, NaN payload preserved (truncated to 10 bits, never
+/// silently turned into inf).
+std::uint16_t fp16_bits_from_float(float value);
+
+/// IEEE binary16 bit pattern -> fp32 (exact: every half value is
+/// representable in fp32).
+float float_from_fp16_bits(std::uint16_t pattern);
+
+// ---- stored-weight representation -------------------------------------------
+
+/// Reduced-width shadow storage for every parameter of one model
+/// instance.  Construction quantizes the parameters into codes (+
+/// per-output-channel scales for int8, channel = dim 0 of the parameter
+/// shape) and overwrites the fp32 parameter values with their
+/// dequantized form, so the compute view always equals
+/// decode(stored code).  Weight faults mutate codes via set_code();
+/// restore writes the saved original code back, which re-establishes
+/// the contract bit-exactly.
+///
+/// Replica model clones must NOT rebuild a store from the (already
+/// dequantized) parameter values — scale recomputation could round
+/// differently.  Use the replica constructor, which copies codes and
+/// scales bit-exact and rebinds them onto the replica's parameters by
+/// parameter order.
+class StoredWeightStore {
+ public:
+  StoredWeightStore() = default;
+
+  /// Quantizes `root`'s parameters into `type` storage (must be a
+  /// stored type) and dequantizes them back into the fp32 view.
+  StoredWeightStore(Module& root, NumericType type);
+
+  /// Rebinds a bit-exact copy of `other`'s codes and scales onto
+  /// `replica`'s parameters (same architecture, matched by parameter
+  /// order) and overwrites the replica's fp32 values with the
+  /// dequantized form.
+  StoredWeightStore(Module& replica, const StoredWeightStore& other);
+
+  NumericType type() const { return type_; }
+
+  /// True when `param` belongs to the model this store was built over.
+  bool handles(const Parameter* param) const {
+    return index_.find(param) != index_.end();
+  }
+
+  /// Stored code of one element (fp16 pattern in low 16 bits, int8
+  /// two's-complement pattern in low 8 bits).
+  std::uint32_t code(const Parameter& param, std::size_t offset) const;
+
+  /// Overwrites one element's stored code and refreshes the fp32 view;
+  /// returns the new dequantized value.
+  float set_code(Parameter& param, std::size_t offset, std::uint32_t code);
+
+  /// Encodes an fp32 value into this element's representation (uses the
+  /// element's channel scale for int8).  NaN encodes to 0 for int8;
+  /// out-of-range saturates.
+  std::uint32_t encode(const Parameter& param, std::size_t offset, float value) const;
+
+  /// Dequantized value of a code at this element's position.
+  float decode(const Parameter& param, std::size_t offset, std::uint32_t code) const;
+
+ private:
+  struct Entry {
+    Parameter* param = nullptr;
+    std::vector<std::uint16_t> codes;  // one per element, low bits used
+    std::vector<float> scales;         // int8: one per dim-0 channel
+    std::size_t per_channel = 1;       // elements per dim-0 channel
+  };
+
+  const Entry& entry_of(const Parameter& param) const;
+  float decode_entry(const Entry& entry, std::size_t offset, std::uint32_t code) const;
+
+  NumericType type_ = NumericType::kFloat32;
+  std::vector<Entry> entries_;
+  std::unordered_map<const Parameter*, std::size_t> index_;
+};
 
 }  // namespace alfi::nn

@@ -1,7 +1,16 @@
+// Dispatch layer over tensor::Backend (see backend.h).
+//
+// Forward `_into` ops forward to the active backend, whose base-class
+// methods carry the scalar reference kernels and validate shapes; the
+// allocating forms stay thin shims over `_into`.  Backward/training
+// ops, plan construction, and the classification-head helpers are
+// backend-independent and live here unchanged.
 #include "tensor/ops.h"
 
 #include <algorithm>
 #include <cmath>
+
+#include "tensor/backend.h"
 
 namespace alfi::ops {
 
@@ -13,22 +22,12 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                          b.shape().to_string());
 }
 
-// Steady-state `_into` calls must not allocate, so destination shapes
-// are validated by element count instead of by constructing an expected
-// Shape (Shape construction heap-allocates its dims vector).
-void check_dst_numel(const Tensor& dst, std::size_t numel, const char* op) {
-  ALFI_CHECK(dst.numel() == numel,
-             std::string(op) + ": destination element count mismatch");
-}
-
 }  // namespace
 
 // ---- elementwise -----------------------------------------------------------
 
 void add_into(Tensor& dst, const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "add");
-  check_dst_numel(dst, a.numel(), "add_into");
-  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] + b.raw()[i];
+  tensor::active_backend().add(dst, a, b);
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -38,9 +37,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 }
 
 void sub_into(Tensor& dst, const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "sub");
-  check_dst_numel(dst, a.numel(), "sub_into");
-  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] - b.raw()[i];
+  tensor::active_backend().sub(dst, a, b);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
@@ -50,9 +47,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 void mul_into(Tensor& dst, const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "mul");
-  check_dst_numel(dst, a.numel(), "mul_into");
-  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] * b.raw()[i];
+  tensor::active_backend().mul(dst, a, b);
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
@@ -62,8 +57,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 void scale_into(Tensor& dst, const Tensor& a, float factor) {
-  check_dst_numel(dst, a.numel(), "scale_into");
-  for (std::size_t i = 0; i < a.numel(); ++i) dst.raw()[i] = a.raw()[i] * factor;
+  tensor::active_backend().scale(dst, a, factor);
 }
 
 Tensor scale(const Tensor& a, float factor) {
@@ -73,37 +67,17 @@ Tensor scale(const Tensor& a, float factor) {
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "add_inplace");
-  for (std::size_t i = 0; i < a.numel(); ++i) a.raw()[i] += b.raw()[i];
+  tensor::active_backend().add_inplace(a, b);
 }
 
 void axpy_inplace(Tensor& a, float factor, const Tensor& b) {
-  check_same_shape(a, b, "axpy_inplace");
-  for (std::size_t i = 0; i < a.numel(); ++i) a.raw()[i] += factor * b.raw()[i];
+  tensor::active_backend().axpy_inplace(a, factor, b);
 }
 
 // ---- linear algebra --------------------------------------------------------
 
 void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b) {
-  ALFI_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
-  const std::size_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
-  ALFI_CHECK(k == k2, "matmul inner dimensions differ: " + a.shape().to_string() +
-                          " vs " + b.shape().to_string());
-  check_dst_numel(dst, m * n, "matmul_into");
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* po = dst.raw();
-  std::fill(po, po + m * n, 0.0f);
-  // i-k-j loop order: streams through b and out rows, cache-friendly.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  tensor::active_backend().matmul(dst, a, b);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -114,14 +88,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 void transpose2d_into(Tensor& dst, const Tensor& a) {
-  ALFI_CHECK(a.rank() == 2, "transpose2d expects rank-2 tensor");
-  const std::size_t m = a.dim(0), n = a.dim(1);
-  check_dst_numel(dst, m * n, "transpose2d_into");
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      dst.raw()[j * m + i] = a.raw()[i * n + j];
-    }
-  }
+  tensor::active_backend().transpose2d(dst, a);
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -133,23 +100,7 @@ Tensor transpose2d(const Tensor& a) {
 
 void linear_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
                          const Tensor& bias) {
-  ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
-  ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
-  const std::size_t n = input.dim(0), in = input.dim(1);
-  const std::size_t out_features = weight.dim(0);
-  ALFI_CHECK(weight.dim(1) == in, "linear weight IN mismatch");
-  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == out_features, "linear bias mismatch");
-  check_dst_numel(dst, n * out_features, "linear_forward_into");
-  for (std::size_t row = 0; row < n; ++row) {
-    const float* x = input.raw() + row * in;
-    float* y = dst.raw() + row * out_features;
-    for (std::size_t o = 0; o < out_features; ++o) {
-      const float* w = weight.raw() + o * in;
-      double acc = bias.raw()[o];
-      for (std::size_t i = 0; i < in; ++i) acc += static_cast<double>(w[i]) * x[i];
-      y[o] = static_cast<float>(acc);
-    }
-  }
+  tensor::active_backend().linear_forward(dst, input, weight, bias);
 }
 
 Tensor linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias) {
@@ -197,73 +148,6 @@ std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride
   return (in + 2 * padding - kernel) / stride + 1;
 }
 
-namespace {
-
-/// Lowers one sample [C,H,W] to a column matrix [C*KH*KW, OH*OW].
-void im2col(const float* input, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
-            std::size_t padding, std::size_t oh, std::size_t ow, float* col) {
-  const std::size_t plane = height * width;
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t ky = 0; ky < kh; ++ky) {
-      for (std::size_t kx = 0; kx < kw; ++kx) {
-        float* dst = col + ((c * kh + ky) * kw + kx) * (oh * ow);
-        for (std::size_t y = 0; y < oh; ++y) {
-          const std::ptrdiff_t in_y =
-              static_cast<std::ptrdiff_t>(y * stride + ky) -
-              static_cast<std::ptrdiff_t>(padding);
-          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(height)) {
-            std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0f);
-            continue;
-          }
-          const float* src_row =
-              input + c * plane + static_cast<std::size_t>(in_y) * width;
-          for (std::size_t x = 0; x < ow; ++x) {
-            const std::ptrdiff_t in_x =
-                static_cast<std::ptrdiff_t>(x * stride + kx) -
-                static_cast<std::ptrdiff_t>(padding);
-            dst[y * ow + x] =
-                (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(width))
-                    ? 0.0f
-                    : src_row[static_cast<std::size_t>(in_x)];
-          }
-        }
-      }
-    }
-  }
-}
-
-/// Inverse of im2col: accumulates columns back into the input gradient.
-void col2im(const float* col, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
-            std::size_t padding, std::size_t oh, std::size_t ow, float* input_grad) {
-  const std::size_t plane = height * width;
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t ky = 0; ky < kh; ++ky) {
-      for (std::size_t kx = 0; kx < kw; ++kx) {
-        const float* src = col + ((c * kh + ky) * kw + kx) * (oh * ow);
-        for (std::size_t y = 0; y < oh; ++y) {
-          const std::ptrdiff_t in_y =
-              static_cast<std::ptrdiff_t>(y * stride + ky) -
-              static_cast<std::ptrdiff_t>(padding);
-          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(height)) continue;
-          float* dst_row =
-              input_grad + c * plane + static_cast<std::size_t>(in_y) * width;
-          for (std::size_t x = 0; x < ow; ++x) {
-            const std::ptrdiff_t in_x =
-                static_cast<std::ptrdiff_t>(x * stride + kx) -
-                static_cast<std::ptrdiff_t>(padding);
-            if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(width)) continue;
-            dst_row[static_cast<std::size_t>(in_x)] += src[y * ow + x];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 std::size_t conv2d_scratch_floats(const Shape& input, const Shape& weight,
                                   const Conv2dSpec& spec) {
   ALFI_CHECK(input.rank() == 4 && weight.rank() == 4,
@@ -276,40 +160,7 @@ std::size_t conv2d_scratch_floats(const Shape& input, const Shape& weight,
 void conv2d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
                          const Tensor& bias, const Conv2dSpec& spec,
                          std::span<float> col_scratch) {
-  ALFI_CHECK(input.rank() == 4, "conv2d input must be [N,C,H,W]");
-  ALFI_CHECK(weight.rank() == 4, "conv2d weight must be [OC,IC,KH,KW]");
-  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
-                    w = input.dim(3);
-  const std::size_t oc = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
-  ALFI_CHECK(weight.dim(1) == ic, "conv2d channel mismatch");
-  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == oc, "conv2d bias mismatch");
-  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
-  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
-  check_dst_numel(dst, n * oc * oh * ow, "conv2d_forward_into");
-
-  const std::size_t col_rows = ic * kh * kw;
-  const std::size_t col_cols = oh * ow;
-  ALFI_CHECK(col_scratch.size() >= col_rows * col_cols,
-             "conv2d col scratch too small");
-  float* col = col_scratch.data();
-
-  for (std::size_t sample = 0; sample < n; ++sample) {
-    im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw, spec.stride,
-           spec.padding, oh, ow, col);
-    // dst[sample] = weight[oc, col_rows] @ col[col_rows, col_cols] + bias
-    float* out_base = dst.raw() + sample * oc * col_cols;
-    for (std::size_t o = 0; o < oc; ++o) {
-      float* orow = out_base + o * col_cols;
-      std::fill(orow, orow + col_cols, bias.raw()[o]);
-      const float* wrow = weight.raw() + o * col_rows;
-      for (std::size_t r = 0; r < col_rows; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0f) continue;
-        const float* crow = col + r * col_cols;
-        for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
-      }
-    }
-  }
+  tensor::active_backend().conv2d_forward(dst, input, weight, bias, spec, col_scratch);
 }
 
 Conv2dPlan make_conv2d_plan(const Shape& input, const Shape& weight,
@@ -359,112 +210,7 @@ Conv2dPlan make_conv2d_plan(const Shape& input, const Shape& weight,
 void conv2d_forward_planned(Tensor& dst, const Tensor& input, const Tensor& weight,
                             const Tensor& bias, const Conv2dPlan& plan,
                             std::span<float> col_scratch) {
-  ALFI_CHECK(plan.matches(input.shape()), "conv2d plan/input shape mismatch");
-  const std::size_t n = input.dim(0), ic = input.dim(1), h = input.dim(2),
-                    w = input.dim(3);
-  const std::size_t oc = weight.dim(0);
-  const std::size_t col_rows = plan.col_rows;
-  const std::size_t col_cols = plan.col_cols;
-  check_dst_numel(dst, n * oc * col_cols, "conv2d_forward_planned");
-  ALFI_CHECK(col_scratch.size() >= col_rows * col_cols,
-             "conv2d col scratch too small");
-
-  float* __restrict col = col_scratch.data();
-  const std::int32_t* __restrict idx = plan.col_index.data();
-  for (std::size_t sample = 0; sample < n; ++sample) {
-    const float* __restrict src = input.raw() + sample * ic * h * w;
-    for (std::size_t j = 0; j < col_rows * col_cols; ++j) {
-      const std::int32_t k = idx[j];
-      col[j] = k < 0 ? 0.0f : src[static_cast<std::size_t>(k)];
-    }
-    // dst[sample] = weight @ col + bias, blocked 4 weight rows x 4
-    // output channels per sweep: the four col rows loaded for one
-    // r-block feed four output rows, cutting col traffic 4x (the col
-    // matrix is bigger than L1 for the mid-size convs).  Each output
-    // element still accumulates its terms strictly left to right with
-    // the same zero-weight skip, so the result is bit-identical to the
-    // reference kernel in conv2d_forward_into.
-    float* out_base = dst.raw() + sample * oc * col_cols;
-
-    // One r-block (4 weight rows) of a single output row, with the
-    // reference semantics: fused when all four weights are live, else
-    // the per-row skip (a faulted weight can be exactly zero, and
-    // 0 * Inf would manufacture a NaN the allocating path never sees).
-    const auto rblock_single = [&](float* __restrict orow, const float* wrow,
-                                   std::size_t r) {
-      const float w0 = wrow[r], w1 = wrow[r + 1], w2 = wrow[r + 2],
-                  w3 = wrow[r + 3];
-      const float* __restrict c0 = col + r * col_cols;
-      const float* __restrict c1 = c0 + col_cols;
-      const float* __restrict c2 = c1 + col_cols;
-      const float* __restrict c3 = c2 + col_cols;
-      if (w0 != 0.0f && w1 != 0.0f && w2 != 0.0f && w3 != 0.0f) {
-        for (std::size_t c = 0; c < col_cols; ++c) {
-          orow[c] = orow[c] + w0 * c0[c] + w1 * c1[c] + w2 * c2[c] + w3 * c3[c];
-        }
-      } else {
-        for (std::size_t k = r; k < r + 4; ++k) {
-          const float wv = wrow[k];
-          if (wv == 0.0f) continue;
-          const float* __restrict crow = col + k * col_cols;
-          for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
-        }
-      }
-    };
-    // Scalar tail rows (col_rows % 4) of a single output row.
-    const auto rtail_single = [&](float* __restrict orow, const float* wrow,
-                                  std::size_t r) {
-      for (; r < col_rows; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0f) continue;
-        const float* __restrict crow = col + r * col_cols;
-        for (std::size_t c = 0; c < col_cols; ++c) orow[c] += wv * crow[c];
-      }
-    };
-
-    std::size_t o = 0;
-    for (; o + 2 <= oc; o += 2) {
-      float* __restrict o0 = out_base + o * col_cols;
-      float* __restrict o1 = o0 + col_cols;
-      std::fill(o0, o0 + col_cols, bias.raw()[o]);
-      std::fill(o1, o1 + col_cols, bias.raw()[o + 1]);
-      const float* w0row = weight.raw() + o * col_rows;
-      const float* w1row = w0row + col_rows;
-      std::size_t r = 0;
-      for (; r + 4 <= col_rows; r += 4) {
-        const float a0 = w0row[r], a1 = w0row[r + 1], a2 = w0row[r + 2],
-                    a3 = w0row[r + 3];
-        const float b0 = w1row[r], b1 = w1row[r + 1], b2 = w1row[r + 2],
-                    b3 = w1row[r + 3];
-        const bool all_live = a0 != 0.0f && a1 != 0.0f && a2 != 0.0f &&
-                              a3 != 0.0f && b0 != 0.0f && b1 != 0.0f &&
-                              b2 != 0.0f && b3 != 0.0f;
-        if (all_live) {
-          const float* __restrict c0 = col + r * col_cols;
-          const float* __restrict c1 = c0 + col_cols;
-          const float* __restrict c2 = c1 + col_cols;
-          const float* __restrict c3 = c2 + col_cols;
-          for (std::size_t c = 0; c < col_cols; ++c) {
-            o0[c] = o0[c] + a0 * c0[c] + a1 * c1[c] + a2 * c2[c] + a3 * c3[c];
-            o1[c] = o1[c] + b0 * c0[c] + b1 * c1[c] + b2 * c2[c] + b3 * c3[c];
-          }
-        } else {
-          rblock_single(o0, w0row, r);
-          rblock_single(o1, w1row, r);
-        }
-      }
-      rtail_single(o0, w0row, r);
-      rtail_single(o1, w1row, r);
-    }
-    for (; o < oc; ++o) {
-      float* __restrict orow = out_base + o * col_cols;
-      std::fill(orow, orow + col_cols, bias.raw()[o]);
-      const float* wrow = weight.raw() + o * col_rows;
-      std::size_t r = 0;
-      for (; r + 4 <= col_rows; r += 4) rblock_single(orow, wrow, r);
-      rtail_single(orow, wrow, r);
-    }
-  }
+  tensor::active_backend().conv2d_planned(dst, input, weight, bias, plan, col_scratch);
 }
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
@@ -499,8 +245,8 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   std::vector<float> col_grad(col_rows * col_cols);
 
   for (std::size_t sample = 0; sample < n; ++sample) {
-    im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw, spec.stride,
-           spec.padding, oh, ow, col.data());
+    tensor::detail::im2col(input.raw() + sample * ic * h * w, ic, h, w, kh, kw,
+                           spec.stride, spec.padding, oh, ow, col.data());
     const float* gy_base = grad_output.raw() + sample * oc * col_cols;
 
     // grad_bias[o] += sum over spatial of gy
@@ -530,70 +276,16 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
       }
     }
 
-    col2im(col_grad.data(), ic, h, w, kh, kw, spec.stride, spec.padding, oh, ow,
-           grads.grad_input.raw() + sample * ic * h * w);
+    tensor::detail::col2im(col_grad.data(), ic, h, w, kh, kw, spec.stride,
+                           spec.padding, oh, ow,
+                           grads.grad_input.raw() + sample * ic * h * w);
   }
   return grads;
 }
 
 void conv3d_forward_into(Tensor& dst, const Tensor& input, const Tensor& weight,
                          const Tensor& bias, const Conv3dSpec& spec) {
-  ALFI_CHECK(input.rank() == 5, "conv3d input must be [N,C,D,H,W]");
-  ALFI_CHECK(weight.rank() == 5, "conv3d weight must be [OC,IC,KD,KH,KW]");
-  const std::size_t n = input.dim(0), ic = input.dim(1), d = input.dim(2),
-                    h = input.dim(3), w = input.dim(4);
-  const std::size_t oc = weight.dim(0), kd = weight.dim(2), kh = weight.dim(3),
-                    kw = weight.dim(4);
-  ALFI_CHECK(weight.dim(1) == ic, "conv3d channel mismatch");
-  ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == oc, "conv3d bias mismatch");
-  const std::size_t od = conv_out_size(d, kd, spec.stride, spec.padding);
-  const std::size_t oh = conv_out_size(h, kh, spec.stride, spec.padding);
-  const std::size_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
-  check_dst_numel(dst, n * oc * od * oh * ow, "conv3d_forward_into");
-  const auto in_at = [&](std::size_t s, std::size_t c, std::ptrdiff_t z,
-                         std::ptrdiff_t y, std::ptrdiff_t x) -> float {
-    if (z < 0 || y < 0 || x < 0 || z >= static_cast<std::ptrdiff_t>(d) ||
-        y >= static_cast<std::ptrdiff_t>(h) || x >= static_cast<std::ptrdiff_t>(w)) {
-      return 0.0f;
-    }
-    return input.raw()[(((s * ic + c) * d + static_cast<std::size_t>(z)) * h +
-                        static_cast<std::size_t>(y)) *
-                           w +
-                       static_cast<std::size_t>(x)];
-  };
-
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t o = 0; o < oc; ++o) {
-      for (std::size_t oz = 0; oz < od; ++oz) {
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            double acc = bias.raw()[o];
-            for (std::size_t c = 0; c < ic; ++c) {
-              for (std::size_t kz = 0; kz < kd; ++kz) {
-                for (std::size_t ky = 0; ky < kh; ++ky) {
-                  for (std::size_t kx = 0; kx < kw; ++kx) {
-                    const float wv =
-                        weight.raw()[(((o * ic + c) * kd + kz) * kh + ky) * kw + kx];
-                    const float iv = in_at(
-                        s, c,
-                        static_cast<std::ptrdiff_t>(oz * spec.stride + kz) -
-                            static_cast<std::ptrdiff_t>(spec.padding),
-                        static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-                            static_cast<std::ptrdiff_t>(spec.padding),
-                        static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                            static_cast<std::ptrdiff_t>(spec.padding));
-                    acc += static_cast<double>(wv) * iv;
-                  }
-                }
-              }
-            }
-            dst.raw()[(((s * oc + o) * od + oz) * oh + oy) * ow + ox] =
-                static_cast<float>(acc);
-          }
-        }
-      }
-    }
-  }
+  tensor::active_backend().conv3d_forward(dst, input, weight, bias, spec);
 }
 
 Tensor conv3d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
@@ -674,44 +366,7 @@ Conv3dGrads conv3d_backward(const Tensor& input, const Tensor& weight,
 
 void maxpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec,
                             std::size_t* argmax) {
-  ALFI_CHECK(input.rank() == 4, "maxpool2d input must be [N,C,H,W]");
-  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
-                    w = input.dim(3);
-  const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
-  const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
-  check_dst_numel(dst, n * c * oh * ow, "maxpool2d_forward_into");
-
-  std::size_t out_i = 0;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float* plane = input.raw() + (s * c + ch) * h * w;
-      const std::size_t plane_off = (s * c + ch) * h * w;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_off = plane_off + (oy * spec.stride) * w + ox * spec.stride;
-          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
-            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
-              const std::size_t y = oy * spec.stride + ky;
-              const std::size_t x = ox * spec.stride + kx;
-              const float v = plane[y * w + x];
-              // NaN-aware: propagate NaN so corrupted activations are not
-              // silently masked by pooling (matters for DUE detection).
-              if (std::isnan(v) || v > best) {
-                best = v;
-                best_off = plane_off + y * w + x;
-                if (std::isnan(v)) goto emit;
-              }
-            }
-          }
-        emit:
-          dst.raw()[out_i] = best;
-          if (argmax != nullptr) argmax[out_i] = best_off;
-          ++out_i;
-        }
-      }
-    }
-  }
+  tensor::active_backend().maxpool2d(dst, input, spec, argmax);
 }
 
 MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
@@ -736,30 +391,7 @@ Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
 }
 
 void avgpool2d_forward_into(Tensor& dst, const Tensor& input, const Pool2dSpec& spec) {
-  ALFI_CHECK(input.rank() == 4, "avgpool2d input must be [N,C,H,W]");
-  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
-                    w = input.dim(3);
-  const std::size_t oh = conv_out_size(h, spec.kernel, spec.stride, 0);
-  const std::size_t ow = conv_out_size(w, spec.kernel, spec.stride, 0);
-  check_dst_numel(dst, n * c * oh * ow, "avgpool2d_forward_into");
-  const float inv = 1.0f / static_cast<float>(spec.kernel * spec.kernel);
-  std::size_t out_i = 0;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float* plane = input.raw() + (s * c + ch) * h * w;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          double acc = 0.0;
-          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
-            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
-              acc += plane[(oy * spec.stride + ky) * w + ox * spec.stride + kx];
-            }
-          }
-          dst.raw()[out_i++] = static_cast<float>(acc) * inv;
-        }
-      }
-    }
-  }
+  tensor::active_backend().avgpool2d(dst, input, spec);
 }
 
 Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
@@ -801,19 +433,7 @@ Tensor avgpool2d_backward(const Tensor& input, const Pool2dSpec& spec,
 }
 
 void global_avgpool2d_into(Tensor& dst, const Tensor& input) {
-  ALFI_CHECK(input.rank() == 4, "global_avgpool2d input must be [N,C,H,W]");
-  const std::size_t n = input.dim(0), c = input.dim(1),
-                    plane = input.dim(2) * input.dim(3);
-  check_dst_numel(dst, n * c, "global_avgpool2d_into");
-  const float inv = 1.0f / static_cast<float>(plane);
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float* src = input.raw() + (s * c + ch) * plane;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < plane; ++i) acc += src[i];
-      dst.raw()[s * c + ch] = static_cast<float>(acc) * inv;
-    }
-  }
+  tensor::active_backend().global_avgpool2d(dst, input);
 }
 
 Tensor global_avgpool2d(const Tensor& input) {
@@ -843,11 +463,7 @@ Tensor global_avgpool2d_backward(const Tensor& input, const Tensor& grad_output)
 // ---- activations -----------------------------------------------------------
 
 void relu_into(Tensor& dst, const Tensor& input) {
-  check_dst_numel(dst, input.numel(), "relu_into");
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const float v = input.raw()[i];
-    dst.raw()[i] = v > 0.0f ? v : (std::isnan(v) ? v : 0.0f);
-  }
+  tensor::active_backend().relu(dst, input);
 }
 
 Tensor relu(const Tensor& input) {
@@ -866,11 +482,7 @@ Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
 }
 
 void leaky_relu_into(Tensor& dst, const Tensor& input, float negative_slope) {
-  check_dst_numel(dst, input.numel(), "leaky_relu_into");
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const float v = input.raw()[i];
-    dst.raw()[i] = v > 0.0f ? v : v * negative_slope;
-  }
+  tensor::active_backend().leaky_relu(dst, input, negative_slope);
 }
 
 Tensor leaky_relu(const Tensor& input, float negative_slope) {
@@ -891,10 +503,7 @@ Tensor leaky_relu_backward(const Tensor& input, float negative_slope,
 }
 
 void sigmoid_into(Tensor& dst, const Tensor& input) {
-  check_dst_numel(dst, input.numel(), "sigmoid_into");
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    dst.raw()[i] = 1.0f / (1.0f + std::exp(-input.raw()[i]));
-  }
+  tensor::active_backend().sigmoid(dst, input);
 }
 
 Tensor sigmoid(const Tensor& input) {
@@ -914,8 +523,7 @@ Tensor sigmoid_backward(const Tensor& output, const Tensor& grad_output) {
 }
 
 void tanh_act_into(Tensor& dst, const Tensor& input) {
-  check_dst_numel(dst, input.numel(), "tanh_act_into");
-  for (std::size_t i = 0; i < input.numel(); ++i) dst.raw()[i] = std::tanh(input.raw()[i]);
+  tensor::active_backend().tanh_act(dst, input);
 }
 
 Tensor tanh_act(const Tensor& input) {
@@ -935,13 +543,7 @@ Tensor tanh_backward(const Tensor& output, const Tensor& grad_output) {
 }
 
 void clamp_into(Tensor& dst, const Tensor& input, float lo, float hi) {
-  ALFI_CHECK(lo <= hi, "clamp bounds inverted");
-  check_dst_numel(dst, input.numel(), "clamp_into");
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const float v = input.raw()[i];
-    // NaN maps to lo so the mitigation layer also neutralizes NaN values.
-    dst.raw()[i] = std::isnan(v) ? lo : std::min(std::max(v, lo), hi);
-  }
+  tensor::active_backend().clamp(dst, input, lo, hi);
 }
 
 Tensor clamp(const Tensor& input, float lo, float hi) {
@@ -955,47 +557,14 @@ Tensor clamp(const Tensor& input, float lo, float hi) {
 void batchnorm2d_eval_into(Tensor& dst, const Tensor& input, const Tensor& gamma,
                            const Tensor& beta, const Tensor& running_mean,
                            const Tensor& running_var, float eps) {
-  ALFI_CHECK(input.rank() == 4, "batchnorm2d input must be [N,C,H,W]");
-  const std::size_t n = input.dim(0), c = input.dim(1),
-                    plane = input.dim(2) * input.dim(3);
-  ALFI_CHECK(gamma.numel() == c && beta.numel() == c && running_mean.numel() == c &&
-                 running_var.numel() == c,
-             "batchnorm2d channel stats mismatch");
-  check_dst_numel(dst, input.numel(), "batchnorm2d_eval_into");
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    const float mean = running_mean.raw()[ch];
-    const float inv_std = 1.0f / std::sqrt(running_var.raw()[ch] + eps);
-    const float g = gamma.raw()[ch];
-    const float b = beta.raw()[ch];
-    for (std::size_t s = 0; s < n; ++s) {
-      const float* src = input.raw() + (s * c + ch) * plane;
-      float* out = dst.raw() + (s * c + ch) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        out[i] = (src[i] - mean) * inv_std * g + b;
-      }
-    }
-  }
+  tensor::active_backend().batchnorm2d_eval(dst, input, gamma, beta, running_mean,
+                                            running_var, eps);
 }
 
 // ---- classification heads --------------------------------------------------
 
 void softmax_rows_into(Tensor& dst, const Tensor& logits) {
-  ALFI_CHECK(logits.rank() == 2, "softmax_rows expects [N, K]");
-  const std::size_t n = logits.dim(0), k = logits.dim(1);
-  check_dst_numel(dst, logits.numel(), "softmax_rows_into");
-  for (std::size_t row = 0; row < n; ++row) {
-    const float* x = logits.raw() + row * k;
-    float* y = dst.raw() + row * k;
-    float maxv = -std::numeric_limits<float>::infinity();
-    for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
-    double total = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      y[i] = std::exp(x[i] - maxv);
-      total += y[i];
-    }
-    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
-    for (std::size_t i = 0; i < k; ++i) y[i] *= inv;
-  }
+  tensor::active_backend().softmax_rows(dst, logits);
 }
 
 Tensor softmax_rows(const Tensor& logits) {
@@ -1005,19 +574,7 @@ Tensor softmax_rows(const Tensor& logits) {
 }
 
 void log_softmax_rows_into(Tensor& dst, const Tensor& logits) {
-  ALFI_CHECK(logits.rank() == 2, "log_softmax_rows expects [N, K]");
-  const std::size_t n = logits.dim(0), k = logits.dim(1);
-  check_dst_numel(dst, logits.numel(), "log_softmax_rows_into");
-  for (std::size_t row = 0; row < n; ++row) {
-    const float* x = logits.raw() + row * k;
-    float* y = dst.raw() + row * k;
-    float maxv = -std::numeric_limits<float>::infinity();
-    for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
-    double total = 0.0;
-    for (std::size_t i = 0; i < k; ++i) total += std::exp(x[i] - maxv);
-    const float log_total = static_cast<float>(std::log(total)) + maxv;
-    for (std::size_t i = 0; i < k; ++i) y[i] = x[i] - log_total;
-  }
+  tensor::active_backend().log_softmax_rows(dst, logits);
 }
 
 Tensor log_softmax_rows(const Tensor& logits) {

@@ -20,11 +20,16 @@ namespace alfi::ops {
 
 // Every forward op has an `_into(dst, ...)` variant that writes into a
 // caller-provided tensor (typically an arena-backed workspace slot, see
-// arena.h) instead of allocating the result.  The allocating form is a
-// thin wrapper over the `_into` form, so both paths are bit-identical
-// by construction.  `dst` must already have the output shape; unless
-// noted otherwise it must not alias the inputs (elementwise ops and
-// activations are alias-safe).
+// arena.h) instead of allocating the result.  The `_into` form is THE
+// backend-dispatched signature: it forwards to the active
+// tensor::Backend (see backend.h), which validates shapes and runs the
+// kernel.  The allocating form is a thin shim over the `_into` form, so
+// both paths always execute the same backend kernel.  Layers in `nn/`
+// call these free functions and never a backend directly, so they
+// cannot bypass the active backend.  `dst` must already have the output
+// shape; unless noted otherwise it must not alias the inputs
+// (elementwise ops and activations are alias-safe).  Backward/training
+// ops are backend-independent scalar code.
 
 // ---- elementwise -----------------------------------------------------------
 

@@ -1,0 +1,484 @@
+// Backend-vs-reference sweep (ggml test-backend-ops idiom): every
+// registered backend runs every forward kernel over a shape/stride/
+// batch grid and is compared against the scalar "ref" oracle with
+// per-op tolerances (DESIGN.md §13):
+//
+//   * bit-exact (tolerance 0): elementwise, transpose, pooling,
+//     activations, batchnorm, softmax heads, conv3d.  These ops define
+//     campaign identity — a backend that disagrees by one bit would
+//     change fault-injection verdicts.
+//   * ULP-bounded: matmul / conv2d (rel 1e-5 — FMA keeps products
+//     exact but reassociates the K-long accumulation), linear_forward
+//     (rel 1e-6 — both backends accumulate in double, only the lane
+//     association differs).
+//
+// NaN/Inf inputs and exactly-zero weights are part of the grid: the
+// reference conv/matmul skip zero weights to avoid manufacturing NaNs
+// from 0 * Inf, and accelerated backends must preserve that semantic.
+//
+// Registry semantics (resolve/auto/unknown names) are covered at the
+// bottom.  New backends get all of this for free by registering.
+#include "tensor/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/bits.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace alfi::tensor {
+namespace {
+
+// ---- grid helpers -----------------------------------------------------------
+
+/// Deterministic fill mixing magnitudes, signs and exact zeros.
+void fill(Tensor& t, Rng& rng, float scale = 1.0f) {
+  for (float& v : t.data()) {
+    const double u = rng.uniform(-1.0, 1.0);
+    v = static_cast<float>(u * scale);
+    if (rng.uniform() < 0.05) v = 0.0f;  // exercise zero-skip paths
+  }
+}
+
+/// Sprinkles non-finite values the campaign's corrupted passes produce.
+void poison(Tensor& t, Rng& rng) {
+  auto data = t.data();
+  if (data.empty()) return;
+  data[static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 0.999 *
+                                static_cast<double>(data.size()))] =
+      std::numeric_limits<float>::quiet_NaN();
+  data[static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 0.999 *
+                                static_cast<double>(data.size()))] =
+      std::numeric_limits<float>::infinity();
+  data[0] = -0.0f;  // signed-zero semantics must survive vectorization
+}
+
+Tensor sentinel(const Shape& shape) {
+  Tensor t(shape);
+  for (float& v : t.data()) v = -1234.5f;  // catches unwritten elements
+  return t;
+}
+
+/// Bitwise comparison when rel == 0 (NaN payloads and ±0 included);
+/// otherwise per-element relative error bound, with non-finite values
+/// required to match in kind and sign.
+void expect_matches(const Tensor& ref, const Tensor& got, double rel,
+                    const std::string& what) {
+  ASSERT_EQ(ref.shape(), got.shape()) << what;
+  const auto a = ref.data();
+  const auto b = got.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (rel == 0.0) {
+      ASSERT_EQ(bits::to_bits(a[i]), bits::to_bits(b[i]))
+          << what << " diverges bitwise at flat index " << i << ": ref "
+          << a[i] << " vs " << b[i];
+      continue;
+    }
+    if (std::isnan(a[i])) {
+      ASSERT_TRUE(std::isnan(b[i])) << what << " at " << i << ": ref NaN, got "
+                                    << b[i];
+      continue;
+    }
+    if (std::isinf(a[i])) {
+      ASSERT_EQ(a[i], b[i]) << what << " at " << i;
+      continue;
+    }
+    ASSERT_FALSE(std::isnan(b[i]) || std::isinf(b[i]))
+        << what << " at " << i << ": ref " << a[i] << ", got " << b[i];
+    const double err = std::fabs(static_cast<double>(a[i]) - b[i]);
+    const double bound = rel * std::max(1.0, std::fabs(static_cast<double>(a[i])));
+    ASSERT_LE(err, bound) << what << " at flat index " << i << ": ref " << a[i]
+                          << " vs " << b[i];
+  }
+}
+
+// Per-op tolerance contract (documented above; referenced by DESIGN.md §13).
+constexpr double kExact = 0.0;
+constexpr double kMatmulRel = 1e-5;
+constexpr double kConvRel = 1e-5;
+constexpr double kLinearRel = 1e-6;
+
+class BackendSweep : public ::testing::TestWithParam<Backend*> {
+ protected:
+  Backend& b() { return *GetParam(); }
+  Backend& ref() { return ref_backend(); }
+};
+
+// ---- elementwise + activations (bit-exact) ----------------------------------
+
+TEST_P(BackendSweep, ElementwiseAndActivationsBitExact) {
+  Rng rng(7);
+  for (const Shape& shape : {Shape{1}, Shape{17}, Shape{64}, Shape{2, 3, 5},
+                             Shape{1, 3, 8, 9}}) {
+    for (const bool poisoned : {false, true}) {
+      Tensor x(shape), y(shape);
+      fill(x, rng, 3.0f);
+      fill(y, rng, 2.0f);
+      if (poisoned) {
+        poison(x, rng);
+        poison(y, rng);
+      }
+
+      const auto check2 = [&](auto op, const char* what) {
+        Tensor want = sentinel(shape), got = sentinel(shape);
+        op(ref(), want);
+        op(b(), got);
+        expect_matches(want, got, kExact, what);
+      };
+      check2([&](const Backend& k, Tensor& d) { k.add(d, x, y); }, "add");
+      check2([&](const Backend& k, Tensor& d) { k.sub(d, x, y); }, "sub");
+      check2([&](const Backend& k, Tensor& d) { k.mul(d, x, y); }, "mul");
+      check2([&](const Backend& k, Tensor& d) { k.scale(d, x, 1.7f); }, "scale");
+      check2([&](const Backend& k, Tensor& d) { k.relu(d, x); }, "relu");
+      check2([&](const Backend& k, Tensor& d) { k.leaky_relu(d, x, 0.1f); },
+             "leaky_relu");
+      check2([&](const Backend& k, Tensor& d) { k.sigmoid(d, x); }, "sigmoid");
+      check2([&](const Backend& k, Tensor& d) { k.tanh_act(d, x); }, "tanh");
+      check2([&](const Backend& k, Tensor& d) { k.clamp(d, x, -0.5f, 0.75f); },
+             "clamp");
+      // clamp with ±0 bounds: std::min/max ordering is observable there
+      check2([&](const Backend& k, Tensor& d) { k.clamp(d, x, 0.0f, 0.0f); },
+             "clamp-zero");
+
+      {  // in-place ops mutate their first argument
+        Tensor want = Tensor(x), got = Tensor(x);
+        ref().add_inplace(want, y);
+        b().add_inplace(got, y);
+        expect_matches(want, got, kExact, "add_inplace");
+      }
+      {
+        Tensor want = Tensor(x), got = Tensor(x);
+        ref().axpy_inplace(want, -0.3f, y);
+        b().axpy_inplace(got, -0.3f, y);
+        expect_matches(want, got, kExact, "axpy_inplace");
+      }
+    }
+  }
+}
+
+TEST_P(BackendSweep, ActivationAliasSafety) {
+  // Layers apply activations in place (dst aliases input) — a
+  // vectorized kernel must tolerate full aliasing.
+  Rng rng(11);
+  Tensor x(Shape{3, 19});
+  fill(x, rng, 2.0f);
+  poison(x, rng);
+  Tensor want = Tensor(x);
+  ref().relu(want, want);
+  Tensor got = Tensor(x);
+  b().relu(got, got);
+  expect_matches(want, got, kExact, "relu aliased");
+
+  want = Tensor(x);
+  ref().leaky_relu(want, want, 0.01f);
+  got = Tensor(x);
+  b().leaky_relu(got, got, 0.01f);
+  expect_matches(want, got, kExact, "leaky_relu aliased");
+
+  want = Tensor(x);
+  ref().clamp(want, want, -1.0f, 1.0f);
+  got = Tensor(x);
+  b().clamp(got, got, -1.0f, 1.0f);
+  expect_matches(want, got, kExact, "clamp aliased");
+}
+
+// ---- linear algebra (ULP-bounded) -------------------------------------------
+
+TEST_P(BackendSweep, MatmulGrid) {
+  Rng rng(13);
+  struct Case {
+    std::size_t m, k, n;
+  };
+  for (const Case c : {Case{1, 1, 1}, Case{4, 4, 4}, Case{3, 7, 5},
+                       Case{8, 16, 8}, Case{2, 3, 1}, Case{5, 1, 9},
+                       Case{16, 33, 17}, Case{6, 130, 11}}) {
+    Tensor a(Shape{c.m, c.k}), w(Shape{c.k, c.n});
+    fill(a, rng);
+    fill(w, rng);
+    Tensor want = sentinel(Shape{c.m, c.n}), got = sentinel(Shape{c.m, c.n});
+    ref().matmul(want, a, w);
+    b().matmul(got, a, w);
+    expect_matches(want, got, kMatmulRel, "matmul");
+  }
+}
+
+TEST_P(BackendSweep, MatmulZeroSkipPreservesNanSemantics) {
+  // ref skips exactly-zero LEFT operands (activations) so 0 * Inf never
+  // manufactures a NaN; an accelerated backend must not reintroduce
+  // those NaNs, and must still propagate Inf/NaN reached through
+  // nonzero activations.
+  Tensor a(Shape{2, 3}, std::vector<float>{0.0f, 1.0f, 0.0f,  //
+                                           2.0f, 0.0f, -3.0f});
+  Tensor w(Shape{3, 2},
+           std::vector<float>{std::numeric_limits<float>::infinity(), 1.0f,
+                              2.0f, std::numeric_limits<float>::quiet_NaN(),
+                              -std::numeric_limits<float>::infinity(), 3.0f});
+  Tensor want = sentinel(Shape{2, 2}), got = sentinel(Shape{2, 2});
+  ref().matmul(want, a, w);
+  b().matmul(got, a, w);
+  expect_matches(want, got, kMatmulRel, "matmul zero-skip");
+  // Row 0 reaches the ±Inf weights only through zero activations, so
+  // dst[0][0] = 1 * w[1][0] = 2 stays finite; dst[0][1] = NaN flows
+  // through the nonzero activation and is checked by expect_matches.
+  EXPECT_TRUE(std::isfinite(got.data()[0]));
+  // Row 1 reaches ±Inf through nonzero activations: 2*Inf + 3*Inf.
+  EXPECT_TRUE(std::isinf(got.data()[2]));
+}
+
+TEST_P(BackendSweep, TransposeBitExact) {
+  Rng rng(17);
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{1, 1},
+                             {3, 7}, {8, 8}, {5, 13}}) {
+    Tensor a(Shape{m, n});
+    fill(a, rng);
+    poison(a, rng);
+    Tensor want = sentinel(Shape{n, m}), got = sentinel(Shape{n, m});
+    ref().transpose2d(want, a);
+    b().transpose2d(got, a);
+    expect_matches(want, got, kExact, "transpose2d");
+  }
+}
+
+TEST_P(BackendSweep, LinearGrid) {
+  Rng rng(19);
+  struct Case {
+    std::size_t n, in, out;
+  };
+  for (const Case c : {Case{1, 8, 4}, Case{3, 17, 5}, Case{8, 64, 10},
+                       Case{2, 1, 1}, Case{4, 130, 3}}) {
+    Tensor x(Shape{c.n, c.in}), w(Shape{c.out, c.in}), bias(Shape{c.out});
+    fill(x, rng);
+    fill(w, rng);
+    fill(bias, rng);
+    Tensor want = sentinel(Shape{c.n, c.out}), got = sentinel(Shape{c.n, c.out});
+    ref().linear_forward(want, x, w, bias);
+    b().linear_forward(got, x, w, bias);
+    expect_matches(want, got, kLinearRel, "linear_forward");
+  }
+}
+
+// ---- convolution ------------------------------------------------------------
+
+struct ConvCase {
+  std::size_t n, ic, h, w, oc, k, stride, padding;
+};
+
+const ConvCase kConvGrid[] = {
+    {1, 1, 5, 5, 1, 3, 1, 0},   // minimal
+    {2, 3, 8, 8, 4, 3, 1, 1},   // batched, padded
+    {1, 4, 7, 9, 8, 3, 2, 1},   // strided, non-square
+    {3, 2, 6, 6, 5, 1, 1, 0},   // 1x1 kernel (pure GEMM)
+    {1, 3, 4, 4, 2, 3, 1, 2},   // padding > stride
+    {2, 8, 5, 5, 16, 5, 2, 2},  // kernel == input
+    {1, 16, 6, 6, 7, 3, 1, 1},  // col_rows % 4 != 0 tail
+};
+
+TEST_P(BackendSweep, Conv2dGrid) {
+  Rng rng(23);
+  for (const ConvCase& c : kConvGrid) {
+    const ops::Conv2dSpec spec{c.stride, c.padding};
+    Tensor input(Shape{c.n, c.ic, c.h, c.w});
+    Tensor weight(Shape{c.oc, c.ic, c.k, c.k});
+    Tensor bias(Shape{c.oc});
+    fill(input, rng);
+    fill(weight, rng);
+    fill(bias, rng);
+    const std::size_t oh = ops::conv_out_size(c.h, c.k, c.stride, c.padding);
+    const std::size_t ow = ops::conv_out_size(c.w, c.k, c.stride, c.padding);
+    const Shape out_shape{c.n, c.oc, oh, ow};
+    std::vector<float> scratch(
+        ops::conv2d_scratch_floats(input.shape(), weight.shape(), spec));
+
+    Tensor want = sentinel(out_shape), got = sentinel(out_shape);
+    ref().conv2d_forward(want, input, weight, bias, spec, scratch);
+    b().conv2d_forward(got, input, weight, bias, spec, scratch);
+    expect_matches(want, got, kConvRel, "conv2d_forward");
+
+    // Planned path must agree with the spec path of the SAME backend
+    // bitwise (identical accumulation order) and stay in tolerance.
+    const ops::Conv2dPlan plan =
+        ops::make_conv2d_plan(input.shape(), weight.shape(), spec);
+    Tensor planned = sentinel(out_shape);
+    b().conv2d_planned(planned, input, weight, bias, plan, scratch);
+    expect_matches(got, planned, kExact, "conv2d_planned vs conv2d_forward");
+  }
+}
+
+TEST_P(BackendSweep, Conv2dZeroWeightSkipWithNonFiniteInput) {
+  // The corrupted pass routinely feeds Inf/NaN activations into convs.
+  // Zero weights must skip them (no 0*Inf NaN manufacture), nonzero
+  // weights must propagate them — same as ref, on every backend.
+  Rng rng(29);
+  const ops::Conv2dSpec spec{1, 1};
+  Tensor input(Shape{2, 3, 6, 6});
+  Tensor weight(Shape{4, 3, 3, 3});
+  Tensor bias(Shape{4});
+  fill(input, rng);
+  fill(weight, rng);
+  fill(bias, rng);
+  poison(input, rng);
+  // Zero a full output channel and a scattering of taps.
+  for (std::size_t i = 0; i < weight.numel(); i += 7) weight.data()[i] = 0.0f;
+  for (std::size_t i = 0; i < 27; ++i) weight.data()[i] = 0.0f;
+
+  const Shape out_shape{2, 4, 6, 6};
+  std::vector<float> scratch(
+      ops::conv2d_scratch_floats(input.shape(), weight.shape(), spec));
+  Tensor want = sentinel(out_shape), got = sentinel(out_shape);
+  ref().conv2d_forward(want, input, weight, bias, spec, scratch);
+  b().conv2d_forward(got, input, weight, bias, spec, scratch);
+  expect_matches(want, got, kConvRel, "conv2d zero-skip");
+}
+
+TEST_P(BackendSweep, Conv3dBitExact) {
+  // No backend accelerates conv3d yet — it inherits the scalar base
+  // implementation, so the comparison is bitwise.
+  Rng rng(31);
+  const ops::Conv3dSpec spec{1, 1};
+  Tensor input(Shape{1, 2, 3, 5, 5});
+  Tensor weight(Shape{3, 2, 3, 3, 3});
+  Tensor bias(Shape{3});
+  fill(input, rng);
+  fill(weight, rng);
+  fill(bias, rng);
+  const Shape out_shape{1, 3, 3, 5, 5};
+  Tensor want = sentinel(out_shape), got = sentinel(out_shape);
+  ref().conv3d_forward(want, input, weight, bias, spec);
+  b().conv3d_forward(got, input, weight, bias, spec);
+  expect_matches(want, got, kExact, "conv3d_forward");
+}
+
+// ---- pooling / normalization / heads (bit-exact) ----------------------------
+
+TEST_P(BackendSweep, PoolingBitExact) {
+  Rng rng(37);
+  for (const auto& [h, w] : {std::pair<std::size_t, std::size_t>{4, 4},
+                             {6, 8}, {5, 5}}) {
+    Tensor input(Shape{2, 3, h, w});
+    fill(input, rng, 2.0f);
+    poison(input, rng);
+    const ops::Pool2dSpec spec{2, 2};
+    const Shape out_shape{2, 3, h / 2, w / 2};
+
+    Tensor want = sentinel(out_shape), got = sentinel(out_shape);
+    std::vector<std::size_t> want_arg(want.numel()), got_arg(got.numel());
+    ref().maxpool2d(want, input, spec, want_arg.data());
+    b().maxpool2d(got, input, spec, got_arg.data());
+    expect_matches(want, got, kExact, "maxpool2d");
+    EXPECT_EQ(want_arg, got_arg) << "maxpool2d argmax";
+
+    want = sentinel(out_shape);
+    got = sentinel(out_shape);
+    ref().avgpool2d(want, input, spec);
+    b().avgpool2d(got, input, spec);
+    expect_matches(want, got, kExact, "avgpool2d");
+
+    Tensor want_g = sentinel(Shape{2, 3}), got_g = sentinel(Shape{2, 3});
+    ref().global_avgpool2d(want_g, input);
+    b().global_avgpool2d(got_g, input);
+    expect_matches(want_g, got_g, kExact, "global_avgpool2d");
+  }
+}
+
+TEST_P(BackendSweep, BatchnormAndSoftmaxBitExact) {
+  Rng rng(41);
+  Tensor input(Shape{2, 4, 5, 5});
+  fill(input, rng, 2.0f);
+  Tensor gamma(Shape{4}), beta(Shape{4}), mean(Shape{4}), var(Shape{4});
+  fill(gamma, rng);
+  fill(beta, rng);
+  fill(mean, rng);
+  for (float& v : var.data()) v = static_cast<float>(rng.uniform(0.1, 2.0));
+
+  Tensor want = sentinel(input.shape()), got = sentinel(input.shape());
+  ref().batchnorm2d_eval(want, input, gamma, beta, mean, var, 1e-5f);
+  b().batchnorm2d_eval(got, input, gamma, beta, mean, var, 1e-5f);
+  expect_matches(want, got, kExact, "batchnorm2d_eval");
+
+  Tensor logits(Shape{3, 10});
+  fill(logits, rng, 5.0f);
+  Tensor want_s = sentinel(logits.shape()), got_s = sentinel(logits.shape());
+  ref().softmax_rows(want_s, logits);
+  b().softmax_rows(got_s, logits);
+  expect_matches(want_s, got_s, kExact, "softmax_rows");
+
+  want_s = sentinel(logits.shape());
+  got_s = sentinel(logits.shape());
+  ref().log_softmax_rows(want_s, logits);
+  b().log_softmax_rows(got_s, logits);
+  expect_matches(want_s, got_s, kExact, "log_softmax_rows");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registered, BackendSweep, ::testing::ValuesIn(registered_backends()),
+    [](const ::testing::TestParamInfo<Backend*>& info) {
+      return std::string(info.param->name());
+    });
+
+// ---- registry / resolution --------------------------------------------------
+
+TEST(BackendRegistry, RefIsAlwaysFirst) {
+  const auto& backends = registered_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_STREQ(backends[0]->name(), "ref");
+  EXPECT_EQ(backends[0], &ref_backend());
+}
+
+TEST(BackendRegistry, FindByName) {
+  EXPECT_EQ(find_backend("ref"), &ref_backend());
+  EXPECT_EQ(find_backend("no-such-backend"), nullptr);
+}
+
+TEST(BackendRegistry, KnownNames) {
+  EXPECT_TRUE(is_known_backend_name(""));
+  EXPECT_TRUE(is_known_backend_name("ref"));
+  EXPECT_TRUE(is_known_backend_name("avx2"));
+  EXPECT_TRUE(is_known_backend_name("auto"));
+  EXPECT_FALSE(is_known_backend_name("neon"));
+}
+
+TEST(BackendRegistry, ResolveRefAndAuto) {
+  EXPECT_EQ(&resolve_backend(""), &ref_backend());
+  EXPECT_EQ(&resolve_backend("ref"), &ref_backend());
+  // "auto" picks the last (most accelerated) registered backend and
+  // never throws.
+  Backend& resolved = resolve_backend("auto");
+  EXPECT_NE(find_backend(resolved.name()), nullptr);
+  if (find_backend("avx2") != nullptr) {
+    EXPECT_STREQ(resolved.name(), "avx2");
+  } else {
+    EXPECT_EQ(&resolved, &ref_backend());
+  }
+}
+
+TEST(BackendRegistry, ResolveUnknownThrows) {
+  EXPECT_THROW(resolve_backend("neon"), ConfigError);
+}
+
+TEST(BackendRegistry, ResolveUnavailableThrows) {
+  if (find_backend("avx2") != nullptr) {
+    EXPECT_EQ(&resolve_backend("avx2"), find_backend("avx2"));
+  } else {
+    EXPECT_THROW(resolve_backend("avx2"), ConfigError);
+  }
+}
+
+TEST(BackendRegistry, ActiveDefaultsToRef) {
+  EXPECT_EQ(&active_backend(), &ref_backend());
+  // Switching and restoring works (the sweep tests above call kernels
+  // directly and never touch the active pointer).
+  if (Backend* avx2 = find_backend("avx2")) {
+    set_active_backend(*avx2);
+    EXPECT_EQ(&active_backend(), avx2);
+    set_active_backend(ref_backend());
+  }
+  EXPECT_EQ(&active_backend(), &ref_backend());
+}
+
+}  // namespace
+}  // namespace alfi::tensor

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "core/injector.h"
 #include "nn/layers.h"
 #include "tensor/bits.h"
+#include "util/error.h"
 
 namespace alfi::nn {
 namespace {
@@ -77,12 +80,201 @@ TEST(Quantize, LiveBits) {
   EXPECT_EQ(lowest_live_bit(NumericType::kFloat32), 0);
   EXPECT_EQ(lowest_live_bit(NumericType::kBfloat16), 16);
   EXPECT_EQ(lowest_live_bit(NumericType::kFloat16), 13);
+  // Stored types index STORED code bits — every position is live.
+  EXPECT_EQ(lowest_live_bit(NumericType::kFloat16Stored), 0);
+  EXPECT_EQ(lowest_live_bit(NumericType::kInt8), 0);
+}
+
+TEST(Quantize, StorageBits) {
+  EXPECT_EQ(storage_bits(NumericType::kFloat32), 32);
+  EXPECT_EQ(storage_bits(NumericType::kBfloat16), 32);  // emulated: fp32 pattern
+  EXPECT_EQ(storage_bits(NumericType::kFloat16), 32);
+  EXPECT_EQ(storage_bits(NumericType::kFloat16Stored), 16);
+  EXPECT_EQ(storage_bits(NumericType::kInt8), 8);
+  EXPECT_FALSE(is_stored_type(NumericType::kFloat32));
+  EXPECT_FALSE(is_stored_type(NumericType::kFloat16));
+  EXPECT_TRUE(is_stored_type(NumericType::kFloat16Stored));
+  EXPECT_TRUE(is_stored_type(NumericType::kInt8));
 }
 
 TEST(Quantize, Names) {
   EXPECT_STREQ(to_string(NumericType::kFloat32), "fp32");
   EXPECT_STREQ(to_string(NumericType::kBfloat16), "bf16");
   EXPECT_STREQ(to_string(NumericType::kFloat16), "fp16");
+  EXPECT_STREQ(to_string(NumericType::kFloat16Stored), "fp16_stored");
+  EXPECT_STREQ(to_string(NumericType::kInt8), "int8");
+
+  NumericType parsed = NumericType::kInt8;
+  EXPECT_TRUE(numeric_type_from_string("", parsed));
+  EXPECT_EQ(parsed, NumericType::kFloat32);
+  EXPECT_TRUE(numeric_type_from_string("fp16_stored", parsed));
+  EXPECT_EQ(parsed, NumericType::kFloat16Stored);
+  EXPECT_TRUE(numeric_type_from_string("int8", parsed));
+  EXPECT_EQ(parsed, NumericType::kInt8);
+  EXPECT_FALSE(numeric_type_from_string("fp8", parsed));
+}
+
+// ---- fp16 bit conversion ----------------------------------------------------
+
+TEST(Fp16Bits, KnownPatterns) {
+  EXPECT_EQ(fp16_bits_from_float(0.0f), 0x0000u);
+  EXPECT_EQ(fp16_bits_from_float(-0.0f), 0x8000u);  // signed zero survives
+  EXPECT_EQ(fp16_bits_from_float(1.0f), 0x3C00u);
+  EXPECT_EQ(fp16_bits_from_float(-1.0f), 0xBC00u);
+  EXPECT_EQ(fp16_bits_from_float(65504.0f), 0x7BFFu);  // half max finite
+  EXPECT_EQ(fp16_bits_from_float(1e6f), 0x7C00u);      // overflow -> +inf
+  EXPECT_EQ(fp16_bits_from_float(-1e6f), 0xFC00u);
+  EXPECT_EQ(fp16_bits_from_float(std::numeric_limits<float>::infinity()),
+            0x7C00u);
+}
+
+TEST(Fp16Bits, SubnormalsAndRounding) {
+  // Smallest half subnormal is 2^-24.
+  EXPECT_EQ(fp16_bits_from_float(std::ldexp(1.0f, -24)), 0x0001u);
+  EXPECT_EQ(float_from_fp16_bits(0x0001), std::ldexp(1.0f, -24));
+  // 2^-25 is the tie between 0 and the smallest subnormal: round to
+  // even picks 0; anything above the tie rounds up.
+  EXPECT_EQ(fp16_bits_from_float(std::ldexp(1.0f, -25)), 0x0000u);
+  EXPECT_EQ(fp16_bits_from_float(std::ldexp(1.0f, -25) * 1.5f), 0x0001u);
+  // RNE in the normal range: half ulp at 1.0 is 2^-11 — the tie rounds
+  // to even (1.0), past the tie rounds up to the next representable.
+  EXPECT_EQ(fp16_bits_from_float(1.0f + std::ldexp(1.0f, -11)), 0x3C00u);
+  EXPECT_EQ(fp16_bits_from_float(1.0f + std::ldexp(1.5f, -11)), 0x3C01u);
+}
+
+TEST(Fp16Bits, NanNeverBecomesInf) {
+  const std::uint16_t q = fp16_bits_from_float(std::nanf(""));
+  EXPECT_EQ(q & 0x7C00u, 0x7C00u);  // exponent all-ones
+  EXPECT_NE(q & 0x03FFu, 0u);       // nonzero payload: NaN, not inf
+  EXPECT_TRUE(std::isnan(float_from_fp16_bits(q)));
+}
+
+TEST(Fp16Bits, ExhaustiveRoundTrip) {
+  // Every half value is exactly representable in fp32, so
+  // decode -> encode must reproduce every one of the 65536 patterns
+  // (NaNs may canonicalize their payload but must stay NaN).
+  for (std::uint32_t p = 0; p <= 0xFFFFu; ++p) {
+    const auto pattern = static_cast<std::uint16_t>(p);
+    const float value = float_from_fp16_bits(pattern);
+    if (std::isnan(value)) {
+      EXPECT_TRUE(std::isnan(float_from_fp16_bits(fp16_bits_from_float(value))));
+      continue;
+    }
+    ASSERT_EQ(fp16_bits_from_float(value), pattern)
+        << "pattern 0x" << std::hex << p;
+  }
+}
+
+// ---- stored-weight representation -------------------------------------------
+
+std::shared_ptr<Sequential> small_net() {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Linear>(4, 3));
+  Rng rng(9);
+  kaiming_init(*net, rng);
+  return net;
+}
+
+TEST(StoredWeightStore, Fp16StoredContract) {
+  auto net = small_net();
+  std::vector<float> originals;
+  for (Parameter* p : net->parameters()) {
+    for (const float v : p->value.data()) originals.push_back(v);
+  }
+
+  StoredWeightStore store(*net, NumericType::kFloat16Stored);
+  std::size_t flat = 0;
+  for (Parameter* p : net->parameters()) {
+    EXPECT_TRUE(store.handles(p));
+    for (std::size_t i = 0; i < p->value.numel(); ++i, ++flat) {
+      const std::uint32_t code = store.code(*p, i);
+      // code is the RNE-quantized original; the fp32 view was
+      // overwritten with its exact dequantized form.
+      EXPECT_EQ(code, fp16_bits_from_float(originals[flat]));
+      EXPECT_EQ(bits::to_bits(p->value.flat(i)),
+                bits::to_bits(float_from_fp16_bits(
+                    static_cast<std::uint16_t>(code))));
+      EXPECT_EQ(store.decode(*p, i, code), p->value.flat(i));
+    }
+  }
+}
+
+TEST(StoredWeightStore, Int8PerChannelScales) {
+  auto net = std::make_shared<Sequential>();
+  net->append(std::make_shared<Linear>(4, 3));
+  Parameter* weight = net->parameters()[0];
+  ASSERT_EQ(weight->value.shape(), (Shape{3, 4}));
+  // Channel = dim 0: hand-pick rows with known maxabs, incl. all-zero.
+  const std::vector<float> values{0.5f, -1.0f, 0.25f, 0.75f,   // maxabs 1.0
+                                  0.0f, 0.0f,  0.0f,  0.0f,    // all-zero
+                                  12.7f, -6.35f, 0.1f, 12.7f};  // maxabs 12.7
+  std::copy(values.begin(), values.end(), weight->value.data().begin());
+  Parameter* bias = net->parameters()[1];
+  bias->value.fill(0.0f);
+
+  StoredWeightStore store(*net, NumericType::kInt8);
+  // Row 0: scale 1/127 -> -1.0 encodes to -127 (0x81 two's complement).
+  EXPECT_EQ(store.code(*weight, 1), 0x81u);
+  EXPECT_FLOAT_EQ(weight->value.flat(1), -1.0f);
+  // Row 1 is all-zero: scale falls back to 1.0 so corrupted codes still
+  // express a value change; codes are 0.
+  EXPECT_EQ(store.code(*weight, 4), 0u);
+  EXPECT_FLOAT_EQ(store.decode(*weight, 4, 1u), 1.0f);  // scale == 1.0
+  // Row 2: scale 12.7/127 = 0.1 -> 12.7 encodes to 127, -6.35 to -64
+  // (nearbyint ties-to-even on -63.5).
+  EXPECT_EQ(store.code(*weight, 8), 127u);
+  EXPECT_FLOAT_EQ(weight->value.flat(8), 12.7f);
+  EXPECT_EQ(store.code(*weight, 9), 0xC0u);  // -64
+
+  // encode(): NaN -> 0, out-of-range saturates to +-127.
+  EXPECT_EQ(store.encode(*weight, 0, std::nanf("")), 0u);
+  EXPECT_EQ(store.encode(*weight, 0, 1e9f), 127u);
+  EXPECT_EQ(store.encode(*weight, 0, -1e9f), 0x81u);
+}
+
+TEST(StoredWeightStore, SetCodeRefreshesComputeView) {
+  auto net = small_net();
+  StoredWeightStore store(*net, NumericType::kFloat16Stored);
+  Parameter* weight = net->parameters()[0];
+  const float updated = store.set_code(*weight, 0, 0xBC00u);  // -1.0 in half
+  EXPECT_FLOAT_EQ(updated, -1.0f);
+  EXPECT_FLOAT_EQ(weight->value.flat(0), -1.0f);
+  EXPECT_EQ(store.code(*weight, 0), 0xBC00u);
+}
+
+TEST(StoredWeightStore, ReplicaCopiesCodesBitExact) {
+  auto net = small_net();
+  StoredWeightStore store(*net, NumericType::kInt8);
+
+  // Replica starts from DIFFERENT values — the replica ctor must ignore
+  // them and rebind the primary's codes/scales, never requantize.
+  auto replica = std::make_shared<Sequential>();
+  replica->append(std::make_shared<Linear>(4, 3));
+  Rng rng(1234);
+  kaiming_init(*replica, rng);
+
+  StoredWeightStore copy(*replica, store);
+  const auto primary_params = net->parameters();
+  const auto replica_params = replica->parameters();
+  ASSERT_EQ(primary_params.size(), replica_params.size());
+  for (std::size_t pi = 0; pi < primary_params.size(); ++pi) {
+    for (std::size_t i = 0; i < primary_params[pi]->value.numel(); ++i) {
+      EXPECT_EQ(store.code(*primary_params[pi], i),
+                copy.code(*replica_params[pi], i));
+      EXPECT_EQ(bits::to_bits(primary_params[pi]->value.flat(i)),
+                bits::to_bits(replica_params[pi]->value.flat(i)));
+    }
+  }
+  EXPECT_TRUE(copy.handles(replica_params[0]));
+  EXPECT_FALSE(copy.handles(primary_params[0]));
+}
+
+TEST(StoredWeightStore, ReplicaArchitectureMismatchThrows) {
+  auto net = small_net();
+  StoredWeightStore store(*net, NumericType::kInt8);
+  auto other = std::make_shared<Sequential>();
+  other->append(std::make_shared<Linear>(5, 3));  // different numel
+  EXPECT_THROW(StoredWeightStore(*other, store), Error);
 }
 
 class QuantizeErrorSweep : public ::testing::TestWithParam<float> {};
@@ -97,6 +289,118 @@ TEST_P(QuantizeErrorSweep, Bf16RelativeErrorBounded) {
 INSTANTIATE_TEST_SUITE_P(Values, QuantizeErrorSweep,
                          ::testing::Values(0.001f, 0.12345f, 1.5f, -3.14159f,
                                            1234.567f, -9.87e5f, 1e-10f));
+
+// ---- injector numeric contract ----------------------------------------------
+
+/// 1x1 identity conv (weight 1.0) with an injector configured for a
+/// given numeric type — the minimal network where weight corruption is
+/// directly observable.
+struct StoredFaultFixture {
+  explicit StoredFaultFixture(NumericType type)
+      : net(std::make_shared<Sequential>()) {
+    auto conv = std::make_shared<Conv2d>(1, 1, 1, 1, 0);
+    conv->weight_param()->value.flat(0) = 1.0f;
+    net->append(conv);
+    profile = std::make_unique<core::ModelProfile>(*net, Tensor(Shape{1, 1, 2, 2}));
+    weight = profile->layer(0).module->parameters()[0];
+    injector = std::make_unique<core::Injector>(*net, *profile,
+                                                core::FaultDuration::kTransient);
+    injector->set_numeric_type(type);
+    if (is_stored_type(type)) {
+      store.emplace(*net, type);
+      injector->set_stored_weights(&*store);
+    }
+  }
+
+  static core::Fault weight_fault(int bit) {
+    core::Fault f;
+    f.target = core::FaultTarget::kWeights;
+    f.value_type = core::ValueType::kBitFlip;
+    f.layer = 0;
+    f.channel_out = 0;
+    f.channel_in = 0;
+    f.height = 0;
+    f.width = 0;
+    f.bit_pos = bit;
+    return f;
+  }
+
+  std::shared_ptr<Sequential> net;
+  std::unique_ptr<core::ModelProfile> profile;
+  Parameter* weight = nullptr;
+  std::optional<StoredWeightStore> store;
+  std::unique_ptr<core::Injector> injector;
+};
+
+TEST(InjectorStored, Fp16StoredBitFlipCorruptsStoredCode) {
+  StoredFaultFixture fx(NumericType::kFloat16Stored);
+  ASSERT_EQ(fx.store->code(*fx.weight, 0), 0x3C00u);  // 1.0 in half
+
+  fx.injector->arm({StoredFaultFixture::weight_fault(15)});  // half sign bit
+  EXPECT_EQ(fx.store->code(*fx.weight, 0), 0xBC00u);
+  EXPECT_FLOAT_EQ(fx.weight->value.flat(0), -1.0f);
+
+  fx.injector->disarm();
+  // Restore goes through set_code: contract value == decode(code) holds.
+  EXPECT_EQ(fx.store->code(*fx.weight, 0), 0x3C00u);
+  EXPECT_FLOAT_EQ(fx.weight->value.flat(0), 1.0f);
+}
+
+TEST(InjectorStored, Int8SignFlipMovesByFullCodeRange) {
+  StoredFaultFixture fx(NumericType::kInt8);
+  // Sole weight 1.0: scale 1/127, code 127 (0x7F).
+  ASSERT_EQ(fx.store->code(*fx.weight, 0), 0x7Fu);
+  const float scale_step = fx.store->decode(*fx.weight, 0, 1u);
+
+  fx.injector->arm({StoredFaultFixture::weight_fault(7)});  // two's-compl. sign
+  EXPECT_EQ(fx.store->code(*fx.weight, 0), 0xFFu);  // 127 ^ 0x80 = -1
+  EXPECT_FLOAT_EQ(fx.weight->value.flat(0), -scale_step);
+
+  fx.injector->disarm();
+  EXPECT_EQ(fx.store->code(*fx.weight, 0), 0x7Fu);
+  EXPECT_EQ(bits::to_bits(fx.weight->value.flat(0)),
+            bits::to_bits(fx.store->decode(*fx.weight, 0, 0x7Fu)));
+}
+
+TEST(InjectorStored, BitPositionBeyondStorageWidthThrows) {
+  // Stored-type weight faults index STORED code bits; a position valid
+  // for fp32 (e.g. 20) exceeds int8's 8-bit representation.
+  StoredFaultFixture fx(NumericType::kInt8);
+  EXPECT_THROW(fx.injector->arm({StoredFaultFixture::weight_fault(20)}), Error);
+}
+
+TEST(InjectorStored, RestoreRequantizesEmulatedTypes) {
+  // Regression: the pre-backend restore path wrote the saved fp32
+  // original straight back.  If that original carried bits below
+  // lowest_live_bit (model loaded before quantization, drift, a
+  // hand-edited weight), the restored weight silently violated the
+  // "parameters stay type-rounded" contract and the next fault's
+  // before-value differed between first and repeated execution of the
+  // same unit.  Restore must round-trip through the representation.
+  StoredFaultFixture fx(NumericType::kBfloat16);
+  const float dirty = 1.2345678f;  // low 16 bits nonzero
+  ASSERT_NE(bits::to_bits(dirty) & 0xFFFFu, 0u);
+  fx.weight->value.flat(0) = dirty;
+
+  fx.injector->arm({StoredFaultFixture::weight_fault(20)});
+  fx.injector->disarm();
+
+  const float restored = fx.weight->value.flat(0);
+  EXPECT_EQ(bits::to_bits(restored) & 0xFFFFu, 0u)
+      << "restored weight must be bf16-rounded, got dirty " << restored;
+  EXPECT_EQ(restored, quantize_value(dirty, NumericType::kBfloat16));
+}
+
+TEST(InjectorStored, Fp32RestoreStaysBitExact) {
+  // quantize_value is the identity for fp32 — restore must reproduce
+  // the original bit pattern exactly, dirty bits and all.
+  StoredFaultFixture fx(NumericType::kFloat32);
+  const float original = 1.2345678f;
+  fx.weight->value.flat(0) = original;
+  fx.injector->arm({StoredFaultFixture::weight_fault(3)});
+  fx.injector->disarm();
+  EXPECT_EQ(bits::to_bits(fx.weight->value.flat(0)), bits::to_bits(original));
+}
 
 }  // namespace
 }  // namespace alfi::nn

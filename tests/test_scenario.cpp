@@ -332,5 +332,105 @@ TEST(Scenario, ValidationErrorsListsEveryProblem) {
   EXPECT_TRUE(Scenario{}.validation_errors().empty());
 }
 
+// ---- inference section (backend / numeric type) -----------------------------
+
+TEST(Scenario, DefaultSerializationOmitsInferenceSection) {
+  // The serialized scenario feeds campaign_fingerprint(): a default
+  // configuration must keep its pre-backend byte layout so journals and
+  // checkpoints written before this feature still resume.
+  const std::string yaml = io::dump_yaml(Scenario{}.to_yaml());
+  EXPECT_EQ(yaml.find("inference"), std::string::npos);
+
+  // Explicit "ref" is the same default — still no section.
+  Scenario ref;
+  ref.backend = "ref";
+  EXPECT_EQ(io::dump_yaml(ref.to_yaml()).find("inference"), std::string::npos);
+}
+
+TEST(Scenario, InferenceSectionRoundTrips) {
+  Scenario s;
+  s.backend = "auto";
+  s.numeric_type = nn::NumericType::kInt8;
+  const Scenario reparsed = Scenario::from_yaml(s.to_yaml());
+  EXPECT_EQ(reparsed.backend, "auto");
+  EXPECT_EQ(reparsed.numeric_type, nn::NumericType::kInt8);
+
+  // A non-default numeric type forces the section out even for the
+  // default backend, and normalizes "" to "ref".
+  Scenario stored;
+  stored.numeric_type = nn::NumericType::kFloat16Stored;
+  const std::string yaml = io::dump_yaml(stored.to_yaml());
+  EXPECT_NE(yaml.find("inference"), std::string::npos);
+  EXPECT_NE(yaml.find("fp16_stored"), std::string::npos);
+  const Scenario back = Scenario::from_yaml(stored.to_yaml());
+  EXPECT_EQ(back.backend, "ref");
+  EXPECT_EQ(back.numeric_type, nn::NumericType::kFloat16Stored);
+}
+
+TEST(Scenario, InferenceSectionRejectsUnknownNumericType) {
+  EXPECT_THROW(Scenario::from_yaml(io::parse_yaml(R"(
+inference:
+  numeric_type: fp8
+)")),
+               ConfigError);
+}
+
+TEST(ScenarioBuilder, BackendAndNumericTypeSettersValidate) {
+  const Scenario s = ScenarioBuilder()
+                         .backend("auto")
+                         .numeric_type(nn::NumericType::kFloat16Stored)
+                         .build();
+  EXPECT_EQ(s.backend, "auto");
+  EXPECT_EQ(s.numeric_type, nn::NumericType::kFloat16Stored);
+
+  EXPECT_NE(build_error(ScenarioBuilder().backend("neon"))
+                .find("unknown backend 'neon' (expected ref, avx2 or auto)"),
+            std::string::npos);
+}
+
+TEST(ScenarioBuilder, UnknownBackendAggregatesWithOtherProblems) {
+  const std::string message =
+      build_error(ScenarioBuilder().backend("cuda").dataset_size(0));
+  EXPECT_NE(message.find("unknown backend 'cuda'"), std::string::npos) << message;
+  EXPECT_NE(message.find("dataset_size must be positive"), std::string::npos)
+      << message;
+}
+
+TEST(Scenario, StoredTypeBitRangeValidatedAgainstStorageWidth) {
+  // Stored-type weight faults index bits of the stored code — a range
+  // valid for fp32 (0..31) overruns int8's 8-bit representation.
+  const std::string message = build_error(ScenarioBuilder()
+                                              .target(FaultTarget::kWeights)
+                                              .bit_range(0, 31)
+                                              .numeric_type(nn::NumericType::kInt8));
+  EXPECT_NE(message.find("rnd_bit_range exceeds the 8-bit stored representation"),
+            std::string::npos)
+      << message;
+
+  // In-range for the representation builds fine.
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .target(FaultTarget::kWeights)
+                            .bit_range(0, 7)
+                            .numeric_type(nn::NumericType::kInt8)),
+            "");
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .target(FaultTarget::kWeights)
+                            .bit_range(0, 15)
+                            .numeric_type(nn::NumericType::kFloat16Stored)),
+            "");
+  // Neuron faults stay fp32 regardless of the weight representation.
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .target(FaultTarget::kNeurons)
+                            .bit_range(0, 31)
+                            .numeric_type(nn::NumericType::kInt8)),
+            "");
+  // Emulated types keep fp32 storage, so the full fp32 range is legal.
+  EXPECT_EQ(build_error(ScenarioBuilder()
+                            .target(FaultTarget::kWeights)
+                            .bit_range(0, 31)
+                            .numeric_type(nn::NumericType::kBfloat16)),
+            "");
+}
+
 }  // namespace
 }  // namespace alfi::core

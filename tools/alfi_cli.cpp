@@ -151,6 +151,13 @@ core::Scenario load_scenario(const Args& args) {
   if (const auto v = args.get("target")) {
     scenario.target = core::fault_target_from_string(*v);
   }
+  if (const auto v = args.get("backend")) scenario.backend = *v;
+  if (const auto v = args.get("numeric-type")) {
+    if (!nn::numeric_type_from_string(*v, scenario.numeric_type)) {
+      throw ConfigError("unknown numeric type: " + *v +
+                        " (fp32|bf16|fp16|fp16_stored|int8)");
+    }
+  }
   scenario.validate();
   return scenario;
 }
@@ -366,7 +373,8 @@ void usage() {
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
                "                 [--checkpoint dir] [--resume dir] [--checkpoint-every N]\n"
                "                 [--metrics out.json] [--progress] [--no-workspace]\n"
-               "                 [--no-diff] [--unit-batch K]\n"
+               "                 [--no-diff] [--unit-batch K] [--backend ref|avx2|auto]\n"
+               "                 [--numeric-type fp32|bf16|fp16|fp16_stored|int8]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --unit-batch: pack up to K campaign units into\n"
@@ -380,7 +388,15 @@ void usage() {
                "                  --no-workspace: allocating inference path\n"
                "                  instead of arena-backed buffers, same outputs;\n"
                "                  --no-diff: full recompute instead of replaying\n"
-               "                  the fault-free prefix, same outputs)\n"
+               "                  the fault-free prefix, same outputs;\n"
+               "                  --backend: kernel backend — ref is the scalar\n"
+               "                  oracle, avx2 requires CPU support, auto picks\n"
+               "                  the best available; metrics.json records what\n"
+               "                  actually ran under inference.backend.\n"
+               "                  --numeric-type: weight representation — bf16/\n"
+               "                  fp16 emulate by rounding fp32 weights;\n"
+               "                  fp16_stored/int8 store true reduced-width\n"
+               "                  codes that weight faults corrupt directly)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"

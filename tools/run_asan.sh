@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build the memory layer under AddressSanitizer + UBSan and run the
-# tensor-, nn-, campaign- and batched-labeled tests (TensorArena
-# borrows, workspace slot lifetimes, the `_into` kernels, the campaign
-# paths that consume them, and the packed-unit record rewriting of
-# DESIGN.md §12).  Usage:
+# tensor-, nn-, campaign-, batched- and backend-labeled tests
+# (TensorArena borrows, workspace slot lifetimes, the `_into` kernels,
+# the campaign paths that consume them, the packed-unit record
+# rewriting of DESIGN.md §12, and the AVX2 kernels of DESIGN.md §13 —
+# vectorized loads near tensor tails are exactly where ASan earns its
+# keep).  Usage:
 #
 #   tools/run_asan.sh [extra ctest args...]
 #

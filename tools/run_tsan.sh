@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Build the concurrency layer under ThreadSanitizer and run the
-# campaign-, telemetry- and batched-labeled tests (CampaignRunner
-# sharding, parallel campaign byte-identity — including packed
-# unit-batch execution — and the lock-free metrics registry hammered
-# from worker threads).  Usage:
+# campaign-, telemetry-, batched- and backend-labeled tests
+# (CampaignRunner sharding, parallel campaign byte-identity — including
+# packed unit-batch execution and the backend/jobs identity grid — and
+# the lock-free metrics registry hammered from worker threads).  Usage:
 #
 #   tools/run_tsan.sh [extra ctest args...]
 #

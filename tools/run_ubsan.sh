@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Build under UndefinedBehaviorSanitizer only (no ASan overhead, traps
 # are non-recoverable) and run the tensor-, nn-, campaign-,
-# telemetry- and batched-labeled tests: the bit-flip/stuck-at bit
-# twiddling, arena offset arithmetic, batch-slot remap arithmetic and
-# the differential-inference prefix bookkeeping are the layers where
-# silent UB would corrupt campaign verdicts.
+# telemetry-, batched- and backend-labeled tests: the bit-flip/stuck-at
+# bit twiddling, arena offset arithmetic, batch-slot remap arithmetic,
+# the differential-inference prefix bookkeeping and the stored-code
+# (fp16/int8) quantization paths are the layers where silent UB would
+# corrupt campaign verdicts.
 # Usage:
 #
 #   tools/run_ubsan.sh [extra ctest args...]
