@@ -81,7 +81,8 @@ CampaignRun run_campaign_once(std::size_t jobs,
                               std::size_t checkpoint_every = 8,
                               bool workspace = true, bool diff = true,
                               const core::Scenario* scenario = nullptr,
-                              std::size_t unit_batch = 1) {
+                              std::size_t unit_batch = 1,
+                              std::size_t fleet_workers = 0) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
@@ -90,6 +91,7 @@ CampaignRun run_campaign_once(std::size_t jobs,
   config.workspace = workspace;
   config.diff = diff;
   config.unit_batch = unit_batch;
+  config.fleet.local_workers = fleet_workers;  // fork-based fleet run
   core::TestErrorModelsImgClass harness(*env().model, env().dataset,
                                         scenario ? *scenario
                                                  : campaign_scenario(),
@@ -349,12 +351,34 @@ void write_bench_json(const std::string& path) {
                              /*unit_batch=*/16);
   });
 
+  // Distributed fleet (--fleet-workers 4): the coordinator leases unit
+  // ranges to four forked workers and merges their shipped frames.
+  // Both sides of the ratio run checkpointed so fleet_speedup isolates
+  // the fan-out effect, not the journal cost.  On a single-core host
+  // the four workers time-slice one CPU and the speedup sits near (or
+  // below) 1x — the frame shipping overhead is the price of the
+  // multi-process path; host_cores is recorded alongside so readers
+  // can tell scaling headroom from host limits.
+  const std::string fleet_dir =
+      "bench_fleet_" + std::to_string(::getpid());
+  std::filesystem::remove_all(fleet_dir);
+  const CampaignRun serial_ckpt = run_campaign_once(1, fleet_dir, 8);
+  std::filesystem::remove_all(fleet_dir);
+  const CampaignRun fleet = run_campaign_once(1, fleet_dir, 8, true, true,
+                                              nullptr, /*unit_batch=*/1,
+                                              /*fleet_workers=*/4);
+  std::filesystem::remove_all(fleet_dir);
+  const double fleet_speedup =
+      fleet.seconds > 0.0 ? serial_ckpt.seconds / fleet.seconds : 0.0;
+
   // SIMD backend microbench (GEMM + conv2d, ref vs best registered).
   const SimdBench simd = measure_simd_speedup();
 
   const core::Scenario scenario = campaign_scenario();
   io::Json root = io::Json::object();
-  root["schema"] = io::Json(std::string("alfi.bench.campaign.v3"));
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v4"));
+  root["host_cores"] =
+      io::Json(static_cast<double>(core::CampaignRunner::default_job_count()));
   io::Json workload = io::Json::object();
   workload["model"] = io::Json(std::string("mini-alexnet"));
   workload["units"] =
@@ -391,6 +415,10 @@ void write_bench_json(const std::string& path) {
       batched.unit_mean_ms > 0.0 ? diff_on.unit_mean_ms / batched.unit_mean_ms
                                  : 0.0;
   root["batched_speedup"] = io::Json(batched_speedup);
+  root["checkpointed_serial"] = run_to_json(serial_ckpt);
+  root["fleet_run"] = run_to_json(fleet);
+  root["fleet_workers"] = io::Json(4.0);
+  root["fleet_speedup"] = io::Json(fleet_speedup);
   root["simd_backend"] = io::Json(simd.backend);
   root["simd_gemm_conv_ref_ms"] = io::Json(simd.ref_ms);
   root["simd_gemm_conv_ms"] = io::Json(simd.simd_ms);
@@ -422,6 +450,11 @@ void write_bench_json(const std::string& path) {
   std::printf(
       "simd (%s vs ref, GEMM+conv2d): %.3f ms vs %.3f ms -> %.2fx speedup\n",
       simd.backend.c_str(), simd.simd_ms, simd.ref_ms, simd.speedup);
+  std::printf(
+      "fleet (4 local workers): %.2fs vs %.2fs checkpointed serial -> %.2fx "
+      "speedup (%zu host cores)\n",
+      fleet.seconds, serial_ckpt.seconds, fleet_speedup,
+      core::CampaignRunner::default_job_count());
   std::printf("batched speedup: %.2fx (vs unit-at-a-time diff run) -> %s\n",
               batched_speedup, path.c_str());
 }

@@ -7,6 +7,7 @@
 #include "core/fault.h"
 #include "core/fault_generator.h"
 #include "core/fault_matrix.h"
+#include "core/fleet.h"
 #include "core/hw_injector.h"
 #include "core/injector.h"
 #include "core/kpi.h"

@@ -158,6 +158,182 @@ CampaignCheckpoint CampaignCheckpoint::load(const std::string& path) {
   return cp;
 }
 
+// ---- shared progress bookkeeping --------------------------------------------
+
+CampaignProgress::CampaignProgress(CampaignTask& task,
+                                   util::MetricsRegistry* metrics)
+    : task_(task), metrics_(metrics) {
+  units_ = task_.unit_count();
+  fingerprint_ = task_.fingerprint();
+  checkpointing_ = !task_.base_config().checkpoint_dir.empty();
+  payloads_.resize(units_);
+  completed_.assign(units_, 0);
+  pending_.assign(units_, 0);
+  if (metrics_ != nullptr) {
+    units_total_ = &metrics_->counter("units.total");
+    units_computed_ = &metrics_->counter("units.computed");
+    units_replayed_ = &metrics_->counter("units.replayed");
+    journal_frames_ = &metrics_->counter("journal.frames");
+    journal_payload_bytes_ = &metrics_->counter("journal.payload_bytes");
+    checkpoint_writes_ = &metrics_->counter("checkpoint.writes");
+    journal_append_ms_ = &metrics_->histogram("journal.append_ms");
+    checkpoint_write_ms_ = &metrics_->histogram("checkpoint.write_ms");
+  }
+  if (units_total_ != nullptr) units_total_->add(units_);
+}
+
+void CampaignProgress::recover() {
+  const CampaignConfigBase& config = task_.base_config();
+  ALFI_CHECK(!config.resume || checkpointing_,
+             "resume requires a checkpoint directory");
+  if (!config.resume) {
+    if (checkpointing_) std::filesystem::create_directories(config.checkpoint_dir);
+    return;
+  }
+  const std::string cp_path =
+      BatchedCampaignExecutor::checkpoint_path(config.checkpoint_dir);
+  const std::string jn_path =
+      BatchedCampaignExecutor::journal_path(config.checkpoint_dir);
+  const CampaignCheckpoint checkpoint = CampaignCheckpoint::load(cp_path);
+  if (checkpoint.fingerprint != fingerprint_ ||
+      checkpoint.task_kind != task_.task_kind() ||
+      checkpoint.unit_count != units_) {
+    throw ConfigError(
+        "refusing to resume: checkpoint was written by a different campaign "
+        "(scenario, fault matrix, seed or workload changed) — delete " +
+        config.checkpoint_dir + " to start over");
+  }
+  io::JournalScan scan = io::scan_journal(jn_path);
+  if (scan.header.fingerprint != fingerprint_ ||
+      scan.header.task_kind != task_.task_kind()) {
+    throw ConfigError("refusing to resume: journal fingerprint mismatch in " +
+                      jn_path);
+  }
+  if (scan.torn_tail) {
+    ALFI_LOG(kWarn) << "journal has a torn tail at byte " << scan.valid_bytes
+                    << "; truncating (the affected units will be recomputed)";
+    io::repair_journal(jn_path, scan);
+  }
+  for (auto& [unit, payload] : scan.units) {
+    if (unit >= units_ || completed_[unit]) continue;  // duplicate or stray frame
+    payloads_[unit] = std::move(payload);
+    completed_[unit] = 1;
+    ++done_;
+  }
+  ALFI_LOG(kInfo) << "resuming campaign: " << done_ << "/" << units_
+                  << " units recovered from journal";
+  if (units_replayed_ != nullptr) units_replayed_->add(done_);
+}
+
+void CampaignProgress::open(const WaterMarks& marks) {
+  const CampaignConfigBase& config = task_.base_config();
+  if (!checkpointing_) return;
+  io::JournalHeader header;
+  header.fingerprint = fingerprint_;
+  header.unit_count = units_;
+  header.task_kind = task_.task_kind();
+  journal_ = std::make_unique<io::JournalWriter>(
+      BatchedCampaignExecutor::journal_path(config.checkpoint_dir), header,
+      config.resume);
+  if (!config.resume) write_checkpoint(marks);
+}
+
+bool CampaignProgress::store(std::size_t unit, std::string payload) {
+  ALFI_CHECK(unit < units_, "unit index out of range");
+  if (completed_[unit]) {
+    // Fleet lease re-issue can complete a unit twice (a falsely-dead
+    // worker keeps shipping).  First-complete wins; determinism means
+    // both must have computed identical bytes — anything else is a
+    // corrupted worker, not a benign race.
+    ALFI_CHECK(payloads_[unit] == payload,
+               "duplicate unit completion with divergent payload bytes");
+    return false;
+  }
+  payloads_[unit] = std::move(payload);
+  completed_[unit] = 1;
+  pending_[unit] = 1;
+  return true;
+}
+
+std::size_t CampaignProgress::absorb_ascending(std::size_t cursor,
+                                               std::size_t end,
+                                               const WaterMarks& marks) {
+  const CampaignConfigBase& config = task_.base_config();
+  while (cursor < end && completed_[cursor]) {
+    if (pending_[cursor]) {
+      pending_[cursor] = 0;
+      const std::string& payload = payloads_[cursor];
+      if (journal_) {
+        const Stopwatch append_watch;
+        journal_->append_unit(cursor, payload);
+        if (journal_append_ms_ != nullptr) {
+          journal_append_ms_->record(append_watch.elapsed_ms());
+        }
+        if (journal_frames_ != nullptr) journal_frames_->add();
+        if (journal_payload_bytes_ != nullptr) {
+          journal_payload_bytes_->add(payload.size());
+        }
+      }
+      ++done_;
+      if (units_computed_ != nullptr) units_computed_->add();
+      if (checkpointing_ &&
+          ++done_since_checkpoint_ >= config.checkpoint_every) {
+        done_since_checkpoint_ = 0;
+        write_checkpoint(marks);
+      }
+    }
+    ++cursor;
+  }
+  return cursor;
+}
+
+void CampaignProgress::flush_pending() {
+  if (!journal_) return;
+  for (std::size_t t = 0; t < units_; ++t) {
+    if (!pending_[t]) continue;
+    pending_[t] = 0;
+    journal_->append_unit(t, payloads_[t]);
+    if (journal_frames_ != nullptr) journal_frames_->add();
+    if (journal_payload_bytes_ != nullptr) {
+      journal_payload_bytes_->add(payloads_[t].size());
+    }
+  }
+}
+
+void CampaignProgress::write_checkpoint(const WaterMarks& marks) {
+  if (!checkpointing_) return;
+  const CampaignConfigBase& config = task_.base_config();
+  Stopwatch cp_watch;
+  journal_->sync();
+  CampaignCheckpoint cp;
+  cp.fingerprint = fingerprint_;
+  cp.task_kind = task_.task_kind();
+  cp.unit_count = units_;
+  cp.completed_units = done_;
+  cp.rnd_seed = task_.task_scenario().rnd_seed;
+  cp.journal_valid_bytes = std::filesystem::file_size(
+      BatchedCampaignExecutor::journal_path(config.checkpoint_dir));
+  cp.shards = marks();
+  cp.save(BatchedCampaignExecutor::checkpoint_path(config.checkpoint_dir));
+  if (checkpoint_writes_ != nullptr) checkpoint_writes_->add();
+  if (checkpoint_write_ms_ != nullptr) {
+    checkpoint_write_ms_->record(cp_watch.elapsed_ms());
+  }
+}
+
+void CampaignProgress::close(const WaterMarks& marks) {
+  if (!checkpointing_ || !journal_) return;
+  write_checkpoint(marks);
+  journal_->close();
+}
+
+void CampaignProgress::merge() {
+  for (std::size_t t = 0; t < units_; ++t) {
+    task_.absorb_unit(t, payloads_[t]);
+  }
+  task_.finalize();
+}
+
 // ---- executor ---------------------------------------------------------------
 
 BatchedCampaignExecutor::BatchedCampaignExecutor(CampaignTask& task,
@@ -176,78 +352,18 @@ void BatchedCampaignExecutor::execute() {
   const CampaignConfigBase& config = task_.base_config();
   const Scenario& scenario = task_.task_scenario();
   const std::size_t units = task_.unit_count();
-  const std::uint64_t fingerprint = task_.fingerprint();
-  const bool checkpointing = !config.checkpoint_dir.empty();
-  ALFI_CHECK(!config.resume || checkpointing,
-             "resume requires a checkpoint directory");
 
   const std::function<bool()> interrupted =
       config.interrupt ? config.interrupt : std::function<bool()>(&drain_requested);
 
-  // Resolve every telemetry handle up front: counters exist (at zero)
-  // in the output even when an event never fires, and the hot loop
-  // updates them lock-free.
-  util::Counter* units_total = nullptr;
-  util::Counter* units_computed = nullptr;
-  util::Counter* units_replayed = nullptr;
-  util::Counter* journal_frames = nullptr;
-  util::Counter* journal_payload_bytes = nullptr;
-  util::Counter* checkpoint_writes = nullptr;
-  util::Histogram* unit_ms = nullptr;
-  util::Histogram* journal_append_ms = nullptr;
-  util::Histogram* checkpoint_write_ms = nullptr;
-  if (metrics_ != nullptr) {
-    units_total = &metrics_->counter("units.total");
-    units_computed = &metrics_->counter("units.computed");
-    units_replayed = &metrics_->counter("units.replayed");
-    journal_frames = &metrics_->counter("journal.frames");
-    journal_payload_bytes = &metrics_->counter("journal.payload_bytes");
-    checkpoint_writes = &metrics_->counter("checkpoint.writes");
-    unit_ms = &metrics_->histogram("campaign.unit_ms");
-    journal_append_ms = &metrics_->histogram("journal.append_ms");
-    checkpoint_write_ms = &metrics_->histogram("checkpoint.write_ms");
-  }
-  if (units_total != nullptr) units_total->add(units);
+  util::Histogram* unit_ms =
+      metrics_ != nullptr ? &metrics_->histogram("campaign.unit_ms") : nullptr;
 
-  // ---- resume: validate identity, recover the journal ----------------------
-  std::vector<std::string> payloads(units);
-  std::vector<char> completed(units, 0);
-  std::size_t done = 0;
-  if (config.resume) {
-    const std::string cp_path = checkpoint_path(config.checkpoint_dir);
-    const std::string jn_path = journal_path(config.checkpoint_dir);
-    const CampaignCheckpoint checkpoint = CampaignCheckpoint::load(cp_path);
-    if (checkpoint.fingerprint != fingerprint ||
-        checkpoint.task_kind != task_.task_kind() ||
-        checkpoint.unit_count != units) {
-      throw ConfigError(
-          "refusing to resume: checkpoint was written by a different campaign "
-          "(scenario, fault matrix, seed or workload changed) — delete " +
-          config.checkpoint_dir + " to start over");
-    }
-    io::JournalScan scan = io::scan_journal(jn_path);
-    if (scan.header.fingerprint != fingerprint ||
-        scan.header.task_kind != task_.task_kind()) {
-      throw ConfigError("refusing to resume: journal fingerprint mismatch in " +
-                        jn_path);
-    }
-    if (scan.torn_tail) {
-      ALFI_LOG(kWarn) << "journal has a torn tail at byte " << scan.valid_bytes
-                      << "; truncating (the affected units will be recomputed)";
-      io::repair_journal(jn_path, scan);
-    }
-    for (auto& [unit, payload] : scan.units) {
-      if (unit >= units || completed[unit]) continue;  // duplicate or stray frame
-      payloads[unit] = std::move(payload);
-      completed[unit] = 1;
-      ++done;
-    }
-    ALFI_LOG(kInfo) << "resuming campaign: " << done << "/" << units
-                    << " units recovered from journal";
-    if (units_replayed != nullptr) units_replayed->add(done);
-  } else if (checkpointing) {
-    std::filesystem::create_directories(config.checkpoint_dir);
-  }
+  // All crash-safety bookkeeping lives in CampaignProgress (shared with
+  // the fleet coordinator); the executor serializes access to it under
+  // merge_mutex.
+  CampaignProgress progress(task_, metrics_);
+  progress.recover();
 
   // prepare() after resume validation: meta-files are (re)written
   // identically, calibration bounds recomputed deterministically.
@@ -257,44 +373,27 @@ void BatchedCampaignExecutor::execute() {
   const std::vector<CampaignShard> shards =
       CampaignRunner::shard_columns(units, runner.jobs(), scenario.rnd_seed);
 
-  std::unique_ptr<io::JournalWriter> journal;
-  if (checkpointing) {
-    io::JournalHeader header;
-    header.fingerprint = fingerprint;
-    header.unit_count = units;
-    header.task_kind = task_.task_kind();
-    journal = std::make_unique<io::JournalWriter>(
-        journal_path(config.checkpoint_dir), header, config.resume);
-  }
+  const CampaignProgress::WaterMarks marks = [&] {
+    std::vector<ShardWaterMark> ms;
+    ms.reserve(shards.size());
+    for (const CampaignShard& shard : shards) {
+      ShardWaterMark mark{shard.begin, shard.end, shard.begin};
+      while (mark.high_water < shard.end && progress.unit_completed(mark.high_water)) {
+        ++mark.high_water;
+      }
+      ms.push_back(mark);
+    }
+    return ms;
+  };
+
+  // Opens the journal and — on a fresh run — writes the initial
+  // checkpoint, so a crash before the first periodic write still
+  // leaves a resumable directory.
+  progress.open(marks);
 
   // Everything the workers publish goes through this mutex: journal
   // appends, payload/completion bookkeeping and checkpoint writes.
   std::mutex merge_mutex;
-  std::size_t done_since_checkpoint = 0;
-
-  const auto write_checkpoint_locked = [&] {
-    if (!checkpointing) return;
-    Stopwatch cp_watch;
-    journal->sync();
-    CampaignCheckpoint cp;
-    cp.fingerprint = fingerprint;
-    cp.task_kind = task_.task_kind();
-    cp.unit_count = units;
-    cp.completed_units = done;
-    cp.rnd_seed = scenario.rnd_seed;
-    cp.journal_valid_bytes =
-        std::filesystem::file_size(journal_path(config.checkpoint_dir));
-    for (const CampaignShard& shard : shards) {
-      ShardWaterMark mark{shard.begin, shard.end, shard.begin};
-      while (mark.high_water < shard.end && completed[mark.high_water]) {
-        ++mark.high_water;
-      }
-      cp.shards.push_back(mark);
-    }
-    cp.save(checkpoint_path(config.checkpoint_dir));
-    if (checkpoint_writes != nullptr) checkpoint_writes->add();
-    if (checkpoint_write_ms != nullptr) checkpoint_write_ms->record(cp_watch.elapsed_ms());
-  };
 
   // Throttled --progress line: at most one stderr update per 200ms,
   // written under merge_mutex so lines never interleave.
@@ -307,6 +406,7 @@ void BatchedCampaignExecutor::execute() {
       return;
     }
     last_progress_ms = now_ms;
+    const std::size_t done = progress.done();
     const double pct = units == 0 ? 100.0 : 100.0 * static_cast<double>(done) /
                                                 static_cast<double>(units);
     const double rate = now_ms <= 0.0 ? 0.0 : static_cast<double>(done) /
@@ -315,13 +415,6 @@ void BatchedCampaignExecutor::execute() {
                  done, units, pct, rate, final_line ? "\n" : "");
     std::fflush(stderr);
   };
-
-  if (checkpointing && !config.resume) {
-    // Initial checkpoint: a crash before the first periodic write still
-    // leaves a resumable directory.
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    write_checkpoint_locked();
-  }
 
   // Unit packing: clamp the requested pack size to what the workload
   // supports.  pack == 1 hands the runner one unit per call — the
@@ -337,14 +430,12 @@ void BatchedCampaignExecutor::execute() {
   }
   const std::size_t stride = std::max<std::size_t>(1, task_.unit_pack_stride());
 
-  // Deferred absorb bookkeeping (DESIGN.md §12): a pack holds units
-  // {t, t+stride, ...}, so units complete out of ascending order.  The
-  // journal frames, unit counters and checkpoint cadence must still
-  // match unit-at-a-time execution, so each shard journals from its own
-  // ascending cursor and pending[u] marks a computed payload the cursor
-  // has not reached yet.
-  std::vector<char> pending(units, 0);
-
+  // Deferred absorb (DESIGN.md §12): a pack holds units {t, t+stride,
+  // ...}, so units complete out of ascending order.  Journal frames,
+  // unit counters and checkpoint cadence must still match
+  // unit-at-a-time execution, so each shard absorbs from its own
+  // ascending cursor (progress.absorb_ascending) and payloads the
+  // cursor has not reached yet stay pending inside progress.
   if (!shards.empty()) {
     const bool shared_model = shards.size() == 1;
     if (shards.size() > 1) {
@@ -359,7 +450,7 @@ void BatchedCampaignExecutor::execute() {
       std::size_t absorb_cursor = shard.begin;  // next unit to journal/count
       std::vector<std::size_t> pack_units;
       for (std::size_t t = shard.begin; t < shard.end;) {
-        if (completed[t]) { ++t; continue; }  // replayed or pack-mate
+        if (progress.unit_completed(t)) { ++t; continue; }  // replayed or pack-mate
         if (interrupted()) break;
         if (!unit_runner) unit_runner = task_.make_unit_runner(shared_model);
         // Pack incomplete units at the task's stride: {t, t+S, t+2S, ...}.
@@ -370,7 +461,7 @@ void BatchedCampaignExecutor::execute() {
         // boundaries never change what a packed pass computes.
         pack_units.clear();
         for (std::size_t u = t;
-             pack_units.size() < pack && u < shard.end && !completed[u];
+             pack_units.size() < pack && u < shard.end && !progress.unit_completed(u);
              u += stride) {
           pack_units.push_back(u);
         }
@@ -385,42 +476,10 @@ void BatchedCampaignExecutor::execute() {
 
         std::lock_guard<std::mutex> lock(merge_mutex);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          const std::size_t u = pack_units[i];
-          payloads[u] = std::move(batch[i]);
-          completed[u] = 1;
-          pending[u] = 1;
+          progress.store(pack_units[i], std::move(batch[i]));
           if (unit_ms != nullptr) unit_ms->record(per_unit_ms);
         }
-        // Absorb in ascending unit order from the shard cursor: journal
-        // frames, the done count and the checkpoint cadence all advance
-        // exactly as unit-at-a-time execution would, no matter how the
-        // strided packs interleaved.  Units the cursor cannot reach yet
-        // stay pending; a crash loses only their (recomputable) work.
-        while (absorb_cursor < shard.end && completed[absorb_cursor]) {
-          if (pending[absorb_cursor]) {
-            pending[absorb_cursor] = 0;
-            const std::string& payload = payloads[absorb_cursor];
-            if (journal) {
-              const Stopwatch append_watch;
-              journal->append_unit(absorb_cursor, payload);
-              if (journal_append_ms != nullptr) {
-                journal_append_ms->record(append_watch.elapsed_ms());
-              }
-              if (journal_frames != nullptr) journal_frames->add();
-              if (journal_payload_bytes != nullptr) {
-                journal_payload_bytes->add(payload.size());
-              }
-            }
-            ++done;
-            if (units_computed != nullptr) units_computed->add();
-            if (checkpointing &&
-                ++done_since_checkpoint >= config.checkpoint_every) {
-              done_since_checkpoint = 0;
-              write_checkpoint_locked();
-            }
-          }
-          ++absorb_cursor;
-        }
+        absorb_cursor = progress.absorb_ascending(absorb_cursor, shard.end, marks);
         print_progress_locked(/*final_line=*/false);
         ++t;
       }
@@ -437,26 +496,25 @@ void BatchedCampaignExecutor::execute() {
   }
 
   // ---- drained? persist progress and surface the preemption ----------------
-  if (done < units) {
-    if (checkpointing) {
+  if (!progress.all_done()) {
+    {
       std::lock_guard<std::mutex> lock(merge_mutex);
-      write_checkpoint_locked();
-      journal->close();
+      // Journal computed-but-unabsorbed pack payloads first: a strided
+      // pack preempted past the absorb cursor replays from the journal
+      // on resume instead of being recomputed.
+      progress.flush_pending();
+      progress.close(marks);
     }
-    throw CampaignInterrupted(done, units, config.checkpoint_dir);
+    throw CampaignInterrupted(progress.done(), units, config.checkpoint_dir);
   }
 
-  if (checkpointing) {
+  {
     std::lock_guard<std::mutex> lock(merge_mutex);
-    write_checkpoint_locked();  // final: high-water == end on every shard
-    journal->close();
+    progress.close(marks);  // final: high-water == end on every shard
   }
 
   // ---- merge: ascending unit order restores the serial output order --------
-  for (std::size_t t = 0; t < units; ++t) {
-    task_.absorb_unit(t, payloads[t]);
-  }
-  task_.finalize();
+  progress.merge();
 }
 
 }  // namespace alfi::core

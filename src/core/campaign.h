@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,98 @@ struct CampaignCheckpoint {
 
   void save(const std::string& path) const;
   static CampaignCheckpoint load(const std::string& path);
+};
+
+/// Crash-safety bookkeeping shared by the threaded executor and the
+/// fleet coordinator (core/fleet.h): payload/completion state, resume
+/// recovery, the journal writer, checkpoint cadence and the final
+/// ordered merge.  Not thread-safe — the executor serializes calls
+/// under its merge mutex; the single-threaded coordinator needs no
+/// lock.
+///
+/// Lifecycle: recover() (before task.prepare()) -> open() (after) ->
+/// any number of store()/absorb_ascending() rounds -> close() ->
+/// merge().  A drained run calls flush_pending() before close() so
+/// computed-but-unabsorbed pack payloads reach the journal instead of
+/// being recomputed on resume.
+class CampaignProgress {
+ public:
+  /// Watermark provider for checkpoint writes: the executor reports
+  /// per-shard high-water marks, the fleet coordinator one global mark.
+  using WaterMarks = std::function<std::vector<ShardWaterMark>()>;
+
+  /// Resolves all journal/checkpoint/unit telemetry handles up front
+  /// (counters exist at zero even when an event never fires).
+  CampaignProgress(CampaignTask& task, util::MetricsRegistry* metrics);
+
+  /// Phase 1, before task.prepare(): on resume, validates checkpoint +
+  /// journal identity (throws ConfigError on fingerprint mismatch),
+  /// repairs a torn journal tail and replays intact unit frames; on a
+  /// fresh checkpointing run, creates the checkpoint directory.
+  void recover();
+
+  /// Phase 2, after task.prepare(): opens the journal writer and — on a
+  /// fresh run — publishes the initial checkpoint so a crash before the
+  /// first periodic write still leaves a resumable directory.
+  void open(const WaterMarks& marks);
+
+  bool checkpointing() const { return checkpointing_; }
+  std::size_t units() const { return units_; }
+  std::size_t done() const { return done_; }
+  bool all_done() const { return done_ == units_; }
+  bool unit_completed(std::size_t t) const { return completed_[t] != 0; }
+  const std::string& payload(std::size_t t) const { return payloads_[t]; }
+
+  /// Records a computed payload without journaling it yet (an ascending
+  /// cursor journals it).  Duplicate completions — possible under fleet
+  /// lease re-issue — are dropped, first-complete wins, after asserting
+  /// both payloads are byte-identical; returns false for a duplicate.
+  bool store(std::size_t unit, std::string payload);
+
+  /// Advances a cursor over completed units in [cursor, end): journals
+  /// each stored-but-unjournaled payload, counts it done and writes a
+  /// checkpoint every config.checkpoint_every completions — exactly as
+  /// unit-at-a-time execution would, no matter what order the payloads
+  /// were stored in.  Returns the new cursor (first incomplete unit).
+  std::size_t absorb_ascending(std::size_t cursor, std::size_t end,
+                               const WaterMarks& marks);
+
+  /// Journals every computed-but-still-pending payload, out of
+  /// ascending order (scan_journal accepts any frame order on resume).
+  /// Drain path: a preempted strided pack loses nothing already
+  /// computed, even if a second signal kills the process right after.
+  void flush_pending();
+
+  void write_checkpoint(const WaterMarks& marks);
+
+  /// Final checkpoint + journal close (no-op without checkpointing).
+  void close(const WaterMarks& marks);
+
+  /// Ascending absorb_unit over every payload, then task.finalize().
+  void merge();
+
+ private:
+  CampaignTask& task_;
+  util::MetricsRegistry* metrics_;
+  std::size_t units_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  bool checkpointing_ = false;
+  std::vector<std::string> payloads_;
+  std::vector<char> completed_;
+  /// completed but not yet journaled/counted (deferred absorb, §12)
+  std::vector<char> pending_;
+  std::size_t done_ = 0;
+  std::size_t done_since_checkpoint_ = 0;
+  std::unique_ptr<io::JournalWriter> journal_;
+
+  util::Counter* units_total_ = nullptr;
+  util::Counter* units_computed_ = nullptr;
+  util::Counter* units_replayed_ = nullptr;
+  util::Counter* journal_frames_ = nullptr;
+  util::Counter* journal_payload_bytes_ = nullptr;
+  util::Counter* checkpoint_writes_ = nullptr;
+  util::Histogram* journal_append_ms_ = nullptr;
+  util::Histogram* checkpoint_write_ms_ = nullptr;
 };
 
 /// Runs a CampaignTask end to end: prepare -> sharded unit execution

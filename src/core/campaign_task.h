@@ -35,6 +35,45 @@
 
 namespace alfi::core {
 
+/// Distributed fleet execution (DESIGN.md §14).  A coordinator process
+/// leases contiguous unit ranges to worker processes — forked locally
+/// and/or connected over a length-prefixed TCP protocol — and merges
+/// their CRC32-framed journal segments into outputs byte-identical to
+/// `--jobs 1`.  Disabled (both modes off) by default.
+struct FleetOptions {
+  /// Coordinator: fork this many local worker processes that connect
+  /// back over loopback.  They inherit the prepared task (model,
+  /// calibration), so spawn cost is one fork(), not a reload.
+  std::size_t local_workers = 0;
+  /// Coordinator: listen for remote workers even when local_workers
+  /// is 0 (a coordinator with only remote workers).
+  bool coordinator = false;
+  /// Coordinator: TCP listen port; 0 asks the kernel for an ephemeral
+  /// port (reported through on_listen and the log).
+  std::uint16_t listen_port = 0;
+  /// Worker: "host:port" of the coordinator to join.  A worker runs no
+  /// merge and writes no outputs; it only streams unit frames back.
+  std::string connect;
+  /// Upper bound on units per lease grant.  Leases reuse the
+  /// executor's deterministic contiguous sharding, so a small bound
+  /// load-balances while keeping every range contiguous.
+  std::size_t lease_units = 8;
+  /// Worker liveness frame cadence (any frame counts as liveness).
+  double heartbeat_ms = 250.0;
+  /// Coordinator declares a silent worker dead after this long,
+  /// drops the connection and re-issues its lease remainder.
+  double lease_timeout_ms = 5000.0;
+
+  // ---- test hooks (chaos/identity tests observe the fleet) ----------------
+  std::function<void(int pid)> on_local_spawn;        ///< forked child pid
+  std::function<void(std::uint16_t)> on_listen;       ///< bound port
+  std::function<void(std::size_t done)> on_progress;  ///< after each absorb
+
+  bool coordinator_mode() const { return coordinator || local_workers > 0; }
+  bool worker_mode() const { return !connect.empty(); }
+  bool enabled() const { return coordinator_mode() || worker_mode(); }
+};
+
 /// Configuration shared by every campaign workload.  Harness-specific
 /// configs derive from this so the executor and the CLI handle both
 /// through one type.
@@ -91,6 +130,12 @@ struct CampaignConfigBase {
   /// (finish in-flight units, checkpoint, throw CampaignInterrupted).
   /// Defaults to alfi::drain_requested() — the SIGINT/SIGTERM flag.
   std::function<bool()> interrupt;
+
+  // ---- distributed fleet ---------------------------------------------------
+  /// Fleet coordinator/worker role (core/fleet.h).  Coordinator mode
+  /// requires a checkpoint_dir: shipped unit frames land in the same
+  /// journal a local run would write.
+  FleetOptions fleet;
 
   // ---- telemetry -----------------------------------------------------------
   /// Write the campaign's metrics.json here (io/metrics_json.h schema,

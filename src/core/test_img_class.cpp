@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "core/campaign.h"
+#include "core/fleet.h"
 #include "nn/workspace.h"
 #include "tensor/backend.h"
 #include "io/csv.h"
@@ -714,6 +715,34 @@ void TestErrorModelsImgClass::finalize() {
 ImgClassCampaignResult TestErrorModelsImgClass::run() {
   const Scenario& scenario = wrapper_.get_scenario();
   const Stopwatch run_watch;
+
+  if (config_.fleet.enabled()) {
+    if (scenario.inj_policy != InjectionPolicy::kPerImage) {
+      throw ConfigError(
+          "fleet execution requires inj_policy per_image for classification "
+          "(batched policies are not unit-addressable)");
+    }
+    if (config_.fleet.worker_mode()) {
+      // A worker only streams unit frames; the coordinator writes every
+      // campaign output exactly once.
+      if (!config_.output_dir.empty()) {
+        ALFI_LOG(kInfo) << "fleet worker: ignoring output dir (the "
+                           "coordinator writes all outputs)";
+        config_.output_dir.clear();
+      }
+      const auto [host, port] = parse_host_port(config_.fleet.connect);
+      FleetWorker worker(*this, host, port, /*prepared=*/false);
+      const FleetWorkerStats stats = worker.run();
+      ALFI_LOG(kInfo) << "fleet worker done: " << stats.units_computed
+                      << " units over " << stats.leases_served << " leases"
+                      << (stats.drained ? " (drained)" : "");
+    } else {
+      FleetCoordinator coordinator(*this, &metrics_);
+      coordinator.execute();
+    }
+    finish_metrics(run_watch.elapsed_seconds());
+    return result_;
+  }
 
   if (scenario.inj_policy == InjectionPolicy::kPerImage) {
     CampaignExecutor executor(*this, &metrics_);

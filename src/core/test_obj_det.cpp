@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/campaign.h"
+#include "core/fleet.h"
 #include "io/metrics_json.h"
 #include "nn/workspace.h"
 #include "tensor/backend.h"
@@ -629,8 +630,27 @@ void TestErrorModelsObjDet::finalize() {
 
 ObjDetCampaignResult TestErrorModelsObjDet::run() {
   const Stopwatch run_watch;
-  CampaignExecutor executor(*this, &metrics_);
-  executor.execute();
+  if (config_.fleet.worker_mode()) {
+    // A worker only streams unit frames; the coordinator writes every
+    // campaign output exactly once.
+    if (!config_.output_dir.empty()) {
+      ALFI_LOG(kInfo) << "fleet worker: ignoring output dir (the coordinator "
+                         "writes all outputs)";
+      config_.output_dir.clear();
+    }
+    const auto [host, port] = parse_host_port(config_.fleet.connect);
+    FleetWorker worker(*this, host, port, /*prepared=*/false);
+    const FleetWorkerStats stats = worker.run();
+    ALFI_LOG(kInfo) << "fleet worker done: " << stats.units_computed
+                    << " units over " << stats.leases_served << " leases"
+                    << (stats.drained ? " (drained)" : "");
+  } else if (config_.fleet.coordinator_mode()) {
+    FleetCoordinator coordinator(*this, &metrics_);
+    coordinator.execute();
+  } else {
+    CampaignExecutor executor(*this, &metrics_);
+    executor.execute();
+  }
   result_.skipped_injections =
       metrics_.counter("injections.skipped_batch_slot").value();
   if (!config_.metrics_path.empty()) {

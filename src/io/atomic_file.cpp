@@ -1,6 +1,7 @@
 #include "io/atomic_file.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include <fcntl.h>
@@ -10,19 +11,48 @@
 
 namespace alfi::io {
 
+namespace {
+FileOpsProbe g_probe;  // test-only write-fault shim; null in production
+}  // namespace
+
+void set_file_ops_probe_for_testing(FileOpsProbe probe) {
+  g_probe = std::move(probe);
+}
+
+void notify_file_op(FileOp op, const std::string& path) {
+  if (g_probe) g_probe(op, path);
+}
+
+void sync_parent_directory(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  notify_file_op(FileOp::kDirSync, parent.string());
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw IoError("cannot open directory for fsync: " + parent.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError("fsync failed on directory: " + parent.string());
+}
+
 std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
 
 void atomic_commit(const std::string& temp, const std::string& path, bool sync) {
   if (sync) {
+    notify_file_op(FileOp::kTempSync, temp);
     const int fd = ::open(temp.c_str(), O_RDONLY);
-    if (fd >= 0) {
-      ::fsync(fd);
-      ::close(fd);
-    }
+    if (fd < 0) throw IoError("cannot open temp file for fsync: " + temp);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) throw IoError("fsync failed on temp file: " + temp);
   }
+  notify_file_op(FileOp::kRename, path);
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     throw IoError("cannot commit " + temp + " -> " + path);
   }
+  // Make the rename itself durable: without a directory fsync a power
+  // loss can roll the directory entry back to the old file even though
+  // the new contents were synced.
+  if (sync) sync_parent_directory(path);
 }
 
 void atomic_discard(const std::string& temp) {
@@ -42,7 +72,12 @@ void write_file_atomic(const std::string& path, const std::string& contents,
       throw IoError("failed while writing file: " + temp);
     }
   }
-  atomic_commit(temp, path, sync);
+  try {
+    atomic_commit(temp, path, sync);
+  } catch (...) {
+    atomic_discard(temp);
+    throw;
+  }
 }
 
 }  // namespace alfi::io

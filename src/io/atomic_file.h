@@ -10,9 +10,39 @@
 // new one, never a prefix.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace alfi::io {
+
+// ---- durability probe (write-fault shim for tests) --------------------------
+
+/// The durability-relevant file operations, in the order they must
+/// happen for a checkpoint to never reference unsynced journal bytes:
+/// journal appends are fsync'ed (kJournalSync) and the journal's
+/// directory entry made durable (kDirSync) BEFORE the checkpoint temp
+/// file is synced (kTempSync) and renamed into place (kRename).
+enum class FileOp {
+  kJournalAppend,  ///< journal frame write
+  kJournalSync,    ///< fsync of the journal fd
+  kDirSync,        ///< fsync of a containing directory
+  kTempSync,       ///< fsync of an atomic-commit temp file
+  kRename,         ///< atomic-commit rename into the final path
+};
+
+/// Test shim observing (and optionally failing, by throwing) every
+/// durability-relevant operation before it runs.  Not thread-safe:
+/// install only in single-threaded test code, clear with nullptr.
+using FileOpsProbe = std::function<void(FileOp, const std::string& path)>;
+void set_file_ops_probe_for_testing(FileOpsProbe probe);
+
+/// Invokes the installed probe (no-op without one).  Internal hook for
+/// the journal writer; exposed so io/ stays one probe stream.
+void notify_file_op(FileOp op, const std::string& path);
+
+/// fsyncs the directory containing `path` so renames/creates inside it
+/// survive power loss.  Throws IoError on failure.
+void sync_parent_directory(const std::string& path);
 
 /// How a streaming writer (CsvWriter, BinaryWriter) publishes its file.
 enum class WriteMode {
@@ -28,7 +58,9 @@ std::string atomic_temp_path(const std::string& path);
 
 /// Renames `temp` onto `path`; throws IoError on failure.  When
 /// `sync` is true the temp file's contents are fsync'ed first so the
-/// rename never promotes data the kernel has not made durable.
+/// rename never promotes data the kernel has not made durable, and the
+/// containing directory is fsync'ed afterwards so the rename itself
+/// survives power loss.
 void atomic_commit(const std::string& temp, const std::string& path,
                    bool sync = false);
 

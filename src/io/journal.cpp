@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "io/atomic_file.h"
 #include "util/hash.h"
 
 namespace alfi::io {
@@ -104,12 +105,18 @@ JournalWriter::JournalWriter(const std::string& path, const JournalHeader& heade
   const int flags = O_WRONLY | O_CREAT | O_APPEND | (resume ? 0 : O_TRUNC);
   fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) throw IoError("cannot open journal: " + path);
-  if (!resume) append_frame(encode_header(header));
+  if (!resume) {
+    // A fresh journal's directory entry must itself be durable before
+    // any checkpoint can reference the file by name.
+    sync_parent_directory(path);
+    append_frame(encode_header(header));
+  }
 }
 
 JournalWriter::~JournalWriter() { close(); }
 
 void JournalWriter::append_frame(std::string_view payload) {
+  notify_file_op(FileOp::kJournalAppend, path_);
   const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
   const std::uint32_t crc = crc32(payload);
   std::string frame;
@@ -134,7 +141,9 @@ void JournalWriter::append_unit(std::size_t unit, std::string_view payload) {
 }
 
 void JournalWriter::sync() {
-  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+  if (fd_ < 0) return;
+  notify_file_op(FileOp::kJournalSync, path_);
+  if (::fsync(fd_) != 0) {
     throw IoError("fsync failed on journal: " + path_);
   }
 }

@@ -1,0 +1,158 @@
+#include "io/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/hash.h"
+
+namespace alfi::io {
+
+namespace {
+
+/// Same sanity cap as the journal scanner: a larger size field means
+/// the stream is garbage, not a frame.
+constexpr std::uint32_t kMaxFrameSize = 1u << 30;
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::send(fd_, p + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t size) {
+  while (true) {
+    const ::ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw IoError(std::string("socket recv failed: ") + std::strerror(errno));
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("cannot create socket");
+  Socket sock(fd);
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("cannot parse coordinator address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0) {
+    throw IoError("cannot connect to " + host + ":" + std::to_string(port) +
+                  ": " + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("cannot create listener socket");
+  fd_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0) {
+    throw IoError("cannot bind fleet listener on port " + std::to_string(port) +
+                  ": " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) throw IoError("cannot listen on fleet socket");
+  ::socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<::sockaddr*>(&addr), &len) != 0) {
+    throw IoError("cannot read back fleet listener port");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept_connection() {
+  while (true) {
+    const int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    throw IoError(std::string("accept failed: ") + std::strerror(errno));
+  }
+}
+
+void send_frame(Socket& sock, std::string_view payload) {
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  frame.append(reinterpret_cast<const char*>(&size), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(payload.data(), payload.size());
+  sock.send_all(frame.data(), frame.size());
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (buffer_.size() - pos_ < 8) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return false;
+  }
+  std::uint32_t size, crc;
+  std::memcpy(&size, buffer_.data() + pos_, 4);
+  std::memcpy(&crc, buffer_.data() + pos_ + 4, 4);
+  if (size > kMaxFrameSize) throw ParseError("oversized frame on fleet socket");
+  if (buffer_.size() - pos_ - 8 < size) return false;
+  const std::string_view body(buffer_.data() + pos_ + 8, size);
+  if (crc32(body) != crc) throw ParseError("CRC mismatch on fleet socket frame");
+  payload->assign(body.data(), body.size());
+  pos_ += 8 + size;
+  if (pos_ >= buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace alfi::io

@@ -1,0 +1,89 @@
+// Minimal TCP plumbing for the campaign fleet (core/fleet.h).
+//
+// The fleet protocol ships CRC32-framed messages over a stream socket
+// using the exact frame layout of the result journal (io/journal.h):
+//
+//   ┌───────────────┬──────────────┬───────────────────┐
+//   │ u32 size      │ u32 crc32    │ payload (size B)  │
+//   └───────────────┴──────────────┴───────────────────┘
+//
+// so a worker's completed-unit frames are byte-identical to the kUnit
+// frames the coordinator appends to the journal — the wire format IS
+// the journal format, just transported instead of persisted.  Control
+// messages use payload kinds disjoint from the journal's (≥ 16).
+//
+// Everything here is deliberately boring POSIX: blocking sockets,
+// poll()-driven readiness in the coordinator, MSG_NOSIGNAL on sends so
+// a dead peer surfaces as an IoError instead of SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace alfi::io {
+
+/// RAII file-descriptor wrapper for one TCP connection (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Sends every byte (MSG_NOSIGNAL); throws IoError on a dead peer.
+  void send_all(const void* data, std::size_t size);
+
+  /// Receives up to `size` bytes; returns 0 on orderly peer shutdown.
+  /// Throws IoError on a connection error.
+  std::size_t recv_some(void* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (IPv4 dotted quad or "localhost").
+Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Listening TCP socket bound to 127.0.0.1; port 0 asks the kernel for
+/// an ephemeral port (read back via port()).
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.fd(); }
+  Socket accept_connection();
+
+ private:
+  Socket fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Frames `payload` (journal layout: u32 size, u32 crc32, bytes) and
+/// sends it.
+void send_frame(Socket& sock, std::string_view payload);
+
+/// Incremental parser for the journal frame layout arriving over a
+/// stream.  feed() buffers raw bytes; next() yields one complete
+/// payload at a time and throws ParseError on a CRC mismatch or an
+/// oversized frame (garbage on the wire — drop the connection).
+class FrameDecoder {
+ public:
+  void feed(const void* data, std::size_t size);
+  bool next(std::string* payload);
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace alfi::io

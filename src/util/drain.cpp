@@ -20,7 +20,10 @@ extern "C" void drain_signal_handler(int signum) {
 }  // namespace
 
 void install_drain_handlers() {
-  if (g_installed.exchange(true)) return;
+  // Always (re-)arm: after a first signal the handler restored SIG_DFL,
+  // and the next campaign/lease in this process must drain gracefully
+  // again rather than die on its first ^C.
+  g_installed.store(true);
   std::signal(SIGINT, drain_signal_handler);
   std::signal(SIGTERM, drain_signal_handler);
 }

@@ -10,12 +10,22 @@
 // drain_requested() between work units.  A second signal falls back to
 // the default disposition (immediate termination) so an impatient ^C^C
 // still works.
+//
+// Re-entrancy: a fleet worker process serves many leases (and a test
+// binary runs many campaigns), so the machinery must survive repeated
+// use in one process.  install_drain_handlers() always (re-)arms the
+// handlers — after a first signal fired, the disposition fell back to
+// SIG_DFL, and a later campaign in the same process must not die on the
+// next ^C just because an earlier one was drained.  Pair it with
+// reset_drain_request() at each campaign/lease boundary.
 #pragma once
 
 namespace alfi {
 
 /// Installs SIGINT/SIGTERM handlers that request a graceful drain.
-/// Idempotent; only the first call installs.
+/// Idempotent AND re-arming: safe to call before every campaign or
+/// lease; a disposition reset to SIG_DFL by an earlier first signal is
+/// restored to the drain handler.
 void install_drain_handlers();
 
 /// True once SIGINT or SIGTERM was received (or request_drain() called).

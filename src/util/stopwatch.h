@@ -22,4 +22,26 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Heartbeat timer: due() answers "has `interval_ms` passed since the
+/// last heartbeat?" and re-arms when it has.  Fleet workers use one to
+/// pace liveness frames between work units; the coordinator uses one to
+/// pace its lease-expiry scans.  The first due() after construction
+/// waits a full interval — constructing the timer counts as a beat.
+class IntervalTimer {
+ public:
+  explicit IntervalTimer(double interval_ms) : interval_ms_(interval_ms) {}
+
+  bool due() {
+    if (watch_.elapsed_ms() < interval_ms_) return false;
+    watch_.reset();
+    return true;
+  }
+
+  double interval_ms() const { return interval_ms_; }
+
+ private:
+  double interval_ms_;
+  Stopwatch watch_;
+};
+
 }  // namespace alfi

@@ -1,14 +1,19 @@
 // io::ByteWriter/ByteReader packing and the CRC32-framed campaign
-// journal: roundtrips, torn-tail recovery, corruption detection.
+// journal: roundtrips, torn-tail recovery, corruption detection, and
+// the durability ordering observed through the file-ops probe.
 #include "io/journal.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "io/atomic_file.h"
 #include "test_common.h"
 #include "util/error.h"
 
@@ -202,6 +207,108 @@ TEST(Journal, ResumeAppendsAfterRepair) {
   EXPECT_EQ(final_scan.units[0].second, "alpha");
   EXPECT_EQ(final_scan.units[1].second, "beta2");
   EXPECT_EQ(final_scan.units[2].second, "gamma");
+}
+
+// ---- durability (file-ops probe) --------------------------------------------
+
+/// RAII probe install/clear so a failing assertion can't leak the shim
+/// into later tests.
+class ScopedFileOpsProbe {
+ public:
+  explicit ScopedFileOpsProbe(FileOpsProbe probe) {
+    set_file_ops_probe_for_testing(std::move(probe));
+  }
+  ~ScopedFileOpsProbe() { set_file_ops_probe_for_testing(nullptr); }
+};
+
+TEST(JournalDurability, FreshJournalSyncsDirectoryBeforeFirstAppend) {
+  test::TempDir dir("journal_dirsync");
+  const std::string path = dir.file("journal.bin");
+  std::vector<FileOp> ops;
+  ScopedFileOpsProbe probe([&](FileOp op, const std::string&) {
+    ops.push_back(op);
+  });
+  JournalWriter writer(path, test_header(), /*resume=*/false);
+  writer.append_unit(0, "alpha");
+  writer.sync();
+  writer.close();
+
+  // The journal file's directory entry is made durable before the
+  // header (or anything else) is appended — a checkpoint written later
+  // must never reference a journal the directory can forget.
+  ASSERT_GE(ops.size(), 3u);
+  EXPECT_EQ(ops[0], FileOp::kDirSync);
+  EXPECT_EQ(ops[1], FileOp::kJournalAppend);  // header frame
+  EXPECT_EQ(ops[2], FileOp::kJournalAppend);  // unit frame
+  EXPECT_NE(std::find(ops.begin(), ops.end(), FileOp::kJournalSync), ops.end());
+}
+
+TEST(JournalDurability, ResumedJournalDoesNotResyncDirectory) {
+  test::TempDir dir("journal_resync");
+  const std::string path = dir.file("journal.bin");
+  {
+    JournalWriter writer(path, test_header(), /*resume=*/false);
+    writer.append_unit(0, "alpha");
+    writer.close();
+  }
+  std::vector<FileOp> ops;
+  ScopedFileOpsProbe probe([&](FileOp op, const std::string&) {
+    ops.push_back(op);
+  });
+  JournalWriter writer(path, test_header(), /*resume=*/true);
+  writer.append_unit(1, "beta");
+  writer.close();
+  // The directory entry already survived one run; resume only appends.
+  EXPECT_EQ(std::find(ops.begin(), ops.end(), FileOp::kDirSync), ops.end());
+}
+
+TEST(JournalDurability, AtomicCommitSyncsTempThenRenamesThenSyncsDirectory) {
+  test::TempDir dir("atomic_order");
+  const std::string path = dir.file("checkpoint.bin");
+  std::vector<FileOp> ops;
+  ScopedFileOpsProbe probe([&](FileOp op, const std::string&) {
+    ops.push_back(op);
+  });
+  write_file_atomic(path, "checkpoint-state", /*sync=*/true);
+  // Contents durable before the rename promotes them; the rename itself
+  // made durable by the trailing directory fsync.
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], FileOp::kTempSync);
+  EXPECT_EQ(ops[1], FileOp::kRename);
+  EXPECT_EQ(ops[2], FileOp::kDirSync);
+  EXPECT_EQ(file_bytes(path), "checkpoint-state");
+}
+
+TEST(JournalDurability, InjectedTempSyncFailureLeavesOldFileIntact) {
+  test::TempDir dir("atomic_fault");
+  const std::string path = dir.file("checkpoint.bin");
+  write_file_atomic(path, "version-1", /*sync=*/true);
+
+  ScopedFileOpsProbe probe([](FileOp op, const std::string&) {
+    if (op == FileOp::kTempSync) throw IoError("injected fsync failure");
+  });
+  EXPECT_THROW(write_file_atomic(path, "version-2", /*sync=*/true), IoError);
+  // The rename never ran: readers still see the complete old file.
+  EXPECT_EQ(file_bytes(path), "version-1");
+}
+
+TEST(JournalDurability, InjectedJournalSyncFailurePropagates) {
+  test::TempDir dir("journal_fault");
+  const std::string path = dir.file("journal.bin");
+  JournalWriter writer(path, test_header(), /*resume=*/false);
+  writer.append_unit(0, "alpha");
+  {
+    ScopedFileOpsProbe probe([](FileOp op, const std::string&) {
+      if (op == FileOp::kJournalSync) throw IoError("injected fsync failure");
+    });
+    EXPECT_THROW(writer.sync(), IoError);
+  }
+  // With the shim gone the writer is still usable.
+  writer.sync();
+  writer.close();
+  const auto scan = scan_journal(path);
+  ASSERT_EQ(scan.units.size(), 1u);
+  EXPECT_EQ(scan.units[0].second, "alpha");
 }
 
 }  // namespace

@@ -126,6 +126,55 @@ void apply_workspace_flag(core::CampaignConfigBase& config, const Args& args) {
   }
 }
 
+/// Distributed fleet role flags (DESIGN.md §14), shared by both run
+/// commands:
+///   --fleet-workers N        coordinate + fork N local worker processes
+///   --fleet-coordinator [P]  coordinate remote workers (listen on port P,
+///                            default ephemeral; combinable with
+///                            --fleet-workers)
+///   --fleet-worker H:P       join the coordinator at host H, port P
+///   --lease-units K          units per lease grant (default 8)
+/// Coordinator modes require --checkpoint (the shipped frames are merged
+/// through the journal).
+void apply_fleet_flags(core::CampaignConfigBase& config, const Args& args) {
+  if (const auto v = args.get("fleet-workers")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--fleet-workers must be a positive integer, got: " + *v);
+    }
+    config.fleet.local_workers = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto v = args.get("fleet-coordinator")) {
+    config.fleet.coordinator = true;
+    if (*v != "true") {  // a bare flag parses as "true": ephemeral port
+      const auto parsed = parse_int(*v);
+      if (!parsed || *parsed < 1 || *parsed > 65535) {
+        throw ConfigError("--fleet-coordinator port must be 1..65535, got: " + *v);
+      }
+      config.fleet.listen_port = static_cast<std::uint16_t>(*parsed);
+    }
+  }
+  if (const auto v = args.get("fleet-worker")) {
+    config.fleet.connect = *v;
+    core::parse_host_port(*v);  // fail fast on a malformed spec
+  }
+  if (const auto v = args.get("lease-units")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--lease-units must be a positive integer, got: " + *v);
+    }
+    config.fleet.lease_units = static_cast<std::size_t>(*parsed);
+  }
+  if (config.fleet.worker_mode() && config.fleet.coordinator_mode()) {
+    throw ConfigError(
+        "--fleet-worker cannot be combined with --fleet-workers / "
+        "--fleet-coordinator");
+  }
+  // A worker drains to its lease boundary on SIGINT/SIGTERM even
+  // without checkpoint flags.
+  if (config.fleet.enabled()) install_drain_handlers();
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -183,6 +232,7 @@ int cmd_run_imgclass(const Args& args) {
   apply_checkpoint_flags(config, args);
   apply_telemetry_flags(config, args);
   apply_workspace_flag(config, args);
+  apply_fleet_flags(config, args);
 
   auto model = models::make_classifier(arch, {});
   models::TrainConfig train_config;
@@ -197,6 +247,11 @@ int cmd_run_imgclass(const Args& args) {
 
   core::TestErrorModelsImgClass harness(*model, dataset, scenario, config);
   const auto result = harness.run();
+  if (config.fleet.worker_mode()) {
+    // The worker only streamed unit frames; KPIs and outputs belong to
+    // the coordinator's summary.
+    return 0;
+  }
   std::printf("campaign done: %zu images | SDE %.3f | DUE %.3f", result.kpis.total,
               result.kpis.sde_rate(), result.kpis.due_rate());
   if (result.kpis.has_resil) {
@@ -232,6 +287,7 @@ int cmd_run_objdet(const Args& args) {
   apply_checkpoint_flags(config, args);
   apply_telemetry_flags(config, args);
   apply_workspace_flag(config, args);
+  apply_fleet_flags(config, args);
 
   auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
   models::TrainConfig train_config;
@@ -247,6 +303,11 @@ int cmd_run_objdet(const Args& args) {
 
   core::TestErrorModelsObjDet harness(*detector, dataset, scenario, config);
   const auto result = harness.run();
+  if (config.fleet.worker_mode()) {
+    // The worker only streamed unit frames; KPIs and outputs belong to
+    // the coordinator's summary.
+    return 0;
+  }
   std::printf(
       "campaign done: %zu images | IVMOD_SDE %.3f | IVMOD_DUE %.3f | mAP50 "
       "%.3f -> %.3f\n",
@@ -375,6 +436,8 @@ void usage() {
                "                 [--metrics out.json] [--progress] [--no-workspace]\n"
                "                 [--no-diff] [--unit-batch K] [--backend ref|avx2|auto]\n"
                "                 [--numeric-type fp32|bf16|fp16|fp16_stored|int8]\n"
+               "                 [--fleet-workers N] [--fleet-coordinator [port]]\n"
+               "                 [--fleet-worker host:port] [--lease-units K]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --unit-batch: pack up to K campaign units into\n"
@@ -396,7 +459,15 @@ void usage() {
                "                  --numeric-type: weight representation — bf16/\n"
                "                  fp16 emulate by rounding fp32 weights;\n"
                "                  fp16_stored/int8 store true reduced-width\n"
-               "                  codes that weight faults corrupt directly)\n"
+               "                  codes that weight faults corrupt directly.\n"
+               "                  --fleet-workers: coordinate N forked local\n"
+               "                  worker processes (requires --checkpoint);\n"
+               "                  --fleet-coordinator: also/only accept remote\n"
+               "                  workers; --fleet-worker: join a coordinator —\n"
+               "                  run the SAME campaign command elsewhere with\n"
+               "                  this flag; a mismatched scenario or binary is\n"
+               "                  refused.  Fleet outputs are byte-identical to\n"
+               "                  --jobs 1; see DESIGN.md §14)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"

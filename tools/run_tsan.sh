@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build the concurrency layer under ThreadSanitizer and run the
-# campaign-, telemetry-, batched- and backend-labeled tests
+# campaign-, telemetry-, batched-, backend- and fleet-labeled tests
 # (CampaignRunner sharding, parallel campaign byte-identity — including
-# packed unit-batch execution and the backend/jobs identity grid — and
-# the lock-free metrics registry hammered from worker threads).  Usage:
+# packed unit-batch execution and the backend/jobs identity grid — the
+# lock-free metrics registry hammered from worker threads, and the
+# multi-process fleet coordinator: forked workers, SIGKILL chaos and
+# the coordinator-thread/worker-thread remote path).  Usage:
 #
 #   tools/run_tsan.sh [extra ctest args...]
 #
