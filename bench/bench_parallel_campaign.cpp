@@ -281,6 +281,70 @@ SimdBench measure_simd_speedup() {
   return result;
 }
 
+// ---- MiniTransformer workload ---------------------------------------------
+// The attention-injection workload from ISSUE 9: same campaign plumbing,
+// sequence-classification dataset, and layer-kind-restricted scenarios
+// that pin faults to one attention site family at a time.
+
+struct TransformerEnv {
+  TransformerEnv()
+      : dataset({.size = 64, .seed = 99}),
+        model(models::make_mini_transformer({})) {
+    Rng rng(1);
+    nn::kaiming_init(*model, rng);
+  }
+  data::SyntheticSequenceClassification dataset;
+  std::shared_ptr<nn::Sequential> model;
+};
+
+TransformerEnv& transformer_env() {
+  static TransformerEnv e;
+  return e;
+}
+
+core::Scenario transformer_scenario(std::vector<nn::LayerKind> kinds = {}) {
+  core::Scenario s;
+  s.target = core::FaultTarget::kNeurons;
+  s.value_type = core::ValueType::kBitFlip;
+  s.rnd_bit_range_lo = 20;
+  s.rnd_bit_range_hi = 30;
+  s.inj_policy = core::InjectionPolicy::kPerImage;
+  s.layer_types = std::move(kinds);
+  s.dataset_size = 64;
+  s.num_runs = 1;
+  s.max_faults_per_image = 2;
+  s.batch_size = 8;
+  s.rnd_seed = 77;
+  return s;
+}
+
+struct TransformerRun {
+  CampaignRun run;
+  core::ClassificationKpis kpis;
+};
+
+TransformerRun run_transformer_once(const core::Scenario& scenario) {
+  core::ImgClassCampaignConfig config;
+  config.model_name = "transformer";
+  config.jobs = 1;  // output_dir stays empty: KPIs only, no file IO
+  core::TestErrorModelsImgClass harness(*transformer_env().model,
+                                        transformer_env().dataset, scenario,
+                                        config);
+  Stopwatch watch;
+  const auto result = harness.run();
+  TransformerRun out;
+  out.run.seconds = watch.elapsed_seconds();
+  out.kpis = result.kpis;
+  for (const auto& [name, histogram] : harness.metrics().histograms()) {
+    if (name != "campaign.unit_ms") continue;
+    out.run.unit_mean_ms = histogram->mean();
+    out.run.unit_p50_ms = histogram->percentile(50.0);
+    out.run.unit_p95_ms = histogram->percentile(95.0);
+    out.run.unit_p99_ms = histogram->percentile(99.0);
+  }
+  return out;
+}
+
 io::Json run_to_json(const CampaignRun& run) {
   io::Json entry = io::Json::object();
   entry["seconds"] = io::Json(run.seconds);
@@ -374,9 +438,54 @@ void write_bench_json(const std::string& path) {
   // SIMD backend microbench (GEMM + conv2d, ref vs best registered).
   const SimdBench simd = measure_simd_speedup();
 
+  // MiniTransformer unit throughput (unrestricted neuron campaign) and
+  // the attention-site SDC table: the same campaign confined by
+  // layer_types to one site family at a time, so the SDC/DUE rates
+  // compare the vulnerability of Q/K/V/MLP projections, the attention-
+  // probability tensor, and the residual stream under an identical
+  // fault model (GoldenTransformer-style site taxonomy).
+  std::printf("\n==== MiniTransformer attention-site campaign ====\n");
+  const core::Scenario tf_all = transformer_scenario();
+  const TransformerRun tf_serial = [&tf_all] {
+    TransformerRun best = run_transformer_once(tf_all);
+    for (int i = 1; i < 3; ++i) {
+      const TransformerRun next = run_transformer_once(tf_all);
+      if (next.run.unit_mean_ms < best.run.unit_mean_ms) best = next;
+    }
+    return best;
+  }();
+
+  struct Site {
+    const char* name;
+    std::vector<nn::LayerKind> kinds;
+  };
+  const std::vector<Site> sites = {
+      {"qkv_mlp_proj", {nn::LayerKind::kSeqLinear}},
+      {"attn_probs", {nn::LayerKind::kAttention}},
+      {"residual_stream", {nn::LayerKind::kResidual}},
+  };
+  io::Json sdc_table = io::Json::array();
+  for (const Site& site : sites) {
+    const TransformerRun r = run_transformer_once(transformer_scenario(site.kinds));
+    io::Json entry = io::Json::object();
+    entry["site"] = io::Json(std::string(site.name));
+    entry["total"] = io::Json(static_cast<double>(r.kpis.total));
+    entry["sde"] = io::Json(static_cast<double>(r.kpis.sde));
+    entry["due"] = io::Json(static_cast<double>(r.kpis.due));
+    entry["sde_rate"] = io::Json(r.kpis.sde_rate());
+    entry["due_rate"] = io::Json(r.kpis.due_rate());
+    sdc_table.push_back(entry);
+    std::printf("site %-16s sde %5.1f%%  due %5.1f%%  (%zu/%zu units)\n",
+                site.name, 100.0 * r.kpis.sde_rate(), 100.0 * r.kpis.due_rate(),
+                r.kpis.sde, r.kpis.total);
+  }
+  std::printf("transformer serial: %7.2f units/s (mean %.3f ms, p50 %.3f ms)\n",
+              tf_serial.run.unit_throughput_per_sec(), tf_serial.run.unit_mean_ms,
+              tf_serial.run.unit_p50_ms);
+
   const core::Scenario scenario = campaign_scenario();
   io::Json root = io::Json::object();
-  root["schema"] = io::Json(std::string("alfi.bench.campaign.v4"));
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v5"));
   root["host_cores"] =
       io::Json(static_cast<double>(core::CampaignRunner::default_job_count()));
   io::Json workload = io::Json::object();
@@ -419,6 +528,16 @@ void write_bench_json(const std::string& path) {
   root["fleet_run"] = run_to_json(fleet);
   root["fleet_workers"] = io::Json(4.0);
   root["fleet_speedup"] = io::Json(fleet_speedup);
+  io::Json tf_workload = io::Json::object();
+  tf_workload["model"] = io::Json(std::string("mini-transformer"));
+  tf_workload["dataset"] = io::Json(std::string("synth-seq"));
+  tf_workload["units"] =
+      io::Json(static_cast<double>(tf_all.dataset_size * tf_all.num_runs));
+  tf_workload["faults_per_unit"] =
+      io::Json(static_cast<double>(tf_all.max_faults_per_image));
+  root["transformer_workload"] = tf_workload;
+  root["transformer_serial"] = run_to_json(tf_serial.run);
+  root["transformer_sdc_table"] = sdc_table;
   root["simd_backend"] = io::Json(simd.backend);
   root["simd_gemm_conv_ref_ms"] = io::Json(simd.ref_ms);
   root["simd_gemm_conv_ms"] = io::Json(simd.simd_ms);

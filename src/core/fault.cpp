@@ -47,7 +47,9 @@ std::size_t Fault::neuron_offset(const Shape& output_shape) const {
 
 std::size_t Fault::weight_offset(const Shape& weight_shape) const {
   switch (weight_shape.rank()) {
-    case 2: {  // linear [OUT, IN]
+    case 1:  // layernorm gain [F]
+      return checked(width, weight_shape[0], "width/feature");
+    case 2: {  // linear [OUT, IN]; embedding [V, E]
       const std::size_t o = checked(channel_out, weight_shape[0], "out_channel");
       const std::size_t i = checked(channel_in, weight_shape[1], "in_channel");
       return o * weight_shape[1] + i;

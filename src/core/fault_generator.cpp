@@ -7,6 +7,9 @@ std::vector<std::size_t> eligible_layers(const Scenario& scenario,
   std::vector<std::size_t> eligible;
   for (const LayerInfo& info : profile.layers()) {
     if (!scenario.allows_layer_kind(info.kind)) continue;
+    // Weight-less sites (attention probabilities, the residual stream)
+    // advertise neuron injection only.
+    if (scenario.target == FaultTarget::kWeights && !info.has_weight()) continue;
     if (scenario.layer_range &&
         (info.index < scenario.layer_range->first ||
          info.index > scenario.layer_range->second)) {
@@ -91,7 +94,10 @@ void fill_weight_location(const LayerInfo& layer, Fault& fault, Rng& rng) {
   const std::size_t flat = static_cast<std::size_t>(rng.next_below(w.numel()));
   const std::vector<std::size_t> index = w.unravel(flat);
   switch (w.rank()) {
-    case 2:  // linear [OUT, IN]
+    case 1:  // layernorm gain [F]
+      fault.width = static_cast<std::int64_t>(index[0]);
+      break;
+    case 2:  // linear [OUT, IN]; embedding [V, E]
       fault.channel_out = static_cast<std::int64_t>(index[0]);
       fault.channel_in = static_cast<std::int64_t>(index[1]);
       break;

@@ -49,6 +49,8 @@ void Injector::set_metrics(util::MetricsRegistry* registry) {
     skipped_counter_ = nullptr;
     weight_applied_counter_ = nullptr;
     weight_restore_counter_ = nullptr;
+    role_applied_counters_.clear();
+    role_weight_counters_.clear();
     return;
   }
   armed_counter_ = &registry->counter("injections.armed");
@@ -56,6 +58,23 @@ void Injector::set_metrics(util::MetricsRegistry* registry) {
   skipped_counter_ = &registry->counter("injections.skipped_batch_slot");
   weight_applied_counter_ = &registry->counter("injections.weight_applied");
   weight_restore_counter_ = &registry->counter("injections.weight_restores");
+  // Per-role applied-fault counters for layers whose inventory names a
+  // semantic site (attn_probs, q_proj, ...).  Layers with the historical
+  // default roles register nothing, so CNN campaign metrics are
+  // unchanged key-for-key.
+  role_applied_counters_.assign(profile_.layer_count(), nullptr);
+  role_weight_counters_.assign(profile_.layer_count(), nullptr);
+  for (std::size_t i = 0; i < profile_.layer_count(); ++i) {
+    const LayerInfo& layer = profile_.layer(i);
+    if (layer.output_role != "activation") {
+      role_applied_counters_[i] =
+          &registry->counter("injections.applied_role." + layer.output_role);
+    }
+    if (layer.has_weight() && layer.weight_role != "weight") {
+      role_weight_counters_[i] =
+          &registry->counter("injections.weight_applied_role." + layer.weight_role);
+    }
+  }
 }
 
 void Injector::disarm() {
@@ -117,7 +136,7 @@ void Injector::for_each_armed_layer(const std::function<void(std::size_t)>& fn) 
 
 void Injector::apply_weight_fault(const Fault& fault) {
   const LayerInfo& layer = profile_.layer(static_cast<std::size_t>(fault.layer));
-  nn::Parameter* weight = layer.module->weight_param();
+  nn::Parameter* weight = layer.weight;  // inventory-advertised weight site
   ALFI_CHECK(weight != nullptr, "weight fault on weight-less layer");
   const std::size_t offset = fault.weight_offset(weight->value.shape());
 
@@ -168,6 +187,11 @@ void Injector::apply_weight_fault(const Fault& fault) {
     }
   }
   if (weight_applied_counter_ != nullptr) weight_applied_counter_->add();
+  const std::size_t layer_index = static_cast<std::size_t>(fault.layer);
+  if (layer_index < role_weight_counters_.size() &&
+      role_weight_counters_[layer_index] != nullptr) {
+    role_weight_counters_[layer_index]->add();
+  }
   records_.push_back(std::move(record));
 }
 
@@ -214,6 +238,10 @@ void Injector::apply_neuron_faults(std::size_t layer_index, Tensor& output) {
       }
       records_.push_back(std::move(record));
       if (applied_counter_ != nullptr) applied_counter_->add();
+      if (layer_index < role_applied_counters_.size() &&
+          role_applied_counters_[layer_index] != nullptr) {
+        role_applied_counters_[layer_index]->add();
+      }
     }
   }
 }

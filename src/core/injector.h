@@ -155,6 +155,11 @@ class Injector {
   util::Counter* skipped_counter_ = nullptr;
   util::Counter* weight_applied_counter_ = nullptr;
   util::Counter* weight_restore_counter_ = nullptr;
+  // Per-injectable-layer role counters (injections.applied_role.<role>,
+  // injections.weight_applied_role.<role>); nullptr for layers with the
+  // historical default roles so CNN metrics keep their exact key set.
+  std::vector<util::Counter*> role_applied_counters_;
+  std::vector<util::Counter*> role_weight_counters_;
 };
 
 }  // namespace alfi::core

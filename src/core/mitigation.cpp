@@ -9,7 +9,7 @@ namespace alfi::core {
 bool is_activation_layer(const nn::Module& module) {
   const std::string type = module.type();
   return type == "ReLU" || type == "LeakyReLU" || type == "Sigmoid" ||
-         type == "Tanh";
+         type == "Tanh" || type == "GELU" || type == "AttentionSoftmax";
 }
 
 ActivationRangeProfiler::ActivationRangeProfiler(nn::Module& model) {
@@ -73,7 +73,14 @@ Protection::Protection(nn::Module& model, const RangeMap& bounds, MitigationKind
             if (mode == MitigationKind::kClipper) {
               v = 0.0f;
             } else {  // Ranger: truncate into the profiled range
-              v = std::isnan(v) ? 0.0f : std::min(std::max(v, range.lo), range.hi);
+              // NaN replacement must also respect the profiled range: a
+              // bare 0.0f escapes it when lo > 0 (softmax/sigmoid
+              // profiles), feeding downstream layers a value the
+              // fault-free network never produces.  Clamping 0 into
+              // [lo, hi] is identity whenever 0 is in range (all ReLU
+              // profiles), so CNN campaigns are unchanged.
+              v = std::isnan(v) ? std::min(std::max(0.0f, range.lo), range.hi)
+                                : std::min(std::max(v, range.lo), range.hi);
             }
           }
         });

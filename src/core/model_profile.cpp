@@ -3,18 +3,27 @@
 namespace alfi::core {
 
 ModelProfile::ModelProfile(nn::Module& model, const Tensor& sample_input) {
-  // Pass 1: collect injectable layers in traversal order.
+  // Pass 1: collect injectable layers in traversal order, resolving
+  // each leaf's advertised target inventory.  Historically injectable
+  // kinds (conv2d/conv3d/linear) always advertise a weight site, so
+  // their LayerInfo is bit-compatible with the pre-inventory profiler.
   model.for_each_module([this](const std::string& path, nn::Module& m) {
-    if (m.kind() == nn::LayerKind::kOther) return;
-    nn::Parameter* weight = m.weight_param();
-    ALFI_CHECK(weight != nullptr, "injectable layer without weight: " + path);
+    nn::TargetInventory inventory = m.target_inventory();
+    if (!inventory.injectable) return;
+    ALFI_CHECK(m.kind() != nn::LayerKind::kOther,
+               "injectable layer must advertise a layer kind: " + path);
     LayerInfo info;
     info.index = layers_.size();
     info.path = path;
     info.module = &m;
     info.kind = m.kind();
-    info.weight_shape = weight->value.shape();
-    info.weight_count = weight->value.numel();
+    info.weight = inventory.weight;
+    info.weight_role = inventory.weight != nullptr ? inventory.weight_role : "";
+    info.output_role = inventory.output_role;
+    if (inventory.weight != nullptr) {
+      info.weight_shape = inventory.weight->value.shape();
+      info.weight_count = inventory.weight->value.numel();
+    }
     layers_.push_back(std::move(info));
   });
   ALFI_CHECK(!layers_.empty(), "model has no injectable layers");

@@ -1,11 +1,17 @@
 // Model profiling: enumerate injectable layers and their geometries.
 //
-// Fault generation needs, per injectable layer (conv2d / conv3d /
-// linear): its index among injectable layers (the "Layer" row of
-// Table I), its weight tensor shape, and its *output* tensor shape —
-// the latter is only known at run time, so the profiler performs one
-// probe inference with shape-recording hooks attached (the same
-// mechanism PyTorchFI uses to discover neuron geometries).
+// Fault generation needs, per injectable layer: its index among
+// injectable layers (the "Layer" row of Table I), its weight tensor
+// shape, and its *output* tensor shape — the latter is only known at
+// run time, so the profiler performs one probe inference with
+// shape-recording hooks attached (the same mechanism PyTorchFI uses to
+// discover neuron geometries).
+//
+// What counts as injectable, and which tensors a layer exposes, is
+// advertised by the layer itself through nn::Module::target_inventory()
+// — the layer-kind-aware seam that lets weight-less sites (attention
+// probabilities, the residual stream) participate in neuron injection
+// while conv/linear layers profile exactly as before.
 #pragma once
 
 #include <string>
@@ -20,10 +26,15 @@ struct LayerInfo {
   std::string path;             // module path, e.g. "features.3"
   nn::Module* module = nullptr;
   nn::LayerKind kind = nn::LayerKind::kOther;
+  nn::Parameter* weight = nullptr;  // weight-fault site, or nullptr
+  std::string weight_role;      // semantic role of the weight site ("" if none)
+  std::string output_role;      // semantic role of the output tensor
   Shape weight_shape;           // conv2d [OC,IC,KH,KW]; conv3d +KD; linear [OUT,IN]
   Shape output_shape;           // per-sample shape (batch axis stripped)
-  std::size_t weight_count = 0;
+  std::size_t weight_count = 0; // 0 for weight-less sites (attn probs, residual)
   std::size_t neuron_count = 0; // elements of output_shape
+
+  bool has_weight() const { return weight != nullptr; }
 };
 
 class ModelProfile {

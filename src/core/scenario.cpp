@@ -80,6 +80,11 @@ nn::LayerKind layer_kind_from_string(const std::string& text) {
   if (t == "linear" || t == "fcc" || t == "fully_connected") {
     return nn::LayerKind::kLinear;
   }
+  if (t == "seq_linear") return nn::LayerKind::kSeqLinear;
+  if (t == "embedding") return nn::LayerKind::kEmbedding;
+  if (t == "attention") return nn::LayerKind::kAttention;
+  if (t == "residual") return nn::LayerKind::kResidual;
+  if (t == "layernorm") return nn::LayerKind::kLayerNorm;
   throw ConfigError("unknown layer type: " + text);
 }
 
@@ -105,7 +110,9 @@ std::vector<std::string> Scenario::validation_errors() const {
   }
   for (const nn::LayerKind kind : layer_types) {
     if (kind == nn::LayerKind::kOther) {
-      errors.push_back("layer_types may only list conv2d, conv3d, linear");
+      errors.push_back(
+          "layer_types may only list conv2d, conv3d, linear, seq_linear, "
+          "embedding, attention, residual, layernorm");
       break;
     }
   }

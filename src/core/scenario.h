@@ -55,7 +55,7 @@ struct Scenario {
   std::size_t max_faults_per_image = 1;
 
   // -- fault location restrictions ------------------------------------------
-  /// Injectable layer kinds; empty = all of conv2d/conv3d/linear.
+  /// Injectable layer kinds; empty = every kind the model advertises.
   std::vector<nn::LayerKind> layer_types;
   /// Inclusive [first, last] injectable-layer index range; nullopt = all.
   std::optional<std::pair<std::size_t, std::size_t>> layer_range;

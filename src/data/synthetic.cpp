@@ -93,6 +93,63 @@ ClassificationSample SyntheticShapesClassification::render(std::size_t index) co
   return sample;
 }
 
+// ---- sequence classification ------------------------------------------------
+
+SyntheticSequenceClassification::SyntheticSequenceClassification(
+    SequenceConfig config)
+    : config_(std::move(config)) {
+  ALFI_CHECK(config_.num_classes >= 2, "need at least two classes");
+  ALFI_CHECK(config_.size > 0, "dataset must not be empty");
+  ALFI_CHECK(config_.seq_len > 0, "sequences must not be empty");
+  ALFI_CHECK(config_.vocab_size > config_.num_classes,
+             "vocabulary must be larger than the class count");
+  ALFI_CHECK(config_.anchor_probability >= 0.0f && config_.anchor_probability <= 1.0f,
+             "anchor_probability must be in [0, 1]");
+  cache_.resize(config_.size);
+}
+
+ClassificationSample SyntheticSequenceClassification::get(std::size_t index) const {
+  ALFI_CHECK(index < config_.size, "sequence sample index out of range");
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_[index]) return *cache_[index];
+  }
+  ClassificationSample sample = render(index);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_[index]) cache_[index] = std::move(sample);
+  return *cache_[index];
+}
+
+ClassificationSample SyntheticSequenceClassification::render(std::size_t index) const {
+  Rng rng = sample_rng(config_.seed, index, /*salt=*/0x5E9ULL);
+
+  const std::size_t label = index % config_.num_classes;
+  Tensor image(Shape{1, 1, config_.seq_len});
+
+  // Class k owns two anchor tokens spaced num_classes apart; everything
+  // else is uniform noise.  Token ids travel as exact small floats.
+  for (std::size_t i = 0; i < config_.seq_len; ++i) {
+    std::size_t token;
+    if (rng.bernoulli(config_.anchor_probability)) {
+      const std::size_t which = static_cast<std::size_t>(rng.next_below(2));
+      token = (label + which * config_.num_classes) % config_.vocab_size;
+    } else {
+      token = static_cast<std::size_t>(rng.next_below(config_.vocab_size));
+    }
+    image.raw()[i] = static_cast<float>(token);
+  }
+
+  ClassificationSample sample;
+  sample.image = std::move(image);
+  sample.label = label;
+  sample.meta.image_id = static_cast<std::int64_t>(index);
+  sample.meta.file_name =
+      "synthetic/" + config_.dataset_name + "/" + std::to_string(index) + ".seq";
+  sample.meta.height = 1;
+  sample.meta.width = config_.seq_len;
+  return sample;
+}
+
 // ---- detection --------------------------------------------------------------
 
 SyntheticShapesDetection::SyntheticShapesDetection(DetectionConfig config)

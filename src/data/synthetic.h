@@ -60,6 +60,42 @@ class SyntheticShapesClassification final : public ClassificationDataset {
   mutable std::vector<std::optional<ClassificationSample>> cache_;
 };
 
+struct SequenceConfig {
+  std::size_t size = 256;         // number of sequences
+  std::size_t seq_len = 16;
+  std::size_t vocab_size = 16;
+  std::size_t num_classes = 4;
+  float anchor_probability = 0.6f;  // chance a position draws a class token
+  std::uint64_t seed = 42;
+  std::string dataset_name = "synth-seq";
+};
+
+/// Synthetic sequence classification for the MiniTransformer workload.
+/// Class k owns a small set of anchor tokens; each position draws an
+/// anchor with `anchor_probability`, otherwise a uniform vocabulary
+/// token — so the label is decodable from token statistics (attention
+/// can pool evidence across positions) but no single position is
+/// decisive.  Token ids are carried as floats in a [1, 1, seq_len]
+/// "image" so the classification harness runs sequences unchanged.
+class SyntheticSequenceClassification final : public ClassificationDataset {
+ public:
+  explicit SyntheticSequenceClassification(SequenceConfig config);
+
+  std::size_t size() const override { return config_.size; }
+  std::size_t num_classes() const override { return config_.num_classes; }
+  ClassificationSample get(std::size_t index) const override;
+  std::string name() const override { return config_.dataset_name; }
+
+  const SequenceConfig& config() const { return config_; }
+
+ private:
+  ClassificationSample render(std::size_t index) const;
+
+  SequenceConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::optional<ClassificationSample>> cache_;
+};
+
 struct DetectionConfig {
   std::size_t size = 128;
   std::size_t channels = 3;

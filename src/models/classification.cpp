@@ -120,6 +120,26 @@ std::shared_ptr<Sequential> make_classifier(const std::string& name,
   throw ConfigError("unknown classifier architecture: " + name);
 }
 
+std::shared_ptr<Sequential> make_mini_transformer(const TransformerConfig& config) {
+  ALFI_CHECK(config.num_heads > 0 && config.embed_dim % config.num_heads == 0,
+             "MiniTransformer embed_dim must divide evenly into heads");
+  ALFI_CHECK(config.num_blocks > 0, "MiniTransformer needs at least one block");
+  auto net = std::make_shared<Sequential>();
+  // [N,1,1,T] token-id "image" -> [N,T] for the embedding.
+  net->append(std::make_shared<Flatten>());
+  net->append(std::make_shared<nn::TokenEmbedding>(config.vocab_size,
+                                                   config.embed_dim,
+                                                   config.seq_len));
+  for (std::size_t b = 0; b < config.num_blocks; ++b) {
+    net->append(std::make_shared<nn::TransformerBlock>(
+        config.embed_dim, config.num_heads, config.mlp_dim));
+  }
+  net->append(std::make_shared<nn::LayerNorm>(config.embed_dim));
+  net->append(std::make_shared<nn::TokenMeanPool>());
+  net->append(std::make_shared<Linear>(config.embed_dim, config.num_classes));
+  return net;
+}
+
 std::shared_ptr<Sequential> make_conv3d_classifier(
     const VolumeClassifierConfig& config) {
   auto net = std::make_shared<Sequential>();

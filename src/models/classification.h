@@ -36,6 +36,27 @@ std::shared_ptr<nn::Sequential> make_lenet(const ClassifierConfig& config = {});
 std::shared_ptr<nn::Sequential> make_classifier(const std::string& name,
                                                 const ClassifierConfig& config = {});
 
+/// MiniTransformer: a small pre-LN encoder for synthetic sequence
+/// classification (the attention-injection workload).  Input rides the
+/// image plumbing as [N, 1, 1, T] token ids carried as floats; the
+/// leading Flatten turns that into [N, T] for the embedding.  Every
+/// attention fault site from the GoldenTransformer taxonomy is an
+/// injectable leaf: Q/K/V/out projections and the MLP (seq_linear
+/// weights + outputs), the post-softmax attention-probability tensor,
+/// the residual stream after each join, layernorm gains, and the
+/// embedding table.
+struct TransformerConfig {
+  std::size_t seq_len = 16;
+  std::size_t vocab_size = 16;
+  std::size_t embed_dim = 32;
+  std::size_t num_heads = 4;
+  std::size_t num_blocks = 2;
+  std::size_t mlp_dim = 64;
+  std::size_t num_classes = 4;
+};
+std::shared_ptr<nn::Sequential> make_mini_transformer(
+    const TransformerConfig& config = {});
+
 /// A tiny conv3d video/volume classifier (exercises the Conv3d fault
 /// path; input [N, C, D, H, W]).
 struct VolumeClassifierConfig {

@@ -407,6 +407,440 @@ Tensor Residual::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+// ---- transformer layers ------------------------------------------------------
+
+namespace {
+
+// Token ids travel as floats through the [N,T] image plumbing; clamp
+// defensively so corrupted ids (upstream faults) index inside the table
+// instead of invoking UB.
+std::size_t clamp_token_id(float id, std::size_t vocab) {
+  if (!std::isfinite(id) || id <= 0.0f) return 0;
+  const std::size_t index = static_cast<std::size_t>(id);
+  return index >= vocab ? vocab - 1 : index;
+}
+
+}  // namespace
+
+TokenEmbedding::TokenEmbedding(std::size_t vocab_size, std::size_t embed_dim,
+                               std::size_t max_len)
+    : vocab_(vocab_size),
+      embed_(embed_dim),
+      max_len_(max_len),
+      weight_(register_parameter("weight", Tensor(Shape{vocab_size, embed_dim}))),
+      pos_(register_parameter("pos", Tensor(Shape{max_len, embed_dim}))) {
+  ALFI_CHECK(vocab_size > 0 && embed_dim > 0 && max_len > 0,
+             "TokenEmbedding dimensions must be positive");
+}
+
+void TokenEmbedding::init(Rng& rng) {
+  weight_->value = Tensor::normal(weight_->value.shape(), rng, 0.0f, 0.02f);
+  pos_->value = Tensor::normal(pos_->value.shape(), rng, 0.0f, 0.02f);
+}
+
+void TokenEmbedding::embed_into(Tensor& out, const Tensor& input) const {
+  ALFI_CHECK(input.rank() == 2, "TokenEmbedding expects [N,T] token ids");
+  const std::size_t n = input.dim(0), t = input.dim(1);
+  ALFI_CHECK(t <= max_len_, "TokenEmbedding sequence longer than max_len");
+  const float* ids = input.raw();
+  const float* table = weight_->value.raw();
+  const float* pos = pos_->value.raw();
+  float* dst = out.raw();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < t; ++i) {
+      const std::size_t id = clamp_token_id(ids[s * t + i], vocab_);
+      const float* row = table + id * embed_;
+      const float* prow = pos + i * embed_;
+      float* o = dst + (s * t + i) * embed_;
+      for (std::size_t e = 0; e < embed_; ++e) o[e] = row[e] + prow[e];
+    }
+  }
+}
+
+Tensor TokenEmbedding::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  Tensor out(Shape{input.dim(0), input.dim(1), embed_});
+  embed_into(out, input);
+  return out;
+}
+
+Tensor TokenEmbedding::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "TokenEmbedding backward before forward");
+  const Tensor& input = *cached_input_;
+  const std::size_t n = input.dim(0), t = input.dim(1);
+  const float* ids = input.raw();
+  const float* dy = grad_output.raw();
+  float* wgrad = weight_->grad.raw();
+  float* pgrad = pos_->grad.raw();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < t; ++i) {
+      const std::size_t id = clamp_token_id(ids[s * t + i], vocab_);
+      const float* g = dy + (s * t + i) * embed_;
+      float* wrow = wgrad + id * embed_;
+      float* prow = pgrad + i * embed_;
+      for (std::size_t e = 0; e < embed_; ++e) {
+        wrow[e] += g[e];
+        prow[e] += g[e];
+      }
+    }
+  }
+  // Token ids are not differentiable; upstream (Flatten) gets zeros.
+  return Tensor(input.shape());
+}
+
+TargetInventory TokenEmbedding::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = true;
+  inv.weight = weight_;
+  inv.weight_role = "embedding";
+  inv.output_role = "embedding_out";
+  return inv;
+}
+
+SeqLinear::SeqLinear(std::size_t in_features, std::size_t out_features,
+                     std::string role)
+    : in_features_(in_features),
+      out_features_(out_features),
+      role_(std::move(role)),
+      weight_(register_parameter("weight", Tensor(Shape{out_features, in_features}))),
+      bias_(register_parameter("bias", Tensor(Shape{out_features}))) {}
+
+void SeqLinear::init(Rng& rng) {
+  const float stddev = kaiming_stddev(in_features_);
+  weight_->value = Tensor::normal(weight_->value.shape(), rng, 0.0f, stddev);
+  bias_->value.fill(0.0f);
+}
+
+Tensor SeqLinear::compute(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 3 && input.dim(2) == in_features_,
+             "SeqLinear expects [N,T," + std::to_string(in_features_) + "]");
+  if (training()) cached_input_ = input;
+  Tensor out(Shape{input.dim(0), input.dim(1), out_features_});
+  ops::linear_forward_into(out, input, weight_->value, bias_->value);
+  return out;
+}
+
+Tensor SeqLinear::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "SeqLinear backward before forward");
+  const Tensor& input = *cached_input_;
+  const std::size_t rows = input.dim(0) * input.dim(1);
+  // Token-wise projection == row-wise linear over the flattened tokens.
+  const Tensor flat_in = input.reshaped(Shape{rows, in_features_});
+  const Tensor flat_dy = grad_output.reshaped(Shape{rows, out_features_});
+  auto grads = ops::linear_backward(flat_in, weight_->value, flat_dy);
+  ops::add_inplace(weight_->grad, grads.grad_weight);
+  ops::add_inplace(bias_->grad, grads.grad_bias);
+  return grads.grad_input.reshaped(input.shape());
+}
+
+TargetInventory SeqLinear::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = true;
+  inv.weight = weight_;
+  inv.weight_role = role_;
+  inv.output_role = role_ + "_out";
+  return inv;
+}
+
+Tensor GELU::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::gelu(input);
+}
+
+Tensor GELU::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "GELU backward before forward");
+  return ops::gelu_backward(*cached_input_, grad_output);
+}
+
+LayerNorm::LayerNorm(std::size_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gamma_(register_parameter("weight", Tensor::ones(Shape{features}))),
+      beta_(register_parameter("bias", Tensor(Shape{features}))) {
+  ALFI_CHECK(features > 0, "LayerNorm features must be positive");
+}
+
+Tensor LayerNorm::compute(const Tensor& input) {
+  if (training()) cached_input_ = input;
+  return ops::layernorm(input, gamma_->value, beta_->value, eps_);
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_input_.has_value(), "LayerNorm backward before forward");
+  const Tensor& input = *cached_input_;
+  const std::size_t f = features_;
+  const std::size_t rows = input.numel() / f;
+  Tensor grad_input(input.shape());
+  const float* x = input.raw();
+  const float* dy = grad_output.raw();
+  const float* g = gamma_->value.raw();
+  float* ggrad = gamma_->grad.raw();
+  float* bgrad = beta_->grad.raw();
+  float* dx = grad_input.raw();
+  const double inv_f = 1.0 / static_cast<double>(f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * f;
+    const float* dyr = dy + r * f;
+    float* dxr = dx + r * f;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < f; ++i) mean += xr[i];
+    mean *= inv_f;
+    double var = 0.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      const double d = xr[i] - mean;
+      var += d * d;
+    }
+    var *= inv_f;
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      const float xhat = (xr[i] - static_cast<float>(mean)) * inv_std;
+      const double dxhat = static_cast<double>(dyr[i]) * g[i];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat;
+      ggrad[i] += dyr[i] * xhat;
+      bgrad[i] += dyr[i];
+    }
+    // dX = inv_std * (dXhat - mean(dXhat) - Xhat * mean(dXhat * Xhat))
+    const float mean_dxhat = static_cast<float>(sum_dxhat * inv_f);
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat * inv_f);
+    for (std::size_t i = 0; i < f; ++i) {
+      const float xhat = (xr[i] - static_cast<float>(mean)) * inv_std;
+      const float dxhat = dyr[i] * g[i];
+      dxr[i] = inv_std * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat);
+    }
+  }
+  return grad_input;
+}
+
+TargetInventory LayerNorm::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = true;
+  inv.weight = gamma_;
+  inv.weight_role = "layernorm_gain";
+  inv.output_role = "layernorm_out";
+  return inv;
+}
+
+Tensor AttentionSoftmax::compute(const Tensor& input) {
+  Tensor out = ops::softmax_over_heads(input);
+  if (training()) cached_output_ = out;
+  return out;
+}
+
+Tensor AttentionSoftmax::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_output_.has_value(), "AttentionSoftmax backward before forward");
+  return ops::softmax_over_heads_backward(*cached_output_, grad_output);
+}
+
+TargetInventory AttentionSoftmax::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = true;  // weight-less: neuron faults on the probability tensor
+  inv.output_role = "attn_probs";
+  return inv;
+}
+
+Tensor ResidualJoin::compute(const Tensor& input) { return input; }
+
+Tensor ResidualJoin::backward(const Tensor& grad_output) { return grad_output; }
+
+TargetInventory ResidualJoin::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = true;  // weight-less: neuron faults on the summed stream
+  inv.output_role = "residual_stream";
+  return inv;
+}
+
+Tensor TokenMeanPool::compute(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 3, "TokenMeanPool expects [N,T,E]");
+  if (training()) cached_shape_ = input.shape();
+  const std::size_t n = input.dim(0), t = input.dim(1), e = input.dim(2);
+  Tensor out(Shape{n, e});
+  const float* src = input.raw();
+  float* dst = out.raw();
+  const double inv_t = 1.0 / static_cast<double>(t);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t k = 0; k < e; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < t; ++i) acc += src[(s * t + i) * e + k];
+      dst[s * e + k] = static_cast<float>(acc * inv_t);
+    }
+  }
+  return out;
+}
+
+Tensor TokenMeanPool::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_shape_.has_value(), "TokenMeanPool backward before forward");
+  const Shape& shape = *cached_shape_;
+  const std::size_t n = shape[0], t = shape[1], e = shape[2];
+  Tensor grad_input(shape);
+  const float* dy = grad_output.raw();
+  float* dx = grad_input.raw();
+  const float inv_t = 1.0f / static_cast<float>(t);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t k = 0; k < e; ++k) {
+        dx[(s * t + i) * e + k] = dy[s * e + k] * inv_t;
+      }
+    }
+  }
+  return grad_input;
+}
+
+MultiHeadAttention::MultiHeadAttention(std::size_t embed_dim, std::size_t num_heads)
+    : embed_(embed_dim),
+      heads_(num_heads),
+      scale_(0.0f),
+      q_proj_(static_cast<SeqLinear*>(register_child(
+          "q_proj", std::make_shared<SeqLinear>(embed_dim, embed_dim, "q_proj")))),
+      k_proj_(static_cast<SeqLinear*>(register_child(
+          "k_proj", std::make_shared<SeqLinear>(embed_dim, embed_dim, "k_proj")))),
+      v_proj_(static_cast<SeqLinear*>(register_child(
+          "v_proj", std::make_shared<SeqLinear>(embed_dim, embed_dim, "v_proj")))),
+      attn_(static_cast<AttentionSoftmax*>(
+          register_child("attn", std::make_shared<AttentionSoftmax>()))),
+      out_proj_(static_cast<SeqLinear*>(register_child(
+          "out_proj", std::make_shared<SeqLinear>(embed_dim, embed_dim, "out_proj")))) {
+  ALFI_CHECK(num_heads > 0 && embed_dim % num_heads == 0,
+             "embed_dim must divide evenly into heads");
+  scale_ = 1.0f / std::sqrt(static_cast<float>(embed_dim / num_heads));
+}
+
+Tensor MultiHeadAttention::compute(const Tensor& input) {
+  ALFI_CHECK(input.rank() == 3 && input.dim(2) == embed_,
+             "MultiHeadAttention expects [N,T," + std::to_string(embed_) + "]");
+  Tensor q = q_proj_->forward(input);
+  Tensor k = k_proj_->forward(input);
+  Tensor v = v_proj_->forward(input);
+  Tensor scores = ops::attention_scores(q, k, heads_, scale_);
+  Tensor probs = attn_->forward(scores);
+  Tensor context = ops::attention_context(probs, v, heads_);
+  if (training()) {
+    cached_q_ = q;
+    cached_k_ = k;
+    cached_v_ = v;
+    cached_probs_ = probs;
+  }
+  return out_proj_->forward(context);
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& grad_output) {
+  ALFI_CHECK(cached_q_.has_value(), "MultiHeadAttention backward before forward");
+  const Tensor& q = *cached_q_;
+  const Tensor& k = *cached_k_;
+  const Tensor& v = *cached_v_;
+  const Tensor& probs = *cached_probs_;
+  const std::size_t n = q.dim(0), t = q.dim(1), dh = embed_ / heads_;
+
+  const Tensor dcontext = out_proj_->backward(grad_output);  // [N,T,E]
+
+  // dP[n,h,i,j] = <dC[n,i,h,:], V[n,j,h,:]>;  dV[n,j,h,:] += P[n,h,i,j] * dC[n,i,h,:]
+  Tensor dprobs(probs.shape());
+  Tensor dv(v.shape());
+  {
+    const float* dc = dcontext.raw();
+    const float* vp = v.raw();
+    const float* pp = probs.raw();
+    float* dpp = dprobs.raw();
+    float* dvp = dv.raw();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t h = 0; h < heads_; ++h) {
+        for (std::size_t i = 0; i < t; ++i) {
+          const float* dcrow = dc + (s * t + i) * embed_ + h * dh;
+          const std::size_t prow = ((s * heads_ + h) * t + i) * t;
+          for (std::size_t j = 0; j < t; ++j) {
+            const float* vrow = vp + (s * t + j) * embed_ + h * dh;
+            double acc = 0.0;
+            for (std::size_t d = 0; d < dh; ++d) {
+              acc += static_cast<double>(dcrow[d]) * vrow[d];
+            }
+            dpp[prow + j] = static_cast<float>(acc);
+            const float p = pp[prow + j];
+            if (p == 0.0f) continue;
+            float* dvrow = dvp + (s * t + j) * embed_ + h * dh;
+            for (std::size_t d = 0; d < dh; ++d) dvrow[d] += p * dcrow[d];
+          }
+        }
+      }
+    }
+  }
+
+  const Tensor dscores = attn_->backward(dprobs);  // [N,H,T,T]
+
+  // dQ[n,i,h,:] += scale * dS[n,h,i,j] * K[n,j,h,:];  dK symmetric in (i,j).
+  Tensor dq(q.shape());
+  Tensor dk(k.shape());
+  {
+    const float* ds = dscores.raw();
+    const float* qp = q.raw();
+    const float* kp = k.raw();
+    float* dqp = dq.raw();
+    float* dkp = dk.raw();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t h = 0; h < heads_; ++h) {
+        for (std::size_t i = 0; i < t; ++i) {
+          const float* dsrow = ds + ((s * heads_ + h) * t + i) * t;
+          float* dqrow = dqp + (s * t + i) * embed_ + h * dh;
+          const float* qrow = qp + (s * t + i) * embed_ + h * dh;
+          for (std::size_t j = 0; j < t; ++j) {
+            const float g = dsrow[j] * scale_;
+            if (g == 0.0f) continue;
+            const float* krow = kp + (s * t + j) * embed_ + h * dh;
+            float* dkrow = dkp + (s * t + j) * embed_ + h * dh;
+            for (std::size_t d = 0; d < dh; ++d) {
+              dqrow[d] += g * krow[d];
+              dkrow[d] += g * qrow[d];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor grad_input = q_proj_->backward(dq);
+  ops::add_inplace(grad_input, k_proj_->backward(dk));
+  ops::add_inplace(grad_input, v_proj_->backward(dv));
+  return grad_input;
+}
+
+TransformerBlock::TransformerBlock(std::size_t embed_dim, std::size_t num_heads,
+                                   std::size_t mlp_dim)
+    : embed_(embed_dim),
+      heads_(num_heads),
+      mlp_(mlp_dim),
+      ln1_(static_cast<LayerNorm*>(
+          register_child("ln1", std::make_shared<LayerNorm>(embed_dim)))),
+      mha_(static_cast<MultiHeadAttention*>(register_child(
+          "mha", std::make_shared<MultiHeadAttention>(embed_dim, num_heads)))),
+      res1_(static_cast<ResidualJoin*>(
+          register_child("res1", std::make_shared<ResidualJoin>()))),
+      ln2_(static_cast<LayerNorm*>(
+          register_child("ln2", std::make_shared<LayerNorm>(embed_dim)))),
+      fc1_(static_cast<SeqLinear*>(register_child(
+          "fc1", std::make_shared<SeqLinear>(embed_dim, mlp_dim, "mlp_fc1")))),
+      gelu_(static_cast<GELU*>(register_child("gelu", std::make_shared<GELU>()))),
+      fc2_(static_cast<SeqLinear*>(register_child(
+          "fc2", std::make_shared<SeqLinear>(mlp_dim, embed_dim, "mlp_fc2")))),
+      res2_(static_cast<ResidualJoin*>(
+          register_child("res2", std::make_shared<ResidualJoin>()))) {}
+
+Tensor TransformerBlock::compute(const Tensor& input) {
+  Tensor a = mha_->forward(ln1_->forward(input));
+  Tensor r1 = res1_->forward(ops::add(a, input));
+  Tensor m = fc2_->forward(gelu_->forward(fc1_->forward(ln2_->forward(r1))));
+  return res2_->forward(ops::add(m, r1));
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_output) {
+  Tensor g = res2_->backward(grad_output);
+  Tensor gm = ln2_->backward(fc1_->backward(gelu_->backward(fc2_->backward(g))));
+  ops::add_inplace(gm, g);  // r1 feeds both the MLP branch and the skip
+  Tensor g2 = res1_->backward(gm);
+  Tensor gx = ln1_->backward(mha_->backward(g2));
+  ops::add_inplace(gx, g2);  // x feeds both the attention branch and the skip
+  return gx;
+}
+
 // ---- workspace kernels -------------------------------------------------------
 //
 // Each built-in layer writes into its arena-backed workspace slot via
@@ -562,6 +996,97 @@ Tensor& Residual::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
   return out;
 }
 
+Tensor& TokenEmbedding::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] {
+    return Shape{input.dim(0), input.dim(1), embed_};
+  });
+  embed_into(out, input);
+  return out;
+}
+
+Tensor& SeqLinear::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  ALFI_CHECK(input.rank() == 3 && input.dim(2) == in_features_,
+             "SeqLinear expects [N,T," + std::to_string(in_features_) + "]");
+  Tensor& out = ws.slot(*this, [&] {
+    return Shape{input.dim(0), input.dim(1), out_features_};
+  });
+  ops::linear_forward_into(out, input, weight_->value, bias_->value);
+  return out;
+}
+
+Tensor& GELU::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::gelu_into(out, input);
+  return out;
+}
+
+Tensor& LayerNorm::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::layernorm_into(out, input, gamma_->value, beta_->value, eps_);
+  return out;
+}
+
+Tensor& AttentionSoftmax::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  ops::softmax_over_heads_into(out, input);
+  return out;
+}
+
+Tensor& ResidualJoin::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  // The copy gives the residual stream its own hookable slot, mirroring
+  // the allocating path where compute() returns a distinct tensor.
+  Tensor& out = ws.slot(*this, [&] { return input.shape(); });
+  out.copy_from(input);
+  return out;
+}
+
+Tensor& TokenMeanPool::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  ALFI_CHECK(input.rank() == 3, "TokenMeanPool expects [N,T,E]");
+  Tensor& out = ws.slot(*this, [&] { return Shape{input.dim(0), input.dim(2)}; });
+  const std::size_t n = input.dim(0), t = input.dim(1), e = input.dim(2);
+  const float* src = input.raw();
+  float* dst = out.raw();
+  const double inv_t = 1.0 / static_cast<double>(t);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t k = 0; k < e; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < t; ++i) acc += src[(s * t + i) * e + k];
+      dst[s * e + k] = static_cast<float>(acc * inv_t);
+    }
+  }
+  return out;
+}
+
+Tensor& MultiHeadAttention::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  ALFI_CHECK(input.rank() == 3 && input.dim(2) == embed_,
+             "MultiHeadAttention expects [N,T," + std::to_string(embed_) + "]");
+  Tensor& q = q_proj_->forward_ws(input, ws);
+  Tensor& k = k_proj_->forward_ws(input, ws);
+  Tensor& v = v_proj_->forward_ws(input, ws);
+  Tensor& scores = ws.aux_slot(*this, 0, [&] {
+    return Shape{input.dim(0), heads_, input.dim(1), input.dim(1)};
+  });
+  ops::attention_scores_into(scores, q, k, heads_, scale_);
+  Tensor& probs = attn_->forward_ws(scores, ws);
+  Tensor& context = ws.aux_slot(*this, 1, [&] { return input.shape(); });
+  ops::attention_context_into(context, probs, v, heads_);
+  return out_proj_->forward_ws(context, ws);
+}
+
+Tensor& TransformerBlock::compute_ws(const Tensor& input, InferenceWorkspace& ws) {
+  Tensor& ln1_out = ln1_->forward_ws(input, ws);
+  Tensor& a = mha_->forward_ws(ln1_out, ws);
+  Tensor& sum1 = ws.aux_slot(*this, 0, [&] { return input.shape(); });
+  ops::add_into(sum1, a, input);
+  Tensor& r1 = res1_->forward_ws(sum1, ws);
+  Tensor& ln2_out = ln2_->forward_ws(r1, ws);
+  Tensor& m = fc2_->forward_ws(
+      gelu_->forward_ws(fc1_->forward_ws(ln2_out, ws), ws), ws);
+  Tensor& sum2 = ws.aux_slot(*this, 1, [&] { return input.shape(); });
+  ops::add_into(sum2, m, r1);
+  return res2_->forward_ws(sum2, ws);
+}
+
 // ---- cloning ----------------------------------------------------------------
 
 std::shared_ptr<Module> Conv2d::clone_structure() const {
@@ -632,6 +1157,42 @@ std::shared_ptr<Module> Sequential::clone_structure() const {
   return copy;
 }
 
+std::shared_ptr<Module> TokenEmbedding::clone_structure() const {
+  return std::make_shared<TokenEmbedding>(vocab_, embed_, max_len_);
+}
+
+std::shared_ptr<Module> SeqLinear::clone_structure() const {
+  return std::make_shared<SeqLinear>(in_features_, out_features_, role_);
+}
+
+std::shared_ptr<Module> GELU::clone_structure() const {
+  return std::make_shared<GELU>();
+}
+
+std::shared_ptr<Module> LayerNorm::clone_structure() const {
+  return std::make_shared<LayerNorm>(features_, eps_);
+}
+
+std::shared_ptr<Module> AttentionSoftmax::clone_structure() const {
+  return std::make_shared<AttentionSoftmax>();
+}
+
+std::shared_ptr<Module> ResidualJoin::clone_structure() const {
+  return std::make_shared<ResidualJoin>();
+}
+
+std::shared_ptr<Module> TokenMeanPool::clone_structure() const {
+  return std::make_shared<TokenMeanPool>();
+}
+
+std::shared_ptr<Module> MultiHeadAttention::clone_structure() const {
+  return std::make_shared<MultiHeadAttention>(embed_, heads_);
+}
+
+std::shared_ptr<Module> TransformerBlock::clone_structure() const {
+  return std::make_shared<TransformerBlock>(embed_, heads_, mlp_);
+}
+
 std::shared_ptr<Module> Residual::clone_structure() const {
   std::shared_ptr<Module> main;
   std::shared_ptr<Module> shortcut;
@@ -649,6 +1210,8 @@ void kaiming_init(Module& root, Rng& rng) {
     if (auto* conv2d = dynamic_cast<Conv2d*>(&m)) conv2d->init(rng);
     else if (auto* conv3d = dynamic_cast<Conv3d*>(&m)) conv3d->init(rng);
     else if (auto* linear = dynamic_cast<Linear*>(&m)) linear->init(rng);
+    else if (auto* seq = dynamic_cast<SeqLinear*>(&m)) seq->init(rng);
+    else if (auto* embed = dynamic_cast<TokenEmbedding*>(&m)) embed->init(rng);
   });
 }
 

@@ -324,9 +324,231 @@ class Residual : public Module {
   std::optional<Tensor> cached_sum_;
 };
 
+// -- transformer layers --------------------------------------------------------
+
+/// Learned token + positional embedding: [N,T] (token ids carried as
+/// floats) -> [N,T,E].  Out-of-vocabulary ids clamp to the table edge.
+class TokenEmbedding : public Module {
+ public:
+  TokenEmbedding(std::size_t vocab_size, std::size_t embed_dim, std::size_t max_len);
+
+  std::string type() const override { return "TokenEmbedding"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  LayerKind kind() const override { return LayerKind::kEmbedding; }
+  Parameter* weight_param() override { return weight_; }
+  TargetInventory target_inventory() override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t vocab_size() const { return vocab_; }
+  std::size_t embed_dim() const { return embed_; }
+
+  /// Normal(0, 0.02) init of the embedding and positional tables.
+  void init(Rng& rng);
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  void embed_into(Tensor& out, const Tensor& input) const;
+
+  std::size_t vocab_, embed_, max_len_;
+  Parameter* weight_;  // [V, E]
+  Parameter* pos_;     // [max_len, E]
+  std::optional<Tensor> cached_input_;
+};
+
+/// Token-wise projection [N,T,IN] -> [N,T,OUT], carrying the semantic
+/// role it plays in the architecture ("q_proj", "mlp_fc1", ...) so the
+/// fault-target inventory can name it.
+class SeqLinear : public Module {
+ public:
+  SeqLinear(std::size_t in_features, std::size_t out_features,
+            std::string role = "seq_linear");
+
+  std::string type() const override { return "SeqLinear"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  LayerKind kind() const override { return LayerKind::kSeqLinear; }
+  Parameter* weight_param() override { return weight_; }
+  Parameter* bias_param() override { return bias_; }
+  TargetInventory target_inventory() override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  const std::string& role() const { return role_; }
+
+  void init(Rng& rng);
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::size_t in_features_, out_features_;
+  std::string role_;
+  Parameter* weight_;  // [OUT, IN]
+  Parameter* bias_;    // [OUT]
+  std::optional<Tensor> cached_input_;
+};
+
+/// Exact (erf-based) GELU activation.
+class GELU : public Module {
+ public:
+  std::string type() const override { return "GELU"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::optional<Tensor> cached_input_;
+};
+
+/// Layer normalization over the last axis of [..., F].
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f);
+
+  std::string type() const override { return "LayerNorm"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  LayerKind kind() const override { return LayerKind::kLayerNorm; }
+  Parameter* weight_param() override { return gamma_; }
+  Parameter* bias_param() override { return beta_; }
+  TargetInventory target_inventory() override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t features() const { return features_; }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::size_t features_;
+  float eps_;
+  Parameter* gamma_;  // [F], init 1
+  Parameter* beta_;   // [F], init 0
+  std::optional<Tensor> cached_input_;
+};
+
+/// The attention-probability tensor as an injectable leaf: softmax over
+/// the last axis of the [N,H,T,T] score tensor.  Hook-based injection on
+/// its output corrupts the probabilities GoldenTransformer's taxonomy
+/// names as a first-class attention fault site.
+class AttentionSoftmax : public Module {
+ public:
+  std::string type() const override { return "AttentionSoftmax"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  LayerKind kind() const override { return LayerKind::kAttention; }
+  TargetInventory target_inventory() override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::optional<Tensor> cached_output_;
+};
+
+/// Identity leaf marking the residual stream after a join: the
+/// containing block computes x + sublayer(x) and passes the sum through
+/// this leaf, making the summed stream hookable (injectable, monitored)
+/// exactly where GoldenTransformer's residual-stream faults land.
+class ResidualJoin : public Module {
+ public:
+  std::string type() const override { return "ResidualJoin"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  LayerKind kind() const override { return LayerKind::kResidual; }
+  TargetInventory target_inventory() override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+};
+
+/// Mean over the token axis: [N,T,E] -> [N,E].
+class TokenMeanPool : public Module {
+ public:
+  std::string type() const override { return "TokenMeanPool"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::optional<Shape> cached_shape_;
+};
+
+/// Multi-head self-attention over [N,T,E].  The Q/K/V/out projections
+/// and the attention-probability softmax are child leaves (hookable /
+/// injectable); the score and context stages run through the
+/// tensor::Backend seam between them.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(std::size_t embed_dim, std::size_t num_heads);
+
+  std::string type() const override { return "MultiHeadAttention"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t embed_dim() const { return embed_; }
+  std::size_t num_heads() const { return heads_; }
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::size_t embed_, heads_;
+  float scale_;
+  SeqLinear* q_proj_;
+  SeqLinear* k_proj_;
+  SeqLinear* v_proj_;
+  AttentionSoftmax* attn_;
+  SeqLinear* out_proj_;
+  std::optional<Tensor> cached_q_, cached_k_, cached_v_, cached_probs_;
+};
+
+/// Pre-LN transformer encoder block:
+///   r1 = ResidualJoin(x + MHA(LN1(x)))
+///   y  = ResidualJoin(r1 + FC2(GELU(FC1(LN2(r1)))))
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::size_t embed_dim, std::size_t num_heads,
+                   std::size_t mlp_dim);
+
+  std::string type() const override { return "TransformerBlock"; }
+  std::shared_ptr<Module> clone_structure() const override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ protected:
+  Tensor compute(const Tensor& input) override;
+  Tensor& compute_ws(const Tensor& input, InferenceWorkspace& ws) override;
+
+ private:
+  std::size_t embed_, heads_, mlp_;
+  LayerNorm* ln1_;
+  MultiHeadAttention* mha_;
+  ResidualJoin* res1_;
+  LayerNorm* ln2_;
+  SeqLinear* fc1_;
+  GELU* gelu_;
+  SeqLinear* fc2_;
+  ResidualJoin* res2_;
+};
+
 // -- initialization helpers ----------------------------------------------------
 
-/// Kaiming-normal initialization of every Conv2d/Conv3d/Linear in `root`.
+/// Kaiming-normal initialization of every Conv2d/Conv3d/Linear in
+/// `root`, plus the transformer layers (SeqLinear Kaiming, embeddings
+/// Normal(0, 0.02); LayerNorm keeps its deterministic gamma=1/beta=0).
 void kaiming_init(Module& root, Rng& rng);
 
 }  // namespace alfi::nn

@@ -11,9 +11,24 @@ const char* layer_kind_name(LayerKind kind) {
     case LayerKind::kConv2d: return "conv2d";
     case LayerKind::kConv3d: return "conv3d";
     case LayerKind::kLinear: return "linear";
+    case LayerKind::kSeqLinear: return "seq_linear";
+    case LayerKind::kEmbedding: return "embedding";
+    case LayerKind::kAttention: return "attention";
+    case LayerKind::kResidual: return "residual";
+    case LayerKind::kLayerNorm: return "layernorm";
     case LayerKind::kOther: return "other";
   }
   return "?";
+}
+
+TargetInventory Module::target_inventory() {
+  TargetInventory inv;
+  inv.injectable = kind() != LayerKind::kOther;
+  if (!inv.injectable) return inv;
+  inv.weight = weight_param();
+  inv.weight_role = "weight";
+  inv.output_role = "activation";
+  return inv;
 }
 
 Tensor Module::forward(const Tensor& input) {

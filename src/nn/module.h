@@ -38,12 +38,41 @@ struct Parameter {
 
 /// Coarse layer classification used by the fault model to restrict
 /// injection to particular layer types (paper: "Supported layer types
-/// are conv2d, conv3d, and Linear").
-enum class LayerKind { kConv2d, kConv3d, kLinear, kOther };
+/// are conv2d, conv3d, and Linear"; the transformer kinds extend that
+/// taxonomy along GoldenTransformer's attention fault sites).
+enum class LayerKind {
+  kConv2d,
+  kConv3d,
+  kLinear,
+  kSeqLinear,   // token-wise projection over [N,T,E] (Q/K/V/out, MLP)
+  kEmbedding,   // token + positional embedding table
+  kAttention,   // attention-probability tensor (post-softmax)
+  kResidual,    // residual-stream join
+  kLayerNorm,   // layer normalization (gain/bias weight site)
+  kOther,
+};
 
 const char* layer_kind_name(LayerKind kind);
 
 class Module;
+
+struct Parameter;
+
+/// What a leaf advertises to the fault-targeting seam: whether it can
+/// receive faults at all, its weight-fault site (nullptr for weight-less
+/// sites such as the attention-probability tensor), and the semantic
+/// roles its tensors play — the strings the per-target applied-fault
+/// counters and `--list-targets` report.  `core::ModelProfile` resolves
+/// scenarios against this inventory instead of assuming conv/linear
+/// layouts.  The default (see Module::target_inventory) derives the
+/// inventory from kind()/weight_param(), so existing CNN layers profile
+/// exactly as before.
+struct TargetInventory {
+  bool injectable = false;
+  Parameter* weight = nullptr;  // weight-fault site, or nullptr
+  std::string weight_role;      // e.g. "weight", "q_proj"
+  std::string output_role;      // e.g. "activation", "attn_probs"
+};
 
 /// Identifies one registered hook so it can be removed (mirrors the
 /// handle returned by torch's register_forward_hook).
@@ -137,6 +166,15 @@ class Module {
 
   /// The layer's bias parameter, or nullptr.
   virtual Parameter* bias_param() { return nullptr; }
+
+  /// The injectable-tensor inventory this leaf advertises to the fault
+  /// targeting seam.  The default derives it from kind() and
+  /// weight_param() — injectable iff kind() != kOther, weight role
+  /// "weight", output role "activation" — which reproduces the historical
+  /// conv/linear behaviour bit-for-bit.  Layers with named internal
+  /// sites (attention probabilities, residual stream, ...) override this
+  /// to advertise their semantic roles.
+  virtual TargetInventory target_inventory();
 
   // -- parameters -------------------------------------------------------
 

@@ -79,6 +79,7 @@ std::span<float> InferenceWorkspace::scratch(const Module& m, std::size_t floats
 
 void InferenceWorkspace::invalidate() {
   slots_.clear();
+  aux_slots_.clear();
   scratch_.clear();
   arena_.reset();
   root_ = nullptr;

@@ -117,6 +117,18 @@ class InferenceWorkspace {
   /// like slot()).
   std::span<float> scratch(const Module& m, std::size_t floats);
 
+  /// Additional arena-backed tensors for containers that stage more
+  /// than one intermediate between their children (e.g. multi-head
+  /// attention's score and context tensors), keyed by (module, index).
+  /// Same lifetime rules as slot().
+  template <typename ShapeFn>
+  Tensor& aux_slot(const Module& m, std::size_t index, ShapeFn&& make_shape) {
+    const AuxKey key{&m, index};
+    const auto it = aux_slots_.find(key);
+    if (it != aux_slots_.end()) return it->second;
+    return aux_slots_.emplace(key, arena_.make(make_shape())).first->second;
+  }
+
   /// Drops every slot and rewinds the arena; the next run() replans.
   void invalidate();
 
@@ -184,8 +196,17 @@ class InferenceWorkspace {
   PrefixAction prefix_action(const Module& m, Tensor** cached);
 
  private:
+  using AuxKey = std::pair<const Module*, std::size_t>;
+  struct AuxKeyHash {
+    std::size_t operator()(const AuxKey& key) const {
+      return std::hash<const void*>{}(key.first) ^
+             (key.second * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
   TensorArena arena_;
   std::unordered_map<const Module*, Tensor> slots_;
+  std::unordered_map<AuxKey, Tensor, AuxKeyHash> aux_slots_;
   std::unordered_map<const Module*, std::span<float>> scratch_;
   const Module* root_ = nullptr;
   Shape input_shape_;

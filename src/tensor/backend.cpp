@@ -97,9 +97,13 @@ void Backend::transpose2d(Tensor& dst, const Tensor& a) const {
 
 void Backend::linear_forward(Tensor& dst, const Tensor& input, const Tensor& weight,
                              const Tensor& bias) const {
-  ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
+  // Accepts [N, IN] and any higher-rank [..., IN] (e.g. the sequence
+  // layout [N, T, IN]); leading axes are treated as rows.  The rank-2
+  // path is byte-for-byte the historical kernel.
+  ALFI_CHECK(input.rank() >= 2, "linear input must be [..., IN]");
   ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
-  const std::size_t n = input.dim(0), in = input.dim(1);
+  const std::size_t in = input.dim(input.rank() - 1);
+  const std::size_t n = input.numel() / in;
   const std::size_t out_features = weight.dim(0);
   ALFI_CHECK(weight.dim(1) == in, "linear weight IN mismatch");
   ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == out_features, "linear bias mismatch");
@@ -583,6 +587,129 @@ void Backend::log_softmax_rows(Tensor& dst, const Tensor& logits) const {
     for (std::size_t i = 0; i < k; ++i) total += std::exp(x[i] - maxv);
     const float log_total = static_cast<float>(std::log(total)) + maxv;
     for (std::size_t i = 0; i < k; ++i) y[i] = x[i] - log_total;
+  }
+}
+
+// ---- transformer ops ---------------------------------------------------------
+
+void Backend::gelu(Tensor& dst, const Tensor& input) const {
+  check_dst_numel(dst, input.numel(), "gelu_into");
+  // Exact (erf) GELU; NaN/Inf propagate through erf so corrupted
+  // activations stay visible to the monitor.
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float v = input.raw()[i];
+    dst.raw()[i] = 0.5f * v * (1.0f + std::erf(v * kInvSqrt2));
+  }
+}
+
+void Backend::layernorm(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                        const Tensor& beta, float eps) const {
+  ALFI_CHECK(input.rank() >= 1, "layernorm input must be [..., F]");
+  const std::size_t f = input.dim(input.rank() - 1);
+  ALFI_CHECK(gamma.numel() == f && beta.numel() == f,
+             "layernorm gamma/beta must match the normalized axis");
+  check_dst_numel(dst, input.numel(), "layernorm_into");
+  const std::size_t rows = input.numel() / f;
+  for (std::size_t row = 0; row < rows; ++row) {
+    const float* x = input.raw() + row * f;
+    float* y = dst.raw() + row * f;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < f; ++i) mean += x[i];
+    mean /= static_cast<double>(f);
+    double var = 0.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      const double d = x[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    const float m = static_cast<float>(mean);
+    for (std::size_t i = 0; i < f; ++i) {
+      y[i] = (x[i] - m) * inv_std * gamma.raw()[i] + beta.raw()[i];
+    }
+  }
+}
+
+void Backend::softmax_over_heads(Tensor& dst, const Tensor& scores) const {
+  ALFI_CHECK(scores.rank() >= 1, "softmax_over_heads expects [..., K]");
+  const std::size_t k = scores.dim(scores.rank() - 1);
+  check_dst_numel(dst, scores.numel(), "softmax_over_heads_into");
+  const std::size_t rows = scores.numel() / k;
+  for (std::size_t row = 0; row < rows; ++row) {
+    const float* x = scores.raw() + row * k;
+    float* y = dst.raw() + row * k;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < k; ++i) maxv = std::max(maxv, x[i]);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      y[i] = std::exp(x[i] - maxv);
+      total += y[i];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (std::size_t i = 0; i < k; ++i) y[i] *= inv;
+  }
+}
+
+void Backend::attention_scores(Tensor& dst, const Tensor& q, const Tensor& k,
+                               std::size_t num_heads, float scale) const {
+  ALFI_CHECK(q.rank() == 3 && k.rank() == 3, "attention q/k must be [N,T,E]");
+  ALFI_CHECK(q.shape() == k.shape(), "attention q/k shape mismatch");
+  const std::size_t n = q.dim(0), t = q.dim(1), e = q.dim(2);
+  ALFI_CHECK(num_heads > 0 && e % num_heads == 0,
+             "attention embed dim must divide num_heads");
+  const std::size_t dh = e / num_heads;
+  check_dst_numel(dst, n * num_heads * t * t, "attention_scores_into");
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* qs = q.raw() + s * t * e;
+    const float* ks = k.raw() + s * t * e;
+    float* out = dst.raw() + s * num_heads * t * t;
+    for (std::size_t h = 0; h < num_heads; ++h) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const float* qi = qs + i * e + h * dh;
+        float* orow = out + (h * t + i) * t;
+        for (std::size_t j = 0; j < t; ++j) {
+          const float* kj = ks + j * e + h * dh;
+          double acc = 0.0;
+          for (std::size_t d = 0; d < dh; ++d) {
+            acc += static_cast<double>(qi[d]) * kj[d];
+          }
+          orow[j] = static_cast<float>(acc) * scale;
+        }
+      }
+    }
+  }
+}
+
+void Backend::attention_context(Tensor& dst, const Tensor& probs, const Tensor& v,
+                                std::size_t num_heads) const {
+  ALFI_CHECK(probs.rank() == 4, "attention probs must be [N,H,T,T]");
+  ALFI_CHECK(v.rank() == 3, "attention v must be [N,T,E]");
+  const std::size_t n = v.dim(0), t = v.dim(1), e = v.dim(2);
+  ALFI_CHECK(num_heads > 0 && e % num_heads == 0,
+             "attention embed dim must divide num_heads");
+  const std::size_t dh = e / num_heads;
+  ALFI_CHECK(probs.dim(0) == n && probs.dim(1) == num_heads &&
+                 probs.dim(2) == t && probs.dim(3) == t,
+             "attention probs/v shape mismatch");
+  check_dst_numel(dst, n * t * e, "attention_context_into");
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* ps = probs.raw() + s * num_heads * t * t;
+    const float* vs = v.raw() + s * t * e;
+    float* out = dst.raw() + s * t * e;
+    for (std::size_t h = 0; h < num_heads; ++h) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const float* prow = ps + (h * t + i) * t;
+        float* orow = out + i * e + h * dh;
+        for (std::size_t d = 0; d < dh; ++d) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < t; ++j) {
+            acc += static_cast<double>(prow[j]) * vs[j * e + h * dh + d];
+          }
+          orow[d] = static_cast<float>(acc);
+        }
+      }
+    }
   }
 }
 

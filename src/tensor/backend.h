@@ -93,6 +93,26 @@ class Backend {
                                 const Tensor& running_var, float eps) const;
   virtual void softmax_rows(Tensor& dst, const Tensor& logits) const;
   virtual void log_softmax_rows(Tensor& dst, const Tensor& logits) const;
+
+  // ---- transformer ops (bit-exact across backends, mandatory) --------------
+  // Scalar reference kernels only: transcendentals and per-row double
+  // accumulation make a vectorized variant diverge bit-wise, so every
+  // backend inherits these unchanged (the op sweep pins that down).
+  virtual void gelu(Tensor& dst, const Tensor& input) const;
+  virtual void layernorm(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, float eps) const;
+  /// Stable softmax along the last axis of any rank>=1 tensor (the
+  /// rank-4 [N,H,T,T] attention-score case; softmax_rows stays the
+  /// strict rank-2 head).
+  virtual void softmax_over_heads(Tensor& dst, const Tensor& scores) const;
+  /// q,k [N,T,E] with E = heads*dh (head-major feature layout) ->
+  /// dst [N,H,T,T]: dst[n,h,i,j] = scale * <q[n,i,h], k[n,j,h]>.
+  virtual void attention_scores(Tensor& dst, const Tensor& q, const Tensor& k,
+                                std::size_t num_heads, float scale) const;
+  /// probs [N,H,T,T], v [N,T,E] -> dst [N,T,E]:
+  /// dst[n,i,h*dh+d] = sum_j probs[n,h,i,j] * v[n,j,h*dh+d].
+  virtual void attention_context(Tensor& dst, const Tensor& probs,
+                                 const Tensor& v, std::size_t num_heads) const;
 };
 
 // ---- registry ---------------------------------------------------------------

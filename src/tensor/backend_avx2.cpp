@@ -259,9 +259,11 @@ class Avx2Backend final : public Backend {
 
   void linear_forward(Tensor& dst, const Tensor& input, const Tensor& weight,
                       const Tensor& bias) const override {
-    ALFI_CHECK(input.rank() == 2, "linear input must be [N, IN]");
+    // Same rank contract as the ref kernel: [..., IN], leading axes as rows.
+    ALFI_CHECK(input.rank() >= 2, "linear input must be [..., IN]");
     ALFI_CHECK(weight.rank() == 2, "linear weight must be [OUT, IN]");
-    const std::size_t n = input.dim(0), in = input.dim(1);
+    const std::size_t in = input.dim(input.rank() - 1);
+    const std::size_t n = input.numel() / in;
     const std::size_t out_features = weight.dim(0);
     ALFI_CHECK(weight.dim(1) == in, "linear weight IN mismatch");
     ALFI_CHECK(bias.rank() == 1 && bias.dim(0) == out_features, "linear bias mismatch");

@@ -583,6 +583,105 @@ Tensor log_softmax_rows(const Tensor& logits) {
   return out;
 }
 
+// ---- transformer ops --------------------------------------------------------
+
+void gelu_into(Tensor& dst, const Tensor& input) {
+  tensor::active_backend().gelu(dst, input);
+}
+
+Tensor gelu(const Tensor& input) {
+  Tensor out(input.shape());
+  gelu_into(out, input);
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& input, const Tensor& grad_output) {
+  ALFI_CHECK(input.shape() == grad_output.shape(), "gelu_backward shape mismatch");
+  Tensor grad(input.shape());
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  constexpr double kInvSqrt2Pi = 0.39894228040143267794;  // 1/sqrt(2*pi)
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float g = grad_output.raw()[i];
+    if (g == 0.0f) {
+      grad.raw()[i] = 0.0f;
+      continue;
+    }
+    const double x = input.raw()[i];
+    const double cdf = 0.5 * (1.0 + std::erf(x * kInvSqrt2));
+    const double pdf = kInvSqrt2Pi * std::exp(-0.5 * x * x);
+    grad.raw()[i] = static_cast<float>((cdf + x * pdf) * g);
+  }
+  return grad;
+}
+
+void layernorm_into(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                    const Tensor& beta, float eps) {
+  tensor::active_backend().layernorm(dst, input, gamma, beta, eps);
+}
+
+Tensor layernorm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  Tensor out(input.shape());
+  layernorm_into(out, input, gamma, beta, eps);
+  return out;
+}
+
+void softmax_over_heads_into(Tensor& dst, const Tensor& scores) {
+  tensor::active_backend().softmax_over_heads(dst, scores);
+}
+
+Tensor softmax_over_heads(const Tensor& scores) {
+  Tensor out(scores.shape());
+  softmax_over_heads_into(out, scores);
+  return out;
+}
+
+Tensor softmax_over_heads_backward(const Tensor& output, const Tensor& grad_output) {
+  ALFI_CHECK(output.shape() == grad_output.shape(),
+             "softmax_over_heads_backward shape mismatch");
+  ALFI_CHECK(output.rank() >= 1, "softmax_over_heads_backward expects [..., K]");
+  const std::size_t k = output.dim(output.rank() - 1);
+  const std::size_t rows = output.numel() / k;
+  Tensor grad(output.shape());
+  for (std::size_t row = 0; row < rows; ++row) {
+    const float* y = output.raw() + row * k;
+    const float* dy = grad_output.raw() + row * k;
+    float* dx = grad.raw() + row * k;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      dot += static_cast<double>(dy[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      dx[i] = y[i] * (dy[i] - static_cast<float>(dot));
+    }
+  }
+  return grad;
+}
+
+void attention_scores_into(Tensor& dst, const Tensor& q, const Tensor& k,
+                           std::size_t num_heads, float scale) {
+  tensor::active_backend().attention_scores(dst, q, k, num_heads, scale);
+}
+
+Tensor attention_scores(const Tensor& q, const Tensor& k, std::size_t num_heads,
+                        float scale) {
+  Tensor out(Shape{q.dim(0), num_heads, q.dim(1), q.dim(1)});
+  attention_scores_into(out, q, k, num_heads, scale);
+  return out;
+}
+
+void attention_context_into(Tensor& dst, const Tensor& probs, const Tensor& v,
+                            std::size_t num_heads) {
+  tensor::active_backend().attention_context(dst, probs, v, num_heads);
+}
+
+Tensor attention_context(const Tensor& probs, const Tensor& v,
+                         std::size_t num_heads) {
+  Tensor out(v.shape());
+  attention_context_into(out, probs, v, num_heads);
+  return out;
+}
+
 float cross_entropy_loss(const Tensor& logits, const std::vector<std::size_t>& labels) {
   ALFI_CHECK(logits.rank() == 2 && logits.dim(0) == labels.size(),
              "cross_entropy label count mismatch");

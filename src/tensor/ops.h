@@ -220,6 +220,39 @@ void softmax_rows_into(Tensor& dst, const Tensor& logits);
 Tensor log_softmax_rows(const Tensor& logits);
 void log_softmax_rows_into(Tensor& dst, const Tensor& logits);
 
+// ---- transformer ops --------------------------------------------------------
+
+/// Exact (erf-based) GELU, elementwise.
+Tensor gelu(const Tensor& input);
+void gelu_into(Tensor& dst, const Tensor& input);
+Tensor gelu_backward(const Tensor& input, const Tensor& grad_output);
+
+/// Layer normalization over the last axis of [..., F]; gamma/beta [F].
+Tensor layernorm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
+                 float eps);
+void layernorm_into(Tensor& dst, const Tensor& input, const Tensor& gamma,
+                    const Tensor& beta, float eps);
+
+/// Stable softmax along the last axis of any rank>=1 tensor (the
+/// [N,H,T,T] attention-probability case).
+Tensor softmax_over_heads(const Tensor& scores);
+void softmax_over_heads_into(Tensor& dst, const Tensor& scores);
+/// dX for y = softmax(x) over the last axis, given y and dY.
+Tensor softmax_over_heads_backward(const Tensor& output, const Tensor& grad_output);
+
+/// Scaled per-head dot-product scores: q,k [N,T,E] -> [N,H,T,T].
+Tensor attention_scores(const Tensor& q, const Tensor& k, std::size_t num_heads,
+                        float scale);
+void attention_scores_into(Tensor& dst, const Tensor& q, const Tensor& k,
+                           std::size_t num_heads, float scale);
+
+/// Per-head probability-weighted value mix: probs [N,H,T,T], v [N,T,E]
+/// -> [N,T,E] (heads re-merged into the feature axis).
+Tensor attention_context(const Tensor& probs, const Tensor& v,
+                         std::size_t num_heads);
+void attention_context_into(Tensor& dst, const Tensor& probs, const Tensor& v,
+                            std::size_t num_heads);
+
 /// Mean negative log-likelihood of `labels` under `logits` [N, K].
 float cross_entropy_loss(const Tensor& logits, const std::vector<std::size_t>& labels);
 

@@ -414,6 +414,129 @@ TEST_P(BackendSweep, BatchnormAndSoftmaxBitExact) {
   expect_matches(want_s, got_s, kExact, "log_softmax_rows");
 }
 
+// ---- transformer ops (bit-exact) --------------------------------------------
+
+TEST_P(BackendSweep, GeluLayernormSoftmaxHeadsBitExact) {
+  // Transformer ops are scalar-reference-only by contract (backends
+  // inherit the base kernels), so the comparison is bitwise — a backend
+  // overriding one of these must reproduce the oracle exactly.
+  Rng rng(43);
+  for (const Shape& shape : {Shape{1, 4}, Shape{3, 17}, Shape{2, 5, 8},
+                             Shape{2, 4, 6, 6}}) {
+    for (const bool poisoned : {false, true}) {
+      Tensor x(shape);
+      fill(x, rng, 3.0f);
+      if (poisoned) poison(x, rng);
+
+      Tensor want = sentinel(shape), got = sentinel(shape);
+      ref().gelu(want, x);
+      b().gelu(got, x);
+      expect_matches(want, got, kExact, "gelu");
+
+      want = sentinel(shape);
+      got = sentinel(shape);
+      ref().softmax_over_heads(want, x);
+      b().softmax_over_heads(got, x);
+      expect_matches(want, got, kExact, "softmax_over_heads");
+
+      const std::size_t features = shape[shape.rank() - 1];
+      Tensor gamma(Shape{features}), beta(Shape{features});
+      fill(gamma, rng);
+      fill(beta, rng);
+      want = sentinel(shape);
+      got = sentinel(shape);
+      ref().layernorm(want, x, gamma, beta, 1e-5f);
+      b().layernorm(got, x, gamma, beta, 1e-5f);
+      expect_matches(want, got, kExact, "layernorm");
+    }
+  }
+}
+
+TEST_P(BackendSweep, TransformerOpAliasSafety) {
+  // The workspace path runs gelu/layernorm/softmax in place over an
+  // arena slot (dst aliases input) — kernels must tolerate it.
+  Rng rng(47);
+  Tensor x(Shape{2, 4, 5, 5});
+  fill(x, rng, 2.0f);
+  poison(x, rng);
+
+  Tensor want = sentinel(x.shape());
+  ref().gelu(want, x);
+  Tensor got = Tensor(x);
+  b().gelu(got, got);
+  expect_matches(want, got, kExact, "gelu aliased");
+
+  want = sentinel(x.shape());
+  ref().softmax_over_heads(want, x);
+  got = Tensor(x);
+  b().softmax_over_heads(got, got);
+  expect_matches(want, got, kExact, "softmax_over_heads aliased");
+
+  Tensor gamma(Shape{5}), beta(Shape{5});
+  fill(gamma, rng);
+  fill(beta, rng);
+  want = sentinel(x.shape());
+  ref().layernorm(want, x, gamma, beta, 1e-5f);
+  got = Tensor(x);
+  b().layernorm(got, got, gamma, beta, 1e-5f);
+  expect_matches(want, got, kExact, "layernorm aliased");
+}
+
+TEST_P(BackendSweep, AttentionScoresAndContextBitExact) {
+  Rng rng(53);
+  struct Case {
+    std::size_t n, t, heads, dh;
+  };
+  for (const Case c : {Case{1, 2, 1, 4}, Case{2, 5, 2, 3}, Case{1, 16, 4, 8},
+                       Case{3, 7, 7, 1}}) {
+    const std::size_t e = c.heads * c.dh;
+    Tensor q(Shape{c.n, c.t, e}), k(Shape{c.n, c.t, e}), v(Shape{c.n, c.t, e});
+    fill(q, rng);
+    fill(k, rng);
+    fill(v, rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(c.dh));
+    const Shape score_shape{c.n, c.heads, c.t, c.t};
+
+    Tensor want = sentinel(score_shape), got = sentinel(score_shape);
+    ref().attention_scores(want, q, k, c.heads, scale);
+    b().attention_scores(got, q, k, c.heads, scale);
+    expect_matches(want, got, kExact, "attention_scores");
+
+    Tensor probs = sentinel(score_shape);
+    ref().softmax_over_heads(probs, want);
+    Tensor want_ctx = sentinel(q.shape()), got_ctx = sentinel(q.shape());
+    ref().attention_context(want_ctx, probs, v, c.heads);
+    b().attention_context(got_ctx, probs, v, c.heads);
+    expect_matches(want_ctx, got_ctx, kExact, "attention_context");
+  }
+}
+
+TEST_P(BackendSweep, AttentionScoresPropagateNonFinite) {
+  // A corrupted Q/K projection output feeds Inf/NaN into the score
+  // kernel; the double accumulator must propagate, not launder, them.
+  Rng rng(59);
+  Tensor q(Shape{1, 3, 4}), k(Shape{1, 3, 4}), v(Shape{1, 3, 4});
+  fill(q, rng);
+  fill(k, rng);
+  fill(v, rng);
+  q.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  k.data()[5] = std::numeric_limits<float>::infinity();
+  const Shape score_shape{1, 2, 3, 3};
+
+  Tensor want = sentinel(score_shape), got = sentinel(score_shape);
+  ref().attention_scores(want, q, k, 2, 0.5f);
+  b().attention_scores(got, q, k, 2, 0.5f);
+  expect_matches(want, got, kExact, "attention_scores poisoned");
+  EXPECT_TRUE(want.has_nan());
+
+  Tensor probs = sentinel(score_shape);
+  ref().softmax_over_heads(probs, want);
+  Tensor want_ctx = sentinel(q.shape()), got_ctx = sentinel(q.shape());
+  ref().attention_context(want_ctx, probs, v, 2);
+  b().attention_context(got_ctx, probs, v, 2);
+  expect_matches(want_ctx, got_ctx, kExact, "attention_context poisoned");
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Registered, BackendSweep, ::testing::ValuesIn(registered_backends()),
     [](const ::testing::TestParamInfo<Backend*>& info) {

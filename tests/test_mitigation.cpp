@@ -139,8 +139,85 @@ TEST(Mitigation, ActivationLayerClassification) {
   EXPECT_TRUE(is_activation_layer(nn::LeakyReLU{0.1f}));
   EXPECT_TRUE(is_activation_layer(nn::Sigmoid{}));
   EXPECT_TRUE(is_activation_layer(nn::Tanh{}));
+  EXPECT_TRUE(is_activation_layer(nn::GELU{}));
+  EXPECT_TRUE(is_activation_layer(nn::AttentionSoftmax{}));
   EXPECT_FALSE(is_activation_layer(nn::Linear{1, 1}));
   EXPECT_FALSE(is_activation_layer(nn::Flatten{}));
+}
+
+// ---- GELU/softmax range semantics (non-ReLU profile audit) ------------------
+
+TEST(Ranger, NaNReplacementRespectsPositiveLowerBound) {
+  // Regression (failing before the fix): the NaN branch wrote a bare
+  // 0.0f, which escapes a profile whose lower bound is positive —
+  // exactly what softmax probabilities produce (strictly positive,
+  // summing to 1).  The replacement must be clamped into [lo, hi].
+  auto net = relu_net();
+  auto* fc = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc->weight_param()->value.flat(0) = std::numeric_limits<float>::quiet_NaN();
+  const RangeMap bounds{{"act", {0.25f, 0.9f}}};
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  const Tensor out = net->forward(Tensor(Shape{1, 2}, std::vector<float>{1, 1}));
+  EXPECT_FLOAT_EQ(out.flat(0), 0.25f);  // clamped to lo, not zeroed
+  for (const float v : out.data()) {
+    EXPECT_GE(v, 0.25f);
+    EXPECT_LE(v, 0.9f);
+  }
+}
+
+TEST(Profiler, GeluProfileKeepsNegativeLowerBound) {
+  // GELU emits negative activations (min ≈ -0.17); the profiler must
+  // not assume ReLU-style non-negative ranges.
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::GELU>(), "act");
+  const RangeMap bounds = profile_activation_ranges(
+      *net, {Tensor(Shape{1, 4}, std::vector<float>{-3.0f, -0.7f, 0.5f, 2.0f})});
+  const RangeBounds b = bounds.at("act");
+  EXPECT_LT(b.lo, 0.0f);
+  EXPECT_GT(b.hi, 0.0f);
+}
+
+TEST(Ranger, GeluSoftmaxProfileFaultFreeHasNoFalsePositives) {
+  // Acceptance gate: profile a transformer block's GELU and attention
+  // softmax on fault-free batches, install Ranger, and re-run the same
+  // batches — the clamp must be an exact identity (zero corrections,
+  // bitwise-equal outputs).
+  auto net = std::make_shared<nn::Sequential>();
+  net->append(std::make_shared<nn::TransformerBlock>(8, 2, 16), "block");
+  Rng rng(3);
+  nn::kaiming_init(*net, rng);
+  net->set_training(false);
+
+  std::vector<Tensor> batches;
+  Rng data_rng(5);
+  for (int i = 0; i < 3; ++i) {
+    batches.push_back(Tensor::normal(Shape{2, 4, 8}, data_rng));
+  }
+  const RangeMap bounds = profile_activation_ranges(*net, batches);
+  // Both non-ReLU activation kinds are profiled, with sane ranges:
+  // softmax probabilities strictly positive and at most 1.
+  bool saw_softmax = false;
+  for (const auto& [path, b] : bounds) {
+    if (path.find("attn") == std::string::npos) continue;
+    saw_softmax = true;
+    EXPECT_GT(b.lo, 0.0f) << path;
+    EXPECT_LE(b.hi, 1.0f) << path;
+  }
+  EXPECT_TRUE(saw_softmax);
+  EXPECT_FALSE(bounds.empty());
+
+  std::vector<Tensor> unprotected;
+  for (const Tensor& batch : batches) unprotected.push_back(net->forward(batch));
+
+  Protection protection(*net, bounds, MitigationKind::kRanger);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const Tensor out = net->forward(batches[i]);
+    ASSERT_EQ(out.shape(), unprotected[i].shape());
+    for (std::size_t j = 0; j < out.numel(); ++j) {
+      EXPECT_EQ(out.flat(j), unprotected[i].flat(j)) << "batch " << i;
+    }
+  }
+  EXPECT_EQ(protection.corrections(), 0u);
 }
 
 }  // namespace

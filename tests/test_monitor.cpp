@@ -110,5 +110,56 @@ TEST(Monitor, RejectsEmptyCustomMonitor) {
   EXPECT_THROW(monitor.add_custom(ModelMonitor::CustomMonitor{}), Error);
 }
 
+// ---- exponent-mask fast path on signed ranges (GELU/softmax audit) ----------
+// The branchless sweep masks the exponent field before the max-
+// reduction.  ReLU nets only ever showed it non-negative values; these
+// tests pin the mask's behaviour on the signed ranges transformer
+// activations produce, so a future "optimization" comparing raw bits
+// (where the sign bit would dominate the max) fails loudly.
+
+TEST(Monitor, DetectsNegativeInfinityAmongNegativeValues) {
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = -std::numeric_limits<float>::infinity();
+  fc1->weight_param()->value.flat(2) = -1.0f;  // all fc1 outputs negative
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1.0f, 0.0f}));
+  EXPECT_TRUE(monitor.inf_detected());
+  EXPECT_FALSE(monitor.nan_detected());
+  ASSERT_FALSE(monitor.inf_layers().empty());
+  EXPECT_EQ(monitor.inf_layers()[0], "fc1");
+}
+
+TEST(Monitor, LargeNegativeFiniteValuesAreNotFlagged) {
+  // -FLT_MAX has the all-but-one exponent pattern plus the sign bit; a
+  // raw-bits max-reduction would misread it as "worst" and a sloppy
+  // threshold would flag it.  It is finite: no detection.
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = -std::numeric_limits<float>::max();
+  ModelMonitor monitor(*net);
+  net->forward(Tensor(Shape{1, 2}, std::vector<float>{1.0f, 0.0f}));
+  EXPECT_FALSE(monitor.due_detected());
+}
+
+TEST(Monitor, PerSlotDetectionOnSignedActivations) {
+  // Packed-slot scanning must classify a NaN confined to one slot's row
+  // without flagging the clean slots, whose values include negatives.
+  auto net = relu_chain();
+  auto* fc1 = dynamic_cast<nn::Linear*>(net->children()[0].second.get());
+  fc1->weight_param()->value.flat(0) = 1.0f;  // identity weights
+  fc1->weight_param()->value.flat(3) = 1.0f;
+  ModelMonitor monitor(*net);
+  monitor.set_slot_count(3);
+  net->forward(Tensor(
+      Shape{3, 2},
+      std::vector<float>{0.0f, 1.0f,                                       //
+                         std::numeric_limits<float>::quiet_NaN(), 0.0f,    //
+                         -5.0f, -1.0f}));
+  EXPECT_TRUE(monitor.slot_due(1));
+  EXPECT_FALSE(monitor.slot_due(0));
+  EXPECT_FALSE(monitor.slot_due(2));
+}
+
 }  // namespace
 }  // namespace alfi::core

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -215,10 +216,23 @@ int cmd_run_imgclass(const Args& args) {
   const std::string arch = args.get("model", "lenet");
   core::Scenario scenario = load_scenario(args);
 
-  data::ClassificationConfig data_config;
-  data_config.size = std::max<std::size_t>(scenario.dataset_size, 128);
-  data_config.seed = 99;
-  const data::SyntheticShapesClassification dataset(data_config);
+  // --model transformer swaps in the sequence-classification workload:
+  // token-id "images" of shape [1,1,T] through the same harness.
+  std::unique_ptr<data::ClassificationDataset> dataset_holder;
+  if (arch == "transformer") {
+    data::SequenceConfig seq_config;
+    seq_config.size = std::max<std::size_t>(scenario.dataset_size, 128);
+    seq_config.seed = 99;
+    dataset_holder =
+        std::make_unique<data::SyntheticSequenceClassification>(seq_config);
+  } else {
+    data::ClassificationConfig data_config;
+    data_config.size = std::max<std::size_t>(scenario.dataset_size, 128);
+    data_config.seed = 99;
+    dataset_holder =
+        std::make_unique<data::SyntheticShapesClassification>(data_config);
+  }
+  const data::ClassificationDataset& dataset = *dataset_holder;
 
   // Checkpoint flags first: the drain handlers must already be in place
   // while the (potentially long) model training below runs, so a
@@ -234,11 +248,19 @@ int cmd_run_imgclass(const Args& args) {
   apply_workspace_flag(config, args);
   apply_fleet_flags(config, args);
 
-  auto model = models::make_classifier(arch, {});
+  std::shared_ptr<nn::Sequential> model;
   models::TrainConfig train_config;
-  train_config.epochs = 30;
-  train_config.batch_size = 32;
-  train_config.learning_rate = 0.02f;
+  if (arch == "transformer") {
+    model = models::make_mini_transformer({});
+    train_config.epochs = 40;
+    train_config.batch_size = 32;
+    train_config.learning_rate = 0.05f;
+  } else {
+    model = models::make_classifier(arch, {});
+    train_config.epochs = 30;
+    train_config.batch_size = 32;
+    train_config.learning_rate = 0.02f;
+  }
   std::filesystem::create_directories("alfi_cache");
   models::train_classifier_cached(*model, dataset, train_config,
                                   "alfi_cache/cli_" + arch + ".params");
@@ -414,6 +436,60 @@ int cmd_diff(const Args& args) {
   return 0;
 }
 
+/// Dumps a model's injectable-target inventory as JSON: one entry per
+/// injectable leaf with its layer kind, semantic roles, shapes and unit
+/// counts — the scenario author's view of what `target` / `layer_types`
+/// can address.  Weights are deterministically initialized (seed 1) so
+/// the probe forward is reproducible; only geometry is reported.
+int cmd_list_targets(const Args& args) {
+  const std::string arch = args.get("model", "lenet");
+  std::shared_ptr<nn::Sequential> model;
+  Shape probe_shape;
+  if (arch == "transformer") {
+    const models::TransformerConfig transformer_config;
+    model = models::make_mini_transformer(transformer_config);
+    probe_shape = Shape{1, 1, 1, transformer_config.seq_len};
+  } else {
+    model = models::make_classifier(arch, {});
+    probe_shape = Shape{1, 3, 32, 32};
+  }
+  Rng rng(1);
+  nn::kaiming_init(*model, rng);
+  model->set_training(false);
+  const Tensor probe(probe_shape);
+  const core::ModelProfile profile(*model, probe);
+
+  io::Json targets = io::Json::array();
+  for (const core::LayerInfo& layer : profile.layers()) {
+    io::Json entry = io::Json::object();
+    entry["index"] = io::Json(layer.index);
+    entry["path"] = io::Json(layer.path);
+    entry["kind"] = io::Json(nn::layer_kind_name(layer.kind));
+    entry["weight_role"] = io::Json(layer.weight_role);
+    entry["output_role"] = io::Json(layer.output_role);
+    io::Json weight_shape = io::Json::array();
+    for (const std::size_t d : layer.weight_shape.dims()) {
+      weight_shape.push_back(io::Json(d));
+    }
+    entry["weight_shape"] = std::move(weight_shape);
+    io::Json output_shape = io::Json::array();
+    for (const std::size_t d : layer.output_shape.dims()) {
+      output_shape.push_back(io::Json(d));
+    }
+    entry["output_shape"] = std::move(output_shape);
+    entry["weight_count"] = io::Json(layer.weight_count);
+    entry["neuron_count"] = io::Json(layer.neuron_count);
+    targets.push_back(std::move(entry));
+  }
+  io::Json root = io::Json::object();
+  root["model"] = io::Json(arch);
+  root["total_weight_count"] = io::Json(profile.total_weight_count());
+  root["total_neuron_count"] = io::Json(profile.total_neuron_count());
+  root["targets"] = std::move(targets);
+  std::printf("%s\n", root.dump(2).c_str());
+  return 0;
+}
+
 int cmd_show_scenario(const Args& args) {
   const std::string path =
       args.positional.empty() ? "scenarios/default.yml" : args.positional[0];
@@ -428,7 +504,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: alfi <command> [options]\n"
                "commands:\n"
-               "  run-imgclass   --model <lenet|alexnet|vgg|resnet> [--scenario f.yml]\n"
+               "  run-imgclass   --model <lenet|alexnet|vgg|resnet|transformer>\n"
+               "                 [--scenario f.yml]\n"
                "                 [--dataset-size N] [--faults-per-image N] [--seed N]\n"
                "                 [--target neurons|weights] [--mitigation ranger|clipper]\n"
                "                 [--fault-file f.bin] [--output dir] [--jobs N]\n"
@@ -469,6 +546,10 @@ void usage() {
                "                  refused.  Fleet outputs are byte-identical to\n"
                "                  --jobs 1; see DESIGN.md §14)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
+               "  list-targets   --model <lenet|alexnet|vgg|resnet|transformer>\n"
+               "                 (dump the injectable-target inventory as JSON:\n"
+               "                  per layer its kind, weight/output roles, shapes\n"
+               "                  and unit counts)\n"
                "  inspect-faults <faults.bin> [--json] [--limit N]\n"
                "  analyze        <results.csv> [--trace trace.bin]\n"
                "  diff           <a_results.csv> <b_results.csv>\n"
@@ -488,6 +569,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "run-imgclass") return cmd_run_imgclass(args);
     if (command == "run-objdet") return cmd_run_objdet(args);
+    if (command == "list-targets") return cmd_list_targets(args);
     if (command == "inspect-faults") return cmd_inspect_faults(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "diff") return cmd_diff(args);
