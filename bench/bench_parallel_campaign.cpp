@@ -14,8 +14,11 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
+
 #include "bench_common.h"
 #include "io/json.h"
+#include "io/vulnerability_map.h"
 #include "tensor/backend.h"
 
 using namespace alfi;
@@ -82,7 +85,8 @@ CampaignRun run_campaign_once(std::size_t jobs,
                               bool workspace = true, bool diff = true,
                               const core::Scenario* scenario = nullptr,
                               std::size_t unit_batch = 1,
-                              std::size_t fleet_workers = 0) {
+                              std::size_t fleet_workers = 0,
+                              const core::SteeringOptions* steering = nullptr) {
   core::ImgClassCampaignConfig config;
   config.model_name = "alexnet";
   config.jobs = jobs;  // output_dir stays empty: KPIs only, no file IO
@@ -92,6 +96,7 @@ CampaignRun run_campaign_once(std::size_t jobs,
   config.diff = diff;
   config.unit_batch = unit_batch;
   config.fleet.local_workers = fleet_workers;  // fork-based fleet run
+  if (steering != nullptr) config.steering = *steering;
   core::TestErrorModelsImgClass harness(*env().model, env().dataset,
                                         scenario ? *scenario
                                                  : campaign_scenario(),
@@ -435,6 +440,56 @@ void write_bench_json(const std::string& path) {
   const double fleet_speedup =
       fleet.seconds > 0.0 ? serial_ckpt.seconds / fleet.seconds : 0.0;
 
+  // Budgeted steering (--budget + --steer, DESIGN.md §16): the same
+  // campaign run exhaustively with a vulnerability map attached, then
+  // steered at half the unit budget.  steering_unit_fraction records
+  // how much of the exhaustive campaign the budgeted run executed, and
+  // steering_top5_match whether the budgeted map reproduced the
+  // exhaustive top-5 layer ranking — the accuracy-per-unit trade the
+  // steering loop is buying.
+  const std::string full_map_path =
+      "bench_steer_full_" + std::to_string(::getpid()) + ".json";
+  const std::string budget_map_path =
+      "bench_steer_budget_" + std::to_string(::getpid()) + ".json";
+  // High-exponent bit flips with one fault per unit: the workload where
+  // per-layer SDC rates separate cleanly enough for a ranking to mean
+  // something (the low-bit default scenario is mostly masked noise).
+  core::Scenario steer_scenario = campaign_scenario();
+  steer_scenario.value_type = core::ValueType::kBitFlip;
+  steer_scenario.rnd_bit_range_lo = 28;
+  steer_scenario.rnd_bit_range_hi = 30;
+  steer_scenario.max_faults_per_image = 1;
+  // 16 images x 8 epochs: every layer/bit cell gets multiple draws, so
+  // the exhaustive ranking is stable enough to be a reference.
+  steer_scenario.dataset_size = 16;
+  steer_scenario.num_runs = 8;
+  steer_scenario.rnd_seed = 913;
+  core::SteeringOptions exhaustive_opts;
+  exhaustive_opts.map_path = full_map_path;  // map-only: uncapped, unsteered
+  const CampaignRun steer_exhaustive = run_campaign_once(
+      1, "", 8, true, true, &steer_scenario, 1, 0, &exhaustive_opts);
+  core::SteeringOptions budget_opts;
+  budget_opts.steer = true;
+  budget_opts.map_path = budget_map_path;
+  budget_opts.budget =
+      steer_scenario.dataset_size * steer_scenario.num_runs / 2;
+  const CampaignRun steer_budgeted = run_campaign_once(
+      1, "", 8, true, true, &steer_scenario, 1, 0, &budget_opts);
+  const io::VulnerabilityMapFile full_map =
+      io::read_vulnerability_map(full_map_path);
+  const io::VulnerabilityMapFile budget_map =
+      io::read_vulnerability_map(budget_map_path);
+  if (!std::getenv("ALFI_KEEP_STEER_MAPS")) std::filesystem::remove(full_map_path);
+  if (!std::getenv("ALFI_KEEP_STEER_MAPS")) std::filesystem::remove(budget_map_path);
+  const auto top5 = [](const io::VulnerabilityMapFile& map) {
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < map.layers.size() && i < 5; ++i) {
+      keys.push_back(map.layers[i].key);
+    }
+    return keys;
+  };
+  const bool top5_match = top5(full_map) == top5(budget_map);
+
   // SIMD backend microbench (GEMM + conv2d, ref vs best registered).
   const SimdBench simd = measure_simd_speedup();
 
@@ -485,7 +540,7 @@ void write_bench_json(const std::string& path) {
 
   const core::Scenario scenario = campaign_scenario();
   io::Json root = io::Json::object();
-  root["schema"] = io::Json(std::string("alfi.bench.campaign.v5"));
+  root["schema"] = io::Json(std::string("alfi.bench.campaign.v6"));
   root["host_cores"] =
       io::Json(static_cast<double>(core::CampaignRunner::default_job_count()));
   io::Json workload = io::Json::object();
@@ -538,6 +593,17 @@ void write_bench_json(const std::string& path) {
   root["transformer_workload"] = tf_workload;
   root["transformer_serial"] = run_to_json(tf_serial.run);
   root["transformer_sdc_table"] = sdc_table;
+  root["steering_exhaustive"] = run_to_json(steer_exhaustive);
+  root["steering_budgeted"] = run_to_json(steer_budgeted);
+  root["steering_budget"] = io::Json(static_cast<double>(budget_opts.budget));
+  root["steering_units_executed"] =
+      io::Json(static_cast<double>(budget_map.units_executed));
+  root["steering_unit_fraction"] = io::Json(budget_map.unit_fraction);
+  root["steering_top5_match"] = io::Json(top5_match);
+  root["steering_speedup"] =
+      io::Json(steer_budgeted.seconds > 0.0
+                   ? steer_exhaustive.seconds / steer_budgeted.seconds
+                   : 0.0);
   root["simd_backend"] = io::Json(simd.backend);
   root["simd_gemm_conv_ref_ms"] = io::Json(simd.ref_ms);
   root["simd_gemm_conv_ms"] = io::Json(simd.simd_ms);
@@ -574,6 +640,14 @@ void write_bench_json(const std::string& path) {
       "speedup (%zu host cores)\n",
       fleet.seconds, serial_ckpt.seconds, fleet_speedup,
       core::CampaignRunner::default_job_count());
+  std::printf(
+      "steering (budget %zu): %zu/%zu units (%.0f%% of exhaustive), top-5 "
+      "layer ranking %s, %.2fx wall-clock\n",
+      budget_opts.budget, budget_map.units_executed, full_map.exhaustive_units,
+      100.0 * budget_map.unit_fraction, top5_match ? "reproduced" : "DIVERGED",
+      steer_budgeted.seconds > 0.0
+          ? steer_exhaustive.seconds / steer_budgeted.seconds
+          : 0.0);
   std::printf("batched speedup: %.2fx (vs unit-at-a-time diff run) -> %s\n",
               batched_speedup, path.c_str());
 }

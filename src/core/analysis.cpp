@@ -1,5 +1,6 @@
 #include "core/analysis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -34,22 +35,40 @@ CampaignAnalysis analyze_results_table(const io::CsvTable& table) {
   const std::size_t col_faults = table.column("faults");
   const std::size_t col_orig_top1 = table.column("orig_top1_class");
   const std::size_t col_corr_top1 = table.column("corr_top1_class");
+  // "applied" is optional (older CSVs predate it); column() throws on a
+  // missing name, so scan the header by hand.
+  const auto applied_it =
+      std::find(table.header.begin(), table.header.end(), "applied");
+  const std::size_t col_applied =
+      applied_it == table.header.end()
+          ? table.header.size()
+          : static_cast<std::size_t>(applied_it - table.header.begin());
 
   for (const auto& row : table.rows) {
     const bool due = row[col_due] == "1";
     const bool sde = row[col_sde] == "1";
+    // Without an "applied" column every drawn fault is assumed to have
+    // landed (the pre-column behaviour).
+    bool skipped = false;
+    if (col_applied < table.header.size()) {
+      const auto applied = parse_int(row[col_applied]);
+      skipped = applied && *applied == 0;
+    }
     ++analysis.total_images;
+    analysis.skipped_images += skipped ? 1 : 0;
     analysis.due_images += due ? 1 : 0;
     analysis.sde_images += sde ? 1 : 0;
 
     for (const CsvFaultRef& ref : parse_fault_field(row[col_faults])) {
       GroupStats& layer_stats = analysis.by_layer[ref.layer];
       ++layer_stats.total;
+      layer_stats.skipped += skipped ? 1 : 0;
       layer_stats.sde += sde ? 1 : 0;
       layer_stats.due += due ? 1 : 0;
       if (ref.bit_pos >= 0) {
         GroupStats& bit_stats = analysis.by_bit[ref.bit_pos];
         ++bit_stats.total;
+        bit_stats.skipped += skipped ? 1 : 0;
         bit_stats.sde += sde ? 1 : 0;
         bit_stats.due += due ? 1 : 0;
       }
@@ -114,28 +133,32 @@ TraceStats analyze_trace_file(const std::string& path) {
 
 std::string format_analysis(const CampaignAnalysis& analysis) {
   std::ostringstream os;
-  os << "campaign: " << analysis.total_images << " images, " << analysis.sde_images
-     << " SDE, " << analysis.due_images << " DUE\n\n";
+  os << "campaign: " << analysis.total_images << " images";
+  if (analysis.skipped_images > 0) {
+    os << " (" << analysis.skipped_images << " skipped injections)";
+  }
+  os << ", " << analysis.sde_images << " SDE, " << analysis.due_images
+     << " DUE\n\n";
 
   {
     std::vector<std::vector<std::string>> rows;
     for (const auto& [layer, stats] : analysis.by_layer) {
-      rows.push_back({std::to_string(layer), std::to_string(stats.total),
+      rows.push_back({std::to_string(layer), std::to_string(stats.applied()),
                       strformat("%.3f", stats.sde_rate()),
                       strformat("%.3f", stats.due_rate())});
     }
     os << "layer-wise vulnerability:\n"
-       << vis::table({"layer", "faults", "sde_rate", "due_rate"}, rows) << '\n';
+       << vis::table({"layer", "applied", "sde_rate", "due_rate"}, rows) << '\n';
   }
   {
     std::vector<std::vector<std::string>> rows;
     for (const auto& [bit, stats] : analysis.by_bit) {
-      rows.push_back({std::to_string(bit), std::to_string(stats.total),
+      rows.push_back({std::to_string(bit), std::to_string(stats.applied()),
                       strformat("%.3f", stats.sde_rate()),
                       strformat("%.3f", stats.due_rate())});
     }
     os << "bit-wise vulnerability:\n"
-       << vis::table({"bit", "faults", "sde_rate", "due_rate"}, rows) << '\n';
+       << vis::table({"bit", "applied", "sde_rate", "due_rate"}, rows) << '\n';
   }
   if (!analysis.misclassification.empty()) {
     std::vector<std::vector<std::string>> rows;

@@ -20,22 +20,36 @@
 namespace alfi::core {
 
 /// Aggregated verdicts for one grouping key (a layer or a bit position).
+/// Skipped injections (a drawn fault that never landed, reported by the
+/// CSV's optional "applied" column) are counted separately and excluded
+/// from the rate denominators: a skipped unit carries no vulnerability
+/// evidence, so dividing by it would dilute the rates toward zero.
 struct GroupStats {
-  std::size_t total = 0;
+  std::size_t total = 0;    ///< drawn faults, including skipped ones
+  std::size_t skipped = 0;  ///< drawn but never applied (no injection record)
   std::size_t sde = 0;
   std::size_t due = 0;
 
+  /// Faults that actually landed — the rate denominator.
+  std::size_t applied() const { return total - skipped; }
+
   double sde_rate() const {
-    return total == 0 ? 0.0 : static_cast<double>(sde) / static_cast<double>(total);
+    const std::size_t n = applied();
+    return n == 0 ? 0.0 : static_cast<double>(sde) / static_cast<double>(n);
   }
   double due_rate() const {
-    return total == 0 ? 0.0 : static_cast<double>(due) / static_cast<double>(total);
+    const std::size_t n = applied();
+    return n == 0 ? 0.0 : static_cast<double>(due) / static_cast<double>(n);
   }
 };
 
 /// Everything extractable from one classification results CSV.
 struct CampaignAnalysis {
   std::size_t total_images = 0;
+  /// Images whose drawn fault group never applied a single injection
+  /// ("applied" column all-zero).  Excluded from layer/bit rates; a CSV
+  /// without the column reports 0 (every fault assumed applied).
+  std::size_t skipped_images = 0;
   std::size_t sde_images = 0;
   std::size_t due_images = 0;
 

@@ -11,7 +11,9 @@
 
 #include "util/stopwatch.h"
 
+#include "core/steering.h"
 #include "io/atomic_file.h"
+#include "io/vulnerability_map.h"
 #include "util/drain.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -255,36 +257,46 @@ bool CampaignProgress::store(std::size_t unit, std::string payload) {
   return true;
 }
 
+void CampaignProgress::absorb_one(std::size_t t, const WaterMarks& marks) {
+  const CampaignConfigBase& config = task_.base_config();
+  pending_[t] = 0;
+  const std::string& payload = payloads_[t];
+  if (journal_) {
+    const Stopwatch append_watch;
+    journal_->append_unit(t, payload);
+    if (journal_append_ms_ != nullptr) {
+      journal_append_ms_->record(append_watch.elapsed_ms());
+    }
+    if (journal_frames_ != nullptr) journal_frames_->add();
+    if (journal_payload_bytes_ != nullptr) {
+      journal_payload_bytes_->add(payload.size());
+    }
+  }
+  ++done_;
+  if (units_computed_ != nullptr) units_computed_->add();
+  if (checkpointing_ && ++done_since_checkpoint_ >= config.checkpoint_every) {
+    done_since_checkpoint_ = 0;
+    write_checkpoint(marks);
+  }
+}
+
 std::size_t CampaignProgress::absorb_ascending(std::size_t cursor,
                                                std::size_t end,
                                                const WaterMarks& marks) {
-  const CampaignConfigBase& config = task_.base_config();
   while (cursor < end && completed_[cursor]) {
-    if (pending_[cursor]) {
-      pending_[cursor] = 0;
-      const std::string& payload = payloads_[cursor];
-      if (journal_) {
-        const Stopwatch append_watch;
-        journal_->append_unit(cursor, payload);
-        if (journal_append_ms_ != nullptr) {
-          journal_append_ms_->record(append_watch.elapsed_ms());
-        }
-        if (journal_frames_ != nullptr) journal_frames_->add();
-        if (journal_payload_bytes_ != nullptr) {
-          journal_payload_bytes_->add(payload.size());
-        }
-      }
-      ++done_;
-      if (units_computed_ != nullptr) units_computed_->add();
-      if (checkpointing_ &&
-          ++done_since_checkpoint_ >= config.checkpoint_every) {
-        done_since_checkpoint_ = 0;
-        write_checkpoint(marks);
-      }
-    }
+    if (pending_[cursor]) absorb_one(cursor, marks);
     ++cursor;
   }
   return cursor;
+}
+
+void CampaignProgress::absorb_units(const std::vector<std::size_t>& units,
+                                    const WaterMarks& marks) {
+  for (const std::size_t t : units) {
+    ALFI_CHECK(t < units_ && completed_[t],
+               "absorb_units expects completed units");
+    if (pending_[t]) absorb_one(t, marks);
+  }
 }
 
 void CampaignProgress::flush_pending() {
@@ -328,7 +340,14 @@ void CampaignProgress::close(const WaterMarks& marks) {
 }
 
 void CampaignProgress::merge() {
+  // Only completed units: a budgeted/steered campaign legitimately
+  // finishes with a subset executed, and absorbing a never-executed
+  // unit's empty payload would corrupt the outputs.  The executed SET
+  // is plan-deterministic, and ascending order restores the serial
+  // output order over it, so outputs stay byte-identical for any job
+  // count / fleet size.
   for (std::size_t t = 0; t < units_; ++t) {
+    if (!completed_[t]) continue;
     task_.absorb_unit(t, payloads_[t]);
   }
   task_.finalize();
@@ -349,6 +368,10 @@ std::string BatchedCampaignExecutor::checkpoint_path(const std::string& checkpoi
 }
 
 void BatchedCampaignExecutor::execute() {
+  if (task_.base_config().steering.enabled()) {
+    execute_steered();
+    return;
+  }
   const CampaignConfigBase& config = task_.base_config();
   const Scenario& scenario = task_.task_scenario();
   const std::size_t units = task_.unit_count();
@@ -515,6 +538,154 @@ void BatchedCampaignExecutor::execute() {
 
   // ---- merge: ascending unit order restores the serial output order --------
   progress.merge();
+}
+
+// ---- steered execution (DESIGN.md §16) --------------------------------------
+
+void BatchedCampaignExecutor::execute_steered() {
+  const CampaignConfigBase& config = task_.base_config();
+  const Scenario& scenario = task_.task_scenario();
+  const std::size_t units = task_.unit_count();
+
+  const std::function<bool()> interrupted =
+      config.interrupt ? config.interrupt : std::function<bool()>(&drain_requested);
+
+  util::Histogram* unit_ms =
+      metrics_ != nullptr ? &metrics_->histogram("campaign.unit_ms") : nullptr;
+
+  std::vector<SteeringCellKey> cells = task_.steering_cells();
+  if (cells.empty()) {
+    throw ConfigError("workload '" + task_.task_kind() +
+                      "' does not support campaign steering "
+                      "(--budget / --steer / --vuln-map)");
+  }
+  ALFI_CHECK(cells.size() == units,
+             "steering_cells must describe every work unit");
+
+  CampaignProgress progress(task_, metrics_);
+  progress.recover();
+  task_.prepare();
+
+  // Steered completion is not a prefix of [0, units), so the checkpoint
+  // carries one global mark whose high-water is the first incomplete
+  // unit; resume recovers from the journal frames, not the marks.
+  const CampaignProgress::WaterMarks marks = [&] {
+    ShardWaterMark mark{0, units, 0};
+    while (mark.high_water < units && progress.unit_completed(mark.high_water)) {
+      ++mark.high_water;
+    }
+    return std::vector<ShardWaterMark>{mark};
+  };
+  progress.open(marks);
+
+  SteeringPolicy policy(std::move(cells), config.steering);
+  const CampaignRunner runner(config.jobs);
+  std::mutex merge_mutex;
+
+  const Stopwatch campaign_watch;
+  double last_progress_ms = -1.0;
+  const auto print_progress_locked = [&](bool final_line) {
+    if (!config.progress) return;
+    const double now_ms = campaign_watch.elapsed_ms();
+    if (!final_line && last_progress_ms >= 0.0 && now_ms - last_progress_ms < 200.0) {
+      return;
+    }
+    last_progress_ms = now_ms;
+    const std::size_t done = progress.done();
+    const double rate = now_ms <= 0.0 ? 0.0 : static_cast<double>(done) /
+                                                  (now_ms / 1000.0);
+    std::fprintf(stderr, "\r[alfi] steered %zu units planned, %zu done %8.1f units/s%s",
+                 policy.planned_units(), done, rate, final_line ? "\n" : "");
+    std::fflush(stderr);
+  };
+
+  ALFI_LOG(kInfo) << "steered campaign: " << units << " units, budget "
+                  << (config.steering.budget == 0
+                          ? std::string("unlimited")
+                          : std::to_string(config.steering.budget))
+                  << (config.steering.steer ? ", adaptive early stopping" : "");
+
+  // One runner per worker slot, reused across rounds (a replica clone
+  // per round would dominate small-round campaigns).  Slot i is only
+  // ever touched by round-shard i, and rounds are separated by the
+  // barrier, so the pool needs no lock.
+  std::vector<std::unique_ptr<CampaignUnitRunner>> runners(runner.jobs());
+  const bool shared_model = runner.jobs() == 1;
+
+  // The planning loop: each round's unit list depends only on outcomes
+  // absorbed at prior-round barriers, so the executed unit sequence —
+  // and with it journal bytes and the map — is identical for any job
+  // count.  Resume replays the same loop; units already journaled are
+  // recorded without being recomputed.
+  bool drained = false;
+  std::vector<std::size_t> todo;
+  std::vector<std::size_t> ready;
+  while (!drained) {
+    if (interrupted()) { drained = true; break; }
+    const std::vector<std::size_t> round = policy.plan_round();
+    if (round.empty()) break;
+    todo.clear();
+    for (const std::size_t t : round) {
+      if (!progress.unit_completed(t)) todo.push_back(t);
+    }
+    if (!todo.empty()) {
+      const std::vector<CampaignShard> shards = CampaignRunner::shard_columns(
+          todo.size(), runner.jobs(), scenario.rnd_seed);
+      runner.run_shards(shards, [&](const CampaignShard& shard) {
+        std::unique_ptr<CampaignUnitRunner>& unit_runner = runners[shard.index];
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          if (interrupted()) break;
+          if (!unit_runner) unit_runner = task_.make_unit_runner(shared_model);
+          const std::size_t t = todo[i];
+          const Stopwatch unit_watch;
+          std::string payload = unit_runner->run_unit(t);
+          const double elapsed_ms = unit_watch.elapsed_ms();
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          progress.store(t, std::move(payload));
+          if (unit_ms != nullptr) unit_ms->record(elapsed_ms);
+          print_progress_locked(/*final_line=*/false);
+        }
+      });
+    }
+    // Round barrier: absorb in plan (ascending) order — journal bytes
+    // never depend on worker scheduling — then feed the policy.
+    ready.clear();
+    for (const std::size_t t : round) {
+      if (progress.unit_completed(t)) ready.push_back(t);
+    }
+    progress.absorb_units(ready, marks);
+    for (const std::size_t t : ready) {
+      policy.record(t, task_.classify_unit(t, progress.payload(t)));
+    }
+    if (ready.size() < round.size()) drained = true;  // interrupted mid-round
+  }
+  print_progress_locked(/*final_line=*/true);
+
+  if (drained) {
+    progress.flush_pending();
+    progress.close(marks);
+    throw CampaignInterrupted(progress.done(), units, config.checkpoint_dir);
+  }
+
+  progress.close(marks);
+  ALFI_LOG(kInfo) << "steered campaign complete: " << progress.done() << "/"
+                  << units << " units executed ("
+                  << (units == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(progress.done()) /
+                                       static_cast<double>(units))
+                  << "% of exhaustive)";
+  if (metrics_ != nullptr) {
+    metrics_->gauge("steering.units_executed")
+        .set(static_cast<double>(progress.done()));
+  }
+  progress.merge();
+  if (!config.steering.map_path.empty()) {
+    io::write_vulnerability_map(
+        config.steering.map_path,
+        policy.build_map(task_.task_kind(), config.model_name, units));
+    ALFI_LOG(kInfo) << "vulnerability map written to "
+                    << config.steering.map_path;
+  }
 }
 
 }  // namespace alfi::core

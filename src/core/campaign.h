@@ -184,6 +184,14 @@ class CampaignProgress {
   std::size_t absorb_ascending(std::size_t cursor, std::size_t end,
                                const WaterMarks& marks);
 
+  /// Journals/counts exactly the given completed units (must be
+  /// ascending).  The steered executor's barrier: a round's payloads
+  /// are absorbed in plan order, so journal bytes do not depend on
+  /// which worker computed what.  Units that were never stored pending
+  /// (journal-replayed on resume) are skipped, like absorb_ascending.
+  void absorb_units(const std::vector<std::size_t>& units,
+                    const WaterMarks& marks);
+
   /// Journals every computed-but-still-pending payload, out of
   /// ascending order (scan_journal accepts any frame order on resume).
   /// Drain path: a preempted strided pack loses nothing already
@@ -195,10 +203,17 @@ class CampaignProgress {
   /// Final checkpoint + journal close (no-op without checkpointing).
   void close(const WaterMarks& marks);
 
-  /// Ascending absorb_unit over every payload, then task.finalize().
+  /// Ascending absorb_unit over every COMPLETED payload, then
+  /// task.finalize().  A budgeted campaign legitimately completes a
+  /// subset; absorbing the never-executed units' empty payloads would
+  /// corrupt the outputs (and used to, before steering existed to
+  /// finish partial).
   void merge();
 
  private:
+  /// Journals + counts one pending unit (checkpoint cadence included).
+  void absorb_one(std::size_t t, const WaterMarks& marks);
+
   CampaignTask& task_;
   util::MetricsRegistry* metrics_;
   std::size_t units_ = 0;
@@ -252,9 +267,18 @@ class BatchedCampaignExecutor {
 
   /// Executes the campaign.  Throws CampaignInterrupted on graceful
   /// drain, ConfigError when a resume's fingerprints do not match.
+  /// With config.steering.enabled() the round-based steered path runs
+  /// instead of the exhaustive sweep (DESIGN.md §16).
   void execute();
 
  private:
+  /// Budgeted / adaptively-steered execution: a single planning loop
+  /// (SteeringPolicy) plans rounds of units; each round is sharded
+  /// across the worker threads, absorbed at the round barrier in plan
+  /// order, and its outcomes steer the next round.  Emits
+  /// vulnerability_map.json when configured.
+  void execute_steered();
+
   CampaignTask& task_;
   util::MetricsRegistry* metrics_;
 };

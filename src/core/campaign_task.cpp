@@ -9,6 +9,14 @@
 
 namespace alfi::core {
 
+SteeringUnitOutcome CampaignTask::classify_unit(std::size_t t,
+                                                const std::string& payload) const {
+  (void)t;
+  (void)payload;
+  throw ConfigError("workload '" + task_kind() +
+                    "' does not support campaign steering");
+}
+
 std::vector<std::string> CampaignUnitRunner::run_unit_pack(
     const std::vector<std::size_t>& units) {
   std::vector<std::string> payloads;

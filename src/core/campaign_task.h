@@ -31,6 +31,7 @@
 #include "core/fault.h"
 #include "core/mitigation.h"
 #include "core/scenario.h"
+#include "core/steering.h"
 #include "io/journal.h"
 
 namespace alfi::core {
@@ -137,6 +138,14 @@ struct CampaignConfigBase {
   /// journal a local run would write.
   FleetOptions fleet;
 
+  // ---- adaptive steering ---------------------------------------------------
+  /// Budgeted / adaptively-steered sampling (core/steering.h,
+  /// DESIGN.md §16).  When enabled() the executor and the fleet
+  /// coordinator run the round-based planning loop instead of the
+  /// exhaustive sweep, and may legitimately finish with fewer than
+  /// unit_count() completed units.
+  SteeringOptions steering;
+
   // ---- telemetry -----------------------------------------------------------
   /// Write the campaign's metrics.json here (io/metrics_json.h schema,
   /// atomic temp+rename); empty disables the file.
@@ -211,9 +220,23 @@ class CampaignTask {
   /// fault-free pass across the whole pack (DESIGN.md §12).
   virtual std::size_t unit_pack_stride() const { return 1; }
 
+  /// Steering support (core/steering.h): unit t's sampling cell, for
+  /// every t in [0, unit_count()).  The default — an empty vector —
+  /// declares the workload unsteerable; the executor rejects steering
+  /// options against it.
+  virtual std::vector<SteeringCellKey> steering_cells() const { return {}; }
+
+  /// Classifies one unit's serialized payload into a steering outcome.
+  /// Pure function of the payload bytes, callable on the coordinating
+  /// thread for freshly-computed and journal-replayed units alike.
+  /// The default throws: workloads advertising steering_cells() must
+  /// override it.
+  virtual SteeringUnitOutcome classify_unit(std::size_t t,
+                                            const std::string& payload) const;
+
   /// Folds one unit's payload into the final result.  Called on the
-  /// coordinating thread, strictly in ascending t, each unit exactly
-  /// once.
+  /// coordinating thread in ascending t, each completed unit exactly
+  /// once (a steered campaign absorbs only the units it executed).
   virtual void absorb_unit(std::size_t t, const std::string& payload) = 0;
 
   /// Writes the merged outputs after every unit was absorbed.

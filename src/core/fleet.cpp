@@ -12,7 +12,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/steering.h"
 #include "io/socket.h"
+#include "io/vulnerability_map.h"
 #include "util/drain.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -116,6 +118,12 @@ LeaseTable::LeaseTable(std::size_t units, std::size_t lease_units,
   for (const CampaignShard& shard :
        CampaignRunner::shard_columns(units, ranges, seed)) {
     queue_.push_back({shard.begin, shard.end});
+  }
+}
+
+void LeaseTable::seed(const std::vector<LeaseRange>& ranges) {
+  for (const LeaseRange& range : ranges) {
+    if (!range.empty()) queue_.push_back(range);
   }
 }
 
@@ -292,6 +300,22 @@ void FleetCoordinator::execute() {
   const std::function<bool()> interrupted =
       config.interrupt ? config.interrupt : std::function<bool()>(&drain_requested);
 
+  // Steered mode (DESIGN.md §16): the coordinator runs the planning
+  // loop, leasing exactly the planned rounds; the worker side is the
+  // ordinary lease protocol, completely unchanged.
+  const bool steered = config.steering.enabled();
+  std::vector<SteeringCellKey> cells;
+  if (steered) {
+    cells = task_.steering_cells();
+    if (cells.empty()) {
+      throw ConfigError("workload '" + task_.task_kind() +
+                        "' does not support campaign steering "
+                        "(--budget / --steer / --vuln-map)");
+    }
+    ALFI_CHECK(cells.size() == units,
+               "steering_cells must describe every work unit");
+  }
+
   util::Counter* workers_joined = nullptr;
   util::Counter* workers_refused = nullptr;
   util::Counter* worker_deaths = nullptr;
@@ -327,7 +351,9 @@ void FleetCoordinator::execute() {
                   << fleet.lease_units << ")";
   if (fleet.on_listen) fleet.on_listen(listener.port());
 
-  LeaseTable table(units, fleet.lease_units, task_.task_scenario().rnd_seed);
+  // Steered: start empty, refill with each planned round.
+  LeaseTable table(steered ? 0 : units, fleet.lease_units,
+                   task_.task_scenario().rnd_seed);
   const auto completed_fn = [&](std::size_t unit) {
     return progress.unit_completed(unit);
   };
@@ -458,17 +484,11 @@ void FleetCoordinator::execute() {
     std::fflush(stderr);
   };
 
-  // A resumed campaign starts with a replayed prefix: advance the
-  // cursor over it before the first worker frame arrives.
-  cursor = progress.absorb_ascending(cursor, units, marks);
-
-  bool drained = false;
-  while (!progress.all_done()) {
-    if (interrupted()) {
-      drained = true;
-      break;
-    }
-
+  // One poll iteration: accept joiners, ingest frames, detect dead
+  // workers, reap children, grant queued leases.  Shared verbatim by
+  // the exhaustive loop (which also advances the absorb cursor) and the
+  // steered round loop (which absorbs only at round barriers).
+  const auto pump = [&] {
     std::vector<::pollfd> fds;
     fds.reserve(1 + conns.size());
     fds.push_back({listener.fd(), POLLIN, 0});
@@ -547,10 +567,79 @@ void FleetCoordinator::execute() {
                                  return c->closed;
                                }),
                 conns.end());
+  };
 
-    cursor = progress.absorb_ascending(cursor, units, marks);
-    if (fleet.on_progress) fleet.on_progress(progress.done());
-    print_progress(/*final_line=*/false);
+  // A resumed campaign starts with a replayed prefix: advance the
+  // cursor over it before the first worker frame arrives.
+  cursor = progress.absorb_ascending(cursor, units, marks);
+
+  bool drained = false;
+  SteeringPolicy* policy = nullptr;
+  std::unique_ptr<SteeringPolicy> policy_storage;
+  if (!steered) {
+    while (!progress.all_done()) {
+      if (interrupted()) {
+        drained = true;
+        break;
+      }
+      pump();
+      cursor = progress.absorb_ascending(cursor, units, marks);
+      if (fleet.on_progress) fleet.on_progress(progress.done());
+      print_progress(/*final_line=*/false);
+    }
+  } else {
+    // The same planning loop as the threaded executor: each round's
+    // unit list depends only on outcomes absorbed at prior barriers,
+    // never on lease interleaving, so the executed sequence — and the
+    // vulnerability map — is byte-identical to a local steered run.
+    policy_storage = std::make_unique<SteeringPolicy>(std::move(cells),
+                                                      config.steering);
+    policy = policy_storage.get();
+    std::vector<LeaseRange> round_ranges;
+    std::vector<std::size_t> ready;
+    while (!drained) {
+      if (interrupted()) { drained = true; break; }
+      const std::vector<std::size_t> round = policy->plan_round();
+      if (round.empty()) break;
+      // Lease only units the journal has not already replayed,
+      // coalesced into contiguous ranges (grant() re-caps them at
+      // lease_units).
+      round_ranges.clear();
+      std::size_t outstanding = 0;
+      for (const std::size_t t : round) {
+        if (progress.unit_completed(t)) continue;
+        ++outstanding;
+        if (!round_ranges.empty() && round_ranges.back().end == t) {
+          ++round_ranges.back().end;
+        } else {
+          round_ranges.push_back({t, t + 1});
+        }
+      }
+      table.seed(round_ranges);
+      while (outstanding > 0) {
+        if (interrupted()) { drained = true; break; }
+        pump();
+        outstanding = 0;
+        for (const std::size_t t : round) {
+          if (!progress.unit_completed(t)) ++outstanding;
+        }
+        print_progress(/*final_line=*/false);
+      }
+      // Round barrier: absorb in plan (ascending) order so journal
+      // bytes never depend on which worker shipped what, then feed the
+      // policy before planning the next round.
+      ready.clear();
+      for (const std::size_t t : round) {
+        if (progress.unit_completed(t)) ready.push_back(t);
+      }
+      progress.absorb_units(ready, marks);
+      for (const std::size_t t : ready) {
+        policy->record(t, task_.classify_unit(t, progress.payload(t)));
+      }
+      while (cursor < units && progress.unit_completed(cursor)) ++cursor;
+      if (fleet.on_progress) fleet.on_progress(progress.done());
+      if (ready.size() < round.size()) drained = true;
+    }
   }
   print_progress(/*final_line=*/true);
 
@@ -578,8 +667,23 @@ void FleetCoordinator::execute() {
     throw CampaignInterrupted(progress.done(), units, config.checkpoint_dir);
   }
 
-  progress.close(marks);  // final checkpoint: cursor == units
+  progress.close(marks);  // final checkpoint (steered: over executed units)
+  if (steered) {
+    ALFI_LOG(kInfo) << "steered fleet campaign complete: " << progress.done()
+                    << "/" << units << " units executed";
+    if (metrics_ != nullptr) {
+      metrics_->gauge("steering.units_executed")
+          .set(static_cast<double>(progress.done()));
+    }
+  }
   progress.merge();
+  if (steered && !config.steering.map_path.empty()) {
+    io::write_vulnerability_map(
+        config.steering.map_path,
+        policy->build_map(task_.task_kind(), config.model_name, units));
+    ALFI_LOG(kInfo) << "vulnerability map written to "
+                    << config.steering.map_path;
+  }
 }
 
 }  // namespace alfi::core

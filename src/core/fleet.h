@@ -36,6 +36,7 @@
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/campaign.h"
 #include "core/campaign_task.h"
@@ -95,7 +96,16 @@ class LeaseTable {
  public:
   using CompletedFn = std::function<bool(std::size_t unit)>;
 
+  /// `units == 0` builds an empty table a steered coordinator refills
+  /// round by round through seed().
   LeaseTable(std::size_t units, std::size_t lease_units, std::uint64_t seed);
+
+  /// Appends ranges to the back of the queue.  The steered round loop
+  /// leases exactly the round's planned units: workers block on their
+  /// lease requests while the queue is empty (the round barrier) and
+  /// resume as soon as the next round is seeded — the worker protocol
+  /// needs no steering awareness at all.
+  void seed(const std::vector<LeaseRange>& ranges);
 
   /// Next grantable range; empty when no queued work remains (there may
   /// still be outstanding leases in flight).

@@ -1,0 +1,262 @@
+#include "core/steering.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "util/error.h"
+#include "util/wilson.h"
+
+namespace alfi::core {
+
+namespace {
+
+/// Cell identity tuple: the map key that groups units into strata and
+/// the deterministic tiebreak order everywhere cells are sorted.
+std::tuple<std::int64_t, int, int> cell_id(const SteeringCellKey& key) {
+  return {key.layer, key.bit_pos, static_cast<int>(key.value_type)};
+}
+
+}  // namespace
+
+SteeringPolicy::SteeringPolicy(std::vector<SteeringCellKey> unit_cells,
+                               SteeringOptions options)
+    : options_(options), total_units_(unit_cells.size()) {
+  ALFI_CHECK(!unit_cells.empty(),
+             "steering requires at least one work unit with a cell key");
+  ALFI_CHECK(options_.z > 0.0, "steering z must be positive");
+  ALFI_CHECK(options_.half_width > 0.0, "steering half-width must be positive");
+
+  // Group units into cells.  std::map keeps cells ordered by identity,
+  // and units arrive in ascending t, so each cell's unit list is
+  // ascending — both orders are part of the deterministic plan.
+  std::map<std::tuple<std::int64_t, int, int>, std::size_t> index;
+  unit_cell_.resize(unit_cells.size());
+  for (std::size_t t = 0; t < unit_cells.size(); ++t) {
+    const auto id = cell_id(unit_cells[t]);
+    auto [it, inserted] = index.emplace(id, cells_.size());
+    if (inserted) {
+      Cell cell;
+      cell.key = unit_cells[t];
+      cells_.push_back(std::move(cell));
+    }
+    cells_[it->second].units.push_back(t);
+    unit_cell_[t] = it->second;
+  }
+  std::vector<Cell> ordered;
+  ordered.reserve(cells_.size());
+  std::vector<std::size_t> remap(cells_.size());
+  for (const auto& [id, old_index] : index) {
+    (void)id;
+    remap[old_index] = ordered.size();
+    ordered.push_back(std::move(cells_[old_index]));
+  }
+  cells_ = std::move(ordered);
+  for (std::size_t& c : unit_cell_) c = remap[c];
+}
+
+double SteeringPolicy::cell_half_width(const Cell& cell) const {
+  return util::wilson_interval(cell.sdc, cell.applied(), options_.z)
+      .half_width();
+}
+
+bool SteeringPolicy::cell_decided(const Cell& cell) const {
+  if (!options_.steer) return false;
+  if (cell.applied() < options_.min_cell_samples) return false;
+  return cell_half_width(cell) <= options_.half_width;
+}
+
+std::vector<std::size_t> SteeringPolicy::plan_round() {
+  const std::size_t round_size =
+      options_.round_units > 0
+          ? options_.round_units
+          : std::max<std::size_t>(1, total_units_ / 8);
+  std::size_t quota = round_size;
+  if (options_.budget > 0) {
+    if (planned_ >= options_.budget) return {};
+    quota = std::min(quota, options_.budget - planned_);
+  }
+
+  // Widest-interval-first over undecided cells that still have
+  // unplanned units, with the cell identity as deterministic tiebreak.
+  std::vector<std::size_t> order;
+  order.reserve(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const Cell& cell = cells_[c];
+    if (cell.exhausted() || cell_decided(cell)) continue;
+    order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    const double wa = cell_half_width(cells_[a]);
+    const double wb = cell_half_width(cells_[b]);
+    if (wa != wb) return wa > wb;
+    return cell_id(cells_[a].key) < cell_id(cells_[b].key);
+  });
+
+  // Round-robin one unit per cell per pass so the round spreads across
+  // every undecided cell before deepening any single one.
+  std::vector<std::size_t> plan;
+  plan.reserve(quota);
+  while (plan.size() < quota) {
+    bool any = false;
+    for (const std::size_t c : order) {
+      if (plan.size() >= quota) break;
+      Cell& cell = cells_[c];
+      if (cell.exhausted()) continue;
+      plan.push_back(cell.units[cell.next_unit++]);
+      any = true;
+    }
+    if (!any) break;
+  }
+  planned_ += plan.size();
+  std::sort(plan.begin(), plan.end());
+  return plan;
+}
+
+void SteeringPolicy::record(std::size_t unit, const SteeringUnitOutcome& outcome) {
+  ALFI_CHECK(unit < unit_cell_.size(), "steering outcome for unknown unit");
+  Cell& cell = cells_[unit_cell_[unit]];
+  ++cell.sampled;
+  ++recorded_;
+  if (outcome.skipped) {
+    ++cell.skipped;
+    return;
+  }
+  if (outcome.sdc) ++cell.sdc;
+  if (outcome.due) ++cell.due;
+}
+
+namespace {
+
+/// Shared rate/interval arithmetic for cells and group aggregates.
+struct OutcomeCounts {
+  std::size_t sampled = 0;
+  std::size_t skipped = 0;
+  std::size_t sdc = 0;
+  std::size_t due = 0;
+
+  std::size_t applied() const { return sampled - skipped; }
+  double rate(std::size_t count) const {
+    return applied() == 0 ? 0.0
+                          : static_cast<double>(count) /
+                                static_cast<double>(applied());
+  }
+};
+
+void fill_group(io::VulnerabilityGroupEntry& entry, const OutcomeCounts& counts,
+                double z) {
+  entry.sampled = counts.sampled;
+  entry.skipped = counts.skipped;
+  entry.sdc = counts.sdc;
+  entry.due = counts.due;
+  entry.sdc_rate = counts.rate(counts.sdc);
+  entry.due_rate = counts.rate(counts.due);
+  const util::WilsonInterval interval =
+      util::wilson_interval(counts.sdc, counts.applied(), z);
+  entry.sdc_lo = interval.lo;
+  entry.sdc_hi = interval.hi;
+}
+
+/// Rate-descending ranking with a deterministic key tiebreak.
+template <typename Key>
+std::vector<io::VulnerabilityGroupEntry> rank_groups(
+    const std::map<Key, OutcomeCounts>& groups, double z,
+    const std::function<std::string(const Key&)>& key_name) {
+  std::vector<std::pair<Key, io::VulnerabilityGroupEntry>> ranked;
+  ranked.reserve(groups.size());
+  for (const auto& [key, counts] : groups) {
+    io::VulnerabilityGroupEntry entry;
+    entry.key = key_name(key);
+    fill_group(entry, counts, z);
+    ranked.emplace_back(key, std::move(entry));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.sdc_rate != b.second.sdc_rate) {
+      return a.second.sdc_rate > b.second.sdc_rate;
+    }
+    return a.first < b.first;  // Key order, not string order: 9 before 10
+  });
+  std::vector<io::VulnerabilityGroupEntry> out;
+  out.reserve(ranked.size());
+  for (auto& [key, entry] : ranked) {
+    (void)key;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+io::VulnerabilityMapFile SteeringPolicy::build_map(
+    const std::string& task_kind, const std::string& model,
+    std::size_t exhaustive_units) const {
+  io::VulnerabilityMapFile map;
+  map.task_kind = task_kind;
+  map.model = model;
+  map.budget_requested = options_.budget;
+  map.units_executed = recorded_;
+  map.exhaustive_units = exhaustive_units;
+  map.unit_fraction = exhaustive_units == 0
+                          ? 0.0
+                          : static_cast<double>(recorded_) /
+                                static_cast<double>(exhaustive_units);
+  map.z = options_.z;
+  map.half_width = options_.half_width;
+  map.min_cell_samples = options_.min_cell_samples;
+  map.steer = options_.steer;
+
+  std::map<std::int64_t, OutcomeCounts> by_layer;
+  std::map<int, OutcomeCounts> by_bit;
+  std::map<std::string, OutcomeCounts> by_role;
+  map.cells.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    io::VulnerabilityCellEntry entry;
+    entry.layer = cell.key.layer;
+    entry.bit_pos = cell.key.bit_pos;
+    entry.fault_type = to_string(cell.key.value_type);
+    entry.role = cell.key.role;
+    entry.sampled = cell.sampled;
+    entry.skipped = cell.skipped;
+    entry.sdc = cell.sdc;
+    entry.due = cell.due;
+    const OutcomeCounts counts{cell.sampled, cell.skipped, cell.sdc, cell.due};
+    entry.sdc_rate = counts.rate(cell.sdc);
+    entry.due_rate = counts.rate(cell.due);
+    const util::WilsonInterval interval =
+        util::wilson_interval(cell.sdc, cell.applied(), options_.z);
+    entry.sdc_lo = interval.lo;
+    entry.sdc_hi = interval.hi;
+    entry.decided = cell_decided(cell);
+    map.cells.push_back(std::move(entry));
+
+    auto accumulate = [&](OutcomeCounts& group) {
+      group.sampled += cell.sampled;
+      group.skipped += cell.skipped;
+      group.sdc += cell.sdc;
+      group.due += cell.due;
+    };
+    accumulate(by_layer[cell.key.layer]);
+    if (cell.key.bit_pos >= 0) accumulate(by_bit[cell.key.bit_pos]);
+    if (!cell.key.role.empty()) accumulate(by_role[cell.key.role]);
+  }
+  std::sort(map.cells.begin(), map.cells.end(),
+            [](const io::VulnerabilityCellEntry& a,
+               const io::VulnerabilityCellEntry& b) {
+              if (a.sdc_rate != b.sdc_rate) return a.sdc_rate > b.sdc_rate;
+              return std::tuple(a.layer, a.bit_pos, a.fault_type) <
+                     std::tuple(b.layer, b.bit_pos, b.fault_type);
+            });
+
+  map.layers = rank_groups<std::int64_t>(
+      by_layer, options_.z,
+      [](const std::int64_t& layer) { return std::to_string(layer); });
+  map.bits = rank_groups<int>(by_bit, options_.z, [](const int& bit) {
+    return std::to_string(bit);
+  });
+  map.roles = rank_groups<std::string>(
+      by_role, options_.z, [](const std::string& role) { return role; });
+  return map;
+}
+
+}  // namespace alfi::core

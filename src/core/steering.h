@@ -1,0 +1,146 @@
+// Adaptive campaign steering: budgeted sampling with early-stopping
+// statistics (DESIGN.md §16, ROADMAP item 4).
+//
+// An exhaustive campaign runs every unit of the pre-generated fault
+// matrix.  The steered campaign instead treats the matrix as a
+// population stratified into *cells* — one per (layer, bit-position,
+// fault-type) — and samples units cell by cell, maintaining an online
+// Wilson confidence interval over each cell's SDC rate.  Once a cell's
+// interval half-width falls below the configured threshold the cell is
+// *decided* and stops consuming budget; the remaining `--budget N`
+// units flow to the widest undecided cells.  The product is
+// vulnerability_map.json: layers / bit positions / roles ranked by
+// criticality, with the confidence bounds that justify stopping early.
+//
+// Determinism: sampling decisions are made in ROUNDS by a single
+// planning loop (the executor thread or the fleet coordinator).  A
+// round's unit list depends only on the scenario-derived cell layout
+// and on outcomes of FULLY ABSORBED prior rounds — never on worker
+// scheduling — so the same seed + budget yields the same unit sequence,
+// and therefore a byte-identical map, under --jobs 1, --jobs N and the
+// fleet.  Resume replays the identical planning loop; units already in
+// the journal are recorded without being recomputed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "io/vulnerability_map.h"
+
+namespace alfi::core {
+
+/// Steering knobs carried in CampaignConfigBase.  Defaults make
+/// `--steer` alone adaptive-exhaustive (stop early wherever confident)
+/// and `--budget N` alone a plain stratified N-unit sample.
+struct SteeringOptions {
+  /// Maximum units the steered campaign may execute; 0 = uncapped.
+  std::size_t budget = 0;
+  /// Enable the early-stopping rule (cells stop sampling once decided).
+  bool steer = false;
+  /// Wilson critical value (1.96 ~ 95% confidence).
+  double z = 1.96;
+  /// A cell is decided once its SDC interval half-width is <= this.
+  double half_width = 0.04;
+  /// Never decide a cell before it has this many applied samples.
+  std::size_t min_cell_samples = 8;
+  /// Units per planning round; 0 = auto (unit_count / 8, at least 1).
+  /// Must not depend on the job count — it is part of the plan.
+  std::size_t round_units = 0;
+  /// Where to write vulnerability_map.json; empty = no artifact.
+  std::string map_path;
+
+  /// Any steering feature requested?  Routes the campaign through the
+  /// round-based executor path (which also emits the map).
+  bool enabled() const { return steer || budget > 0 || !map_path.empty(); }
+};
+
+/// The sampling stratum one unit belongs to.  Cell identity is
+/// (layer, bit_pos, value_type); `role` is per-layer metadata carried
+/// into the map's role ranking.  Units with several faults are
+/// attributed to their group's first fault (exact when
+/// max_faults_per_image == 1, the recommended steering configuration).
+struct SteeringCellKey {
+  std::int64_t layer = -1;  ///< injectable-layer index, -1 = unattributed
+  int bit_pos = -1;         ///< -1 for non-bit-flip fault types
+  ValueType value_type = ValueType::kBitFlip;
+  std::string role;  ///< nn::layer_kind_name of the layer, "" if unknown
+};
+
+/// What a unit's journaled payload says happened (CampaignTask::classify_unit).
+struct SteeringUnitOutcome {
+  bool sdc = false;
+  bool due = false;
+  /// The unit ran but no fault was actually applied (weight-less site,
+  /// batch-slot skip): excluded from rate denominators, still charged
+  /// to the budget.
+  bool skipped = false;
+};
+
+/// The planning half of the steered campaign.  Single-threaded by
+/// design: exactly one planner exists per campaign (executor thread or
+/// fleet coordinator), and workers never see it.
+///
+///   SteeringPolicy policy(task.steering_cells(), options);
+///   while (!(round = policy.plan_round()).empty()) {
+///     ... execute round (threads / fleet leases) ...
+///     for (t : round) policy.record(t, task.classify_unit(t, payload));
+///   }
+///   map = policy.build_map(...);
+class SteeringPolicy {
+ public:
+  /// `unit_cells[t]` is unit t's cell key; size = task unit_count().
+  SteeringPolicy(std::vector<SteeringCellKey> unit_cells,
+                 SteeringOptions options);
+
+  /// Plans the next round: up to round_units unplanned units, allotted
+  /// round-robin to undecided cells in widest-interval-first order,
+  /// returned ascending.  Empty = the campaign is finished (budget
+  /// exhausted, every cell decided, or every unit planned).  Every
+  /// returned unit is charged to the budget immediately — a resumed run
+  /// replans the identical sequence and must reach the same cutoff.
+  std::vector<std::size_t> plan_round();
+
+  /// Feeds one planned unit's outcome back.  Call for every unit of a
+  /// round before planning the next (the barrier is what makes plans
+  /// worker-schedule independent).
+  void record(std::size_t unit, const SteeringUnitOutcome& outcome);
+
+  std::size_t planned_units() const { return planned_; }
+  std::size_t recorded_units() const { return recorded_; }
+
+  /// Assembles the ranked artifact from the recorded outcomes.
+  /// Deterministic: depends only on cell aggregates and fixed sort
+  /// orders, never on recording order.
+  io::VulnerabilityMapFile build_map(const std::string& task_kind,
+                                     const std::string& model,
+                                     std::size_t exhaustive_units) const;
+
+ private:
+  struct Cell {
+    SteeringCellKey key;
+    std::vector<std::size_t> units;  ///< ascending unit ids in this cell
+    std::size_t next_unit = 0;       ///< units[next_unit] = first unplanned
+    std::size_t sampled = 0;         ///< recorded outcomes
+    std::size_t skipped = 0;
+    std::size_t sdc = 0;
+    std::size_t due = 0;
+
+    std::size_t applied() const { return sampled - skipped; }
+    bool exhausted() const { return next_unit == units.size(); }
+  };
+
+  bool cell_decided(const Cell& cell) const;
+  double cell_half_width(const Cell& cell) const;
+
+  SteeringOptions options_;
+  std::vector<Cell> cells_;              ///< sorted by (layer, bit, type)
+  std::vector<std::size_t> unit_cell_;   ///< unit id -> index into cells_
+  std::size_t total_units_ = 0;
+  std::size_t planned_ = 0;
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace alfi::core

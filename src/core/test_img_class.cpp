@@ -113,6 +113,7 @@ void evaluate_window(
     std::span<const std::size_t> labels, std::span<const data::ImageMeta> metas,
     bool window_monitor_due, std::size_t epoch,
     const std::function<std::vector<Fault>(std::size_t)>& fault_group_for,
+    const std::function<std::size_t(std::size_t)>& applied_for,
     std::size_t first_row = 0) {
   const std::size_t k = orig_logits.dim(1);
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -147,7 +148,7 @@ void evaluate_window(
       std::vector<std::string> row{
           std::to_string(metas[i].image_id), metas[i].file_name,
           std::to_string(labels[i]), due ? "1" : "0", sde ? "1" : "0",
-          faults_to_field(fault_group_for(i))};
+          faults_to_field(fault_group_for(i)), std::to_string(applied_for(i))};
       const auto push_topk = [&row, top_k](const TopK& top) {
         for (std::size_t j = 0; j < top_k; ++j) {
           if (j < top.classes.size()) {
@@ -392,9 +393,11 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
     EvalSink out;
     const std::size_t labels[1] = {sample.label};
     const data::ImageMeta metas[1] = {sample.meta};
+    const std::size_t applied = ctx_.injector->records().size() - base_records;
     evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, *trip.orig,
                     *trip.corr, trip.resil, labels, metas, trip.window_due,
-                    epoch, [&](std::size_t) { return faults; });
+                    epoch, [&](std::size_t) { return faults; },
+                    [&](std::size_t) { return applied; });
     return serialize_unit(out, ctx_.injector->records(), base_records);
   }
 
@@ -522,7 +525,9 @@ class ImgClassUnitRunner final : public CampaignUnitRunner {
       evaluate_window(out, h_.config_.top_k, /*make_rows=*/true, *orig_logits,
                       *trip.corr, trip.resil, label_span, meta_span,
                       slot_due[i] != 0, t / scenario.dataset_size,
-                      [&](std::size_t) { return faults; }, /*first_row=*/i);
+                      [&](std::size_t) { return faults; },
+                      [&](std::size_t) { return per_unit_records[i].size(); },
+                      /*first_row=*/i);
       payloads.push_back(serialize_unit(out, per_unit_records[i], 0));
     }
     return payloads;
@@ -607,7 +612,8 @@ void TestErrorModelsImgClass::prepare() {
   trace_.clear();
   result_ = {};
 
-  header_ = {"image_id", "file_name", "gt_label", "due", "sde", "faults"};
+  header_ = {"image_id", "file_name", "gt_label", "due", "sde", "faults",
+             "applied"};
   for (const char* which : {"orig", "corr", "resil"}) {
     for (std::size_t k = 1; k <= config_.top_k; ++k) {
       header_.push_back(strformat("%s_top%zu_class", which, k));
@@ -677,6 +683,59 @@ std::size_t TestErrorModelsImgClass::max_unit_pack() const {
 std::size_t TestErrorModelsImgClass::unit_pack_stride() const {
   const Scenario& scenario = wrapper_.get_scenario();
   return scenario.num_runs > 1 ? scenario.dataset_size : 1;
+}
+
+std::vector<SteeringCellKey> TestErrorModelsImgClass::steering_cells() const {
+  const Scenario& scenario = wrapper_.get_scenario();
+  if (scenario.inj_policy != InjectionPolicy::kPerImage) return {};
+  const std::size_t units = unit_count();
+  const std::size_t group = scenario.max_faults_per_image;
+  const auto& matrix = wrapper_.fault_matrix();
+  if (matrix.size() < units * group) return {};
+
+  const ModelProfile& profile = wrapper_.profile();
+  std::vector<SteeringCellKey> cells(units);
+  for (std::size_t t = 0; t < units; ++t) {
+    // A unit is attributed to its group's FIRST fault — exact for
+    // max_faults_per_image == 1 (the steering-relevant configuration),
+    // a first-fault approximation for larger groups.
+    const Fault& fault = matrix.faults()[t * group];
+    SteeringCellKey& key = cells[t];
+    key.layer = fault.layer;
+    key.value_type = fault.value_type;
+    key.bit_pos = fault.value_type == ValueType::kBitFlip ||
+                          fault.value_type == ValueType::kStuckAt0 ||
+                          fault.value_type == ValueType::kStuckAt1
+                      ? fault.bit_pos
+                      : -1;
+    if (fault.layer >= 0 &&
+        static_cast<std::size_t>(fault.layer) < profile.layer_count()) {
+      key.role = nn::layer_kind_name(profile.layer(fault.layer).kind);
+    }
+  }
+  return cells;
+}
+
+SteeringUnitOutcome TestErrorModelsImgClass::classify_unit(
+    std::size_t, const std::string& payload) const {
+  io::ByteReader r(payload);
+  r.read_u64();  // total
+  r.read_u64();  // orig_correct
+  r.read_u64();  // faulty_correct
+  r.read_u64();  // resil_correct
+  const std::uint64_t sde = r.read_u64();
+  const std::uint64_t due = r.read_u64();
+  r.read_u64();  // resil_sde
+  read_rows(r);  // result rows
+  read_rows(r);  // fault-free rows
+  const std::uint64_t record_count = r.read_u64();
+  SteeringUnitOutcome outcome;
+  outcome.sdc = sde > 0;
+  outcome.due = due > 0;
+  // No injection record means the armed fault never landed (skipped
+  // batch-slot backstop); the unit carries no vulnerability evidence.
+  outcome.skipped = record_count == 0;
+  return outcome;
 }
 
 void TestErrorModelsImgClass::absorb_unit(std::size_t, const std::string& payload) {
@@ -759,6 +818,12 @@ ImgClassCampaignResult TestErrorModelsImgClass::run() {
     throw ConfigError(
         "campaign checkpointing requires inj_policy per_image for "
         "classification (batched policies are not unit-addressable)");
+  }
+  if (config_.steering.enabled()) {
+    throw ConfigError(
+        "campaign steering (--budget/--steer/--vuln-map) requires inj_policy "
+        "per_image for classification (batched policies are not "
+        "unit-addressable)");
   }
   if (config_.jobs != 1) {
     ALFI_LOG(kInfo) << "inj_policy " << to_string(scenario.inj_policy)
@@ -844,6 +909,7 @@ void TestErrorModelsImgClass::run_batched() {
 
       std::size_t group_start = epoch_group_start;
       const Stopwatch window_watch;
+      const std::size_t window_base = wrapper_.injector().records().size();
       const TripleOutputs trip = run_triple(ctx, batch.images, batch.images, [&] {
         if (scenario.inj_policy == InjectionPolicy::kPerBatch) {
           // Arm against the window's actual occupancy: a fault drawn
@@ -861,8 +927,24 @@ void TestErrorModelsImgClass::run_batched() {
                       trip.resil,
                       std::span<const std::size_t>(batch.labels.data(), use),
                       std::span<const data::ImageMeta>(batch.metas.data(), use),
-                      trip.window_due, epoch, [&](std::size_t) {
+                      trip.window_due, epoch,
+                      [&](std::size_t) {
                         return wrapper_.fault_matrix().slice(group_start, group);
+                      },
+                      [&](std::size_t i) {
+                        // A window shares one armed group; attribute each
+                        // record to the slot it landed on (weight faults and
+                        // batch-agnostic faults corrupt every slot).
+                        const auto& recs = wrapper_.injector().records();
+                        std::size_t applied = 0;
+                        for (std::size_t ri = window_base; ri < recs.size(); ++ri) {
+                          const Fault& f = recs[ri].fault;
+                          if (f.target == FaultTarget::kWeights || f.batch < 0 ||
+                              f.batch == static_cast<std::int64_t>(i)) {
+                            ++applied;
+                          }
+                        }
+                        return applied;
                       });
       unit_ms.record(window_watch.elapsed_ms());
       units_total.add();

@@ -96,6 +96,13 @@ class TestErrorModelsImgClass final : public CampaignTask {
   /// holds the SAME image under different epochs' fault groups, so the
   /// runner computes the fault-free pass once per pack (DESIGN.md §12).
   std::size_t unit_pack_stride() const override;
+  /// Unit t's (layer, bit, fault-type) stratum, from its group's first
+  /// fault; empty (unsteerable) for batched injection policies.
+  std::vector<SteeringCellKey> steering_cells() const override;
+  /// SDC/DUE/skip verdict straight from the unit payload's KPI counters
+  /// and record count.
+  SteeringUnitOutcome classify_unit(std::size_t t,
+                                    const std::string& payload) const override;
   void absorb_unit(std::size_t t, const std::string& payload) override;
   void finalize() override;
 

@@ -577,6 +577,55 @@ std::size_t TestErrorModelsObjDet::max_unit_pack() const {
   return std::numeric_limits<std::size_t>::max();
 }
 
+std::vector<SteeringCellKey> TestErrorModelsObjDet::steering_cells() const {
+  const Scenario& scenario = wrapper_.get_scenario();
+  const std::size_t units = unit_count();
+  const std::size_t group = scenario.max_faults_per_image;
+  const auto& matrix = wrapper_.fault_matrix();
+
+  const ModelProfile& profile = wrapper_.profile();
+  std::vector<SteeringCellKey> cells(units);
+  for (std::size_t t = 0; t < units; ++t) {
+    const UnitAddress addr = address_unit(scenario, t);
+    if (addr.group_start + group > matrix.size()) return {};
+    // Attribute the unit to its addressed group's FIRST fault — exact
+    // for max_faults_per_image == 1.
+    const Fault& fault = matrix.faults()[addr.group_start];
+    SteeringCellKey& key = cells[t];
+    key.layer = fault.layer;
+    key.value_type = fault.value_type;
+    key.bit_pos = fault.value_type == ValueType::kBitFlip ||
+                          fault.value_type == ValueType::kStuckAt0 ||
+                          fault.value_type == ValueType::kStuckAt1
+                      ? fault.bit_pos
+                      : -1;
+    if (fault.layer >= 0 &&
+        static_cast<std::size_t>(fault.layer) < profile.layer_count()) {
+      key.role = nn::layer_kind_name(profile.layer(fault.layer).kind);
+    }
+  }
+  return cells;
+}
+
+SteeringUnitOutcome TestErrorModelsObjDet::classify_unit(
+    std::size_t, const std::string& payload) const {
+  io::ByteReader r(payload);
+  SteeringUnitOutcome outcome;
+  outcome.due = r.read_u8() != 0;
+  outcome.sdc = r.read_u8() != 0;
+  r.read_u8();  // resil_sde
+  if (r.read_u8() != 0) {  // epoch-0 detections ride along
+    r.read_i64();          // image_id
+    read_detections(r);    // orig
+    read_detections(r);    // corr
+    if (r.read_u8() != 0) read_detections(r);  // resil
+  }
+  // No injection record means the armed fault never landed on this
+  // image; the unit carries no vulnerability evidence.
+  outcome.skipped = r.read_u64() == 0;
+  return outcome;
+}
+
 void TestErrorModelsObjDet::absorb_unit(std::size_t t, const std::string& payload) {
   const UnitAddress addr = address_unit(wrapper_.get_scenario(), t);
   io::ByteReader r(payload);

@@ -91,6 +91,14 @@ class TestErrorModelsObjDet final : public CampaignTask {
   /// Unbounded for neuron-fault campaigns (each unit's addressed faults
   /// arm on its own batch slot); 1 when any fault targets weights.
   std::size_t max_unit_pack() const override;
+  /// Unit t's (layer, bit, fault-type) stratum from its addressed
+  /// group's first fault.  Every injection policy is unit-addressable
+  /// here, so detection campaigns steer under all of them.
+  std::vector<SteeringCellKey> steering_cells() const override;
+  /// IVMOD verdicts straight from the unit payload (due/sde flags and
+  /// the trailing record count).
+  SteeringUnitOutcome classify_unit(std::size_t t,
+                                    const std::string& payload) const override;
   void absorb_unit(std::size_t t, const std::string& payload) override;
   void finalize() override;
 

@@ -1,9 +1,11 @@
 #include "io/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "io/atomic_file.h"
 
@@ -127,9 +129,15 @@ void append_number(std::string& out, double d) {
     out += std::to_string(static_cast<long long>(d));
     return;
   }
+  // Shortest round-trip formatting: parsing the digits back yields the
+  // exact same double, and to_chars is locale-independent, so emitted
+  // files are byte-stable no matter the process locale ("%g" was
+  // neither: it truncates to a fixed precision and honors LC_NUMERIC's
+  // decimal separator).
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", d);
-  out += buf;
+  const auto result = std::to_chars(buf, buf + sizeof buf, d);
+  ALFI_CHECK(result.ec == std::errc(), "json: number formatting failed");
+  out.append(buf, result.ptr);
 }
 
 void append_indent(std::string& out, int indent, int depth) {
@@ -346,14 +354,19 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string token{text_.substr(start, pos_ - start)};
-    try {
-      std::size_t used = 0;
-      const double value = std::stod(token, &used);
-      if (used != token.size()) fail("bad number: " + token);
-      return Json(value);
-    } catch (const std::exception&) {
+    // from_chars is locale-independent and parses shortest-round-trip
+    // output back to the exact same double (stod honors LC_NUMERIC, so
+    // "0.1" fails to parse fully under a ","-decimal locale).  It
+    // rejects a leading '+', which this parser historically accepted.
+    const char* first = token.c_str();
+    const char* last = first + token.size();
+    if (first != last && *first == '+') ++first;
+    double value = 0.0;
+    const auto result = std::from_chars(first, last, value);
+    if (result.ec != std::errc() || result.ptr != last) {
       fail("bad number: " + token);
     }
+    return Json(value);
   }
 
   std::string_view text_;

@@ -1,0 +1,27 @@
+#include "util/wilson.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace alfi::util {
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t n, double z) {
+  ALFI_CHECK(successes <= n, "wilson_interval: successes exceed trials");
+  ALFI_CHECK(z > 0.0, "wilson_interval: z must be positive");
+  if (n == 0) return {0.0, 1.0};
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double spread =
+      (z / denom) * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  WilsonInterval interval;
+  interval.lo = std::max(0.0, center - spread);
+  interval.hi = std::min(1.0, center + spread);
+  return interval;
+}
+
+}  // namespace alfi::util

@@ -1,0 +1,28 @@
+// Wilson score interval for a binomial proportion.
+//
+// The sequential campaign steering loop (DESIGN.md §16) decides when a
+// vulnerability cell's SDC/DUE rate is known precisely enough to stop
+// sampling it.  The Wilson interval is the standard choice for this:
+// unlike the normal (Wald) approximation it stays inside [0, 1], is
+// well-behaved at p = 0 and p = 1 (the common cases — many cells are
+// fully masked or fully critical), and its half-width shrinks
+// monotonically as samples accumulate, which is what an early-stopping
+// rule needs.
+#pragma once
+
+#include <cstddef>
+
+namespace alfi::util {
+
+/// Confidence interval [lo, hi] for the success probability underlying
+/// `successes` out of `n` Bernoulli trials, at critical value `z`
+/// (1.96 ~ 95%).  n == 0 yields the vacuous interval [0, 1].
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  double half_width() const { return (hi - lo) / 2.0; }
+};
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t n, double z);
+
+}  // namespace alfi::util

@@ -58,6 +58,49 @@ TEST(AnalyzeResults, TotalsAndGroupings) {
   EXPECT_DOUBLE_EQ(analysis.by_bit.at(12).sde_rate(), 0.0);
 }
 
+TEST(AnalyzeResults, SkippedInjectionsExcludedFromRates) {
+  // Layer 0: three drawn faults, one never applied (applied == 0), one
+  // SDE among the two that landed.  Before the fix the skipped row
+  // diluted the denominator: sde_rate came out 1/3 instead of 1/2.
+  const std::string csv =
+      "image_id,file_name,gt_label,due,sde,faults,applied,orig_top1_class,"
+      "corr_top1_class\n"
+      "0,a.png,1,0,1,0:1:-1:-1:2:2:30,1,1,4\n"
+      "1,b.png,2,0,0,0:3:-1:-1:0:1:30,1,2,2\n"
+      "2,c.png,3,0,0,0:0:-1:-1:1:1:30,0,3,3\n"
+      "3,d.png,4,1,0,1:2:-1:-1:0:0:12,1,4,4\n";
+  const CampaignAnalysis analysis = analyze_results_table(io::parse_csv(csv));
+
+  EXPECT_EQ(analysis.total_images, 4u);
+  EXPECT_EQ(analysis.skipped_images, 1u);
+
+  const GroupStats& layer0 = analysis.by_layer.at(0);
+  EXPECT_EQ(layer0.total, 3u);
+  EXPECT_EQ(layer0.skipped, 1u);
+  EXPECT_EQ(layer0.applied(), 2u);
+  // Hand-computed: 1 SDE over 2 applied faults.
+  EXPECT_DOUBLE_EQ(layer0.sde_rate(), 0.5);
+
+  const GroupStats& bit30 = analysis.by_bit.at(30);
+  EXPECT_EQ(bit30.applied(), 2u);
+  EXPECT_DOUBLE_EQ(bit30.sde_rate(), 0.5);
+
+  // Layer 1 saw one applied fault, a DUE.
+  EXPECT_DOUBLE_EQ(analysis.by_layer.at(1).due_rate(), 1.0);
+}
+
+TEST(AnalyzeResults, AllSkippedGroupHasZeroRates) {
+  const std::string csv =
+      "image_id,file_name,gt_label,due,sde,faults,applied,orig_top1_class,"
+      "corr_top1_class\n"
+      "0,a.png,1,0,0,5:1:-1:-1:2:2:30,0,1,1\n";
+  const CampaignAnalysis analysis = analyze_results_table(io::parse_csv(csv));
+  const GroupStats& layer5 = analysis.by_layer.at(5);
+  EXPECT_EQ(layer5.applied(), 0u);
+  EXPECT_DOUBLE_EQ(layer5.sde_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(layer5.due_rate(), 0.0);
+}
+
 TEST(AnalyzeResults, MisclassificationMatrix) {
   const CampaignAnalysis analysis = analyze_results_table(synthetic_results());
   ASSERT_EQ(analysis.misclassification.size(), 2u);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
+#include <limits>
 
 #include "test_common.h"
 
@@ -136,6 +138,52 @@ TEST(JsonDump, IndentedOutputParses) {
   const std::string pretty = doc.dump(2);
   EXPECT_NE(pretty.find('\n'), std::string::npos);
   EXPECT_EQ(Json::parse(pretty).at("list").as_array().size(), 2u);
+}
+
+TEST(JsonNumbers, DoublesRoundTripBitExact) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           1e-300,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           -2.5e-12,
+                           123456789.123456789};
+  for (const double v : values) {
+    const Json doc{v};
+    const double back = Json::parse(doc.dump()).as_number();
+    EXPECT_EQ(back, v) << "value " << v << " serialized as " << doc.dump();
+  }
+}
+
+TEST(JsonNumbers, SerializationIgnoresCommaDecimalLocale) {
+  // A locale with ',' as the decimal separator must not leak into JSON
+  // output or parsing: %g-style formatting would emit "0,5" here, which
+  // is invalid JSON and breaks cross-host artifact exchange.
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old ? old : "C";
+  const char* entered = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (entered == nullptr) entered = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+  if (entered == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed; skipping";
+  }
+  // setlocale returns a pointer into static storage; copy before the
+  // next call overwrites it.
+  const std::string comma_locale = entered;
+
+  const Json doc{0.5};
+  const std::string text = doc.dump();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+
+  EXPECT_EQ(text.find(','), std::string::npos) << "locale leaked: " << text;
+  EXPECT_DOUBLE_EQ(Json::parse(text).as_number(), 0.5);
+
+  // Parsing must also be locale-independent: re-enter the locale and
+  // parse a canonical '.'-separated literal.
+  if (std::setlocale(LC_NUMERIC, comma_locale.c_str()) != nullptr) {
+    const double back = Json::parse("[2.25]").as_array()[0].as_number();
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    EXPECT_DOUBLE_EQ(back, 2.25);
+  }
 }
 
 }  // namespace

@@ -176,6 +176,62 @@ void apply_fleet_flags(core::CampaignConfigBase& config, const Args& args) {
   if (config.fleet.enabled()) install_drain_handlers();
 }
 
+/// Adaptive steering flags (DESIGN.md §16), shared by both run commands:
+///   --budget N            cap the campaign at N executed units, spent
+///                         where the vulnerability map is least certain
+///   --steer               stop sampling cells whose Wilson interval is
+///                         already narrow (early stopping; usable with
+///                         or without --budget)
+///   --vuln-map <path>     write the per-(layer, bit, fault-type)
+///                         vulnerability map JSON (works on exhaustive
+///                         runs too)
+///   --steer-half-width W  decision threshold on the interval half-width
+///   --steer-z Z           normal quantile of the interval (default 1.96)
+///   --steer-min-samples K minimum applied samples before a cell can be
+///                         declared decided
+///   --steer-round N       units planned per steering round (default
+///                         units/8)
+void apply_steering_flags(core::CampaignConfigBase& config, const Args& args) {
+  if (const auto v = args.get("budget")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--budget must be a positive integer, got: " + *v);
+    }
+    config.steering.budget = static_cast<std::size_t>(*parsed);
+  }
+  if (args.get("steer")) config.steering.steer = true;
+  if (const auto path = args.get("vuln-map")) config.steering.map_path = *path;
+  if (const auto v = args.get("steer-half-width")) {
+    const auto parsed = parse_double(*v);
+    if (!parsed || *parsed <= 0.0 || *parsed >= 1.0) {
+      throw ConfigError("--steer-half-width must be in (0, 1), got: " + *v);
+    }
+    config.steering.half_width = *parsed;
+  }
+  if (const auto v = args.get("steer-z")) {
+    const auto parsed = parse_double(*v);
+    if (!parsed || *parsed <= 0.0) {
+      throw ConfigError("--steer-z must be positive, got: " + *v);
+    }
+    config.steering.z = *parsed;
+  }
+  if (const auto v = args.get("steer-min-samples")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--steer-min-samples must be a positive integer, got: " +
+                        *v);
+    }
+    config.steering.min_cell_samples = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto v = args.get("steer-round")) {
+    const auto parsed = parse_int(*v);
+    if (!parsed || *parsed < 1) {
+      throw ConfigError("--steer-round must be a positive integer, got: " + *v);
+    }
+    config.steering.round_units = static_cast<std::size_t>(*parsed);
+  }
+}
+
 std::optional<core::MitigationKind> parse_mitigation(const Args& args) {
   const auto value = args.get("mitigation");
   if (!value) return std::nullopt;
@@ -247,6 +303,7 @@ int cmd_run_imgclass(const Args& args) {
   apply_telemetry_flags(config, args);
   apply_workspace_flag(config, args);
   apply_fleet_flags(config, args);
+  apply_steering_flags(config, args);
 
   std::shared_ptr<nn::Sequential> model;
   models::TrainConfig train_config;
@@ -310,6 +367,7 @@ int cmd_run_objdet(const Args& args) {
   apply_telemetry_flags(config, args);
   apply_workspace_flag(config, args);
   apply_fleet_flags(config, args);
+  apply_steering_flags(config, args);
 
   auto detector = models::make_detector(family, models::GridSpec{6, 48, 48}, 3, 3);
   models::TrainConfig train_config;
@@ -515,6 +573,9 @@ void usage() {
                "                 [--numeric-type fp32|bf16|fp16|fp16_stored|int8]\n"
                "                 [--fleet-workers N] [--fleet-coordinator [port]]\n"
                "                 [--fleet-worker host:port] [--lease-units K]\n"
+               "                 [--budget N] [--steer] [--vuln-map map.json]\n"
+               "                 [--steer-half-width W] [--steer-z Z]\n"
+               "                 [--steer-min-samples K] [--steer-round N]\n"
                "                 (--jobs: campaign worker threads, default = all\n"
                "                  cores; output is identical for every job count.\n"
                "                  --unit-batch: pack up to K campaign units into\n"
@@ -544,7 +605,14 @@ void usage() {
                "                  run the SAME campaign command elsewhere with\n"
                "                  this flag; a mismatched scenario or binary is\n"
                "                  refused.  Fleet outputs are byte-identical to\n"
-               "                  --jobs 1; see DESIGN.md §14)\n"
+               "                  --jobs 1; see DESIGN.md §14.\n"
+               "                  --budget: cap executed units, spent where the\n"
+               "                  vulnerability map is least certain; --steer:\n"
+               "                  stop sampling statistically decided cells;\n"
+               "                  --vuln-map: write the per-(layer, bit, fault-\n"
+               "                  type) map JSON (also on exhaustive runs).  The\n"
+               "                  plan is deterministic for every --jobs count\n"
+               "                  and fleet layout; see DESIGN.md §16)\n"
                "  run-objdet     --family <yolo|retina|frcnn> [same options]\n"
                "  list-targets   --model <lenet|alexnet|vgg|resnet|transformer>\n"
                "                 (dump the injectable-target inventory as JSON:\n"

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Build the concurrency layer under ThreadSanitizer and run the
-# campaign-, telemetry-, batched-, backend- and fleet-labeled tests
-# (CampaignRunner sharding, parallel campaign byte-identity — including
-# packed unit-batch execution and the backend/jobs identity grid — the
-# lock-free metrics registry hammered from worker threads, and the
-# multi-process fleet coordinator: forked workers, SIGKILL chaos and
-# the coordinator-thread/worker-thread remote path).  Usage:
+# campaign-, telemetry-, batched-, backend-, fleet- and
+# steering-labeled tests (CampaignRunner sharding, parallel campaign
+# byte-identity — including packed unit-batch execution and the
+# backend/jobs identity grid — the lock-free metrics registry hammered
+# from worker threads, the multi-process fleet coordinator: forked
+# workers, SIGKILL chaos and the coordinator-thread/worker-thread
+# remote path, and the steered round barrier where worker shards hand
+# outcomes back to the planner).  Usage:
 #
 #   tools/run_tsan.sh [extra ctest args...]
 #

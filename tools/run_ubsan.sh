@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Build under UndefinedBehaviorSanitizer only (no ASan overhead, traps
 # are non-recoverable) and run the tensor-, nn-, campaign-,
-# telemetry-, batched- and backend-labeled tests: the bit-flip/stuck-at
-# bit twiddling, arena offset arithmetic, batch-slot remap arithmetic,
-# the differential-inference prefix bookkeeping and the stored-code
-# (fp16/int8) quantization paths are the layers where silent UB would
-# corrupt campaign verdicts.
+# telemetry-, batched-, backend- and steering-labeled tests: the
+# bit-flip/stuck-at bit twiddling, arena offset arithmetic, batch-slot
+# remap arithmetic, the differential-inference prefix bookkeeping, the
+# stored-code (fp16/int8) quantization paths and the Wilson-interval
+# arithmetic driving budgeted steering are the layers where silent UB
+# would corrupt campaign verdicts.
 # Usage:
 #
 #   tools/run_ubsan.sh [extra ctest args...]
